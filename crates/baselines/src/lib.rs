@@ -1,0 +1,29 @@
+//! Baseline miners that the SpiderMine paper compares against.
+//!
+//! These are from-scratch reimplementations that follow the published
+//! descriptions of each system closely enough to reproduce the *qualitative*
+//! behaviour the paper reports (what sizes of patterns each method finds and
+//! how its runtime scales), not line-by-line ports of the original tools:
+//!
+//! * [`subdue`] — SUBDUE (Holder, Cook & Djoko, KDD 1994): beam search guided
+//!   by an MDL compression measure. Finds small, highly frequent patterns.
+//! * [`seus`] — SEuS (Ghazizadeh & Chawathe, DS 2002): collapses same-label
+//!   vertices into a summary graph to generate candidates cheaply, then
+//!   verifies them against the data graph. Returns mostly tiny patterns.
+//! * [`moss`] — a MoSS/gSpan-style complete miner (Fiedler & Borgelt 2007 /
+//!   Yan & Han 2002): exhaustive edge-by-edge pattern growth with
+//!   isomorphism-based deduplication and a wall-clock budget, since the
+//!   complete pattern set is exponential ("-" entries in Figure 16).
+//! * [`origami`] — ORIGAMI (Hasan et al., ICDM 2007): random maximal pattern
+//!   sampling followed by α-orthogonal representative selection, for the
+//!   graph-transaction comparison of Figures 14–15.
+
+pub mod moss;
+pub mod origami;
+pub mod seus;
+pub mod subdue;
+
+pub use moss::{MossConfig, MossResult};
+pub use origami::{OrigamiConfig, OrigamiResult};
+pub use seus::{SeusConfig, SeusResult};
+pub use subdue::{SubdueConfig, SubdueResult};

@@ -1,0 +1,30 @@
+//! Benchmarks the synthetic graph generators (dataset construction cost).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use spidermine_bench::BENCH_SEED;
+use spidermine_graph::generate;
+
+fn generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generators");
+    group.sample_size(10);
+    for &n in &[2_000usize, 10_000] {
+        group.bench_with_input(BenchmarkId::new("erdos_renyi", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut rng = ChaCha8Rng::seed_from_u64(BENCH_SEED);
+                generate::erdos_renyi_average_degree(&mut rng, n, 3.0, 100).edge_count()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("barabasi_albert", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut rng = ChaCha8Rng::seed_from_u64(BENCH_SEED);
+                generate::barabasi_albert(&mut rng, n, 2, 100).edge_count()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, generators);
+criterion_main!(benches);

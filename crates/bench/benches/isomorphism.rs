@@ -1,0 +1,26 @@
+//! Benchmarks the VF2 subgraph-isomorphism kernel (embedding enumeration).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use spidermine_bench::{bench_graph, BENCH_SEED};
+use spidermine_graph::generate;
+use spidermine_graph::iso;
+
+fn embedding_enumeration(c: &mut Criterion) {
+    let host = bench_graph(2000);
+    let mut group = c.benchmark_group("find_embeddings");
+    for &pattern_size in &[4usize, 8, 12] {
+        let mut rng = ChaCha8Rng::seed_from_u64(BENCH_SEED + pattern_size as u64);
+        let pattern = generate::random_connected_pattern(&mut rng, pattern_size, 50, 2);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(pattern_size),
+            &pattern,
+            |b, p| b.iter(|| iso::find_embeddings(p, &host, 100).len()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, embedding_enumeration);
+criterion_main!(benches);

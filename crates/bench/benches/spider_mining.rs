@@ -1,0 +1,30 @@
+//! Benchmarks Stage I: mining the complete 1-spider catalog.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spidermine_bench::bench_graph;
+use spidermine_mining::spider::{SpiderCatalog, SpiderMiningConfig};
+
+fn spider_mining(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spider_mining");
+    group.sample_size(10);
+    for &n in &[500usize, 1500, 3000] {
+        let graph = bench_graph(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &graph, |b, g| {
+            b.iter(|| {
+                SpiderCatalog::mine(
+                    g,
+                    &SpiderMiningConfig {
+                        support_threshold: 2,
+                        max_leaves: 6,
+                        ..SpiderMiningConfig::default()
+                    },
+                )
+                .len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, spider_mining);
+criterion_main!(benches);

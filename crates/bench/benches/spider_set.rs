@@ -1,0 +1,38 @@
+//! Ablation: spider-set pruning vs direct VF2 isomorphism testing
+//! (the paper's Section 4.2.2 claim).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spidermine::spider_set::{PrunedIsoOracle, SpiderSet};
+use spidermine_bench::bench_pattern_pair;
+use spidermine_graph::iso;
+
+fn spider_set_vs_vf2(c: &mut Criterion) {
+    let (p, q) = bench_pattern_pair(24);
+    // A structurally different pattern (one extra vertex + edge) for the
+    // negative case.
+    let mut different = p.clone();
+    let n = different.vertex_count() as u32;
+    let _ = different.add_vertex(p.label(spidermine_graph::VertexId(0)));
+    different.add_edge(spidermine_graph::VertexId(0), spidermine_graph::VertexId(n));
+
+    let mut group = c.benchmark_group("isomorphism_checking");
+    group.bench_function("vf2_direct_isomorphic", |b| {
+        b.iter(|| iso::are_isomorphic(&p, &q))
+    });
+    group.bench_function("vf2_direct_non_isomorphic", |b| {
+        b.iter(|| iso::are_isomorphic(&p, &different))
+    });
+    group.bench_function("spider_set_prune_non_isomorphic", |b| {
+        let sp = SpiderSet::of(&p, 1);
+        let sd = SpiderSet::of(&different, 1);
+        b.iter(|| {
+            let mut oracle = PrunedIsoOracle::new();
+            oracle.check(&p, &sp, &different, &sd)
+        })
+    });
+    group.bench_function("spider_set_build", |b| b.iter(|| SpiderSet::of(&p, 1)));
+    group.finish();
+}
+
+criterion_group!(benches, spider_set_vs_vf2);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Ablation: cost of the three single-graph support measures.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spidermine_bench::bench_graph;
+use spidermine_graph::iso;
+use spidermine_graph::label::Label;
+use spidermine_graph::LabeledGraph;
+use spidermine_mining::support::SupportMeasure;
+
+fn support_measures(c: &mut Criterion) {
+    let host = bench_graph(2000);
+    // A small, fairly frequent pattern: a 2-path over two common labels.
+    let pattern = LabeledGraph::from_parts(&[Label(0), Label(1), Label(0)], &[(0, 1), (1, 2)]);
+    let embeddings = iso::find_embeddings(&pattern, &host, 5_000);
+    let mut group = c.benchmark_group("support_measures");
+    for (name, measure) in [
+        ("embedding_count", SupportMeasure::EmbeddingCount),
+        ("minimum_image", SupportMeasure::MinimumImage),
+        ("greedy_disjoint", SupportMeasure::GreedyDisjoint),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| measure.compute(pattern.vertex_count(), &embeddings))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, support_measures);
+criterion_main!(benches);

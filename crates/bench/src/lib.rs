@@ -1,0 +1,66 @@
+//! Shared fixtures for the Criterion benchmarks.
+//!
+//! The benches live in `benches/` and cover the hot kernels (spider mining,
+//! SpiderGrow, spider-set hashing vs VF2, subgraph isomorphism, generators)
+//! plus reduced-scale versions of the per-figure workloads so that
+//! `cargo bench` exercises the same code paths as the experiment binaries.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use spidermine_graph::generate;
+use spidermine_graph::graph::LabeledGraph;
+
+/// Deterministic seed shared by all benches.
+pub const BENCH_SEED: u64 = 0xbe_5eed;
+
+/// A mid-sized Erdős–Rényi benchmark graph with one planted pattern.
+pub fn bench_graph(vertices: usize) -> LabeledGraph {
+    let mut rng = ChaCha8Rng::seed_from_u64(BENCH_SEED);
+    let mut g = generate::erdos_renyi_average_degree(&mut rng, vertices, 3.0, 50);
+    let pattern = generate::random_connected_pattern(&mut rng, 12, 50, 4);
+    generate::inject_pattern(&mut rng, &mut g, &pattern, 2, 2);
+    g
+}
+
+/// A pair of mid-sized patterns for isomorphism benchmarks (isomorphic twins).
+pub fn bench_pattern_pair(vertices: usize) -> (LabeledGraph, LabeledGraph) {
+    let mut rng = ChaCha8Rng::seed_from_u64(BENCH_SEED + 1);
+    let p = generate::random_connected_pattern(&mut rng, vertices, 8, vertices / 2);
+    // Build a relabeled copy (same structure, permuted vertex ids).
+    let perm: Vec<u32> = {
+        let mut ids: Vec<u32> = (0..vertices as u32).collect();
+        ids.rotate_left(vertices / 3);
+        ids
+    };
+    let mut q = LabeledGraph::with_capacity(vertices);
+    for i in 0..vertices as u32 {
+        let original = perm[i as usize];
+        q.add_vertex(p.label(spidermine_graph::VertexId(original)));
+    }
+    for (u, v) in p.edges() {
+        let nu = perm.iter().position(|&x| x == u.0).expect("in perm") as u32;
+        let nv = perm.iter().position(|&x| x == v.0).expect("in perm") as u32;
+        q.add_edge(spidermine_graph::VertexId(nu), spidermine_graph::VertexId(nv));
+    }
+    (p, q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spidermine_graph::iso;
+
+    #[test]
+    fn bench_graph_is_reproducible() {
+        let a = bench_graph(500);
+        let b = bench_graph(500);
+        assert_eq!(a.edge_count(), b.edge_count());
+        assert!(a.vertex_count() >= 500);
+    }
+
+    #[test]
+    fn bench_pattern_pair_is_isomorphic() {
+        let (p, q) = bench_pattern_pair(9);
+        assert!(iso::are_isomorphic(&p, &q));
+    }
+}

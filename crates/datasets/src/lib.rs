@@ -1,0 +1,20 @@
+//! Dataset builders reproducing the SpiderMine paper's evaluation inputs.
+//!
+//! * [`synthetic`] — the Erdős–Rényi datasets with injected large/small
+//!   patterns of Table 1 (GID 1–5) and Table 3 (GID 6–10), plus the
+//!   scalability series of Figures 9–13 and the scale-free series of
+//!   Figures 13/17.
+//! * [`transactions`] — the graph-transaction databases of Figures 14–15.
+//! * [`dblp`] — a synthetic twin of the paper's DBLP co-authorship graph
+//!   (Figure 20; see DESIGN.md for the substitution note).
+//! * [`jeti`] — a synthetic twin of the Jeti call graph (Figure 21).
+//!
+//! Every builder takes an RNG seed and is fully deterministic, so experiment
+//! runs are reproducible.
+
+pub mod dblp;
+pub mod jeti;
+pub mod synthetic;
+pub mod transactions;
+
+pub use synthetic::{GidConfig, SyntheticDataset};

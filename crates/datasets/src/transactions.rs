@@ -1,0 +1,194 @@
+//! Graph-transaction databases for the ORIGAMI comparison (Figures 14–15).
+//!
+//! The paper builds the database from 10 Erdős–Rényi graphs with 500 vertices
+//! and average degree 5 over 65 labels, injects five distinctive 30-vertex
+//! patterns (Figure 14), and for Figure 15 additionally injects 100 small
+//! 5-vertex patterns to show ORIGAMI's drift toward small maximal patterns.
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use spidermine_graph::generate;
+use spidermine_graph::graph::LabeledGraph;
+use spidermine_graph::transaction::GraphDatabase;
+
+use crate::synthetic::bounded_diameter_pattern;
+
+/// Parameters of the transaction-setting benchmark.
+#[derive(Clone, Debug)]
+pub struct TransactionConfig {
+    /// Number of transactions (paper: 10).
+    pub transactions: usize,
+    /// Vertices per transaction (paper: 500).
+    pub vertices_per_transaction: usize,
+    /// Average degree (paper: 5).
+    pub average_degree: f64,
+    /// Number of labels (paper: 65).
+    pub labels: u32,
+    /// Number of distinct large patterns injected (paper: 5).
+    pub large_patterns: usize,
+    /// Vertices per large pattern (paper: 30).
+    pub large_pattern_vertices: usize,
+    /// Transactions each large pattern is injected into.
+    pub large_pattern_transactions: usize,
+    /// Number of distinct small patterns injected (0 for Figure 14,
+    /// 100 for Figure 15).
+    pub small_patterns: usize,
+    /// Vertices per small pattern (paper: 5).
+    pub small_pattern_vertices: usize,
+    /// Transactions each small pattern is injected into.
+    pub small_pattern_transactions: usize,
+}
+
+impl TransactionConfig {
+    /// The Figure 14 configuration ("fewer small patterns"), optionally scaled.
+    pub fn figure14(scale: f64) -> Self {
+        assert!(scale > 0.0 && scale <= 1.0);
+        Self {
+            transactions: 10,
+            vertices_per_transaction: ((500.0 * scale) as usize).max(60),
+            average_degree: 5.0,
+            labels: ((65.0 * scale) as u32).max(20),
+            large_patterns: 5,
+            large_pattern_vertices: 30,
+            large_pattern_transactions: 6,
+            small_patterns: 0,
+            small_pattern_vertices: 5,
+            small_pattern_transactions: 6,
+        }
+    }
+
+    /// The Figure 15 configuration ("more small patterns"), optionally scaled.
+    pub fn figure15(scale: f64) -> Self {
+        Self {
+            small_patterns: ((100.0 * scale) as usize).max(20),
+            ..Self::figure14(scale)
+        }
+    }
+}
+
+/// A generated transaction database plus its ground truth.
+#[derive(Clone, Debug)]
+pub struct TransactionDataset {
+    /// The configuration used.
+    pub config: TransactionConfig,
+    /// The database.
+    pub database: GraphDatabase,
+    /// The injected large patterns.
+    pub large_patterns: Vec<LabeledGraph>,
+    /// The injected small patterns.
+    pub small_patterns: Vec<LabeledGraph>,
+}
+
+impl TransactionDataset {
+    /// Builds the dataset deterministically from `seed`.
+    pub fn build(config: TransactionConfig, seed: u64) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut graphs: Vec<LabeledGraph> = (0..config.transactions)
+            .map(|_| {
+                generate::erdos_renyi_average_degree(
+                    &mut rng,
+                    config.vertices_per_transaction,
+                    config.average_degree,
+                    config.labels,
+                )
+            })
+            .collect();
+        let transaction_ids: Vec<usize> = (0..config.transactions).collect();
+
+        let mut large_patterns = Vec::new();
+        for _ in 0..config.large_patterns {
+            let pattern =
+                bounded_diameter_pattern(&mut rng, config.large_pattern_vertices, config.labels, 6);
+            let mut targets = transaction_ids.clone();
+            targets.shuffle(&mut rng);
+            for &t in targets.iter().take(config.large_pattern_transactions) {
+                generate::inject_pattern(&mut rng, &mut graphs[t], &pattern, 1, 2);
+            }
+            large_patterns.push(pattern);
+        }
+        let mut small_patterns = Vec::new();
+        for _ in 0..config.small_patterns {
+            let pattern = generate::random_connected_pattern(
+                &mut rng,
+                config.small_pattern_vertices,
+                config.labels,
+                1,
+            );
+            let mut targets = transaction_ids.clone();
+            targets.shuffle(&mut rng);
+            for &t in targets.iter().take(config.small_pattern_transactions) {
+                generate::inject_pattern(&mut rng, &mut graphs[t], &pattern, 1, 1);
+            }
+            small_patterns.push(pattern);
+        }
+        Self {
+            config,
+            database: GraphDatabase::new(graphs),
+            large_patterns,
+            small_patterns,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> TransactionConfig {
+        TransactionConfig {
+            transactions: 4,
+            vertices_per_transaction: 60,
+            average_degree: 3.0,
+            labels: 25,
+            large_patterns: 2,
+            large_pattern_vertices: 10,
+            large_pattern_transactions: 3,
+            small_patterns: 3,
+            small_pattern_vertices: 4,
+            small_pattern_transactions: 3,
+        }
+    }
+
+    #[test]
+    fn figure_configs_match_the_paper_at_full_scale() {
+        let f14 = TransactionConfig::figure14(1.0);
+        assert_eq!(f14.transactions, 10);
+        assert_eq!(f14.vertices_per_transaction, 500);
+        assert_eq!(f14.labels, 65);
+        assert_eq!(f14.large_patterns, 5);
+        assert_eq!(f14.small_patterns, 0);
+        let f15 = TransactionConfig::figure15(1.0);
+        assert_eq!(f15.small_patterns, 100);
+        assert_eq!(f15.small_pattern_vertices, 5);
+    }
+
+    #[test]
+    fn build_produces_the_right_number_of_transactions() {
+        let ds = TransactionDataset::build(small_config(), 5);
+        assert_eq!(ds.database.len(), 4);
+        assert_eq!(ds.large_patterns.len(), 2);
+        assert_eq!(ds.small_patterns.len(), 3);
+    }
+
+    #[test]
+    fn injected_large_patterns_reach_their_transaction_support() {
+        let config = small_config();
+        let ds = TransactionDataset::build(config.clone(), 11);
+        for p in &ds.large_patterns {
+            let support = ds.database.support(p);
+            assert!(
+                support >= config.large_pattern_transactions,
+                "transaction support {support} below the {} injections",
+                config.large_pattern_transactions
+            );
+        }
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let a = TransactionDataset::build(small_config(), 3);
+        let b = TransactionDataset::build(small_config(), 3);
+        assert_eq!(a.database.total_edges(), b.database.total_edges());
+    }
+}

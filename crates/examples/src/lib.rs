@@ -1,0 +1,43 @@
+//! Helper crate hosting the runnable examples in the repository-level
+//! `examples/` directory (quickstart, co-authorship communities, software
+//! backbone discovery, transaction-setting top-K). Run them with, e.g.,
+//! `cargo run -p spidermine-examples --example quickstart --release`.
+//!
+//! The helpers here keep the example sources focused on the API being shown.
+
+use spidermine::MiningResult;
+
+/// Pretty-prints a mining result the way the examples report it.
+pub fn describe_result(title: &str, result: &MiningResult) {
+    println!("{title}");
+    println!(
+        "  spiders mined: {}, seeds drawn: {}, merges: {}, total time: {:.3}s",
+        result.stats.spider_count,
+        result.stats.seed_count,
+        result.stats.merges,
+        result.stats.total_time.as_secs_f64()
+    );
+    if result.patterns.is_empty() {
+        println!("  (no frequent patterns found)");
+        return;
+    }
+    for (rank, p) in result.patterns.iter().enumerate() {
+        println!(
+            "  #{rank:<3} |V|={:<4} |E|={:<4} support={:<4} diameter={}",
+            p.size_vertices(),
+            p.size_edges(),
+            p.support,
+            p.diameter
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn describe_result_handles_empty_results() {
+        describe_result("empty", &MiningResult::default());
+    }
+}

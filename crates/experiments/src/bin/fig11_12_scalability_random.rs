@@ -1,0 +1,42 @@
+//! Figures 11 and 12: SpiderMine's own scalability on random graphs — runtime
+//! (Figure 11) and the size of the largest pattern discovered (Figure 12) as
+//! the input graph grows. The paper sweeps |V| up to 40 000; the default sweep
+//! here is smaller, `--full` runs the paper's sizes.
+
+use spidermine::{SpiderMineConfig, SpiderMiner};
+use spidermine_datasets::synthetic::scalability_graph;
+use spidermine_experiments::EXPERIMENT_SEED;
+
+fn main() {
+    let sizes: Vec<usize> = if spidermine_experiments::is_full_run() {
+        vec![1_000, 5_000, 10_000, 15_000, 20_000, 25_000, 30_000, 35_000, 40_000]
+    } else {
+        vec![1_000, 2_500, 5_000, 7_500, 10_000]
+    };
+    println!("Figures 11-12: SpiderMine runtime and largest pattern vs graph size");
+    println!("(ER background, d=3, f=100, sigma=2, K=10, Dmax=10, one planted pattern growing with |V|)");
+    println!(
+        "{:<10} {:>14} {:>20} {:>20}",
+        "|V|", "runtime", "largest |V| found", "planted |V|"
+    );
+    for &n in &sizes {
+        let (graph, planted) = scalability_graph(n, EXPERIMENT_SEED + n as u64);
+        let start = std::time::Instant::now();
+        let result = SpiderMiner::new(SpiderMineConfig {
+            support_threshold: 2,
+            k: 10,
+            d_max: 10,
+            rng_seed: EXPERIMENT_SEED,
+            ..SpiderMineConfig::default()
+        })
+        .mine(&graph);
+        let elapsed = start.elapsed();
+        println!(
+            "{:<10} {:>13.3}s {:>20} {:>20}",
+            n,
+            elapsed.as_secs_f64(),
+            result.largest_vertices(),
+            planted.vertex_count()
+        );
+    }
+}

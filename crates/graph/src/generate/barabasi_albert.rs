@@ -1,0 +1,113 @@
+//! Barabási–Albert preferential-attachment (scale-free) graphs.
+//!
+//! Used for the scale-free experiments (Figures 13 and 17): high-degree hub
+//! vertices produce an explosion of small frequent patterns, which is exactly
+//! the regime where the paper shows the spider count growing sharply.
+
+use crate::graph::{LabeledGraph, VertexId};
+use crate::label::Label;
+use rand::Rng;
+
+/// Generates a Barabási–Albert graph: starts from a small clique of
+/// `m_attach` vertices, then each new vertex attaches to `m_attach` existing
+/// vertices chosen with probability proportional to their degree. Labels are
+/// uniform over `0..label_count`.
+pub fn barabasi_albert<R: Rng>(
+    rng: &mut R,
+    n: usize,
+    m_attach: usize,
+    label_count: u32,
+) -> LabeledGraph {
+    assert!(label_count > 0, "need at least one label");
+    assert!(m_attach >= 1, "each new vertex must attach at least once");
+    let mut g = LabeledGraph::with_capacity(n);
+    if n == 0 {
+        return g;
+    }
+    let seed_size = (m_attach + 1).min(n);
+    for _ in 0..seed_size {
+        g.add_vertex(Label(rng.gen_range(0..label_count)));
+    }
+    // Seed clique so every seed vertex has nonzero degree.
+    for u in 0..seed_size as u32 {
+        for v in (u + 1)..seed_size as u32 {
+            g.add_edge(VertexId(u), VertexId(v));
+        }
+    }
+    // repeated-endpoint list: vertex v appears deg(v) times; sampling uniformly
+    // from it implements preferential attachment.
+    let mut endpoints: Vec<VertexId> = Vec::with_capacity(2 * n * m_attach);
+    for (u, v) in g.edges() {
+        endpoints.push(u);
+        endpoints.push(v);
+    }
+    for _ in seed_size..n {
+        let new_v = g.add_vertex(Label(rng.gen_range(0..label_count)));
+        let mut targets: Vec<VertexId> = Vec::with_capacity(m_attach);
+        let mut guard = 0;
+        while targets.len() < m_attach && guard < 50 * m_attach {
+            guard += 1;
+            let t = endpoints[rng.gen_range(0..endpoints.len())];
+            if t != new_v && !targets.contains(&t) {
+                targets.push(t);
+            }
+        }
+        for t in targets {
+            if g.add_edge(new_v, t) {
+                endpoints.push(new_v);
+                endpoints.push(t);
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn edge_count_matches_model() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let n = 500;
+        let m = 2;
+        let g = barabasi_albert(&mut rng, n, m, 20);
+        assert_eq!(g.vertex_count(), n);
+        // seed clique of m+1=3 vertices has 3 edges, then (n-3) * m new edges
+        // (a few may be dropped by the guard, allow slack).
+        let expected = 3 + (n - 3) * m;
+        assert!(g.edge_count() <= expected);
+        assert!(g.edge_count() as f64 > expected as f64 * 0.95);
+    }
+
+    #[test]
+    fn produces_skewed_degree_distribution() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let g = barabasi_albert(&mut rng, 2000, 2, 100);
+        let max = g.max_degree() as f64;
+        let avg = g.average_degree();
+        assert!(
+            max > 5.0 * avg,
+            "scale-free graph should have hubs: max {max}, avg {avg}"
+        );
+    }
+
+    #[test]
+    fn graph_is_connected() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let g = barabasi_albert(&mut rng, 300, 3, 10);
+        assert!(crate::traversal::is_connected(&g));
+    }
+
+    #[test]
+    fn small_n_edge_cases() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let g = barabasi_albert(&mut rng, 0, 2, 5);
+        assert_eq!(g.vertex_count(), 0);
+        let g = barabasi_albert(&mut rng, 2, 3, 5);
+        assert_eq!(g.vertex_count(), 2);
+        assert_eq!(g.edge_count(), 1);
+    }
+}

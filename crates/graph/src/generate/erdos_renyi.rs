@@ -1,0 +1,146 @@
+//! Erdős–Rényi random graphs with uniformly random vertex labels.
+
+use crate::graph::{LabeledGraph, VertexId};
+use crate::label::Label;
+use rand::Rng;
+
+/// Generates a `G(n, p)` Erdős–Rényi graph with `n` vertices, independent edge
+/// probability `p`, and labels drawn uniformly from `0..label_count`.
+///
+/// For the sparse regime used throughout the paper (`p = d/n` with small `d`)
+/// the generator samples edges by geometric skipping, so the cost is
+/// proportional to the number of edges rather than `n²`.
+pub fn erdos_renyi_gnp<R: Rng>(
+    rng: &mut R,
+    n: usize,
+    p: f64,
+    label_count: u32,
+) -> LabeledGraph {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    assert!(label_count > 0, "need at least one label");
+    let mut g = LabeledGraph::with_capacity(n);
+    for _ in 0..n {
+        g.add_vertex(Label(rng.gen_range(0..label_count)));
+    }
+    if n < 2 || p == 0.0 {
+        return g;
+    }
+    if p >= 1.0 {
+        for u in 0..n as u32 {
+            for v in (u + 1)..n as u32 {
+                g.add_edge(VertexId(u), VertexId(v));
+            }
+        }
+        return g;
+    }
+    // Geometric skipping over the n*(n-1)/2 candidate pairs.
+    let log_q = (1.0 - p).ln();
+    let total_pairs = n as u64 * (n as u64 - 1) / 2;
+    let mut idx: u64 = 0;
+    loop {
+        let r: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let skip = (r.ln() / log_q).floor() as u64;
+        idx = idx.saturating_add(skip);
+        if idx >= total_pairs {
+            break;
+        }
+        let (u, v) = pair_from_index(idx, n as u64);
+        g.add_edge(VertexId(u as u32), VertexId(v as u32));
+        idx += 1;
+    }
+    g
+}
+
+/// Generates an Erdős–Rényi graph with a target *average degree* `d`
+/// (the parameterization used by Table 1: `|V|`, `f` labels, average degree `d`).
+pub fn erdos_renyi_average_degree<R: Rng>(
+    rng: &mut R,
+    n: usize,
+    average_degree: f64,
+    label_count: u32,
+) -> LabeledGraph {
+    assert!(average_degree >= 0.0);
+    if n < 2 {
+        return erdos_renyi_gnp(rng, n, 0.0, label_count);
+    }
+    let p = (average_degree / (n as f64 - 1.0)).min(1.0);
+    erdos_renyi_gnp(rng, n, p, label_count)
+}
+
+/// Maps a linear index over the upper-triangular pair space to a `(u, v)` pair
+/// with `u < v`.
+fn pair_from_index(idx: u64, n: u64) -> (u64, u64) {
+    // Row u contains (n - 1 - u) pairs. Walk rows; n is small enough (< 10^6)
+    // that the loop is negligible next to edge insertion.
+    let mut u = 0;
+    let mut remaining = idx;
+    loop {
+        let row = n - 1 - u;
+        if remaining < row {
+            return (u, u + 1 + remaining);
+        }
+        remaining -= row;
+        u += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn pair_index_covers_all_pairs() {
+        let n = 6u64;
+        let mut seen = std::collections::HashSet::new();
+        for idx in 0..(n * (n - 1) / 2) {
+            let (u, v) = pair_from_index(idx, n);
+            assert!(u < v && v < n);
+            assert!(seen.insert((u, v)));
+        }
+        assert_eq!(seen.len() as u64, n * (n - 1) / 2);
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let empty = erdos_renyi_gnp(&mut rng, 50, 0.0, 3);
+        assert_eq!(empty.edge_count(), 0);
+        let full = erdos_renyi_gnp(&mut rng, 10, 1.0, 3);
+        assert_eq!(full.edge_count(), 45);
+    }
+
+    #[test]
+    fn gnp_edge_count_close_to_expectation() {
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let n = 2000;
+        let p = 0.002;
+        let g = erdos_renyi_gnp(&mut rng, n, p, 10);
+        let expected = p * (n * (n - 1) / 2) as f64;
+        let got = g.edge_count() as f64;
+        assert!(
+            (got - expected).abs() < expected * 0.2,
+            "expected ≈{expected}, got {got}"
+        );
+    }
+
+    #[test]
+    fn average_degree_parameterization() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let g = erdos_renyi_average_degree(&mut rng, 3000, 4.0, 70);
+        let avg = g.average_degree();
+        assert!((avg - 4.0).abs() < 0.5, "average degree {avg} too far from 4");
+    }
+
+    #[test]
+    fn labels_within_range_and_deterministic() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let g1 = erdos_renyi_gnp(&mut rng, 100, 0.05, 5);
+        assert!(g1.labels().iter().all(|l| l.0 < 5));
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let g2 = erdos_renyi_gnp(&mut rng, 100, 0.05, 5);
+        assert_eq!(g1.edge_count(), g2.edge_count());
+        assert_eq!(g1.labels(), g2.labels());
+    }
+}

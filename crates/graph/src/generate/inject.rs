@@ -1,0 +1,186 @@
+//! Pattern construction and pattern injection.
+//!
+//! The synthetic evaluation (Tables 1–3) builds each dataset by generating a
+//! background graph and *injecting* `m` copies ("embeddings") of each
+//! hand-made large pattern and `n` copies of each small pattern into it. An
+//! injected copy adds fresh vertices carrying the pattern's labels and edges,
+//! then stitches the copy to the background with a couple of random bridge
+//! edges so the pattern sits inside the network rather than floating beside it
+//! (the paper notes that such interconnections are what turn 4 injected
+//! 30-vertex patterns into 10 largest patterns of size 30 in Figures 4–8).
+
+use crate::graph::{LabeledGraph, VertexId};
+use crate::label::Label;
+use rand::Rng;
+
+/// What an injection did, so tests and experiments can verify the ground truth.
+#[derive(Clone, Debug)]
+pub struct InjectionReport {
+    /// For every injected copy, the background-graph vertex ids it received.
+    pub copies: Vec<Vec<VertexId>>,
+    /// Bridge edges added between injected copies and the pre-existing graph.
+    pub bridge_edges: Vec<(VertexId, VertexId)>,
+}
+
+/// Draws `count` labels uniformly from `0..label_count`.
+pub fn random_labels<R: Rng>(rng: &mut R, count: usize, label_count: u32) -> Vec<Label> {
+    (0..count).map(|_| Label(rng.gen_range(0..label_count))).collect()
+}
+
+/// Builds a random *connected* pattern with `vertices` vertices, labels drawn
+/// from `0..label_count`, and roughly `extra_edges` additional edges beyond the
+/// spanning tree (so `|E| ≈ vertices - 1 + extra_edges`).
+///
+/// The construction first wires a random spanning tree (guaranteeing
+/// connectivity), then adds random non-tree edges.
+pub fn random_connected_pattern<R: Rng>(
+    rng: &mut R,
+    vertices: usize,
+    label_count: u32,
+    extra_edges: usize,
+) -> LabeledGraph {
+    assert!(vertices >= 1);
+    let mut g = LabeledGraph::with_capacity(vertices);
+    for _ in 0..vertices {
+        g.add_vertex(Label(rng.gen_range(0..label_count)));
+    }
+    // Random spanning tree: attach vertex i to a uniformly random earlier vertex.
+    for i in 1..vertices as u32 {
+        let j = rng.gen_range(0..i);
+        g.add_edge(VertexId(i), VertexId(j));
+    }
+    let mut added = 0;
+    let mut guard = 0;
+    while added < extra_edges && guard < 50 * (extra_edges + 1) {
+        guard += 1;
+        let u = VertexId(rng.gen_range(0..vertices as u32));
+        let v = VertexId(rng.gen_range(0..vertices as u32));
+        if u != v && g.add_edge(u, v) {
+            added += 1;
+        }
+    }
+    g
+}
+
+/// Injects `copies` embeddings of `pattern` into `background`.
+///
+/// Each copy adds fresh vertices (one per pattern vertex, same labels) and all
+/// pattern edges, then adds `bridges_per_copy` random edges from the copy to
+/// pre-existing background vertices so the copy is attached to the network.
+/// Bridge endpoints inside the copy are chosen uniformly; because the bridges
+/// are random they do not (except with negligible probability) create extra
+/// embeddings of the pattern.
+pub fn inject_pattern<R: Rng>(
+    rng: &mut R,
+    background: &mut LabeledGraph,
+    pattern: &LabeledGraph,
+    copies: usize,
+    bridges_per_copy: usize,
+) -> InjectionReport {
+    let original_n = background.vertex_count() as u32;
+    let mut report = InjectionReport {
+        copies: Vec::with_capacity(copies),
+        bridge_edges: Vec::new(),
+    };
+    for _ in 0..copies {
+        let offset = background.vertex_count() as u32;
+        let mut copy_vertices = Vec::with_capacity(pattern.vertex_count());
+        for v in pattern.vertices() {
+            let new_v = background.add_vertex(pattern.label(v));
+            copy_vertices.push(new_v);
+        }
+        for (u, v) in pattern.edges() {
+            background.add_edge(VertexId(offset + u.0), VertexId(offset + v.0));
+        }
+        if original_n > 0 {
+            for _ in 0..bridges_per_copy {
+                let inside = copy_vertices[rng.gen_range(0..copy_vertices.len())];
+                let outside = VertexId(rng.gen_range(0..original_n));
+                if background.add_edge(inside, outside) {
+                    report.bridge_edges.push((inside, outside));
+                }
+            }
+        }
+        report.copies.push(copy_vertices);
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::iso;
+    use crate::traversal;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn random_pattern_is_connected_with_requested_size() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        for vertices in [1usize, 2, 5, 30] {
+            let p = random_connected_pattern(&mut rng, vertices, 10, 4);
+            assert_eq!(p.vertex_count(), vertices);
+            assert!(traversal::is_connected(&p));
+            if vertices > 1 {
+                assert!(p.edge_count() >= vertices - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn extra_edges_respected_approximately() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let p = random_connected_pattern(&mut rng, 20, 5, 10);
+        assert!(p.edge_count() >= 19);
+        assert!(p.edge_count() <= 29);
+    }
+
+    #[test]
+    fn injection_adds_expected_vertices_and_edges() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let mut background =
+            crate::generate::erdos_renyi_average_degree(&mut rng, 100, 2.0, 8);
+        let before_v = background.vertex_count();
+        let before_e = background.edge_count();
+        let pattern = random_connected_pattern(&mut rng, 6, 8, 2);
+        let report = inject_pattern(&mut rng, &mut background, &pattern, 3, 2);
+        assert_eq!(background.vertex_count(), before_v + 3 * 6);
+        assert!(background.edge_count() >= before_e + 3 * pattern.edge_count());
+        assert_eq!(report.copies.len(), 3);
+        assert!(report.bridge_edges.len() <= 6);
+    }
+
+    #[test]
+    fn injected_copies_are_embeddings_of_the_pattern() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mut background =
+            crate::generate::erdos_renyi_average_degree(&mut rng, 60, 2.0, 50);
+        // Use many labels so accidental embeddings are unlikely.
+        let pattern = random_connected_pattern(&mut rng, 8, 50, 3);
+        inject_pattern(&mut rng, &mut background, &pattern, 2, 2);
+        let embeddings = iso::find_embeddings(&pattern, &background, 10);
+        assert!(
+            embeddings.len() >= 2,
+            "expected at least the 2 injected embeddings, found {}",
+            embeddings.len()
+        );
+    }
+
+    #[test]
+    fn injection_into_empty_background_adds_no_bridges() {
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let mut background = LabeledGraph::new();
+        let pattern = random_connected_pattern(&mut rng, 4, 3, 0);
+        let report = inject_pattern(&mut rng, &mut background, &pattern, 2, 3);
+        assert!(report.bridge_edges.is_empty());
+        assert_eq!(background.vertex_count(), 8);
+    }
+
+    #[test]
+    fn random_labels_in_range() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let labels = random_labels(&mut rng, 100, 4);
+        assert_eq!(labels.len(), 100);
+        assert!(labels.iter().all(|l| l.0 < 4));
+    }
+}

@@ -1,0 +1,19 @@
+//! Synthetic graph generation.
+//!
+//! The paper's synthetic evaluation is built from two random-graph models —
+//! Erdős–Rényi (`G(n, p)`-style random networks, Section 5.1.1) and
+//! Barabási–Albert (scale-free networks) — into which a set of *large* and
+//! *small* hand-made patterns is injected with a controlled number of
+//! embeddings each (Tables 1 and 3). This module provides those three pieces:
+//!
+//! * [`erdos_renyi`] — background random graphs with a target average degree.
+//! * [`barabasi_albert`] — preferential-attachment scale-free graphs.
+//! * [`inject`] — random connected pattern construction and pattern injection.
+
+pub mod barabasi_albert;
+pub mod erdos_renyi;
+pub mod inject;
+
+pub use barabasi_albert::barabasi_albert;
+pub use erdos_renyi::{erdos_renyi_average_degree, erdos_renyi_gnp};
+pub use inject::{inject_pattern, random_connected_pattern, random_labels, InjectionReport};

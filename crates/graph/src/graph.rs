@@ -1,0 +1,294 @@
+//! The core undirected, simple, vertex-labeled graph.
+
+use crate::label::Label;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of a vertex inside a [`LabeledGraph`].
+///
+/// Vertex ids are dense: a graph with `n` vertices uses ids `0..n`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct VertexId(pub u32);
+
+impl VertexId {
+    /// Returns the id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u32> for VertexId {
+    fn from(v: u32) -> Self {
+        VertexId(v)
+    }
+}
+
+/// An undirected, simple, vertex-labeled graph.
+///
+/// This is both the "single massive network" mined by SpiderMine and the
+/// representation of patterns (small frequent subgraphs). Adjacency lists are
+/// kept sorted so that `has_edge` is a binary search and neighbor iteration is
+/// deterministic — determinism matters because the miners seed their RNGs and
+/// the experiment harness must be reproducible.
+#[derive(Clone, Default, Serialize, Deserialize)]
+pub struct LabeledGraph {
+    labels: Vec<Label>,
+    adjacency: Vec<Vec<VertexId>>,
+    edge_count: usize,
+}
+
+impl LabeledGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty graph with room for `n` vertices.
+    pub fn with_capacity(n: usize) -> Self {
+        Self {
+            labels: Vec::with_capacity(n),
+            adjacency: Vec::with_capacity(n),
+            edge_count: 0,
+        }
+    }
+
+    /// Adds a vertex with the given label and returns its id.
+    pub fn add_vertex(&mut self, label: Label) -> VertexId {
+        let id = VertexId(self.labels.len() as u32);
+        self.labels.push(label);
+        self.adjacency.push(Vec::new());
+        id
+    }
+
+    /// Adds an undirected edge between `u` and `v`.
+    ///
+    /// Returns `true` if the edge was inserted, `false` if it already existed
+    /// or is a self-loop (self-loops are not allowed in this model).
+    ///
+    /// # Panics
+    /// Panics if either endpoint is not a vertex of the graph.
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId) -> bool {
+        assert!(u.index() < self.labels.len(), "vertex {u:?} out of bounds");
+        assert!(v.index() < self.labels.len(), "vertex {v:?} out of bounds");
+        if u == v {
+            return false;
+        }
+        let pos = match self.adjacency[u.index()].binary_search(&v) {
+            Ok(_) => return false,
+            Err(pos) => pos,
+        };
+        self.adjacency[u.index()].insert(pos, v);
+        let pos = self.adjacency[v.index()]
+            .binary_search(&u)
+            .expect_err("adjacency lists out of sync");
+        self.adjacency[v.index()].insert(pos, u);
+        self.edge_count += 1;
+        true
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn vertex_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// The paper defines the *size* of a pattern as its number of edges.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Label of vertex `v`.
+    #[inline]
+    pub fn label(&self, v: VertexId) -> Label {
+        self.labels[v.index()]
+    }
+
+    /// Sorted neighbors of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        &self.adjacency[v.index()]
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.adjacency[v.index()].len()
+    }
+
+    /// Whether the undirected edge `(u, v)` exists.
+    #[inline]
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        self.adjacency[u.index()].binary_search(&v).is_ok()
+    }
+
+    /// Iterates over all vertex ids.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        (0..self.labels.len() as u32).map(VertexId)
+    }
+
+    /// Iterates over all undirected edges as `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        self.vertices().flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
+        })
+    }
+
+    /// All vertex labels, indexed by vertex id.
+    pub fn labels(&self) -> &[Label] {
+        &self.labels
+    }
+
+    /// True if the graph has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Average degree `2|E| / |V|` (0.0 for the empty graph).
+    pub fn average_degree(&self) -> f64 {
+        if self.labels.is_empty() {
+            0.0
+        } else {
+            2.0 * self.edge_count as f64 / self.labels.len() as f64
+        }
+    }
+
+    /// Maximum degree over all vertices (0 for the empty graph).
+    pub fn max_degree(&self) -> usize {
+        self.adjacency.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Number of distinct labels used in the graph.
+    pub fn distinct_label_count(&self) -> usize {
+        let mut labels: Vec<u32> = self.labels.iter().map(|l| l.0).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        labels.len()
+    }
+
+    /// Builds a graph directly from a label slice and an edge list.
+    ///
+    /// Convenience constructor used pervasively in tests and generators.
+    pub fn from_parts(labels: &[Label], edges: &[(u32, u32)]) -> Self {
+        let mut g = Self::with_capacity(labels.len());
+        for &l in labels {
+            g.add_vertex(l);
+        }
+        for &(u, v) in edges {
+            g.add_edge(VertexId(u), VertexId(v));
+        }
+        g
+    }
+}
+
+impl fmt::Debug for LabeledGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "LabeledGraph(|V|={}, |E|={})",
+            self.vertex_count(),
+            self.edge_count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> LabeledGraph {
+        LabeledGraph::from_parts(&[Label(0), Label(1), Label(2)], &[(0, 1), (1, 2), (0, 2)])
+    }
+
+    #[test]
+    fn add_vertex_and_edge_basics() {
+        let mut g = LabeledGraph::new();
+        let a = g.add_vertex(Label(5));
+        let b = g.add_vertex(Label(6));
+        assert_eq!(g.vertex_count(), 2);
+        assert_eq!(g.edge_count(), 0);
+        assert!(g.add_edge(a, b));
+        assert!(!g.add_edge(a, b), "duplicate edge must be rejected");
+        assert!(!g.add_edge(b, a), "reverse duplicate must be rejected");
+        assert!(!g.add_edge(a, a), "self loop must be rejected");
+        assert_eq!(g.edge_count(), 1);
+        assert!(g.has_edge(a, b));
+        assert!(g.has_edge(b, a));
+        assert_eq!(g.label(a), Label(5));
+        assert_eq!(g.degree(a), 1);
+    }
+
+    #[test]
+    fn neighbors_are_sorted() {
+        let mut g = LabeledGraph::new();
+        let vs: Vec<_> = (0..5).map(|_| g.add_vertex(Label(0))).collect();
+        g.add_edge(vs[0], vs[3]);
+        g.add_edge(vs[0], vs[1]);
+        g.add_edge(vs[0], vs[4]);
+        g.add_edge(vs[0], vs[2]);
+        let n: Vec<u32> = g.neighbors(vs[0]).iter().map(|v| v.0).collect();
+        assert_eq!(n, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn edges_iterator_yields_each_edge_once() {
+        let g = triangle();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges.len(), 3);
+        for (u, v) in edges {
+            assert!(u < v);
+            assert!(g.has_edge(u, v));
+        }
+    }
+
+    #[test]
+    fn stats_helpers() {
+        let g = triangle();
+        assert_eq!(g.size(), 3);
+        assert!((g.average_degree() - 2.0).abs() < 1e-12);
+        assert_eq!(g.max_degree(), 2);
+        assert_eq!(g.distinct_label_count(), 3);
+        assert!(!g.is_empty());
+        assert_eq!(LabeledGraph::new().average_degree(), 0.0);
+        assert_eq!(LabeledGraph::new().max_degree(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn add_edge_panics_on_unknown_vertex() {
+        let mut g = LabeledGraph::new();
+        g.add_vertex(Label(0));
+        g.add_edge(VertexId(0), VertexId(7));
+    }
+
+    #[test]
+    fn from_parts_roundtrip() {
+        let g = LabeledGraph::from_parts(&[Label(1), Label(1)], &[(0, 1)]);
+        assert_eq!(g.vertex_count(), 2);
+        assert_eq!(g.edge_count(), 1);
+        assert!(g.has_edge(VertexId(0), VertexId(1)));
+    }
+}

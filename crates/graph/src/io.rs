@@ -1,0 +1,197 @@
+//! A small line-oriented text format for graphs and transaction databases.
+//!
+//! Format (one record per line):
+//!
+//! ```text
+//! # comment
+//! t <graph-index>          -- starts a new graph (only needed for databases)
+//! v <vertex-id> <label>    -- vertex ids must be dense and in order
+//! e <src> <dst>            -- undirected edge
+//! ```
+//!
+//! This mirrors the de-facto standard format used by gSpan-family tools, which
+//! makes it easy to feed externally generated data into the miners.
+
+use crate::graph::{LabeledGraph, VertexId};
+use crate::label::Label;
+use crate::transaction::GraphDatabase;
+use std::fmt::Write as _;
+
+/// Errors produced while parsing the text format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// A line did not match any known record type.
+    UnknownRecord(String),
+    /// A numeric field failed to parse.
+    BadNumber(String),
+    /// A vertex id was out of order or referenced before definition.
+    BadVertex(String),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::UnknownRecord(l) => write!(f, "unknown record: {l}"),
+            ParseError::BadNumber(l) => write!(f, "bad number in: {l}"),
+            ParseError::BadVertex(l) => write!(f, "bad vertex reference in: {l}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Serializes a single graph.
+pub fn write_graph(graph: &LabeledGraph) -> String {
+    let mut out = String::new();
+    for v in graph.vertices() {
+        writeln!(out, "v {} {}", v.0, graph.label(v).0).expect("write to string");
+    }
+    for (u, v) in graph.edges() {
+        writeln!(out, "e {} {}", u.0, v.0).expect("write to string");
+    }
+    out
+}
+
+/// Serializes a transaction database (multiple graphs).
+pub fn write_database(db: &GraphDatabase) -> String {
+    let mut out = String::new();
+    for (i, g) in db.graphs().iter().enumerate() {
+        writeln!(out, "t {i}").expect("write to string");
+        out.push_str(&write_graph(g));
+    }
+    out
+}
+
+/// Parses a single graph. `t` records are rejected here; use
+/// [`read_database`] for multi-graph input.
+pub fn read_graph(text: &str) -> Result<LabeledGraph, ParseError> {
+    let mut g = LabeledGraph::new();
+    for line in text.lines() {
+        parse_line(line, &mut g, false)?;
+    }
+    Ok(g)
+}
+
+/// Parses a transaction database.
+pub fn read_database(text: &str) -> Result<GraphDatabase, ParseError> {
+    let mut graphs: Vec<LabeledGraph> = Vec::new();
+    let mut current: Option<LabeledGraph> = None;
+    for line in text.lines() {
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        if trimmed.starts_with('t') {
+            if let Some(g) = current.take() {
+                graphs.push(g);
+            }
+            current = Some(LabeledGraph::new());
+            continue;
+        }
+        let g = current.get_or_insert_with(LabeledGraph::new);
+        parse_line(trimmed, g, true)?;
+    }
+    if let Some(g) = current.take() {
+        graphs.push(g);
+    }
+    Ok(GraphDatabase::new(graphs))
+}
+
+fn parse_line(line: &str, g: &mut LabeledGraph, _in_db: bool) -> Result<(), ParseError> {
+    let trimmed = line.trim();
+    if trimmed.is_empty() || trimmed.starts_with('#') {
+        return Ok(());
+    }
+    let mut parts = trimmed.split_whitespace();
+    match parts.next() {
+        Some("v") => {
+            let id: u32 = parse_num(parts.next(), trimmed)?;
+            let label: u32 = parse_num(parts.next(), trimmed)?;
+            if id as usize != g.vertex_count() {
+                return Err(ParseError::BadVertex(trimmed.to_owned()));
+            }
+            g.add_vertex(Label(label));
+            Ok(())
+        }
+        Some("e") => {
+            let u: u32 = parse_num(parts.next(), trimmed)?;
+            let v: u32 = parse_num(parts.next(), trimmed)?;
+            if u as usize >= g.vertex_count() || v as usize >= g.vertex_count() {
+                return Err(ParseError::BadVertex(trimmed.to_owned()));
+            }
+            g.add_edge(VertexId(u), VertexId(v));
+            Ok(())
+        }
+        _ => Err(ParseError::UnknownRecord(trimmed.to_owned())),
+    }
+}
+
+fn parse_num(field: Option<&str>, line: &str) -> Result<u32, ParseError> {
+    field
+        .ok_or_else(|| ParseError::BadNumber(line.to_owned()))?
+        .parse()
+        .map_err(|_| ParseError::BadNumber(line.to_owned()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn graph_roundtrip() {
+        let g = LabeledGraph::from_parts(&[Label(3), Label(4), Label(3)], &[(0, 1), (1, 2)]);
+        let text = write_graph(&g);
+        let back = read_graph(&text).expect("parse");
+        assert_eq!(back.vertex_count(), 3);
+        assert_eq!(back.edge_count(), 2);
+        assert_eq!(back.label(VertexId(0)), Label(3));
+        assert!(back.has_edge(VertexId(1), VertexId(2)));
+    }
+
+    #[test]
+    fn database_roundtrip() {
+        let g1 = LabeledGraph::from_parts(&[Label(0), Label(1)], &[(0, 1)]);
+        let g2 = LabeledGraph::from_parts(&[Label(2)], &[]);
+        let db = GraphDatabase::new(vec![g1, g2]);
+        let text = write_database(&db);
+        let back = read_database(&text).expect("parse");
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.graphs()[0].edge_count(), 1);
+        assert_eq!(back.graphs()[1].vertex_count(), 1);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "# hello\n\nv 0 7\nv 1 8\ne 0 1\n";
+        let g = read_graph(text).expect("parse");
+        assert_eq!(g.vertex_count(), 2);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn unknown_record_is_an_error() {
+        assert!(matches!(
+            read_graph("x 1 2"),
+            Err(ParseError::UnknownRecord(_))
+        ));
+    }
+
+    #[test]
+    fn out_of_order_vertex_is_an_error() {
+        assert!(matches!(read_graph("v 5 0"), Err(ParseError::BadVertex(_))));
+    }
+
+    #[test]
+    fn edge_to_unknown_vertex_is_an_error() {
+        assert!(matches!(
+            read_graph("v 0 1\ne 0 9"),
+            Err(ParseError::BadVertex(_))
+        ));
+    }
+
+    #[test]
+    fn bad_number_is_an_error() {
+        assert!(matches!(read_graph("v zero 1"), Err(ParseError::BadNumber(_))));
+        assert!(matches!(read_graph("v 0"), Err(ParseError::BadNumber(_))));
+    }
+}

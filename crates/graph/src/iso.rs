@@ -1,0 +1,303 @@
+//! Label-aware graph isomorphism and subgraph isomorphism (VF2-style).
+//!
+//! Two distinct questions are answered here:
+//!
+//! * [`are_isomorphic`] — are two *patterns* the same graph up to relabeling of
+//!   vertex ids (Definition 1)? Used to deduplicate patterns during growth.
+//! * [`find_embeddings`] / [`count_embeddings_at_least`] — where does a pattern
+//!   occur inside a (much larger) data graph? Each occurrence is an
+//!   *embedding*, the basis of single-graph support (Section 3).
+//!
+//! The matcher is a straightforward VF2-style backtracking search with label
+//! and degree pruning plus a connectivity-driven search order. It is the
+//! correctness oracle for the whole workspace: the cheaper signature /
+//! spider-set checks only ever *skip* calls to this module, never replace its
+//! verdicts.
+
+use crate::graph::{LabeledGraph, VertexId};
+use crate::signature;
+
+/// Upper bound on embeddings materialized by [`find_embeddings`] by default.
+pub const DEFAULT_EMBEDDING_CAP: usize = 100_000;
+
+/// Tests labeled-graph isomorphism between two patterns (Definition 1).
+pub fn are_isomorphic(a: &LabeledGraph, b: &LabeledGraph) -> bool {
+    if a.vertex_count() != b.vertex_count() || a.edge_count() != b.edge_count() {
+        return false;
+    }
+    if signature::invariant_signature(a) != signature::invariant_signature(b) {
+        return false;
+    }
+    // Isomorphism = induced subgraph isomorphism between equal-sized graphs.
+    !find_embeddings_impl(a, b, 1, true).is_empty()
+}
+
+/// Finds up to `limit` embeddings of `pattern` in `host`.
+///
+/// An embedding is returned as a vector `m` with `m[p]` = host vertex matched
+/// to pattern vertex `p`. Matching is *non-induced*: every pattern edge must be
+/// present in the host, extra host edges between matched vertices are allowed.
+/// Matched host vertices are pairwise distinct and labels must agree.
+pub fn find_embeddings(
+    pattern: &LabeledGraph,
+    host: &LabeledGraph,
+    limit: usize,
+) -> Vec<Vec<VertexId>> {
+    find_embeddings_impl(pattern, host, limit, false)
+}
+
+/// Finds up to `limit` *induced* embeddings (non-edges of the pattern must be
+/// non-edges of the host too). Graph isomorphism uses this mode.
+pub fn find_induced_embeddings(
+    pattern: &LabeledGraph,
+    host: &LabeledGraph,
+    limit: usize,
+) -> Vec<Vec<VertexId>> {
+    find_embeddings_impl(pattern, host, limit, true)
+}
+
+/// Returns `true` if `pattern` has at least `threshold` embeddings in `host`.
+/// Stops searching as soon as the threshold is reached.
+pub fn count_embeddings_at_least(
+    pattern: &LabeledGraph,
+    host: &LabeledGraph,
+    threshold: usize,
+) -> bool {
+    if threshold == 0 {
+        return true;
+    }
+    find_embeddings_impl(pattern, host, threshold, false).len() >= threshold
+}
+
+/// Returns `true` if `pattern` occurs at least once in `host`.
+pub fn is_subgraph_of(pattern: &LabeledGraph, host: &LabeledGraph) -> bool {
+    count_embeddings_at_least(pattern, host, 1)
+}
+
+/// Search order: start from the highest-degree pattern vertex, then repeatedly
+/// pick an unvisited vertex with the most already-ordered neighbors (ties by
+/// degree). Keeps the partial mapping connected, which makes pruning effective.
+fn matching_order(pattern: &LabeledGraph) -> Vec<VertexId> {
+    let n = pattern.vertex_count();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut order: Vec<VertexId> = Vec::with_capacity(n);
+    let mut placed = vec![false; n];
+    let first = pattern
+        .vertices()
+        .max_by_key(|&v| pattern.degree(v))
+        .expect("non-empty");
+    order.push(first);
+    placed[first.index()] = true;
+    while order.len() < n {
+        let next = pattern
+            .vertices()
+            .filter(|v| !placed[v.index()])
+            .max_by_key(|&v| {
+                let connected = pattern
+                    .neighbors(v)
+                    .iter()
+                    .filter(|u| placed[u.index()])
+                    .count();
+                (connected, pattern.degree(v))
+            })
+            .expect("some vertex unplaced");
+        order.push(next);
+        placed[next.index()] = true;
+    }
+    order
+}
+
+fn find_embeddings_impl(
+    pattern: &LabeledGraph,
+    host: &LabeledGraph,
+    limit: usize,
+    induced: bool,
+) -> Vec<Vec<VertexId>> {
+    let pn = pattern.vertex_count();
+    if pn == 0 || limit == 0 {
+        return Vec::new();
+    }
+    if pn > host.vertex_count() || pattern.edge_count() > host.edge_count() {
+        return Vec::new();
+    }
+    let order = matching_order(pattern);
+    let mut mapping: Vec<Option<VertexId>> = vec![None; pn];
+    let mut used = vec![false; host.vertex_count()];
+    let mut results = Vec::new();
+    backtrack(
+        pattern, host, &order, 0, &mut mapping, &mut used, &mut results, limit, induced,
+    );
+    results
+}
+
+#[allow(clippy::too_many_arguments)]
+fn backtrack(
+    pattern: &LabeledGraph,
+    host: &LabeledGraph,
+    order: &[VertexId],
+    depth: usize,
+    mapping: &mut Vec<Option<VertexId>>,
+    used: &mut Vec<bool>,
+    results: &mut Vec<Vec<VertexId>>,
+    limit: usize,
+    induced: bool,
+) {
+    if results.len() >= limit {
+        return;
+    }
+    if depth == order.len() {
+        results.push(mapping.iter().map(|m| m.expect("complete mapping")).collect());
+        return;
+    }
+    let p = order[depth];
+    // Candidate host vertices: if p has an already-mapped neighbor, only that
+    // neighbor's host image's neighborhood needs to be scanned; otherwise all
+    // host vertices with the right label.
+    let anchor = pattern
+        .neighbors(p)
+        .iter()
+        .find(|q| mapping[q.index()].is_some())
+        .copied();
+    let candidates: Vec<VertexId> = match anchor {
+        Some(q) => host.neighbors(mapping[q.index()].expect("anchored")).to_vec(),
+        None => host.vertices().collect(),
+    };
+    'cands: for h in candidates {
+        if results.len() >= limit {
+            return;
+        }
+        if used[h.index()] || host.label(h) != pattern.label(p) {
+            continue;
+        }
+        if host.degree(h) < pattern.degree(p) {
+            continue;
+        }
+        // Consistency with all previously mapped pattern vertices.
+        for q in pattern.vertices().take_while(|_| true) {
+            if let Some(hq) = mapping[q.index()] {
+                let p_edge = pattern.has_edge(p, q);
+                let h_edge = host.has_edge(h, hq);
+                if p_edge && !h_edge {
+                    continue 'cands;
+                }
+                if induced && !p_edge && h_edge {
+                    continue 'cands;
+                }
+            }
+        }
+        mapping[p.index()] = Some(h);
+        used[h.index()] = true;
+        backtrack(pattern, host, order, depth + 1, mapping, used, results, limit, induced);
+        mapping[p.index()] = None;
+        used[h.index()] = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label::Label;
+
+    fn labeled_path(labels: &[u32]) -> LabeledGraph {
+        let labels: Vec<Label> = labels.iter().map(|&l| Label(l)).collect();
+        let edges: Vec<(u32, u32)> = (0..labels.len() as u32 - 1).map(|i| (i, i + 1)).collect();
+        LabeledGraph::from_parts(&labels, &edges)
+    }
+
+    #[test]
+    fn identical_graphs_are_isomorphic() {
+        let a = labeled_path(&[1, 2, 3]);
+        let b = labeled_path(&[1, 2, 3]);
+        assert!(are_isomorphic(&a, &b));
+    }
+
+    #[test]
+    fn relabeled_vertex_ids_still_isomorphic() {
+        let a = LabeledGraph::from_parts(&[Label(1), Label(2), Label(3)], &[(0, 1), (1, 2)]);
+        let b = LabeledGraph::from_parts(&[Label(3), Label(2), Label(1)], &[(0, 1), (1, 2)]);
+        assert!(are_isomorphic(&a, &b));
+    }
+
+    #[test]
+    fn different_labels_not_isomorphic() {
+        let a = labeled_path(&[1, 2, 3]);
+        let b = labeled_path(&[1, 2, 4]);
+        assert!(!are_isomorphic(&a, &b));
+    }
+
+    #[test]
+    fn different_structure_not_isomorphic() {
+        let path = labeled_path(&[1, 1, 1]);
+        let triangle =
+            LabeledGraph::from_parts(&[Label(1); 3], &[(0, 1), (1, 2), (0, 2)]);
+        assert!(!are_isomorphic(&path, &triangle));
+    }
+
+    #[test]
+    fn path_embeds_in_triangle_but_not_induced() {
+        let path = labeled_path(&[1, 1, 1]);
+        let triangle =
+            LabeledGraph::from_parts(&[Label(1); 3], &[(0, 1), (1, 2), (0, 2)]);
+        assert!(is_subgraph_of(&path, &triangle));
+        assert!(find_induced_embeddings(&path, &triangle, 10).is_empty());
+    }
+
+    #[test]
+    fn embedding_count_in_star() {
+        // Star: center label 0, three leaves label 1.
+        let star = LabeledGraph::from_parts(
+            &[Label(0), Label(1), Label(1), Label(1)],
+            &[(0, 1), (0, 2), (0, 3)],
+        );
+        // Pattern: one center label 0 with two leaves label 1.
+        let pattern =
+            LabeledGraph::from_parts(&[Label(0), Label(1), Label(1)], &[(0, 1), (0, 2)]);
+        let embs = find_embeddings(&pattern, &star, 100);
+        // 3 choices for first leaf × 2 for second = 6 ordered embeddings.
+        assert_eq!(embs.len(), 6);
+        for e in &embs {
+            assert_eq!(e[0], VertexId(0));
+        }
+    }
+
+    #[test]
+    fn embedding_respects_limit() {
+        let star = LabeledGraph::from_parts(
+            &[Label(0), Label(1), Label(1), Label(1)],
+            &[(0, 1), (0, 2), (0, 3)],
+        );
+        let pattern =
+            LabeledGraph::from_parts(&[Label(0), Label(1)], &[(0, 1)]);
+        assert_eq!(find_embeddings(&pattern, &star, 2).len(), 2);
+        assert!(count_embeddings_at_least(&pattern, &star, 3));
+        assert!(!count_embeddings_at_least(&pattern, &star, 4));
+    }
+
+    #[test]
+    fn pattern_larger_than_host_never_embeds() {
+        let big = labeled_path(&[1, 1, 1, 1]);
+        let small = labeled_path(&[1, 1]);
+        assert!(find_embeddings(&big, &small, 10).is_empty());
+        assert!(!are_isomorphic(&big, &small));
+    }
+
+    #[test]
+    fn disconnected_pattern_matches_across_components() {
+        let host = LabeledGraph::from_parts(&[Label(1), Label(2), Label(1), Label(2)], &[(0, 1), (2, 3)]);
+        let mut pattern = LabeledGraph::new();
+        let a = pattern.add_vertex(Label(1));
+        let _b = pattern.add_vertex(Label(1));
+        let _ = a;
+        let embs = find_embeddings(&pattern, &host, 100);
+        // two label-1 vertices, ordered pairs without repetition = 2
+        assert_eq!(embs.len(), 2);
+    }
+
+    #[test]
+    fn empty_pattern_has_no_embeddings() {
+        let host = labeled_path(&[1, 2]);
+        assert!(find_embeddings(&LabeledGraph::new(), &host, 10).is_empty());
+    }
+}

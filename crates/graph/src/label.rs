@@ -1,0 +1,146 @@
+//! Vertex labels and label interning.
+//!
+//! The miners treat labels as opaque dense integers ([`Label`]); the
+//! [`LabelInterner`] maps human-readable names (author seniority classes,
+//! Java class names, …) to those integers and back.
+
+use rustc_hash::FxHashMap;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A vertex label. Labels are dense small integers; equality of labels is the
+/// only thing pattern matching ever looks at.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Label(pub u32);
+
+impl Label {
+    /// Returns the raw label id.
+    #[inline]
+    pub fn id(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Debug for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u32> for Label {
+    fn from(v: u32) -> Self {
+        Label(v)
+    }
+}
+
+/// Bidirectional map between label names and [`Label`] ids.
+///
+/// Interning is stable: the first name interned gets id 0, the next id 1, …
+/// so a graph built through the same interner is reproducible.
+#[derive(Clone, Debug, Default)]
+pub struct LabelInterner {
+    by_name: FxHashMap<String, Label>,
+    names: Vec<String>,
+}
+
+impl LabelInterner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning its label id (existing or freshly assigned).
+    pub fn intern(&mut self, name: &str) -> Label {
+        if let Some(&l) = self.by_name.get(name) {
+            return l;
+        }
+        let l = Label(self.names.len() as u32);
+        self.by_name.insert(name.to_owned(), l);
+        self.names.push(name.to_owned());
+        l
+    }
+
+    /// Looks up an already-interned name.
+    pub fn get(&self, name: &str) -> Option<Label> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Returns the name of `label`, if it was interned through this interner.
+    pub fn name(&self, label: Label) -> Option<&str> {
+        self.names.get(label.0 as usize).map(String::as_str)
+    }
+
+    /// Number of distinct labels interned so far.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True if nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over `(Label, name)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (Label, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (Label(i as u32), n.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_stable_and_idempotent() {
+        let mut it = LabelInterner::new();
+        let a = it.intern("Prolific");
+        let b = it.intern("Senior");
+        let a2 = it.intern("Prolific");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(a, Label(0));
+        assert_eq!(b, Label(1));
+        assert_eq!(it.name(a), Some("Prolific"));
+        assert_eq!(it.name(b), Some("Senior"));
+        assert_eq!(it.len(), 2);
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let mut it = LabelInterner::new();
+        assert!(it.get("x").is_none());
+        it.intern("x");
+        assert_eq!(it.get("x"), Some(Label(0)));
+        assert_eq!(it.len(), 1);
+    }
+
+    #[test]
+    fn iter_yields_in_id_order() {
+        let mut it = LabelInterner::new();
+        for n in ["a", "b", "c"] {
+            it.intern(n);
+        }
+        let collected: Vec<_> = it.iter().map(|(l, n)| (l.id(), n.to_owned())).collect();
+        assert_eq!(
+            collected,
+            vec![(0, "a".to_owned()), (1, "b".to_owned()), (2, "c".to_owned())]
+        );
+    }
+
+    #[test]
+    fn label_display_and_debug() {
+        assert_eq!(format!("{}", Label(7)), "7");
+        assert_eq!(format!("{:?}", Label(7)), "L7");
+        assert_eq!(Label::from(3u32), Label(3));
+        assert_eq!(Label(3).id(), 3);
+    }
+}

@@ -1,0 +1,139 @@
+//! Cheap isomorphism-invariant signatures.
+//!
+//! The paper's spider-set representation (Section 4.2.2) prunes graph
+//! isomorphism tests: isomorphic graphs necessarily have equal spider-sets, so
+//! unequal spider-sets mean "cannot be isomorphic — skip VF2". This module
+//! provides the generic building block: a 1-round Weisfeiler–Leman style
+//! neighborhood refinement hash. The radius-r spider-set itself is assembled in
+//! the `spidermine` crate on top of [`neighborhood_signature`].
+
+use crate::graph::{LabeledGraph, VertexId};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// A per-vertex signature describing the vertex's label together with the
+/// sorted multiset of its neighbors' labels — exactly the information content
+/// of a radius-1 star spider rooted at the vertex.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VertexSignature {
+    /// Label of the vertex itself.
+    pub label: u32,
+    /// Sorted labels of its neighbors.
+    pub neighbor_labels: Vec<u32>,
+}
+
+/// Computes the radius-1 signature of a single vertex.
+pub fn vertex_signature(graph: &LabeledGraph, v: VertexId) -> VertexSignature {
+    let mut neighbor_labels: Vec<u32> =
+        graph.neighbors(v).iter().map(|&u| graph.label(u).0).collect();
+    neighbor_labels.sort_unstable();
+    VertexSignature {
+        label: graph.label(v).0,
+        neighbor_labels,
+    }
+}
+
+/// The sorted multiset of all vertex signatures of a graph.
+///
+/// By the same argument as the paper's Theorem 2, isomorphic graphs have equal
+/// neighborhood signatures; the converse does not hold in general.
+pub fn neighborhood_signature(graph: &LabeledGraph) -> Vec<VertexSignature> {
+    let mut sigs: Vec<VertexSignature> =
+        graph.vertices().map(|v| vertex_signature(graph, v)).collect();
+    sigs.sort();
+    sigs
+}
+
+/// A compact invariant: `(|V|, |E|, hash of the sorted label multiset, hash of
+/// the neighborhood signature)`. Two graphs with different invariants cannot be
+/// isomorphic. Collisions are possible but only cost an extra VF2 call.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct InvariantSignature {
+    /// Vertex count.
+    pub vertices: u32,
+    /// Edge count.
+    pub edges: u32,
+    /// Hash over the sorted vertex-label multiset.
+    pub label_hash: u64,
+    /// Hash over the sorted radius-1 neighborhood signature multiset.
+    pub neighborhood_hash: u64,
+}
+
+/// Computes the [`InvariantSignature`] of a graph.
+pub fn invariant_signature(graph: &LabeledGraph) -> InvariantSignature {
+    let mut labels: Vec<u32> = graph.labels().iter().map(|l| l.0).collect();
+    labels.sort_unstable();
+    let mut h = DefaultHasher::new();
+    labels.hash(&mut h);
+    let label_hash = h.finish();
+
+    let mut h = DefaultHasher::new();
+    neighborhood_signature(graph).hash(&mut h);
+    let neighborhood_hash = h.finish();
+
+    InvariantSignature {
+        vertices: graph.vertex_count() as u32,
+        edges: graph.edge_count() as u32,
+        label_hash,
+        neighborhood_hash,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label::Label;
+
+    #[test]
+    fn isomorphic_graphs_share_signature() {
+        let a = LabeledGraph::from_parts(&[Label(1), Label(2), Label(3)], &[(0, 1), (1, 2)]);
+        let b = LabeledGraph::from_parts(&[Label(3), Label(2), Label(1)], &[(0, 1), (1, 2)]);
+        assert_eq!(invariant_signature(&a), invariant_signature(&b));
+        assert_eq!(neighborhood_signature(&a), neighborhood_signature(&b));
+    }
+
+    #[test]
+    fn structurally_different_graphs_differ() {
+        let path = LabeledGraph::from_parts(&[Label(1); 3], &[(0, 1), (1, 2)]);
+        let triangle = LabeledGraph::from_parts(&[Label(1); 3], &[(0, 1), (1, 2), (0, 2)]);
+        assert_ne!(invariant_signature(&path), invariant_signature(&triangle));
+    }
+
+    #[test]
+    fn label_swap_changes_signature() {
+        let a = LabeledGraph::from_parts(&[Label(1), Label(1), Label(2)], &[(0, 1), (1, 2)]);
+        let b = LabeledGraph::from_parts(&[Label(1), Label(2), Label(2)], &[(0, 1), (1, 2)]);
+        assert_ne!(invariant_signature(&a), invariant_signature(&b));
+    }
+
+    #[test]
+    fn vertex_signature_reflects_neighborhood() {
+        let g = LabeledGraph::from_parts(
+            &[Label(0), Label(5), Label(7)],
+            &[(0, 1), (0, 2)],
+        );
+        let sig = vertex_signature(&g, VertexId(0));
+        assert_eq!(sig.label, 0);
+        assert_eq!(sig.neighbor_labels, vec![5, 7]);
+    }
+
+    #[test]
+    fn figure3_counterexample_radius1_collision() {
+        // The paper's Figure 3(II) point: two non-isomorphic graphs can share
+        // the radius-1 signature. A 6-cycle and two triangles (all same label)
+        // have identical radius-1 neighborhoods but different structure.
+        let cycle6 = LabeledGraph::from_parts(
+            &[Label(1); 6],
+            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)],
+        );
+        let two_triangles = LabeledGraph::from_parts(
+            &[Label(1); 6],
+            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)],
+        );
+        assert_eq!(
+            neighborhood_signature(&cycle6),
+            neighborhood_signature(&two_triangles)
+        );
+        assert!(!crate::iso::are_isomorphic(&cycle6, &two_triangles));
+    }
+}

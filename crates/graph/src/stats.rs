@@ -1,0 +1,77 @@
+//! Summary statistics for graphs, used by the experiment harness to print the
+//! dataset descriptions (Table 1 / Table 3 of the paper).
+
+use crate::graph::LabeledGraph;
+use crate::traversal;
+
+/// A bundle of descriptive statistics for a labeled graph.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GraphStats {
+    /// Number of vertices.
+    pub vertices: usize,
+    /// Number of edges.
+    pub edges: usize,
+    /// Number of distinct vertex labels.
+    pub labels: usize,
+    /// Average degree `2|E|/|V|`.
+    pub average_degree: f64,
+    /// Maximum degree.
+    pub max_degree: usize,
+    /// Number of connected components.
+    pub components: usize,
+}
+
+impl GraphStats {
+    /// Computes statistics for `graph`.
+    pub fn of(graph: &LabeledGraph) -> Self {
+        GraphStats {
+            vertices: graph.vertex_count(),
+            edges: graph.edge_count(),
+            labels: graph.distinct_label_count(),
+            average_degree: graph.average_degree(),
+            max_degree: graph.max_degree(),
+            components: traversal::connected_components(graph).len(),
+        }
+    }
+}
+
+impl std::fmt::Display for GraphStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "|V|={} |E|={} labels={} avg_deg={:.2} max_deg={} components={}",
+            self.vertices, self.edges, self.labels, self.average_degree, self.max_degree, self.components
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label::Label;
+
+    #[test]
+    fn stats_of_small_graph() {
+        let g = LabeledGraph::from_parts(
+            &[Label(0), Label(0), Label(1), Label(2)],
+            &[(0, 1), (1, 2)],
+        );
+        let s = GraphStats::of(&g);
+        assert_eq!(s.vertices, 4);
+        assert_eq!(s.edges, 2);
+        assert_eq!(s.labels, 3);
+        assert_eq!(s.max_degree, 2);
+        assert_eq!(s.components, 2);
+        assert!((s.average_degree - 1.0).abs() < 1e-12);
+        let rendered = format!("{s}");
+        assert!(rendered.contains("|V|=4"));
+    }
+
+    #[test]
+    fn stats_of_empty_graph() {
+        let s = GraphStats::of(&LabeledGraph::new());
+        assert_eq!(s.vertices, 0);
+        assert_eq!(s.edges, 0);
+        assert_eq!(s.components, 0);
+    }
+}

@@ -1,0 +1,170 @@
+//! Subgraph extraction.
+//!
+//! Embeddings, spiders and merged patterns are all *subgraphs of the data
+//! graph re-expressed as standalone [`LabeledGraph`]s*; this module does the
+//! extraction while remembering how extracted vertices map back to the data
+//! graph.
+
+use crate::graph::{LabeledGraph, VertexId};
+use rustc_hash::FxHashMap;
+
+/// A subgraph extracted from a host graph, together with the mapping from the
+/// new (dense) vertex ids back to the host graph's vertex ids.
+#[derive(Clone, Debug)]
+pub struct ExtractedSubgraph {
+    /// The extracted subgraph, with vertices renumbered `0..k`.
+    pub graph: LabeledGraph,
+    /// `origin[i]` is the host-graph vertex that became vertex `i`.
+    pub origin: Vec<VertexId>,
+}
+
+impl ExtractedSubgraph {
+    /// Maps a vertex of the extracted subgraph back to the host graph.
+    pub fn to_host(&self, v: VertexId) -> VertexId {
+        self.origin[v.index()]
+    }
+
+    /// Returns the host-graph vertex set of this subgraph.
+    pub fn host_vertices(&self) -> &[VertexId] {
+        &self.origin
+    }
+}
+
+/// Extracts the subgraph *induced* by `vertices`: all edges of the host graph
+/// between two selected vertices are kept.
+///
+/// Duplicate entries in `vertices` are ignored (first occurrence wins).
+pub fn induced_subgraph(host: &LabeledGraph, vertices: &[VertexId]) -> ExtractedSubgraph {
+    let mut index: FxHashMap<VertexId, VertexId> = FxHashMap::default();
+    let mut graph = LabeledGraph::with_capacity(vertices.len());
+    let mut origin = Vec::with_capacity(vertices.len());
+    for &v in vertices {
+        if index.contains_key(&v) {
+            continue;
+        }
+        let new_id = graph.add_vertex(host.label(v));
+        index.insert(v, new_id);
+        origin.push(v);
+    }
+    for (&host_v, &new_v) in &index {
+        for &host_u in host.neighbors(host_v) {
+            if let Some(&new_u) = index.get(&host_u) {
+                if new_v < new_u {
+                    graph.add_edge(new_v, new_u);
+                }
+            }
+        }
+    }
+    ExtractedSubgraph { graph, origin }
+}
+
+/// Extracts the subgraph consisting of exactly `edges` (host-graph edges) and
+/// their endpoints. Edges absent from the host graph are rejected.
+///
+/// # Panics
+/// Panics if an edge of `edges` is not present in `host`.
+pub fn edge_subgraph(host: &LabeledGraph, edges: &[(VertexId, VertexId)]) -> ExtractedSubgraph {
+    let mut index: FxHashMap<VertexId, VertexId> = FxHashMap::default();
+    let mut graph = LabeledGraph::new();
+    let mut origin = Vec::new();
+    let mut intern = |v: VertexId, graph: &mut LabeledGraph, origin: &mut Vec<VertexId>| {
+        *index.entry(v).or_insert_with(|| {
+            let id = graph.add_vertex(host.label(v));
+            origin.push(v);
+            id
+        })
+    };
+    for &(u, v) in edges {
+        assert!(host.has_edge(u, v), "edge ({u:?}, {v:?}) not in host graph");
+        let nu = intern(u, &mut graph, &mut origin);
+        let nv = intern(v, &mut graph, &mut origin);
+        graph.add_edge(nu, nv);
+    }
+    ExtractedSubgraph { graph, origin }
+}
+
+/// Builds the union of several vertex sets of the host graph and extracts the
+/// induced subgraph on the union. Used when merging overlapping embeddings.
+pub fn induced_union_subgraph(
+    host: &LabeledGraph,
+    vertex_sets: &[&[VertexId]],
+) -> ExtractedSubgraph {
+    let mut all: Vec<VertexId> = Vec::new();
+    for set in vertex_sets {
+        all.extend_from_slice(set);
+    }
+    all.sort_unstable();
+    all.dedup();
+    induced_subgraph(host, &all)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label::Label;
+
+    fn square_with_diagonal() -> LabeledGraph {
+        // 0-1, 1-2, 2-3, 3-0, 0-2
+        LabeledGraph::from_parts(
+            &[Label(0), Label(1), Label(2), Label(3)],
+            &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)],
+        )
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_internal_edges() {
+        let g = square_with_diagonal();
+        let sub = induced_subgraph(&g, &[VertexId(0), VertexId(1), VertexId(2)]);
+        assert_eq!(sub.graph.vertex_count(), 3);
+        // edges 0-1, 1-2, 0-2 all induced
+        assert_eq!(sub.graph.edge_count(), 3);
+        assert_eq!(sub.to_host(VertexId(0)), VertexId(0));
+        assert_eq!(sub.host_vertices().len(), 3);
+    }
+
+    #[test]
+    fn induced_subgraph_ignores_duplicates() {
+        let g = square_with_diagonal();
+        let sub = induced_subgraph(&g, &[VertexId(0), VertexId(0), VertexId(1)]);
+        assert_eq!(sub.graph.vertex_count(), 2);
+        assert_eq!(sub.graph.edge_count(), 1);
+    }
+
+    #[test]
+    fn induced_subgraph_preserves_labels() {
+        let g = square_with_diagonal();
+        let sub = induced_subgraph(&g, &[VertexId(3), VertexId(2)]);
+        let labels: Vec<Label> = sub
+            .graph
+            .vertices()
+            .map(|v| sub.graph.label(v))
+            .collect();
+        assert!(labels.contains(&Label(2)));
+        assert!(labels.contains(&Label(3)));
+    }
+
+    #[test]
+    fn edge_subgraph_keeps_only_listed_edges() {
+        let g = square_with_diagonal();
+        let sub = edge_subgraph(&g, &[(VertexId(0), VertexId(1)), (VertexId(2), VertexId(3))]);
+        assert_eq!(sub.graph.vertex_count(), 4);
+        assert_eq!(sub.graph.edge_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in host graph")]
+    fn edge_subgraph_rejects_phantom_edges() {
+        let g = square_with_diagonal();
+        edge_subgraph(&g, &[(VertexId(1), VertexId(3))]);
+    }
+
+    #[test]
+    fn union_subgraph_merges_vertex_sets() {
+        let g = square_with_diagonal();
+        let a = [VertexId(0), VertexId(1)];
+        let b = [VertexId(1), VertexId(2), VertexId(3)];
+        let sub = induced_union_subgraph(&g, &[&a, &b]);
+        assert_eq!(sub.graph.vertex_count(), 4);
+        assert_eq!(sub.graph.edge_count(), g.edge_count());
+    }
+}

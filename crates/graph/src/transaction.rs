@@ -1,0 +1,133 @@
+//! Graph-transaction databases.
+//!
+//! SpiderMine targets the single-graph setting but "can be adapted to
+//! graph-transaction setting with no difficulty" (Section 2); Figures 14–15
+//! evaluate that adaptation against ORIGAMI. A [`GraphDatabase`] is simply an
+//! ordered collection of labeled graphs; transaction support of a pattern is
+//! the number of member graphs containing at least one embedding.
+
+use crate::graph::LabeledGraph;
+use crate::iso;
+
+/// An ordered collection of labeled graphs (the "graph-transaction" setting).
+#[derive(Clone, Debug, Default)]
+pub struct GraphDatabase {
+    graphs: Vec<LabeledGraph>,
+}
+
+impl GraphDatabase {
+    /// Creates a database from a list of graphs.
+    pub fn new(graphs: Vec<LabeledGraph>) -> Self {
+        Self { graphs }
+    }
+
+    /// Adds a graph to the database.
+    pub fn push(&mut self, graph: LabeledGraph) {
+        self.graphs.push(graph);
+    }
+
+    /// The member graphs, in insertion order.
+    pub fn graphs(&self) -> &[LabeledGraph] {
+        &self.graphs
+    }
+
+    /// Number of transactions.
+    pub fn len(&self) -> usize {
+        self.graphs.len()
+    }
+
+    /// True if the database holds no graphs.
+    pub fn is_empty(&self) -> bool {
+        self.graphs.is_empty()
+    }
+
+    /// Transaction support of `pattern`: the number of member graphs that
+    /// contain at least one embedding of it.
+    pub fn support(&self, pattern: &LabeledGraph) -> usize {
+        self.graphs
+            .iter()
+            .filter(|g| iso::is_subgraph_of(pattern, g))
+            .count()
+    }
+
+    /// Total vertex count across all transactions.
+    pub fn total_vertices(&self) -> usize {
+        self.graphs.iter().map(LabeledGraph::vertex_count).sum()
+    }
+
+    /// Total edge count across all transactions.
+    pub fn total_edges(&self) -> usize {
+        self.graphs.iter().map(LabeledGraph::edge_count).sum()
+    }
+
+    /// Collapses the database into one disconnected graph whose components are
+    /// the transactions, remembering which component each vertex came from.
+    ///
+    /// This is how the SpiderMine transaction adaptation reuses the
+    /// single-graph machinery: mine the disjoint union, then count support per
+    /// transaction rather than per embedding.
+    pub fn to_union_graph(&self) -> (LabeledGraph, Vec<usize>) {
+        let mut union = LabeledGraph::with_capacity(self.total_vertices());
+        let mut owner = Vec::with_capacity(self.total_vertices());
+        for (tid, g) in self.graphs.iter().enumerate() {
+            let offset = union.vertex_count() as u32;
+            for v in g.vertices() {
+                union.add_vertex(g.label(v));
+                owner.push(tid);
+            }
+            for (u, v) in g.edges() {
+                union.add_edge((u.0 + offset).into(), (v.0 + offset).into());
+            }
+        }
+        (union, owner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label::Label;
+
+    fn tiny_db() -> GraphDatabase {
+        let g1 = LabeledGraph::from_parts(&[Label(0), Label(1)], &[(0, 1)]);
+        let g2 = LabeledGraph::from_parts(&[Label(0), Label(1), Label(1)], &[(0, 1), (0, 2)]);
+        let g3 = LabeledGraph::from_parts(&[Label(2)], &[]);
+        GraphDatabase::new(vec![g1, g2, g3])
+    }
+
+    #[test]
+    fn support_counts_transactions_not_embeddings() {
+        let db = tiny_db();
+        let pattern = LabeledGraph::from_parts(&[Label(0), Label(1)], &[(0, 1)]);
+        // g2 contains two embeddings but counts once.
+        assert_eq!(db.support(&pattern), 2);
+    }
+
+    #[test]
+    fn support_of_absent_pattern_is_zero() {
+        let db = tiny_db();
+        let pattern = LabeledGraph::from_parts(&[Label(7)], &[]);
+        assert_eq!(db.support(&pattern), 0);
+    }
+
+    #[test]
+    fn union_graph_preserves_sizes_and_ownership() {
+        let db = tiny_db();
+        let (union, owner) = db.to_union_graph();
+        assert_eq!(union.vertex_count(), db.total_vertices());
+        assert_eq!(union.edge_count(), db.total_edges());
+        assert_eq!(owner.len(), union.vertex_count());
+        assert_eq!(owner[0], 0);
+        assert_eq!(owner[2], 1);
+        assert_eq!(*owner.last().expect("non-empty"), 2);
+    }
+
+    #[test]
+    fn push_and_len() {
+        let mut db = GraphDatabase::default();
+        assert!(db.is_empty());
+        db.push(LabeledGraph::from_parts(&[Label(0)], &[]));
+        assert_eq!(db.len(), 1);
+        assert!(!db.is_empty());
+    }
+}

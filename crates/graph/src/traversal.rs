@@ -1,0 +1,251 @@
+//! Breadth-first traversal, shortest distances, diameter/radius and
+//! connected components.
+//!
+//! SpiderMine is built around *r-bounded* neighborhoods (Definition 4) and a
+//! *diameter bound* `Dmax` (Definition 2); every one of those notions reduces
+//! to the BFS primitives in this module.
+
+use crate::graph::{LabeledGraph, VertexId};
+use std::collections::VecDeque;
+
+/// Distance value meaning "unreachable".
+pub const UNREACHABLE: u32 = u32::MAX;
+
+/// Single-source BFS distances from `source` to every vertex.
+///
+/// Unreachable vertices get [`UNREACHABLE`].
+pub fn bfs_distances(graph: &LabeledGraph, source: VertexId) -> Vec<u32> {
+    bfs_distances_bounded(graph, source, u32::MAX)
+}
+
+/// Single-source BFS distances, truncated at `max_depth`.
+///
+/// Vertices farther than `max_depth` (or unreachable) get [`UNREACHABLE`].
+pub fn bfs_distances_bounded(graph: &LabeledGraph, source: VertexId, max_depth: u32) -> Vec<u32> {
+    let mut dist = vec![UNREACHABLE; graph.vertex_count()];
+    let mut queue = VecDeque::new();
+    dist[source.index()] = 0;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u.index()];
+        if du >= max_depth {
+            continue;
+        }
+        for &v in graph.neighbors(u) {
+            if dist[v.index()] == UNREACHABLE {
+                dist[v.index()] = du + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Vertices within distance `radius` of `source` (including `source`),
+/// in BFS order.
+pub fn ball(graph: &LabeledGraph, source: VertexId, radius: u32) -> Vec<VertexId> {
+    let dist = bfs_distances_bounded(graph, source, radius);
+    let mut out: Vec<VertexId> = Vec::new();
+    // BFS order is not preserved by the distance array; re-walk in order.
+    let mut queue = VecDeque::new();
+    let mut seen = vec![false; graph.vertex_count()];
+    queue.push_back(source);
+    seen[source.index()] = true;
+    while let Some(u) = queue.pop_front() {
+        out.push(u);
+        if dist[u.index()] >= radius {
+            continue;
+        }
+        for &v in graph.neighbors(u) {
+            if !seen[v.index()] && dist[v.index()] != UNREACHABLE {
+                seen[v.index()] = true;
+                queue.push_back(v);
+            }
+        }
+    }
+    out
+}
+
+/// Eccentricity of `v`: the maximum shortest distance from `v` to any vertex
+/// reachable from it. Returns 0 for an isolated vertex.
+pub fn eccentricity(graph: &LabeledGraph, v: VertexId) -> u32 {
+    bfs_distances(graph, v)
+        .into_iter()
+        .filter(|&d| d != UNREACHABLE)
+        .max()
+        .unwrap_or(0)
+}
+
+/// Exact diameter of the graph, computed as the maximum eccentricity over all
+/// vertices, ignoring unreachable pairs (i.e. the maximum intra-component
+/// diameter). This is `O(|V| · (|V| + |E|))`; use it on *patterns*, not on the
+/// massive input network.
+pub fn diameter(graph: &LabeledGraph) -> u32 {
+    graph.vertices().map(|v| eccentricity(graph, v)).max().unwrap_or(0)
+}
+
+/// Radius of the graph: minimum eccentricity over all vertices.
+pub fn radius(graph: &LabeledGraph) -> u32 {
+    graph.vertices().map(|v| eccentricity(graph, v)).min().unwrap_or(0)
+}
+
+/// Checks whether `graph` is r-bounded from `head`: every vertex is reachable
+/// from `head` within distance `r` (Definition 4 / the "r-spider" condition).
+pub fn is_r_bounded_from(graph: &LabeledGraph, head: VertexId, r: u32) -> bool {
+    bfs_distances_bounded(graph, head, r)
+        .iter()
+        .all(|&d| d != UNREACHABLE)
+}
+
+/// True if the graph is connected (the empty graph counts as connected).
+pub fn is_connected(graph: &LabeledGraph) -> bool {
+    if graph.vertex_count() == 0 {
+        return true;
+    }
+    bfs_distances(graph, VertexId(0))
+        .iter()
+        .all(|&d| d != UNREACHABLE)
+}
+
+/// Connected components, each a sorted list of vertex ids.
+pub fn connected_components(graph: &LabeledGraph) -> Vec<Vec<VertexId>> {
+    let mut comp = vec![usize::MAX; graph.vertex_count()];
+    let mut components: Vec<Vec<VertexId>> = Vec::new();
+    for start in graph.vertices() {
+        if comp[start.index()] != usize::MAX {
+            continue;
+        }
+        let id = components.len();
+        let mut members = Vec::new();
+        let mut queue = VecDeque::new();
+        comp[start.index()] = id;
+        queue.push_back(start);
+        while let Some(u) = queue.pop_front() {
+            members.push(u);
+            for &v in graph.neighbors(u) {
+                if comp[v.index()] == usize::MAX {
+                    comp[v.index()] = id;
+                    queue.push_back(v);
+                }
+            }
+        }
+        members.sort_unstable();
+        components.push(members);
+    }
+    components
+}
+
+/// An estimate of the "effective diameter" (the q-quantile of the pairwise
+/// distance distribution) computed from `samples` BFS sources.
+///
+/// The paper cites effective-diameter bounds (DBLP ≤ 9, IMDB ≤ 10) to justify
+/// the `Dmax` parameter; this helper lets users gauge `Dmax` for their own
+/// network the same way.
+pub fn effective_diameter_estimate(
+    graph: &LabeledGraph,
+    quantile: f64,
+    samples: usize,
+) -> u32 {
+    assert!((0.0..=1.0).contains(&quantile), "quantile must be in [0, 1]");
+    let n = graph.vertex_count();
+    if n == 0 {
+        return 0;
+    }
+    let mut distances: Vec<u32> = Vec::new();
+    let step = (n / samples.max(1)).max(1);
+    for idx in (0..n).step_by(step) {
+        let dist = bfs_distances(graph, VertexId(idx as u32));
+        distances.extend(dist.into_iter().filter(|&d| d != UNREACHABLE && d > 0));
+    }
+    if distances.is_empty() {
+        return 0;
+    }
+    distances.sort_unstable();
+    let pos = ((distances.len() - 1) as f64 * quantile).round() as usize;
+    distances[pos]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label::Label;
+
+    /// Path graph v0 - v1 - v2 - v3.
+    fn path4() -> LabeledGraph {
+        LabeledGraph::from_parts(&[Label(0); 4], &[(0, 1), (1, 2), (2, 3)])
+    }
+
+    #[test]
+    fn bfs_distances_on_path() {
+        let g = path4();
+        let d = bfs_distances(&g, VertexId(0));
+        assert_eq!(d, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn bounded_bfs_truncates() {
+        let g = path4();
+        let d = bfs_distances_bounded(&g, VertexId(0), 2);
+        assert_eq!(d, vec![0, 1, 2, UNREACHABLE]);
+    }
+
+    #[test]
+    fn ball_contains_exactly_r_neighborhood() {
+        let g = path4();
+        let b = ball(&g, VertexId(1), 1);
+        let mut ids: Vec<u32> = b.iter().map(|v| v.0).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn diameter_and_radius_of_path() {
+        let g = path4();
+        assert_eq!(diameter(&g), 3);
+        assert_eq!(radius(&g), 2);
+        assert_eq!(eccentricity(&g, VertexId(0)), 3);
+        assert_eq!(eccentricity(&g, VertexId(1)), 2);
+    }
+
+    #[test]
+    fn r_bounded_checks() {
+        let g = path4();
+        assert!(is_r_bounded_from(&g, VertexId(1), 2));
+        assert!(!is_r_bounded_from(&g, VertexId(0), 2));
+        assert!(is_r_bounded_from(&g, VertexId(0), 3));
+    }
+
+    #[test]
+    fn components_of_disconnected_graph() {
+        let g = LabeledGraph::from_parts(&[Label(0); 5], &[(0, 1), (2, 3)]);
+        assert!(!is_connected(&g));
+        let comps = connected_components(&g);
+        assert_eq!(comps.len(), 3);
+        assert_eq!(comps[0], vec![VertexId(0), VertexId(1)]);
+        assert_eq!(comps[1], vec![VertexId(2), VertexId(3)]);
+        assert_eq!(comps[2], vec![VertexId(4)]);
+    }
+
+    #[test]
+    fn connected_graph_has_one_component() {
+        let g = path4();
+        assert!(is_connected(&g));
+        assert_eq!(connected_components(&g).len(), 1);
+    }
+
+    #[test]
+    fn empty_graph_edge_cases() {
+        let g = LabeledGraph::new();
+        assert!(is_connected(&g));
+        assert_eq!(diameter(&g), 0);
+        assert_eq!(radius(&g), 0);
+        assert_eq!(effective_diameter_estimate(&g, 0.9, 4), 0);
+    }
+
+    #[test]
+    fn effective_diameter_of_path_is_full_diameter_at_q1() {
+        let g = path4();
+        assert_eq!(effective_diameter_estimate(&g, 1.0, 4), 3);
+        assert!(effective_diameter_estimate(&g, 0.5, 4) <= 3);
+    }
+}

@@ -1,0 +1,194 @@
+//! Embeddings of patterns into a host graph.
+//!
+//! In the single-graph setting the support set of a pattern *is* its set of
+//! embeddings (Section 3 of the paper), so every miner carries a pattern
+//! around together with its embedding list — that bundle is
+//! [`EmbeddedPattern`].
+
+use rustc_hash::FxHashSet;
+use spidermine_graph::graph::{LabeledGraph, VertexId};
+use spidermine_graph::iso;
+
+/// One embedding: `mapping[p]` is the host vertex matched to pattern vertex `p`.
+pub type Embedding = Vec<VertexId>;
+
+/// A pattern together with its embeddings in a fixed host graph.
+#[derive(Clone, Debug)]
+pub struct EmbeddedPattern {
+    /// The pattern graph (vertices renumbered `0..k`).
+    pub pattern: LabeledGraph,
+    /// All known embeddings of `pattern` in the host graph.
+    pub embeddings: Vec<Embedding>,
+}
+
+impl EmbeddedPattern {
+    /// Creates a bundle from a pattern and its embeddings.
+    pub fn new(pattern: LabeledGraph, embeddings: Vec<Embedding>) -> Self {
+        Self { pattern, embeddings }
+    }
+
+    /// Builds the bundle by searching for up to `limit` embeddings in `host`.
+    pub fn discover(pattern: LabeledGraph, host: &LabeledGraph, limit: usize) -> Self {
+        let embeddings = iso::find_embeddings(&pattern, host, limit);
+        Self { pattern, embeddings }
+    }
+
+    /// Number of pattern vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.pattern.vertex_count()
+    }
+
+    /// Number of pattern edges (the paper's notion of pattern size).
+    pub fn size(&self) -> usize {
+        self.pattern.edge_count()
+    }
+
+    /// The set of host vertices covered by any embedding.
+    pub fn covered_host_vertices(&self) -> FxHashSet<VertexId> {
+        let mut set = FxHashSet::default();
+        for e in &self.embeddings {
+            set.extend(e.iter().copied());
+        }
+        set
+    }
+
+    /// True if some embedding of `self` and some embedding of `other` share at
+    /// least one host vertex — the merge trigger of SpiderMine's Stage II.
+    pub fn overlaps(&self, other: &EmbeddedPattern) -> bool {
+        let mine = self.covered_host_vertices();
+        other
+            .embeddings
+            .iter()
+            .any(|e| e.iter().any(|v| mine.contains(v)))
+    }
+
+    /// All pairs `(i, j)` such that embedding `i` of `self` and embedding `j`
+    /// of `other` share at least one host vertex.
+    pub fn overlapping_embedding_pairs(&self, other: &EmbeddedPattern) -> Vec<(usize, usize)> {
+        let mut pairs = Vec::new();
+        let sets: Vec<FxHashSet<VertexId>> = self
+            .embeddings
+            .iter()
+            .map(|e| e.iter().copied().collect())
+            .collect();
+        for (j, e2) in other.embeddings.iter().enumerate() {
+            for (i, set) in sets.iter().enumerate() {
+                if e2.iter().any(|v| set.contains(v)) {
+                    pairs.push((i, j));
+                }
+            }
+        }
+        pairs
+    }
+
+    /// Deduplicates embeddings that map to the same host-vertex set (two
+    /// automorphic placements cover the same occurrence).
+    pub fn dedup_by_vertex_set(&mut self) {
+        let mut seen: FxHashSet<Vec<VertexId>> = FxHashSet::default();
+        self.embeddings.retain(|e| {
+            let mut key = e.clone();
+            key.sort_unstable();
+            seen.insert(key)
+        });
+    }
+
+    /// Checks that every stored embedding really maps pattern edges onto host
+    /// edges with matching labels. Used in tests and debug assertions.
+    pub fn validate_against(&self, host: &LabeledGraph) -> bool {
+        self.embeddings.iter().all(|e| {
+            if e.len() != self.pattern.vertex_count() {
+                return false;
+            }
+            let distinct: FxHashSet<_> = e.iter().collect();
+            if distinct.len() != e.len() {
+                return false;
+            }
+            let labels_ok = self
+                .pattern
+                .vertices()
+                .all(|p| self.pattern.label(p) == host.label(e[p.index()]));
+            let edges_ok = self
+                .pattern
+                .edges()
+                .all(|(u, v)| host.has_edge(e[u.index()], e[v.index()]));
+            labels_ok && edges_ok
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spidermine_graph::label::Label;
+
+    fn host() -> LabeledGraph {
+        // Two disjoint label-0/label-1 edges plus a bridge 1-2. The bridge
+        // edge (label 1 – label 0) is itself a third embedding of the
+        // 0-1 edge pattern.
+        LabeledGraph::from_parts(
+            &[Label(0), Label(1), Label(0), Label(1)],
+            &[(0, 1), (2, 3), (1, 2)],
+        )
+    }
+
+    fn edge_pattern() -> LabeledGraph {
+        LabeledGraph::from_parts(&[Label(0), Label(1)], &[(0, 1)])
+    }
+
+    #[test]
+    fn discover_finds_all_embeddings() {
+        let h = host();
+        let ep = EmbeddedPattern::discover(edge_pattern(), &h, 100);
+        assert_eq!(ep.embeddings.len(), 3);
+        assert!(ep.validate_against(&h));
+        assert_eq!(ep.size(), 1);
+        assert_eq!(ep.vertex_count(), 2);
+    }
+
+    #[test]
+    fn covered_vertices_union() {
+        let h = host();
+        let ep = EmbeddedPattern::discover(edge_pattern(), &h, 100);
+        assert_eq!(ep.covered_host_vertices().len(), 4);
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let h = host();
+        let a = EmbeddedPattern::new(edge_pattern(), vec![vec![VertexId(0), VertexId(1)]]);
+        let b = EmbeddedPattern::new(edge_pattern(), vec![vec![VertexId(2), VertexId(3)]]);
+        assert!(!a.overlaps(&b));
+        let c = EmbeddedPattern::new(edge_pattern(), vec![vec![VertexId(2), VertexId(1)]]);
+        assert!(a.overlaps(&c));
+        assert_eq!(a.overlapping_embedding_pairs(&c), vec![(0, 0)]);
+        let _ = h;
+    }
+
+    #[test]
+    fn dedup_by_vertex_set_removes_automorphic_duplicates() {
+        let mut ep = EmbeddedPattern::new(
+            LabeledGraph::from_parts(&[Label(1), Label(1)], &[(0, 1)]),
+            vec![
+                vec![VertexId(0), VertexId(1)],
+                vec![VertexId(1), VertexId(0)],
+                vec![VertexId(2), VertexId(3)],
+            ],
+        );
+        ep.dedup_by_vertex_set();
+        assert_eq!(ep.embeddings.len(), 2);
+    }
+
+    #[test]
+    fn validate_rejects_bad_embeddings() {
+        let h = host();
+        // wrong label mapping
+        let bad = EmbeddedPattern::new(edge_pattern(), vec![vec![VertexId(1), VertexId(0)]]);
+        assert!(!bad.validate_against(&h));
+        // repeated vertex
+        let bad = EmbeddedPattern::new(edge_pattern(), vec![vec![VertexId(0), VertexId(0)]]);
+        assert!(!bad.validate_against(&h));
+        // missing edge
+        let bad = EmbeddedPattern::new(edge_pattern(), vec![vec![VertexId(0), VertexId(3)]]);
+        assert!(!bad.validate_against(&h));
+    }
+}

@@ -1,0 +1,276 @@
+//! Generic one-edge pattern growth with embedding maintenance.
+//!
+//! The incremental (edge-by-edge) growth paradigm is what SpiderMine's related
+//! work — gSpan/MoSS-style complete miners and SUBDUE's beam search — is built
+//! on, and what the paper's Figure 2 argument contrasts spiders against. The
+//! baselines in `spidermine-baselines` are built on this module; SpiderMine
+//! itself grows by whole spiders instead.
+
+use crate::embedding::{Embedding, EmbeddedPattern};
+use crate::support::SupportMeasure;
+use rustc_hash::FxHashMap;
+use spidermine_graph::graph::{LabeledGraph, VertexId};
+use spidermine_graph::label::Label;
+
+/// Description of a single-edge extension relative to a parent pattern.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Extension {
+    /// Attach a brand-new vertex with label `label` to pattern vertex `at`.
+    Forward {
+        /// Pattern vertex the new vertex is attached to.
+        at: VertexId,
+        /// Label of the new vertex.
+        label: Label,
+    },
+    /// Close an edge between two existing, currently non-adjacent pattern vertices.
+    Backward {
+        /// Smaller-id endpoint.
+        from: VertexId,
+        /// Larger-id endpoint.
+        to: VertexId,
+    },
+}
+
+/// A frequent one-edge extension of a parent pattern.
+#[derive(Clone, Debug)]
+pub struct FrequentExtension {
+    /// What was added.
+    pub extension: Extension,
+    /// The child pattern with its embeddings.
+    pub child: EmbeddedPattern,
+    /// Support of the child under the measure used for mining.
+    pub support: usize,
+}
+
+/// Enumerates all frequent one-edge extensions of `parent` in `host`.
+///
+/// `max_embeddings` caps the number of embeddings retained per child pattern
+/// (embedding lists can explode on dense graphs; the cap keeps the miner
+/// memory-bounded at the cost of under-counting support for extremely frequent
+/// patterns, which are never the interesting large ones).
+pub fn one_edge_extensions(
+    host: &LabeledGraph,
+    parent: &EmbeddedPattern,
+    support_threshold: usize,
+    measure: SupportMeasure,
+    max_embeddings: usize,
+) -> Vec<FrequentExtension> {
+    let mut grouped: FxHashMap<Extension, Vec<Embedding>> = FxHashMap::default();
+    let pattern = &parent.pattern;
+    for embedding in &parent.embeddings {
+        // Forward extensions: a host neighbor of a mapped vertex, outside the embedding.
+        for p in pattern.vertices() {
+            let hp = embedding[p.index()];
+            for &hu in host.neighbors(hp) {
+                if embedding.contains(&hu) {
+                    continue;
+                }
+                let ext = Extension::Forward {
+                    at: p,
+                    label: host.label(hu),
+                };
+                let bucket = grouped.entry(ext).or_default();
+                if bucket.len() < max_embeddings {
+                    let mut child_embedding = embedding.clone();
+                    child_embedding.push(hu);
+                    bucket.push(child_embedding);
+                }
+            }
+        }
+        // Backward extensions: host edge between two mapped, pattern-non-adjacent vertices.
+        for p in pattern.vertices() {
+            for q in pattern.vertices() {
+                if p >= q || pattern.has_edge(p, q) {
+                    continue;
+                }
+                if host.has_edge(embedding[p.index()], embedding[q.index()]) {
+                    let ext = Extension::Backward { from: p, to: q };
+                    let bucket = grouped.entry(ext).or_default();
+                    if bucket.len() < max_embeddings {
+                        bucket.push(embedding.clone());
+                    }
+                }
+            }
+        }
+    }
+
+    let mut out: Vec<FrequentExtension> = Vec::new();
+    for (extension, embeddings) in grouped {
+        let child_pattern = apply_extension(pattern, extension);
+        let support = measure.compute(child_pattern.vertex_count(), &embeddings);
+        if support >= support_threshold {
+            out.push(FrequentExtension {
+                extension,
+                child: EmbeddedPattern::new(child_pattern, embeddings),
+                support,
+            });
+        }
+    }
+    // Deterministic order for reproducibility of the miners built on top.
+    out.sort_by(|a, b| format!("{:?}", a.extension).cmp(&format!("{:?}", b.extension)));
+    out
+}
+
+/// Applies an extension to a pattern graph, returning the child pattern.
+pub fn apply_extension(pattern: &LabeledGraph, extension: Extension) -> LabeledGraph {
+    let mut child = pattern.clone();
+    match extension {
+        Extension::Forward { at, label } => {
+            let new_v = child.add_vertex(label);
+            child.add_edge(at, new_v);
+        }
+        Extension::Backward { from, to } => {
+            child.add_edge(from, to);
+        }
+    }
+    child
+}
+
+/// Seeds edge-by-edge mining: all frequent single-edge patterns of `host`,
+/// grouped by (label, label) unordered pair.
+pub fn frequent_single_edges(
+    host: &LabeledGraph,
+    support_threshold: usize,
+    measure: SupportMeasure,
+    max_embeddings: usize,
+) -> Vec<EmbeddedPattern> {
+    let mut grouped: FxHashMap<(Label, Label), Vec<Embedding>> = FxHashMap::default();
+    for (u, v) in host.edges() {
+        let (lu, lv) = (host.label(u), host.label(v));
+        let key = if lu <= lv { (lu, lv) } else { (lv, lu) };
+        let bucket = grouped.entry(key).or_default();
+        if bucket.len() < max_embeddings {
+            // Store the embedding with the smaller label first to match the
+            // canonical pattern orientation below.
+            if lu <= lv {
+                bucket.push(vec![u, v]);
+            } else {
+                bucket.push(vec![v, u]);
+            }
+        }
+    }
+    let mut out = Vec::new();
+    for ((la, lb), embeddings) in grouped {
+        let pattern = LabeledGraph::from_parts(&[la, lb], &[(0, 1)]);
+        let support = measure.compute(2, &embeddings);
+        if support >= support_threshold {
+            out.push(EmbeddedPattern::new(pattern, embeddings));
+        }
+    }
+    out.sort_by_key(|ep| {
+        (
+            ep.pattern.label(VertexId(0)).0,
+            ep.pattern.label(VertexId(1)).0,
+        )
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Host: two triangles 0-1-2 and 3-4-5 with labels (0, 1, 2) each.
+    fn two_triangles() -> LabeledGraph {
+        LabeledGraph::from_parts(
+            &[Label(0), Label(1), Label(2), Label(0), Label(1), Label(2)],
+            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)],
+        )
+    }
+
+    #[test]
+    fn single_edges_are_grouped_by_label_pair() {
+        let host = two_triangles();
+        let singles = frequent_single_edges(&host, 2, SupportMeasure::EmbeddingCount, 100);
+        assert_eq!(singles.len(), 3, "label pairs (0,1), (1,2), (0,2)");
+        for ep in &singles {
+            assert_eq!(ep.embeddings.len(), 2);
+            assert!(ep.validate_against(&host));
+        }
+    }
+
+    #[test]
+    fn single_edge_threshold_filters() {
+        let host = two_triangles();
+        let singles = frequent_single_edges(&host, 3, SupportMeasure::EmbeddingCount, 100);
+        assert!(singles.is_empty());
+    }
+
+    #[test]
+    fn forward_extension_grows_the_path() {
+        let host = two_triangles();
+        let singles = frequent_single_edges(&host, 2, SupportMeasure::EmbeddingCount, 100);
+        let edge01 = singles
+            .iter()
+            .find(|ep| {
+                ep.pattern.label(VertexId(0)) == Label(0) && ep.pattern.label(VertexId(1)) == Label(1)
+            })
+            .expect("edge (0,1)");
+        let exts = one_edge_extensions(&host, edge01, 2, SupportMeasure::EmbeddingCount, 100);
+        // Forward: attach label-2 to either endpoint; Backward: none (already all edges).
+        assert!(exts.iter().all(|e| matches!(e.extension, Extension::Forward { .. })));
+        assert_eq!(exts.len(), 2);
+        for e in &exts {
+            assert_eq!(e.support, 2);
+            assert!(e.child.validate_against(&host));
+            assert_eq!(e.child.vertex_count(), 3);
+        }
+    }
+
+    #[test]
+    fn backward_extension_closes_the_triangle() {
+        let host = two_triangles();
+        // Path pattern 0-1-2 (labels 0,1,2) embedded in both triangles.
+        let path = LabeledGraph::from_parts(&[Label(0), Label(1), Label(2)], &[(0, 1), (1, 2)]);
+        let parent = EmbeddedPattern::discover(path, &host, 100);
+        let exts = one_edge_extensions(&host, &parent, 2, SupportMeasure::EmbeddingCount, 100);
+        let backward: Vec<_> = exts
+            .iter()
+            .filter(|e| matches!(e.extension, Extension::Backward { .. }))
+            .collect();
+        assert_eq!(backward.len(), 1);
+        assert_eq!(backward[0].child.size(), 3);
+        assert!(backward[0].child.validate_against(&host));
+    }
+
+    #[test]
+    fn extension_support_threshold_is_enforced() {
+        let host = two_triangles();
+        let path = LabeledGraph::from_parts(&[Label(0), Label(1)], &[(0, 1)]);
+        let parent = EmbeddedPattern::discover(path, &host, 100);
+        let exts = one_edge_extensions(&host, &parent, 3, SupportMeasure::EmbeddingCount, 100);
+        assert!(exts.is_empty());
+    }
+
+    #[test]
+    fn max_embeddings_caps_the_lists() {
+        let host = two_triangles();
+        let path = LabeledGraph::from_parts(&[Label(0), Label(1)], &[(0, 1)]);
+        let parent = EmbeddedPattern::discover(path, &host, 100);
+        let exts = one_edge_extensions(&host, &parent, 1, SupportMeasure::EmbeddingCount, 1);
+        assert!(exts.iter().all(|e| e.child.embeddings.len() <= 1));
+    }
+
+    #[test]
+    fn apply_extension_builds_expected_child() {
+        let pattern = LabeledGraph::from_parts(&[Label(0), Label(1)], &[(0, 1)]);
+        let fwd = apply_extension(
+            &pattern,
+            Extension::Forward {
+                at: VertexId(1),
+                label: Label(9),
+            },
+        );
+        assert_eq!(fwd.vertex_count(), 3);
+        assert!(fwd.has_edge(VertexId(1), VertexId(2)));
+        let path3 = LabeledGraph::from_parts(&[Label(0), Label(1), Label(2)], &[(0, 1), (1, 2)]);
+        let back = apply_extension(
+            &path3,
+            Extension::Backward {
+                from: VertexId(0),
+                to: VertexId(2),
+            },
+        );
+        assert_eq!(back.edge_count(), 3);
+    }
+}

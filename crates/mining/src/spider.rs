@@ -1,0 +1,462 @@
+//! Stage I of SpiderMine for r = 1: mining all frequent 1-spiders.
+//!
+//! A 1-spider (Definition 4 with r = 1) is a frequent pattern in which every
+//! vertex is adjacent to a designated *head*. Following the paper's own
+//! implementation choice ("we focus on the case for r = 1 for simplicity of
+//! presentation and implementation", Appendix B) we represent a 1-spider as a
+//! labeled star: a head label plus a sorted multiset of leaf labels. Edges
+//! between two leaves of the same pattern are recovered later by the closure
+//! refinement step in the `spidermine` crate (see DESIGN.md).
+//!
+//! Support of a spider is its number of *head occurrences*: the count of data
+//! vertices `v` whose label matches the head label and whose neighborhood can
+//! injectively supply the leaf-label multiset. This is anti-monotone in the
+//! leaf multiset, which makes the level-wise enumeration below complete.
+
+use rustc_hash::FxHashMap;
+use spidermine_graph::graph::{LabeledGraph, VertexId};
+use spidermine_graph::label::Label;
+
+/// Index of a spider inside a [`SpiderCatalog`].
+pub type SpiderId = usize;
+
+/// Configuration of the spider mining stage.
+#[derive(Clone, Debug)]
+pub struct SpiderMiningConfig {
+    /// Minimum number of head occurrences for a spider to be kept.
+    pub support_threshold: usize,
+    /// Maximum number of leaves per spider. Bounds the level-wise enumeration
+    /// on high-degree (scale-free) graphs; the paper's Figure 17 shows the
+    /// spider count exploding with graph size for exactly this reason.
+    pub max_leaves: usize,
+    /// Also emit the zero-leaf (single-vertex) spiders.
+    pub include_single_vertex: bool,
+    /// Hard cap on the number of spiders mined (a safety valve for scale-free
+    /// inputs; `usize::MAX` disables it).
+    pub max_spiders: usize,
+}
+
+impl Default for SpiderMiningConfig {
+    fn default() -> Self {
+        Self {
+            support_threshold: 2,
+            max_leaves: 8,
+            include_single_vertex: false,
+            max_spiders: usize::MAX,
+        }
+    }
+}
+
+/// A mined 1-spider: a star pattern with its head occurrences in the data graph.
+#[derive(Clone, Debug)]
+pub struct Spider {
+    /// Identifier within the catalog.
+    pub id: SpiderId,
+    /// Label of the head vertex.
+    pub head_label: Label,
+    /// Sorted multiset of leaf labels.
+    pub leaf_labels: Vec<Label>,
+    /// Data vertices that can serve as the head of this spider.
+    pub heads: Vec<VertexId>,
+}
+
+impl Spider {
+    /// Number of head occurrences (the spider's support).
+    pub fn support(&self) -> usize {
+        self.heads.len()
+    }
+
+    /// Number of vertices of the spider pattern (head + leaves).
+    pub fn vertex_count(&self) -> usize {
+        1 + self.leaf_labels.len()
+    }
+
+    /// Number of edges of the spider pattern (= number of leaves).
+    pub fn size(&self) -> usize {
+        self.leaf_labels.len()
+    }
+
+    /// Materializes the spider as a standalone pattern graph.
+    /// Vertex 0 is the head; vertices `1..` are the leaves in sorted label order.
+    pub fn to_pattern(&self) -> LabeledGraph {
+        let mut g = LabeledGraph::with_capacity(self.vertex_count());
+        let head = g.add_vertex(self.head_label);
+        for &leaf in &self.leaf_labels {
+            let l = g.add_vertex(leaf);
+            g.add_edge(head, l);
+        }
+        g
+    }
+
+    /// Checks whether `v` (in `graph`) can host this spider as its head:
+    /// label matches and the neighborhood supplies the leaf multiset.
+    pub fn matches_at(&self, graph: &LabeledGraph, v: VertexId) -> bool {
+        if graph.label(v) != self.head_label {
+            return false;
+        }
+        multiset_fits(&leaf_requirements(&self.leaf_labels), &neighbor_label_counts(graph, v))
+    }
+}
+
+/// The complete set of frequent 1-spiders of a graph.
+#[derive(Debug, Default)]
+pub struct SpiderCatalog {
+    spiders: Vec<Spider>,
+    by_head_label: FxHashMap<Label, Vec<SpiderId>>,
+}
+
+impl SpiderCatalog {
+    /// Mines all frequent 1-spiders of `graph` under `config`.
+    pub fn mine(graph: &LabeledGraph, config: &SpiderMiningConfig) -> Self {
+        let sigma = config.support_threshold.max(1);
+        // Per-vertex neighbor label histograms, reused across all levels.
+        let neighbor_counts: Vec<FxHashMap<Label, usize>> = graph
+            .vertices()
+            .map(|v| neighbor_label_counts(graph, v))
+            .collect();
+        // Heads by label.
+        let mut heads_by_label: FxHashMap<Label, Vec<VertexId>> = FxHashMap::default();
+        for v in graph.vertices() {
+            heads_by_label.entry(graph.label(v)).or_default().push(v);
+        }
+
+        let mut catalog = SpiderCatalog::default();
+
+        // Level-wise frontier: (head label, sorted leaf multiset, supporting heads).
+        let mut frontier: Vec<(Label, Vec<Label>, Vec<VertexId>)> = Vec::new();
+        for (&label, heads) in &heads_by_label {
+            if heads.len() >= sigma {
+                if config.include_single_vertex {
+                    catalog.push(label, Vec::new(), heads.clone());
+                }
+                frontier.push((label, Vec::new(), heads.clone()));
+            }
+        }
+        // Deterministic order regardless of hash-map iteration.
+        frontier.sort_by_key(|(l, _, _)| *l);
+
+        let mut leaves = 0;
+        while !frontier.is_empty() && leaves < config.max_leaves {
+            leaves += 1;
+            let mut next: Vec<(Label, Vec<Label>, Vec<VertexId>)> = Vec::new();
+            for (head_label, leaf_labels, heads) in &frontier {
+                if catalog.spiders.len() >= config.max_spiders {
+                    break;
+                }
+                let min_label = leaf_labels.last().copied().unwrap_or(Label(0));
+                // Candidate extension labels: anything >= the current maximum
+                // leaf label that some supporting head still has capacity for.
+                let mut candidates: Vec<Label> = Vec::new();
+                {
+                    let mut seen: FxHashMap<Label, ()> = FxHashMap::default();
+                    for &h in heads {
+                        for (&label, &count) in &neighbor_counts[h.index()] {
+                            if label < min_label {
+                                continue;
+                            }
+                            let required = leaf_labels.iter().filter(|&&l| l == label).count();
+                            if count > required {
+                                seen.entry(label).or_insert(());
+                            }
+                        }
+                    }
+                    candidates.extend(seen.keys().copied());
+                    candidates.sort_unstable();
+                }
+                for cand in candidates {
+                    if catalog.spiders.len() >= config.max_spiders {
+                        break;
+                    }
+                    let required = leaf_labels.iter().filter(|&&l| l == cand).count() + 1;
+                    let surviving: Vec<VertexId> = heads
+                        .iter()
+                        .copied()
+                        .filter(|h| {
+                            neighbor_counts[h.index()].get(&cand).copied().unwrap_or(0) >= required
+                        })
+                        .collect();
+                    if surviving.len() < sigma {
+                        continue;
+                    }
+                    let mut new_leaves = leaf_labels.clone();
+                    new_leaves.push(cand);
+                    catalog.push(*head_label, new_leaves.clone(), surviving.clone());
+                    next.push((*head_label, new_leaves, surviving));
+                }
+            }
+            frontier = next;
+        }
+        catalog
+    }
+
+    fn push(&mut self, head_label: Label, leaf_labels: Vec<Label>, heads: Vec<VertexId>) {
+        let id = self.spiders.len();
+        self.by_head_label.entry(head_label).or_default().push(id);
+        self.spiders.push(Spider {
+            id,
+            head_label,
+            leaf_labels,
+            heads,
+        });
+    }
+
+    /// All spiders, in mining order.
+    pub fn spiders(&self) -> &[Spider] {
+        &self.spiders
+    }
+
+    /// Number of spiders mined.
+    pub fn len(&self) -> usize {
+        self.spiders.len()
+    }
+
+    /// True if no spiders were mined.
+    pub fn is_empty(&self) -> bool {
+        self.spiders.is_empty()
+    }
+
+    /// The spider with the given id.
+    pub fn get(&self, id: SpiderId) -> &Spider {
+        &self.spiders[id]
+    }
+
+    /// Ids of spiders whose head label is `label`.
+    pub fn with_head_label(&self, label: Label) -> &[SpiderId] {
+        self.by_head_label
+            .get(&label)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Ids of spiders that can be planted with their head at `v`
+    /// (the paper's `Spider(v)`).
+    pub fn matching_at(&self, graph: &LabeledGraph, v: VertexId) -> Vec<SpiderId> {
+        let counts = neighbor_label_counts(graph, v);
+        self.with_head_label(graph.label(v))
+            .iter()
+            .copied()
+            .filter(|&id| {
+                multiset_fits(&leaf_requirements(&self.spiders[id].leaf_labels), &counts)
+            })
+            .collect()
+    }
+
+    /// The largest spider (most leaves); ties broken by lowest id.
+    pub fn largest(&self) -> Option<&Spider> {
+        self.spiders.iter().max_by_key(|s| (s.size(), usize::MAX - s.id))
+    }
+}
+
+/// Histogram of the labels of `v`'s neighbors.
+pub fn neighbor_label_counts(graph: &LabeledGraph, v: VertexId) -> FxHashMap<Label, usize> {
+    let mut counts = FxHashMap::default();
+    for &u in graph.neighbors(v) {
+        *counts.entry(graph.label(u)).or_insert(0) += 1;
+    }
+    counts
+}
+
+fn leaf_requirements(leaf_labels: &[Label]) -> FxHashMap<Label, usize> {
+    let mut req = FxHashMap::default();
+    for &l in leaf_labels {
+        *req.entry(l).or_insert(0) += 1;
+    }
+    req
+}
+
+fn multiset_fits(
+    requirements: &FxHashMap<Label, usize>,
+    available: &FxHashMap<Label, usize>,
+) -> bool {
+    requirements
+        .iter()
+        .all(|(label, &need)| available.get(label).copied().unwrap_or(0) >= need)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Graph: two identical stars (head label 0 with leaves 1, 1, 2) plus one
+    /// head label 0 with a single leaf label 1.
+    fn two_star_graph() -> LabeledGraph {
+        LabeledGraph::from_parts(
+            &[
+                Label(0), Label(1), Label(1), Label(2), // star A: v0 head
+                Label(0), Label(1), Label(1), Label(2), // star B: v4 head
+                Label(0), Label(1), // small star: v8 head
+            ],
+            &[
+                (0, 1), (0, 2), (0, 3),
+                (4, 5), (4, 6), (4, 7),
+                (8, 9),
+            ],
+        )
+    }
+
+    fn default_config(sigma: usize) -> SpiderMiningConfig {
+        SpiderMiningConfig {
+            support_threshold: sigma,
+            ..SpiderMiningConfig::default()
+        }
+    }
+
+    #[test]
+    fn mines_the_full_star_with_support_two() {
+        let g = two_star_graph();
+        let catalog = SpiderCatalog::mine(&g, &default_config(2));
+        // The full star head=0, leaves={1,1,2} must be found with exactly heads {v0, v4}.
+        let full = catalog
+            .spiders()
+            .iter()
+            .find(|s| s.leaf_labels == vec![Label(1), Label(1), Label(2)])
+            .expect("full star mined");
+        assert_eq!(full.head_label, Label(0));
+        assert_eq!(full.support(), 2);
+        assert!(full.heads.contains(&VertexId(0)));
+        assert!(full.heads.contains(&VertexId(4)));
+    }
+
+    #[test]
+    fn sub_stars_are_also_mined_with_larger_support() {
+        let g = two_star_graph();
+        let catalog = SpiderCatalog::mine(&g, &default_config(2));
+        let single_leaf = catalog
+            .spiders()
+            .iter()
+            .find(|s| s.head_label == Label(0) && s.leaf_labels == vec![Label(1)])
+            .expect("single-leaf spider mined");
+        assert_eq!(single_leaf.support(), 3);
+    }
+
+    #[test]
+    fn support_threshold_prunes_rare_spiders() {
+        let g = two_star_graph();
+        let catalog = SpiderCatalog::mine(&g, &default_config(3));
+        // Only spiders supported by all three label-0 heads survive: the
+        // {1}-leaf star (and nothing with label-2 leaves or two leaves).
+        assert!(catalog
+            .spiders()
+            .iter()
+            .all(|s| s.support() >= 3));
+        assert!(catalog
+            .spiders()
+            .iter()
+            .any(|s| s.leaf_labels == vec![Label(1)]));
+        assert!(!catalog
+            .spiders()
+            .iter()
+            .any(|s| s.leaf_labels.contains(&Label(2))));
+    }
+
+    #[test]
+    fn leaf_multisets_are_sorted_and_unique() {
+        let g = two_star_graph();
+        let catalog = SpiderCatalog::mine(&g, &default_config(2));
+        let mut seen = std::collections::HashSet::new();
+        for s in catalog.spiders() {
+            let mut sorted = s.leaf_labels.clone();
+            sorted.sort();
+            assert_eq!(sorted, s.leaf_labels, "leaf labels must be sorted");
+            assert!(
+                seen.insert((s.head_label, s.leaf_labels.clone())),
+                "duplicate spider {:?}",
+                s
+            );
+        }
+    }
+
+    #[test]
+    fn max_leaves_bounds_spider_size() {
+        let g = two_star_graph();
+        let config = SpiderMiningConfig {
+            support_threshold: 2,
+            max_leaves: 1,
+            ..SpiderMiningConfig::default()
+        };
+        let catalog = SpiderCatalog::mine(&g, &config);
+        assert!(catalog.spiders().iter().all(|s| s.size() <= 1));
+    }
+
+    #[test]
+    fn to_pattern_reconstructs_the_star() {
+        let spider = Spider {
+            id: 0,
+            head_label: Label(7),
+            leaf_labels: vec![Label(1), Label(2)],
+            heads: vec![],
+        };
+        let p = spider.to_pattern();
+        assert_eq!(p.vertex_count(), 3);
+        assert_eq!(p.edge_count(), 2);
+        assert_eq!(p.label(VertexId(0)), Label(7));
+        assert_eq!(p.degree(VertexId(0)), 2);
+    }
+
+    #[test]
+    fn matching_at_respects_capacity() {
+        let g = two_star_graph();
+        let catalog = SpiderCatalog::mine(&g, &default_config(2));
+        let at_small_head = catalog.matching_at(&g, VertexId(8));
+        // Only spiders needing at most one label-1 leaf match at v8.
+        for id in &at_small_head {
+            let s = catalog.get(*id);
+            assert!(s.leaf_labels.len() <= 1);
+        }
+        let at_big_head = catalog.matching_at(&g, VertexId(0));
+        assert!(at_big_head.len() >= at_small_head.len());
+        // Leaf vertices (label 1) host no label-0-headed spiders.
+        assert!(catalog
+            .matching_at(&g, VertexId(1))
+            .iter()
+            .all(|&id| catalog.get(id).head_label == Label(1)));
+    }
+
+    #[test]
+    fn include_single_vertex_emits_zero_leaf_spiders() {
+        let g = two_star_graph();
+        let config = SpiderMiningConfig {
+            support_threshold: 2,
+            include_single_vertex: true,
+            ..SpiderMiningConfig::default()
+        };
+        let catalog = SpiderCatalog::mine(&g, &config);
+        assert!(catalog.spiders().iter().any(|s| s.leaf_labels.is_empty()));
+        let config = SpiderMiningConfig {
+            support_threshold: 2,
+            include_single_vertex: false,
+            ..SpiderMiningConfig::default()
+        };
+        let catalog = SpiderCatalog::mine(&g, &config);
+        assert!(catalog.spiders().iter().all(|s| !s.leaf_labels.is_empty()));
+    }
+
+    #[test]
+    fn largest_returns_max_leaf_spider() {
+        let g = two_star_graph();
+        let catalog = SpiderCatalog::mine(&g, &default_config(2));
+        assert_eq!(catalog.largest().expect("non-empty").size(), 3);
+    }
+
+    #[test]
+    fn empty_graph_yields_empty_catalog() {
+        let catalog = SpiderCatalog::mine(&LabeledGraph::new(), &SpiderMiningConfig::default());
+        assert!(catalog.is_empty());
+        assert_eq!(catalog.len(), 0);
+        assert!(catalog.largest().is_none());
+    }
+
+    #[test]
+    fn matches_at_checks_label_and_capacity() {
+        let g = two_star_graph();
+        let spider = Spider {
+            id: 0,
+            head_label: Label(0),
+            leaf_labels: vec![Label(1), Label(1)],
+            heads: vec![],
+        };
+        assert!(spider.matches_at(&g, VertexId(0)));
+        assert!(!spider.matches_at(&g, VertexId(8)), "only one label-1 neighbor");
+        assert!(!spider.matches_at(&g, VertexId(1)), "wrong head label");
+    }
+}

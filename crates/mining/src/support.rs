@@ -1,0 +1,150 @@
+//! Single-graph support measures.
+//!
+//! The single-graph setting makes support subtle: embeddings overlap, and a
+//! naive embedding count is not anti-monotone. The paper adopts the
+//! Fiedler–Borgelt "harmful overlap" definition; exact harmful-overlap support
+//! (like exact edge-disjoint support) requires a maximum-independent-set
+//! computation, which is NP-hard, so practical systems approximate it. We
+//! provide three measures behind one enum:
+//!
+//! * [`SupportMeasure::EmbeddingCount`] — raw number of (deduplicated)
+//!   embeddings; what the paper's synthetic experiments report (`Lsup`,
+//!   `Ssup` are numbers of injected embeddings).
+//! * [`SupportMeasure::MinimumImage`] — MNI: the minimum, over pattern
+//!   vertices, of the number of distinct host vertices that vertex maps to.
+//!   Anti-monotone, cheap, and the standard choice in later literature.
+//! * [`SupportMeasure::GreedyDisjoint`] — greedy maximum independent set over
+//!   the embedding-overlap graph (two embeddings conflict when they share a
+//!   host vertex); a conservative overlap-aware count in the spirit of
+//!   harmful-overlap / edge-disjoint support.
+
+use crate::embedding::Embedding;
+use rustc_hash::FxHashSet;
+use spidermine_graph::graph::VertexId;
+
+/// Which support definition to use when counting pattern frequency.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum SupportMeasure {
+    /// Number of distinct embeddings (distinct host-vertex sets).
+    EmbeddingCount,
+    /// Minimum node image support (MNI).
+    #[default]
+    MinimumImage,
+    /// Greedy vertex-disjoint embedding count.
+    GreedyDisjoint,
+}
+
+impl SupportMeasure {
+    /// Computes the support of a pattern with `pattern_vertices` vertices from
+    /// its embedding list.
+    pub fn compute(self, pattern_vertices: usize, embeddings: &[Embedding]) -> usize {
+        match self {
+            SupportMeasure::EmbeddingCount => distinct_embedding_count(embeddings),
+            SupportMeasure::MinimumImage => minimum_image_support(pattern_vertices, embeddings),
+            SupportMeasure::GreedyDisjoint => greedy_disjoint_support(embeddings),
+        }
+    }
+}
+
+/// Number of embeddings with distinct host-vertex sets (automorphic
+/// re-mappings of the same occurrence count once).
+pub fn distinct_embedding_count(embeddings: &[Embedding]) -> usize {
+    let mut seen: FxHashSet<Vec<VertexId>> = FxHashSet::default();
+    for e in embeddings {
+        let mut key = e.clone();
+        key.sort_unstable();
+        seen.insert(key);
+    }
+    seen.len()
+}
+
+/// Minimum node image support: `min_p |{ e[p] : e ∈ embeddings }|`.
+pub fn minimum_image_support(pattern_vertices: usize, embeddings: &[Embedding]) -> usize {
+    if pattern_vertices == 0 || embeddings.is_empty() {
+        return 0;
+    }
+    (0..pattern_vertices)
+        .map(|p| {
+            embeddings
+                .iter()
+                .map(|e| e[p])
+                .collect::<FxHashSet<_>>()
+                .len()
+        })
+        .min()
+        .unwrap_or(0)
+}
+
+/// Greedily selects pairwise vertex-disjoint embeddings and returns how many
+/// were selected. This lower-bounds the maximum independent set.
+pub fn greedy_disjoint_support(embeddings: &[Embedding]) -> usize {
+    let mut used: FxHashSet<VertexId> = FxHashSet::default();
+    let mut count = 0;
+    for e in embeddings {
+        if e.iter().any(|v| used.contains(v)) {
+            continue;
+        }
+        used.extend(e.iter().copied());
+        count += 1;
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(ids: &[u32]) -> Embedding {
+        ids.iter().map(|&i| VertexId(i)).collect()
+    }
+
+    #[test]
+    fn embedding_count_dedups_vertex_sets() {
+        let embs = vec![v(&[0, 1]), v(&[1, 0]), v(&[2, 3])];
+        assert_eq!(distinct_embedding_count(&embs), 2);
+        assert_eq!(SupportMeasure::EmbeddingCount.compute(2, &embs), 2);
+    }
+
+    #[test]
+    fn mni_is_min_over_positions() {
+        // position 0 images: {0, 2, 4}; position 1 images: {1, 1, 1} -> 1
+        let embs = vec![v(&[0, 1]), v(&[2, 1]), v(&[4, 1])];
+        assert_eq!(minimum_image_support(2, &embs), 1);
+        assert_eq!(SupportMeasure::MinimumImage.compute(2, &embs), 1);
+    }
+
+    #[test]
+    fn mni_of_disjoint_embeddings_equals_count() {
+        let embs = vec![v(&[0, 1]), v(&[2, 3]), v(&[4, 5])];
+        assert_eq!(minimum_image_support(2, &embs), 3);
+    }
+
+    #[test]
+    fn greedy_disjoint_respects_overlap() {
+        let embs = vec![v(&[0, 1]), v(&[1, 2]), v(&[3, 4])];
+        assert_eq!(greedy_disjoint_support(&embs), 2);
+        assert_eq!(SupportMeasure::GreedyDisjoint.compute(2, &embs), 2);
+    }
+
+    #[test]
+    fn empty_inputs_have_zero_support() {
+        for m in [
+            SupportMeasure::EmbeddingCount,
+            SupportMeasure::MinimumImage,
+            SupportMeasure::GreedyDisjoint,
+        ] {
+            assert_eq!(m.compute(2, &[]), 0);
+        }
+        assert_eq!(minimum_image_support(0, &[v(&[])]), 0);
+    }
+
+    #[test]
+    fn measures_are_ordered_as_expected() {
+        // disjoint <= MNI <= embedding count on any input
+        let embs = vec![v(&[0, 1]), v(&[1, 2]), v(&[2, 3]), v(&[5, 6])];
+        let d = greedy_disjoint_support(&embs);
+        let m = minimum_image_support(2, &embs);
+        let c = distinct_embedding_count(&embs);
+        assert!(d <= m && m <= c, "{d} <= {m} <= {c}");
+    }
+}

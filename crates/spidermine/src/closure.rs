@@ -1,0 +1,113 @@
+//! Closure refinement of mined patterns.
+//!
+//! Star spiders (and the Internal Integrity rule of SpiderExtend) never add an
+//! edge between two *existing* pattern vertices, so a pattern grown purely by
+//! spiders can miss edges that are nevertheless present in every one of its
+//! embeddings (e.g. the chord of a cycle). The closure pass restores them:
+//! any vertex pair of the pattern whose images are adjacent in at least σ of
+//! the pattern's embeddings becomes a pattern edge. This keeps the embeddings
+//! valid (matching stays non-induced) and only makes reported patterns larger
+//! and closer to the "true" injected / latent structure. See DESIGN.md for the
+//! substitution note.
+
+use spidermine_graph::graph::{LabeledGraph, VertexId};
+use spidermine_mining::embedding::Embedding;
+
+/// Adds to `pattern` every missing vertex pair whose host images are adjacent
+/// in at least `support_threshold` embeddings. Returns the refined pattern and
+/// the number of edges added.
+pub fn close_pattern(
+    host: &LabeledGraph,
+    pattern: &LabeledGraph,
+    embeddings: &[Embedding],
+    support_threshold: usize,
+) -> (LabeledGraph, usize) {
+    let mut refined = pattern.clone();
+    let mut added = 0;
+    let n = pattern.vertex_count() as u32;
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let (pu, pv) = (VertexId(u), VertexId(v));
+            if refined.has_edge(pu, pv) {
+                continue;
+            }
+            let witness = embeddings
+                .iter()
+                .filter(|e| host.has_edge(e[pu.index()], e[pv.index()]))
+                .count();
+            if witness >= support_threshold && witness == embeddings.len() && !embeddings.is_empty()
+            {
+                refined.add_edge(pu, pv);
+                added += 1;
+            }
+        }
+    }
+    (refined, added)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spidermine_graph::label::Label;
+
+    #[test]
+    fn closure_adds_the_missing_triangle_edge() {
+        // Host: two triangles. Pattern: the open path 0-1-2 embedded in both.
+        let host = LabeledGraph::from_parts(
+            &[Label(0), Label(1), Label(2), Label(0), Label(1), Label(2)],
+            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)],
+        );
+        let path = LabeledGraph::from_parts(&[Label(0), Label(1), Label(2)], &[(0, 1), (1, 2)]);
+        let embeddings = vec![
+            vec![VertexId(0), VertexId(1), VertexId(2)],
+            vec![VertexId(3), VertexId(4), VertexId(5)],
+        ];
+        let (closed, added) = close_pattern(&host, &path, &embeddings, 2);
+        assert_eq!(added, 1);
+        assert!(closed.has_edge(VertexId(0), VertexId(2)));
+        assert_eq!(closed.edge_count(), 3);
+    }
+
+    #[test]
+    fn closure_requires_all_embeddings_to_agree() {
+        // Host: one triangle and one open path — the chord exists in only one
+        // embedding, so it must NOT be added.
+        let host = LabeledGraph::from_parts(
+            &[Label(0), Label(1), Label(2), Label(0), Label(1), Label(2)],
+            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5)],
+        );
+        let path = LabeledGraph::from_parts(&[Label(0), Label(1), Label(2)], &[(0, 1), (1, 2)]);
+        let embeddings = vec![
+            vec![VertexId(0), VertexId(1), VertexId(2)],
+            vec![VertexId(3), VertexId(4), VertexId(5)],
+        ];
+        let (closed, added) = close_pattern(&host, &path, &embeddings, 1);
+        assert_eq!(added, 0);
+        assert_eq!(closed.edge_count(), path.edge_count());
+    }
+
+    #[test]
+    fn closure_with_no_embeddings_is_a_noop() {
+        let host = LabeledGraph::from_parts(&[Label(0), Label(1)], &[(0, 1)]);
+        let pattern = LabeledGraph::from_parts(&[Label(0), Label(1)], &[]);
+        let (closed, added) = close_pattern(&host, &pattern, &[], 1);
+        assert_eq!(added, 0);
+        assert_eq!(closed.edge_count(), 0);
+    }
+
+    #[test]
+    fn existing_edges_are_left_alone() {
+        let host = LabeledGraph::from_parts(
+            &[Label(0), Label(1), Label(0), Label(1)],
+            &[(0, 1), (2, 3)],
+        );
+        let pattern = LabeledGraph::from_parts(&[Label(0), Label(1)], &[(0, 1)]);
+        let embeddings = vec![
+            vec![VertexId(0), VertexId(1)],
+            vec![VertexId(2), VertexId(3)],
+        ];
+        let (closed, added) = close_pattern(&host, &pattern, &embeddings, 2);
+        assert_eq!(added, 0);
+        assert_eq!(closed.edge_count(), 1);
+    }
+}

@@ -1,0 +1,142 @@
+//! Configuration of the SpiderMine algorithm.
+
+use spidermine_mining::support::SupportMeasure;
+
+/// All knobs of the SpiderMine algorithm.
+///
+/// The first five fields are the paper's user-facing parameters
+/// (Definition 3 and Algorithm 1); the remaining fields bound the work done by
+/// this implementation and have defaults that match the paper's experimental
+/// settings where the paper states them.
+#[derive(Clone, Debug)]
+pub struct SpiderMineConfig {
+    /// Support threshold σ: minimum support for a pattern to be frequent.
+    pub support_threshold: usize,
+    /// Number of top patterns to return (K).
+    pub k: usize,
+    /// Error bound ε: the result misses a top-K pattern with probability ≤ ε.
+    pub epsilon: f64,
+    /// Diameter upper bound `Dmax` for returned patterns.
+    pub d_max: u32,
+    /// Spider radius r (the paper recommends 1 or 2; this implementation's
+    /// fast path is r = 1).
+    pub r: u32,
+    /// `Vmin`: the minimum number of vertices the user considers a "large"
+    /// pattern, expressed as a fraction of `|V(G)|` (the paper's worked
+    /// example uses 1/10). Drives the seed count M via Lemma 2.
+    pub v_min_fraction: f64,
+    /// Support measure used for frequency checks during growth.
+    pub support_measure: SupportMeasure,
+    /// RNG seed for the random spider draw, so runs are reproducible.
+    pub rng_seed: u64,
+    /// Explicit override for the number of seed spiders M (otherwise computed
+    /// from ε, K and `v_min_fraction`).
+    pub seed_count_override: Option<usize>,
+    /// Maximum leaves per mined spider (Stage I work bound).
+    pub max_spider_leaves: usize,
+    /// Maximum embeddings tracked per grown pattern.
+    pub max_embeddings: usize,
+    /// Maximum alternative extensions explored per boundary vertex.
+    pub branch_factor: usize,
+    /// Maximum concurrent variants kept per growing seed (beam width).
+    pub beam_width: usize,
+    /// Hard cap on pattern vertices (safety valve).
+    pub max_pattern_vertices: usize,
+    /// If no pattern merged during Stage II, fall back to growing the largest
+    /// unmerged patterns instead of returning nothing.
+    pub keep_unmerged_fallback: bool,
+    /// Run the closure refinement pass on the returned patterns (adds edges
+    /// between pattern vertices that co-occur in at least σ embeddings).
+    pub closure_refinement: bool,
+}
+
+impl Default for SpiderMineConfig {
+    fn default() -> Self {
+        Self {
+            support_threshold: 2,
+            k: 10,
+            epsilon: 0.1,
+            d_max: 10,
+            r: 1,
+            v_min_fraction: 0.1,
+            support_measure: SupportMeasure::MinimumImage,
+            rng_seed: 0x5eed_5eed,
+            seed_count_override: None,
+            max_spider_leaves: 8,
+            max_embeddings: 1000,
+            branch_factor: 3,
+            beam_width: 6,
+            max_pattern_vertices: 512,
+            keep_unmerged_fallback: true,
+            closure_refinement: true,
+        }
+    }
+}
+
+impl SpiderMineConfig {
+    /// Number of SpiderGrow iterations in Stage II: `Dmax / 2r` (Lemma 1),
+    /// always at least 1.
+    pub fn stage_two_iterations(&self) -> u32 {
+        (self.d_max / (2 * self.r.max(1))).max(1)
+    }
+
+    /// Validates parameter ranges, returning a human-readable error.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.support_threshold == 0 {
+            return Err("support_threshold must be at least 1".into());
+        }
+        if self.k == 0 {
+            return Err("k must be at least 1".into());
+        }
+        if !(0.0 < self.epsilon && self.epsilon < 1.0) {
+            return Err("epsilon must be in (0, 1)".into());
+        }
+        if self.r == 0 {
+            return Err("spider radius r must be at least 1".into());
+        }
+        if !(0.0 < self.v_min_fraction && self.v_min_fraction <= 1.0) {
+            return Err("v_min_fraction must be in (0, 1]".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        assert!(SpiderMineConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn stage_two_iterations_follow_lemma_one() {
+        let mut c = SpiderMineConfig::default();
+        c.d_max = 10;
+        c.r = 1;
+        assert_eq!(c.stage_two_iterations(), 5);
+        c.d_max = 4;
+        assert_eq!(c.stage_two_iterations(), 2);
+        c.r = 2;
+        assert_eq!(c.stage_two_iterations(), 1);
+        c.d_max = 1;
+        c.r = 1;
+        assert_eq!(c.stage_two_iterations(), 1, "never zero iterations");
+    }
+
+    #[test]
+    fn validation_rejects_bad_parameters() {
+        let ok = SpiderMineConfig::default();
+        for (field, bad) in [
+            ("sigma", SpiderMineConfig { support_threshold: 0, ..ok.clone() }),
+            ("k", SpiderMineConfig { k: 0, ..ok.clone() }),
+            ("eps0", SpiderMineConfig { epsilon: 0.0, ..ok.clone() }),
+            ("eps1", SpiderMineConfig { epsilon: 1.0, ..ok.clone() }),
+            ("r", SpiderMineConfig { r: 0, ..ok.clone() }),
+            ("vmin", SpiderMineConfig { v_min_fraction: 0.0, ..ok.clone() }),
+        ] {
+            assert!(bad.validate().is_err(), "{field} should be rejected");
+        }
+    }
+}

@@ -1,0 +1,421 @@
+//! SpiderGrow / SpiderExtend: growing patterns by whole spiders.
+//!
+//! This is the paper's Algorithm 2/3 adapted to the star-spider representation
+//! (see DESIGN.md): a pattern grows one *layer* per call — every boundary
+//! vertex is offered the spiders whose head label matches it, new leaves are
+//! appended for the spider's uncovered labels, and an embedding survives the
+//! extension only if the corresponding data vertex has enough *free* (not yet
+//! mapped) neighbors with the required labels. Growing by spiders rather than
+//! edges is the paper's central efficiency claim: each step jumps several
+//! edges at once.
+
+use crate::config::SpiderMineConfig;
+use rustc_hash::FxHashMap;
+use spidermine_graph::graph::{LabeledGraph, VertexId};
+use spidermine_graph::label::Label;
+use spidermine_mining::embedding::Embedding;
+use spidermine_mining::spider::{Spider, SpiderCatalog, SpiderId};
+
+/// A pattern being grown by SpiderMine, together with its embeddings and
+/// growth bookkeeping.
+#[derive(Clone, Debug)]
+pub struct GrownPattern {
+    /// The pattern graph (vertices `0..k`).
+    pub pattern: LabeledGraph,
+    /// Embeddings of the pattern in the data graph.
+    pub embeddings: Vec<Embedding>,
+    /// Pattern vertices added by the most recent growth layer — the boundary
+    /// `B[P]` that the next SpiderGrow call will try to extend.
+    pub boundary: Vec<VertexId>,
+    /// True if this pattern was produced by (or absorbed) a merge.
+    pub merged: bool,
+    /// Seed spiders that contributed to this pattern (provenance).
+    pub seed_ids: Vec<SpiderId>,
+    /// True when no further frequent extension exists.
+    pub exhausted: bool,
+}
+
+impl GrownPattern {
+    /// Support of the pattern under the configured measure.
+    pub fn support(&self, config: &SpiderMineConfig) -> usize {
+        config
+            .support_measure
+            .compute(self.pattern.vertex_count(), &self.embeddings)
+    }
+
+    /// Pattern size in edges (the paper's size definition).
+    pub fn size(&self) -> usize {
+        self.pattern.edge_count()
+    }
+}
+
+/// Builds the initial [`GrownPattern`] for a seed spider: one embedding per
+/// head occurrence, with leaves assigned greedily to the lowest-id free
+/// neighbors of each label.
+pub fn seed_pattern(
+    host: &LabeledGraph,
+    spider: &Spider,
+    config: &SpiderMineConfig,
+) -> GrownPattern {
+    let pattern = spider.to_pattern();
+    let mut embeddings = Vec::new();
+    for &head in &spider.heads {
+        if embeddings.len() >= config.max_embeddings {
+            break;
+        }
+        if let Some(e) = assign_star(host, head, &spider.leaf_labels, &[]) {
+            embeddings.push(e);
+        }
+    }
+    let boundary = pattern.vertices().collect();
+    GrownPattern {
+        pattern,
+        embeddings,
+        boundary,
+        merged: false,
+        seed_ids: vec![spider.id],
+        exhausted: false,
+    }
+}
+
+/// Assigns the sorted `leaf_labels` of a star headed at data vertex `head` to
+/// distinct neighbors of `head` that are not in `excluded`, lowest ids first.
+/// Returns the embedding `[head, leaf_1, …]` or `None` if some label cannot be
+/// supplied.
+fn assign_star(
+    host: &LabeledGraph,
+    head: VertexId,
+    leaf_labels: &[Label],
+    excluded: &[VertexId],
+) -> Option<Embedding> {
+    let mut free_by_label: FxHashMap<Label, Vec<VertexId>> = FxHashMap::default();
+    for &n in host.neighbors(head) {
+        if excluded.contains(&n) || n == head {
+            continue;
+        }
+        free_by_label.entry(host.label(n)).or_default().push(n);
+    }
+    // Neighbors are already sorted by id (adjacency lists are sorted).
+    let mut cursor: FxHashMap<Label, usize> = FxHashMap::default();
+    let mut embedding = vec![head];
+    for &label in leaf_labels {
+        let pool = free_by_label.get(&label)?;
+        let at = cursor.entry(label).or_insert(0);
+        if *at >= pool.len() {
+            return None;
+        }
+        embedding.push(pool[*at]);
+        *at += 1;
+    }
+    Some(embedding)
+}
+
+/// Internal working state while a layer is being grown.
+#[derive(Clone)]
+struct Working {
+    pattern: LabeledGraph,
+    embeddings: Vec<Embedding>,
+    new_vertices: Vec<VertexId>,
+}
+
+/// Grows `input` by one layer (radius + r): every boundary vertex is offered
+/// matching spiders, and the best few frequent variants are kept.
+///
+/// Returns one or more grown variants; if nothing could be extended the single
+/// returned variant is the input pattern with `exhausted = true`.
+pub fn grow_one_layer(
+    host: &LabeledGraph,
+    catalog: &SpiderCatalog,
+    input: &GrownPattern,
+    config: &SpiderMineConfig,
+) -> Vec<GrownPattern> {
+    let sigma = config.support_threshold;
+    let mut working = vec![Working {
+        pattern: input.pattern.clone(),
+        embeddings: input.embeddings.clone(),
+        new_vertices: Vec::new(),
+    }];
+    for &v in &input.boundary {
+        let mut next: Vec<Working> = Vec::new();
+        for w in &working {
+            let children = extensions_at(host, catalog, w, v, config);
+            if children.is_empty() {
+                next.push(w.clone());
+            } else {
+                next.extend(children);
+            }
+        }
+        // Beam pruning: keep the largest variants (by edges, then support).
+        next.sort_by_key(|w| {
+            let support = config.support_measure.compute(w.pattern.vertex_count(), &w.embeddings);
+            std::cmp::Reverse((w.pattern.edge_count(), support))
+        });
+        next.truncate(config.beam_width.max(1));
+        working = next;
+    }
+    working
+        .into_iter()
+        .map(|w| {
+            let exhausted = w.new_vertices.is_empty();
+            GrownPattern {
+                pattern: w.pattern,
+                embeddings: w.embeddings,
+                boundary: if exhausted {
+                    input.boundary.clone()
+                } else {
+                    w.new_vertices.clone()
+                },
+                merged: input.merged,
+                seed_ids: input.seed_ids.clone(),
+                exhausted,
+            }
+        })
+        .filter(|g| g.support(config) >= sigma || g.exhausted)
+        .collect()
+}
+
+/// SpiderExtend at a single boundary vertex: all frequent ways of planting a
+/// spider with its head at `v`, ranked by how much they add, truncated to the
+/// branch factor.
+fn extensions_at(
+    host: &LabeledGraph,
+    catalog: &SpiderCatalog,
+    w: &Working,
+    v: VertexId,
+    config: &SpiderMineConfig,
+) -> Vec<Working> {
+    let sigma = config.support_threshold;
+    let head_label = w.pattern.label(v);
+    // Labels already adjacent to v inside the pattern: the spider only adds
+    // leaves beyond these (the paper's Maximal Overlap condition ensures the
+    // spider covers them; we treat them as already satisfied).
+    let mut covered: FxHashMap<Label, usize> = FxHashMap::default();
+    for &n in w.pattern.neighbors(v) {
+        *covered.entry(w.pattern.label(n)).or_insert(0) += 1;
+    }
+    let mut candidates: Vec<(usize, Working)> = Vec::new();
+    let mut spider_ids: Vec<SpiderId> = catalog.with_head_label(head_label).to_vec();
+    // Prefer big spiders: they make the pattern leap further per iteration.
+    spider_ids.sort_by_key(|&id| std::cmp::Reverse(catalog.get(id).size()));
+    // Bound the work per boundary vertex: the big spiders come first, so
+    // scanning a limited prefix loses little.
+    let max_examined = config.branch_factor.max(1) * 16;
+    for id in spider_ids.into_iter().take(max_examined) {
+        if candidates.len() >= config.branch_factor.max(1) * 3 {
+            break;
+        }
+        let spider = catalog.get(id);
+        // Multiset difference: spider leaves not yet present around v.
+        let new_leaves = multiset_difference(&spider.leaf_labels, &covered);
+        if new_leaves.is_empty() {
+            continue;
+        }
+        if w.pattern.vertex_count() + new_leaves.len() > config.max_pattern_vertices {
+            continue;
+        }
+        let mut new_embeddings: Vec<Embedding> = Vec::new();
+        for e in &w.embeddings {
+            if new_embeddings.len() >= config.max_embeddings {
+                break;
+            }
+            let dv = e[v.index()];
+            if let Some(star) = assign_star(host, dv, &new_leaves, e) {
+                // star = [dv, leaf_1, ...]; append the leaves to the embedding.
+                let mut extended = e.clone();
+                extended.extend_from_slice(&star[1..]);
+                new_embeddings.push(extended);
+            }
+        }
+        let new_vertex_count = w.pattern.vertex_count() + new_leaves.len();
+        let support = config.support_measure.compute(new_vertex_count, &new_embeddings);
+        if support < sigma {
+            continue;
+        }
+        // Build the child pattern: append one vertex per new leaf, attached to v.
+        let mut child = w.pattern.clone();
+        let mut added = w.new_vertices.clone();
+        for &label in &new_leaves {
+            let nv = child.add_vertex(label);
+            child.add_edge(v, nv);
+            added.push(nv);
+        }
+        candidates.push((
+            new_leaves.len(),
+            Working {
+                pattern: child,
+                embeddings: new_embeddings,
+                new_vertices: added,
+            },
+        ));
+    }
+    candidates.sort_by_key(|(gain, w)| std::cmp::Reverse((*gain, w.embeddings.len())));
+    candidates
+        .into_iter()
+        .take(config.branch_factor.max(1))
+        .map(|(_, w)| w)
+        .collect()
+}
+
+/// The sorted multiset `leaves \ covered`.
+fn multiset_difference(leaves: &[Label], covered: &FxHashMap<Label, usize>) -> Vec<Label> {
+    let mut remaining = covered.clone();
+    let mut out = Vec::new();
+    for &l in leaves {
+        match remaining.get_mut(&l) {
+            Some(c) if *c > 0 => *c -= 1,
+            _ => out.push(l),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spidermine_mining::spider::SpiderMiningConfig;
+
+    /// Host with two copies of a path A-B-C-D (labels 0-1-2-3) plus a decoy
+    /// edge.
+    fn two_paths_host() -> LabeledGraph {
+        LabeledGraph::from_parts(
+            &[
+                Label(0), Label(1), Label(2), Label(3), // copy 1
+                Label(0), Label(1), Label(2), Label(3), // copy 2
+                Label(9), Label(9),                     // decoy
+            ],
+            &[(0, 1), (1, 2), (2, 3), (4, 5), (5, 6), (6, 7), (8, 9)],
+        )
+    }
+
+    fn catalog_for(host: &LabeledGraph) -> SpiderCatalog {
+        SpiderCatalog::mine(
+            host,
+            &SpiderMiningConfig {
+                support_threshold: 2,
+                ..SpiderMiningConfig::default()
+            },
+        )
+    }
+
+    fn test_config() -> SpiderMineConfig {
+        SpiderMineConfig {
+            support_threshold: 2,
+            ..SpiderMineConfig::default()
+        }
+    }
+
+    #[test]
+    fn seed_pattern_has_one_embedding_per_head() {
+        let host = two_paths_host();
+        let catalog = catalog_for(&host);
+        let config = test_config();
+        // Spider with head label 1 and a leaf multiset {0, 2} exists with heads v1, v5.
+        let spider = catalog
+            .spiders()
+            .iter()
+            .find(|s| s.head_label == Label(1) && s.leaf_labels == vec![Label(0), Label(2)])
+            .expect("B-head spider");
+        let seeded = seed_pattern(&host, spider, &config);
+        assert_eq!(seeded.embeddings.len(), 2);
+        assert_eq!(seeded.pattern.vertex_count(), 3);
+        assert!(!seeded.merged);
+        assert!(!seeded.exhausted);
+        // Every embedding is valid in the host.
+        let ep = spidermine_mining::embedding::EmbeddedPattern::new(
+            seeded.pattern.clone(),
+            seeded.embeddings.clone(),
+        );
+        assert!(ep.validate_against(&host));
+    }
+
+    #[test]
+    fn grow_one_layer_extends_toward_the_full_path() {
+        let host = two_paths_host();
+        let catalog = catalog_for(&host);
+        let config = test_config();
+        let spider = catalog
+            .spiders()
+            .iter()
+            .find(|s| s.head_label == Label(1) && s.leaf_labels == vec![Label(0), Label(2)])
+            .expect("B-head spider");
+        let seeded = seed_pattern(&host, spider, &config);
+        let grown = grow_one_layer(&host, &catalog, &seeded, &config);
+        assert!(!grown.is_empty());
+        // The best variant should have reached the D vertex (label 3): 4 vertices.
+        let best = grown.iter().max_by_key(|g| g.size()).expect("non-empty");
+        assert!(best.pattern.vertex_count() >= 4, "got {:?}", best.pattern);
+        assert!(best.support(&config) >= 2);
+        let ep = spidermine_mining::embedding::EmbeddedPattern::new(
+            best.pattern.clone(),
+            best.embeddings.clone(),
+        );
+        assert!(ep.validate_against(&host));
+    }
+
+    #[test]
+    fn growth_marks_exhausted_when_nothing_extends() {
+        let host = two_paths_host();
+        let catalog = catalog_for(&host);
+        let config = test_config();
+        // Seed from the decoy edge's spider: label 9 with one label-9 leaf.
+        let spider = catalog
+            .spiders()
+            .iter()
+            .find(|s| s.head_label == Label(9))
+            .expect("decoy spider");
+        let seeded = seed_pattern(&host, spider, &config);
+        // First layer: boundary = both vertices; nothing new can be added
+        // (each label-9 vertex has only one neighbor, already used).
+        let grown = grow_one_layer(&host, &catalog, &seeded, &config);
+        assert!(grown.iter().all(|g| g.exhausted));
+        assert!(grown.iter().all(|g| g.size() == seeded.size()));
+    }
+
+    #[test]
+    fn infrequent_extensions_are_rejected() {
+        // Only one copy of the path: sigma=2 forbids any growth beyond spiders
+        // that occur twice.
+        let host = LabeledGraph::from_parts(
+            &[Label(0), Label(1), Label(2), Label(0), Label(1)],
+            &[(0, 1), (1, 2), (3, 4)],
+        );
+        let catalog = catalog_for(&host);
+        let config = test_config();
+        // The 1-headed spider {0} occurs twice (v1, v4); the {0,2} spider only once.
+        let spider = catalog
+            .spiders()
+            .iter()
+            .find(|s| s.head_label == Label(1) && s.leaf_labels == vec![Label(0)])
+            .expect("small spider");
+        let seeded = seed_pattern(&host, spider, &config);
+        let grown = grow_one_layer(&host, &catalog, &seeded, &config);
+        // No frequent growth is possible: extending toward label 2 drops support to 1.
+        assert!(grown.iter().all(|g| g.pattern.vertex_count() == 2));
+    }
+
+    #[test]
+    fn multiset_difference_behaviour() {
+        let mut covered = FxHashMap::default();
+        covered.insert(Label(1), 1);
+        let leaves = vec![Label(1), Label(1), Label(2)];
+        assert_eq!(multiset_difference(&leaves, &covered), vec![Label(1), Label(2)]);
+        assert_eq!(
+            multiset_difference(&leaves, &FxHashMap::default()),
+            leaves
+        );
+    }
+
+    #[test]
+    fn assign_star_respects_exclusions_and_capacity() {
+        let host = LabeledGraph::from_parts(
+            &[Label(0), Label(1), Label(1), Label(2)],
+            &[(0, 1), (0, 2), (0, 3)],
+        );
+        let e = assign_star(&host, VertexId(0), &[Label(1), Label(1)], &[]).expect("fits");
+        assert_eq!(e, vec![VertexId(0), VertexId(1), VertexId(2)]);
+        // Excluding one label-1 neighbor leaves not enough capacity.
+        assert!(assign_star(&host, VertexId(0), &[Label(1), Label(1)], &[VertexId(1)]).is_none());
+        // Requiring an absent label fails.
+        assert!(assign_star(&host, VertexId(0), &[Label(7)], &[]).is_none());
+    }
+}

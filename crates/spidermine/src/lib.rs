@@ -1,0 +1,58 @@
+//! SpiderMine — mining the top-K largest frequent structural patterns in a
+//! single massive network (reproduction of Zhu et al., VLDB 2011).
+//!
+//! The public entry point is [`SpiderMiner`]: configure it with a
+//! [`SpiderMineConfig`] (support threshold σ, diameter bound `Dmax`, error
+//! bound ε, pattern count K, spider radius r) and call
+//! [`SpiderMiner::mine`] on a [`spidermine_graph::LabeledGraph`].
+//!
+//! ```
+//! use spidermine::{SpiderMineConfig, SpiderMiner};
+//! use spidermine_graph::{LabeledGraph, Label};
+//!
+//! // A toy network: two copies of a 4-vertex pattern plus noise.
+//! let mut g = LabeledGraph::new();
+//! let labels = [0u32, 1, 2, 3, 0, 1, 2, 3, 5, 6];
+//! let vs: Vec<_> = labels.iter().map(|&l| g.add_vertex(Label(l))).collect();
+//! for (a, b) in [(0, 1), (1, 2), (2, 3), (4, 5), (5, 6), (6, 7), (8, 9)] {
+//!     g.add_edge(vs[a], vs[b]);
+//! }
+//!
+//! let config = SpiderMineConfig {
+//!     support_threshold: 2,
+//!     k: 3,
+//!     ..SpiderMineConfig::default()
+//! };
+//! let result = SpiderMiner::new(config).mine(&g);
+//! assert!(!result.patterns.is_empty());
+//! ```
+//!
+//! The algorithm follows the paper's three stages:
+//!
+//! 1. **Mining spiders** ([`spidermine_mining::spider`]) — all frequent
+//!    r-bounded patterns with their head occurrences.
+//! 2. **Large pattern identification** ([`grow`], [`merge`], [`seeding`]) —
+//!    draw `M` random seed spiders (`M` from Lemma 2 via
+//!    [`seeding::seed_count`]), grow them `Dmax/2r` times by whole spiders,
+//!    merge patterns whose embeddings start to overlap, keep only merged
+//!    patterns.
+//! 3. **Large pattern recovery** ([`miner`]) — keep growing the survivors to
+//!    exhaustion and return the K largest, after [`closure`] refinement.
+//!
+//! The spider-set representation used to skip isomorphism tests
+//! (Section 4.2.2 of the paper) lives in [`spider_set`].
+
+pub mod closure;
+pub mod config;
+pub mod grow;
+pub mod merge;
+pub mod miner;
+pub mod result;
+pub mod seeding;
+pub mod spider_set;
+pub mod transaction;
+
+pub use config::SpiderMineConfig;
+pub use miner::SpiderMiner;
+pub use result::{MinedPattern, MiningResult, MiningStats};
+pub use transaction::{TransactionMiner, TransactionMiningResult};

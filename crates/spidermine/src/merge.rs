@@ -1,0 +1,321 @@
+//! CheckMerge: merging grown patterns whose embeddings overlap.
+//!
+//! Stage II's key observation (Section 4.1): if two seed spiders landed inside
+//! the same large pattern, their grown patterns must eventually overlap on
+//! some embeddings, and the merged pattern is a subgraph of that large
+//! pattern. Merging is what separates "on the way to a large pattern" from
+//! "growing toward a small one", so only merged patterns survive the Stage II
+//! pruning.
+//!
+//! This implementation detects overlap through the host vertices covered by
+//! each pattern's embeddings, merges every overlapping embedding pair into the
+//! induced union subgraph, groups the unions by isomorphism (using the
+//! spider-set representation to prune isomorphism tests), and keeps each group
+//! that is frequent.
+
+use crate::config::SpiderMineConfig;
+use crate::grow::GrownPattern;
+use crate::spider_set::{IsoCheck, PrunedIsoOracle, SpiderSet};
+use rustc_hash::{FxHashMap, FxHashSet};
+use spidermine_graph::graph::{LabeledGraph, VertexId};
+use spidermine_graph::iso;
+use spidermine_graph::subgraph;
+use spidermine_mining::embedding::Embedding;
+
+/// Upper bound on overlapping embedding pairs examined per pattern pair.
+const MAX_PAIRS_PER_PATTERN_PAIR: usize = 32;
+
+/// Upper bound on overlapping embedding pairs examined per merge round.
+const MAX_PAIRS_PER_ROUND: usize = 4096;
+
+/// Statistics from one merge round.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MergeStats {
+    /// Pattern pairs whose covered vertex sets intersected.
+    pub candidate_pairs: usize,
+    /// Overlapping embedding pairs examined.
+    pub embedding_pairs: usize,
+    /// Merged patterns that passed the support threshold.
+    pub merged_patterns: usize,
+    /// Isomorphism tests skipped thanks to spider-set pruning.
+    pub iso_tests_pruned: usize,
+    /// Full VF2 isomorphism tests run.
+    pub iso_tests_run: usize,
+}
+
+/// Detects and performs merges among `patterns`.
+///
+/// Returns the merged patterns (marked `merged = true`) plus statistics. The
+/// indices of source patterns that participated in at least one successful
+/// merge are also returned so the caller can mark them.
+pub fn check_merges(
+    host: &LabeledGraph,
+    patterns: &[GrownPattern],
+    config: &SpiderMineConfig,
+) -> (Vec<GrownPattern>, Vec<usize>, MergeStats) {
+    let mut stats = MergeStats::default();
+    let sigma = config.support_threshold;
+    // Host vertex -> patterns covering it, to find candidate pairs cheaply.
+    let covered: Vec<FxHashSet<VertexId>> = patterns
+        .iter()
+        .map(|p| {
+            let mut s = FxHashSet::default();
+            for e in &p.embeddings {
+                s.extend(e.iter().copied());
+            }
+            s
+        })
+        .collect();
+    let mut candidate_pairs: FxHashSet<(usize, usize)> = FxHashSet::default();
+    {
+        let mut by_vertex: FxHashMap<VertexId, Vec<usize>> = FxHashMap::default();
+        for (i, set) in covered.iter().enumerate() {
+            for &v in set {
+                by_vertex.entry(v).or_default().push(i);
+            }
+        }
+        for owners in by_vertex.values() {
+            for a in 0..owners.len() {
+                for b in (a + 1)..owners.len() {
+                    let (i, j) = (owners[a].min(owners[b]), owners[a].max(owners[b]));
+                    if i != j {
+                        candidate_pairs.insert((i, j));
+                    }
+                }
+            }
+        }
+    }
+    stats.candidate_pairs = candidate_pairs.len();
+
+    // Group merged union graphs by isomorphism class.
+    struct MergedGroup {
+        pattern: LabeledGraph,
+        spider_set: SpiderSet,
+        embeddings: Vec<Embedding>,
+        sources: FxHashSet<usize>,
+    }
+    let mut groups: Vec<MergedGroup> = Vec::new();
+    let mut oracle = PrunedIsoOracle::new();
+
+    let mut ordered_pairs: Vec<(usize, usize)> = candidate_pairs.into_iter().collect();
+    ordered_pairs.sort_unstable();
+    for (i, j) in ordered_pairs {
+        if stats.embedding_pairs >= MAX_PAIRS_PER_ROUND {
+            break;
+        }
+        let mut pairs_examined = 0;
+        for e1 in &patterns[i].embeddings {
+            if pairs_examined >= MAX_PAIRS_PER_PATTERN_PAIR {
+                break;
+            }
+            let set1: FxHashSet<VertexId> = e1.iter().copied().collect();
+            for e2 in &patterns[j].embeddings {
+                if pairs_examined >= MAX_PAIRS_PER_PATTERN_PAIR {
+                    break;
+                }
+                if !e2.iter().any(|v| set1.contains(v)) {
+                    continue;
+                }
+                pairs_examined += 1;
+                stats.embedding_pairs += 1;
+                // Union of the two embeddings' host edges.
+                let mut host_edges: Vec<(VertexId, VertexId)> = Vec::new();
+                for (u, v) in patterns[i].pattern.edges() {
+                    host_edges.push((e1[u.index()], e1[v.index()]));
+                }
+                for (u, v) in patterns[j].pattern.edges() {
+                    host_edges.push((e2[u.index()], e2[v.index()]));
+                }
+                let merged = subgraph::edge_subgraph(host, &host_edges);
+                let sset = SpiderSet::of(&merged.graph, config.r.max(1));
+                // Find (or create) the isomorphism group.
+                let mut placed = false;
+                for group in groups.iter_mut() {
+                    match oracle.check(&group.pattern, &group.spider_set, &merged.graph, &sset) {
+                        IsoCheck::ConfirmedIsomorphic => {
+                            // Map the representative onto this union occurrence.
+                            if let Some(m) =
+                                iso::find_embeddings(&group.pattern, &merged.graph, 1).pop()
+                            {
+                                let embedding: Embedding =
+                                    m.iter().map(|&x| merged.origin[x.index()]).collect();
+                                group.embeddings.push(embedding);
+                            }
+                            group.sources.insert(i);
+                            group.sources.insert(j);
+                            placed = true;
+                            break;
+                        }
+                        _ => continue,
+                    }
+                }
+                if !placed {
+                    let embedding: Embedding = merged.origin.clone();
+                    let mut sources = FxHashSet::default();
+                    sources.insert(i);
+                    sources.insert(j);
+                    groups.push(MergedGroup {
+                        pattern: merged.graph,
+                        spider_set: sset,
+                        embeddings: vec![embedding],
+                        sources,
+                    });
+                }
+            }
+        }
+    }
+    stats.iso_tests_pruned = oracle.pruned;
+    stats.iso_tests_run = oracle.full_tests;
+
+    let mut merged_out = Vec::new();
+    let mut participating: FxHashSet<usize> = FxHashSet::default();
+    for group in groups {
+        let support = config
+            .support_measure
+            .compute(group.pattern.vertex_count(), &group.embeddings);
+        if support < sigma {
+            continue;
+        }
+        stats.merged_patterns += 1;
+        participating.extend(group.sources.iter().copied());
+        let mut seed_ids: Vec<_> = group
+            .sources
+            .iter()
+            .flat_map(|&s| patterns[s].seed_ids.iter().copied())
+            .collect();
+        seed_ids.sort_unstable();
+        seed_ids.dedup();
+        let boundary: Vec<VertexId> = group.pattern.vertices().collect();
+        merged_out.push(GrownPattern {
+            pattern: group.pattern,
+            embeddings: group.embeddings,
+            boundary,
+            merged: true,
+            seed_ids,
+            exhausted: false,
+        });
+    }
+    let mut participating: Vec<usize> = participating.into_iter().collect();
+    participating.sort_unstable();
+    (merged_out, participating, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spidermine_graph::label::Label;
+    use spidermine_mining::spider::{SpiderCatalog, SpiderMiningConfig};
+
+    /// Host with two copies of the 5-path 0-1-2-3-4 (labels 0..5).
+    fn host() -> LabeledGraph {
+        LabeledGraph::from_parts(
+            &[
+                Label(0), Label(1), Label(2), Label(3), Label(4),
+                Label(0), Label(1), Label(2), Label(3), Label(4),
+            ],
+            &[(0, 1), (1, 2), (2, 3), (3, 4), (5, 6), (6, 7), (7, 8), (8, 9)],
+        )
+    }
+
+    fn config() -> SpiderMineConfig {
+        SpiderMineConfig {
+            support_threshold: 2,
+            ..SpiderMineConfig::default()
+        }
+    }
+
+    fn grown_from_spider(host: &LabeledGraph, head: Label) -> GrownPattern {
+        let catalog = SpiderCatalog::mine(
+            host,
+            &SpiderMiningConfig {
+                support_threshold: 2,
+                ..SpiderMiningConfig::default()
+            },
+        );
+        let spider = catalog
+            .spiders()
+            .iter()
+            .filter(|s| s.head_label == head)
+            .max_by_key(|s| s.size())
+            .expect("spider with requested head");
+        crate::grow::seed_pattern(host, spider, &config())
+    }
+
+    #[test]
+    fn overlapping_patterns_merge_into_a_larger_one() {
+        let host = host();
+        // Spider at label 1 covers {0,1,2}; spider at label 2 covers {1,2,3}:
+        // they overlap, and their union is the 4-path 0-1-2-3 in both copies.
+        let p1 = grown_from_spider(&host, Label(1));
+        let p2 = grown_from_spider(&host, Label(2));
+        let (merged, participating, stats) = check_merges(&host, &[p1, p2], &config());
+        assert_eq!(stats.candidate_pairs, 1);
+        assert!(stats.embedding_pairs >= 2);
+        assert_eq!(merged.len(), 1, "one isomorphism class of unions");
+        let m = &merged[0];
+        assert!(m.merged);
+        assert_eq!(m.pattern.vertex_count(), 4);
+        assert!(m.support(&config()) >= 2);
+        assert_eq!(participating, vec![0, 1]);
+        // Merged embeddings are valid.
+        let ep = spidermine_mining::embedding::EmbeddedPattern::new(
+            m.pattern.clone(),
+            m.embeddings.clone(),
+        );
+        assert!(ep.validate_against(&host));
+    }
+
+    #[test]
+    fn disjoint_patterns_do_not_merge() {
+        let host = host();
+        let p1 = grown_from_spider(&host, Label(1));
+        let p2 = grown_from_spider(&host, Label(4));
+        // Label-1 spider covers {0,1,2}; label-4 spider covers {3,4}: they
+        // share vertex 3? No: label-4 head has a single label-3 leaf, so it
+        // covers {3,4}; label-1 spider covers {0,1,2} — disjoint.
+        let (merged, participating, stats) = check_merges(&host, &[p1, p2], &config());
+        assert!(merged.is_empty());
+        assert!(participating.is_empty());
+        assert_eq!(stats.merged_patterns, 0);
+    }
+
+    #[test]
+    fn infrequent_merges_are_rejected() {
+        // The two hand-built patterns overlap exactly once, so the merged
+        // union has support 1 and sigma = 2 rejects it.
+        let single = LabeledGraph::from_parts(
+            &[Label(0), Label(1), Label(2), Label(0), Label(1)],
+            &[(0, 1), (1, 2), (3, 4)],
+        );
+        let edge01 = LabeledGraph::from_parts(&[Label(0), Label(1)], &[(0, 1)]);
+        let edge12 = LabeledGraph::from_parts(&[Label(1), Label(2)], &[(0, 1)]);
+        let p1 = GrownPattern {
+            pattern: edge01.clone(),
+            embeddings: vec![vec![VertexId(0), VertexId(1)], vec![VertexId(3), VertexId(4)]],
+            boundary: edge01.vertices().collect(),
+            merged: false,
+            seed_ids: vec![0],
+            exhausted: false,
+        };
+        let p2 = GrownPattern {
+            pattern: edge12.clone(),
+            embeddings: vec![vec![VertexId(1), VertexId(2)]],
+            boundary: edge12.vertices().collect(),
+            merged: false,
+            seed_ids: vec![1],
+            exhausted: false,
+        };
+        let (merged, _, stats) = check_merges(&single, &[p1, p2], &config());
+        assert!(merged.is_empty());
+        assert!(stats.embedding_pairs >= 1, "the overlap was examined");
+    }
+
+    #[test]
+    fn merge_of_identical_patterns_is_not_produced_from_self() {
+        let host = host();
+        let p1 = grown_from_spider(&host, Label(1));
+        let (merged, _, stats) = check_merges(&host, &[p1], &config());
+        assert!(merged.is_empty(), "a single pattern has no one to merge with");
+        assert_eq!(stats.candidate_pairs, 0);
+    }
+}

@@ -1,0 +1,338 @@
+//! The three-stage SpiderMine driver (Algorithm 1 of the paper).
+
+use crate::closure;
+use crate::config::SpiderMineConfig;
+use crate::grow::{self, GrownPattern};
+use crate::merge;
+use crate::result::{mined_pattern, MiningResult, MiningStats};
+use crate::seeding;
+use rustc_hash::FxHashSet;
+use spidermine_graph::graph::LabeledGraph;
+use spidermine_graph::traversal;
+use spidermine_mining::pattern_index::PatternIndex;
+use spidermine_mining::spider::{SpiderCatalog, SpiderMiningConfig};
+use std::time::Instant;
+
+/// Safety cap on Stage III growth rounds.
+const MAX_STAGE_THREE_ROUNDS: usize = 64;
+
+/// The SpiderMine miner. Create it with a [`SpiderMineConfig`] and call
+/// [`SpiderMiner::mine`].
+#[derive(Clone, Debug)]
+pub struct SpiderMiner {
+    config: SpiderMineConfig,
+}
+
+impl SpiderMiner {
+    /// Creates a miner with the given configuration.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid (see
+    /// [`SpiderMineConfig::validate`]).
+    pub fn new(config: SpiderMineConfig) -> Self {
+        if let Err(msg) = config.validate() {
+            panic!("invalid SpiderMine configuration: {msg}");
+        }
+        Self { config }
+    }
+
+    /// The configuration this miner runs with.
+    pub fn config(&self) -> &SpiderMineConfig {
+        &self.config
+    }
+
+    /// Mines the approximate top-K largest frequent patterns of `host`
+    /// (Definition 3): with probability at least `1 - ε` the result contains
+    /// every top-K largest pattern with support ≥ σ and diameter ≤ `Dmax`.
+    pub fn mine(&self, host: &LabeledGraph) -> MiningResult {
+        let config = &self.config;
+        let total_start = Instant::now();
+        let mut stats = MiningStats::default();
+
+        // ---------------------------------------------------------------
+        // Stage I: mine all r-spiders.
+        // ---------------------------------------------------------------
+        let stage_one_start = Instant::now();
+        let catalog = SpiderCatalog::mine(
+            host,
+            &SpiderMiningConfig {
+                support_threshold: config.support_threshold,
+                max_leaves: config.max_spider_leaves,
+                include_single_vertex: false,
+                max_spiders: usize::MAX,
+            },
+        );
+        stats.spider_count = catalog.len();
+        stats.stage_one_time = stage_one_start.elapsed();
+
+        if catalog.is_empty() || host.vertex_count() == 0 {
+            stats.total_time = total_start.elapsed();
+            return MiningResult {
+                patterns: Vec::new(),
+                stats,
+            };
+        }
+
+        // ---------------------------------------------------------------
+        // Stage II: random seeding, iterative growth, merge detection.
+        // ---------------------------------------------------------------
+        let stage_two_start = Instant::now();
+        let v_min = ((host.vertex_count() as f64) * config.v_min_fraction).ceil() as usize;
+        let m = config
+            .seed_count_override
+            .unwrap_or_else(|| seeding::seed_count(host.vertex_count(), v_min.max(1), config.k, config.epsilon));
+        let seed_ids = seeding::random_seed_spiders(&catalog, m, config.rng_seed);
+        stats.seed_count = seed_ids.len();
+
+        let mut patterns: Vec<GrownPattern> = seed_ids
+            .iter()
+            .map(|&id| grow::seed_pattern(host, catalog.get(id), config))
+            .filter(|p| p.support(config) >= config.support_threshold)
+            .collect();
+
+        // A pool of everything ever discovered ("all the patterns discovered
+        // so far are maintained in a list sorted by their size", Stage III).
+        let mut pool: Vec<GrownPattern> = Vec::new();
+        let mut pool_index = PatternIndex::new();
+        let remember = |p: &GrownPattern, pool: &mut Vec<GrownPattern>, index: &mut PatternIndex| {
+            let (_, fresh) = index.insert(p.pattern.clone());
+            if fresh {
+                pool.push(p.clone());
+            }
+        };
+
+        let iterations = config.stage_two_iterations();
+        stats.stage_two_iterations = iterations;
+        for _ in 0..iterations {
+            let mut grown: Vec<GrownPattern> = Vec::new();
+            for p in &patterns {
+                if p.exhausted {
+                    grown.push(p.clone());
+                    continue;
+                }
+                grown.extend(grow::grow_one_layer(host, &catalog, p, config));
+            }
+            let (merged, participating, merge_stats) = merge::check_merges(host, &grown, config);
+            stats.merges += merge_stats.merged_patterns;
+            stats.iso_tests_pruned += merge_stats.iso_tests_pruned;
+            stats.iso_tests_run += merge_stats.iso_tests_run;
+            // Mark growth branches that took part in a merge so the Stage II
+            // pruning keeps their lineage.
+            let participating: FxHashSet<usize> = participating.into_iter().collect();
+            for (idx, g) in grown.iter_mut().enumerate() {
+                if participating.contains(&idx) {
+                    g.merged = true;
+                }
+            }
+            for g in &grown {
+                remember(g, &mut pool, &mut pool_index);
+            }
+            for m in &merged {
+                remember(m, &mut pool, &mut pool_index);
+            }
+            patterns = grown;
+            patterns.extend(merged);
+            // Keep the working set bounded: prefer merged, then larger patterns.
+            patterns.sort_by_key(|p| {
+                std::cmp::Reverse((p.merged as usize, p.size(), p.embeddings.len()))
+            });
+            let cap = (2 * stats.seed_count).max(4 * config.k).max(16);
+            patterns.truncate(cap);
+        }
+
+        // Prune unmerged patterns (Stage II, line 10 of Algorithm 1).
+        let mut survivors: Vec<GrownPattern> =
+            patterns.iter().filter(|p| p.merged).cloned().collect();
+        if survivors.is_empty() && config.keep_unmerged_fallback {
+            // Fallback documented in DESIGN.md: keep the largest grown
+            // patterns so the miner still returns something useful when no
+            // merge happened (e.g. tiny graphs or K patterns with a single
+            // seed hit).
+            let mut all = patterns.clone();
+            all.sort_by_key(|p| std::cmp::Reverse(p.size()));
+            survivors = all.into_iter().take(2 * config.k).collect();
+        }
+        stats.stage_two_time = stage_two_start.elapsed();
+
+        // ---------------------------------------------------------------
+        // Stage III: grow survivors to exhaustion, return the K largest.
+        // ---------------------------------------------------------------
+        let stage_three_start = Instant::now();
+        let mut rounds = 0;
+        loop {
+            rounds += 1;
+            if rounds > MAX_STAGE_THREE_ROUNDS {
+                break;
+            }
+            let mut changed = false;
+            let mut next: Vec<GrownPattern> = Vec::new();
+            for p in &survivors {
+                let stop_for_diameter = traversal::diameter(&p.pattern) >= config.d_max;
+                if p.exhausted || stop_for_diameter {
+                    next.push(p.clone());
+                    continue;
+                }
+                let grown = grow::grow_one_layer(host, &catalog, p, config);
+                for g in &grown {
+                    if g.size() > p.size() {
+                        changed = true;
+                    }
+                    remember(g, &mut pool, &mut pool_index);
+                }
+                next.extend(grown);
+            }
+            next.sort_by_key(|p| std::cmp::Reverse((p.size(), p.embeddings.len())));
+            next.truncate((4 * config.k).max(16));
+            survivors = next;
+            if !changed {
+                break;
+            }
+        }
+        for p in &survivors {
+            remember(p, &mut pool, &mut pool_index);
+        }
+        stats.stage_three_time = stage_three_start.elapsed();
+
+        // Rank the pool, deduplicate by isomorphism (already done via the
+        // pattern index) and return the K largest frequent patterns.
+        let mut result = MiningResult {
+            patterns: Vec::new(),
+            stats,
+        };
+        pool.sort_by_key(|p| std::cmp::Reverse((p.size(), p.embeddings.len())));
+        for p in pool {
+            if result.patterns.len() >= config.k {
+                break;
+            }
+            let support = p.support(config);
+            if support < config.support_threshold {
+                continue;
+            }
+            let (pattern, _) = if config.closure_refinement {
+                closure::close_pattern(host, &p.pattern, &p.embeddings, config.support_threshold)
+            } else {
+                (p.pattern.clone(), 0)
+            };
+            result
+                .patterns
+                .push(mined_pattern(pattern, support, p.embeddings.clone(), p.merged));
+        }
+        result.sort_patterns();
+        result.stats.total_time = total_start.elapsed();
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use spidermine_graph::generate;
+    use spidermine_graph::label::Label;
+
+    fn planted_graph(copies: usize, pattern_vertices: usize, seed: u64) -> (LabeledGraph, LabeledGraph) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut background = generate::erdos_renyi_average_degree(&mut rng, 300, 2.0, 40);
+        let pattern = generate::random_connected_pattern(&mut rng, pattern_vertices, 40, 3);
+        generate::inject_pattern(&mut rng, &mut background, &pattern, copies, 2);
+        (background, pattern)
+    }
+
+    fn miner(k: usize) -> SpiderMiner {
+        SpiderMiner::new(SpiderMineConfig {
+            support_threshold: 2,
+            k,
+            d_max: 8,
+            rng_seed: 17,
+            ..SpiderMineConfig::default()
+        })
+    }
+
+    #[test]
+    fn recovers_a_planted_large_pattern() {
+        let (host, pattern) = planted_graph(3, 12, 11);
+        let result = miner(5).mine(&host);
+        assert!(!result.patterns.is_empty());
+        // The largest mined pattern should be comparable in size to the
+        // planted one (12 vertices, ~14 edges); background noise patterns with
+        // support >= 2 are much smaller.
+        assert!(
+            result.largest_vertices() >= pattern.vertex_count() / 2,
+            "largest mined pattern has {} vertices, planted {}",
+            result.largest_vertices(),
+            pattern.vertex_count()
+        );
+        // All returned patterns are frequent.
+        for p in &result.patterns {
+            assert!(p.support >= 2);
+        }
+        assert!(result.stats.spider_count > 0);
+        assert!(result.stats.seed_count >= 2);
+    }
+
+    #[test]
+    fn patterns_are_sorted_by_decreasing_size() {
+        let (host, _) = planted_graph(2, 10, 23);
+        let result = miner(8).mine(&host);
+        let sizes: Vec<usize> = result.patterns.iter().map(|p| p.size_edges()).collect();
+        let mut sorted = sizes.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        assert_eq!(sizes, sorted);
+        assert!(result.patterns.len() <= 8);
+    }
+
+    #[test]
+    fn returned_embeddings_are_valid() {
+        let (host, _) = planted_graph(2, 8, 5);
+        let result = miner(4).mine(&host);
+        for p in &result.patterns {
+            let ep = spidermine_mining::embedding::EmbeddedPattern::new(
+                p.pattern.clone(),
+                p.embeddings.clone(),
+            );
+            assert!(ep.validate_against(&host), "invalid embeddings for {:?}", p.pattern);
+        }
+    }
+
+    #[test]
+    fn empty_graph_returns_empty_result() {
+        let result = miner(3).mine(&LabeledGraph::new());
+        assert!(result.patterns.is_empty());
+        assert_eq!(result.stats.spider_count, 0);
+    }
+
+    #[test]
+    fn k_limits_the_number_of_returned_patterns() {
+        let (host, _) = planted_graph(2, 8, 31);
+        let result = miner(2).mine(&host);
+        assert!(result.patterns.len() <= 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid SpiderMine configuration")]
+    fn invalid_config_panics() {
+        let _ = SpiderMiner::new(SpiderMineConfig {
+            k: 0,
+            ..SpiderMineConfig::default()
+        });
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let (host, _) = planted_graph(2, 9, 41);
+        let a = miner(4).mine(&host);
+        let b = miner(4).mine(&host);
+        let sizes_a: Vec<_> = a.patterns.iter().map(|p| (p.size_edges(), p.support)).collect();
+        let sizes_b: Vec<_> = b.patterns.iter().map(|p| (p.size_edges(), p.support)).collect();
+        assert_eq!(sizes_a, sizes_b);
+    }
+
+    #[test]
+    fn tiny_graph_without_frequent_patterns() {
+        let host = LabeledGraph::from_parts(&[Label(0), Label(1)], &[(0, 1)]);
+        let result = miner(3).mine(&host);
+        // A single edge with unique labels has no pattern of support >= 2.
+        assert!(result.patterns.is_empty());
+    }
+}

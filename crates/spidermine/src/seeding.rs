@@ -1,0 +1,141 @@
+//! Seed-count computation (Lemma 2) and the random spider draw.
+//!
+//! Lemma 2 of the paper bounds the probability that *all* top-K large
+//! patterns are "successfully identified" (at least two of the M randomly
+//! drawn seed spiders fall inside each of them):
+//!
+//! ```text
+//! P_success >= (1 - (M + 1) * (1 - Vmin / |V(G)|)^M)^K
+//! ```
+//!
+//! Given ε, K and `Vmin` we pick the smallest M making the bound at least
+//! 1 − ε. The paper's worked example (ε = 0.1, K = 10, Vmin = |V|/10) reports
+//! M = 85; solving the bound exactly gives M = 86, and [`seed_count`] returns
+//! that exact value (the one-off difference is the paper's rounding).
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use spidermine_mining::spider::{SpiderCatalog, SpiderId};
+
+/// The success-probability lower bound of Lemma 2 for a given draw size `m`.
+///
+/// `hit_probability` is `Vmin / |V(G)|`, the per-draw probability lower bound
+/// of hitting a specific large pattern.
+pub fn success_probability_lower_bound(m: usize, hit_probability: f64, k: usize) -> f64 {
+    assert!((0.0..=1.0).contains(&hit_probability));
+    let miss = 1.0 - hit_probability;
+    let fail_one = (m as f64 + 1.0) * miss.powi(m as i32);
+    let per_pattern = (1.0 - fail_one).max(0.0);
+    per_pattern.powi(k as i32)
+}
+
+/// Smallest number of seed spiders M such that the Lemma 2 bound reaches
+/// `1 - epsilon` for `k` patterns of at least `v_min` vertices in a graph of
+/// `graph_vertices` vertices.
+///
+/// Returns at least 2 (one seed can never trigger a merge) and caps the search
+/// at 100 000 to keep pathological parameter combinations finite.
+pub fn seed_count(graph_vertices: usize, v_min: usize, k: usize, epsilon: f64) -> usize {
+    assert!(graph_vertices > 0, "graph must have vertices");
+    assert!((0.0..1.0).contains(&epsilon) && epsilon > 0.0, "epsilon in (0,1)");
+    let hit = (v_min as f64 / graph_vertices as f64).clamp(1e-9, 1.0);
+    let target = 1.0 - epsilon;
+    for m in 2..100_000 {
+        if success_probability_lower_bound(m, hit, k) >= target {
+            return m;
+        }
+    }
+    100_000
+}
+
+/// Draws `m` distinct spiders uniformly at random from the catalog.
+///
+/// If the catalog holds fewer than `m` spiders, all of them are returned.
+/// The draw is deterministic in `rng_seed`.
+pub fn random_seed_spiders(catalog: &SpiderCatalog, m: usize, rng_seed: u64) -> Vec<SpiderId> {
+    let mut ids: Vec<SpiderId> = (0..catalog.len()).collect();
+    let mut rng = ChaCha8Rng::seed_from_u64(rng_seed);
+    ids.shuffle(&mut rng);
+    ids.truncate(m);
+    ids.sort_unstable();
+    ids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spidermine_graph::graph::LabeledGraph;
+    use spidermine_graph::label::Label;
+    use spidermine_mining::spider::SpiderMiningConfig;
+
+    #[test]
+    fn paper_worked_example_is_about_85() {
+        // ε = 0.1, K = 10, Vmin = |V|/10. The paper reports M = 85; solving
+        // the Lemma 2 bound exactly gives 86 (the paper presumably rounded),
+        // so we assert the value is in the immediate neighborhood.
+        let m = seed_count(1000, 100, 10, 0.1);
+        assert!((84..=88).contains(&m), "Lemma 2 worked example, got {m}");
+    }
+
+    #[test]
+    fn seed_count_scales_with_parameters() {
+        // Larger K needs more seeds; smaller epsilon needs more seeds;
+        // smaller Vmin needs more seeds.
+        let base = seed_count(1000, 100, 10, 0.1);
+        assert!(seed_count(1000, 100, 20, 0.1) >= base);
+        assert!(seed_count(1000, 100, 10, 0.01) >= base);
+        assert!(seed_count(1000, 50, 10, 0.1) >= base);
+        assert!(seed_count(1000, 500, 10, 0.1) <= base);
+    }
+
+    #[test]
+    fn success_bound_is_monotone_in_m() {
+        let mut last = 0.0;
+        for m in 2..200 {
+            let p = success_probability_lower_bound(m, 0.1, 10);
+            assert!(p + 1e-12 >= last, "bound should not decrease with m");
+            last = p;
+        }
+        assert!(last > 0.9);
+    }
+
+    #[test]
+    fn seed_count_is_at_least_two() {
+        assert!(seed_count(10, 10, 1, 0.5) >= 2);
+    }
+
+    fn tiny_catalog() -> SpiderCatalog {
+        let g = LabeledGraph::from_parts(
+            &[Label(0), Label(1), Label(0), Label(1)],
+            &[(0, 1), (2, 3)],
+        );
+        SpiderCatalog::mine(
+            &g,
+            &SpiderMiningConfig {
+                support_threshold: 2,
+                ..SpiderMiningConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn random_draw_is_deterministic_and_bounded() {
+        let catalog = tiny_catalog();
+        let a = random_seed_spiders(&catalog, 1, 7);
+        let b = random_seed_spiders(&catalog, 1, 7);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 1);
+        let all = random_seed_spiders(&catalog, 100, 7);
+        assert_eq!(all.len(), catalog.len(), "cannot draw more than exist");
+    }
+
+    #[test]
+    fn random_draw_returns_distinct_ids() {
+        let catalog = tiny_catalog();
+        let ids = random_seed_spiders(&catalog, catalog.len(), 3);
+        let mut dedup = ids.clone();
+        dedup.dedup();
+        assert_eq!(ids.len(), dedup.len());
+    }
+}

@@ -1,0 +1,273 @@
+//! The spider-set representation of a pattern (Section 4.2.2).
+//!
+//! A pattern `P` is represented by the multiset `S[P] = { s_h[v] : v ∈ V(P) }`
+//! of the radius-r spiders rooted at each of its vertices. Theorem 2 states
+//! that isomorphic patterns have equal spider-sets, so *unequal spider-sets
+//! prove non-isomorphism* and the expensive VF2 test can be skipped — that is
+//! the paper's "spider-set pruning". The converse does not hold (Figure 3(II)
+//! gives a radius-1 counterexample, reproduced in this module's tests), so
+//! equal spider-sets still require a VF2 confirmation.
+
+use rustc_hash::FxHashMap;
+use spidermine_graph::graph::{LabeledGraph, VertexId};
+use spidermine_graph::iso;
+use spidermine_graph::signature::{vertex_signature, VertexSignature};
+use spidermine_graph::traversal;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// The spider-set representation of a pattern: the sorted multiset of per-vertex
+/// radius-r signatures, plus a precomputed hash for cheap bucketing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpiderSet {
+    /// Radius used to build the per-vertex spiders.
+    pub radius: u32,
+    /// Sorted multiset of per-vertex spider descriptions.
+    pub members: Vec<VertexSignature>,
+    /// Hash of `members` (and the radius) for use as a bucket key.
+    pub hash: u64,
+}
+
+impl SpiderSet {
+    /// Builds the spider-set representation of `pattern` with spiders of the
+    /// given `radius`.
+    ///
+    /// For radius 1 the per-vertex spider is exactly the vertex's label plus
+    /// the sorted labels of its neighbors. For radius ≥ 2 the "label" part is
+    /// replaced by a hash of the vertex's bounded-BFS ball signature, which
+    /// keeps Theorem 2 (isomorphism ⇒ equality) while increasing discriminating
+    /// power, mirroring the paper's discussion of larger r.
+    pub fn of(pattern: &LabeledGraph, radius: u32) -> Self {
+        assert!(radius >= 1);
+        let members: Vec<VertexSignature> = if radius == 1 {
+            let mut m: Vec<VertexSignature> =
+                pattern.vertices().map(|v| vertex_signature(pattern, v)).collect();
+            m.sort();
+            m
+        } else {
+            let mut m: Vec<VertexSignature> = pattern
+                .vertices()
+                .map(|v| ball_signature(pattern, v, radius))
+                .collect();
+            m.sort();
+            m
+        };
+        let mut hasher = DefaultHasher::new();
+        radius.hash(&mut hasher);
+        members.hash(&mut hasher);
+        let hash = hasher.finish();
+        Self {
+            radius,
+            members,
+            hash,
+        }
+    }
+
+    /// Number of spiders in the multiset (= number of pattern vertices).
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True for the empty pattern.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+}
+
+/// Radius-r ball signature of a vertex: the vertex label together with the
+/// sorted list of (distance, label) pairs of every vertex in its r-ball.
+/// Isomorphism-invariant by construction.
+fn ball_signature(pattern: &LabeledGraph, v: VertexId, radius: u32) -> VertexSignature {
+    let dist = traversal::bfs_distances_bounded(pattern, v, radius);
+    let mut pairs: Vec<u32> = Vec::new();
+    for u in pattern.vertices() {
+        let d = dist[u.index()];
+        if u != v && d != traversal::UNREACHABLE {
+            // Encode (distance, label) into one u32 for compactness.
+            pairs.push(d * 1_000_003 + pattern.label(u).0);
+        }
+    }
+    pairs.sort_unstable();
+    VertexSignature {
+        label: pattern.label(v).0,
+        neighbor_labels: pairs,
+    }
+}
+
+/// Outcome of the spider-set pruning check.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IsoCheck {
+    /// Spider-sets differ: the graphs are certainly not isomorphic.
+    PrunedNonIsomorphic,
+    /// Spider-sets agree and VF2 confirmed isomorphism.
+    ConfirmedIsomorphic,
+    /// Spider-sets agree but VF2 refuted isomorphism (a hash-equal collision).
+    RefutedIsomorphic,
+}
+
+/// Statistics-producing isomorphism oracle with spider-set pruning.
+///
+/// Counts how many full VF2 tests were avoided, which is the quantity the
+/// ablation benchmark (`bench/spider_set.rs`) reports.
+#[derive(Debug, Default)]
+pub struct PrunedIsoOracle {
+    /// Number of comparisons answered by spider-set inequality alone.
+    pub pruned: usize,
+    /// Number of comparisons that needed a full VF2 run.
+    pub full_tests: usize,
+}
+
+impl PrunedIsoOracle {
+    /// Creates a fresh oracle.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Compares two patterns whose spider-sets have already been computed.
+    pub fn check(
+        &mut self,
+        a: &LabeledGraph,
+        sa: &SpiderSet,
+        b: &LabeledGraph,
+        sb: &SpiderSet,
+    ) -> IsoCheck {
+        if sa.hash != sb.hash || sa.members != sb.members {
+            self.pruned += 1;
+            return IsoCheck::PrunedNonIsomorphic;
+        }
+        self.full_tests += 1;
+        if iso::are_isomorphic(a, b) {
+            IsoCheck::ConfirmedIsomorphic
+        } else {
+            IsoCheck::RefutedIsomorphic
+        }
+    }
+}
+
+/// Groups patterns into isomorphism classes using spider-set pruning, returning
+/// for each input pattern the index of its class representative.
+pub fn isomorphism_classes(patterns: &[LabeledGraph], radius: u32) -> Vec<usize> {
+    let sets: Vec<SpiderSet> = patterns.iter().map(|p| SpiderSet::of(p, radius)).collect();
+    let mut buckets: FxHashMap<u64, Vec<usize>> = FxHashMap::default();
+    let mut class = vec![usize::MAX; patterns.len()];
+    let mut oracle = PrunedIsoOracle::new();
+    for i in 0..patterns.len() {
+        let mut assigned = None;
+        if let Some(bucket) = buckets.get(&sets[i].hash) {
+            for &j in bucket {
+                match oracle.check(&patterns[i], &sets[i], &patterns[j], &sets[j]) {
+                    IsoCheck::ConfirmedIsomorphic => {
+                        assigned = Some(class[j]);
+                        break;
+                    }
+                    _ => continue,
+                }
+            }
+        }
+        class[i] = assigned.unwrap_or(i);
+        buckets.entry(sets[i].hash).or_default().push(i);
+    }
+    class
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spidermine_graph::label::Label;
+
+    fn path(labels: &[u32]) -> LabeledGraph {
+        let labels: Vec<Label> = labels.iter().map(|&l| Label(l)).collect();
+        let edges: Vec<(u32, u32)> = (0..labels.len() as u32 - 1).map(|i| (i, i + 1)).collect();
+        LabeledGraph::from_parts(&labels, &edges)
+    }
+
+    #[test]
+    fn theorem2_isomorphic_graphs_have_equal_spider_sets() {
+        let a = path(&[1, 2, 3]);
+        let b = path(&[3, 2, 1]);
+        for r in [1, 2] {
+            assert_eq!(SpiderSet::of(&a, r), SpiderSet::of(&b, r));
+        }
+    }
+
+    #[test]
+    fn different_patterns_have_different_spider_sets() {
+        let a = path(&[1, 2, 3]);
+        let b = path(&[1, 2, 4]);
+        assert_ne!(SpiderSet::of(&a, 1), SpiderSet::of(&b, 1));
+    }
+
+    #[test]
+    fn figure3_radius1_collision_resolved_by_radius2() {
+        // Figure 3(II): with r = 1 two different graphs can share the
+        // spider-set; increasing r separates them. 6-cycle vs two triangles.
+        let cycle6 = LabeledGraph::from_parts(
+            &[Label(1); 6],
+            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)],
+        );
+        let two_triangles = LabeledGraph::from_parts(
+            &[Label(1); 6],
+            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)],
+        );
+        assert_eq!(
+            SpiderSet::of(&cycle6, 1),
+            SpiderSet::of(&two_triangles, 1),
+            "radius 1 cannot distinguish them"
+        );
+        assert_ne!(
+            SpiderSet::of(&cycle6, 2),
+            SpiderSet::of(&two_triangles, 2),
+            "radius 2 distinguishes them"
+        );
+    }
+
+    #[test]
+    fn oracle_counts_pruned_and_full_tests() {
+        let a = path(&[1, 2, 3]);
+        let sa = SpiderSet::of(&a, 1);
+        let b = path(&[1, 2, 4]);
+        let sb = SpiderSet::of(&b, 1);
+        let c = path(&[3, 2, 1]);
+        let sc = SpiderSet::of(&c, 1);
+        let mut oracle = PrunedIsoOracle::new();
+        assert_eq!(oracle.check(&a, &sa, &b, &sb), IsoCheck::PrunedNonIsomorphic);
+        assert_eq!(oracle.check(&a, &sa, &c, &sc), IsoCheck::ConfirmedIsomorphic);
+        assert_eq!(oracle.pruned, 1);
+        assert_eq!(oracle.full_tests, 1);
+    }
+
+    #[test]
+    fn oracle_detects_hash_collision_refutation() {
+        let cycle6 = LabeledGraph::from_parts(
+            &[Label(1); 6],
+            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)],
+        );
+        let two_triangles = LabeledGraph::from_parts(
+            &[Label(1); 6],
+            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)],
+        );
+        let s1 = SpiderSet::of(&cycle6, 1);
+        let s2 = SpiderSet::of(&two_triangles, 1);
+        let mut oracle = PrunedIsoOracle::new();
+        assert_eq!(
+            oracle.check(&cycle6, &s1, &two_triangles, &s2),
+            IsoCheck::RefutedIsomorphic
+        );
+    }
+
+    #[test]
+    fn isomorphism_classes_group_correctly() {
+        let patterns = vec![path(&[1, 2, 3]), path(&[3, 2, 1]), path(&[1, 2, 4])];
+        let classes = isomorphism_classes(&patterns, 1);
+        assert_eq!(classes[0], classes[1]);
+        assert_ne!(classes[0], classes[2]);
+    }
+
+    #[test]
+    fn spider_set_len_matches_vertex_count() {
+        let p = path(&[5, 6, 7, 8]);
+        let s = SpiderSet::of(&p, 1);
+        assert_eq!(s.len(), 4);
+        assert!(!s.is_empty());
+    }
+}
