@@ -86,8 +86,7 @@ fn build_summary(host: &LabeledGraph) -> Summary {
     let mut labels: Vec<Label> = host.labels().to_vec();
     labels.sort_unstable();
     labels.dedup();
-    let index: FxHashMap<Label, usize> =
-        labels.iter().enumerate().map(|(i, &l)| (l, i)).collect();
+    let index: FxHashMap<Label, usize> = labels.iter().enumerate().map(|(i, &l)| (l, i)).collect();
     let mut weights: FxHashMap<(usize, usize), usize> = FxHashMap::default();
     for (u, v) in host.edges() {
         let (a, b) = (index[&host.label(u)], index[&host.label(v)]);
@@ -106,11 +105,10 @@ pub fn run(host: &LabeledGraph, config: &SeusConfig) -> SeusResult {
 
     // Enumerate connected label subsets by growing from each label along
     // summary edges whose weight reaches the threshold.
-    let mut candidates: Vec<(Vec<usize>, Vec<(usize, usize)>, usize)> = Vec::new();
     // Each candidate: (label indices, summary edges used, support estimate).
-    let mut frontier: Vec<(Vec<usize>, Vec<(usize, usize)>, usize)> = (0..n)
-        .map(|i| (vec![i], Vec::new(), usize::MAX))
-        .collect();
+    type Candidate = (Vec<usize>, Vec<(usize, usize)>, usize);
+    let mut candidates: Vec<Candidate> = Vec::new();
+    let mut frontier: Vec<Candidate> = (0..n).map(|i| (vec![i], Vec::new(), usize::MAX)).collect();
     while let Some((members, edges, estimate)) = frontier.pop() {
         if start.elapsed() > config.time_budget {
             result.timed_out = true;
@@ -173,9 +171,9 @@ pub fn run(host: &LabeledGraph, config: &SeusConfig) -> SeusResult {
             });
         }
     }
-    result.patterns.sort_by_key(|p| {
-        std::cmp::Reverse((p.pattern.vertex_count(), p.support))
-    });
+    result
+        .patterns
+        .sort_by_key(|p| std::cmp::Reverse((p.pattern.vertex_count(), p.support)));
     result.runtime = start.elapsed();
     result
 }
@@ -251,7 +249,10 @@ mod tests {
             },
         );
         assert!(result.patterns.iter().all(|p| p.support >= 3));
-        assert!(!result.patterns.iter().any(|p| p.pattern.vertex_count() == 3));
+        assert!(!result
+            .patterns
+            .iter()
+            .any(|p| p.pattern.vertex_count() == 3));
     }
 
     #[test]
@@ -263,6 +264,9 @@ mod tests {
                 ..SeusConfig::default()
             },
         );
-        assert!(result.patterns.iter().all(|p| p.pattern.vertex_count() <= 2));
+        assert!(result
+            .patterns
+            .iter()
+            .all(|p| p.pattern.vertex_count() <= 2));
     }
 }

@@ -235,7 +235,7 @@ mod tests {
     fn prefers_small_frequent_over_large_rare() {
         // Background with an injected large pattern of only 2 copies plus many
         // repeated small edges: SUBDUE's top pattern should be small.
-        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
         let mut host = generate::erdos_renyi_average_degree(&mut rng, 150, 2.0, 4);
         let big = generate::random_connected_pattern(&mut rng, 15, 4, 3);
         generate::inject_pattern(&mut rng, &mut host, &big, 2, 2);

@@ -7,7 +7,9 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use spidermine::{SpiderMineConfig, SpiderMiner, TransactionMiner};
 use spidermine_baselines::{origami, subdue};
-use spidermine_datasets::synthetic::{scalability_graph, scalefree_graph, GidConfig, SyntheticDataset};
+use spidermine_datasets::synthetic::{
+    scalability_graph, scalefree_graph, GidConfig, SyntheticDataset,
+};
 use spidermine_datasets::transactions::{TransactionConfig, TransactionDataset};
 
 fn figure_workloads(c: &mut Criterion) {
@@ -30,7 +32,11 @@ fn figure_workloads(c: &mut Criterion) {
         })
     });
     group.bench_function("fig04_gid1_subdue", |b| {
-        b.iter(|| subdue::run(&gid1.graph, &subdue::SubdueConfig::default()).patterns.len())
+        b.iter(|| {
+            subdue::run(&gid1.graph, &subdue::SubdueConfig::default())
+                .patterns
+                .len()
+        })
     });
 
     // Figures 10-12: one scalability point.

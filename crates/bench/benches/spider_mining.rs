@@ -1,30 +1,115 @@
-//! Benchmarks Stage I: mining the complete 1-spider catalog.
+//! Benchmarks Stage I: mining the complete 1-spider catalog and counting
+//! spider support (`matching_at`) against the data graph.
+//!
+//! The Barabási–Albert groups measure both the CSR implementations and the
+//! retained hash-map reference, recording the ratios in
+//! `BENCH_embedding.json` as `spider_catalog_ba/speedup/<n>` and
+//! `spider_support_ba/speedup/<n>`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use spidermine_bench::bench_graph;
-use spidermine_mining::spider::{SpiderCatalog, SpiderMiningConfig};
+use spidermine_bench::{bench_ba_graph, bench_graph};
+use spidermine_mining::spider::{reference, SpiderCatalog, SpiderMiningConfig};
+
+fn bench_config() -> SpiderMiningConfig {
+    SpiderMiningConfig {
+        support_threshold: 2,
+        max_leaves: 6,
+        ..SpiderMiningConfig::default()
+    }
+}
 
 fn spider_mining(c: &mut Criterion) {
     let mut group = c.benchmark_group("spider_mining");
     group.sample_size(10);
     for &n in &[500usize, 1500, 3000] {
         let graph = bench_graph(n);
+        graph.csr();
         group.bench_with_input(BenchmarkId::from_parameter(n), &graph, |b, g| {
-            b.iter(|| {
-                SpiderCatalog::mine(
-                    g,
-                    &SpiderMiningConfig {
-                        support_threshold: 2,
-                        max_leaves: 6,
-                        ..SpiderMiningConfig::default()
-                    },
-                )
-                .len()
-            })
+            b.iter(|| SpiderCatalog::mine(g, &bench_config()).len())
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, spider_mining);
+fn spider_catalog_ba(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spider_catalog_ba");
+    group.sample_size(10);
+    // The 3000-vertex point mines tens of millions of spiders under this
+    // config; 2000 is the "mid-size" configuration the targets refer to.
+    let sizes = [500usize, 1000, 2000];
+    for &n in &sizes {
+        let (graph, _) = bench_ba_graph(n);
+        graph.csr();
+        let fast = SpiderCatalog::mine(&graph, &bench_config());
+        let slow = reference::mine(&graph, &bench_config());
+        assert!(
+            reference::catalogs_equal(&fast, &slow),
+            "CSR and reference catalogs must agree at n = {n}"
+        );
+        group.bench_with_input(BenchmarkId::new("csr", n), &graph, |b, g| {
+            b.iter(|| SpiderCatalog::mine(g, &bench_config()).len())
+        });
+        group.bench_with_input(BenchmarkId::new("reference", n), &graph, |b, g| {
+            b.iter(|| reference::mine(g, &bench_config()).len())
+        });
+    }
+    group.finish();
+    for &n in &sizes {
+        let csr = criterion::measurement(&format!("spider_catalog_ba/csr/{n}"));
+        let r = criterion::measurement(&format!("spider_catalog_ba/reference/{n}"));
+        if let (Some(csr), Some(r)) = (csr, r) {
+            criterion::record_metric(&format!("spider_catalog_ba/speedup/{n}"), r / csr);
+        }
+    }
+}
+
+fn spider_support_ba(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spider_support_ba");
+    group.sample_size(10);
+    let sizes = [1000usize, 2000];
+    for &n in &sizes {
+        let (graph, _) = bench_ba_graph(n);
+        graph.csr();
+        // A moderately sized catalog so the per-check cost dominates.
+        let catalog = SpiderCatalog::mine(
+            &graph,
+            &SpiderMiningConfig {
+                support_threshold: 4,
+                max_leaves: 4,
+                ..SpiderMiningConfig::default()
+            },
+        );
+        for v in graph.vertices() {
+            assert_eq!(
+                catalog.matching_at(&graph, v),
+                reference::matching_at(&catalog, &graph, v),
+                "support sets must agree at {v:?}"
+            );
+        }
+        group.bench_with_input(BenchmarkId::new("csr", n), &graph, |b, g| {
+            b.iter(|| {
+                g.vertices()
+                    .map(|v| catalog.matching_at(g, v).len())
+                    .sum::<usize>()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("reference", n), &graph, |b, g| {
+            b.iter(|| {
+                g.vertices()
+                    .map(|v| reference::matching_at(&catalog, g, v).len())
+                    .sum::<usize>()
+            })
+        });
+    }
+    group.finish();
+    for &n in &sizes {
+        let csr = criterion::measurement(&format!("spider_support_ba/csr/{n}"));
+        let r = criterion::measurement(&format!("spider_support_ba/reference/{n}"));
+        if let (Some(csr), Some(r)) = (csr, r) {
+            criterion::record_metric(&format!("spider_support_ba/speedup/{n}"), r / csr);
+        }
+    }
+}
+
+criterion_group!(benches, spider_mining, spider_catalog_ba, spider_support_ba);
 criterion_main!(benches);

@@ -1,17 +1,26 @@
-//! Ablation: cost of the three single-graph support measures.
+//! Ablation: cost of the three single-graph support measures over a large
+//! embedding list (thousands of embeddings of a frequent 2-path).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use spidermine_bench::bench_graph;
-use spidermine_graph::iso;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 use spidermine_graph::label::Label;
-use spidermine_graph::LabeledGraph;
+use spidermine_graph::{generate, iso, LabeledGraph};
 use spidermine_mining::support::SupportMeasure;
 
 fn support_measures(c: &mut Criterion) {
-    let host = bench_graph(2000);
-    // A small, fairly frequent pattern: a 2-path over two common labels.
+    // Few labels so the 2-path pattern is genuinely frequent: the measures
+    // are then exercised on thousands of embeddings, which is the regime the
+    // miners hit.
+    let mut rng = ChaCha8Rng::seed_from_u64(0xbe_5eed);
+    let host = generate::erdos_renyi_average_degree(&mut rng, 2000, 6.0, 2);
     let pattern = LabeledGraph::from_parts(&[Label(0), Label(1), Label(0)], &[(0, 1), (1, 2)]);
-    let embeddings = iso::find_embeddings(&pattern, &host, 5_000);
+    let embeddings = iso::find_embeddings(&pattern, &host, 20_000);
+    assert!(
+        embeddings.len() >= 1_000,
+        "support bench needs a frequent pattern, got {} embeddings",
+        embeddings.len()
+    );
     let mut group = c.benchmark_group("support_measures");
     for (name, measure) in [
         ("embedding_count", SupportMeasure::EmbeddingCount),

@@ -22,6 +22,17 @@ pub fn bench_graph(vertices: usize) -> LabeledGraph {
     g
 }
 
+/// A mid-sized Barabási–Albert (scale-free) benchmark graph with one planted
+/// pattern — the configuration the ISSUE-1 perf targets are measured on.
+/// Returns the graph and the planted pattern.
+pub fn bench_ba_graph(vertices: usize) -> (LabeledGraph, LabeledGraph) {
+    let mut rng = ChaCha8Rng::seed_from_u64(BENCH_SEED + 2);
+    let mut g = generate::barabasi_albert(&mut rng, vertices, 3, 50);
+    let pattern = generate::random_connected_pattern(&mut rng, 12, 50, 4);
+    generate::inject_pattern(&mut rng, &mut g, &pattern, 3, 2);
+    (g, pattern)
+}
+
 /// A pair of mid-sized patterns for isomorphism benchmarks (isomorphic twins).
 pub fn bench_pattern_pair(vertices: usize) -> (LabeledGraph, LabeledGraph) {
     let mut rng = ChaCha8Rng::seed_from_u64(BENCH_SEED + 1);
@@ -40,7 +51,10 @@ pub fn bench_pattern_pair(vertices: usize) -> (LabeledGraph, LabeledGraph) {
     for (u, v) in p.edges() {
         let nu = perm.iter().position(|&x| x == u.0).expect("in perm") as u32;
         let nv = perm.iter().position(|&x| x == v.0).expect("in perm") as u32;
-        q.add_edge(spidermine_graph::VertexId(nu), spidermine_graph::VertexId(nv));
+        q.add_edge(
+            spidermine_graph::VertexId(nu),
+            spidermine_graph::VertexId(nv),
+        );
     }
     (p, q)
 }
@@ -62,5 +76,13 @@ mod tests {
     fn bench_pattern_pair_is_isomorphic() {
         let (p, q) = bench_pattern_pair(9);
         assert!(iso::are_isomorphic(&p, &q));
+    }
+
+    #[test]
+    fn bench_ba_graph_is_reproducible_and_contains_pattern() {
+        let (a, pa) = bench_ba_graph(500);
+        let (b, _) = bench_ba_graph(500);
+        assert_eq!(a.edge_count(), b.edge_count());
+        assert!(iso::is_subgraph_of(&pa, &a), "planted pattern must embed");
     }
 }

@@ -214,6 +214,9 @@ mod tests {
                 counts[l.0 as usize] += 1;
             }
         }
-        assert!(counts[3] > counts[0], "beginners outnumber prolific authors");
+        assert!(
+            counts[3] > counts[0],
+            "beginners outnumber prolific authors"
+        );
     }
 }

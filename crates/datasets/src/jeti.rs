@@ -145,7 +145,11 @@ mod tests {
         // it is exactly calls/methods*2; injection adds a little).
         let avg = g.average_degree();
         assert!(avg > 1.5 && avg < 4.5, "average degree {avg}");
-        assert!(g.max_degree() >= 15, "expected hub methods, max {}", g.max_degree());
+        assert!(
+            g.max_degree() >= 15,
+            "expected hub methods, max {}",
+            g.max_degree()
+        );
         assert!(g.distinct_label_count() <= 267);
     }
 

@@ -248,10 +248,9 @@ mod tests {
         assert_eq!(ds.large_patterns.len(), config.large_patterns);
         assert_eq!(ds.small_patterns.len(), config.small_patterns);
         // Graph contains background + injected copies.
-        let expected_extra = config.large_patterns
-            * config.large_support
-            * config.large_pattern_vertices
-            + config.small_patterns * config.small_support * config.small_pattern_vertices;
+        let expected_extra =
+            config.large_patterns * config.large_support * config.large_pattern_vertices
+                + config.small_patterns * config.small_support * config.small_pattern_vertices;
         assert_eq!(ds.graph.vertex_count(), config.vertices + expected_extra);
         // Each large pattern has diameter within the configured bound.
         for p in &ds.large_patterns {
@@ -281,8 +280,7 @@ mod tests {
         assert_eq!(a.graph.edge_count(), b.graph.edge_count());
         let c = SyntheticDataset::build(GidConfig::table1(2), 4);
         assert!(
-            a.graph.edge_count() != c.graph.edge_count()
-                || a.graph.labels() != c.graph.labels(),
+            a.graph.edge_count() != c.graph.edge_count() || a.graph.labels() != c.graph.labels(),
             "different seeds should give different graphs"
         );
     }
@@ -302,7 +300,7 @@ mod tests {
     fn scalability_graph_grows_with_requested_size() {
         let (small, _) = scalability_graph(1000, 1);
         let (large, _) = scalability_graph(5000, 1);
-        assert_eq!(small.vertex_count() > 1000, true);
+        assert!(small.vertex_count() > 1000);
         assert!(large.vertex_count() > small.vertex_count());
     }
 

@@ -15,7 +15,10 @@ fn main() {
         dataset.graph.vertex_count(),
         dataset.graph.edge_count()
     );
-    println!("{:<10} {:>10} {:>14} {:>18}", "epsilon", "seeds M", "runtime", "largest |V| found");
+    println!(
+        "{:<10} {:>10} {:>14} {:>18}",
+        "epsilon", "seeds M", "runtime", "largest |V| found"
+    );
     for &epsilon in &[0.45f64, 0.25, 0.05] {
         let start = std::time::Instant::now();
         let result = SpiderMiner::new(SpiderMineConfig {

@@ -18,7 +18,11 @@ fn main() {
         graph.vertex_count(),
         graph.edge_count()
     );
-    let max_r = if spidermine_experiments::is_full_run() { 3 } else { 2 };
+    let max_r = if spidermine_experiments::is_full_run() {
+        3
+    } else {
+        2
+    };
     println!(
         "{:<6} {:>14} {:>14} {:>18}",
         "r", "runtime", "#r-spiders", "candidates tried"

@@ -9,7 +9,9 @@ use std::time::Duration;
 
 fn main() {
     println!("Figures 4-8: pattern size (|V|) distribution per miner, GID 1-5");
-    println!("Paper setting: sigma=2, K=10, Dmax=4; bars at size 30 are the injected large patterns.");
+    println!(
+        "Paper setting: sigma=2, K=10, Dmax=4; bars at size 30 are the injected large patterns."
+    );
     for gid in 1..=5u32 {
         let config = GidConfig::table1(gid);
         let dataset = SyntheticDataset::build(config.clone(), EXPERIMENT_SEED + u64::from(gid));

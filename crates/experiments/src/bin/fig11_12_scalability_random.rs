@@ -5,16 +5,22 @@
 
 use spidermine::{SpiderMineConfig, SpiderMiner};
 use spidermine_datasets::synthetic::scalability_graph;
-use spidermine_experiments::EXPERIMENT_SEED;
+use spidermine_experiments::{scale_from_args, EXPERIMENT_SEED};
 
 fn main() {
-    let sizes: Vec<usize> = if spidermine_experiments::is_full_run() {
-        vec![1_000, 5_000, 10_000, 15_000, 20_000, 25_000, 30_000, 35_000, 40_000]
-    } else {
-        vec![1_000, 2_500, 5_000, 7_500, 10_000]
-    };
+    // `--full` runs the paper's sizes; otherwise `--scale X` (default 0.25 of
+    // the paper's sweep) shrinks every |V| point, keeping CI smoke runs cheap.
+    let scale = scale_from_args(0.25);
+    let sizes: Vec<usize> = [
+        1_000usize, 5_000, 10_000, 15_000, 20_000, 25_000, 30_000, 35_000, 40_000,
+    ]
+    .iter()
+    .map(|&n| ((n as f64 * scale) as usize).max(200))
+    .collect();
     println!("Figures 11-12: SpiderMine runtime and largest pattern vs graph size");
-    println!("(ER background, d=3, f=100, sigma=2, K=10, Dmax=10, one planted pattern growing with |V|)");
+    println!(
+        "(ER background, d=3, f=100, sigma=2, K=10, Dmax=10, one planted pattern growing with |V|)"
+    );
     println!(
         "{:<10} {:>14} {:>20} {:>20}",
         "|V|", "runtime", "largest |V| found", "planted |V|"

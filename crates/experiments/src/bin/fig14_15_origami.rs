@@ -59,6 +59,12 @@ fn main() {
     // per transaction, so the default scale keeps transactions small.
     let scale = scale_from_args(0.3);
     println!("Figures 14-15: transaction setting, SpiderMine vs ORIGAMI (scale {scale})");
-    run_one("Figure 14 (fewer small patterns)", TransactionConfig::figure14(scale));
-    run_one("Figure 15 (more small patterns)", TransactionConfig::figure15(scale));
+    run_one(
+        "Figure 14 (fewer small patterns)",
+        TransactionConfig::figure14(scale),
+    );
+    run_one(
+        "Figure 15 (more small patterns)",
+        TransactionConfig::figure15(scale),
+    );
 }

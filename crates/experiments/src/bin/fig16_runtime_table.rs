@@ -15,10 +15,16 @@ fn main() {
     } else {
         Duration::from_secs(20)
     };
-    println!("Figure 16: runtime (seconds) per miner on GID 1-5 ('-' = exceeded {budget:?} budget)");
-    println!("{:<6} {:>12} {:>12} {:>12} {:>12}", "GID", "SpiderMine", "SUBDUE", "SEuS", "MoSS");
+    println!(
+        "Figure 16: runtime (seconds) per miner on GID 1-5 ('-' = exceeded {budget:?} budget)"
+    );
+    println!(
+        "{:<6} {:>12} {:>12} {:>12} {:>12}",
+        "GID", "SpiderMine", "SUBDUE", "SEuS", "MoSS"
+    );
     for gid in 1..=5u32 {
-        let dataset = SyntheticDataset::build(GidConfig::table1(gid), EXPERIMENT_SEED + u64::from(gid));
+        let dataset =
+            SyntheticDataset::build(GidConfig::table1(gid), EXPERIMENT_SEED + u64::from(gid));
 
         let sm_start = std::time::Instant::now();
         let _ = SpiderMiner::new(SpiderMineConfig {

@@ -11,7 +11,10 @@ use spidermine_experiments::{scale_from_args, EXPERIMENT_SEED};
 fn main() {
     let scale = scale_from_args(0.15);
     println!("Figure 18: top-5 largest patterns (|E|) per GID 6-10 (Dmax=6, sigma=10, K=5, scale {scale})");
-    println!("{:<8} {:>30} {:>24}", "GID", "top-5 sizes |E|", "injected pattern |E|");
+    println!(
+        "{:<8} {:>30} {:>24}",
+        "GID", "top-5 sizes |E|", "injected pattern |E|"
+    );
     for gid in 6..=10u32 {
         let config = GidConfig::table3(gid, scale);
         let dataset = SyntheticDataset::build(config.clone(), EXPERIMENT_SEED + u64::from(gid));

@@ -49,6 +49,10 @@ fn main() {
     println!(
         "  planted backbones: {} occurrences each of a {}-method pattern",
         dataset.backbones.len(),
-        dataset.backbones.first().map(|b| b.vertex_count()).unwrap_or(0)
+        dataset
+            .backbones
+            .first()
+            .map(|b| b.vertex_count())
+            .unwrap_or(0)
     );
 }

@@ -1,0 +1,331 @@
+//! Frozen CSR (compressed sparse row) view of a [`LabeledGraph`].
+//!
+//! The mutable [`LabeledGraph`] builder stores one `Vec<VertexId>` per vertex,
+//! which is convenient for incremental construction but poor for the matcher's
+//! access pattern: candidate generation walks many adjacency lists and label
+//! classes per search node, so pointer-chasing and per-vertex allocations
+//! dominate. [`CsrIndex`] freezes the graph into three flat structures:
+//!
+//! * **Adjacency CSR** — `offsets` / `neighbors`: all adjacency lists in one
+//!   contiguous array, each row sorted by vertex id.
+//! * **Label index** — all vertices grouped by label
+//!   ([`CsrIndex::vertices_with_label`]), the unanchored-candidate source for
+//!   the VF2 matcher (replacing a full host scan).
+//! * **Neighbor-label histograms** — per vertex, the sorted `(label, count)`
+//!   multiset of its neighbors' labels ([`CsrIndex::neighbor_label_histogram`]),
+//!   the workhorse of Stage-I spider mining and of the matcher's capacity
+//!   pruning.
+//!
+//! The index is built lazily by [`LabeledGraph::csr`] and cached; any mutation
+//! of the graph invalidates the cache. See `DESIGN.md` § "CSR graph core".
+
+use crate::graph::{LabeledGraph, VertexId};
+use crate::iso::SearchPlan;
+use crate::label::Label;
+use rustc_hash::FxHashMap;
+use std::sync::OnceLock;
+
+/// Label ids below this bound get a dense (array-indexed) label index; rarer,
+/// sparser id spaces fall back to a hash map. All the paper's workloads use
+/// small dense label spaces, so the dense path is the common one.
+const DENSE_LABEL_BOUND: u32 = 1 << 20;
+
+/// Vertices grouped by label: either dense offsets over label ids or a sparse
+/// map, both yielding sorted vertex-id slices.
+enum LabelIndex {
+    Dense {
+        /// `offsets[l] .. offsets[l + 1]` indexes `vertices` for label `l`.
+        offsets: Vec<u32>,
+        vertices: Vec<VertexId>,
+    },
+    Sparse {
+        by_label: FxHashMap<Label, Vec<VertexId>>,
+        /// Distinct labels in ascending order (for deterministic iteration).
+        labels: Vec<Label>,
+    },
+}
+
+/// The frozen, flat, read-optimized form of a [`LabeledGraph`].
+pub struct CsrIndex {
+    /// Row offsets into `neighbors`; length `|V| + 1`.
+    offsets: Vec<u32>,
+    /// Concatenated sorted adjacency lists.
+    neighbors: Vec<VertexId>,
+    /// Vertices grouped by label.
+    label_index: LabelIndex,
+    /// Row offsets into `hist_entries`; length `|V| + 1`.
+    hist_offsets: Vec<u32>,
+    /// Concatenated per-vertex neighbor-label histograms, each row sorted by
+    /// label.
+    hist_entries: Vec<(Label, u32)>,
+    /// Cached VF2 search plans when this graph is used as a *pattern*:
+    /// `[non-induced, induced]`. Invalidated together with the whole index.
+    plans: [OnceLock<SearchPlan>; 2],
+}
+
+impl CsrIndex {
+    /// Freezes `graph` into CSR form. Called through [`LabeledGraph::csr`].
+    pub(crate) fn build(graph: &LabeledGraph) -> Self {
+        let n = graph.vertex_count();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut neighbors = Vec::with_capacity(2 * graph.edge_count());
+        offsets.push(0);
+        for v in graph.vertices() {
+            neighbors.extend_from_slice(graph.neighbors(v));
+            offsets.push(neighbors.len() as u32);
+        }
+
+        // Histograms: each adjacency row is sorted by vertex id, not label, so
+        // sort a scratch row of labels per vertex and run-length encode it.
+        let mut hist_offsets = Vec::with_capacity(n + 1);
+        let mut hist_entries = Vec::new();
+        hist_offsets.push(0);
+        let mut scratch: Vec<Label> = Vec::new();
+        for v in graph.vertices() {
+            scratch.clear();
+            scratch.extend(graph.neighbors(v).iter().map(|&u| graph.label(u)));
+            scratch.sort_unstable();
+            let mut i = 0;
+            while i < scratch.len() {
+                let label = scratch[i];
+                let mut j = i + 1;
+                while j < scratch.len() && scratch[j] == label {
+                    j += 1;
+                }
+                hist_entries.push((label, (j - i) as u32));
+                i = j;
+            }
+            hist_offsets.push(hist_entries.len() as u32);
+        }
+
+        let max_label = graph.labels().iter().map(|l| l.0).max().unwrap_or(0);
+        let label_index = if max_label < DENSE_LABEL_BOUND {
+            // Counting sort by label; vertex ids stay ascending within a label.
+            let classes = max_label as usize + 1;
+            let mut counts = vec![0u32; classes + 1];
+            for l in graph.labels() {
+                counts[l.0 as usize + 1] += 1;
+            }
+            for i in 0..classes {
+                counts[i + 1] += counts[i];
+            }
+            let label_offsets = counts.clone();
+            let mut vertices = vec![VertexId(0); n];
+            for v in graph.vertices() {
+                let slot = &mut counts[graph.label(v).0 as usize];
+                vertices[*slot as usize] = v;
+                *slot += 1;
+            }
+            LabelIndex::Dense {
+                offsets: label_offsets,
+                vertices,
+            }
+        } else {
+            let mut by_label: FxHashMap<Label, Vec<VertexId>> = FxHashMap::default();
+            for v in graph.vertices() {
+                by_label.entry(graph.label(v)).or_default().push(v);
+            }
+            let mut labels: Vec<Label> = by_label.keys().copied().collect();
+            labels.sort_unstable();
+            LabelIndex::Sparse { by_label, labels }
+        };
+
+        Self {
+            offsets,
+            neighbors,
+            label_index,
+            hist_offsets,
+            hist_entries,
+            plans: [OnceLock::new(), OnceLock::new()],
+        }
+    }
+
+    /// The cached VF2 search plan for using this graph as a pattern
+    /// (`graph` must be the graph this index was built from).
+    pub(crate) fn search_plan(&self, graph: &LabeledGraph, induced: bool) -> &SearchPlan {
+        self.plans[induced as usize].get_or_init(|| SearchPlan::build(graph, induced))
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn vertex_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Sorted neighbors of `v` as one contiguous slice.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        let lo = self.offsets[v.index()] as usize;
+        let hi = self.offsets[v.index() + 1] as usize;
+        &self.neighbors[lo..hi]
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        (self.offsets[v.index() + 1] - self.offsets[v.index()]) as usize
+    }
+
+    /// Whether the edge `(u, v)` exists; binary search over the smaller of the
+    /// two adjacency rows.
+    #[inline]
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        if self.degree(u) <= self.degree(v) {
+            self.neighbors(u).binary_search(&v).is_ok()
+        } else {
+            self.neighbors(v).binary_search(&u).is_ok()
+        }
+    }
+
+    /// All vertices with label `l`, ascending by id. Empty slice for labels
+    /// absent from the graph.
+    #[inline]
+    pub fn vertices_with_label(&self, l: Label) -> &[VertexId] {
+        match &self.label_index {
+            LabelIndex::Dense { offsets, vertices } => {
+                let i = l.0 as usize;
+                if i + 1 >= offsets.len() {
+                    return &[];
+                }
+                &vertices[offsets[i] as usize..offsets[i + 1] as usize]
+            }
+            LabelIndex::Sparse { by_label, .. } => {
+                by_label.get(&l).map(Vec::as_slice).unwrap_or(&[])
+            }
+        }
+    }
+
+    /// Iterates the distinct labels of the graph in ascending order, each with
+    /// its (non-empty) sorted vertex slice.
+    pub fn labels_with_vertices(&self) -> impl Iterator<Item = (Label, &[VertexId])> + '_ {
+        let dense: Box<dyn Iterator<Item = (Label, &[VertexId])>> = match &self.label_index {
+            LabelIndex::Dense { offsets, vertices } => {
+                Box::new((0..offsets.len().saturating_sub(1)).filter_map(move |i| {
+                    let slice = &vertices[offsets[i] as usize..offsets[i + 1] as usize];
+                    (!slice.is_empty()).then_some((Label(i as u32), slice))
+                }))
+            }
+            LabelIndex::Sparse { by_label, labels } => {
+                Box::new(labels.iter().map(move |&l| (l, by_label[&l].as_slice())))
+            }
+        };
+        dense
+    }
+
+    /// The neighbor-label histogram of `v`: `(label, count)` pairs sorted by
+    /// label, one entry per distinct neighbor label.
+    #[inline]
+    pub fn neighbor_label_histogram(&self, v: VertexId) -> &[(Label, u32)] {
+        let lo = self.hist_offsets[v.index()] as usize;
+        let hi = self.hist_offsets[v.index() + 1] as usize;
+        &self.hist_entries[lo..hi]
+    }
+
+    /// Number of neighbors of `v` with label `l`.
+    #[inline]
+    pub fn neighbor_label_count(&self, v: VertexId, l: Label) -> u32 {
+        let row = self.neighbor_label_histogram(v);
+        match row.binary_search_by_key(&l, |&(label, _)| label) {
+            Ok(i) => row[i].1,
+            Err(_) => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> LabeledGraph {
+        // v0(L0) - v1(L1), v0 - v2(L1), v2 - v3(L0), isolated v4(L2)
+        LabeledGraph::from_parts(
+            &[Label(0), Label(1), Label(1), Label(0), Label(2)],
+            &[(0, 1), (0, 2), (2, 3)],
+        )
+    }
+
+    #[test]
+    fn csr_matches_adjacency() {
+        let g = sample();
+        let csr = g.csr();
+        assert_eq!(csr.vertex_count(), 5);
+        for v in g.vertices() {
+            assert_eq!(csr.neighbors(v), g.neighbors(v));
+            assert_eq!(csr.degree(v), g.degree(v));
+        }
+        for u in g.vertices() {
+            for v in g.vertices() {
+                assert_eq!(csr.has_edge(u, v), g.has_edge(u, v), "edge ({u}, {v})");
+            }
+        }
+    }
+
+    #[test]
+    fn label_index_groups_and_sorts() {
+        let g = sample();
+        let csr = g.csr();
+        assert_eq!(
+            csr.vertices_with_label(Label(0)),
+            &[VertexId(0), VertexId(3)]
+        );
+        assert_eq!(
+            csr.vertices_with_label(Label(1)),
+            &[VertexId(1), VertexId(2)]
+        );
+        assert_eq!(csr.vertices_with_label(Label(2)), &[VertexId(4)]);
+        assert!(csr.vertices_with_label(Label(9)).is_empty());
+        let labels: Vec<u32> = csr.labels_with_vertices().map(|(l, _)| l.0).collect();
+        assert_eq!(labels, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn histograms_count_neighbor_labels() {
+        let g = sample();
+        let csr = g.csr();
+        assert_eq!(csr.neighbor_label_histogram(VertexId(0)), &[(Label(1), 2)]);
+        assert_eq!(csr.neighbor_label_histogram(VertexId(2)), &[(Label(0), 2)],);
+        assert!(csr.neighbor_label_histogram(VertexId(4)).is_empty());
+        assert_eq!(csr.neighbor_label_count(VertexId(0), Label(1)), 2);
+        assert_eq!(csr.neighbor_label_count(VertexId(0), Label(0)), 0);
+    }
+
+    #[test]
+    fn cache_invalidation_on_mutation() {
+        let mut g = sample();
+        assert_eq!(g.csr().vertices_with_label(Label(2)).len(), 1);
+        let v = g.add_vertex(Label(2));
+        g.add_edge(VertexId(0), v);
+        let csr = g.csr();
+        assert_eq!(csr.vertices_with_label(Label(2)).len(), 2);
+        assert_eq!(csr.neighbor_label_count(VertexId(0), Label(2)), 1);
+    }
+
+    #[test]
+    fn empty_graph_has_empty_index() {
+        let g = LabeledGraph::new();
+        let csr = g.csr();
+        assert_eq!(csr.vertex_count(), 0);
+        assert!(csr.vertices_with_label(Label(0)).is_empty());
+        assert_eq!(csr.labels_with_vertices().count(), 0);
+    }
+
+    #[test]
+    fn sparse_label_ids_use_hash_index() {
+        let g = LabeledGraph::from_parts(
+            &[Label(u32::MAX - 1), Label(5), Label(u32::MAX - 1)],
+            &[(0, 1), (1, 2)],
+        );
+        let csr = g.csr();
+        assert_eq!(
+            csr.vertices_with_label(Label(u32::MAX - 1)),
+            &[VertexId(0), VertexId(2)]
+        );
+        assert_eq!(csr.vertices_with_label(Label(5)), &[VertexId(1)]);
+        let labels: Vec<u32> = csr.labels_with_vertices().map(|(l, _)| l.0).collect();
+        assert_eq!(labels, vec![5, u32::MAX - 1]);
+        assert_eq!(
+            csr.neighbor_label_count(VertexId(1), Label(u32::MAX - 1)),
+            2
+        );
+    }
+}

@@ -10,12 +10,7 @@ use rand::Rng;
 /// For the sparse regime used throughout the paper (`p = d/n` with small `d`)
 /// the generator samples edges by geometric skipping, so the cost is
 /// proportional to the number of edges rather than `n²`.
-pub fn erdos_renyi_gnp<R: Rng>(
-    rng: &mut R,
-    n: usize,
-    p: f64,
-    label_count: u32,
-) -> LabeledGraph {
+pub fn erdos_renyi_gnp<R: Rng>(rng: &mut R, n: usize, p: f64, label_count: u32) -> LabeledGraph {
     assert!((0.0..=1.0).contains(&p), "p must be a probability");
     assert!(label_count > 0, "need at least one label");
     let mut g = LabeledGraph::with_capacity(n);
@@ -130,7 +125,10 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(7);
         let g = erdos_renyi_average_degree(&mut rng, 3000, 4.0, 70);
         let avg = g.average_degree();
-        assert!((avg - 4.0).abs() < 0.5, "average degree {avg} too far from 4");
+        assert!(
+            (avg - 4.0).abs() < 0.5,
+            "average degree {avg} too far from 4"
+        );
     }
 
     #[test]

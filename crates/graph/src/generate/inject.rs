@@ -24,7 +24,9 @@ pub struct InjectionReport {
 
 /// Draws `count` labels uniformly from `0..label_count`.
 pub fn random_labels<R: Rng>(rng: &mut R, count: usize, label_count: u32) -> Vec<Label> {
-    (0..count).map(|_| Label(rng.gen_range(0..label_count))).collect()
+    (0..count)
+        .map(|_| Label(rng.gen_range(0..label_count)))
+        .collect()
 }
 
 /// Builds a random *connected* pattern with `vertices` vertices, labels drawn
@@ -138,8 +140,7 @@ mod tests {
     #[test]
     fn injection_adds_expected_vertices_and_edges() {
         let mut rng = ChaCha8Rng::seed_from_u64(4);
-        let mut background =
-            crate::generate::erdos_renyi_average_degree(&mut rng, 100, 2.0, 8);
+        let mut background = crate::generate::erdos_renyi_average_degree(&mut rng, 100, 2.0, 8);
         let before_v = background.vertex_count();
         let before_e = background.edge_count();
         let pattern = random_connected_pattern(&mut rng, 6, 8, 2);
@@ -153,8 +154,7 @@ mod tests {
     #[test]
     fn injected_copies_are_embeddings_of_the_pattern() {
         let mut rng = ChaCha8Rng::seed_from_u64(5);
-        let mut background =
-            crate::generate::erdos_renyi_average_degree(&mut rng, 60, 2.0, 50);
+        let mut background = crate::generate::erdos_renyi_average_degree(&mut rng, 60, 2.0, 50);
         // Use many labels so accidental embeddings are unlikely.
         let pattern = random_connected_pattern(&mut rng, 8, 50, 3);
         inject_pattern(&mut rng, &mut background, &pattern, 2, 2);

@@ -1,8 +1,10 @@
 //! The core undirected, simple, vertex-labeled graph.
 
+use crate::csr::CsrIndex;
 use crate::label::Label;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::OnceLock;
 
 /// Index of a vertex inside a [`LabeledGraph`].
 ///
@@ -43,11 +45,32 @@ impl From<u32> for VertexId {
 /// kept sorted so that `has_edge` is a binary search and neighbor iteration is
 /// deterministic — determinism matters because the miners seed their RNGs and
 /// the experiment harness must be reproducible.
-#[derive(Clone, Default, Serialize, Deserialize)]
+///
+/// The mutable adjacency-list form is the *builder*; read-heavy consumers (the
+/// VF2 matcher, spider mining) go through the frozen [`CsrIndex`] returned by
+/// [`LabeledGraph::csr`], which is built lazily on first use and invalidated
+/// by any mutation.
+#[derive(Default, Serialize, Deserialize)]
 pub struct LabeledGraph {
     labels: Vec<Label>,
     adjacency: Vec<Vec<VertexId>>,
     edge_count: usize,
+    /// Lazily built frozen view; never serialized, reset on mutation.
+    #[serde(skip)]
+    csr: OnceLock<CsrIndex>,
+}
+
+impl Clone for LabeledGraph {
+    fn clone(&self) -> Self {
+        Self {
+            labels: self.labels.clone(),
+            adjacency: self.adjacency.clone(),
+            edge_count: self.edge_count,
+            // The clone is usually cloned *to be mutated* (pattern growth), so
+            // dropping the cached index is the right default.
+            csr: OnceLock::new(),
+        }
+    }
 }
 
 impl LabeledGraph {
@@ -62,6 +85,7 @@ impl LabeledGraph {
             labels: Vec::with_capacity(n),
             adjacency: Vec::with_capacity(n),
             edge_count: 0,
+            csr: OnceLock::new(),
         }
     }
 
@@ -70,6 +94,7 @@ impl LabeledGraph {
         let id = VertexId(self.labels.len() as u32);
         self.labels.push(label);
         self.adjacency.push(Vec::new());
+        self.csr.take();
         id
     }
 
@@ -96,7 +121,29 @@ impl LabeledGraph {
             .expect_err("adjacency lists out of sync");
         self.adjacency[v.index()].insert(pos, u);
         self.edge_count += 1;
+        self.csr.take();
         true
+    }
+
+    /// The frozen CSR view of this graph (adjacency CSR, label index,
+    /// neighbor-label histograms). Built on first call, cached until the next
+    /// mutation. See [`CsrIndex`] and `DESIGN.md`.
+    #[inline]
+    pub fn csr(&self) -> &CsrIndex {
+        self.csr.get_or_init(|| CsrIndex::build(self))
+    }
+
+    /// All vertices carrying label `l`, ascending by id (via the label index).
+    #[inline]
+    pub fn vertices_with_label(&self, l: Label) -> &[VertexId] {
+        self.csr().vertices_with_label(l)
+    }
+
+    /// The `(label, count)` histogram of `v`'s neighbor labels, sorted by
+    /// label (via the CSR index).
+    #[inline]
+    pub fn neighbor_label_histogram(&self, v: VertexId) -> &[(Label, u32)] {
+        self.csr().neighbor_label_histogram(v)
     }
 
     /// Number of vertices.

@@ -191,7 +191,10 @@ mod tests {
 
     #[test]
     fn bad_number_is_an_error() {
-        assert!(matches!(read_graph("v zero 1"), Err(ParseError::BadNumber(_))));
+        assert!(matches!(
+            read_graph("v zero 1"),
+            Err(ParseError::BadNumber(_))
+        ));
         assert!(matches!(read_graph("v 0"), Err(ParseError::BadNumber(_))));
     }
 }

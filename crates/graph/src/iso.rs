@@ -8,17 +8,36 @@
 //!   occur inside a (much larger) data graph? Each occurrence is an
 //!   *embedding*, the basis of single-graph support (Section 3).
 //!
-//! The matcher is a straightforward VF2-style backtracking search with label
-//! and degree pruning plus a connectivity-driven search order. It is the
-//! correctness oracle for the whole workspace: the cheaper signature /
-//! spider-set checks only ever *skip* calls to this module, never replace its
-//! verdicts.
+//! The matcher is an indexed, allocation-free VF2 backtracking search over the
+//! host's frozen [`CsrIndex`](crate::csr::CsrIndex):
+//!
+//! * The search order is computed once, incrementally (each placement bumps a
+//!   connected-neighbor counter instead of rescanning adjacency lists), and a
+//!   per-depth **plan** records which pattern neighbors are already mapped, so
+//!   consistency checking touches exactly those vertices instead of scanning
+//!   the whole pattern at every node.
+//! * Candidates come from the *smallest* adjacency list among the images of
+//!   already-mapped pattern neighbors; unanchored vertices (depth 0 or a new
+//!   connected component of the pattern) come from the host's label index
+//!   instead of a full vertex scan.
+//! * The inner loop iterates CSR slices directly — no per-node `Vec` is
+//!   allocated anywhere on the search path.
+//!
+//! Candidate enumeration remains in ascending host-vertex-id order at every
+//! depth, so the embeddings are produced in **exactly the same order** as the
+//! original textbook implementation — byte-identical results, including under
+//! a `limit`. That original implementation is retained in [`reference`] as the
+//! correctness oracle for property tests and as the baseline the benchmarks
+//! measure speedups against. See `DESIGN.md` § "Matcher search order".
 
 use crate::graph::{LabeledGraph, VertexId};
 use crate::signature;
 
 /// Upper bound on embeddings materialized by [`find_embeddings`] by default.
 pub const DEFAULT_EMBEDDING_CAP: usize = 100_000;
+
+/// Sentinel for "pattern vertex not mapped yet".
+const UNMAPPED: VertexId = VertexId(u32::MAX);
 
 /// Tests labeled-graph isomorphism between two patterns (Definition 1).
 pub fn are_isomorphic(a: &LabeledGraph, b: &LabeledGraph) -> bool {
@@ -76,7 +95,13 @@ pub fn is_subgraph_of(pattern: &LabeledGraph, host: &LabeledGraph) -> bool {
 
 /// Search order: start from the highest-degree pattern vertex, then repeatedly
 /// pick an unvisited vertex with the most already-ordered neighbors (ties by
-/// degree). Keeps the partial mapping connected, which makes pruning effective.
+/// degree, later id wins — matching `Iterator::max_by_key`). Keeps the partial
+/// mapping connected, which makes pruning effective.
+///
+/// Connected-neighbor counts are maintained *incrementally*: placing a vertex
+/// bumps a counter on each of its neighbors, so one placement costs
+/// `O(n + deg)` instead of the `O(n · deg)` rescan of the original
+/// implementation.
 fn matching_order(pattern: &LabeledGraph) -> Vec<VertexId> {
     let n = pattern.vertex_count();
     if n == 0 {
@@ -84,29 +109,92 @@ fn matching_order(pattern: &LabeledGraph) -> Vec<VertexId> {
     }
     let mut order: Vec<VertexId> = Vec::with_capacity(n);
     let mut placed = vec![false; n];
-    let first = pattern
-        .vertices()
-        .max_by_key(|&v| pattern.degree(v))
-        .expect("non-empty");
-    order.push(first);
-    placed[first.index()] = true;
+    // Number of already-ordered neighbors of each unplaced vertex.
+    let mut connected = vec![0u32; n];
+
+    let place =
+        |v: VertexId, order: &mut Vec<VertexId>, placed: &mut [bool], connected: &mut [u32]| {
+            order.push(v);
+            placed[v.index()] = true;
+            for &u in pattern.neighbors(v) {
+                connected[u.index()] += 1;
+            }
+        };
+
+    let mut first = VertexId(0);
+    for v in pattern.vertices() {
+        if pattern.degree(v) >= pattern.degree(first) {
+            first = v;
+        }
+    }
+    place(first, &mut order, &mut placed, &mut connected);
     while order.len() < n {
-        let next = pattern
-            .vertices()
-            .filter(|v| !placed[v.index()])
-            .max_by_key(|&v| {
-                let connected = pattern
-                    .neighbors(v)
-                    .iter()
-                    .filter(|u| placed[u.index()])
-                    .count();
-                (connected, pattern.degree(v))
-            })
-            .expect("some vertex unplaced");
-        order.push(next);
-        placed[next.index()] = true;
+        let mut best: Option<VertexId> = None;
+        for v in pattern.vertices() {
+            if placed[v.index()] {
+                continue;
+            }
+            let better = match best {
+                None => true,
+                Some(b) => {
+                    (connected[v.index()], pattern.degree(v))
+                        >= (connected[b.index()], pattern.degree(b))
+                }
+            };
+            if better {
+                best = Some(v);
+            }
+        }
+        let next = best.expect("some vertex unplaced");
+        place(next, &mut order, &mut placed, &mut connected);
     }
     order
+}
+
+/// The per-depth search plan: which previously-placed pattern vertices each
+/// depth must stay consistent with. Computed once per pattern (cached in the
+/// pattern's [`CsrIndex`](crate::csr::CsrIndex)), so the hot loop never scans
+/// the pattern and repeated matches of the same pattern skip planning
+/// entirely.
+pub(crate) struct SearchPlan {
+    /// Pattern vertices in match order.
+    order: Vec<VertexId>,
+    /// For each depth `d`: the order-positions `j < d` whose pattern vertex is
+    /// adjacent to `order[d]`. These are the *only* vertices a candidate must
+    /// be host-adjacent to.
+    mapped_neighbors: Vec<Vec<usize>>,
+    /// For each depth `d` (induced mode only): the order-positions `j < d`
+    /// whose pattern vertex is NOT adjacent to `order[d]` — a candidate must
+    /// not be host-adjacent to any of them.
+    mapped_non_neighbors: Vec<Vec<usize>>,
+}
+
+impl SearchPlan {
+    pub(crate) fn build(pattern: &LabeledGraph, induced: bool) -> Self {
+        let order = matching_order(pattern);
+        let n = order.len();
+        let mut mapped_neighbors = Vec::with_capacity(n);
+        let mut mapped_non_neighbors = Vec::with_capacity(n);
+        for d in 0..n {
+            let p = order[d];
+            let mut nbrs = Vec::new();
+            let mut non = Vec::new();
+            for (j, &q) in order[..d].iter().enumerate() {
+                if pattern.has_edge(p, q) {
+                    nbrs.push(j);
+                } else if induced {
+                    non.push(j);
+                }
+            }
+            mapped_neighbors.push(nbrs);
+            mapped_non_neighbors.push(non);
+        }
+        Self {
+            order,
+            mapped_neighbors,
+            mapped_non_neighbors,
+        }
+    }
 }
 
 fn find_embeddings_impl(
@@ -122,76 +210,290 @@ fn find_embeddings_impl(
     if pn > host.vertex_count() || pattern.edge_count() > host.edge_count() {
         return Vec::new();
     }
-    let order = matching_order(pattern);
-    let mut mapping: Vec<Option<VertexId>> = vec![None; pn];
-    let mut used = vec![false; host.vertex_count()];
-    let mut results = Vec::new();
-    backtrack(
-        pattern, host, &order, 0, &mut mapping, &mut used, &mut results, limit, induced,
-    );
-    results
+    let plan = pattern.csr().search_plan(pattern, induced);
+    let mut search = Search {
+        pattern,
+        host,
+        plan,
+        mapping: vec![UNMAPPED; pn],
+        used: vec![false; host.vertex_count()],
+        results: Vec::new(),
+        limit,
+        induced,
+    };
+    search.run(0);
+    search.results
 }
 
-#[allow(clippy::too_many_arguments)]
-fn backtrack(
-    pattern: &LabeledGraph,
-    host: &LabeledGraph,
-    order: &[VertexId],
-    depth: usize,
-    mapping: &mut Vec<Option<VertexId>>,
-    used: &mut Vec<bool>,
-    results: &mut Vec<Vec<VertexId>>,
+/// Mutable search state threaded through the recursion.
+struct Search<'a> {
+    pattern: &'a LabeledGraph,
+    host: &'a LabeledGraph,
+    plan: &'a SearchPlan,
+    /// `mapping[p]` = host vertex matched to pattern vertex `p` (or UNMAPPED).
+    mapping: Vec<VertexId>,
+    used: Vec<bool>,
+    results: Vec<Vec<VertexId>>,
     limit: usize,
     induced: bool,
-) {
-    if results.len() >= limit {
-        return;
-    }
-    if depth == order.len() {
-        results.push(mapping.iter().map(|m| m.expect("complete mapping")).collect());
-        return;
-    }
-    let p = order[depth];
-    // Candidate host vertices: if p has an already-mapped neighbor, only that
-    // neighbor's host image's neighborhood needs to be scanned; otherwise all
-    // host vertices with the right label.
-    let anchor = pattern
-        .neighbors(p)
-        .iter()
-        .find(|q| mapping[q.index()].is_some())
-        .copied();
-    let candidates: Vec<VertexId> = match anchor {
-        Some(q) => host.neighbors(mapping[q.index()].expect("anchored")).to_vec(),
-        None => host.vertices().collect(),
-    };
-    'cands: for h in candidates {
-        if results.len() >= limit {
+}
+
+impl Search<'_> {
+    fn run(&mut self, depth: usize) {
+        if self.results.len() >= self.limit {
             return;
         }
-        if used[h.index()] || host.label(h) != pattern.label(p) {
-            continue;
+        if depth == self.plan.order.len() {
+            self.results.push(self.mapping.clone());
+            return;
         }
-        if host.degree(h) < pattern.degree(p) {
-            continue;
-        }
-        // Consistency with all previously mapped pattern vertices.
-        for q in pattern.vertices().take_while(|_| true) {
-            if let Some(hq) = mapping[q.index()] {
-                let p_edge = pattern.has_edge(p, q);
-                let h_edge = host.has_edge(h, hq);
-                if p_edge && !h_edge {
-                    continue 'cands;
+        let p = self.plan.order[depth];
+        let p_label = self.pattern.label(p);
+        let p_degree = self.pattern.degree(p);
+        let p_hist = self.pattern.neighbor_label_histogram(p);
+        let host_csr = self.host.csr();
+        let mapped = &self.plan.mapped_neighbors[depth];
+
+        // Candidate source: the label index when `p` starts a new connected
+        // part of the pattern; otherwise the smallest adjacency list among the
+        // host images of p's already-mapped neighbors. Both sources are sorted
+        // ascending, so enumeration order (and thus result order) is
+        // independent of the source chosen.
+        // `anchor` is the mapped neighbor whose adjacency list supplies the
+        // candidates; every candidate is host-adjacent to it by construction,
+        // so the consistency loop below skips it.
+        let mut anchor = usize::MAX;
+        let candidates: &[VertexId] = if mapped.is_empty() {
+            host_csr.vertices_with_label(p_label)
+        } else {
+            anchor = mapped[0];
+            let mut best = self.mapping[self.plan.order[anchor].index()];
+            for &j in &mapped[1..] {
+                let image = self.mapping[self.plan.order[j].index()];
+                if host_csr.degree(image) < host_csr.degree(best) {
+                    best = image;
+                    anchor = j;
                 }
-                if induced && !p_edge && h_edge {
+            }
+            host_csr.neighbors(best)
+        };
+
+        'cands: for &h in candidates {
+            if self.results.len() >= self.limit {
+                return;
+            }
+            if self.used[h.index()]
+                || self.host.label(h) != p_label
+                || host_csr.degree(h) < p_degree
+            {
+                continue;
+            }
+            // Capacity pruning: h must offer, for every neighbor label of p,
+            // at least as many neighbors of that label (necessary because the
+            // pattern neighbors map injectively to distinct host neighbors).
+            if p_hist.len() > 1 || (p_hist.len() == 1 && p_hist[0].1 > 1) {
+                for &(l, need) in p_hist {
+                    if host_csr.neighbor_label_count(h, l) < need {
+                        continue 'cands;
+                    }
+                }
+            }
+            // Consistency with exactly the already-mapped pattern neighbors
+            // (and, in induced mode, non-adjacency with the mapped rest).
+            for &j in mapped {
+                if j == anchor {
+                    continue;
+                }
+                let image = self.mapping[self.plan.order[j].index()];
+                if !host_csr.has_edge(h, image) {
                     continue 'cands;
                 }
             }
+            if self.induced {
+                for &j in &self.plan.mapped_non_neighbors[depth] {
+                    let image = self.mapping[self.plan.order[j].index()];
+                    if host_csr.has_edge(h, image) {
+                        continue 'cands;
+                    }
+                }
+            }
+            self.mapping[p.index()] = h;
+            self.used[h.index()] = true;
+            self.run(depth + 1);
+            self.mapping[p.index()] = UNMAPPED;
+            self.used[h.index()] = false;
         }
-        mapping[p.index()] = Some(h);
-        used[h.index()] = true;
-        backtrack(pattern, host, order, depth + 1, mapping, used, results, limit, induced);
-        mapping[p.index()] = None;
-        used[h.index()] = false;
+    }
+}
+
+pub mod reference {
+    //! The original textbook VF2 implementation, retained verbatim as the
+    //! correctness oracle: property tests assert the indexed matcher returns
+    //! the same embedding sets, and the benchmarks measure speedup against it.
+    //!
+    //! Its per-node cost is dominated by an all-vertex consistency scan and a
+    //! candidate `Vec` allocation per search node — exactly the overheads the
+    //! indexed matcher removes.
+
+    use crate::graph::{LabeledGraph, VertexId};
+
+    /// Finds up to `limit` embeddings with the original algorithm.
+    pub fn find_embeddings(
+        pattern: &LabeledGraph,
+        host: &LabeledGraph,
+        limit: usize,
+    ) -> Vec<Vec<VertexId>> {
+        find_embeddings_impl(pattern, host, limit, false)
+    }
+
+    /// Finds up to `limit` induced embeddings with the original algorithm.
+    pub fn find_induced_embeddings(
+        pattern: &LabeledGraph,
+        host: &LabeledGraph,
+        limit: usize,
+    ) -> Vec<Vec<VertexId>> {
+        find_embeddings_impl(pattern, host, limit, true)
+    }
+
+    fn matching_order(pattern: &LabeledGraph) -> Vec<VertexId> {
+        let n = pattern.vertex_count();
+        if n == 0 {
+            return Vec::new();
+        }
+        let mut order: Vec<VertexId> = Vec::with_capacity(n);
+        let mut placed = vec![false; n];
+        let first = pattern
+            .vertices()
+            .max_by_key(|&v| pattern.degree(v))
+            .expect("non-empty");
+        order.push(first);
+        placed[first.index()] = true;
+        while order.len() < n {
+            let next = pattern
+                .vertices()
+                .filter(|v| !placed[v.index()])
+                .max_by_key(|&v| {
+                    let connected = pattern
+                        .neighbors(v)
+                        .iter()
+                        .filter(|u| placed[u.index()])
+                        .count();
+                    (connected, pattern.degree(v))
+                })
+                .expect("some vertex unplaced");
+            order.push(next);
+            placed[next.index()] = true;
+        }
+        order
+    }
+
+    fn find_embeddings_impl(
+        pattern: &LabeledGraph,
+        host: &LabeledGraph,
+        limit: usize,
+        induced: bool,
+    ) -> Vec<Vec<VertexId>> {
+        let pn = pattern.vertex_count();
+        if pn == 0 || limit == 0 {
+            return Vec::new();
+        }
+        if pn > host.vertex_count() || pattern.edge_count() > host.edge_count() {
+            return Vec::new();
+        }
+        let order = matching_order(pattern);
+        let mut mapping: Vec<Option<VertexId>> = vec![None; pn];
+        let mut used = vec![false; host.vertex_count()];
+        let mut results = Vec::new();
+        backtrack(
+            pattern,
+            host,
+            &order,
+            0,
+            &mut mapping,
+            &mut used,
+            &mut results,
+            limit,
+            induced,
+        );
+        results
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn backtrack(
+        pattern: &LabeledGraph,
+        host: &LabeledGraph,
+        order: &[VertexId],
+        depth: usize,
+        mapping: &mut Vec<Option<VertexId>>,
+        used: &mut Vec<bool>,
+        results: &mut Vec<Vec<VertexId>>,
+        limit: usize,
+        induced: bool,
+    ) {
+        if results.len() >= limit {
+            return;
+        }
+        if depth == order.len() {
+            results.push(
+                mapping
+                    .iter()
+                    .map(|m| m.expect("complete mapping"))
+                    .collect(),
+            );
+            return;
+        }
+        let p = order[depth];
+        let anchor = pattern
+            .neighbors(p)
+            .iter()
+            .find(|q| mapping[q.index()].is_some())
+            .copied();
+        let candidates: Vec<VertexId> = match anchor {
+            Some(q) => host
+                .neighbors(mapping[q.index()].expect("anchored"))
+                .to_vec(),
+            None => host.vertices().collect(),
+        };
+        'cands: for h in candidates {
+            if results.len() >= limit {
+                return;
+            }
+            if used[h.index()] || host.label(h) != pattern.label(p) {
+                continue;
+            }
+            if host.degree(h) < pattern.degree(p) {
+                continue;
+            }
+            // Consistency with all previously mapped pattern vertices — the
+            // O(n) scan per node the indexed matcher replaces with its plan.
+            for q in pattern.vertices() {
+                if let Some(hq) = mapping[q.index()] {
+                    let p_edge = pattern.has_edge(p, q);
+                    let h_edge = host.has_edge(h, hq);
+                    if p_edge && !h_edge {
+                        continue 'cands;
+                    }
+                    if induced && !p_edge && h_edge {
+                        continue 'cands;
+                    }
+                }
+            }
+            mapping[p.index()] = Some(h);
+            used[h.index()] = true;
+            backtrack(
+                pattern,
+                host,
+                order,
+                depth + 1,
+                mapping,
+                used,
+                results,
+                limit,
+                induced,
+            );
+            mapping[p.index()] = None;
+            used[h.index()] = false;
+        }
     }
 }
 
@@ -230,16 +532,14 @@ mod tests {
     #[test]
     fn different_structure_not_isomorphic() {
         let path = labeled_path(&[1, 1, 1]);
-        let triangle =
-            LabeledGraph::from_parts(&[Label(1); 3], &[(0, 1), (1, 2), (0, 2)]);
+        let triangle = LabeledGraph::from_parts(&[Label(1); 3], &[(0, 1), (1, 2), (0, 2)]);
         assert!(!are_isomorphic(&path, &triangle));
     }
 
     #[test]
     fn path_embeds_in_triangle_but_not_induced() {
         let path = labeled_path(&[1, 1, 1]);
-        let triangle =
-            LabeledGraph::from_parts(&[Label(1); 3], &[(0, 1), (1, 2), (0, 2)]);
+        let triangle = LabeledGraph::from_parts(&[Label(1); 3], &[(0, 1), (1, 2), (0, 2)]);
         assert!(is_subgraph_of(&path, &triangle));
         assert!(find_induced_embeddings(&path, &triangle, 10).is_empty());
     }
@@ -252,8 +552,7 @@ mod tests {
             &[(0, 1), (0, 2), (0, 3)],
         );
         // Pattern: one center label 0 with two leaves label 1.
-        let pattern =
-            LabeledGraph::from_parts(&[Label(0), Label(1), Label(1)], &[(0, 1), (0, 2)]);
+        let pattern = LabeledGraph::from_parts(&[Label(0), Label(1), Label(1)], &[(0, 1), (0, 2)]);
         let embs = find_embeddings(&pattern, &star, 100);
         // 3 choices for first leaf × 2 for second = 6 ordered embeddings.
         assert_eq!(embs.len(), 6);
@@ -268,8 +567,7 @@ mod tests {
             &[Label(0), Label(1), Label(1), Label(1)],
             &[(0, 1), (0, 2), (0, 3)],
         );
-        let pattern =
-            LabeledGraph::from_parts(&[Label(0), Label(1)], &[(0, 1)]);
+        let pattern = LabeledGraph::from_parts(&[Label(0), Label(1)], &[(0, 1)]);
         assert_eq!(find_embeddings(&pattern, &star, 2).len(), 2);
         assert!(count_embeddings_at_least(&pattern, &star, 3));
         assert!(!count_embeddings_at_least(&pattern, &star, 4));
@@ -285,7 +583,8 @@ mod tests {
 
     #[test]
     fn disconnected_pattern_matches_across_components() {
-        let host = LabeledGraph::from_parts(&[Label(1), Label(2), Label(1), Label(2)], &[(0, 1), (2, 3)]);
+        let host =
+            LabeledGraph::from_parts(&[Label(1), Label(2), Label(1), Label(2)], &[(0, 1), (2, 3)]);
         let mut pattern = LabeledGraph::new();
         let a = pattern.add_vertex(Label(1));
         let _b = pattern.add_vertex(Label(1));
@@ -299,5 +598,63 @@ mod tests {
     fn empty_pattern_has_no_embeddings() {
         let host = labeled_path(&[1, 2]);
         assert!(find_embeddings(&LabeledGraph::new(), &host, 10).is_empty());
+    }
+
+    #[test]
+    fn indexed_matcher_agrees_with_reference_in_order() {
+        // A host with overlapping stars and a triangle: enough structure for
+        // anchored, unanchored and induced paths to all fire.
+        let host = LabeledGraph::from_parts(
+            &[
+                Label(0),
+                Label(1),
+                Label(1),
+                Label(2),
+                Label(0),
+                Label(1),
+                Label(2),
+                Label(0),
+                Label(1),
+                Label(1),
+            ],
+            &[
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (1, 2),
+                (4, 5),
+                (4, 6),
+                (5, 6),
+                (7, 8),
+                (7, 9),
+                (8, 9),
+                (3, 4),
+                (6, 7),
+            ],
+        );
+        let patterns = [
+            LabeledGraph::from_parts(&[Label(0), Label(1)], &[(0, 1)]),
+            LabeledGraph::from_parts(&[Label(0), Label(1), Label(1)], &[(0, 1), (0, 2)]),
+            LabeledGraph::from_parts(&[Label(0), Label(1), Label(2)], &[(0, 1), (0, 2), (1, 2)]),
+            LabeledGraph::from_parts(&[Label(1), Label(1)], &[]),
+            LabeledGraph::from_parts(
+                &[Label(0), Label(1), Label(2), Label(0)],
+                &[(0, 1), (0, 2), (2, 3)],
+            ),
+        ];
+        for pattern in &patterns {
+            for limit in [1, 3, usize::MAX] {
+                assert_eq!(
+                    find_embeddings(pattern, &host, limit),
+                    reference::find_embeddings(pattern, &host, limit),
+                    "non-induced, limit {limit}"
+                );
+                assert_eq!(
+                    find_induced_embeddings(pattern, &host, limit),
+                    reference::find_induced_embeddings(pattern, &host, limit),
+                    "induced, limit {limit}"
+                );
+            }
+        }
     }
 }

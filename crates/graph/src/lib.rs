@@ -4,6 +4,8 @@
 //!
 //! * [`LabeledGraph`] — an undirected, simple, vertex-labeled graph stored as a
 //!   compact adjacency list, the "single massive network" of the paper.
+//! * [`csr`] — the frozen CSR view of a graph (flat adjacency, label index,
+//!   neighbor-label histograms) that the matcher and the spider miner read.
 //! * [`label`] — label interning so that callers can use human-readable label
 //!   names while the miners work with dense `u32` label ids.
 //! * [`traversal`] — BFS, bounded BFS, shortest distances, eccentricity,
@@ -19,6 +21,7 @@
 //!   comparison against ORIGAMI.
 //! * [`io`] — a small text format for persisting graphs and patterns.
 
+pub mod csr;
 pub mod generate;
 pub mod graph;
 pub mod io;
@@ -30,6 +33,7 @@ pub mod subgraph;
 pub mod transaction;
 pub mod traversal;
 
+pub use csr::CsrIndex;
 pub use graph::{LabeledGraph, VertexId};
 pub use label::{Label, LabelInterner};
 pub use stats::GraphStats;

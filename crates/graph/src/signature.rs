@@ -24,8 +24,11 @@ pub struct VertexSignature {
 
 /// Computes the radius-1 signature of a single vertex.
 pub fn vertex_signature(graph: &LabeledGraph, v: VertexId) -> VertexSignature {
-    let mut neighbor_labels: Vec<u32> =
-        graph.neighbors(v).iter().map(|&u| graph.label(u).0).collect();
+    let mut neighbor_labels: Vec<u32> = graph
+        .neighbors(v)
+        .iter()
+        .map(|&u| graph.label(u).0)
+        .collect();
     neighbor_labels.sort_unstable();
     VertexSignature {
         label: graph.label(v).0,
@@ -38,8 +41,10 @@ pub fn vertex_signature(graph: &LabeledGraph, v: VertexId) -> VertexSignature {
 /// By the same argument as the paper's Theorem 2, isomorphic graphs have equal
 /// neighborhood signatures; the converse does not hold in general.
 pub fn neighborhood_signature(graph: &LabeledGraph) -> Vec<VertexSignature> {
-    let mut sigs: Vec<VertexSignature> =
-        graph.vertices().map(|v| vertex_signature(graph, v)).collect();
+    let mut sigs: Vec<VertexSignature> = graph
+        .vertices()
+        .map(|v| vertex_signature(graph, v))
+        .collect();
     sigs.sort();
     sigs
 }
@@ -108,10 +113,7 @@ mod tests {
 
     #[test]
     fn vertex_signature_reflects_neighborhood() {
-        let g = LabeledGraph::from_parts(
-            &[Label(0), Label(5), Label(7)],
-            &[(0, 1), (0, 2)],
-        );
+        let g = LabeledGraph::from_parts(&[Label(0), Label(5), Label(7)], &[(0, 1), (0, 2)]);
         let sig = vertex_signature(&g, VertexId(0));
         assert_eq!(sig.label, 0);
         assert_eq!(sig.neighbor_labels, vec![5, 7]);

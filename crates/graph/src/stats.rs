@@ -40,7 +40,12 @@ impl std::fmt::Display for GraphStats {
         write!(
             f,
             "|V|={} |E|={} labels={} avg_deg={:.2} max_deg={} components={}",
-            self.vertices, self.edges, self.labels, self.average_degree, self.max_degree, self.components
+            self.vertices,
+            self.edges,
+            self.labels,
+            self.average_degree,
+            self.max_degree,
+            self.components
         )
     }
 }
@@ -52,10 +57,8 @@ mod tests {
 
     #[test]
     fn stats_of_small_graph() {
-        let g = LabeledGraph::from_parts(
-            &[Label(0), Label(0), Label(1), Label(2)],
-            &[(0, 1), (1, 2)],
-        );
+        let g =
+            LabeledGraph::from_parts(&[Label(0), Label(0), Label(1), Label(2)], &[(0, 1), (1, 2)]);
         let s = GraphStats::of(&g);
         assert_eq!(s.vertices, 4);
         assert_eq!(s.edges, 2);

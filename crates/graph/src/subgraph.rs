@@ -134,11 +134,7 @@ mod tests {
     fn induced_subgraph_preserves_labels() {
         let g = square_with_diagonal();
         let sub = induced_subgraph(&g, &[VertexId(3), VertexId(2)]);
-        let labels: Vec<Label> = sub
-            .graph
-            .vertices()
-            .map(|v| sub.graph.label(v))
-            .collect();
+        let labels: Vec<Label> = sub.graph.vertices().map(|v| sub.graph.label(v)).collect();
         assert!(labels.contains(&Label(2)));
         assert!(labels.contains(&Label(3)));
     }
@@ -146,7 +142,10 @@ mod tests {
     #[test]
     fn edge_subgraph_keeps_only_listed_edges() {
         let g = square_with_diagonal();
-        let sub = edge_subgraph(&g, &[(VertexId(0), VertexId(1)), (VertexId(2), VertexId(3))]);
+        let sub = edge_subgraph(
+            &g,
+            &[(VertexId(0), VertexId(1)), (VertexId(2), VertexId(3))],
+        );
         assert_eq!(sub.graph.vertex_count(), 4);
         assert_eq!(sub.graph.edge_count(), 2);
     }

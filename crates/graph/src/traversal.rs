@@ -81,12 +81,20 @@ pub fn eccentricity(graph: &LabeledGraph, v: VertexId) -> u32 {
 /// diameter). This is `O(|V| · (|V| + |E|))`; use it on *patterns*, not on the
 /// massive input network.
 pub fn diameter(graph: &LabeledGraph) -> u32 {
-    graph.vertices().map(|v| eccentricity(graph, v)).max().unwrap_or(0)
+    graph
+        .vertices()
+        .map(|v| eccentricity(graph, v))
+        .max()
+        .unwrap_or(0)
 }
 
 /// Radius of the graph: minimum eccentricity over all vertices.
 pub fn radius(graph: &LabeledGraph) -> u32 {
-    graph.vertices().map(|v| eccentricity(graph, v)).min().unwrap_or(0)
+    graph
+        .vertices()
+        .map(|v| eccentricity(graph, v))
+        .min()
+        .unwrap_or(0)
 }
 
 /// Checks whether `graph` is r-bounded from `head`: every vertex is reachable
@@ -141,12 +149,11 @@ pub fn connected_components(graph: &LabeledGraph) -> Vec<Vec<VertexId>> {
 /// The paper cites effective-diameter bounds (DBLP ≤ 9, IMDB ≤ 10) to justify
 /// the `Dmax` parameter; this helper lets users gauge `Dmax` for their own
 /// network the same way.
-pub fn effective_diameter_estimate(
-    graph: &LabeledGraph,
-    quantile: f64,
-    samples: usize,
-) -> u32 {
-    assert!((0.0..=1.0).contains(&quantile), "quantile must be in [0, 1]");
+pub fn effective_diameter_estimate(graph: &LabeledGraph, quantile: f64, samples: usize) -> u32 {
+    assert!(
+        (0.0..=1.0).contains(&quantile),
+        "quantile must be in [0, 1]"
+    );
     let n = graph.vertex_count();
     if n == 0 {
         return 0;

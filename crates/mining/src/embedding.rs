@@ -24,13 +24,19 @@ pub struct EmbeddedPattern {
 impl EmbeddedPattern {
     /// Creates a bundle from a pattern and its embeddings.
     pub fn new(pattern: LabeledGraph, embeddings: Vec<Embedding>) -> Self {
-        Self { pattern, embeddings }
+        Self {
+            pattern,
+            embeddings,
+        }
     }
 
     /// Builds the bundle by searching for up to `limit` embeddings in `host`.
     pub fn discover(pattern: LabeledGraph, host: &LabeledGraph, limit: usize) -> Self {
         let embeddings = iso::find_embeddings(&pattern, host, limit);
-        Self { pattern, embeddings }
+        Self {
+            pattern,
+            embeddings,
+        }
     }
 
     /// Number of pattern vertices.

@@ -6,7 +6,7 @@
 //! baselines in `spidermine-baselines` are built on this module; SpiderMine
 //! itself grows by whole spiders instead.
 
-use crate::embedding::{Embedding, EmbeddedPattern};
+use crate::embedding::{EmbeddedPattern, Embedding};
 use crate::support::SupportMeasure;
 use rustc_hash::FxHashMap;
 use spidermine_graph::graph::{LabeledGraph, VertexId};
@@ -203,12 +203,15 @@ mod tests {
         let edge01 = singles
             .iter()
             .find(|ep| {
-                ep.pattern.label(VertexId(0)) == Label(0) && ep.pattern.label(VertexId(1)) == Label(1)
+                ep.pattern.label(VertexId(0)) == Label(0)
+                    && ep.pattern.label(VertexId(1)) == Label(1)
             })
             .expect("edge (0,1)");
         let exts = one_edge_extensions(&host, edge01, 2, SupportMeasure::EmbeddingCount, 100);
         // Forward: attach label-2 to either endpoint; Backward: none (already all edges).
-        assert!(exts.iter().all(|e| matches!(e.extension, Extension::Forward { .. })));
+        assert!(exts
+            .iter()
+            .all(|e| matches!(e.extension, Extension::Forward { .. })));
         assert_eq!(exts.len(), 2);
         for e in &exts {
             assert_eq!(e.support, 2);

@@ -22,7 +22,7 @@ pub mod rspider;
 pub mod spider;
 pub mod support;
 
-pub use embedding::{Embedding, EmbeddedPattern};
+pub use embedding::{EmbeddedPattern, Embedding};
 pub use pattern_index::PatternIndex;
 pub use spider::{Spider, SpiderCatalog, SpiderId, SpiderMiningConfig};
 pub use support::SupportMeasure;

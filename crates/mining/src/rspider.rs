@@ -94,8 +94,11 @@ impl SpiderTree {
     }
 
     fn code_of(&self, i: usize) -> String {
-        let mut child_codes: Vec<String> =
-            self.children(i).into_iter().map(|c| self.code_of(c)).collect();
+        let mut child_codes: Vec<String> = self
+            .children(i)
+            .into_iter()
+            .map(|c| self.code_of(c))
+            .collect();
         child_codes.sort();
         format!("{}({})", self.nodes[i].label.0, child_codes.join(","))
     }
@@ -189,10 +192,7 @@ pub fn mine_r_spiders(
             frontier.push((SpiderTree::root(label), heads.clone()));
         }
     }
-    let mut seen: FxHashSet<String> = frontier
-        .iter()
-        .map(|(t, _)| t.canonical_code())
-        .collect();
+    let mut seen: FxHashSet<String> = frontier.iter().map(|(t, _)| t.canonical_code()).collect();
     // All labels appearing in the graph, candidates for new leaves.
     let mut all_labels: Vec<Label> = heads_by_label.keys().copied().collect();
     all_labels.sort();
@@ -283,10 +283,16 @@ mod tests {
 
     #[test]
     fn canonical_code_is_order_invariant() {
-        let t1 = SpiderTree::root(Label(0)).extend(0, Label(1)).extend(0, Label(2));
-        let t2 = SpiderTree::root(Label(0)).extend(0, Label(2)).extend(0, Label(1));
+        let t1 = SpiderTree::root(Label(0))
+            .extend(0, Label(1))
+            .extend(0, Label(2));
+        let t2 = SpiderTree::root(Label(0))
+            .extend(0, Label(2))
+            .extend(0, Label(1));
         assert_eq!(t1.canonical_code(), t2.canonical_code());
-        let t3 = SpiderTree::root(Label(0)).extend(0, Label(1)).extend(1, Label(2));
+        let t3 = SpiderTree::root(Label(0))
+            .extend(0, Label(1))
+            .extend(1, Label(2));
         assert_ne!(t1.canonical_code(), t3.canonical_code());
     }
 
@@ -294,7 +300,9 @@ mod tests {
     fn embeds_at_requires_injectivity() {
         // Star with two label-1 leaves vs a host with only one label-1 neighbor.
         let host = LabeledGraph::from_parts(&[Label(0), Label(1)], &[(0, 1)]);
-        let tree = SpiderTree::root(Label(0)).extend(0, Label(1)).extend(0, Label(1));
+        let tree = SpiderTree::root(Label(0))
+            .extend(0, Label(1))
+            .extend(0, Label(1));
         assert!(!tree.embeds_at(&host, VertexId(0)));
         let bigger = LabeledGraph::from_parts(&[Label(0), Label(1), Label(1)], &[(0, 1), (0, 2)]);
         assert!(tree.embeds_at(&bigger, VertexId(0)));
@@ -302,7 +310,9 @@ mod tests {
 
     #[test]
     fn to_pattern_has_tree_shape() {
-        let tree = SpiderTree::root(Label(5)).extend(0, Label(6)).extend(1, Label(7));
+        let tree = SpiderTree::root(Label(5))
+            .extend(0, Label(6))
+            .extend(1, Label(7));
         let p = tree.to_pattern();
         assert_eq!(p.vertex_count(), 3);
         assert_eq!(p.edge_count(), 2);

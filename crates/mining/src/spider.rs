@@ -12,7 +12,17 @@
 //! vertices `v` whose label matches the head label and whose neighborhood can
 //! injectively supply the leaf-label multiset. This is anti-monotone in the
 //! leaf multiset, which makes the level-wise enumeration below complete.
+//!
+//! The enumeration runs on the graph's frozen CSR view: head classes come from
+//! the label index, and per-head capacity checks are merge-joins over the
+//! precomputed neighbor-label histograms (sorted `(label, count)` rows) rather
+//! than hash-map probes. The level-wise frontier holds spider *ids* — entry
+//! data is read from the catalog, so each spider's leaf and head lists are
+//! allocated exactly once. Frontier blocks expand in parallel (rayon) and
+//! splice back in frontier order, keeping the catalog byte-identical to a
+//! sequential run.
 
+use rayon::prelude::*;
 use rustc_hash::FxHashMap;
 use spidermine_graph::graph::{LabeledGraph, VertexId};
 use spidermine_graph::label::Label;
@@ -91,12 +101,41 @@ impl Spider {
     /// Checks whether `v` (in `graph`) can host this spider as its head:
     /// label matches and the neighborhood supplies the leaf multiset.
     pub fn matches_at(&self, graph: &LabeledGraph, v: VertexId) -> bool {
-        if graph.label(v) != self.head_label {
-            return false;
-        }
-        multiset_fits(&leaf_requirements(&self.leaf_labels), &neighbor_label_counts(graph, v))
+        graph.label(v) == self.head_label
+            && leaf_multiset_fits(&self.leaf_labels, graph.neighbor_label_histogram(v))
     }
 }
+
+/// True if the sorted leaf-label multiset fits inside a neighbor-label
+/// histogram row (every label's multiplicity is covered). Both inputs are
+/// sorted by label, so this is a single merge scan.
+fn leaf_multiset_fits(sorted_leaves: &[Label], histogram: &[(Label, u32)]) -> bool {
+    let mut hist_at = 0;
+    let mut i = 0;
+    while i < sorted_leaves.len() {
+        let label = sorted_leaves[i];
+        let mut j = i + 1;
+        while j < sorted_leaves.len() && sorted_leaves[j] == label {
+            j += 1;
+        }
+        let need = (j - i) as u32;
+        while hist_at < histogram.len() && histogram[hist_at].0 < label {
+            hist_at += 1;
+        }
+        if hist_at == histogram.len()
+            || histogram[hist_at].0 != label
+            || histogram[hist_at].1 < need
+        {
+            return false;
+        }
+        i = j;
+    }
+    true
+}
+
+/// A freshly derived spider not yet in the catalog: head label, sorted leaf
+/// multiset, and the heads supporting it.
+type NewSpider = (Label, Vec<Label>, Vec<VertexId>);
 
 /// The complete set of frequent 1-spiders of a graph.
 #[derive(Debug, Default)]
@@ -107,22 +146,293 @@ pub struct SpiderCatalog {
 
 impl SpiderCatalog {
     /// Mines all frequent 1-spiders of `graph` under `config`.
+    ///
+    /// The level-wise frontier is a list of *spider ids*: each level's entries
+    /// are read straight out of the catalog (no duplicated leaf/head storage),
+    /// expanded in parallel blocks, and their children pushed back in frontier
+    /// order — so the catalog is byte-identical to a sequential run while
+    /// per-spider data is allocated exactly once.
     pub fn mine(graph: &LabeledGraph, config: &SpiderMiningConfig) -> Self {
         let sigma = config.support_threshold.max(1);
-        // Per-vertex neighbor label histograms, reused across all levels.
+        let csr = graph.csr();
+        let mut catalog = SpiderCatalog::default();
+
+        // Parallel fan-out width per splice. Blocks (rather than whole levels)
+        // bound peak memory: levels grow into the millions on scale-free
+        // graphs.
+        const PAR_BLOCK: usize = 1024;
+
+        if config.max_leaves == 0 || graph.vertex_count() == 0 {
+            if config.include_single_vertex {
+                for (label, heads) in csr.labels_with_vertices() {
+                    if heads.len() >= sigma {
+                        catalog.push(label, Vec::new(), heads.to_vec());
+                    }
+                }
+            }
+            return catalog;
+        }
+
+        // Level 1, from the label index's frequent head classes (ascending by
+        // label): single-leaf spiders.
+        let classes: Vec<(Label, &[VertexId])> = csr
+            .labels_with_vertices()
+            .filter(|(_, heads)| heads.len() >= sigma)
+            .collect();
+        let mut frontier: Vec<SpiderId> = Vec::new();
+        for (label, heads) in &classes {
+            if config.include_single_vertex {
+                catalog.push(*label, Vec::new(), heads.to_vec());
+            }
+        }
+        'seed: for block in classes.chunks(PAR_BLOCK) {
+            let expanded: Vec<Vec<NewSpider>> = block
+                .par_iter()
+                .map(|&(label, heads)| extend_spider(graph, label, &[], heads, sigma))
+                .collect();
+            for children in expanded {
+                for (head_label, leaf_labels, heads) in children {
+                    if catalog.spiders.len() >= config.max_spiders {
+                        break 'seed;
+                    }
+                    frontier.push(catalog.push(head_label, leaf_labels, heads));
+                }
+            }
+        }
+
+        // Levels 2..: expand the previous level's spiders.
+        let mut leaves = 1;
+        while !frontier.is_empty() && leaves < config.max_leaves {
+            leaves += 1;
+            if catalog.spiders.len() >= config.max_spiders {
+                break;
+            }
+            let mut next: Vec<SpiderId> = Vec::new();
+            'level: for block in frontier.chunks(PAR_BLOCK) {
+                let expanded: Vec<Vec<NewSpider>> = block
+                    .par_iter()
+                    .map(|&id| {
+                        let spider = &catalog.spiders[id];
+                        extend_spider(
+                            graph,
+                            spider.head_label,
+                            &spider.leaf_labels,
+                            &spider.heads,
+                            sigma,
+                        )
+                    })
+                    .collect();
+                for children in expanded {
+                    for (head_label, leaf_labels, heads) in children {
+                        if catalog.spiders.len() >= config.max_spiders {
+                            break 'level;
+                        }
+                        next.push(catalog.push(head_label, leaf_labels, heads));
+                    }
+                }
+            }
+            frontier = next;
+        }
+        catalog
+    }
+
+    fn push(
+        &mut self,
+        head_label: Label,
+        leaf_labels: Vec<Label>,
+        heads: Vec<VertexId>,
+    ) -> SpiderId {
+        let id = self.spiders.len();
+        self.by_head_label.entry(head_label).or_default().push(id);
+        self.spiders.push(Spider {
+            id,
+            head_label,
+            leaf_labels,
+            heads,
+        });
+        id
+    }
+
+    /// All spiders, in mining order.
+    pub fn spiders(&self) -> &[Spider] {
+        &self.spiders
+    }
+
+    /// Number of spiders mined.
+    pub fn len(&self) -> usize {
+        self.spiders.len()
+    }
+
+    /// True if no spiders were mined.
+    pub fn is_empty(&self) -> bool {
+        self.spiders.is_empty()
+    }
+
+    /// The spider with the given id.
+    pub fn get(&self, id: SpiderId) -> &Spider {
+        &self.spiders[id]
+    }
+
+    /// Ids of spiders whose head label is `label`.
+    pub fn with_head_label(&self, label: Label) -> &[SpiderId] {
+        self.by_head_label
+            .get(&label)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Ids of spiders that can be planted with their head at `v`
+    /// (the paper's `Spider(v)`).
+    pub fn matching_at(&self, graph: &LabeledGraph, v: VertexId) -> Vec<SpiderId> {
+        let histogram = graph.neighbor_label_histogram(v);
+        self.with_head_label(graph.label(v))
+            .iter()
+            .copied()
+            .filter(|&id| leaf_multiset_fits(&self.spiders[id].leaf_labels, histogram))
+            .collect()
+    }
+
+    /// The largest spider (most leaves); ties broken by lowest id.
+    pub fn largest(&self) -> Option<&Spider> {
+        self.spiders
+            .iter()
+            .max_by_key(|s| (s.size(), usize::MAX - s.id))
+    }
+}
+
+/// Expands one frontier entry: every frequent one-leaf extension whose label
+/// keeps the leaf multiset sorted (labels only grow), with its surviving heads.
+///
+/// Because leaf labels are sorted, a candidate label `l` is already present in
+/// the multiset only when `l` equals the current maximum leaf label — its
+/// required multiplicity is that label's trailing run length; every larger
+/// label requires one. Both the candidate collection and the survivor counting
+/// are merge-joins over the sorted CSR histogram rows: one sequential pass per
+/// head, no hashing and no per-candidate binary searches.
+fn extend_spider(
+    graph: &LabeledGraph,
+    head_label: Label,
+    leaf_labels: &[Label],
+    heads: &[VertexId],
+    sigma: usize,
+) -> Vec<NewSpider> {
+    let csr = graph.csr();
+    let max_leaf = leaf_labels.last().copied();
+    let max_leaf_run = max_leaf
+        .map(|ml| leaf_labels.iter().rev().take_while(|&&l| l == ml).count() as u32)
+        .unwrap_or(0);
+    let required = |label: Label| {
+        if Some(label) == max_leaf {
+            max_leaf_run + 1
+        } else {
+            1
+        }
+    };
+
+    // Pass 1 — candidate labels: every label >= max_leaf some head still has
+    // spare capacity for, merged from the sorted histogram rows.
+    let mut candidates: Vec<Label> = Vec::new();
+    for &h in heads {
+        let row = csr.neighbor_label_histogram(h);
+        let start = match max_leaf {
+            Some(ml) => row.partition_point(|&(l, _)| l < ml),
+            None => 0,
+        };
+        for &(label, count) in &row[start..] {
+            if count >= required(label) {
+                candidates.push(label);
+            }
+        }
+    }
+    candidates.sort_unstable();
+    candidates.dedup();
+    if candidates.is_empty() {
+        return Vec::new();
+    }
+
+    // Pass 2 — survivors per candidate: merge-join each head's sorted
+    // histogram row against the sorted candidate list. Heads are visited in
+    // ascending order, so each survivor list stays sorted.
+    let mut survivors: Vec<Vec<VertexId>> = vec![Vec::new(); candidates.len()];
+    for &h in heads {
+        let row = csr.neighbor_label_histogram(h);
+        let start = row.partition_point(|&(l, _)| l < candidates[0]);
+        let mut j = 0;
+        for &(label, count) in &row[start..] {
+            while j < candidates.len() && candidates[j] < label {
+                j += 1;
+            }
+            if j == candidates.len() {
+                break;
+            }
+            if candidates[j] == label && count >= required(label) {
+                survivors[j].push(h);
+            }
+        }
+    }
+
+    let mut children = Vec::new();
+    for (cand, surviving) in candidates.into_iter().zip(survivors) {
+        if surviving.len() < sigma {
+            continue;
+        }
+        let mut new_leaves = Vec::with_capacity(leaf_labels.len() + 1);
+        new_leaves.extend_from_slice(leaf_labels);
+        new_leaves.push(cand);
+        children.push((head_label, new_leaves, surviving));
+    }
+    children
+}
+
+/// Histogram of the labels of `v`'s neighbors as a hash map.
+///
+/// Retained for API compatibility; new code should prefer the allocation-free
+/// [`LabeledGraph::neighbor_label_histogram`] slice.
+pub fn neighbor_label_counts(graph: &LabeledGraph, v: VertexId) -> FxHashMap<Label, usize> {
+    graph
+        .neighbor_label_histogram(v)
+        .iter()
+        .map(|&(label, count)| (label, count as usize))
+        .collect()
+}
+
+pub mod reference {
+    //! The original hash-map-based Stage-I enumeration, retained as the
+    //! baseline the spider-mining benchmarks measure speedup against and as a
+    //! second implementation for the catalog-equivalence property tests.
+    //!
+    //! Its cost is dominated by one `FxHashMap` histogram per vertex and
+    //! hash probes inside the per-level candidate scan — replaced in
+    //! [`SpiderCatalog::mine`](super::SpiderCatalog::mine) by the CSR
+    //! histogram rows.
+
+    use super::{Spider, SpiderCatalog, SpiderMiningConfig};
+    use rustc_hash::FxHashMap;
+    use spidermine_graph::graph::{LabeledGraph, VertexId};
+    use spidermine_graph::label::Label;
+
+    /// Mines the catalog with the original algorithm. The resulting spiders
+    /// (order, labels, heads) are identical to [`SpiderCatalog::mine`] except
+    /// for the `include_single_vertex` emission order, which the original
+    /// left to hash-map iteration order.
+    pub fn mine(graph: &LabeledGraph, config: &SpiderMiningConfig) -> SpiderCatalog {
+        let sigma = config.support_threshold.max(1);
         let neighbor_counts: Vec<FxHashMap<Label, usize>> = graph
             .vertices()
-            .map(|v| neighbor_label_counts(graph, v))
+            .map(|v| {
+                let mut counts = FxHashMap::default();
+                for &u in graph.neighbors(v) {
+                    *counts.entry(graph.label(u)).or_insert(0) += 1;
+                }
+                counts
+            })
             .collect();
-        // Heads by label.
         let mut heads_by_label: FxHashMap<Label, Vec<VertexId>> = FxHashMap::default();
         for v in graph.vertices() {
             heads_by_label.entry(graph.label(v)).or_default().push(v);
         }
 
         let mut catalog = SpiderCatalog::default();
-
-        // Level-wise frontier: (head label, sorted leaf multiset, supporting heads).
         let mut frontier: Vec<(Label, Vec<Label>, Vec<VertexId>)> = Vec::new();
         for (&label, heads) in &heads_by_label {
             if heads.len() >= sigma {
@@ -132,7 +442,6 @@ impl SpiderCatalog {
                 frontier.push((label, Vec::new(), heads.clone()));
             }
         }
-        // Deterministic order regardless of hash-map iteration.
         frontier.sort_by_key(|(l, _, _)| *l);
 
         let mut leaves = 0;
@@ -144,8 +453,6 @@ impl SpiderCatalog {
                     break;
                 }
                 let min_label = leaf_labels.last().copied().unwrap_or(Label(0));
-                // Candidate extension labels: anything >= the current maximum
-                // leaf label that some supporting head still has capacity for.
                 let mut candidates: Vec<Label> = Vec::new();
                 {
                     let mut seen: FxHashMap<Label, ()> = FxHashMap::default();
@@ -189,88 +496,43 @@ impl SpiderCatalog {
         catalog
     }
 
-    fn push(&mut self, head_label: Label, leaf_labels: Vec<Label>, heads: Vec<VertexId>) {
-        let id = self.spiders.len();
-        self.by_head_label.entry(head_label).or_default().push(id);
-        self.spiders.push(Spider {
-            id,
-            head_label,
-            leaf_labels,
-            heads,
-        });
-    }
-
-    /// All spiders, in mining order.
-    pub fn spiders(&self) -> &[Spider] {
-        &self.spiders
-    }
-
-    /// Number of spiders mined.
-    pub fn len(&self) -> usize {
-        self.spiders.len()
-    }
-
-    /// True if no spiders were mined.
-    pub fn is_empty(&self) -> bool {
-        self.spiders.is_empty()
-    }
-
-    /// The spider with the given id.
-    pub fn get(&self, id: SpiderId) -> &Spider {
-        &self.spiders[id]
-    }
-
-    /// Ids of spiders whose head label is `label`.
-    pub fn with_head_label(&self, label: Label) -> &[SpiderId] {
-        self.by_head_label
-            .get(&label)
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
-    }
-
-    /// Ids of spiders that can be planted with their head at `v`
-    /// (the paper's `Spider(v)`).
-    pub fn matching_at(&self, graph: &LabeledGraph, v: VertexId) -> Vec<SpiderId> {
-        let counts = neighbor_label_counts(graph, v);
-        self.with_head_label(graph.label(v))
+    /// The original `SpiderCatalog::matching_at`: rebuilds the neighbor-label
+    /// histogram of `v` as a hash map and one requirement map per candidate
+    /// spider — two allocations per check that the CSR version does without.
+    pub fn matching_at(
+        catalog: &SpiderCatalog,
+        graph: &LabeledGraph,
+        v: VertexId,
+    ) -> Vec<super::SpiderId> {
+        let counts = super::neighbor_label_counts(graph, v);
+        catalog
+            .with_head_label(graph.label(v))
             .iter()
             .copied()
             .filter(|&id| {
-                multiset_fits(&leaf_requirements(&self.spiders[id].leaf_labels), &counts)
+                let mut requirements: FxHashMap<Label, usize> = FxHashMap::default();
+                for &l in &catalog.get(id).leaf_labels {
+                    *requirements.entry(l).or_insert(0) += 1;
+                }
+                requirements
+                    .iter()
+                    .all(|(label, &need)| counts.get(label).copied().unwrap_or(0) >= need)
             })
             .collect()
     }
 
-    /// The largest spider (most leaves); ties broken by lowest id.
-    pub fn largest(&self) -> Option<&Spider> {
-        self.spiders.iter().max_by_key(|s| (s.size(), usize::MAX - s.id))
+    /// Asserts two catalogs describe the same spider set in the same order.
+    pub fn catalogs_equal(a: &SpiderCatalog, b: &SpiderCatalog) -> bool {
+        a.len() == b.len()
+            && a.spiders()
+                .iter()
+                .zip(b.spiders())
+                .all(|(x, y): (&Spider, &Spider)| {
+                    x.head_label == y.head_label
+                        && x.leaf_labels == y.leaf_labels
+                        && x.heads == y.heads
+                })
     }
-}
-
-/// Histogram of the labels of `v`'s neighbors.
-pub fn neighbor_label_counts(graph: &LabeledGraph, v: VertexId) -> FxHashMap<Label, usize> {
-    let mut counts = FxHashMap::default();
-    for &u in graph.neighbors(v) {
-        *counts.entry(graph.label(u)).or_insert(0) += 1;
-    }
-    counts
-}
-
-fn leaf_requirements(leaf_labels: &[Label]) -> FxHashMap<Label, usize> {
-    let mut req = FxHashMap::default();
-    for &l in leaf_labels {
-        *req.entry(l).or_insert(0) += 1;
-    }
-    req
-}
-
-fn multiset_fits(
-    requirements: &FxHashMap<Label, usize>,
-    available: &FxHashMap<Label, usize>,
-) -> bool {
-    requirements
-        .iter()
-        .all(|(label, &need)| available.get(label).copied().unwrap_or(0) >= need)
 }
 
 #[cfg(test)]
@@ -282,15 +544,18 @@ mod tests {
     fn two_star_graph() -> LabeledGraph {
         LabeledGraph::from_parts(
             &[
-                Label(0), Label(1), Label(1), Label(2), // star A: v0 head
-                Label(0), Label(1), Label(1), Label(2), // star B: v4 head
-                Label(0), Label(1), // small star: v8 head
+                Label(0),
+                Label(1),
+                Label(1),
+                Label(2), // star A: v0 head
+                Label(0),
+                Label(1),
+                Label(1),
+                Label(2), // star B: v4 head
+                Label(0),
+                Label(1), // small star: v8 head
             ],
-            &[
-                (0, 1), (0, 2), (0, 3),
-                (4, 5), (4, 6), (4, 7),
-                (8, 9),
-            ],
+            &[(0, 1), (0, 2), (0, 3), (4, 5), (4, 6), (4, 7), (8, 9)],
         )
     }
 
@@ -335,10 +600,7 @@ mod tests {
         let catalog = SpiderCatalog::mine(&g, &default_config(3));
         // Only spiders supported by all three label-0 heads survive: the
         // {1}-leaf star (and nothing with label-2 leaves or two leaves).
-        assert!(catalog
-            .spiders()
-            .iter()
-            .all(|s| s.support() >= 3));
+        assert!(catalog.spiders().iter().all(|s| s.support() >= 3));
         assert!(catalog
             .spiders()
             .iter()
@@ -376,6 +638,25 @@ mod tests {
         };
         let catalog = SpiderCatalog::mine(&g, &config);
         assert!(catalog.spiders().iter().all(|s| s.size() <= 1));
+    }
+
+    #[test]
+    fn max_spiders_caps_catalog_size() {
+        let g = two_star_graph();
+        let config = SpiderMiningConfig {
+            support_threshold: 2,
+            max_spiders: 3,
+            ..SpiderMiningConfig::default()
+        };
+        let catalog = SpiderCatalog::mine(&g, &config);
+        assert!(catalog.len() <= 3);
+        // The first spiders of the uncapped run are kept.
+        let full = SpiderCatalog::mine(&g, &default_config(2));
+        for (a, b) in catalog.spiders().iter().zip(full.spiders()) {
+            assert_eq!(a.head_label, b.head_label);
+            assert_eq!(a.leaf_labels, b.leaf_labels);
+            assert_eq!(a.heads, b.heads);
+        }
     }
 
     #[test]
@@ -456,7 +737,33 @@ mod tests {
             heads: vec![],
         };
         assert!(spider.matches_at(&g, VertexId(0)));
-        assert!(!spider.matches_at(&g, VertexId(8)), "only one label-1 neighbor");
+        assert!(
+            !spider.matches_at(&g, VertexId(8)),
+            "only one label-1 neighbor"
+        );
         assert!(!spider.matches_at(&g, VertexId(1)), "wrong head label");
+    }
+
+    #[test]
+    fn csr_miner_matches_reference_catalog() {
+        let g = two_star_graph();
+        for sigma in [1, 2, 3] {
+            let config = default_config(sigma);
+            let fast = SpiderCatalog::mine(&g, &config);
+            let slow = reference::mine(&g, &config);
+            assert!(
+                reference::catalogs_equal(&fast, &slow),
+                "catalogs diverge at sigma {sigma}"
+            );
+        }
+    }
+
+    #[test]
+    fn neighbor_label_counts_matches_histogram() {
+        let g = two_star_graph();
+        let counts = neighbor_label_counts(&g, VertexId(0));
+        assert_eq!(counts.get(&Label(1)), Some(&2));
+        assert_eq!(counts.get(&Label(2)), Some(&1));
+        assert_eq!(counts.get(&Label(0)), None);
     }
 }

@@ -19,7 +19,6 @@
 //!   harmful-overlap / edge-disjoint support.
 
 use crate::embedding::Embedding;
-use rustc_hash::FxHashSet;
 use spidermine_graph::graph::VertexId;
 
 /// Which support definition to use when counting pattern frequency.
@@ -46,45 +45,127 @@ impl SupportMeasure {
     }
 }
 
+/// A flat bitset over host-vertex ids, reused across positions/embeddings so
+/// the support computations allocate once instead of building a hash set per
+/// pattern position (the dominant cost of the previous implementation).
+struct VertexBitset {
+    words: Vec<u64>,
+    /// Indices of words that have at least one bit set, for sparse clearing.
+    touched: Vec<u32>,
+}
+
+impl VertexBitset {
+    fn with_capacity(max_vertex_id: u32) -> Self {
+        let words = vec![0u64; (max_vertex_id as usize + 64) / 64];
+        Self {
+            words,
+            touched: Vec::new(),
+        }
+    }
+
+    /// Sets the bit for `v`; returns `true` if it was previously clear.
+    #[inline]
+    fn insert(&mut self, v: VertexId) -> bool {
+        let word = (v.0 / 64) as usize;
+        let bit = 1u64 << (v.0 % 64);
+        if self.words[word] & bit != 0 {
+            return false;
+        }
+        if self.words[word] == 0 {
+            self.touched.push(word as u32);
+        }
+        self.words[word] |= bit;
+        true
+    }
+
+    /// True if the bit for `v` is set.
+    #[inline]
+    fn contains(&self, v: VertexId) -> bool {
+        self.words[(v.0 / 64) as usize] & (1u64 << (v.0 % 64)) != 0
+    }
+
+    /// Clears only the words that were touched since the last clear.
+    fn clear(&mut self) {
+        for &w in &self.touched {
+            self.words[w as usize] = 0;
+        }
+        self.touched.clear();
+    }
+}
+
+/// Largest host-vertex id referenced by any embedding (0 when empty).
+fn max_vertex_id(embeddings: &[Embedding]) -> u32 {
+    embeddings
+        .iter()
+        .flat_map(|e| e.iter())
+        .map(|v| v.0)
+        .max()
+        .unwrap_or(0)
+}
+
 /// Number of embeddings with distinct host-vertex sets (automorphic
 /// re-mappings of the same occurrence count once).
 pub fn distinct_embedding_count(embeddings: &[Embedding]) -> usize {
-    let mut seen: FxHashSet<Vec<VertexId>> = FxHashSet::default();
-    for e in embeddings {
-        let mut key = e.clone();
-        key.sort_unstable();
-        seen.insert(key);
+    if embeddings.is_empty() {
+        return 0;
     }
-    seen.len()
+    // Sort-and-dedup over the sorted vertex sets: one allocation per
+    // embedding key plus one sort, instead of a hash set of vectors.
+    let mut keys: Vec<Vec<VertexId>> = embeddings
+        .iter()
+        .map(|e| {
+            let mut key = e.clone();
+            key.sort_unstable();
+            key
+        })
+        .collect();
+    keys.sort_unstable();
+    keys.dedup();
+    keys.len()
 }
 
 /// Minimum node image support: `min_p |{ e[p] : e ∈ embeddings }|`.
+///
+/// Counts distinct images per pattern position through a single reused
+/// [`VertexBitset`] — no per-position hash set.
 pub fn minimum_image_support(pattern_vertices: usize, embeddings: &[Embedding]) -> usize {
     if pattern_vertices == 0 || embeddings.is_empty() {
         return 0;
     }
-    (0..pattern_vertices)
-        .map(|p| {
-            embeddings
-                .iter()
-                .map(|e| e[p])
-                .collect::<FxHashSet<_>>()
-                .len()
-        })
-        .min()
-        .unwrap_or(0)
+    let mut bits = VertexBitset::with_capacity(max_vertex_id(embeddings));
+    let mut min = usize::MAX;
+    for p in 0..pattern_vertices {
+        bits.clear();
+        let mut distinct = 0;
+        for e in embeddings {
+            if bits.insert(e[p]) {
+                distinct += 1;
+            }
+        }
+        min = min.min(distinct);
+        if min <= 1 {
+            // 1 is the floor for a non-empty embedding list; stop early.
+            break;
+        }
+    }
+    min
 }
 
 /// Greedily selects pairwise vertex-disjoint embeddings and returns how many
 /// were selected. This lower-bounds the maximum independent set.
 pub fn greedy_disjoint_support(embeddings: &[Embedding]) -> usize {
-    let mut used: FxHashSet<VertexId> = FxHashSet::default();
+    if embeddings.is_empty() {
+        return 0;
+    }
+    let mut used = VertexBitset::with_capacity(max_vertex_id(embeddings));
     let mut count = 0;
     for e in embeddings {
-        if e.iter().any(|v| used.contains(v)) {
+        if e.iter().any(|&v| used.contains(v)) {
             continue;
         }
-        used.extend(e.iter().copied());
+        for &v in e {
+            used.insert(v);
+        }
         count += 1;
     }
     count

@@ -97,10 +97,8 @@ mod tests {
 
     #[test]
     fn existing_edges_are_left_alone() {
-        let host = LabeledGraph::from_parts(
-            &[Label(0), Label(1), Label(0), Label(1)],
-            &[(0, 1), (2, 3)],
-        );
+        let host =
+            LabeledGraph::from_parts(&[Label(0), Label(1), Label(0), Label(1)], &[(0, 1), (2, 3)]);
         let pattern = LabeledGraph::from_parts(&[Label(0), Label(1)], &[(0, 1)]);
         let embeddings = vec![
             vec![VertexId(0), VertexId(1)],

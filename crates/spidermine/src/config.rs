@@ -112,9 +112,11 @@ mod tests {
 
     #[test]
     fn stage_two_iterations_follow_lemma_one() {
-        let mut c = SpiderMineConfig::default();
-        c.d_max = 10;
-        c.r = 1;
+        let mut c = SpiderMineConfig {
+            d_max: 10,
+            r: 1,
+            ..SpiderMineConfig::default()
+        };
         assert_eq!(c.stage_two_iterations(), 5);
         c.d_max = 4;
         assert_eq!(c.stage_two_iterations(), 2);
@@ -129,12 +131,36 @@ mod tests {
     fn validation_rejects_bad_parameters() {
         let ok = SpiderMineConfig::default();
         for (field, bad) in [
-            ("sigma", SpiderMineConfig { support_threshold: 0, ..ok.clone() }),
+            (
+                "sigma",
+                SpiderMineConfig {
+                    support_threshold: 0,
+                    ..ok.clone()
+                },
+            ),
             ("k", SpiderMineConfig { k: 0, ..ok.clone() }),
-            ("eps0", SpiderMineConfig { epsilon: 0.0, ..ok.clone() }),
-            ("eps1", SpiderMineConfig { epsilon: 1.0, ..ok.clone() }),
+            (
+                "eps0",
+                SpiderMineConfig {
+                    epsilon: 0.0,
+                    ..ok.clone()
+                },
+            ),
+            (
+                "eps1",
+                SpiderMineConfig {
+                    epsilon: 1.0,
+                    ..ok.clone()
+                },
+            ),
             ("r", SpiderMineConfig { r: 0, ..ok.clone() }),
-            ("vmin", SpiderMineConfig { v_min_fraction: 0.0, ..ok.clone() }),
+            (
+                "vmin",
+                SpiderMineConfig {
+                    v_min_fraction: 0.0,
+                    ..ok.clone()
+                },
+            ),
         ] {
             assert!(bad.validate().is_err(), "{field} should be rejected");
         }

@@ -10,6 +10,7 @@
 //! edges at once.
 
 use crate::config::SpiderMineConfig;
+use rayon::prelude::*;
 use rustc_hash::FxHashMap;
 use spidermine_graph::graph::{LabeledGraph, VertexId};
 use spidermine_graph::label::Label;
@@ -136,9 +137,14 @@ pub fn grow_one_layer(
         new_vertices: Vec::new(),
     }];
     for &v in &input.boundary {
+        // Beam variants are independent: extend them in parallel, then splice
+        // the children back in variant order (deterministic).
+        let children_per_variant: Vec<Vec<Working>> = working
+            .par_iter()
+            .map(|w| extensions_at(host, catalog, w, v, config))
+            .collect();
         let mut next: Vec<Working> = Vec::new();
-        for w in &working {
-            let children = extensions_at(host, catalog, w, v, config);
+        for (w, children) in working.iter().zip(children_per_variant) {
             if children.is_empty() {
                 next.push(w.clone());
             } else {
@@ -146,8 +152,12 @@ pub fn grow_one_layer(
             }
         }
         // Beam pruning: keep the largest variants (by edges, then support).
-        next.sort_by_key(|w| {
-            let support = config.support_measure.compute(w.pattern.vertex_count(), &w.embeddings);
+        // The support measure is the expensive half of the key, so it is
+        // computed once per variant (cached), not once per comparison.
+        next.sort_by_cached_key(|w| {
+            let support = config
+                .support_measure
+                .compute(w.pattern.vertex_count(), &w.embeddings);
             std::cmp::Reverse((w.pattern.edge_count(), support))
         });
         next.truncate(config.beam_width.max(1));
@@ -213,21 +223,31 @@ fn extensions_at(
         if w.pattern.vertex_count() + new_leaves.len() > config.max_pattern_vertices {
             continue;
         }
-        let mut new_embeddings: Vec<Embedding> = Vec::new();
-        for e in &w.embeddings {
-            if new_embeddings.len() >= config.max_embeddings {
-                break;
-            }
-            let dv = e[v.index()];
-            if let Some(star) = assign_star(host, dv, &new_leaves, e) {
-                // star = [dv, leaf_1, ...]; append the leaves to the embedding.
-                let mut extended = e.clone();
-                extended.extend_from_slice(&star[1..]);
-                new_embeddings.push(extended);
-            }
-        }
+        // Embeddings extend independently; evaluate them in parallel and keep
+        // the first `max_embeddings` successes in input order — identical to
+        // the sequential scan.
+        let extended: Vec<Option<Embedding>> = w
+            .embeddings
+            .par_iter()
+            .map(|e| {
+                let dv = e[v.index()];
+                assign_star(host, dv, &new_leaves, e).map(|star| {
+                    // star = [dv, leaf_1, ...]; append the leaves.
+                    let mut extended = e.clone();
+                    extended.extend_from_slice(&star[1..]);
+                    extended
+                })
+            })
+            .collect();
+        let new_embeddings: Vec<Embedding> = extended
+            .into_iter()
+            .flatten()
+            .take(config.max_embeddings)
+            .collect();
         let new_vertex_count = w.pattern.vertex_count() + new_leaves.len();
-        let support = config.support_measure.compute(new_vertex_count, &new_embeddings);
+        let support = config
+            .support_measure
+            .compute(new_vertex_count, &new_embeddings);
         if support < sigma {
             continue;
         }
@@ -279,9 +299,16 @@ mod tests {
     fn two_paths_host() -> LabeledGraph {
         LabeledGraph::from_parts(
             &[
-                Label(0), Label(1), Label(2), Label(3), // copy 1
-                Label(0), Label(1), Label(2), Label(3), // copy 2
-                Label(9), Label(9),                     // decoy
+                Label(0),
+                Label(1),
+                Label(2),
+                Label(3), // copy 1
+                Label(0),
+                Label(1),
+                Label(2),
+                Label(3), // copy 2
+                Label(9),
+                Label(9), // decoy
             ],
             &[(0, 1), (1, 2), (2, 3), (4, 5), (5, 6), (6, 7), (8, 9)],
         )
@@ -398,11 +425,11 @@ mod tests {
         let mut covered = FxHashMap::default();
         covered.insert(Label(1), 1);
         let leaves = vec![Label(1), Label(1), Label(2)];
-        assert_eq!(multiset_difference(&leaves, &covered), vec![Label(1), Label(2)]);
         assert_eq!(
-            multiset_difference(&leaves, &FxHashMap::default()),
-            leaves
+            multiset_difference(&leaves, &covered),
+            vec![Label(1), Label(2)]
         );
+        assert_eq!(multiset_difference(&leaves, &FxHashMap::default()), leaves);
     }
 
     #[test]

@@ -210,10 +210,27 @@ mod tests {
     fn host() -> LabeledGraph {
         LabeledGraph::from_parts(
             &[
-                Label(0), Label(1), Label(2), Label(3), Label(4),
-                Label(0), Label(1), Label(2), Label(3), Label(4),
+                Label(0),
+                Label(1),
+                Label(2),
+                Label(3),
+                Label(4),
+                Label(0),
+                Label(1),
+                Label(2),
+                Label(3),
+                Label(4),
             ],
-            &[(0, 1), (1, 2), (2, 3), (3, 4), (5, 6), (6, 7), (7, 8), (8, 9)],
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (5, 6),
+                (6, 7),
+                (7, 8),
+                (8, 9),
+            ],
         )
     }
 
@@ -291,7 +308,10 @@ mod tests {
         let edge12 = LabeledGraph::from_parts(&[Label(1), Label(2)], &[(0, 1)]);
         let p1 = GrownPattern {
             pattern: edge01.clone(),
-            embeddings: vec![vec![VertexId(0), VertexId(1)], vec![VertexId(3), VertexId(4)]],
+            embeddings: vec![
+                vec![VertexId(0), VertexId(1)],
+                vec![VertexId(3), VertexId(4)],
+            ],
             boundary: edge01.vertices().collect(),
             merged: false,
             seed_ids: vec![0],
@@ -315,7 +335,10 @@ mod tests {
         let host = host();
         let p1 = grown_from_spider(&host, Label(1));
         let (merged, _, stats) = check_merges(&host, &[p1], &config());
-        assert!(merged.is_empty(), "a single pattern has no one to merge with");
+        assert!(
+            merged.is_empty(),
+            "a single pattern has no one to merge with"
+        );
         assert_eq!(stats.candidate_pairs, 0);
     }
 }

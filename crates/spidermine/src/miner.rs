@@ -6,6 +6,7 @@ use crate::grow::{self, GrownPattern};
 use crate::merge;
 use crate::result::{mined_pattern, MiningResult, MiningStats};
 use crate::seeding;
+use rayon::prelude::*;
 use rustc_hash::FxHashSet;
 use spidermine_graph::graph::LabeledGraph;
 use spidermine_graph::traversal;
@@ -78,40 +79,54 @@ impl SpiderMiner {
         // ---------------------------------------------------------------
         let stage_two_start = Instant::now();
         let v_min = ((host.vertex_count() as f64) * config.v_min_fraction).ceil() as usize;
-        let m = config
-            .seed_count_override
-            .unwrap_or_else(|| seeding::seed_count(host.vertex_count(), v_min.max(1), config.k, config.epsilon));
+        let m = config.seed_count_override.unwrap_or_else(|| {
+            seeding::seed_count(host.vertex_count(), v_min.max(1), config.k, config.epsilon)
+        });
         let seed_ids = seeding::random_seed_spiders(&catalog, m, config.rng_seed);
         stats.seed_count = seed_ids.len();
 
+        // Seed-pattern embedding discovery is independent per seed spider:
+        // fan it out, keeping seed order (deterministic).
         let mut patterns: Vec<GrownPattern> = seed_ids
-            .iter()
-            .map(|&id| grow::seed_pattern(host, catalog.get(id), config))
-            .filter(|p| p.support(config) >= config.support_threshold)
+            .par_iter()
+            .map(|&id| {
+                let p = grow::seed_pattern(host, catalog.get(id), config);
+                let frequent = p.support(config) >= config.support_threshold;
+                frequent.then_some(p)
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .flatten()
             .collect();
 
         // A pool of everything ever discovered ("all the patterns discovered
         // so far are maintained in a list sorted by their size", Stage III).
         let mut pool: Vec<GrownPattern> = Vec::new();
         let mut pool_index = PatternIndex::new();
-        let remember = |p: &GrownPattern, pool: &mut Vec<GrownPattern>, index: &mut PatternIndex| {
-            let (_, fresh) = index.insert(p.pattern.clone());
-            if fresh {
-                pool.push(p.clone());
-            }
-        };
+        let remember =
+            |p: &GrownPattern, pool: &mut Vec<GrownPattern>, index: &mut PatternIndex| {
+                let (_, fresh) = index.insert(p.pattern.clone());
+                if fresh {
+                    pool.push(p.clone());
+                }
+            };
 
         let iterations = config.stage_two_iterations();
         stats.stage_two_iterations = iterations;
         for _ in 0..iterations {
-            let mut grown: Vec<GrownPattern> = Vec::new();
-            for p in &patterns {
-                if p.exhausted {
-                    grown.push(p.clone());
-                    continue;
-                }
-                grown.extend(grow::grow_one_layer(host, &catalog, p, config));
-            }
+            // Each working pattern grows independently; splice the per-pattern
+            // results back in pattern order so the iteration is deterministic.
+            let grown_per_pattern: Vec<Vec<GrownPattern>> = patterns
+                .par_iter()
+                .map(|p| {
+                    if p.exhausted {
+                        vec![p.clone()]
+                    } else {
+                        grow::grow_one_layer(host, &catalog, p, config)
+                    }
+                })
+                .collect();
+            let mut grown: Vec<GrownPattern> = grown_per_pattern.into_iter().flatten().collect();
             let (merged, participating, merge_stats) = merge::check_merges(host, &grown, config);
             stats.merges += merge_stats.merged_patterns;
             stats.iso_tests_pruned += merge_stats.iso_tests_pruned;
@@ -166,13 +181,24 @@ impl SpiderMiner {
             }
             let mut changed = false;
             let mut next: Vec<GrownPattern> = Vec::new();
-            for p in &survivors {
-                let stop_for_diameter = traversal::diameter(&p.pattern) >= config.d_max;
-                if p.exhausted || stop_for_diameter {
+            // Diameter checks and growth are independent per survivor; the
+            // pool bookkeeping below stays sequential, in survivor order.
+            let grown_per_survivor: Vec<Option<Vec<GrownPattern>>> = survivors
+                .par_iter()
+                .map(|p| {
+                    let stop_for_diameter = traversal::diameter(&p.pattern) >= config.d_max;
+                    if p.exhausted || stop_for_diameter {
+                        None
+                    } else {
+                        Some(grow::grow_one_layer(host, &catalog, p, config))
+                    }
+                })
+                .collect();
+            for (p, grown) in survivors.iter().zip(grown_per_survivor) {
+                let Some(grown) = grown else {
                     next.push(p.clone());
                     continue;
-                }
-                let grown = grow::grow_one_layer(host, &catalog, p, config);
+                };
                 for g in &grown {
                     if g.size() > p.size() {
                         changed = true;
@@ -200,22 +226,37 @@ impl SpiderMiner {
             stats,
         };
         pool.sort_by_key(|p| std::cmp::Reverse((p.size(), p.embeddings.len())));
-        for p in pool {
-            if result.patterns.len() >= config.k {
-                break;
+        // Per-pattern support evaluation is independent, so each block of the
+        // pool is evaluated in parallel — but block by block, so the scan
+        // stays lazy: once K patterns are accepted the remaining (often much
+        // larger) tail of the pool is never evaluated.
+        let block_size = (4 * config.k).max(16);
+        'select: for block in pool.chunks(block_size) {
+            let supports: Vec<usize> = block.par_iter().map(|p| p.support(config)).collect();
+            for (p, support) in block.iter().zip(supports) {
+                if result.patterns.len() >= config.k {
+                    break 'select;
+                }
+                if support < config.support_threshold {
+                    continue;
+                }
+                let (pattern, _) = if config.closure_refinement {
+                    closure::close_pattern(
+                        host,
+                        &p.pattern,
+                        &p.embeddings,
+                        config.support_threshold,
+                    )
+                } else {
+                    (p.pattern.clone(), 0)
+                };
+                result.patterns.push(mined_pattern(
+                    pattern,
+                    support,
+                    p.embeddings.clone(),
+                    p.merged,
+                ));
             }
-            let support = p.support(config);
-            if support < config.support_threshold {
-                continue;
-            }
-            let (pattern, _) = if config.closure_refinement {
-                closure::close_pattern(host, &p.pattern, &p.embeddings, config.support_threshold)
-            } else {
-                (p.pattern.clone(), 0)
-            };
-            result
-                .patterns
-                .push(mined_pattern(pattern, support, p.embeddings.clone(), p.merged));
         }
         result.sort_patterns();
         result.stats.total_time = total_start.elapsed();
@@ -231,7 +272,11 @@ mod tests {
     use spidermine_graph::generate;
     use spidermine_graph::label::Label;
 
-    fn planted_graph(copies: usize, pattern_vertices: usize, seed: u64) -> (LabeledGraph, LabeledGraph) {
+    fn planted_graph(
+        copies: usize,
+        pattern_vertices: usize,
+        seed: u64,
+    ) -> (LabeledGraph, LabeledGraph) {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let mut background = generate::erdos_renyi_average_degree(&mut rng, 300, 2.0, 40);
         let pattern = generate::random_connected_pattern(&mut rng, pattern_vertices, 40, 3);
@@ -291,7 +336,11 @@ mod tests {
                 p.pattern.clone(),
                 p.embeddings.clone(),
             );
-            assert!(ep.validate_against(&host), "invalid embeddings for {:?}", p.pattern);
+            assert!(
+                ep.validate_against(&host),
+                "invalid embeddings for {:?}",
+                p.pattern
+            );
         }
     }
 
@@ -323,8 +372,16 @@ mod tests {
         let (host, _) = planted_graph(2, 9, 41);
         let a = miner(4).mine(&host);
         let b = miner(4).mine(&host);
-        let sizes_a: Vec<_> = a.patterns.iter().map(|p| (p.size_edges(), p.support)).collect();
-        let sizes_b: Vec<_> = b.patterns.iter().map(|p| (p.size_edges(), p.support)).collect();
+        let sizes_a: Vec<_> = a
+            .patterns
+            .iter()
+            .map(|p| (p.size_edges(), p.support))
+            .collect();
+        let sizes_b: Vec<_> = b
+            .patterns
+            .iter()
+            .map(|p| (p.size_edges(), p.support))
+            .collect();
         assert_eq!(sizes_a, sizes_b);
     }
 

@@ -87,19 +87,26 @@ impl MiningResult {
 
     /// Size (in vertices) of the largest returned pattern, 0 if none.
     pub fn largest_vertices(&self) -> usize {
-        self.patterns.iter().map(MinedPattern::size_vertices).max().unwrap_or(0)
+        self.patterns
+            .iter()
+            .map(MinedPattern::size_vertices)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Size (in edges) of the largest returned pattern, 0 if none.
     pub fn largest_edges(&self) -> usize {
-        self.patterns.iter().map(MinedPattern::size_edges).max().unwrap_or(0)
+        self.patterns
+            .iter()
+            .map(MinedPattern::size_edges)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Sorts patterns by decreasing size; called by the miner before returning.
     pub fn sort_patterns(&mut self) {
-        self.patterns.sort_by_key(|p| {
-            std::cmp::Reverse((p.size_edges(), p.size_vertices(), p.support))
-        });
+        self.patterns
+            .sort_by_key(|p| std::cmp::Reverse((p.size_edges(), p.size_vertices(), p.support)));
     }
 }
 
@@ -133,8 +140,10 @@ mod tests {
 
     #[test]
     fn histogram_counts_sizes() {
-        let mut result = MiningResult::default();
-        result.patterns = vec![pattern_of_size(3), pattern_of_size(3), pattern_of_size(5)];
+        let result = MiningResult {
+            patterns: vec![pattern_of_size(3), pattern_of_size(3), pattern_of_size(5)],
+            ..MiningResult::default()
+        };
         let by_v = result.size_histogram(true);
         assert_eq!(by_v.get(&3), Some(&2));
         assert_eq!(by_v.get(&5), Some(&1));
@@ -155,8 +164,10 @@ mod tests {
 
     #[test]
     fn sort_orders_by_decreasing_size() {
-        let mut result = MiningResult::default();
-        result.patterns = vec![pattern_of_size(3), pattern_of_size(7), pattern_of_size(5)];
+        let mut result = MiningResult {
+            patterns: vec![pattern_of_size(3), pattern_of_size(7), pattern_of_size(5)],
+            ..MiningResult::default()
+        };
         result.sort_patterns();
         let sizes: Vec<usize> = result.patterns.iter().map(|p| p.size_vertices()).collect();
         assert_eq!(sizes, vec![7, 5, 3]);

@@ -38,7 +38,10 @@ pub fn success_probability_lower_bound(m: usize, hit_probability: f64, k: usize)
 /// at 100 000 to keep pathological parameter combinations finite.
 pub fn seed_count(graph_vertices: usize, v_min: usize, k: usize, epsilon: f64) -> usize {
     assert!(graph_vertices > 0, "graph must have vertices");
-    assert!((0.0..1.0).contains(&epsilon) && epsilon > 0.0, "epsilon in (0,1)");
+    assert!(
+        (0.0..1.0).contains(&epsilon) && epsilon > 0.0,
+        "epsilon in (0,1)"
+    );
     let hit = (v_min as f64 / graph_vertices as f64).clamp(1e-9, 1.0);
     let target = 1.0 - epsilon;
     for m in 2..100_000 {
@@ -106,10 +109,8 @@ mod tests {
     }
 
     fn tiny_catalog() -> SpiderCatalog {
-        let g = LabeledGraph::from_parts(
-            &[Label(0), Label(1), Label(0), Label(1)],
-            &[(0, 1), (2, 3)],
-        );
+        let g =
+            LabeledGraph::from_parts(&[Label(0), Label(1), Label(0), Label(1)], &[(0, 1), (2, 3)]);
         SpiderCatalog::mine(
             &g,
             &SpiderMiningConfig {

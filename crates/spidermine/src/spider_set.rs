@@ -40,8 +40,10 @@ impl SpiderSet {
     pub fn of(pattern: &LabeledGraph, radius: u32) -> Self {
         assert!(radius >= 1);
         let members: Vec<VertexSignature> = if radius == 1 {
-            let mut m: Vec<VertexSignature> =
-                pattern.vertices().map(|v| vertex_signature(pattern, v)).collect();
+            let mut m: Vec<VertexSignature> = pattern
+                .vertices()
+                .map(|v| vertex_signature(pattern, v))
+                .collect();
             m.sort();
             m
         } else {
@@ -230,8 +232,14 @@ mod tests {
         let c = path(&[3, 2, 1]);
         let sc = SpiderSet::of(&c, 1);
         let mut oracle = PrunedIsoOracle::new();
-        assert_eq!(oracle.check(&a, &sa, &b, &sb), IsoCheck::PrunedNonIsomorphic);
-        assert_eq!(oracle.check(&a, &sa, &c, &sc), IsoCheck::ConfirmedIsomorphic);
+        assert_eq!(
+            oracle.check(&a, &sa, &b, &sb),
+            IsoCheck::PrunedNonIsomorphic
+        );
+        assert_eq!(
+            oracle.check(&a, &sa, &c, &sc),
+            IsoCheck::ConfirmedIsomorphic
+        );
         assert_eq!(oracle.pruned, 1);
         assert_eq!(oracle.full_tests, 1);
     }

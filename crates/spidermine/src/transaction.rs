@@ -77,9 +77,8 @@ impl TransactionMiner {
             })
             .filter(|p| p.transaction_support >= self.config.support_threshold)
             .collect();
-        patterns.sort_by_key(|p| {
-            std::cmp::Reverse((p.pattern.edge_count(), p.pattern.vertex_count()))
-        });
+        patterns
+            .sort_by_key(|p| std::cmp::Reverse((p.pattern.edge_count(), p.pattern.vertex_count())));
         patterns.truncate(self.config.k);
         TransactionMiningResult {
             patterns,

@@ -36,12 +36,7 @@ fn main() {
     // cohesion among a handful of classes is the design signal the paper
     // discusses (Figure 24).
     if let Some(top) = result.patterns.first() {
-        let classes: BTreeSet<u32> = top
-            .pattern
-            .labels()
-            .iter()
-            .map(|l| l.0)
-            .collect();
+        let classes: BTreeSet<u32> = top.pattern.labels().iter().map(|l| l.0).collect();
         println!(
             "largest backbone spans {} methods across {} classes: {:?}",
             top.size_vertices(),

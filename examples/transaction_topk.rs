@@ -32,7 +32,10 @@ fn main() {
         ..SpiderMineConfig::default()
     })
     .mine(&dataset.database);
-    println!("SpiderMine (transaction setting): top-{} patterns", result.patterns.len());
+    println!(
+        "SpiderMine (transaction setting): top-{} patterns",
+        result.patterns.len()
+    );
     for (rank, p) in result.patterns.iter().enumerate() {
         println!(
             "  #{rank:<3} |V|={:<4} |E|={:<4} transactions={}",

@@ -126,7 +126,10 @@ fn complete_miner_confirms_spidermine_patterns_are_frequent() {
                 "sanity"
             );
         }
-        assert!(max_complete >= 3, "complete miner found only trivial patterns");
+        assert!(
+            max_complete >= 3,
+            "complete miner found only trivial patterns"
+        );
     }
 }
 

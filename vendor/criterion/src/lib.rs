@@ -1,0 +1,354 @@
+//! Vendored stand-in for `criterion`, implementing the subset of the API the
+//! `bench` crate uses (`benchmark_group`, `bench_function`,
+//! `bench_with_input`, `BenchmarkId`, `sample_size`, `criterion_group!`,
+//! `criterion_main!`).
+//!
+//! Each benchmark is auto-calibrated so one sample runs for at least ~2 ms,
+//! then `sample_size` samples are taken and the **median** per-iteration time
+//! is reported. On top of printing human-readable results, the harness
+//! appends every measurement to a JSON summary (default
+//! `BENCH_embedding.json` at the workspace root, override with the
+//! `BENCH_JSON` environment variable) so the performance trajectory can be
+//! tracked across PRs — see DESIGN.md.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from eliding a benchmarked computation.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier of a parameterized benchmark, e.g. `group/name/param`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` id.
+    pub fn new<P: fmt::Display>(name: &str, parameter: P) -> Self {
+        Self {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Id from the parameter alone.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        Self { id }
+    }
+}
+
+/// Passed to the benchmark closure; `iter` runs and times the workload.
+pub struct Bencher<'a> {
+    samples: usize,
+    result_ns: &'a mut f64,
+}
+
+impl Bencher<'_> {
+    /// Measures `routine`, storing the median per-iteration nanoseconds.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Call through an opaque dyn reference so a pure routine cannot be
+        // hoisted out of the timing loop as a loop invariant.
+        let routine: &mut dyn FnMut() -> O = &mut routine;
+        let routine = black_box(routine);
+        // Warm-up + calibration: find an iteration count whose batch takes
+        // at least ~2 ms so timer resolution noise is negligible.
+        let mut iters_per_sample: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(2) || iters_per_sample >= (1 << 24) {
+                break;
+            }
+            let target = Duration::from_millis(3).as_nanos() as u64;
+            let got = elapsed.as_nanos().max(1) as u64;
+            iters_per_sample =
+                (iters_per_sample * target / got).clamp(iters_per_sample + 1, 1 << 24);
+        }
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            samples_ns.push(start.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+        }
+        samples_ns.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
+        *self.result_ns = samples_ns[samples_ns.len() / 2];
+    }
+}
+
+thread_local! {
+    static RESULTS: RefCell<Vec<(String, f64)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Returns the recorded value for `name` (median ns for benchmarks, raw value
+/// for metrics) from this process's completed measurements.
+pub fn measurement(name: &str) -> Option<f64> {
+    RESULTS.with(|r| r.borrow().iter().find(|(n, _)| n == name).map(|&(_, v)| v))
+}
+
+/// Records an arbitrary derived metric (e.g. a speedup ratio) into the JSON
+/// summary alongside the benchmark timings.
+pub fn record_metric(name: &str, value: f64) {
+    println!("bench {name:<55} {value:>14.2}");
+    RESULTS.with(|r| r.borrow_mut().push((name.to_owned(), value)));
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(3);
+        self
+    }
+
+    fn run_one(&mut self, id: String, f: impl FnOnce(&mut Bencher<'_>)) {
+        let full = format!("{}/{}", self.name, id);
+        let mut median_ns = f64::NAN;
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            result_ns: &mut median_ns,
+        };
+        f(&mut bencher);
+        println!("bench {full:<55} {:>14}", format_ns(median_ns));
+        RESULTS.with(|r| r.borrow_mut().push((full, median_ns)));
+    }
+
+    /// Runs a benchmark with no extra input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        self.run_one(id.into().id, |b| f(b));
+        self
+    }
+
+    /// Runs a benchmark parameterized over `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        self.run_one(id.into().id, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Applies CLI configuration (no-op in the vendored harness).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 20,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a standalone (ungrouped) benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let mut group = BenchmarkGroup {
+            name: name.to_owned(),
+            sample_size: 20,
+            _criterion: self,
+        };
+        // Standalone benches report under their own name, not `name/name`.
+        let mut median_ns = f64::NAN;
+        let mut bencher = Bencher {
+            samples: group.sample_size,
+            result_ns: &mut median_ns,
+        };
+        f(&mut bencher);
+        println!("bench {name:<55} {:>14}", format_ns(median_ns));
+        RESULTS.with(|r| r.borrow_mut().push((name.to_owned(), median_ns)));
+        group.finish();
+        self
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns.is_nan() {
+        "(not measured)".to_owned()
+    } else if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Where the JSON summary goes: `$BENCH_JSON`, else `BENCH_embedding.json`
+/// next to the workspace root (located by walking up from the running bench's
+/// `CARGO_MANIFEST_DIR` to the outermost directory containing a `Cargo.toml`).
+fn summary_path() -> PathBuf {
+    if let Ok(p) = std::env::var("BENCH_JSON") {
+        return PathBuf::from(p);
+    }
+    let mut dir = std::env::var("CARGO_MANIFEST_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| std::env::current_dir().unwrap_or_else(|_| PathBuf::from(".")));
+    let mut root = dir.clone();
+    while let Some(parent) = dir.parent() {
+        if parent.join("Cargo.toml").exists() {
+            root = parent.to_path_buf();
+        }
+        dir = parent.to_path_buf();
+    }
+    root.join("BENCH_embedding.json")
+}
+
+/// Merges this process's results into the JSON summary and writes it out.
+/// Called automatically by `criterion_main!`.
+pub fn finalize() {
+    let new: Vec<(String, f64)> = RESULTS.with(|r| r.borrow().clone());
+    if new.is_empty() {
+        return;
+    }
+    let path = summary_path();
+    let mut entries: Vec<(String, f64)> = Vec::new();
+    if let Ok(existing) = std::fs::read_to_string(&path) {
+        entries = parse_flat_json(&existing);
+    }
+    for (name, ns) in new {
+        if let Some(slot) = entries.iter_mut().find(|(n, _)| *n == name) {
+            slot.1 = ns;
+        } else {
+            entries.push((name, ns));
+        }
+    }
+    let mut out = String::from("{\n");
+    for (i, (name, ns)) in entries.iter().enumerate() {
+        let comma = if i + 1 < entries.len() { "," } else { "" };
+        out.push_str(&format!("  \"{}\": {:.1}{}\n", escape(name), ns, comma));
+    }
+    out.push_str("}\n");
+    if let Err(e) = std::fs::write(&path, out) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    } else {
+        println!("bench summary written to {}", path.display());
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Parses the flat `{"name": number, ...}` JSON this harness itself writes.
+fn parse_flat_json(text: &str) -> Vec<(String, f64)> {
+    let mut entries = Vec::new();
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        let Some(rest) = line.strip_prefix('"') else {
+            continue;
+        };
+        let Some((name, value)) = rest.split_once("\":") else {
+            continue;
+        };
+        if let Ok(ns) = value.trim().parse::<f64>() {
+            entries.push((name.replace("\\\"", "\"").replace("\\\\", "\\"), ns));
+        }
+    }
+    entries
+}
+
+/// Declares a group-runner function over benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the given groups, then writes the JSON summary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+            $crate::finalize();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut ns = f64::NAN;
+        let mut b = Bencher {
+            samples: 5,
+            result_ns: &mut ns,
+        };
+        b.iter(|| (0..1000u64).sum::<u64>());
+        assert!(ns.is_finite() && ns > 0.0);
+    }
+
+    #[test]
+    fn flat_json_roundtrip() {
+        let text = "{\n  \"a/b\": 12.5,\n  \"c\": 7.0\n}\n";
+        let entries = parse_flat_json(text);
+        assert_eq!(
+            entries,
+            vec![("a/b".to_owned(), 12.5), ("c".to_owned(), 7.0)]
+        );
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("x", 4).id, "x/4");
+        assert_eq!(BenchmarkId::from_parameter(9).id, "9");
+    }
+}

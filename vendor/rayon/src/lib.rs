@@ -1,0 +1,258 @@
+//! Vendored stand-in for `rayon`, implementing the small slice of the
+//! parallel-iterator API the workspace's mining hot paths use:
+//!
+//! * `slice.par_iter().map(f).collect::<Vec<_>>()`
+//! * `(0..n).into_par_iter().map(f).collect::<Vec<_>>()`
+//!
+//! Execution model: the driven iterator is split into contiguous index chunks,
+//! one per worker thread (`std::thread::scope`), and the per-chunk results are
+//! reassembled **in input order**, so results are deterministic and identical
+//! to sequential execution. With a single available core (or tiny inputs) the
+//! whole pipeline runs inline with zero thread overhead.
+
+use std::num::NonZeroUsize;
+use std::thread;
+
+/// Number of worker threads the pool would use (mirrors
+/// `rayon::current_num_threads`). Honors `RAYON_NUM_THREADS`.
+///
+/// Resolved once and cached: `available_parallelism` costs a syscall (and
+/// possibly cgroup file reads) per call, and the driver consults this on
+/// every parallel iterator — uncached, the lookups dominate fine-grained
+/// workloads.
+pub fn current_num_threads() -> usize {
+    static THREADS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *THREADS.get_or_init(|| {
+        if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+            if let Ok(n) = v.parse::<usize>() {
+                if n >= 1 {
+                    return n;
+                }
+            }
+        }
+        thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
+
+/// Minimum items per thread before parallelism is worth the spawn cost.
+const MIN_CHUNK: usize = 64;
+
+/// An index-addressable parallel producer. `get` must be pure per index —
+/// each index is requested exactly once.
+pub trait ParallelIterator: Sized + Sync {
+    /// Item produced per index.
+    type Item: Send;
+
+    /// Number of items.
+    fn len(&self) -> usize;
+
+    /// True if there are no items.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Produces the item at `index`.
+    fn get(&self, index: usize) -> Self::Item;
+
+    /// Lazily maps each item through `f` (applied on the worker thread).
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync,
+    {
+        Map { base: self, f }
+    }
+
+    /// Executes the pipeline and collects results in input order.
+    fn collect<C: FromIterator<Self::Item>>(self) -> C {
+        drive(&self).into_iter().collect()
+    }
+}
+
+thread_local! {
+    /// True while this thread is a worker inside a parallel region. Nested
+    /// `par_iter`s then run inline — mirroring real rayon, where a nested
+    /// parallel iterator executes on the already-busy pool instead of
+    /// spawning more threads. Without this, nesting (e.g. per-pattern growth
+    /// containing per-embedding extension) spawns threads at every level and
+    /// the churn costs far more than the parallelism buys.
+    static IN_PARALLEL_REGION: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Splits `0..len` into per-thread chunks, evaluates them concurrently, and
+/// returns the items in input order.
+fn drive<P: ParallelIterator>(producer: &P) -> Vec<P::Item> {
+    let n = producer.len();
+    let nested = IN_PARALLEL_REGION.with(std::cell::Cell::get);
+    let threads = if nested {
+        1
+    } else {
+        current_num_threads().min(n / MIN_CHUNK.max(1)).max(1)
+    };
+    if threads <= 1 {
+        return (0..n).map(|i| producer.get(i)).collect();
+    }
+    let chunk = n.div_ceil(threads);
+    let mut parts: Vec<Vec<P::Item>> = Vec::with_capacity(threads);
+    thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let lo = t * chunk;
+                let hi = ((t + 1) * chunk).min(n);
+                scope.spawn(move || {
+                    IN_PARALLEL_REGION.with(|flag| flag.set(true));
+                    (lo..hi).map(|i| producer.get(i)).collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            parts.push(h.join().expect("worker thread panicked"));
+        }
+    });
+    let mut out = Vec::with_capacity(n);
+    for part in parts {
+        out.extend(part);
+    }
+    out
+}
+
+/// Borrowing conversion into a parallel iterator (`par_iter`).
+pub trait IntoParallelRefIterator<'a> {
+    /// The borrowing parallel iterator type.
+    type Iter: ParallelIterator;
+
+    /// Returns a parallel iterator over references.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+/// Consuming conversion into a parallel iterator (`into_par_iter`).
+pub trait IntoParallelIterator {
+    /// The produced iterator type.
+    type Iter: ParallelIterator;
+
+    /// Converts into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// Parallel iterator over `&[T]`.
+pub struct ParSlice<'a, T: Sync> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for ParSlice<'a, T> {
+    type Item = &'a T;
+
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn get(&self, index: usize) -> &'a T {
+        &self.slice[index]
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Iter = ParSlice<'a, T>;
+
+    fn par_iter(&'a self) -> ParSlice<'a, T> {
+        ParSlice { slice: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Iter = ParSlice<'a, T>;
+
+    fn par_iter(&'a self) -> ParSlice<'a, T> {
+        ParSlice { slice: self }
+    }
+}
+
+/// Parallel iterator over a `usize` range.
+pub struct ParRange {
+    start: usize,
+    end: usize,
+}
+
+impl ParallelIterator for ParRange {
+    type Item = usize;
+
+    fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    fn get(&self, index: usize) -> usize {
+        self.start + index
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Iter = ParRange;
+
+    fn into_par_iter(self) -> ParRange {
+        ParRange {
+            start: self.start,
+            end: self.end,
+        }
+    }
+}
+
+/// Lazy `map` adapter.
+pub struct Map<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P, R, F> ParallelIterator for Map<P, F>
+where
+    P: ParallelIterator,
+    R: Send,
+    F: Fn(P::Item) -> R + Sync,
+{
+    type Item = R;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn get(&self, index: usize) -> R {
+        (self.f)(self.base.get(index))
+    }
+}
+
+pub mod prelude {
+    //! Convenience re-exports mirroring `rayon::prelude`.
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let input: Vec<u64> = (0..10_000).collect();
+        let out: Vec<u64> = input.par_iter().map(|&x| x * 2).collect();
+        let expected: Vec<u64> = input.iter().map(|&x| x * 2).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn range_into_par_iter() {
+        let out: Vec<usize> = (5..5000).into_par_iter().map(|i| i + 1).collect();
+        assert_eq!(out.len(), 4995);
+        assert_eq!(out[0], 6);
+        assert_eq!(out[4994], 5000);
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        let out: Vec<u32> = empty.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+        let one = [7u32];
+        let out: Vec<u32> = one.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, vec![8]);
+    }
+}

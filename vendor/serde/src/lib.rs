@@ -1,0 +1,21 @@
+//! Vendored stand-in for `serde`.
+//!
+//! The workspace derives `Serialize` / `Deserialize` on a few core types but
+//! never actually serializes anything (there is no `serde_json` or similar in
+//! the tree — graph persistence goes through `spidermine_graph::io`'s text
+//! format). Since the build environment has no crates.io mirror, this stub
+//! provides the two traits as blanket-implemented markers plus derive macros
+//! that expand to nothing, keeping the annotations compiling at zero cost.
+//!
+//! If real serialization is ever needed, replace this vendored crate with the
+//! genuine `serde` dependency.
+
+/// Marker stand-in for `serde::Serialize`. Blanket-implemented for all types.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`. Blanket-implemented for all types.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,20 @@
+//! No-op derive macros backing the vendored `serde` stub: the workspace only
+//! uses the derives as markers, so expanding to nothing is sound (the traits
+//! are blanket-implemented in the stub `serde` crate).
+
+use proc_macro::TokenStream;
+
+// `attributes(serde)` registers `#[serde(...)]` as a helper attribute so
+// field annotations like `#[serde(skip)]` parse — they are needed for the
+// swap back to the real serde to compile (e.g. on non-serializable cache
+// fields) and must not be rejected by this stub.
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
