@@ -14,6 +14,7 @@
 //! prints "-" for runs that exceed the budget, exactly as the paper does.
 
 use spidermine_graph::graph::LabeledGraph;
+use spidermine_mining::context::{MineContext, StreamedPattern};
 use spidermine_mining::embedding::EmbeddedPattern;
 use spidermine_mining::extension::{frequent_single_edges, one_edge_extensions};
 use spidermine_mining::pattern_index::PatternIndex;
@@ -93,7 +94,19 @@ impl MossResult {
 }
 
 /// Runs the complete miner on a single graph.
+///
+/// Thin shim over [`run_with`]; new code should go through the unified
+/// engine API (`spidermine-engine`).
 pub fn run(host: &LabeledGraph, config: &MossConfig) -> MossResult {
+    run_with(host, config, &mut MineContext::new())
+}
+
+/// [`run`] with an execution context: every frequent pattern streams through
+/// the context's sink the moment it is accepted (this miner's exploration is
+/// naturally incremental), and the cancel token is polled once per queue pop
+/// — a fired token marks the run incomplete and returns the patterns found so
+/// far.
+pub fn run_with(host: &LabeledGraph, config: &MossConfig, ctx: &mut MineContext) -> MossResult {
     let start = Instant::now();
     let mut result = MossResult {
         completed: true,
@@ -112,6 +125,11 @@ pub fn run(host: &LabeledGraph, config: &MossConfig) -> MossResult {
             .compute(ep.pattern.vertex_count(), &ep.embeddings);
         let (_, fresh) = seen.insert(ep.pattern.clone());
         if fresh {
+            ctx.emit_with(|| StreamedPattern {
+                pattern: ep.pattern.clone(),
+                support,
+                embeddings: Vec::new(),
+            });
             result.patterns.push(MossPattern {
                 pattern: ep.pattern.clone(),
                 support,
@@ -120,6 +138,10 @@ pub fn run(host: &LabeledGraph, config: &MossConfig) -> MossResult {
         }
     }
     while let Some(ep) = queue.pop_front() {
+        if ctx.is_cancelled() {
+            result.completed = false;
+            break;
+        }
         if start.elapsed() > config.time_budget {
             result.completed = false;
             break;
@@ -140,6 +162,11 @@ pub fn run(host: &LabeledGraph, config: &MossConfig) -> MossResult {
             if !fresh {
                 continue;
             }
+            ctx.emit_with(|| StreamedPattern {
+                pattern: ext.child.pattern.clone(),
+                support: ext.support,
+                embeddings: Vec::new(),
+            });
             result.patterns.push(MossPattern {
                 pattern: ext.child.pattern.clone(),
                 support: ext.support,
@@ -148,6 +175,7 @@ pub fn run(host: &LabeledGraph, config: &MossConfig) -> MossResult {
         }
     }
     result.runtime = start.elapsed();
+    ctx.record_stage("explore", result.runtime);
     result
 }
 

@@ -16,6 +16,7 @@ use rustc_hash::FxHashMap;
 use spidermine_graph::graph::LabeledGraph;
 use spidermine_graph::label::Label;
 use spidermine_graph::transaction::GraphDatabase;
+use spidermine_mining::context::{MineContext, StreamedPattern};
 use spidermine_mining::pattern_index::PatternIndex;
 use std::time::{Duration, Instant};
 
@@ -200,7 +201,22 @@ fn random_maximal_walk(
 }
 
 /// Runs ORIGAMI on a transaction database.
+///
+/// Thin shim over [`run_with`]; new code should go through the unified
+/// engine API (`spidermine-engine`).
 pub fn run(db: &GraphDatabase, config: &OrigamiConfig) -> OrigamiResult {
+    run_with(db, config, &mut MineContext::new())
+}
+
+/// [`run`] with an execution context: the cancel token is polled once per
+/// random maximal walk (a fired token proceeds straight to representative
+/// selection over the patterns sampled so far), and the selected
+/// representatives stream through the context's sink before returning.
+pub fn run_with(
+    db: &GraphDatabase,
+    config: &OrigamiConfig,
+    ctx: &mut MineContext,
+) -> OrigamiResult {
     let start = Instant::now();
     let deadline = start + config.time_budget;
     let mut rng = ChaCha8Rng::seed_from_u64(config.rng_seed);
@@ -211,7 +227,7 @@ pub fn run(db: &GraphDatabase, config: &OrigamiConfig) -> OrigamiResult {
     let mut maximal: Vec<OrigamiPattern> = Vec::new();
     let mut index = PatternIndex::new();
     for _ in 0..config.samples {
-        if Instant::now() > deadline {
+        if ctx.is_cancelled() || Instant::now() > deadline {
             break;
         }
         if let Some(p) = random_maximal_walk(db, config, &mut rng, deadline) {
@@ -237,7 +253,15 @@ pub fn run(db: &GraphDatabase, config: &OrigamiConfig) -> OrigamiResult {
     }
     selected.sort_by_key(|p| std::cmp::Reverse((p.pattern.edge_count(), p.support)));
     result.patterns = selected;
+    for p in &result.patterns {
+        ctx.emit_with(|| StreamedPattern {
+            pattern: p.pattern.clone(),
+            support: p.support,
+            embeddings: Vec::new(),
+        });
+    }
     result.runtime = start.elapsed();
+    ctx.record_stage("sample-select", result.runtime);
     result
 }
 

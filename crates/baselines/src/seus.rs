@@ -14,6 +14,7 @@ use rustc_hash::FxHashMap;
 use spidermine_graph::graph::LabeledGraph;
 use spidermine_graph::iso;
 use spidermine_graph::label::Label;
+use spidermine_mining::context::{MineContext, StreamedPattern};
 use spidermine_mining::support::greedy_disjoint_support;
 use std::time::{Duration, Instant};
 
@@ -97,7 +98,18 @@ fn build_summary(host: &LabeledGraph) -> Summary {
 }
 
 /// Runs the SEuS baseline on a single graph.
+///
+/// Thin shim over [`run_with`]; new code should go through the unified
+/// engine API (`spidermine-engine`).
 pub fn run(host: &LabeledGraph, config: &SeusConfig) -> SeusResult {
+    run_with(host, config, &mut MineContext::new())
+}
+
+/// [`run`] with an execution context: the cancel token is polled in both the
+/// candidate-generation and verification loops (a fired token returns the
+/// patterns verified so far), and the verified patterns stream through the
+/// context's sink before returning.
+pub fn run_with(host: &LabeledGraph, config: &SeusConfig, ctx: &mut MineContext) -> SeusResult {
     let start = Instant::now();
     let mut result = SeusResult::default();
     let summary = build_summary(host);
@@ -110,6 +122,9 @@ pub fn run(host: &LabeledGraph, config: &SeusConfig) -> SeusResult {
     let mut candidates: Vec<Candidate> = Vec::new();
     let mut frontier: Vec<Candidate> = (0..n).map(|i| (vec![i], Vec::new(), usize::MAX)).collect();
     while let Some((members, edges, estimate)) = frontier.pop() {
+        if ctx.is_cancelled() {
+            break;
+        }
         if start.elapsed() > config.time_budget {
             result.timed_out = true;
             break;
@@ -148,6 +163,9 @@ pub fn run(host: &LabeledGraph, config: &SeusConfig) -> SeusResult {
 
     // Verify candidates against the data graph.
     for (members, edges, estimate) in candidates {
+        if ctx.is_cancelled() {
+            break;
+        }
         if start.elapsed() > config.time_budget {
             result.timed_out = true;
             break;
@@ -174,7 +192,15 @@ pub fn run(host: &LabeledGraph, config: &SeusConfig) -> SeusResult {
     result
         .patterns
         .sort_by_key(|p| std::cmp::Reverse((p.pattern.vertex_count(), p.support)));
+    for p in &result.patterns {
+        ctx.emit_with(|| StreamedPattern {
+            pattern: p.pattern.clone(),
+            support: p.support,
+            embeddings: Vec::new(),
+        });
+    }
     result.runtime = start.elapsed();
+    ctx.record_stage("summarize-verify", result.runtime);
     result
 }
 

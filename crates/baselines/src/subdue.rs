@@ -8,6 +8,7 @@
 //! SpiderMine paper reports in Figures 4–8 (SUBDUE's bars sit at small sizes).
 
 use spidermine_graph::graph::LabeledGraph;
+use spidermine_mining::context::{MineContext, StreamedPattern};
 use spidermine_mining::embedding::EmbeddedPattern;
 use spidermine_mining::extension::{frequent_single_edges, one_edge_extensions};
 use spidermine_mining::pattern_index::PatternIndex;
@@ -109,7 +110,18 @@ fn compression_value(
 }
 
 /// Runs the SUBDUE baseline on a single graph.
+///
+/// Thin shim over [`run_with`]; new code should go through the unified
+/// engine API (`spidermine-engine`).
 pub fn run(host: &LabeledGraph, config: &SubdueConfig) -> SubdueResult {
+    run_with(host, config, &mut MineContext::new())
+}
+
+/// [`run`] with an execution context: the cancel token is polled once per
+/// beam level (a fired token ends the search with the substructures collected
+/// so far), and the reported substructures stream through the context's sink
+/// before returning.
+pub fn run_with(host: &LabeledGraph, config: &SubdueConfig, ctx: &mut MineContext) -> SubdueResult {
     let start = Instant::now();
     let label_count = host.distinct_label_count();
     let mut result = SubdueResult::default();
@@ -138,6 +150,9 @@ pub fn run(host: &LabeledGraph, config: &SubdueConfig) -> SubdueResult {
         config.max_embeddings,
     );
     while !beam.is_empty() {
+        if ctx.is_cancelled() {
+            break;
+        }
         if start.elapsed() > config.time_budget {
             result.timed_out = true;
             break;
@@ -188,7 +203,15 @@ pub fn run(host: &LabeledGraph, config: &SubdueConfig) -> SubdueResult {
     });
     best.truncate(config.report);
     result.patterns = best;
+    for p in &result.patterns {
+        ctx.emit_with(|| StreamedPattern {
+            pattern: p.pattern.clone(),
+            support: p.instances,
+            embeddings: Vec::new(),
+        });
+    }
     result.runtime = start.elapsed();
+    ctx.record_stage("beam-search", result.runtime);
     result
 }
 

@@ -1,0 +1,94 @@
+//! Errors of the unified engine API.
+
+use crate::request::Algorithm;
+use std::fmt;
+
+/// Everything that can go wrong when building or running a mining request.
+///
+/// Cancellation is deliberately *not* an error: a fired
+/// [`CancelToken`](crate::CancelToken) makes a run wind down and return its
+/// partial [`MineOutcome`](crate::MineOutcome) with `cancelled = true`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MineError {
+    /// A request (or raw config) failed validation. `field` names the
+    /// offending parameter; `message` says what range it must lie in.
+    InvalidConfig {
+        /// Name of the rejected field (e.g. `"support_threshold"`).
+        field: &'static str,
+        /// Human-readable constraint, e.g. `"must be at least 1"`.
+        message: String,
+    },
+    /// The algorithm cannot mine the given [`GraphSource`](crate::GraphSource)
+    /// variant (e.g. ORIGAMI needs a transaction database, not a single
+    /// graph).
+    UnsupportedSource {
+        /// The algorithm that rejected the source.
+        algorithm: Algorithm,
+        /// What kind of source it needs.
+        expected: &'static str,
+    },
+}
+
+impl fmt::Display for MineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MineError::InvalidConfig { field, message } => {
+                write!(f, "invalid mining configuration: `{field}` {message}")
+            }
+            MineError::UnsupportedSource {
+                algorithm,
+                expected,
+            } => {
+                write!(
+                    f,
+                    "{} cannot mine this graph source: it expects {expected}",
+                    algorithm.name()
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for MineError {}
+
+impl MineError {
+    /// Convenience constructor for validation failures.
+    pub fn invalid(field: &'static str, message: impl Into<String>) -> Self {
+        MineError::InvalidConfig {
+            field,
+            message: message.into(),
+        }
+    }
+
+    /// The offending field name, if this is a validation failure.
+    pub fn field(&self) -> Option<&'static str> {
+        match self {
+            MineError::InvalidConfig { field, .. } => Some(field),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_field() {
+        let e = MineError::invalid("support_threshold", "must be at least 1");
+        let text = e.to_string();
+        assert!(text.contains("support_threshold"), "{text}");
+        assert_eq!(e.field(), Some("support_threshold"));
+    }
+
+    #[test]
+    fn unsupported_source_names_the_algorithm() {
+        let e = MineError::UnsupportedSource {
+            algorithm: Algorithm::Origami,
+            expected: "a graph-transaction database",
+        };
+        let text = e.to_string();
+        assert!(text.contains("origami"), "{text}");
+        assert!(e.field().is_none());
+    }
+}

@@ -1,0 +1,66 @@
+//! The unified mining engine API.
+//!
+//! The workspace grew six mining entry points with six incompatible shapes
+//! (`SpiderMiner::mine`, `TransactionMiner::mine`, and `run()` in each of the
+//! four baselines). This crate puts them all behind **one** surface:
+//!
+//! * [`Miner`] — the single trait: `mine(&GraphSource, &mut MineContext) ->
+//!   Result<MineOutcome, MineError>`, implemented by SpiderMine, its
+//!   transaction adaptation, SUBDUE, MoSS, ORIGAMI and SEuS.
+//! * [`MineRequest`] — a validated builder (σ, K, ε, `Dmax`, r, budgets,
+//!   seed). Bad values are rejected with [`MineError::InvalidConfig`] naming
+//!   the offending field, instead of the silently-accepted
+//!   `support_threshold: 0` of the legacy entry points.
+//! * [`MineContext`] — cooperative cancellation ([`CancelToken`]), progress
+//!   callbacks ([`ProgressEvent`]), per-stage timings ([`StageTiming`]), and
+//!   push-streaming of accepted patterns ([`StreamedPattern`]).
+//! * [`PatternStream`] — pull-based streaming: iterate over patterns while
+//!   the run proceeds on a worker thread.
+//!
+//! The legacy per-algorithm entry points remain as thin deprecated shims, so
+//! their outputs stay byte-identical; they forward to the same `*_with`
+//! implementations this crate drives.
+//!
+//! ```
+//! use spidermine_engine::{Algorithm, GraphSource, MineContext, MineRequest, Miner};
+//! use spidermine_graph::{Label, LabeledGraph};
+//!
+//! // A toy network: two copies of a 4-vertex pattern plus noise.
+//! let mut g = LabeledGraph::new();
+//! let labels = [0u32, 1, 2, 3, 0, 1, 2, 3, 5, 6];
+//! let vs: Vec<_> = labels.iter().map(|&l| g.add_vertex(Label(l))).collect();
+//! for (a, b) in [(0, 1), (1, 2), (2, 3), (4, 5), (5, 6), (6, 7), (8, 9)] {
+//!     g.add_edge(vs[a], vs[b]);
+//! }
+//!
+//! let miner = MineRequest::new(Algorithm::SpiderMine)
+//!     .support_threshold(2)
+//!     .k(3)
+//!     .build()?;
+//! let mut ctx = MineContext::new()
+//!     .on_pattern(|p| println!("mined |E|={} support={}", p.pattern.edge_count(), p.support));
+//! let outcome = miner.mine(&GraphSource::Single(&g), &mut ctx)?;
+//! assert!(!outcome.patterns.is_empty());
+//! assert!(!outcome.cancelled);
+//! # Ok::<(), spidermine_engine::MineError>(())
+//! ```
+
+pub mod error;
+pub mod miner;
+pub mod request;
+pub mod stream;
+
+pub use error::MineError;
+pub use miner::{
+    Engine, GraphSource, MineOutcome, Miner, MossEngine, OrigamiEngine, SeusEngine,
+    SpiderMineEngine, SubdueEngine, TransactionEngine,
+};
+pub use request::{Algorithm, MineRequest};
+pub use stream::{OwnedGraphSource, PatternStream};
+
+// The execution-context types live in `spidermine-mining` (they are threaded
+// through the algorithm crates) and are re-exported here as part of the
+// engine's public surface.
+pub use spidermine_mining::context::{
+    CancelToken, MineContext, ProgressEvent, StageTiming, StreamedPattern,
+};

@@ -1,0 +1,521 @@
+//! The [`Miner`] trait, the graph sources it mines, and the unified outcome.
+
+use crate::error::MineError;
+use crate::request::{Algorithm, MineRequest};
+use spidermine::{SpiderMineConfig, SpiderMiner, TransactionMiner};
+use spidermine_baselines::{moss, origami, seus, subdue};
+use spidermine_baselines::{MossConfig, OrigamiConfig, SeusConfig, SubdueConfig};
+use spidermine_graph::{GraphDatabase, LabeledGraph};
+use spidermine_mining::context::{MineContext, StageTiming, StreamedPattern};
+use std::time::{Duration, Instant};
+
+/// What a miner mines: a single massive network, or a graph-transaction
+/// database. Algorithms reject the variant they cannot handle with
+/// [`MineError::UnsupportedSource`].
+#[derive(Clone, Copy, Debug)]
+pub enum GraphSource<'a> {
+    /// The single-graph setting of the paper's main algorithm.
+    Single(&'a LabeledGraph),
+    /// The graph-transaction setting of Figures 14–15.
+    Transactions(&'a GraphDatabase),
+}
+
+impl<'a> GraphSource<'a> {
+    fn single(&self, algorithm: Algorithm) -> Result<&'a LabeledGraph, MineError> {
+        match self {
+            GraphSource::Single(g) => Ok(g),
+            GraphSource::Transactions(_) => Err(MineError::UnsupportedSource {
+                algorithm,
+                expected: "a single labeled graph (GraphSource::Single)",
+            }),
+        }
+    }
+
+    fn transactions(&self, algorithm: Algorithm) -> Result<&'a GraphDatabase, MineError> {
+        match self {
+            GraphSource::Transactions(db) => Ok(db),
+            GraphSource::Single(_) => Err(MineError::UnsupportedSource {
+                algorithm,
+                expected: "a graph-transaction database (GraphSource::Transactions)",
+            }),
+        }
+    }
+}
+
+/// The unified result of a mining run, whichever algorithm produced it.
+#[derive(Clone, Debug)]
+pub struct MineOutcome {
+    /// The algorithm that ran.
+    pub algorithm: Algorithm,
+    /// The mined patterns, in the producing algorithm's result order (support
+    /// semantics are per-algorithm: MNI/disjoint embeddings for SpiderMine,
+    /// disjoint instances for SUBDUE, transactions for ORIGAMI, …).
+    pub patterns: Vec<StreamedPattern>,
+    /// True if a fired [`CancelToken`](crate::CancelToken) wound the run down
+    /// early; `patterns` is then a valid partial result.
+    pub cancelled: bool,
+    /// Per-stage wall-clock timings recorded during the run.
+    pub stages: Vec<StageTiming>,
+    /// Total wall-clock time of the run.
+    pub total_time: Duration,
+}
+
+impl MineOutcome {
+    /// Size (in edges) of the largest returned pattern, 0 if none.
+    pub fn largest_edges(&self) -> usize {
+        self.patterns
+            .iter()
+            .map(|p| p.pattern.edge_count())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Size (in vertices) of the largest returned pattern, 0 if none.
+    pub fn largest_vertices(&self) -> usize {
+        self.patterns
+            .iter()
+            .map(|p| p.pattern.vertex_count())
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// The one trait every mining algorithm in the workspace implements: mine a
+/// [`GraphSource`] under a [`MineContext`] (cancellation, progress,
+/// streaming), produce a [`MineOutcome`].
+///
+/// Implementations must honor the context contract: poll the cancel token at
+/// stage/iteration boundaries, stream each accepted pattern through the sink
+/// before returning, and record per-stage timings.
+pub trait Miner {
+    /// The algorithm behind this miner.
+    fn algorithm(&self) -> Algorithm;
+
+    /// Runs the miner. Cancellation is not an error — a fired token yields
+    /// `Ok` with `outcome.cancelled == true` and partial patterns.
+    fn mine(&self, host: &GraphSource<'_>, ctx: &mut MineContext)
+        -> Result<MineOutcome, MineError>;
+}
+
+fn finish_outcome(
+    algorithm: Algorithm,
+    patterns: Vec<StreamedPattern>,
+    ctx: &mut MineContext,
+    start: Instant,
+) -> MineOutcome {
+    MineOutcome {
+        algorithm,
+        patterns,
+        cancelled: ctx.was_cancelled(),
+        stages: ctx.take_timings(),
+        total_time: start.elapsed(),
+    }
+}
+
+/// SpiderMine behind the unified API.
+#[derive(Clone, Debug)]
+pub struct SpiderMineEngine {
+    config: SpiderMineConfig,
+}
+
+impl SpiderMineEngine {
+    /// Wraps a raw config, reporting invalid values as [`MineError`] instead
+    /// of the legacy constructor panic.
+    pub fn new(config: SpiderMineConfig) -> Result<Self, MineError> {
+        config
+            .validate()
+            .map_err(|message| MineError::InvalidConfig {
+                field: "config",
+                message,
+            })?;
+        Ok(Self { config })
+    }
+
+    /// The underlying configuration.
+    pub fn config(&self) -> &SpiderMineConfig {
+        &self.config
+    }
+}
+
+impl Miner for SpiderMineEngine {
+    fn algorithm(&self) -> Algorithm {
+        Algorithm::SpiderMine
+    }
+
+    fn mine(
+        &self,
+        host: &GraphSource<'_>,
+        ctx: &mut MineContext,
+    ) -> Result<MineOutcome, MineError> {
+        let g = host.single(self.algorithm())?;
+        let start = Instant::now();
+        let result = SpiderMiner::new(self.config.clone()).mine_with(g, ctx);
+        let patterns = result
+            .patterns
+            .into_iter()
+            .map(|p| StreamedPattern {
+                pattern: p.pattern,
+                support: p.support,
+                embeddings: p.embeddings,
+            })
+            .collect();
+        Ok(finish_outcome(self.algorithm(), patterns, ctx, start))
+    }
+}
+
+/// SpiderMine's graph-transaction adaptation behind the unified API.
+#[derive(Clone, Debug)]
+pub struct TransactionEngine {
+    config: SpiderMineConfig,
+}
+
+impl TransactionEngine {
+    /// Wraps a raw config, reporting invalid values as [`MineError`].
+    pub fn new(config: SpiderMineConfig) -> Result<Self, MineError> {
+        config
+            .validate()
+            .map_err(|message| MineError::InvalidConfig {
+                field: "config",
+                message,
+            })?;
+        Ok(Self { config })
+    }
+}
+
+impl Miner for TransactionEngine {
+    fn algorithm(&self) -> Algorithm {
+        Algorithm::SpiderMineTransactions
+    }
+
+    fn mine(
+        &self,
+        host: &GraphSource<'_>,
+        ctx: &mut MineContext,
+    ) -> Result<MineOutcome, MineError> {
+        let db = host.transactions(self.algorithm())?;
+        let start = Instant::now();
+        let result = TransactionMiner::new(self.config.clone()).mine_with(db, ctx);
+        let patterns = result
+            .patterns
+            .into_iter()
+            .map(|p| StreamedPattern {
+                pattern: p.pattern,
+                support: p.transaction_support,
+                embeddings: Vec::new(),
+            })
+            .collect();
+        Ok(finish_outcome(self.algorithm(), patterns, ctx, start))
+    }
+}
+
+/// SUBDUE behind the unified API. Support is the number of vertex-disjoint
+/// instances.
+#[derive(Clone, Debug)]
+pub struct SubdueEngine {
+    config: SubdueConfig,
+}
+
+impl SubdueEngine {
+    /// Wraps a SUBDUE configuration, rejecting invalid values with
+    /// [`MineError::InvalidConfig`] naming the field.
+    pub fn new(config: SubdueConfig) -> Result<Self, MineError> {
+        if config.min_instances == 0 {
+            return Err(MineError::invalid("min_instances", "must be at least 1"));
+        }
+        if config.report == 0 {
+            return Err(MineError::invalid("report", "must be at least 1"));
+        }
+        if config.beam_width == 0 {
+            return Err(MineError::invalid("beam_width", "must be at least 1"));
+        }
+        if config.max_edges == 0 {
+            return Err(MineError::invalid("max_edges", "must be at least 1"));
+        }
+        if config.max_embeddings == 0 {
+            return Err(MineError::invalid("max_embeddings", "must be at least 1"));
+        }
+        if config.time_budget.is_zero() {
+            return Err(MineError::invalid("time_budget", "must be positive"));
+        }
+        Ok(Self { config })
+    }
+}
+
+impl Miner for SubdueEngine {
+    fn algorithm(&self) -> Algorithm {
+        Algorithm::Subdue
+    }
+
+    fn mine(
+        &self,
+        host: &GraphSource<'_>,
+        ctx: &mut MineContext,
+    ) -> Result<MineOutcome, MineError> {
+        let g = host.single(self.algorithm())?;
+        let start = Instant::now();
+        let result = subdue::run_with(g, &self.config, ctx);
+        let patterns = result
+            .patterns
+            .into_iter()
+            .map(|p| StreamedPattern {
+                pattern: p.pattern,
+                support: p.instances,
+                embeddings: Vec::new(),
+            })
+            .collect();
+        Ok(finish_outcome(self.algorithm(), patterns, ctx, start))
+    }
+}
+
+/// The MoSS/gSpan-style complete miner behind the unified API.
+#[derive(Clone, Debug)]
+pub struct MossEngine {
+    config: MossConfig,
+}
+
+impl MossEngine {
+    /// Wraps a MoSS configuration, rejecting invalid values with
+    /// [`MineError::InvalidConfig`] naming the field.
+    pub fn new(config: MossConfig) -> Result<Self, MineError> {
+        if config.support_threshold == 0 {
+            return Err(MineError::invalid(
+                "support_threshold",
+                "must be at least 1",
+            ));
+        }
+        if config.max_edges == 0 {
+            return Err(MineError::invalid("max_edges", "must be at least 1"));
+        }
+        if config.max_embeddings == 0 {
+            return Err(MineError::invalid("max_embeddings", "must be at least 1"));
+        }
+        if config.time_budget.is_zero() {
+            return Err(MineError::invalid("time_budget", "must be positive"));
+        }
+        Ok(Self { config })
+    }
+}
+
+impl Miner for MossEngine {
+    fn algorithm(&self) -> Algorithm {
+        Algorithm::Moss
+    }
+
+    fn mine(
+        &self,
+        host: &GraphSource<'_>,
+        ctx: &mut MineContext,
+    ) -> Result<MineOutcome, MineError> {
+        let g = host.single(self.algorithm())?;
+        let start = Instant::now();
+        let result = moss::run_with(g, &self.config, ctx);
+        let patterns = result
+            .patterns
+            .into_iter()
+            .map(|p| StreamedPattern {
+                pattern: p.pattern,
+                support: p.support,
+                embeddings: Vec::new(),
+            })
+            .collect();
+        Ok(finish_outcome(self.algorithm(), patterns, ctx, start))
+    }
+}
+
+/// ORIGAMI behind the unified API. Requires a transaction database.
+#[derive(Clone, Debug)]
+pub struct OrigamiEngine {
+    config: OrigamiConfig,
+}
+
+impl OrigamiEngine {
+    /// Wraps an ORIGAMI configuration, rejecting invalid values with
+    /// [`MineError::InvalidConfig`] naming the field.
+    pub fn new(config: OrigamiConfig) -> Result<Self, MineError> {
+        if config.support_threshold == 0 {
+            return Err(MineError::invalid(
+                "support_threshold",
+                "must be at least 1",
+            ));
+        }
+        if config.samples == 0 {
+            return Err(MineError::invalid("samples", "must be at least 1"));
+        }
+        if !(0.0..=1.0).contains(&config.alpha) {
+            return Err(MineError::invalid("alpha", "must lie in [0, 1]"));
+        }
+        if config.max_edges == 0 {
+            return Err(MineError::invalid("max_edges", "must be at least 1"));
+        }
+        if config.time_budget.is_zero() {
+            return Err(MineError::invalid("time_budget", "must be positive"));
+        }
+        Ok(Self { config })
+    }
+}
+
+impl Miner for OrigamiEngine {
+    fn algorithm(&self) -> Algorithm {
+        Algorithm::Origami
+    }
+
+    fn mine(
+        &self,
+        host: &GraphSource<'_>,
+        ctx: &mut MineContext,
+    ) -> Result<MineOutcome, MineError> {
+        let db = host.transactions(self.algorithm())?;
+        let start = Instant::now();
+        let result = origami::run_with(db, &self.config, ctx);
+        let patterns = result
+            .patterns
+            .into_iter()
+            .map(|p| StreamedPattern {
+                pattern: p.pattern,
+                support: p.support,
+                embeddings: Vec::new(),
+            })
+            .collect();
+        Ok(finish_outcome(self.algorithm(), patterns, ctx, start))
+    }
+}
+
+/// SEuS behind the unified API.
+#[derive(Clone, Debug)]
+pub struct SeusEngine {
+    config: SeusConfig,
+}
+
+impl SeusEngine {
+    /// Wraps a SEuS configuration, rejecting invalid values with
+    /// [`MineError::InvalidConfig`] naming the field.
+    pub fn new(config: SeusConfig) -> Result<Self, MineError> {
+        if config.support_threshold == 0 {
+            return Err(MineError::invalid(
+                "support_threshold",
+                "must be at least 1",
+            ));
+        }
+        if config.max_vertices < 2 {
+            return Err(MineError::invalid(
+                "max_vertices",
+                "must be at least 2 (a pattern needs an edge)",
+            ));
+        }
+        if config.max_embeddings == 0 {
+            return Err(MineError::invalid("max_embeddings", "must be at least 1"));
+        }
+        if config.time_budget.is_zero() {
+            return Err(MineError::invalid("time_budget", "must be positive"));
+        }
+        Ok(Self { config })
+    }
+}
+
+impl Miner for SeusEngine {
+    fn algorithm(&self) -> Algorithm {
+        Algorithm::Seus
+    }
+
+    fn mine(
+        &self,
+        host: &GraphSource<'_>,
+        ctx: &mut MineContext,
+    ) -> Result<MineOutcome, MineError> {
+        let g = host.single(self.algorithm())?;
+        let start = Instant::now();
+        let result = seus::run_with(g, &self.config, ctx);
+        let patterns = result
+            .patterns
+            .into_iter()
+            .map(|p| StreamedPattern {
+                pattern: p.pattern,
+                support: p.support,
+                embeddings: Vec::new(),
+            })
+            .collect();
+        Ok(finish_outcome(self.algorithm(), patterns, ctx, start))
+    }
+}
+
+/// A ready-to-run miner built from a validated [`MineRequest`]: the concrete
+/// algorithm engines behind one dispatching type.
+#[derive(Clone, Debug)]
+pub enum Engine {
+    /// SpiderMine on a single graph.
+    SpiderMine(SpiderMineEngine),
+    /// SpiderMine on a transaction database.
+    SpiderMineTransactions(TransactionEngine),
+    /// SUBDUE beam search.
+    Subdue(SubdueEngine),
+    /// MoSS/gSpan-style complete mining.
+    Moss(MossEngine),
+    /// ORIGAMI sampling.
+    Origami(OrigamiEngine),
+    /// SEuS summary-graph mining.
+    Seus(SeusEngine),
+}
+
+impl Engine {
+    /// Builds the engine for an already-validated request.
+    /// ([`MineRequest::build`] is the public path; it validates first.)
+    pub(crate) fn from_validated_request(request: &MineRequest) -> Self {
+        match request.algorithm() {
+            Algorithm::SpiderMine => Engine::SpiderMine(SpiderMineEngine {
+                config: request.spidermine_config(),
+            }),
+            Algorithm::SpiderMineTransactions => {
+                Engine::SpiderMineTransactions(TransactionEngine {
+                    config: request.spidermine_config(),
+                })
+            }
+            // A validated request maps onto valid per-algorithm configs (the
+            // per-field checks below are a subset of `MineRequest::validate`
+            // plus always-valid defaults), so these cannot fail.
+            Algorithm::Subdue => Engine::Subdue(
+                SubdueEngine::new(request.subdue_config())
+                    .expect("validated request maps to a valid SUBDUE config"),
+            ),
+            Algorithm::Moss => Engine::Moss(
+                MossEngine::new(request.moss_config())
+                    .expect("validated request maps to a valid MoSS config"),
+            ),
+            Algorithm::Origami => Engine::Origami(
+                OrigamiEngine::new(request.origami_config())
+                    .expect("validated request maps to a valid ORIGAMI config"),
+            ),
+            Algorithm::Seus => Engine::Seus(
+                SeusEngine::new(request.seus_config())
+                    .expect("validated request maps to a valid SEuS config"),
+            ),
+        }
+    }
+}
+
+impl Miner for Engine {
+    fn algorithm(&self) -> Algorithm {
+        match self {
+            Engine::SpiderMine(m) => m.algorithm(),
+            Engine::SpiderMineTransactions(m) => m.algorithm(),
+            Engine::Subdue(m) => m.algorithm(),
+            Engine::Moss(m) => m.algorithm(),
+            Engine::Origami(m) => m.algorithm(),
+            Engine::Seus(m) => m.algorithm(),
+        }
+    }
+
+    fn mine(
+        &self,
+        host: &GraphSource<'_>,
+        ctx: &mut MineContext,
+    ) -> Result<MineOutcome, MineError> {
+        match self {
+            Engine::SpiderMine(m) => m.mine(host, ctx),
+            Engine::SpiderMineTransactions(m) => m.mine(host, ctx),
+            Engine::Subdue(m) => m.mine(host, ctx),
+            Engine::Moss(m) => m.mine(host, ctx),
+            Engine::Origami(m) => m.mine(host, ctx),
+            Engine::Seus(m) => m.mine(host, ctx),
+        }
+    }
+}

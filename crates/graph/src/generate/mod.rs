@@ -7,7 +7,7 @@
 //! embeddings each (Tables 1 and 3). This module provides those three pieces:
 //!
 //! * [`erdos_renyi`] — background random graphs with a target average degree.
-//! * [`barabasi_albert`] — preferential-attachment scale-free graphs.
+//! * [`mod@barabasi_albert`] — preferential-attachment scale-free graphs.
 //! * [`inject`] — random connected pattern construction and pattern injection.
 
 pub mod barabasi_albert;

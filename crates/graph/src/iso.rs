@@ -26,7 +26,7 @@
 //! Candidate enumeration remains in ascending host-vertex-id order at every
 //! depth, so the embeddings are produced in **exactly the same order** as the
 //! original textbook implementation — byte-identical results, including under
-//! a `limit`. That original implementation is retained in [`reference`] as the
+//! a `limit`. That original implementation is retained in [`mod@reference`] as the
 //! correctness oracle for property tests and as the baseline the benchmarks
 //! measure speedups against. See `DESIGN.md` § "Matcher search order".
 

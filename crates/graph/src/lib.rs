@@ -13,6 +13,8 @@
 //! * [`subgraph`] — induced and edge-set subgraph extraction with vertex maps.
 //! * [`iso`] — label-aware VF2 graph isomorphism and subgraph-isomorphism
 //!   (embedding enumeration), the correctness oracle behind every support count.
+//! * [`pattern_store`] — the arena of pattern graphs (flat vertex/edge pools,
+//!   [`PatternId`] handles, copy-on-grow) behind the engine's pattern storage.
 //! * [`signature`] — cheap isomorphism-invariant signatures used to avoid VF2
 //!   calls (the paper's spider-set idea lives one level up, in `spidermine`).
 //! * [`generate`] — Erdős–Rényi and Barabási–Albert generators plus pattern
@@ -27,6 +29,7 @@ pub mod graph;
 pub mod io;
 pub mod iso;
 pub mod label;
+pub mod pattern_store;
 pub mod signature;
 pub mod stats;
 pub mod subgraph;
@@ -36,5 +39,6 @@ pub mod traversal;
 pub use csr::CsrIndex;
 pub use graph::{LabeledGraph, VertexId};
 pub use label::{Label, LabelInterner};
+pub use pattern_store::{PatternId, PatternStore, PatternView};
 pub use stats::GraphStats;
 pub use transaction::GraphDatabase;

@@ -1,0 +1,392 @@
+//! An arena for pattern graphs: flat vertex/edge pools plus handles.
+//!
+//! Pattern growth clones small [`LabeledGraph`]s at a furious rate — every
+//! candidate extension used to pay three `Vec` allocations (labels, adjacency,
+//! per-vertex lists) before it was even scored. A [`PatternStore`] keeps all
+//! patterns of one mining phase in two flat pools (a label pool and an edge
+//! pool); a pattern is a [`PatternId`] handle denoting a contiguous span of
+//! each pool. *Copy-on-grow* ([`PatternStore::grow_attached`]) derives a child
+//! pattern by `memcpy`ing the parent's spans to the pool tails and appending
+//! the new leaves — no per-pattern allocation, no adjacency rebuild, and the
+//! parent stays valid and immutable.
+//!
+//! Reads go through [`PatternView`], a borrowed span pair that answers the
+//! queries the growth loops need (labels, edge list, per-vertex neighbor-label
+//! counts). Only patterns that survive beam pruning are ever materialized back
+//! into a [`LabeledGraph`] (with [`PatternStore::materialize`]), which is where
+//! the allocation savings of the arena come from.
+
+use crate::graph::{LabeledGraph, VertexId};
+use crate::label::Label;
+
+/// Handle to a pattern stored in a [`PatternStore`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PatternId(pub u32);
+
+impl PatternId {
+    /// Returns the handle as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Span of one pattern inside the pools.
+#[derive(Clone, Copy, Debug)]
+struct Span {
+    vstart: u32,
+    vlen: u32,
+    estart: u32,
+    elen: u32,
+}
+
+/// Borrowed read view of one stored pattern.
+///
+/// Vertices are local ids `0..vertex_count()`; edges are `(u, v)` pairs of
+/// local ids in insertion order.
+#[derive(Clone, Copy, Debug)]
+pub struct PatternView<'a> {
+    /// Label of each local vertex.
+    pub labels: &'a [Label],
+    /// Edges as local-id pairs, in insertion order.
+    pub edges: &'a [(u32, u32)],
+}
+
+impl PatternView<'_> {
+    /// Number of vertices.
+    #[inline]
+    pub fn vertex_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Label of local vertex `v`.
+    #[inline]
+    pub fn label(&self, v: VertexId) -> Label {
+        self.labels[v.index()]
+    }
+
+    /// Calls `f` with the label of every neighbor of `v` (one call per
+    /// incident edge). Patterns are small, so an edge scan beats keeping an
+    /// adjacency structure coherent across copy-on-grow.
+    pub fn for_each_neighbor_label<F: FnMut(Label)>(&self, v: VertexId, mut f: F) {
+        let vid = v.0;
+        for &(a, b) in self.edges {
+            if a == vid {
+                f(self.labels[b as usize]);
+            } else if b == vid {
+                f(self.labels[a as usize]);
+            }
+        }
+    }
+}
+
+/// Arena of pattern graphs backed by flat pools. See the module docs.
+#[derive(Clone, Debug, Default)]
+pub struct PatternStore {
+    labels: Vec<Label>,
+    edges: Vec<(u32, u32)>,
+    spans: Vec<Span>,
+}
+
+impl PatternStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty store with pool capacity hints: room for roughly
+    /// `patterns` patterns of `vertices_each` vertices.
+    pub fn with_capacity(patterns: usize, vertices_each: usize) -> Self {
+        Self {
+            labels: Vec::with_capacity(patterns * vertices_each),
+            edges: Vec::with_capacity(patterns * vertices_each),
+            spans: Vec::with_capacity(patterns),
+        }
+    }
+
+    /// Number of patterns stored.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// True if no pattern has been stored yet.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Total pool footprint `(labels, edges)` — a cheap allocation gauge.
+    pub fn pool_sizes(&self) -> (usize, usize) {
+        (self.labels.len(), self.edges.len())
+    }
+
+    /// Copies `graph` into the arena and returns its handle.
+    pub fn insert_graph(&mut self, graph: &LabeledGraph) -> PatternId {
+        let vstart = self.labels.len() as u32;
+        let estart = self.edges.len() as u32;
+        self.labels.extend_from_slice(graph.labels());
+        self.edges.extend(graph.edges().map(|(u, v)| (u.0, v.0)));
+        self.push_span(vstart, estart)
+    }
+
+    /// Copies a raw `(labels, edges)` pattern into the arena.
+    pub fn insert_parts(&mut self, labels: &[Label], edges: &[(u32, u32)]) -> PatternId {
+        let vstart = self.labels.len() as u32;
+        let estart = self.edges.len() as u32;
+        self.labels.extend_from_slice(labels);
+        self.edges.extend_from_slice(edges);
+        self.push_span(vstart, estart)
+    }
+
+    /// Copy-on-grow: derives a child of `parent` with one fresh vertex per
+    /// `(attach, label)` pair, each connected to its (existing, local) attach
+    /// vertex. The parent's spans are copied to the pool tails; the parent
+    /// handle remains valid and unchanged.
+    ///
+    /// New vertices get the next local ids in `attachments` order, exactly as
+    /// repeated `add_vertex` + `add_edge` calls on a clone would.
+    pub fn grow_attached(
+        &mut self,
+        parent: PatternId,
+        attachments: &[(VertexId, Label)],
+    ) -> PatternId {
+        let Span {
+            vstart,
+            vlen,
+            estart,
+            elen,
+        } = self.spans[parent.index()];
+        let new_vstart = self.labels.len() as u32;
+        let new_estart = self.edges.len() as u32;
+        let vr = vstart as usize..(vstart + vlen) as usize;
+        let er = estart as usize..(estart + elen) as usize;
+        self.labels.extend_from_within(vr);
+        self.edges.extend_from_within(er);
+        for (i, &(attach, label)) in attachments.iter().enumerate() {
+            debug_assert!(attach.0 < vlen + i as u32, "attach vertex out of range");
+            self.labels.push(label);
+            self.edges.push((attach.0, vlen + i as u32));
+        }
+        self.push_span(new_vstart, new_estart)
+    }
+
+    /// Copy-on-grow specialization for star extensions: derives a child of
+    /// `parent` with one fresh vertex per label in `leaves`, every one
+    /// attached to the same existing vertex `attach`. Equivalent to
+    /// [`PatternStore::grow_attached`] with a repeated attach vertex, minus
+    /// the temporary attachment buffer.
+    pub fn grow_star(
+        &mut self,
+        parent: PatternId,
+        attach: VertexId,
+        leaves: &[Label],
+    ) -> PatternId {
+        let Span {
+            vstart,
+            vlen,
+            estart,
+            elen,
+        } = self.spans[parent.index()];
+        debug_assert!(attach.0 < vlen, "attach vertex out of range");
+        let new_vstart = self.labels.len() as u32;
+        let new_estart = self.edges.len() as u32;
+        self.labels
+            .extend_from_within(vstart as usize..(vstart + vlen) as usize);
+        self.edges
+            .extend_from_within(estart as usize..(estart + elen) as usize);
+        for (i, &label) in leaves.iter().enumerate() {
+            self.labels.push(label);
+            self.edges.push((attach.0, vlen + i as u32));
+        }
+        self.push_span(new_vstart, new_estart)
+    }
+
+    /// Read view of `id`.
+    #[inline]
+    pub fn view(&self, id: PatternId) -> PatternView<'_> {
+        let s = self.spans[id.index()];
+        PatternView {
+            labels: &self.labels[s.vstart as usize..(s.vstart + s.vlen) as usize],
+            edges: &self.edges[s.estart as usize..(s.estart + s.elen) as usize],
+        }
+    }
+
+    /// Number of vertices of `id` (without touching the pools).
+    #[inline]
+    pub fn vertex_count(&self, id: PatternId) -> usize {
+        self.spans[id.index()].vlen as usize
+    }
+
+    /// Number of edges of `id` (without touching the pools).
+    #[inline]
+    pub fn edge_count(&self, id: PatternId) -> usize {
+        self.spans[id.index()].elen as usize
+    }
+
+    /// Rebuilds `id` as an owned [`LabeledGraph`].
+    ///
+    /// The result is identical to the graph the same `add_vertex`/`add_edge`
+    /// call sequence would have produced: adjacency lists are sorted by the
+    /// builder, so the graph depends only on the stored content.
+    pub fn materialize(&self, id: PatternId) -> LabeledGraph {
+        let v = self.view(id);
+        LabeledGraph::from_parts(v.labels, v.edges)
+    }
+
+    /// Drops every stored pattern but keeps the pool allocations, so a reused
+    /// store settles into zero-allocation steady state.
+    pub fn clear(&mut self) {
+        self.labels.clear();
+        self.edges.clear();
+        self.spans.clear();
+    }
+
+    fn push_span(&mut self, vstart: u32, estart: u32) -> PatternId {
+        let id = PatternId(self.spans.len() as u32);
+        self.spans.push(Span {
+            vstart,
+            vlen: self.labels.len() as u32 - vstart,
+            estart,
+            elen: self.edges.len() as u32 - estart,
+        });
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph(n: u32) -> LabeledGraph {
+        let labels: Vec<Label> = (0..n).map(Label).collect();
+        let edges: Vec<(u32, u32)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        LabeledGraph::from_parts(&labels, &edges)
+    }
+
+    #[test]
+    fn insert_and_materialize_roundtrip() {
+        let g = path_graph(5);
+        let mut store = PatternStore::new();
+        let id = store.insert_graph(&g);
+        assert_eq!(store.vertex_count(id), 5);
+        assert_eq!(store.edge_count(id), 4);
+        let back = store.materialize(id);
+        assert_eq!(back.labels(), g.labels());
+        let e1: Vec<_> = back.edges().collect();
+        let e2: Vec<_> = g.edges().collect();
+        assert_eq!(e1, e2);
+    }
+
+    #[test]
+    fn grow_attached_matches_clone_and_mutate() {
+        let g = path_graph(3);
+        let mut store = PatternStore::new();
+        let base = store.insert_graph(&g);
+        let child = store.grow_attached(base, &[(VertexId(2), Label(7)), (VertexId(0), Label(9))]);
+
+        let mut expected = g.clone();
+        let a = expected.add_vertex(Label(7));
+        expected.add_edge(VertexId(2), a);
+        let b = expected.add_vertex(Label(9));
+        expected.add_edge(VertexId(0), b);
+
+        let got = store.materialize(child);
+        assert_eq!(got.labels(), expected.labels());
+        assert_eq!(
+            got.edges().collect::<Vec<_>>(),
+            expected.edges().collect::<Vec<_>>()
+        );
+        // Parent untouched by copy-on-grow.
+        assert_eq!(store.vertex_count(base), 3);
+        assert_eq!(store.edge_count(base), 2);
+    }
+
+    #[test]
+    fn grow_can_attach_to_a_leaf_added_in_the_same_call() {
+        let g = path_graph(2);
+        let mut store = PatternStore::new();
+        let base = store.insert_graph(&g);
+        // Second attachment hangs off the first new vertex (local id 2).
+        let child = store.grow_attached(base, &[(VertexId(1), Label(5)), (VertexId(2), Label(6))]);
+        let got = store.materialize(child);
+        assert_eq!(got.vertex_count(), 4);
+        assert!(got.has_edge(VertexId(2), VertexId(3)));
+    }
+
+    #[test]
+    fn grow_star_equals_grow_attached_with_constant_attach() {
+        let g = path_graph(3);
+        let mut store = PatternStore::new();
+        let base = store.insert_graph(&g);
+        let a = store.grow_attached(base, &[(VertexId(1), Label(7)), (VertexId(1), Label(8))]);
+        let b = store.grow_star(base, VertexId(1), &[Label(7), Label(8)]);
+        assert_eq!(store.view(a).labels, store.view(b).labels);
+        assert_eq!(store.view(a).edges, store.view(b).edges);
+    }
+
+    #[test]
+    fn views_answer_neighbor_labels() {
+        let g = LabeledGraph::from_parts(
+            &[Label(0), Label(1), Label(1), Label(2)],
+            &[(0, 1), (0, 2), (0, 3)],
+        );
+        let mut store = PatternStore::new();
+        let id = store.insert_graph(&g);
+        let mut seen = Vec::new();
+        store
+            .view(id)
+            .for_each_neighbor_label(VertexId(0), |l| seen.push(l));
+        seen.sort();
+        assert_eq!(seen, vec![Label(1), Label(1), Label(2)]);
+        let mut seen = Vec::new();
+        store
+            .view(id)
+            .for_each_neighbor_label(VertexId(3), |l| seen.push(l));
+        assert_eq!(seen, vec![Label(0)]);
+    }
+
+    #[test]
+    fn many_children_share_pools_without_invalidating_parents() {
+        let g = path_graph(4);
+        let mut store = PatternStore::new();
+        let base = store.insert_graph(&g);
+        let mut ids = vec![base];
+        for round in 0..5u32 {
+            let parent = *ids.last().unwrap();
+            let id = store.grow_attached(parent, &[(VertexId(0), Label(100 + round))]);
+            ids.push(id);
+        }
+        for (i, &id) in ids.iter().enumerate() {
+            assert_eq!(store.vertex_count(id), 4 + i);
+            assert_eq!(store.edge_count(id), 3 + i);
+        }
+        assert_eq!(store.len(), 6);
+    }
+
+    #[test]
+    fn clear_retains_capacity() {
+        let mut store = PatternStore::new();
+        store.insert_graph(&path_graph(8));
+        let (lcap, ecap) = (store.labels.capacity(), store.edges.capacity());
+        store.clear();
+        assert!(store.is_empty());
+        assert_eq!(store.labels.capacity(), lcap);
+        assert_eq!(store.edges.capacity(), ecap);
+    }
+
+    #[test]
+    fn insert_parts_equals_insert_graph() {
+        let g = path_graph(4);
+        let mut store = PatternStore::new();
+        let a = store.insert_graph(&g);
+        let edges: Vec<(u32, u32)> = g.edges().map(|(u, v)| (u.0, v.0)).collect();
+        let b = store.insert_parts(g.labels(), &edges);
+        assert_eq!(store.view(a).labels, store.view(b).labels);
+        assert_eq!(store.view(a).edges, store.view(b).edges);
+    }
+}

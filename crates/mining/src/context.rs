@@ -1,0 +1,291 @@
+//! Execution context shared by every miner behind the unified engine API:
+//! cooperative cancellation, progress reporting, streaming pattern delivery,
+//! and per-stage wall-clock accounting.
+//!
+//! The context lives here (rather than in the `engine` crate) because it is
+//! threaded *through* the algorithm crates: `spidermine` checks the
+//! [`CancelToken`] inside its stage loops and streams accepted patterns as it
+//! selects them, and each baseline does the same in its search loop. The
+//! `engine` crate re-exports everything in this module as part of its public
+//! surface.
+
+use crate::embedding::Embedding;
+use spidermine_graph::graph::LabeledGraph;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Cooperative cancellation flag, cheap to clone and safe to fire from any
+/// thread (or from inside a progress callback).
+///
+/// Miners poll [`CancelToken::is_cancelled`] at their stage/iteration
+/// boundaries; a fired token makes the run wind down and return whatever it
+/// has found so far as a partial result — cancellation is not an error.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    fired: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-fired token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation. Idempotent; never blocks.
+    pub fn fire(&self) {
+        self.fired.store(true, Ordering::Relaxed);
+    }
+
+    /// True once [`CancelToken::fire`] has been called.
+    #[inline]
+    pub fn is_cancelled(&self) -> bool {
+        self.fired.load(Ordering::Relaxed)
+    }
+}
+
+/// A coarse progress event emitted by a miner. Events fire at stage and
+/// iteration boundaries — frequent enough to drive a progress bar or a
+/// cancellation decision, rare enough to cost nothing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProgressEvent {
+    /// A named stage began (e.g. `"spiders"`, `"identify"`, `"recover"`).
+    StageStarted { stage: &'static str },
+    /// One iteration of a stage's main loop finished.
+    Iteration {
+        stage: &'static str,
+        iteration: usize,
+    },
+    /// A named stage finished.
+    StageFinished { stage: &'static str },
+}
+
+/// One pattern delivered through the streaming channel (and collected into
+/// the final outcome): the pattern graph, its support under the miner's
+/// measure, and the embeddings the miner retained for it (possibly empty —
+/// not every algorithm tracks embeddings).
+#[derive(Clone, Debug)]
+pub struct StreamedPattern {
+    /// The pattern graph.
+    pub pattern: LabeledGraph,
+    /// Support under the producing miner's measure.
+    pub support: usize,
+    /// Retained embeddings (may be empty or capped).
+    pub embeddings: Vec<Embedding>,
+}
+
+/// Wall-clock time of one named stage of a run.
+#[derive(Clone, Debug)]
+pub struct StageTiming {
+    /// Stage name (stable identifiers, e.g. `"spiders"`).
+    pub stage: &'static str,
+    /// Elapsed wall-clock time of the stage.
+    pub elapsed: Duration,
+}
+
+type ProgressFn = Box<dyn FnMut(&ProgressEvent) + Send>;
+type SinkFn = Box<dyn FnMut(StreamedPattern) + Send>;
+
+/// Mutable execution context handed to the `mine_with` / `run_with` entry
+/// points: carries the cancel token, the optional progress callback, the
+/// optional streaming sink, and accumulates per-stage timings.
+#[derive(Default)]
+pub struct MineContext {
+    cancel: CancelToken,
+    progress: Option<ProgressFn>,
+    sink: Option<SinkFn>,
+    timings: Vec<StageTiming>,
+    cancelled_observed: bool,
+}
+
+impl std::fmt::Debug for MineContext {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MineContext")
+            .field("cancelled", &self.cancel.is_cancelled())
+            .field("has_progress", &self.progress.is_some())
+            .field("has_sink", &self.sink.is_some())
+            .field("timings", &self.timings)
+            .finish()
+    }
+}
+
+impl MineContext {
+    /// A context with no callbacks and a fresh token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A context polling the given (possibly shared) token.
+    pub fn with_cancel(token: CancelToken) -> Self {
+        Self {
+            cancel: token,
+            ..Self::default()
+        }
+    }
+
+    /// Installs a progress callback (builder style).
+    pub fn on_progress<F: FnMut(&ProgressEvent) + Send + 'static>(mut self, f: F) -> Self {
+        self.progress = Some(Box::new(f));
+        self
+    }
+
+    /// Installs a streaming pattern sink (builder style). Every pattern a
+    /// miner accepts into its result is also pushed through the sink, in
+    /// acceptance order, before the run returns.
+    pub fn on_pattern<F: FnMut(StreamedPattern) + Send + 'static>(mut self, f: F) -> Self {
+        self.sink = Some(Box::new(f));
+        self
+    }
+
+    /// A clone of the context's cancel token (to fire it from elsewhere).
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+
+    /// Polls the cancel token; remembers a positive answer so
+    /// [`MineContext::was_cancelled`] reports it after the run.
+    pub fn is_cancelled(&mut self) -> bool {
+        if self.cancel.is_cancelled() {
+            self.cancelled_observed = true;
+        }
+        self.cancelled_observed
+    }
+
+    /// True if some `is_cancelled` poll during the run saw a fired token.
+    pub fn was_cancelled(&self) -> bool {
+        self.cancelled_observed
+    }
+
+    /// Emits a progress event to the callback, if any.
+    pub fn progress(&mut self, event: ProgressEvent) {
+        if let Some(f) = self.progress.as_mut() {
+            f(&event);
+        }
+    }
+
+    /// True if a streaming sink is installed. Miners use this to skip
+    /// building [`StreamedPattern`]s (pattern + embedding clones) that no one
+    /// would receive; prefer [`MineContext::emit_with`], which checks it.
+    pub fn wants_patterns(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Streams one accepted pattern to the sink, if any.
+    pub fn emit(&mut self, pattern: StreamedPattern) {
+        if let Some(f) = self.sink.as_mut() {
+            f(pattern);
+        }
+    }
+
+    /// Streams the pattern produced by `build` to the sink — but only calls
+    /// `build` when a sink is installed, so sink-less runs (the legacy shims,
+    /// benches, experiments) pay nothing for streaming.
+    pub fn emit_with<F: FnOnce() -> StreamedPattern>(&mut self, build: F) {
+        if let Some(f) = self.sink.as_mut() {
+            f(build());
+        }
+    }
+
+    /// Records the elapsed time of a named stage.
+    pub fn record_stage(&mut self, stage: &'static str, elapsed: Duration) {
+        self.timings.push(StageTiming { stage, elapsed });
+    }
+
+    /// Per-stage timings recorded so far, in execution order.
+    pub fn timings(&self) -> &[StageTiming] {
+        &self.timings
+    }
+
+    /// Moves the recorded timings out of the context.
+    pub fn take_timings(&mut self) -> Vec<StageTiming> {
+        std::mem::take(&mut self.timings)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spidermine_graph::label::Label;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn token_fires_once_and_stays_fired() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        let t2 = t.clone();
+        t2.fire();
+        assert!(t.is_cancelled());
+        t.fire();
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn context_remembers_observed_cancellation() {
+        let mut ctx = MineContext::new();
+        assert!(!ctx.is_cancelled());
+        assert!(!ctx.was_cancelled());
+        ctx.cancel_token().fire();
+        assert!(ctx.is_cancelled());
+        assert!(ctx.was_cancelled());
+    }
+
+    #[test]
+    fn progress_and_sink_callbacks_receive_events() {
+        let events = Arc::new(AtomicUsize::new(0));
+        let patterns = Arc::new(AtomicUsize::new(0));
+        let (e, p) = (events.clone(), patterns.clone());
+        let mut ctx = MineContext::new()
+            .on_progress(move |_| {
+                e.fetch_add(1, Ordering::Relaxed);
+            })
+            .on_pattern(move |_| {
+                p.fetch_add(1, Ordering::Relaxed);
+            });
+        ctx.progress(ProgressEvent::StageStarted { stage: "spiders" });
+        ctx.progress(ProgressEvent::Iteration {
+            stage: "identify",
+            iteration: 1,
+        });
+        ctx.emit(StreamedPattern {
+            pattern: LabeledGraph::from_parts(&[Label(0)], &[]),
+            support: 1,
+            embeddings: Vec::new(),
+        });
+        assert_eq!(events.load(Ordering::Relaxed), 2);
+        assert_eq!(patterns.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn cancellation_from_inside_a_progress_callback() {
+        let mut ctx = MineContext::new();
+        let token = ctx.cancel_token();
+        ctx = ctx.on_progress(move |e| {
+            if matches!(e, ProgressEvent::Iteration { iteration: 2, .. }) {
+                token.fire();
+            }
+        });
+        for i in 0..5 {
+            if ctx.is_cancelled() {
+                break;
+            }
+            ctx.progress(ProgressEvent::Iteration {
+                stage: "identify",
+                iteration: i,
+            });
+        }
+        assert!(ctx.was_cancelled());
+    }
+
+    #[test]
+    fn stage_timings_accumulate_in_order() {
+        let mut ctx = MineContext::new();
+        ctx.record_stage("spiders", Duration::from_millis(3));
+        ctx.record_stage("identify", Duration::from_millis(5));
+        let t = ctx.timings();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t[0].stage, "spiders");
+        assert_eq!(t[1].stage, "identify");
+        assert_eq!(ctx.take_timings().len(), 2);
+        assert!(ctx.timings().is_empty());
+    }
+}

@@ -14,7 +14,12 @@
 //!   growth) used for the radius sweep of the paper's appendix.
 //! * [`extension`] — generic one-edge pattern growth with embedding
 //!   maintenance, the workhorse of the MoSS/gSpan-style and SUBDUE baselines.
+//! * [`context`] — the execution context of the unified engine API:
+//!   cooperative cancellation, progress callbacks, streaming pattern delivery
+//!   and per-stage timings, threaded through every miner's `*_with` entry
+//!   point.
 
+pub mod context;
 pub mod embedding;
 pub mod extension;
 pub mod pattern_index;
@@ -22,6 +27,7 @@ pub mod rspider;
 pub mod spider;
 pub mod support;
 
+pub use context::{CancelToken, MineContext, ProgressEvent, StageTiming, StreamedPattern};
 pub use embedding::{EmbeddedPattern, Embedding};
 pub use pattern_index::PatternIndex;
 pub use spider::{Spider, SpiderCatalog, SpiderId, SpiderMiningConfig};

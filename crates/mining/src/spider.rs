@@ -16,11 +16,23 @@
 //! The enumeration runs on the graph's frozen CSR view: head classes come from
 //! the label index, and per-head capacity checks are merge-joins over the
 //! precomputed neighbor-label histograms (sorted `(label, count)` rows) rather
-//! than hash-map probes. The level-wise frontier holds spider *ids* — entry
-//! data is read from the catalog, so each spider's leaf and head lists are
-//! allocated exactly once. Frontier blocks expand in parallel (rayon) and
-//! splice back in frontier order, keeping the catalog byte-identical to a
-//! sequential run.
+//! than hash-map probes.
+//!
+//! **Storage is an arena.** Catalog construction used to be allocation-bound:
+//! every mined spider owned a `Vec` of leaf labels and a `Vec` of heads, so a
+//! scale-free graph minted millions of small allocations. The catalog now
+//! keeps one flat leaf-label pool and one flat head pool; a spider is a span
+//! pair into those pools, read through the borrowed [`SpiderRef`] view, and a
+//! child spider is written by `memcpy`ing its parent's leaf span plus one
+//! label (copy-on-grow, the same discipline as
+//! `spidermine_graph::PatternStore`). Frontier expansion emits every
+//! qualifying `(leaf-label, head)` pair in one fused merge pass and groups
+//! the pairs with a counting sort over the dense label universe, using
+//! per-chunk reusable scratch — no per-child allocation at all. Frontier
+//! blocks expand in parallel (rayon) and splice back in frontier order,
+//! keeping the catalog byte-identical to a sequential run; with a single
+//! rayon worker, an in-place fast path skips the chunk buffers and scatters
+//! surviving heads straight into the head pool.
 
 use rayon::prelude::*;
 use rustc_hash::FxHashMap;
@@ -57,7 +69,34 @@ impl Default for SpiderMiningConfig {
     }
 }
 
-/// A mined 1-spider: a star pattern with its head occurrences in the data graph.
+/// Materializes a star pattern: vertex 0 is the head; vertices `1..` are the
+/// leaves in sorted label order.
+fn star_pattern(head_label: Label, leaf_labels: &[Label]) -> LabeledGraph {
+    let mut g = LabeledGraph::with_capacity(1 + leaf_labels.len());
+    let head = g.add_vertex(head_label);
+    for &leaf in leaf_labels {
+        let l = g.add_vertex(leaf);
+        g.add_edge(head, l);
+    }
+    g
+}
+
+/// True if `v` (in `graph`) can host the star as its head: label matches and
+/// the neighborhood supplies the leaf multiset.
+fn star_matches_at(
+    graph: &LabeledGraph,
+    v: VertexId,
+    head_label: Label,
+    leaf_labels: &[Label],
+) -> bool {
+    graph.label(v) == head_label
+        && leaf_multiset_fits(leaf_labels, graph.neighbor_label_histogram(v))
+}
+
+/// An owned 1-spider: a star pattern with its head occurrences in the data
+/// graph. The catalog itself stores spiders in flat pools and hands out
+/// borrowed [`SpiderRef`]s; this owned form exists for callers that need to
+/// hold a spider beyond the catalog's lifetime (and for tests).
 #[derive(Clone, Debug)]
 pub struct Spider {
     /// Identifier within the catalog.
@@ -89,20 +128,65 @@ impl Spider {
     /// Materializes the spider as a standalone pattern graph.
     /// Vertex 0 is the head; vertices `1..` are the leaves in sorted label order.
     pub fn to_pattern(&self) -> LabeledGraph {
-        let mut g = LabeledGraph::with_capacity(self.vertex_count());
-        let head = g.add_vertex(self.head_label);
-        for &leaf in &self.leaf_labels {
-            let l = g.add_vertex(leaf);
-            g.add_edge(head, l);
-        }
-        g
+        star_pattern(self.head_label, &self.leaf_labels)
     }
 
     /// Checks whether `v` (in `graph`) can host this spider as its head:
     /// label matches and the neighborhood supplies the leaf multiset.
     pub fn matches_at(&self, graph: &LabeledGraph, v: VertexId) -> bool {
-        graph.label(v) == self.head_label
-            && leaf_multiset_fits(&self.leaf_labels, graph.neighbor_label_histogram(v))
+        star_matches_at(graph, v, self.head_label, &self.leaf_labels)
+    }
+}
+
+/// Borrowed view of one spider stored in a [`SpiderCatalog`]: spans into the
+/// catalog's flat leaf and head pools.
+#[derive(Clone, Copy, Debug)]
+pub struct SpiderRef<'a> {
+    /// Identifier within the catalog.
+    pub id: SpiderId,
+    /// Label of the head vertex.
+    pub head_label: Label,
+    /// Sorted multiset of leaf labels.
+    pub leaf_labels: &'a [Label],
+    /// Data vertices that can serve as the head of this spider.
+    pub heads: &'a [VertexId],
+}
+
+impl SpiderRef<'_> {
+    /// Number of head occurrences (the spider's support).
+    pub fn support(&self) -> usize {
+        self.heads.len()
+    }
+
+    /// Number of vertices of the spider pattern (head + leaves).
+    pub fn vertex_count(&self) -> usize {
+        1 + self.leaf_labels.len()
+    }
+
+    /// Number of edges of the spider pattern (= number of leaves).
+    pub fn size(&self) -> usize {
+        self.leaf_labels.len()
+    }
+
+    /// Materializes the spider as a standalone pattern graph.
+    /// Vertex 0 is the head; vertices `1..` are the leaves in sorted label order.
+    pub fn to_pattern(&self) -> LabeledGraph {
+        star_pattern(self.head_label, self.leaf_labels)
+    }
+
+    /// Checks whether `v` (in `graph`) can host this spider as its head.
+    pub fn matches_at(&self, graph: &LabeledGraph, v: VertexId) -> bool {
+        star_matches_at(graph, v, self.head_label, self.leaf_labels)
+    }
+
+    /// Copies the spider out of the catalog pools into an owned [`Spider`].
+    pub fn to_owned(&self) -> Spider {
+        Spider {
+            id: self.id,
+            head_label: self.head_label,
+            leaf_labels: self.leaf_labels.to_vec(),
+            heads: self.heads.to_vec(),
+        }
     }
 }
 
@@ -133,40 +217,82 @@ fn leaf_multiset_fits(sorted_leaves: &[Label], histogram: &[(Label, u32)]) -> bo
     true
 }
 
-/// A freshly derived spider not yet in the catalog: head label, sorted leaf
-/// multiset, and the heads supporting it.
-type NewSpider = (Label, Vec<Label>, Vec<VertexId>);
+/// Pool spans of one stored spider.
+#[derive(Clone, Copy, Debug)]
+struct SpiderSpan {
+    head_label: Label,
+    lstart: u32,
+    llen: u32,
+    hstart: u32,
+    hlen: u32,
+}
 
-/// The complete set of frequent 1-spiders of a graph.
+/// The complete set of frequent 1-spiders of a graph, stored in flat pools
+/// (see the module docs).
+///
+/// The head-label index is built lazily on first use: catalog construction
+/// pushes millions of spiders on scale-free graphs, and one hash-map update
+/// per push used to be a measurable slice of the construction time.
 #[derive(Debug, Default)]
 pub struct SpiderCatalog {
-    spiders: Vec<Spider>,
-    by_head_label: FxHashMap<Label, Vec<SpiderId>>,
+    leaf_pool: Vec<Label>,
+    head_pool: Vec<VertexId>,
+    spans: Vec<SpiderSpan>,
+    by_head_label: std::sync::OnceLock<FxHashMap<Label, Vec<SpiderId>>>,
 }
 
 impl SpiderCatalog {
     /// Mines all frequent 1-spiders of `graph` under `config`.
     ///
     /// The level-wise frontier is a list of *spider ids*: each level's entries
-    /// are read straight out of the catalog (no duplicated leaf/head storage),
-    /// expanded in parallel blocks, and their children pushed back in frontier
-    /// order — so the catalog is byte-identical to a sequential run while
-    /// per-spider data is allocated exactly once.
+    /// are read straight out of the catalog pools, expanded in parallel
+    /// blocks, and their children spliced back in frontier order — so the
+    /// catalog is byte-identical to a sequential run while per-spider data is
+    /// written into the pools exactly once. When only one rayon worker is
+    /// available, a sequential fast path scatters surviving heads straight
+    /// into the catalog's head pool, skipping the per-chunk double buffering
+    /// the parallel splice needs.
     pub fn mine(graph: &LabeledGraph, config: &SpiderMiningConfig) -> Self {
+        Self::mine_with_mode(graph, config, rayon::current_num_threads() <= 1)
+    }
+
+    /// [`SpiderCatalog::mine`] with the execution path pinned: `sequential`
+    /// forces the single-worker in-place fast path, `!sequential` the
+    /// parallel chunked path. Public (but hidden) so the randomized
+    /// equivalence tests can exercise *both* paths regardless of the
+    /// machine's core count; prefer [`SpiderCatalog::mine`], which picks
+    /// automatically.
+    #[doc(hidden)]
+    pub fn mine_with_mode(
+        graph: &LabeledGraph,
+        config: &SpiderMiningConfig,
+        sequential: bool,
+    ) -> Self {
         let sigma = config.support_threshold.max(1);
         let csr = graph.csr();
         let mut catalog = SpiderCatalog::default();
+        // Dense label universe bound for the counting-sort scratch (labels
+        // are interned, so `max + 1` is tight).
+        let universe = graph
+            .labels()
+            .iter()
+            .map(|l| l.0 as usize + 1)
+            .max()
+            .unwrap_or(0);
 
         // Parallel fan-out width per splice. Blocks (rather than whole levels)
         // bound peak memory: levels grow into the millions on scale-free
-        // graphs.
+        // graphs. Within a block, each parallel task expands CHUNK entries
+        // with one reused scratch and one flat output buffer, so per-entry
+        // allocation amortizes away.
         const PAR_BLOCK: usize = 1024;
+        const CHUNK: usize = 64;
 
         if config.max_leaves == 0 || graph.vertex_count() == 0 {
             if config.include_single_vertex {
                 for (label, heads) in csr.labels_with_vertices() {
                     if heads.len() >= sigma {
-                        catalog.push(label, Vec::new(), heads.to_vec());
+                        catalog.push(label, &[], heads);
                     }
                 }
             }
@@ -182,20 +308,41 @@ impl SpiderCatalog {
         let mut frontier: Vec<SpiderId> = Vec::new();
         for (label, heads) in &classes {
             if config.include_single_vertex {
-                catalog.push(*label, Vec::new(), heads.to_vec());
+                catalog.push(*label, &[], heads);
             }
         }
+
+        if sequential {
+            return Self::mine_sequential(csr, config, sigma, universe, &classes, catalog);
+        }
+
         'seed: for block in classes.chunks(PAR_BLOCK) {
-            let expanded: Vec<Vec<NewSpider>> = block
+            let subchunks: Vec<&[(Label, &[VertexId])]> = block.chunks(CHUNK).collect();
+            let expanded: Vec<ChunkExpansion> = subchunks
                 .par_iter()
-                .map(|&(label, heads)| extend_spider(graph, label, &[], heads, sigma))
-                .collect();
-            for children in expanded {
-                for (head_label, leaf_labels, heads) in children {
-                    if catalog.spiders.len() >= config.max_spiders {
-                        break 'seed;
+                .map(|sub| {
+                    let mut scratch = ExpandScratch::with_universe(universe);
+                    let mut out = ChunkExpansion::default();
+                    for &(_, heads) in *sub {
+                        expand_entry(csr, &[], heads, sigma, &mut scratch, &mut out);
                     }
-                    frontier.push(catalog.push(head_label, leaf_labels, heads));
+                    out
+                })
+                .collect();
+            for (sub, chunk) in subchunks.iter().zip(&expanded) {
+                let (mut cand_at, mut head_at) = (0usize, 0usize);
+                for (entry, &(label, _)) in sub.iter().enumerate() {
+                    for _ in 0..chunk.entry_child_counts[entry] {
+                        if catalog.len() >= config.max_spiders {
+                            break 'seed;
+                        }
+                        let cand = chunk.candidates[cand_at];
+                        let hlen = chunk.head_counts[cand_at] as usize;
+                        let heads = &chunk.heads[head_at..head_at + hlen];
+                        cand_at += 1;
+                        head_at += hlen;
+                        frontier.push(catalog.push_child(label, None, cand, heads));
+                    }
                 }
             }
         }
@@ -204,30 +351,46 @@ impl SpiderCatalog {
         let mut leaves = 1;
         while !frontier.is_empty() && leaves < config.max_leaves {
             leaves += 1;
-            if catalog.spiders.len() >= config.max_spiders {
+            if catalog.len() >= config.max_spiders {
                 break;
             }
             let mut next: Vec<SpiderId> = Vec::new();
             'level: for block in frontier.chunks(PAR_BLOCK) {
-                let expanded: Vec<Vec<NewSpider>> = block
+                let subchunks: Vec<&[SpiderId]> = block.chunks(CHUNK).collect();
+                let expanded: Vec<ChunkExpansion> = subchunks
                     .par_iter()
-                    .map(|&id| {
-                        let spider = &catalog.spiders[id];
-                        extend_spider(
-                            graph,
-                            spider.head_label,
-                            &spider.leaf_labels,
-                            &spider.heads,
-                            sigma,
-                        )
+                    .map(|sub| {
+                        let mut scratch = ExpandScratch::with_universe(universe);
+                        let mut out = ChunkExpansion::default();
+                        for &id in *sub {
+                            let spider = catalog.get(id);
+                            expand_entry(
+                                csr,
+                                spider.leaf_labels,
+                                spider.heads,
+                                sigma,
+                                &mut scratch,
+                                &mut out,
+                            );
+                        }
+                        out
                     })
                     .collect();
-                for children in expanded {
-                    for (head_label, leaf_labels, heads) in children {
-                        if catalog.spiders.len() >= config.max_spiders {
-                            break 'level;
+                for (sub, chunk) in subchunks.iter().zip(&expanded) {
+                    let (mut cand_at, mut head_at) = (0usize, 0usize);
+                    for (entry, &parent) in sub.iter().enumerate() {
+                        let head_label = catalog.spans[parent].head_label;
+                        for _ in 0..chunk.entry_child_counts[entry] {
+                            if catalog.len() >= config.max_spiders {
+                                break 'level;
+                            }
+                            let cand = chunk.candidates[cand_at];
+                            let hlen = chunk.head_counts[cand_at] as usize;
+                            let heads = &chunk.heads[head_at..head_at + hlen];
+                            cand_at += 1;
+                            head_at += hlen;
+                            next.push(catalog.push_child(head_label, Some(parent), cand, heads));
                         }
-                        next.push(catalog.push(head_label, leaf_labels, heads));
                     }
                 }
             }
@@ -236,46 +399,339 @@ impl SpiderCatalog {
         catalog
     }
 
-    fn push(
+    /// The single-worker fast path of [`SpiderCatalog::mine`]: identical
+    /// enumeration, but each entry's surviving heads are scattered directly
+    /// to the catalog's head-pool tail and the child spans pushed in place —
+    /// no chunk buffer, no second head copy.
+    fn mine_sequential(
+        csr: &spidermine_graph::CsrIndex,
+        config: &SpiderMiningConfig,
+        sigma: usize,
+        universe: usize,
+        classes: &[(Label, &[VertexId])],
+        mut catalog: SpiderCatalog,
+    ) -> SpiderCatalog {
+        let mut scratch = ExpandScratch::with_universe(universe);
+        let mut frontier: Vec<SpiderId> = Vec::new();
+        for &(label, heads) in classes {
+            if !catalog.expand_in_place(
+                csr,
+                label,
+                None,
+                heads,
+                sigma,
+                config.max_spiders,
+                &mut scratch,
+                &mut frontier,
+            ) {
+                break;
+            }
+        }
+        let mut leaves = 1;
+        while !frontier.is_empty() && leaves < config.max_leaves {
+            leaves += 1;
+            if catalog.len() >= config.max_spiders {
+                break;
+            }
+            let mut next: Vec<SpiderId> = Vec::new();
+            for &parent in &frontier {
+                let head_label = catalog.spans[parent].head_label;
+                if !catalog.expand_in_place(
+                    csr,
+                    head_label,
+                    Some(parent),
+                    &[],
+                    sigma,
+                    config.max_spiders,
+                    &mut scratch,
+                    &mut next,
+                ) {
+                    break;
+                }
+            }
+            frontier = next;
+        }
+        catalog
+    }
+
+    /// Expands one frontier entry (see [`expand_entry`] for the algorithm),
+    /// writing the surviving head groups straight to the head pool and
+    /// pushing the child spans. Returns `false` once `max_spiders` is hit.
+    ///
+    /// The entry's heads are `class_heads` for a level-1 label class, or the
+    /// parent spider's own pool span otherwise — read in place (the scatter
+    /// region starts past every existing span, so `split_at_mut` keeps the
+    /// borrows apart without copying the parent out first).
+    #[allow(clippy::too_many_arguments)]
+    fn expand_in_place(
+        &mut self,
+        csr: &spidermine_graph::CsrIndex,
+        head_label: Label,
+        parent: Option<SpiderId>,
+        class_heads: &[VertexId],
+        sigma: usize,
+        max_spiders: usize,
+        scratch: &mut ExpandScratch,
+        out_ids: &mut Vec<SpiderId>,
+    ) -> bool {
+        let (head_range, max_leaf, max_leaf_run) = match parent {
+            Some(p) => {
+                let s = self.spans[p];
+                let leaves = &self.leaf_pool[s.lstart as usize..(s.lstart + s.llen) as usize];
+                let max_leaf = leaves.last().copied();
+                let run = max_leaf
+                    .map(|ml| leaves.iter().rev().take_while(|&&l| l == ml).count() as u32)
+                    .unwrap_or(0);
+                (
+                    s.hstart as usize..(s.hstart + s.hlen) as usize,
+                    max_leaf,
+                    run,
+                )
+            }
+            None => (0..0, None, 0),
+        };
+        // Start of the qualifying tail of a head's histogram row. A row entry
+        // always has count ≥ 1, so every label *strictly* greater than the
+        // maximum leaf qualifies unconditionally; only the boundary label
+        // (== max leaf) must cover the trailing run plus one. Returns the
+        // index of the first unconditionally qualifying entry, plus whether
+        // the boundary label itself qualifies.
+        let tail_of = |row: &[(Label, u32)]| -> (usize, bool) {
+            match max_leaf {
+                Some(ml) => {
+                    let s = row.partition_point(|&(l, _)| l < ml);
+                    if s < row.len() && row[s].0 == ml {
+                        (s + 1, row[s].1 > max_leaf_run)
+                    } else {
+                        (s, false)
+                    }
+                }
+                None => (0, false),
+            }
+        };
+
+        // Pass A — count qualifying heads per label. The rows live
+        // contiguously in the CSR, so the second scan below stays in cache;
+        // skipping a pair buffer halves the scratch traffic of the parallel
+        // path.
+        scratch.touched.clear();
+        let count_at = |l: u32, counts: &mut [u32], touched: &mut Vec<u32>| {
+            if counts[l as usize] == 0 {
+                touched.push(l);
+            }
+            counts[l as usize] += 1;
+        };
+        let mut total = 0usize;
+        scratch.row_starts.clear();
+        {
+            let heads: &[VertexId] = if parent.is_some() {
+                &self.head_pool[head_range.clone()]
+            } else {
+                class_heads
+            };
+            for &h in heads {
+                let row = csr.neighbor_label_histogram(h);
+                let (start, boundary) = tail_of(row);
+                scratch
+                    .row_starts
+                    .push(start as u32 | if boundary { 1 << 31 } else { 0 });
+                if boundary {
+                    count_at(
+                        max_leaf.expect("boundary implies max leaf").0,
+                        &mut scratch.counts,
+                        &mut scratch.touched,
+                    );
+                    total += 1;
+                }
+                for &(label, _) in &row[start..] {
+                    count_at(label.0, &mut scratch.counts, &mut scratch.touched);
+                }
+                total += row.len() - start;
+            }
+        }
+        if total < sigma {
+            for &l in &scratch.touched {
+                scratch.counts[l as usize] = 0;
+            }
+            return true;
+        }
+        scratch.touched.sort_unstable();
+
+        scratch.cursors.clear();
+        scratch.cand_labels.clear();
+        scratch.cand_counts.clear();
+        let base = self.head_pool.len() as u32;
+        let mut cursor = base;
+        let mut children = 0u32;
+        for &l in &scratch.touched {
+            let count = scratch.counts[l as usize];
+            if count as usize >= sigma {
+                scratch.slots[l as usize] = children;
+                scratch.cand_labels.push(l);
+                scratch.cand_counts.push(count);
+                scratch.cursors.push(cursor);
+                cursor += count;
+                children += 1;
+            } else {
+                scratch.slots[l as usize] = u32::MAX;
+            }
+        }
+
+        // Pass B — scatter the surviving heads straight into the head pool,
+        // grouped per accepted label, ascending head order per group. Every
+        // existing span (the parent's included) lies below `base`, so the
+        // pool splits into a stable read half and the scatter tail.
+        if children > 0 {
+            self.head_pool.resize(cursor as usize, VertexId(0));
+            let (stable, tail) = self.head_pool.split_at_mut(base as usize);
+            let heads: &[VertexId] = if parent.is_some() {
+                &stable[head_range]
+            } else {
+                class_heads
+            };
+            let mut scatter = |l: u32, h: VertexId, cursors: &mut [u32]| {
+                let slot = scratch.slots[l as usize];
+                if slot != u32::MAX {
+                    let at = &mut cursors[slot as usize];
+                    tail[(*at - base) as usize] = h;
+                    *at += 1;
+                }
+            };
+            for (&h, &memo) in heads.iter().zip(&scratch.row_starts) {
+                let row = csr.neighbor_label_histogram(h);
+                let start = (memo & !(1 << 31)) as usize;
+                if memo & (1 << 31) != 0 {
+                    scatter(
+                        max_leaf.expect("boundary implies max leaf").0,
+                        h,
+                        &mut scratch.cursors,
+                    );
+                }
+                for &(label, _) in &row[start..] {
+                    scatter(label.0, h, &mut scratch.cursors);
+                }
+            }
+        }
+        for &l in &scratch.touched {
+            scratch.counts[l as usize] = 0;
+        }
+
+        if children > 0 {
+            // One invalidation covers every push below.
+            self.by_head_label.take();
+        }
+        let parent_leaf_range = parent.map(|p| {
+            let s = self.spans[p];
+            s.lstart as usize..(s.lstart + s.llen) as usize
+        });
+        let mut hstart = base;
+        for (&l, &count) in scratch.cand_labels.iter().zip(&scratch.cand_counts) {
+            if self.len() >= max_spiders {
+                return false;
+            }
+            let lstart = self.leaf_pool.len() as u32;
+            if let Some(range) = parent_leaf_range.clone() {
+                self.leaf_pool.extend_from_within(range);
+            }
+            self.leaf_pool.push(Label(l));
+            let id = self.spans.len();
+            self.spans.push(SpiderSpan {
+                head_label,
+                lstart,
+                llen: self.leaf_pool.len() as u32 - lstart,
+                hstart,
+                hlen: count,
+            });
+            out_ids.push(id);
+            hstart += count;
+        }
+        true
+    }
+
+    /// Appends a spider by copying the given slices into the pools.
+    fn push(&mut self, head_label: Label, leaf_labels: &[Label], heads: &[VertexId]) -> SpiderId {
+        let lstart = self.leaf_pool.len() as u32;
+        self.leaf_pool.extend_from_slice(leaf_labels);
+        let hstart = self.head_pool.len() as u32;
+        self.head_pool.extend_from_slice(heads);
+        self.finish_push(head_label, lstart, hstart)
+    }
+
+    /// Copy-on-grow append: the child's leaf multiset is its parent's leaf
+    /// span (copied within the pool) plus `cand`, which keeps the multiset
+    /// sorted because candidate labels never decrease along a branch.
+    fn push_child(
         &mut self,
         head_label: Label,
-        leaf_labels: Vec<Label>,
-        heads: Vec<VertexId>,
+        parent: Option<SpiderId>,
+        cand: Label,
+        heads: &[VertexId],
     ) -> SpiderId {
-        let id = self.spiders.len();
-        self.by_head_label.entry(head_label).or_default().push(id);
-        self.spiders.push(Spider {
-            id,
+        let lstart = self.leaf_pool.len() as u32;
+        if let Some(p) = parent {
+            let s = self.spans[p];
+            self.leaf_pool
+                .extend_from_within(s.lstart as usize..(s.lstart + s.llen) as usize);
+        }
+        self.leaf_pool.push(cand);
+        let hstart = self.head_pool.len() as u32;
+        self.head_pool.extend_from_slice(heads);
+        self.finish_push(head_label, lstart, hstart)
+    }
+
+    fn finish_push(&mut self, head_label: Label, lstart: u32, hstart: u32) -> SpiderId {
+        let id = self.spans.len();
+        // A push invalidates the lazily built head-label index.
+        self.by_head_label.take();
+        self.spans.push(SpiderSpan {
             head_label,
-            leaf_labels,
-            heads,
+            lstart,
+            llen: self.leaf_pool.len() as u32 - lstart,
+            hstart,
+            hlen: self.head_pool.len() as u32 - hstart,
         });
         id
     }
 
+    fn head_label_index(&self) -> &FxHashMap<Label, Vec<SpiderId>> {
+        self.by_head_label.get_or_init(|| {
+            let mut index: FxHashMap<Label, Vec<SpiderId>> = FxHashMap::default();
+            for (id, span) in self.spans.iter().enumerate() {
+                index.entry(span.head_label).or_default().push(id);
+            }
+            index
+        })
+    }
+
     /// All spiders, in mining order.
-    pub fn spiders(&self) -> &[Spider] {
-        &self.spiders
+    pub fn spiders(&self) -> impl Iterator<Item = SpiderRef<'_>> + '_ {
+        (0..self.spans.len()).map(move |id| self.get(id))
     }
 
     /// Number of spiders mined.
     pub fn len(&self) -> usize {
-        self.spiders.len()
+        self.spans.len()
     }
 
     /// True if no spiders were mined.
     pub fn is_empty(&self) -> bool {
-        self.spiders.is_empty()
+        self.spans.is_empty()
     }
 
     /// The spider with the given id.
-    pub fn get(&self, id: SpiderId) -> &Spider {
-        &self.spiders[id]
+    pub fn get(&self, id: SpiderId) -> SpiderRef<'_> {
+        let s = self.spans[id];
+        SpiderRef {
+            id,
+            head_label: s.head_label,
+            leaf_labels: &self.leaf_pool[s.lstart as usize..(s.lstart + s.llen) as usize],
+            heads: &self.head_pool[s.hstart as usize..(s.hstart + s.hlen) as usize],
+        }
     }
 
     /// Ids of spiders whose head label is `label`.
     pub fn with_head_label(&self, label: Label) -> &[SpiderId] {
-        self.by_head_label
+        self.head_label_index()
             .get(&label)
             .map(Vec::as_slice)
             .unwrap_or(&[])
@@ -288,100 +744,182 @@ impl SpiderCatalog {
         self.with_head_label(graph.label(v))
             .iter()
             .copied()
-            .filter(|&id| leaf_multiset_fits(&self.spiders[id].leaf_labels, histogram))
+            .filter(|&id| leaf_multiset_fits(self.get(id).leaf_labels, histogram))
             .collect()
     }
 
     /// The largest spider (most leaves); ties broken by lowest id.
-    pub fn largest(&self) -> Option<&Spider> {
-        self.spiders
-            .iter()
-            .max_by_key(|s| (s.size(), usize::MAX - s.id))
+    pub fn largest(&self) -> Option<SpiderRef<'_>> {
+        self.spiders().max_by_key(|s| (s.size(), usize::MAX - s.id))
     }
 }
 
-/// Expands one frontier entry: every frequent one-leaf extension whose label
-/// keeps the leaf multiset sorted (labels only grow), with its surviving heads.
+/// Reusable scratch of one expansion task: qualifying `(label, head)` pairs
+/// of the current entry, plus counting-sort arrays sized by the dense label
+/// universe. One scratch serves a whole chunk of frontier entries, so the
+/// steady state of catalog construction allocates nothing per entry.
+struct ExpandScratch {
+    /// Qualifying labels of the current entry, head-major.
+    pair_labels: Vec<u32>,
+    /// The head each qualifying label came from (parallel to `pair_labels`).
+    pair_heads: Vec<VertexId>,
+    /// Qualifying-head count per label (reset via `touched` after each entry).
+    counts: Vec<u32>,
+    /// Child slot per accepted label, `u32::MAX` for infrequent ones.
+    slots: Vec<u32>,
+    /// Labels seen in the current entry.
+    touched: Vec<u32>,
+    /// Scatter cursor per accepted child.
+    cursors: Vec<u32>,
+    /// Accepted candidate labels (sequential in-place path).
+    cand_labels: Vec<u32>,
+    /// Surviving-head count per accepted candidate (sequential path).
+    cand_counts: Vec<u32>,
+    /// Memoized row-tail start per head from pass A (boundary-qualifies flag
+    /// in the high bit), so pass B skips the binary searches.
+    row_starts: Vec<u32>,
+}
+
+impl ExpandScratch {
+    fn with_universe(universe: usize) -> Self {
+        Self {
+            pair_labels: Vec::new(),
+            pair_heads: Vec::new(),
+            counts: vec![0; universe],
+            slots: vec![0; universe],
+            touched: Vec::new(),
+            cursors: Vec::new(),
+            cand_labels: Vec::new(),
+            cand_counts: Vec::new(),
+            row_starts: Vec::new(),
+        }
+    }
+}
+
+/// Flattened children of one chunk of expanded frontier entries. The splice
+/// loop in [`SpiderCatalog::mine`] walks `entry_child_counts` with running
+/// cursors into `candidates`/`head_counts`/`heads`.
+#[derive(Default)]
+struct ChunkExpansion {
+    /// Children per entry, in entry order.
+    entry_child_counts: Vec<u32>,
+    /// Candidate leaf labels, flat across entries (ascending per entry).
+    candidates: Vec<Label>,
+    /// Surviving-head count per candidate.
+    head_counts: Vec<u32>,
+    /// Surviving heads, flat, grouped per candidate (ascending per group).
+    heads: Vec<VertexId>,
+}
+
+/// Expands one frontier entry into `out`: every frequent one-leaf extension
+/// whose label keeps the leaf multiset sorted (labels only grow), with its
+/// surviving heads.
 ///
 /// Because leaf labels are sorted, a candidate label `l` is already present in
 /// the multiset only when `l` equals the current maximum leaf label — its
 /// required multiplicity is that label's trailing run length; every larger
-/// label requires one. Both the candidate collection and the survivor counting
-/// are merge-joins over the sorted CSR histogram rows: one sequential pass per
-/// head, no hashing and no per-candidate binary searches.
-fn extend_spider(
-    graph: &LabeledGraph,
-    head_label: Label,
+/// label requires one. The expansion is a single fused pass: each head's
+/// sorted CSR histogram row is merge-scanned once, emitting a flat
+/// `(label, head)` pair per spare-capacity match; the pairs are then grouped
+/// by label with a counting sort over the dense label universe (pairs arrive
+/// head-major, so each group's heads stay in ascending head order — matching
+/// what a per-candidate merge-join would emit). Groups below the support
+/// threshold are dropped.
+fn expand_entry(
+    csr: &spidermine_graph::CsrIndex,
     leaf_labels: &[Label],
     heads: &[VertexId],
     sigma: usize,
-) -> Vec<NewSpider> {
-    let csr = graph.csr();
+    scratch: &mut ExpandScratch,
+    out: &mut ChunkExpansion,
+) {
     let max_leaf = leaf_labels.last().copied();
     let max_leaf_run = max_leaf
         .map(|ml| leaf_labels.iter().rev().take_while(|&&l| l == ml).count() as u32)
         .unwrap_or(0);
-    let required = |label: Label| {
-        if Some(label) == max_leaf {
-            max_leaf_run + 1
-        } else {
-            1
-        }
-    };
 
-    // Pass 1 — candidate labels: every label >= max_leaf some head still has
-    // spare capacity for, merged from the sorted histogram rows.
-    let mut candidates: Vec<Label> = Vec::new();
+    // Fused pass: every qualifying (label, head) pair, stored as one label
+    // run per head, with the per-label counts accumulated on the fly.
+    // A histogram row entry always has count ≥ 1, so every label *strictly*
+    // greater than the current maximum leaf qualifies unconditionally; only
+    // the boundary label (== max leaf) must cover the trailing run plus one.
+    // The row tail therefore bulk-appends with no per-entry capacity check.
+    scratch.pair_labels.clear();
+    scratch.pair_heads.clear();
     for &h in heads {
         let row = csr.neighbor_label_histogram(h);
+        let run_start = scratch.pair_labels.len();
         let start = match max_leaf {
-            Some(ml) => row.partition_point(|&(l, _)| l < ml),
+            Some(ml) => {
+                let s = row.partition_point(|&(l, _)| l < ml);
+                if s < row.len() && row[s].0 == ml {
+                    if row[s].1 > max_leaf_run {
+                        scratch.pair_labels.push(ml.0);
+                    }
+                    s + 1
+                } else {
+                    s
+                }
+            }
             None => 0,
         };
-        for &(label, count) in &row[start..] {
-            if count >= required(label) {
-                candidates.push(label);
-            }
-        }
+        scratch
+            .pair_labels
+            .extend(row[start..].iter().map(|&(label, _)| label.0));
+        // One bulk fill covers this head's whole run (boundary label
+        // included, because `run_start` predates the boundary push).
+        debug_assert!(scratch.pair_heads.len() <= run_start);
+        scratch.pair_heads.resize(scratch.pair_labels.len(), h);
     }
-    candidates.sort_unstable();
-    candidates.dedup();
-    if candidates.is_empty() {
-        return Vec::new();
-    }
-
-    // Pass 2 — survivors per candidate: merge-join each head's sorted
-    // histogram row against the sorted candidate list. Heads are visited in
-    // ascending order, so each survivor list stays sorted.
-    let mut survivors: Vec<Vec<VertexId>> = vec![Vec::new(); candidates.len()];
-    for &h in heads {
-        let row = csr.neighbor_label_histogram(h);
-        let start = row.partition_point(|&(l, _)| l < candidates[0]);
-        let mut j = 0;
-        for &(label, count) in &row[start..] {
-            while j < candidates.len() && candidates[j] < label {
-                j += 1;
-            }
-            if j == candidates.len() {
-                break;
-            }
-            if candidates[j] == label && count >= required(label) {
-                survivors[j].push(h);
-            }
-        }
+    if scratch.pair_labels.len() < sigma {
+        out.entry_child_counts.push(0);
+        return;
     }
 
-    let mut children = Vec::new();
-    for (cand, surviving) in candidates.into_iter().zip(survivors) {
-        if surviving.len() < sigma {
-            continue;
+    // Count qualifying heads per label.
+    scratch.touched.clear();
+    for &l in &scratch.pair_labels {
+        let l = l as usize;
+        if scratch.counts[l] == 0 {
+            scratch.touched.push(l as u32);
         }
-        let mut new_leaves = Vec::with_capacity(leaf_labels.len() + 1);
-        new_leaves.extend_from_slice(leaf_labels);
-        new_leaves.push(cand);
-        children.push((head_label, new_leaves, surviving));
+        scratch.counts[l] += 1;
     }
-    children
+    scratch.touched.sort_unstable();
+
+    // Accept frequent labels as children (ascending), laying out their head
+    // groups back-to-back at the tail of `out.heads`.
+    scratch.cursors.clear();
+    let mut children = 0u32;
+    let mut cursor = out.heads.len() as u32;
+    for &l in &scratch.touched {
+        let count = scratch.counts[l as usize];
+        if count as usize >= sigma {
+            scratch.slots[l as usize] = children;
+            out.candidates.push(Label(l));
+            out.head_counts.push(count);
+            scratch.cursors.push(cursor);
+            cursor += count;
+            children += 1;
+        } else {
+            scratch.slots[l as usize] = u32::MAX;
+        }
+    }
+    if children > 0 {
+        out.heads.resize(cursor as usize, VertexId(0));
+        for (&l, &h) in scratch.pair_labels.iter().zip(&scratch.pair_heads) {
+            let slot = scratch.slots[l as usize];
+            if slot != u32::MAX {
+                let at = &mut scratch.cursors[slot as usize];
+                out.heads[*at as usize] = h;
+                *at += 1;
+            }
+        }
+    }
+    for &l in &scratch.touched {
+        scratch.counts[l as usize] = 0;
+    }
+    out.entry_child_counts.push(children);
 }
 
 /// Histogram of the labels of `v`'s neighbors as a hash map.
@@ -401,12 +939,13 @@ pub mod reference {
     //! baseline the spider-mining benchmarks measure speedup against and as a
     //! second implementation for the catalog-equivalence property tests.
     //!
-    //! Its cost is dominated by one `FxHashMap` histogram per vertex and
-    //! hash probes inside the per-level candidate scan — replaced in
-    //! [`SpiderCatalog::mine`](super::SpiderCatalog::mine) by the CSR
-    //! histogram rows.
+    //! Its cost is dominated by one `FxHashMap` histogram per vertex, hash
+    //! probes inside the per-level candidate scan, and one leaf/head `Vec`
+    //! pair per frontier entry — replaced in
+    //! [`SpiderCatalog::mine`](super::SpiderCatalog::mine) by CSR histogram
+    //! rows and the flat catalog pools.
 
-    use super::{Spider, SpiderCatalog, SpiderMiningConfig};
+    use super::{SpiderCatalog, SpiderMiningConfig, SpiderRef};
     use rustc_hash::FxHashMap;
     use spidermine_graph::graph::{LabeledGraph, VertexId};
     use spidermine_graph::label::Label;
@@ -437,7 +976,7 @@ pub mod reference {
         for (&label, heads) in &heads_by_label {
             if heads.len() >= sigma {
                 if config.include_single_vertex {
-                    catalog.push(label, Vec::new(), heads.clone());
+                    catalog.push(label, &[], heads);
                 }
                 frontier.push((label, Vec::new(), heads.clone()));
             }
@@ -449,7 +988,7 @@ pub mod reference {
             leaves += 1;
             let mut next: Vec<(Label, Vec<Label>, Vec<VertexId>)> = Vec::new();
             for (head_label, leaf_labels, heads) in &frontier {
-                if catalog.spiders.len() >= config.max_spiders {
+                if catalog.len() >= config.max_spiders {
                     break;
                 }
                 let min_label = leaf_labels.last().copied().unwrap_or(Label(0));
@@ -471,7 +1010,7 @@ pub mod reference {
                     candidates.sort_unstable();
                 }
                 for cand in candidates {
-                    if catalog.spiders.len() >= config.max_spiders {
+                    if catalog.len() >= config.max_spiders {
                         break;
                     }
                     let required = leaf_labels.iter().filter(|&&l| l == cand).count() + 1;
@@ -487,7 +1026,7 @@ pub mod reference {
                     }
                     let mut new_leaves = leaf_labels.clone();
                     new_leaves.push(cand);
-                    catalog.push(*head_label, new_leaves.clone(), surviving.clone());
+                    catalog.push(*head_label, &new_leaves, &surviving);
                     next.push((*head_label, new_leaves, surviving));
                 }
             }
@@ -511,7 +1050,7 @@ pub mod reference {
             .copied()
             .filter(|&id| {
                 let mut requirements: FxHashMap<Label, usize> = FxHashMap::default();
-                for &l in &catalog.get(id).leaf_labels {
+                for &l in catalog.get(id).leaf_labels {
                     *requirements.entry(l).or_insert(0) += 1;
                 }
                 requirements
@@ -525,9 +1064,8 @@ pub mod reference {
     pub fn catalogs_equal(a: &SpiderCatalog, b: &SpiderCatalog) -> bool {
         a.len() == b.len()
             && a.spiders()
-                .iter()
                 .zip(b.spiders())
-                .all(|(x, y): (&Spider, &Spider)| {
+                .all(|(x, y): (SpiderRef<'_>, SpiderRef<'_>)| {
                     x.head_label == y.head_label
                         && x.leaf_labels == y.leaf_labels
                         && x.heads == y.heads
@@ -573,8 +1111,7 @@ mod tests {
         // The full star head=0, leaves={1,1,2} must be found with exactly heads {v0, v4}.
         let full = catalog
             .spiders()
-            .iter()
-            .find(|s| s.leaf_labels == vec![Label(1), Label(1), Label(2)])
+            .find(|s| s.leaf_labels == [Label(1), Label(1), Label(2)])
             .expect("full star mined");
         assert_eq!(full.head_label, Label(0));
         assert_eq!(full.support(), 2);
@@ -588,8 +1125,7 @@ mod tests {
         let catalog = SpiderCatalog::mine(&g, &default_config(2));
         let single_leaf = catalog
             .spiders()
-            .iter()
-            .find(|s| s.head_label == Label(0) && s.leaf_labels == vec![Label(1)])
+            .find(|s| s.head_label == Label(0) && s.leaf_labels == [Label(1)])
             .expect("single-leaf spider mined");
         assert_eq!(single_leaf.support(), 3);
     }
@@ -600,15 +1136,9 @@ mod tests {
         let catalog = SpiderCatalog::mine(&g, &default_config(3));
         // Only spiders supported by all three label-0 heads survive: the
         // {1}-leaf star (and nothing with label-2 leaves or two leaves).
-        assert!(catalog.spiders().iter().all(|s| s.support() >= 3));
-        assert!(catalog
-            .spiders()
-            .iter()
-            .any(|s| s.leaf_labels == vec![Label(1)]));
-        assert!(!catalog
-            .spiders()
-            .iter()
-            .any(|s| s.leaf_labels.contains(&Label(2))));
+        assert!(catalog.spiders().all(|s| s.support() >= 3));
+        assert!(catalog.spiders().any(|s| s.leaf_labels == [Label(1)]));
+        assert!(!catalog.spiders().any(|s| s.leaf_labels.contains(&Label(2))));
     }
 
     #[test]
@@ -617,11 +1147,11 @@ mod tests {
         let catalog = SpiderCatalog::mine(&g, &default_config(2));
         let mut seen = std::collections::HashSet::new();
         for s in catalog.spiders() {
-            let mut sorted = s.leaf_labels.clone();
+            let mut sorted = s.leaf_labels.to_vec();
             sorted.sort();
             assert_eq!(sorted, s.leaf_labels, "leaf labels must be sorted");
             assert!(
-                seen.insert((s.head_label, s.leaf_labels.clone())),
+                seen.insert((s.head_label, s.leaf_labels.to_vec())),
                 "duplicate spider {:?}",
                 s
             );
@@ -637,7 +1167,7 @@ mod tests {
             ..SpiderMiningConfig::default()
         };
         let catalog = SpiderCatalog::mine(&g, &config);
-        assert!(catalog.spiders().iter().all(|s| s.size() <= 1));
+        assert!(catalog.spiders().all(|s| s.size() <= 1));
     }
 
     #[test]
@@ -652,7 +1182,7 @@ mod tests {
         assert!(catalog.len() <= 3);
         // The first spiders of the uncapped run are kept.
         let full = SpiderCatalog::mine(&g, &default_config(2));
-        for (a, b) in catalog.spiders().iter().zip(full.spiders()) {
+        for (a, b) in catalog.spiders().zip(full.spiders()) {
             assert_eq!(a.head_label, b.head_label);
             assert_eq!(a.leaf_labels, b.leaf_labels);
             assert_eq!(a.heads, b.heads);
@@ -702,14 +1232,14 @@ mod tests {
             ..SpiderMiningConfig::default()
         };
         let catalog = SpiderCatalog::mine(&g, &config);
-        assert!(catalog.spiders().iter().any(|s| s.leaf_labels.is_empty()));
+        assert!(catalog.spiders().any(|s| s.leaf_labels.is_empty()));
         let config = SpiderMiningConfig {
             support_threshold: 2,
             include_single_vertex: false,
             ..SpiderMiningConfig::default()
         };
         let catalog = SpiderCatalog::mine(&g, &config);
-        assert!(catalog.spiders().iter().all(|s| !s.leaf_labels.is_empty()));
+        assert!(catalog.spiders().all(|s| !s.leaf_labels.is_empty()));
     }
 
     #[test]
@@ -745,6 +1275,21 @@ mod tests {
     }
 
     #[test]
+    fn spider_ref_round_trips_to_owned() {
+        let g = two_star_graph();
+        let catalog = SpiderCatalog::mine(&g, &default_config(2));
+        for s in catalog.spiders() {
+            let owned = s.to_owned();
+            assert_eq!(owned.id, s.id);
+            assert_eq!(owned.head_label, s.head_label);
+            assert_eq!(owned.leaf_labels, s.leaf_labels);
+            assert_eq!(owned.heads, s.heads);
+            assert_eq!(owned.size(), s.size());
+            assert_eq!(owned.vertex_count(), s.vertex_count());
+        }
+    }
+
+    #[test]
     fn csr_miner_matches_reference_catalog() {
         let g = two_star_graph();
         for sigma in [1, 2, 3] {
@@ -755,6 +1300,29 @@ mod tests {
                 reference::catalogs_equal(&fast, &slow),
                 "catalogs diverge at sigma {sigma}"
             );
+        }
+    }
+
+    /// The sequential in-place fast path and the parallel chunked path must
+    /// produce identical catalogs (whichever one `mine` picked for this
+    /// machine).
+    #[test]
+    fn sequential_and_parallel_paths_agree() {
+        let g = two_star_graph();
+        for sigma in [1, 2, 3] {
+            for max_spiders in [usize::MAX, 3] {
+                let config = SpiderMiningConfig {
+                    support_threshold: sigma,
+                    max_spiders,
+                    ..SpiderMiningConfig::default()
+                };
+                let seq = SpiderCatalog::mine_with_mode(&g, &config, true);
+                let par = SpiderCatalog::mine_with_mode(&g, &config, false);
+                assert!(
+                    reference::catalogs_equal(&seq, &par),
+                    "paths diverge at sigma {sigma}, cap {max_spiders}"
+                );
+            }
         }
     }
 

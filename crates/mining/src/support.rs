@@ -127,7 +127,7 @@ pub fn distinct_embedding_count(embeddings: &[Embedding]) -> usize {
 /// Minimum node image support: `min_p |{ e[p] : e ∈ embeddings }|`.
 ///
 /// Counts distinct images per pattern position through a single reused
-/// [`VertexBitset`] — no per-position hash set.
+/// `VertexBitset` — no per-position hash set.
 pub fn minimum_image_support(pattern_vertices: usize, embeddings: &[Embedding]) -> usize {
     if pattern_vertices == 0 || embeddings.is_empty() {
         return 0;

@@ -8,14 +8,23 @@
 //! mapped) neighbors with the required labels. Growing by spiders rather than
 //! edges is the paper's central efficiency claim: each step jumps several
 //! edges at once.
+//!
+//! Within one layer, candidate patterns live in a [`PatternStore`] arena
+//! rather than as owned [`LabeledGraph`] clones: each candidate extension is a copy-on-grow
+//! append of its parent's flat spans ([`PatternStore::grow_star`]), beam
+//! pruning sorts by span metadata alone, and only the variants that survive
+//! the whole layer are materialized back into `LabeledGraph`s. This removes
+//! the per-candidate clone (three `Vec` allocations plus an adjacency
+//! rebuild) that used to dominate growth.
 
 use crate::config::SpiderMineConfig;
 use rayon::prelude::*;
 use rustc_hash::FxHashMap;
 use spidermine_graph::graph::{LabeledGraph, VertexId};
 use spidermine_graph::label::Label;
+use spidermine_graph::pattern_store::{PatternId, PatternStore};
 use spidermine_mining::embedding::Embedding;
-use spidermine_mining::spider::{Spider, SpiderCatalog, SpiderId};
+use spidermine_mining::spider::{SpiderCatalog, SpiderId, SpiderRef};
 
 /// A pattern being grown by SpiderMine, together with its embeddings and
 /// growth bookkeeping.
@@ -55,16 +64,16 @@ impl GrownPattern {
 /// neighbors of each label.
 pub fn seed_pattern(
     host: &LabeledGraph,
-    spider: &Spider,
+    spider: SpiderRef<'_>,
     config: &SpiderMineConfig,
 ) -> GrownPattern {
     let pattern = spider.to_pattern();
     let mut embeddings = Vec::new();
-    for &head in &spider.heads {
+    for &head in spider.heads {
         if embeddings.len() >= config.max_embeddings {
             break;
         }
-        if let Some(e) = assign_star(host, head, &spider.leaf_labels, &[]) {
+        if let Some(e) = assign_star(host, head, spider.leaf_labels, &[]) {
             embeddings.push(e);
         }
     }
@@ -111,12 +120,21 @@ fn assign_star(
     Some(embedding)
 }
 
-/// Internal working state while a layer is being grown.
-#[derive(Clone)]
+/// Internal working state while a layer is being grown: a handle into the
+/// layer's pattern arena plus the embedding list. Patterns are only
+/// materialized for the variants that survive the layer.
 struct Working {
-    pattern: LabeledGraph,
+    id: PatternId,
     embeddings: Vec<Embedding>,
     new_vertices: Vec<VertexId>,
+}
+
+/// One frequent extension candidate produced by [`extensions_at`]: the labels
+/// of the leaves to append at the boundary vertex, with the surviving
+/// embeddings.
+struct CandidateExt {
+    new_leaves: Vec<Label>,
+    embeddings: Vec<Embedding>,
 }
 
 /// Grows `input` by one layer (radius + r): every boundary vertex is offered
@@ -131,24 +149,43 @@ pub fn grow_one_layer(
     config: &SpiderMineConfig,
 ) -> Vec<GrownPattern> {
     let sigma = config.support_threshold;
+    let mut store = PatternStore::new();
+    let base = store.insert_graph(&input.pattern);
     let mut working = vec![Working {
-        pattern: input.pattern.clone(),
+        id: base,
         embeddings: input.embeddings.clone(),
         new_vertices: Vec::new(),
     }];
     for &v in &input.boundary {
-        // Beam variants are independent: extend them in parallel, then splice
-        // the children back in variant order (deterministic).
-        let children_per_variant: Vec<Vec<Working>> = working
+        // Beam variants are independent: compute their candidate extensions
+        // in parallel (extensions only *read* the layer arena), then splice
+        // the copy-on-grow appends back sequentially in variant order — the
+        // same deterministic order as a fully sequential run.
+        let candidates_per_variant: Vec<Vec<CandidateExt>> = working
             .par_iter()
-            .map(|w| extensions_at(host, catalog, w, v, config))
+            .map(|w| extensions_at(host, catalog, &store, w, v, config))
             .collect();
         let mut next: Vec<Working> = Vec::new();
-        for (w, children) in working.iter().zip(children_per_variant) {
-            if children.is_empty() {
-                next.push(w.clone());
-            } else {
-                next.extend(children);
+        for (w, candidates) in working.iter().zip(candidates_per_variant) {
+            if candidates.is_empty() {
+                next.push(Working {
+                    id: w.id,
+                    embeddings: w.embeddings.clone(),
+                    new_vertices: w.new_vertices.clone(),
+                });
+                continue;
+            }
+            for c in candidates {
+                // Copy-on-grow: append one vertex per new leaf, attached to v.
+                let first_new = store.vertex_count(w.id) as u32;
+                let id = store.grow_star(w.id, v, &c.new_leaves);
+                let mut added = w.new_vertices.clone();
+                added.extend((0..c.new_leaves.len() as u32).map(|i| VertexId(first_new + i)));
+                next.push(Working {
+                    id,
+                    embeddings: c.embeddings,
+                    new_vertices: added,
+                });
             }
         }
         // Beam pruning: keep the largest variants (by edges, then support).
@@ -157,18 +194,31 @@ pub fn grow_one_layer(
         next.sort_by_cached_key(|w| {
             let support = config
                 .support_measure
-                .compute(w.pattern.vertex_count(), &w.embeddings);
-            std::cmp::Reverse((w.pattern.edge_count(), support))
+                .compute(store.vertex_count(w.id), &w.embeddings);
+            std::cmp::Reverse((store.edge_count(w.id), support))
         });
         next.truncate(config.beam_width.max(1));
         working = next;
+        // Copy-on-grow never reclaims: beam-pruned candidates stay in the
+        // pools until the layer ends. Once the dead spans dominate (large
+        // boundaries growing large patterns), re-intern just the surviving
+        // beam into a fresh arena so peak memory stays proportional to it.
+        let (label_pool_len, _) = store.pool_sizes();
+        if store.len() > 4 * working.len().max(1) && label_pool_len > (1 << 14) {
+            let mut compact = PatternStore::new();
+            for w in &mut working {
+                let view = store.view(w.id);
+                w.id = compact.insert_parts(view.labels, view.edges);
+            }
+            store = compact;
+        }
     }
     working
         .into_iter()
         .map(|w| {
             let exhausted = w.new_vertices.is_empty();
             GrownPattern {
-                pattern: w.pattern,
+                pattern: store.materialize(w.id),
                 embeddings: w.embeddings,
                 boundary: if exhausted {
                     input.boundary.clone()
@@ -186,24 +236,25 @@ pub fn grow_one_layer(
 
 /// SpiderExtend at a single boundary vertex: all frequent ways of planting a
 /// spider with its head at `v`, ranked by how much they add, truncated to the
-/// branch factor.
+/// branch factor. Candidates are returned as leaf-label deltas (plus their
+/// embeddings); the caller appends the survivors to the layer arena.
 fn extensions_at(
     host: &LabeledGraph,
     catalog: &SpiderCatalog,
+    store: &PatternStore,
     w: &Working,
     v: VertexId,
     config: &SpiderMineConfig,
-) -> Vec<Working> {
+) -> Vec<CandidateExt> {
     let sigma = config.support_threshold;
-    let head_label = w.pattern.label(v);
+    let view = store.view(w.id);
+    let head_label = view.label(v);
     // Labels already adjacent to v inside the pattern: the spider only adds
     // leaves beyond these (the paper's Maximal Overlap condition ensures the
     // spider covers them; we treat them as already satisfied).
     let mut covered: FxHashMap<Label, usize> = FxHashMap::default();
-    for &n in w.pattern.neighbors(v) {
-        *covered.entry(w.pattern.label(n)).or_insert(0) += 1;
-    }
-    let mut candidates: Vec<(usize, Working)> = Vec::new();
+    view.for_each_neighbor_label(v, |l| *covered.entry(l).or_insert(0) += 1);
+    let mut candidates: Vec<CandidateExt> = Vec::new();
     let mut spider_ids: Vec<SpiderId> = catalog.with_head_label(head_label).to_vec();
     // Prefer big spiders: they make the pattern leap further per iteration.
     spider_ids.sort_by_key(|&id| std::cmp::Reverse(catalog.get(id).size()));
@@ -216,11 +267,11 @@ fn extensions_at(
         }
         let spider = catalog.get(id);
         // Multiset difference: spider leaves not yet present around v.
-        let new_leaves = multiset_difference(&spider.leaf_labels, &covered);
+        let new_leaves = multiset_difference(spider.leaf_labels, &covered);
         if new_leaves.is_empty() {
             continue;
         }
-        if w.pattern.vertex_count() + new_leaves.len() > config.max_pattern_vertices {
+        if view.vertex_count() + new_leaves.len() > config.max_pattern_vertices {
             continue;
         }
         // Embeddings extend independently; evaluate them in parallel and keep
@@ -244,36 +295,21 @@ fn extensions_at(
             .flatten()
             .take(config.max_embeddings)
             .collect();
-        let new_vertex_count = w.pattern.vertex_count() + new_leaves.len();
+        let new_vertex_count = view.vertex_count() + new_leaves.len();
         let support = config
             .support_measure
             .compute(new_vertex_count, &new_embeddings);
         if support < sigma {
             continue;
         }
-        // Build the child pattern: append one vertex per new leaf, attached to v.
-        let mut child = w.pattern.clone();
-        let mut added = w.new_vertices.clone();
-        for &label in &new_leaves {
-            let nv = child.add_vertex(label);
-            child.add_edge(v, nv);
-            added.push(nv);
-        }
-        candidates.push((
-            new_leaves.len(),
-            Working {
-                pattern: child,
-                embeddings: new_embeddings,
-                new_vertices: added,
-            },
-        ));
+        candidates.push(CandidateExt {
+            new_leaves,
+            embeddings: new_embeddings,
+        });
     }
-    candidates.sort_by_key(|(gain, w)| std::cmp::Reverse((*gain, w.embeddings.len())));
+    candidates.sort_by_key(|c| std::cmp::Reverse((c.new_leaves.len(), c.embeddings.len())));
+    candidates.truncate(config.branch_factor.max(1));
     candidates
-        .into_iter()
-        .take(config.branch_factor.max(1))
-        .map(|(_, w)| w)
-        .collect()
 }
 
 /// The sorted multiset `leaves \ covered`.
@@ -339,8 +375,7 @@ mod tests {
         // Spider with head label 1 and a leaf multiset {0, 2} exists with heads v1, v5.
         let spider = catalog
             .spiders()
-            .iter()
-            .find(|s| s.head_label == Label(1) && s.leaf_labels == vec![Label(0), Label(2)])
+            .find(|s| s.head_label == Label(1) && s.leaf_labels == [Label(0), Label(2)])
             .expect("B-head spider");
         let seeded = seed_pattern(&host, spider, &config);
         assert_eq!(seeded.embeddings.len(), 2);
@@ -362,8 +397,7 @@ mod tests {
         let config = test_config();
         let spider = catalog
             .spiders()
-            .iter()
-            .find(|s| s.head_label == Label(1) && s.leaf_labels == vec![Label(0), Label(2)])
+            .find(|s| s.head_label == Label(1) && s.leaf_labels == [Label(0), Label(2)])
             .expect("B-head spider");
         let seeded = seed_pattern(&host, spider, &config);
         let grown = grow_one_layer(&host, &catalog, &seeded, &config);
@@ -387,7 +421,6 @@ mod tests {
         // Seed from the decoy edge's spider: label 9 with one label-9 leaf.
         let spider = catalog
             .spiders()
-            .iter()
             .find(|s| s.head_label == Label(9))
             .expect("decoy spider");
         let seeded = seed_pattern(&host, spider, &config);
@@ -411,8 +444,7 @@ mod tests {
         // The 1-headed spider {0} occurs twice (v1, v4); the {0,2} spider only once.
         let spider = catalog
             .spiders()
-            .iter()
-            .find(|s| s.head_label == Label(1) && s.leaf_labels == vec![Label(0)])
+            .find(|s| s.head_label == Label(1) && s.leaf_labels == [Label(0)])
             .expect("small spider");
         let seeded = seed_pattern(&host, spider, &config);
         let grown = grow_one_layer(&host, &catalog, &seeded, &config);
@@ -444,5 +476,35 @@ mod tests {
         assert!(assign_star(&host, VertexId(0), &[Label(1), Label(1)], &[VertexId(1)]).is_none());
         // Requiring an absent label fails.
         assert!(assign_star(&host, VertexId(0), &[Label(7)], &[]).is_none());
+    }
+
+    /// The layer arena must reproduce exactly what clone-and-mutate growth
+    /// produced: same labels, same edge set, same boundary ids.
+    #[test]
+    fn arena_growth_is_equivalent_to_clone_growth() {
+        let host = two_paths_host();
+        let catalog = catalog_for(&host);
+        let config = test_config();
+        let spider = catalog
+            .spiders()
+            .find(|s| s.head_label == Label(1) && s.leaf_labels == [Label(0), Label(2)])
+            .expect("B-head spider");
+        let seeded = seed_pattern(&host, spider, &config);
+        let grown = grow_one_layer(&host, &catalog, &seeded, &config);
+        for g in &grown {
+            // Pattern vertices 0..n with boundary ids inside range.
+            for &b in &g.boundary {
+                assert!(b.index() < g.pattern.vertex_count());
+            }
+            // Embedding arity matches the pattern.
+            for e in &g.embeddings {
+                assert_eq!(e.len(), g.pattern.vertex_count());
+            }
+            let ep = spidermine_mining::embedding::EmbeddedPattern::new(
+                g.pattern.clone(),
+                g.embeddings.clone(),
+            );
+            assert!(ep.validate_against(&host));
+        }
     }
 }

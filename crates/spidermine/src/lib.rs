@@ -1,13 +1,15 @@
 //! SpiderMine — mining the top-K largest frequent structural patterns in a
 //! single massive network (reproduction of Zhu et al., VLDB 2011).
 //!
-//! The public entry point is [`SpiderMiner`]: configure it with a
-//! [`SpiderMineConfig`] (support threshold σ, diameter bound `Dmax`, error
-//! bound ε, pattern count K, spider radius r) and call
-//! [`SpiderMiner::mine`] on a [`spidermine_graph::LabeledGraph`].
+//! The recommended entry point is the unified engine API
+//! (`spidermine-engine`): build a validated `MineRequest`, get a `Miner`, and
+//! run it with a `MineContext` that supports cancellation, progress and
+//! streaming. [`SpiderMiner::mine`] / [`TransactionMiner::mine`] remain as
+//! thin deprecated shims over [`SpiderMiner::mine_with`] /
+//! [`TransactionMiner::mine_with`] with byte-identical outputs.
 //!
 //! ```
-//! use spidermine::{SpiderMineConfig, SpiderMiner};
+//! use spidermine_engine::{Algorithm, GraphSource, MineContext, MineRequest, Miner};
 //! use spidermine_graph::{LabeledGraph, Label};
 //!
 //! // A toy network: two copies of a 4-vertex pattern plus noise.
@@ -18,13 +20,15 @@
 //!     g.add_edge(vs[a], vs[b]);
 //! }
 //!
-//! let config = SpiderMineConfig {
-//!     support_threshold: 2,
-//!     k: 3,
-//!     ..SpiderMineConfig::default()
-//! };
-//! let result = SpiderMiner::new(config).mine(&g);
-//! assert!(!result.patterns.is_empty());
+//! let miner = MineRequest::new(Algorithm::SpiderMine)
+//!     .support_threshold(2)
+//!     .k(3)
+//!     .build()
+//!     .expect("a validated request");
+//! let outcome = miner
+//!     .mine(&GraphSource::Single(&g), &mut MineContext::new())
+//!     .expect("a single graph is what SpiderMine mines");
+//! assert!(!outcome.patterns.is_empty());
 //! ```
 //!
 //! The algorithm follows the paper's three stages:

@@ -251,7 +251,6 @@ mod tests {
         );
         let spider = catalog
             .spiders()
-            .iter()
             .filter(|s| s.head_label == head)
             .max_by_key(|s| s.size())
             .expect("spider with requested head");

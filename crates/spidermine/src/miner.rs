@@ -10,6 +10,7 @@ use rayon::prelude::*;
 use rustc_hash::FxHashSet;
 use spidermine_graph::graph::LabeledGraph;
 use spidermine_graph::traversal;
+use spidermine_mining::context::{MineContext, ProgressEvent, StreamedPattern};
 use spidermine_mining::pattern_index::PatternIndex;
 use spidermine_mining::spider::{SpiderCatalog, SpiderMiningConfig};
 use std::time::Instant;
@@ -45,7 +46,23 @@ impl SpiderMiner {
     /// Mines the approximate top-K largest frequent patterns of `host`
     /// (Definition 3): with probability at least `1 - ε` the result contains
     /// every top-K largest pattern with support ≥ σ and diameter ≤ `Dmax`.
+    ///
+    /// This entry point is kept as a thin shim over
+    /// [`SpiderMiner::mine_with`] for existing callers; new code should go
+    /// through the unified engine API (`spidermine-engine`), which also
+    /// exposes cancellation, progress and streaming.
     pub fn mine(&self, host: &LabeledGraph) -> MiningResult {
+        self.mine_with(host, &mut MineContext::new())
+    }
+
+    /// [`SpiderMiner::mine`] with an execution context: the context's
+    /// [`CancelToken`](spidermine_mining::context::CancelToken) is polled at
+    /// every stage and iteration boundary (a fired token winds the run down
+    /// and returns the patterns selected so far as a partial result), progress
+    /// events fire per stage and per Stage II/III iteration, accepted patterns
+    /// stream through the context's sink in acceptance order, and per-stage
+    /// wall-clock timings are recorded into the context.
+    pub fn mine_with(&self, host: &LabeledGraph, ctx: &mut MineContext) -> MiningResult {
         let config = &self.config;
         let total_start = Instant::now();
         let mut stats = MiningStats::default();
@@ -53,6 +70,7 @@ impl SpiderMiner {
         // ---------------------------------------------------------------
         // Stage I: mine all r-spiders.
         // ---------------------------------------------------------------
+        ctx.progress(ProgressEvent::StageStarted { stage: "spiders" });
         let stage_one_start = Instant::now();
         let catalog = SpiderCatalog::mine(
             host,
@@ -65,8 +83,11 @@ impl SpiderMiner {
         );
         stats.spider_count = catalog.len();
         stats.stage_one_time = stage_one_start.elapsed();
+        ctx.record_stage("spiders", stats.stage_one_time);
+        ctx.progress(ProgressEvent::StageFinished { stage: "spiders" });
 
-        if catalog.is_empty() || host.vertex_count() == 0 {
+        if catalog.is_empty() || host.vertex_count() == 0 || ctx.is_cancelled() {
+            stats.cancelled = ctx.was_cancelled();
             stats.total_time = total_start.elapsed();
             return MiningResult {
                 patterns: Vec::new(),
@@ -77,6 +98,7 @@ impl SpiderMiner {
         // ---------------------------------------------------------------
         // Stage II: random seeding, iterative growth, merge detection.
         // ---------------------------------------------------------------
+        ctx.progress(ProgressEvent::StageStarted { stage: "identify" });
         let stage_two_start = Instant::now();
         let v_min = ((host.vertex_count() as f64) * config.v_min_fraction).ceil() as usize;
         let m = config.seed_count_override.unwrap_or_else(|| {
@@ -113,7 +135,13 @@ impl SpiderMiner {
 
         let iterations = config.stage_two_iterations();
         stats.stage_two_iterations = iterations;
-        for _ in 0..iterations {
+        for iteration in 0..iterations {
+            // A fired token ends identification early: the pool keeps every
+            // pattern grown so far, so the final selection still returns a
+            // meaningful partial result.
+            if ctx.is_cancelled() {
+                break;
+            }
             // Each working pattern grows independently; splice the per-pattern
             // results back in pattern order so the iteration is deterministic.
             let grown_per_pattern: Vec<Vec<GrownPattern>> = patterns
@@ -153,6 +181,10 @@ impl SpiderMiner {
             });
             let cap = (2 * stats.seed_count).max(4 * config.k).max(16);
             patterns.truncate(cap);
+            ctx.progress(ProgressEvent::Iteration {
+                stage: "identify",
+                iteration: iteration as usize,
+            });
         }
 
         // Prune unmerged patterns (Stage II, line 10 of Algorithm 1).
@@ -168,15 +200,18 @@ impl SpiderMiner {
             survivors = all.into_iter().take(2 * config.k).collect();
         }
         stats.stage_two_time = stage_two_start.elapsed();
+        ctx.record_stage("identify", stats.stage_two_time);
+        ctx.progress(ProgressEvent::StageFinished { stage: "identify" });
 
         // ---------------------------------------------------------------
         // Stage III: grow survivors to exhaustion, return the K largest.
         // ---------------------------------------------------------------
+        ctx.progress(ProgressEvent::StageStarted { stage: "recover" });
         let stage_three_start = Instant::now();
         let mut rounds = 0;
         loop {
             rounds += 1;
-            if rounds > MAX_STAGE_THREE_ROUNDS {
+            if rounds > MAX_STAGE_THREE_ROUNDS || ctx.is_cancelled() {
                 break;
             }
             let mut changed = false;
@@ -210,6 +245,10 @@ impl SpiderMiner {
             next.sort_by_key(|p| std::cmp::Reverse((p.size(), p.embeddings.len())));
             next.truncate((4 * config.k).max(16));
             survivors = next;
+            ctx.progress(ProgressEvent::Iteration {
+                stage: "recover",
+                iteration: rounds - 1,
+            });
             if !changed {
                 break;
             }
@@ -218,9 +257,13 @@ impl SpiderMiner {
             remember(p, &mut pool, &mut pool_index);
         }
         stats.stage_three_time = stage_three_start.elapsed();
+        ctx.record_stage("recover", stats.stage_three_time);
+        ctx.progress(ProgressEvent::StageFinished { stage: "recover" });
 
         // Rank the pool, deduplicate by isomorphism (already done via the
         // pattern index) and return the K largest frequent patterns.
+        ctx.progress(ProgressEvent::StageStarted { stage: "select" });
+        let select_start = Instant::now();
         let mut result = MiningResult {
             patterns: Vec::new(),
             stats,
@@ -234,7 +277,7 @@ impl SpiderMiner {
         'select: for block in pool.chunks(block_size) {
             let supports: Vec<usize> = block.par_iter().map(|p| p.support(config)).collect();
             for (p, support) in block.iter().zip(supports) {
-                if result.patterns.len() >= config.k {
+                if result.patterns.len() >= config.k || ctx.is_cancelled() {
                     break 'select;
                 }
                 if support < config.support_threshold {
@@ -250,15 +293,22 @@ impl SpiderMiner {
                 } else {
                     (p.pattern.clone(), 0)
                 };
-                result.patterns.push(mined_pattern(
-                    pattern,
-                    support,
-                    p.embeddings.clone(),
-                    p.merged,
-                ));
+                let accepted = mined_pattern(pattern, support, p.embeddings.clone(), p.merged);
+                // Stream the accepted pattern before final ranking: consumers
+                // see patterns in acceptance (pool) order, as they are found.
+                // (The clones happen only when a sink is installed.)
+                ctx.emit_with(|| StreamedPattern {
+                    pattern: accepted.pattern.clone(),
+                    support: accepted.support,
+                    embeddings: accepted.embeddings.clone(),
+                });
+                result.patterns.push(accepted);
             }
         }
         result.sort_patterns();
+        ctx.record_stage("select", select_start.elapsed());
+        ctx.progress(ProgressEvent::StageFinished { stage: "select" });
+        result.stats.cancelled = ctx.was_cancelled();
         result.stats.total_time = total_start.elapsed();
         result
     }
@@ -383,6 +433,68 @@ mod tests {
             .map(|p| (p.size_edges(), p.support))
             .collect();
         assert_eq!(sizes_a, sizes_b);
+    }
+
+    #[test]
+    fn mine_with_streams_every_accepted_pattern_and_times_stages() {
+        use std::sync::{Arc, Mutex};
+        let (host, _) = planted_graph(2, 9, 41);
+        let streamed: Arc<Mutex<Vec<(usize, usize)>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = streamed.clone();
+        let mut ctx = MineContext::new().on_pattern(move |p| {
+            sink.lock()
+                .unwrap()
+                .push((p.pattern.edge_count(), p.support));
+        });
+        let result = miner(4).mine_with(&host, &mut ctx);
+        let mut streamed: Vec<(usize, usize)> = streamed.lock().unwrap().clone();
+        let mut returned: Vec<(usize, usize)> = result
+            .patterns
+            .iter()
+            .map(|p| (p.size_edges(), p.support))
+            .collect();
+        // Streaming happens in acceptance order, the result is re-sorted:
+        // compare as multisets.
+        streamed.sort_unstable();
+        returned.sort_unstable();
+        assert_eq!(streamed, returned);
+        let stages: Vec<&str> = ctx.timings().iter().map(|t| t.stage).collect();
+        assert_eq!(stages, vec!["spiders", "identify", "recover", "select"]);
+        assert!(!result.stats.cancelled);
+    }
+
+    #[test]
+    fn cancellation_mid_stage_two_returns_partial_results() {
+        use spidermine_mining::context::ProgressEvent;
+        let (host, _) = planted_graph(3, 12, 11);
+        let mut ctx = MineContext::new();
+        let token = ctx.cancel_token();
+        ctx = ctx.on_progress(move |e| {
+            // Fire as soon as the first identification iteration completes:
+            // the remaining Stage II iterations and all of Stage III are
+            // skipped, but selection still runs over the partial pool.
+            if matches!(
+                e,
+                ProgressEvent::Iteration {
+                    stage: "identify",
+                    iteration: 0
+                }
+            ) {
+                token.fire();
+            }
+        });
+        let result = miner(5).mine_with(&host, &mut ctx);
+        assert!(result.stats.cancelled);
+        assert!(ctx.was_cancelled());
+        // The partial result is still well-formed (possibly empty patterns,
+        // but valid ones when present).
+        for p in &result.patterns {
+            assert!(p.support >= 2);
+        }
+        // Stage III was skipped entirely, so its recorded time is near zero
+        // relative to a full run; more importantly, all stages were recorded.
+        let stages: Vec<&str> = ctx.timings().iter().map(|t| t.stage).collect();
+        assert_eq!(stages, vec!["spiders", "identify", "recover", "select"]);
     }
 
     #[test]

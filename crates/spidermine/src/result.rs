@@ -57,6 +57,9 @@ pub struct MiningStats {
     pub stage_three_time: Duration,
     /// Total wall-clock time.
     pub total_time: Duration,
+    /// True if the run observed a fired `CancelToken` and wound down early;
+    /// the returned patterns are a valid partial result.
+    pub cancelled: bool,
 }
 
 /// The result of a SpiderMine run.

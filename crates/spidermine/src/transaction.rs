@@ -11,6 +11,7 @@ use crate::miner::SpiderMiner;
 use crate::result::{MinedPattern, MiningStats};
 use spidermine_graph::graph::LabeledGraph;
 use spidermine_graph::transaction::GraphDatabase;
+use spidermine_mining::context::{MineContext, StreamedPattern};
 
 /// One pattern mined from a transaction database.
 #[derive(Clone, Debug)]
@@ -50,12 +51,32 @@ pub struct TransactionMiner {
 impl TransactionMiner {
     /// Creates a transaction-setting miner. `config.support_threshold` is the
     /// minimum number of supporting *transactions*.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid (see
+    /// [`SpiderMineConfig::validate`]). The engine API
+    /// (`spidermine-engine`) reports the same conditions as a recoverable
+    /// `MineError::InvalidConfig` instead.
     pub fn new(config: SpiderMineConfig) -> Self {
+        if let Err(msg) = config.validate() {
+            panic!("invalid SpiderMine configuration: {msg}");
+        }
         Self { config }
     }
 
     /// Mines the approximate top-K largest patterns of `db`.
+    ///
+    /// Thin shim over [`TransactionMiner::mine_with`]; new code should go
+    /// through the unified engine API (`spidermine-engine`).
     pub fn mine(&self, db: &GraphDatabase) -> TransactionMiningResult {
+        self.mine_with(db, &mut MineContext::new())
+    }
+
+    /// [`TransactionMiner::mine`] with an execution context. The inner
+    /// single-graph run shares the context's cancel token (so a fired token
+    /// also stops the inner stages) and contributes its per-stage timings;
+    /// the final re-ranked patterns stream through the context's sink.
+    pub fn mine_with(&self, db: &GraphDatabase, ctx: &mut MineContext) -> TransactionMiningResult {
         if db.is_empty() {
             return TransactionMiningResult::default();
         }
@@ -67,7 +88,15 @@ impl TransactionMiner {
             k: (self.config.k * 3).max(self.config.k + 4),
             ..self.config.clone()
         };
-        let inner = SpiderMiner::new(inner_config).mine(&union);
+        // The inner run gets its own context wired to the same cancel token:
+        // its streamed patterns are raw union-graph candidates, not the
+        // transaction-ranked result, so they must not reach the outer sink.
+        let mut inner_ctx = MineContext::with_cancel(ctx.cancel_token());
+        let inner = SpiderMiner::new(inner_config).mine_with(&union, &mut inner_ctx);
+        for t in inner_ctx.take_timings() {
+            ctx.record_stage(t.stage, t.elapsed);
+        }
+        let rerank_start = std::time::Instant::now();
         let mut patterns: Vec<TransactionPattern> = inner
             .patterns
             .iter()
@@ -80,6 +109,17 @@ impl TransactionMiner {
         patterns
             .sort_by_key(|p| std::cmp::Reverse((p.pattern.edge_count(), p.pattern.vertex_count())));
         patterns.truncate(self.config.k);
+        ctx.record_stage("rerank", rerank_start.elapsed());
+        for p in &patterns {
+            ctx.emit_with(|| StreamedPattern {
+                pattern: p.pattern.clone(),
+                support: p.transaction_support,
+                embeddings: Vec::new(),
+            });
+        }
+        // `cancelled` comes from the inner run (which shares the token): a
+        // token fired only after the work completed must not mark a complete
+        // result as partial.
         TransactionMiningResult {
             patterns,
             stats: inner.stats,

@@ -1,0 +1,342 @@
+//! Workspace-level tests of the unified engine API.
+//!
+//! The redesign's contract: every algorithm reached through the [`Miner`]
+//! trait produces **byte-identical** patterns to its pre-redesign entry point
+//! (the old entry points are thin shims over the same `*_with`
+//! implementations), invalid requests are rejected with the offending field
+//! named, and a fired `CancelToken` mid-run yields a partial result instead
+//! of a panic.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use spidermine::{SpiderMineConfig, SpiderMiner, TransactionMiner};
+use spidermine_baselines::{moss, origami, seus, subdue};
+use spidermine_baselines::{MossConfig, OrigamiConfig, SeusConfig, SubdueConfig};
+use spidermine_engine::{
+    Algorithm, CancelToken, GraphSource, MineContext, MineError, MineRequest, Miner, MossEngine,
+    OrigamiEngine, OwnedGraphSource, PatternStream, ProgressEvent, SeusEngine, SpiderMineEngine,
+    SubdueEngine, TransactionEngine,
+};
+use spidermine_graph::{generate, GraphDatabase, LabeledGraph};
+
+fn planted_graph(seed: u64) -> LabeledGraph {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut g = generate::erdos_renyi_average_degree(&mut rng, 250, 2.0, 30);
+    let pattern = generate::random_connected_pattern(&mut rng, 10, 30, 3);
+    generate::inject_pattern(&mut rng, &mut g, &pattern, 3, 2);
+    g
+}
+
+fn planted_db(seed: u64) -> GraphDatabase {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let pattern = generate::random_connected_pattern(&mut rng, 7, 20, 2);
+    let mut db = GraphDatabase::default();
+    for _ in 0..4 {
+        let mut g = generate::erdos_renyi_average_degree(&mut rng, 50, 2.0, 20);
+        generate::inject_pattern(&mut rng, &mut g, &pattern, 1, 2);
+        db.push(g);
+    }
+    db
+}
+
+/// Structural fingerprint of a pattern graph: labels plus sorted edge list.
+fn graph_key(g: &LabeledGraph) -> (Vec<u32>, Vec<(u32, u32)>) {
+    (
+        g.labels().iter().map(|l| l.0).collect(),
+        g.edges().map(|(u, v)| (u.0, v.0)).collect(),
+    )
+}
+
+fn spidermine_config(seed: u64) -> SpiderMineConfig {
+    SpiderMineConfig {
+        support_threshold: 2,
+        k: 5,
+        d_max: 8,
+        rng_seed: seed,
+        ..SpiderMineConfig::default()
+    }
+}
+
+#[test]
+fn spidermine_engine_is_byte_identical_to_legacy_entry_point() {
+    let host = planted_graph(11);
+    let config = spidermine_config(17);
+    let legacy = SpiderMiner::new(config.clone()).mine(&host);
+    let engine = SpiderMineEngine::new(config).expect("valid config");
+    let outcome = engine
+        .mine(&GraphSource::Single(&host), &mut MineContext::new())
+        .expect("single graph accepted");
+    assert_eq!(outcome.algorithm, Algorithm::SpiderMine);
+    assert_eq!(outcome.patterns.len(), legacy.patterns.len());
+    for (new, old) in outcome.patterns.iter().zip(&legacy.patterns) {
+        assert_eq!(graph_key(&new.pattern), graph_key(&old.pattern));
+        assert_eq!(new.support, old.support);
+        assert_eq!(new.embeddings, old.embeddings);
+    }
+    // The engine records the driver's stage timings.
+    let stages: Vec<&str> = outcome.stages.iter().map(|t| t.stage).collect();
+    assert_eq!(stages, vec!["spiders", "identify", "recover", "select"]);
+}
+
+#[test]
+fn transaction_engine_is_byte_identical_to_legacy_entry_point() {
+    let db = planted_db(9);
+    let config = SpiderMineConfig {
+        support_threshold: 3,
+        ..spidermine_config(3)
+    };
+    let legacy = TransactionMiner::new(config.clone()).mine(&db);
+    let engine = TransactionEngine::new(config).expect("valid config");
+    let outcome = engine
+        .mine(&GraphSource::Transactions(&db), &mut MineContext::new())
+        .expect("transaction db accepted");
+    assert_eq!(outcome.patterns.len(), legacy.patterns.len());
+    for (new, old) in outcome.patterns.iter().zip(&legacy.patterns) {
+        assert_eq!(graph_key(&new.pattern), graph_key(&old.pattern));
+        assert_eq!(new.support, old.transaction_support);
+    }
+}
+
+#[test]
+fn subdue_engine_is_byte_identical_to_legacy_entry_point() {
+    let host = planted_graph(23);
+    let config = SubdueConfig::default();
+    let legacy = subdue::run(&host, &config);
+    let outcome = SubdueEngine::new(config)
+        .expect("valid config")
+        .mine(&GraphSource::Single(&host), &mut MineContext::new())
+        .expect("single graph accepted");
+    assert_eq!(outcome.patterns.len(), legacy.patterns.len());
+    for (new, old) in outcome.patterns.iter().zip(&legacy.patterns) {
+        assert_eq!(graph_key(&new.pattern), graph_key(&old.pattern));
+        assert_eq!(new.support, old.instances);
+    }
+}
+
+#[test]
+fn moss_engine_is_byte_identical_to_legacy_entry_point() {
+    let host = planted_graph(31);
+    let config = MossConfig {
+        max_edges: 6,
+        ..MossConfig::default()
+    };
+    let legacy = moss::run(&host, &config);
+    let outcome = MossEngine::new(config)
+        .expect("valid config")
+        .mine(&GraphSource::Single(&host), &mut MineContext::new())
+        .expect("single graph accepted");
+    assert_eq!(outcome.patterns.len(), legacy.patterns.len());
+    for (new, old) in outcome.patterns.iter().zip(&legacy.patterns) {
+        assert_eq!(graph_key(&new.pattern), graph_key(&old.pattern));
+        assert_eq!(new.support, old.support);
+    }
+}
+
+#[test]
+fn seus_engine_is_byte_identical_to_legacy_entry_point() {
+    let host = planted_graph(41);
+    let config = SeusConfig::default();
+    let legacy = seus::run(&host, &config);
+    let outcome = SeusEngine::new(config)
+        .expect("valid config")
+        .mine(&GraphSource::Single(&host), &mut MineContext::new())
+        .expect("single graph accepted");
+    assert_eq!(outcome.patterns.len(), legacy.patterns.len());
+    for (new, old) in outcome.patterns.iter().zip(&legacy.patterns) {
+        assert_eq!(graph_key(&new.pattern), graph_key(&old.pattern));
+        assert_eq!(new.support, old.support);
+    }
+}
+
+#[test]
+fn origami_engine_is_byte_identical_to_legacy_entry_point() {
+    let db = planted_db(47);
+    let config = OrigamiConfig::default();
+    let legacy = origami::run(&db, &config);
+    let outcome = OrigamiEngine::new(config)
+        .expect("valid config")
+        .mine(&GraphSource::Transactions(&db), &mut MineContext::new())
+        .expect("transaction db accepted");
+    assert_eq!(outcome.patterns.len(), legacy.patterns.len());
+    for (new, old) in outcome.patterns.iter().zip(&legacy.patterns) {
+        assert_eq!(graph_key(&new.pattern), graph_key(&old.pattern));
+        assert_eq!(new.support, old.support);
+    }
+}
+
+#[test]
+fn every_algorithm_is_reachable_through_the_request_builder() {
+    let host = planted_graph(53);
+    let db = planted_db(53);
+    for algo in Algorithm::all() {
+        let engine = MineRequest::new(algo)
+            .support_threshold(2)
+            .k(3)
+            .d_max(6)
+            .seed(5)
+            .build()
+            .expect("valid request");
+        assert_eq!(engine.algorithm(), algo);
+        let source = if algo.wants_transactions() {
+            GraphSource::Transactions(&db)
+        } else {
+            GraphSource::Single(&host)
+        };
+        let outcome = engine
+            .mine(&source, &mut MineContext::new())
+            .unwrap_or_else(|e| panic!("{algo} failed: {e}"));
+        assert_eq!(outcome.algorithm, algo);
+        assert!(!outcome.cancelled);
+        assert!(!outcome.stages.is_empty(), "{algo} recorded no stages");
+    }
+}
+
+#[test]
+fn invalid_requests_name_the_offending_field() {
+    for (field, request) in [
+        (
+            "support_threshold",
+            MineRequest::new(Algorithm::SpiderMine).support_threshold(0),
+        ),
+        ("k", MineRequest::new(Algorithm::Subdue).k(0)),
+        (
+            "epsilon",
+            MineRequest::new(Algorithm::SpiderMine).epsilon(1.5),
+        ),
+        ("radius", MineRequest::new(Algorithm::SpiderMine).radius(0)),
+    ] {
+        match request.build() {
+            Err(MineError::InvalidConfig { field: named, .. }) => assert_eq!(named, field),
+            other => panic!("expected InvalidConfig({field}), got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn raw_engine_constructors_also_validate() {
+    assert_eq!(
+        SubdueEngine::new(SubdueConfig {
+            min_instances: 0,
+            ..SubdueConfig::default()
+        })
+        .expect_err("rejected")
+        .field(),
+        Some("min_instances")
+    );
+    assert_eq!(
+        MossEngine::new(MossConfig {
+            support_threshold: 0,
+            ..MossConfig::default()
+        })
+        .expect_err("rejected")
+        .field(),
+        Some("support_threshold")
+    );
+    assert_eq!(
+        OrigamiEngine::new(OrigamiConfig {
+            samples: 0,
+            ..OrigamiConfig::default()
+        })
+        .expect_err("rejected")
+        .field(),
+        Some("samples")
+    );
+    assert_eq!(
+        SeusEngine::new(SeusConfig {
+            max_vertices: 1,
+            ..SeusConfig::default()
+        })
+        .expect_err("rejected")
+        .field(),
+        Some("max_vertices")
+    );
+    assert!(SpiderMineEngine::new(SpiderMineConfig {
+        support_threshold: 0,
+        ..SpiderMineConfig::default()
+    })
+    .is_err());
+}
+
+#[test]
+fn mismatched_source_is_a_typed_error() {
+    let host = planted_graph(59);
+    let db = planted_db(59);
+    let origami = MineRequest::new(Algorithm::Origami).build().unwrap();
+    let err = origami
+        .mine(&GraphSource::Single(&host), &mut MineContext::new())
+        .expect_err("origami needs transactions");
+    assert!(matches!(err, MineError::UnsupportedSource { .. }));
+    let spidermine = MineRequest::new(Algorithm::SpiderMine).build().unwrap();
+    let err = spidermine
+        .mine(&GraphSource::Transactions(&db), &mut MineContext::new())
+        .expect_err("spidermine needs a single graph");
+    assert!(matches!(err, MineError::UnsupportedSource { .. }));
+}
+
+/// The redesign's cancellation contract: firing the token mid-Stage-II makes
+/// the run wind down and return partial results — no panic, no error.
+#[test]
+fn cancellation_mid_stage_two_yields_partial_outcome() {
+    let host = planted_graph(61);
+    let engine = MineRequest::new(Algorithm::SpiderMine)
+        .support_threshold(2)
+        .k(5)
+        .d_max(8)
+        .seed(13)
+        .build()
+        .expect("valid request");
+    let mut ctx = MineContext::new();
+    let token = ctx.cancel_token();
+    ctx = ctx.on_progress(move |e| {
+        if matches!(
+            e,
+            ProgressEvent::Iteration {
+                stage: "identify",
+                iteration: 0
+            }
+        ) {
+            token.fire();
+        }
+    });
+    let outcome = engine
+        .mine(&GraphSource::Single(&host), &mut ctx)
+        .expect("cancellation is not an error");
+    assert!(outcome.cancelled, "the outcome reports the cancellation");
+    // A full (uncancelled) run finds at least as many patterns.
+    let full = engine
+        .mine(&GraphSource::Single(&host), &mut MineContext::new())
+        .expect("full run");
+    assert!(!full.cancelled);
+    assert!(outcome.patterns.len() <= full.patterns.len());
+}
+
+#[test]
+fn streamed_patterns_match_the_outcome() {
+    let host = planted_graph(67);
+    let engine = MineRequest::new(Algorithm::SpiderMine)
+        .support_threshold(2)
+        .k(4)
+        .d_max(6)
+        .seed(29)
+        .build()
+        .expect("valid request");
+    let stream = PatternStream::spawn(
+        engine.clone(),
+        OwnedGraphSource::Single(host.clone()),
+        CancelToken::new(),
+    );
+    let mut streamed: Vec<_> = stream.map(|p| (graph_key(&p.pattern), p.support)).collect();
+    let outcome = engine
+        .mine(&GraphSource::Single(&host), &mut MineContext::new())
+        .expect("mine");
+    let mut returned: Vec<_> = outcome
+        .patterns
+        .iter()
+        .map(|p| (graph_key(&p.pattern), p.support))
+        .collect();
+    // Streaming is in acceptance order, the outcome is ranked: compare as
+    // multisets.
+    streamed.sort();
+    returned.sort();
+    assert_eq!(streamed, returned);
+}

@@ -158,6 +158,16 @@ proptest! {
             fast.len(),
             slow.len()
         );
+        // Both execution paths (sequential in-place and parallel chunked)
+        // must match the reference, whatever `mine` picked for this machine.
+        for sequential in [true, false] {
+            let pinned = SpiderCatalog::mine_with_mode(&host, &config, sequential);
+            prop_assert!(
+                spider_reference::catalogs_equal(&pinned, &slow),
+                "{} catalog path diverges from the reference",
+                if sequential { "sequential" } else { "parallel" }
+            );
+        }
         // Spider-support counting agrees at every vertex.
         for v in host.vertices() {
             prop_assert_eq!(

@@ -182,7 +182,7 @@ proptest! {
         for spider in catalog.spiders() {
             prop_assert!(spider.support() >= 2);
             prop_assert_eq!(spider.support(), spider.heads.len());
-            for &head in &spider.heads {
+            for &head in spider.heads {
                 prop_assert!(spider.matches_at(&g, head));
             }
             // The spider pattern is a star: r-bounded from the head with r=1.

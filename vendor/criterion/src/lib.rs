@@ -225,24 +225,34 @@ fn format_ns(ns: f64) -> String {
     }
 }
 
-/// Where the JSON summary goes: `$BENCH_JSON`, else `BENCH_embedding.json`
-/// next to the workspace root (located by walking up from the running bench's
-/// `CARGO_MANIFEST_DIR` to the outermost directory containing a `Cargo.toml`).
+/// Where the JSON summary goes: `$BENCH_JSON` (a relative value resolves
+/// against the workspace root, not the bench binary's working directory),
+/// else `BENCH_embedding.json` next to the workspace root (located by walking
+/// up from the running bench's `CARGO_MANIFEST_DIR` to the outermost
+/// directory containing a `Cargo.toml`).
 fn summary_path() -> PathBuf {
-    if let Ok(p) = std::env::var("BENCH_JSON") {
-        return PathBuf::from(p);
-    }
-    let mut dir = std::env::var("CARGO_MANIFEST_DIR")
-        .map(PathBuf::from)
-        .unwrap_or_else(|_| std::env::current_dir().unwrap_or_else(|_| PathBuf::from(".")));
-    let mut root = dir.clone();
-    while let Some(parent) = dir.parent() {
-        if parent.join("Cargo.toml").exists() {
-            root = parent.to_path_buf();
+    let workspace_root = || {
+        let mut dir = std::env::var("CARGO_MANIFEST_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|_| std::env::current_dir().unwrap_or_else(|_| PathBuf::from(".")));
+        let mut root = dir.clone();
+        while let Some(parent) = dir.parent() {
+            if parent.join("Cargo.toml").exists() {
+                root = parent.to_path_buf();
+            }
+            dir = parent.to_path_buf();
         }
-        dir = parent.to_path_buf();
+        root
+    };
+    if let Ok(p) = std::env::var("BENCH_JSON") {
+        let p = PathBuf::from(p);
+        return if p.is_absolute() {
+            p
+        } else {
+            workspace_root().join(p)
+        };
     }
-    root.join("BENCH_embedding.json")
+    workspace_root().join("BENCH_embedding.json")
 }
 
 /// Merges this process's results into the JSON summary and writes it out.

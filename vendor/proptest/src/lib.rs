@@ -200,7 +200,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use std::ops::Range;
 
-    /// Anything usable as the size argument of [`vec`].
+    /// Anything usable as the size argument of [`fn@vec`].
     pub trait SizeRange {
         /// Draws a concrete length.
         fn pick(&self, rng: &mut TestRng) -> usize;
