@@ -15,8 +15,10 @@
 
 use spidermine_graph::graph::LabeledGraph;
 use spidermine_mining::context::{MineContext, StreamedPattern};
-use spidermine_mining::embedding::EmbeddedPattern;
-use spidermine_mining::extension::{frequent_single_edges, one_edge_extensions};
+use spidermine_mining::eval::{EmbeddingSetId, EmbeddingStore};
+use spidermine_mining::extension::{
+    frequent_single_edges_in, one_edge_extensions_in, StoredPattern,
+};
 use spidermine_mining::pattern_index::PatternIndex;
 use spidermine_mining::support::SupportMeasure;
 use std::collections::VecDeque;
@@ -113,31 +115,33 @@ pub fn run_with(host: &LabeledGraph, config: &MossConfig, ctx: &mut MineContext)
         ..MossResult::default()
     };
     let mut seen = PatternIndex::new();
-    let mut queue: VecDeque<EmbeddedPattern> = VecDeque::new();
-    for ep in frequent_single_edges(
+    // The exploration queue holds embedding-set handles into one flat arena;
+    // children come out of the incremental extension engine, so no pattern is
+    // ever re-matched from scratch and no embedding list is ever cloned.
+    let mut store = EmbeddingStore::new();
+    let mut queue: VecDeque<StoredPattern> = VecDeque::new();
+    for sp in frequent_single_edges_in(
+        &mut store,
         host,
         config.support_threshold,
         config.support_measure,
         config.max_embeddings,
     ) {
-        let support = config
-            .support_measure
-            .compute(ep.pattern.vertex_count(), &ep.embeddings);
-        let (_, fresh) = seen.insert(ep.pattern.clone());
+        let (_, fresh) = seen.insert(sp.pattern.clone());
         if fresh {
             ctx.emit_with(|| StreamedPattern {
-                pattern: ep.pattern.clone(),
-                support,
+                pattern: sp.pattern.clone(),
+                support: sp.support,
                 embeddings: Vec::new(),
             });
             result.patterns.push(MossPattern {
-                pattern: ep.pattern.clone(),
-                support,
+                pattern: sp.pattern.clone(),
+                support: sp.support,
             });
-            queue.push_back(ep);
+            queue.push_back(sp);
         }
     }
-    while let Some(ep) = queue.pop_front() {
+    while let Some(sp) = queue.pop_front() {
         if ctx.is_cancelled() {
             result.completed = false;
             break;
@@ -146,13 +150,15 @@ pub fn run_with(host: &LabeledGraph, config: &MossConfig, ctx: &mut MineContext)
             result.completed = false;
             break;
         }
-        if ep.pattern.edge_count() >= config.max_edges {
+        if sp.pattern.edge_count() >= config.max_edges {
             result.completed = false;
             continue;
         }
-        for ext in one_edge_extensions(
+        for ext in one_edge_extensions_in(
+            &mut store,
             host,
-            &ep,
+            &sp.pattern,
+            sp.set,
             config.support_threshold,
             config.support_measure,
             config.max_embeddings,
@@ -164,14 +170,22 @@ pub fn run_with(host: &LabeledGraph, config: &MossConfig, ctx: &mut MineContext)
             }
             ctx.emit_with(|| StreamedPattern {
                 pattern: ext.child.pattern.clone(),
-                support: ext.support,
+                support: ext.child.support,
                 embeddings: Vec::new(),
             });
             result.patterns.push(MossPattern {
                 pattern: ext.child.pattern.clone(),
-                support: ext.support,
+                support: ext.child.support,
             });
             queue.push_back(ext.child);
+        }
+        // Popped parents and duplicate children leave dead sets behind; once
+        // they dominate the pool, re-intern just the queued frontier.
+        let live: Vec<EmbeddingSetId> = queue.iter().map(|q| q.set).collect();
+        if let Some(remap) = store.maybe_compact(&live, 1 << 18) {
+            for q in &mut queue {
+                q.set = remap[&q.set];
+            }
         }
     }
     result.runtime = start.elapsed();

@@ -12,10 +12,10 @@
 
 use rustc_hash::FxHashMap;
 use spidermine_graph::graph::LabeledGraph;
-use spidermine_graph::iso;
 use spidermine_graph::label::Label;
 use spidermine_mining::context::{MineContext, StreamedPattern};
-use spidermine_mining::support::greedy_disjoint_support;
+use spidermine_mining::eval::EmbeddingStore;
+use spidermine_mining::support::SupportMeasure;
 use std::time::{Duration, Instant};
 
 /// Configuration of the SEuS baseline.
@@ -161,7 +161,11 @@ pub fn run_with(host: &LabeledGraph, config: &SeusConfig, ctx: &mut MineContext)
         }
     }
 
-    // Verify candidates against the data graph.
+    // Verify candidates against the data graph: each candidate's embeddings
+    // are discovered into the shared arena (scratch matcher — summary
+    // candidates have no parent set to extend from) and support is computed
+    // straight off the flat rows.
+    let mut store = EmbeddingStore::new();
     for (members, edges, estimate) in candidates {
         if ctx.is_cancelled() {
             break;
@@ -179,14 +183,19 @@ pub fn run_with(host: &LabeledGraph, config: &SeusConfig, ctx: &mut MineContext)
         for (a, b) in edges {
             pattern.add_edge(position[&a].into(), position[&b].into());
         }
-        let embeddings = iso::find_embeddings(&pattern, host, config.max_embeddings);
-        let support = greedy_disjoint_support(&embeddings);
+        let set = store.discover(&pattern, host, config.max_embeddings);
+        let support = store.view(set).support(SupportMeasure::GreedyDisjoint);
         if support >= config.support_threshold {
             result.patterns.push(SeusPattern {
                 pattern,
                 support,
                 estimate,
             });
+        }
+        // A verified candidate's set is dead immediately; start a fresh arena
+        // before the dead spans grow past a bound.
+        if store.pool_len() > (1 << 18) {
+            store = EmbeddingStore::new();
         }
     }
     result

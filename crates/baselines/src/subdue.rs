@@ -9,10 +9,12 @@
 
 use spidermine_graph::graph::LabeledGraph;
 use spidermine_mining::context::{MineContext, StreamedPattern};
-use spidermine_mining::embedding::EmbeddedPattern;
-use spidermine_mining::extension::{frequent_single_edges, one_edge_extensions};
+use spidermine_mining::eval::{EmbeddingSetId, EmbeddingStore};
+use spidermine_mining::extension::{
+    frequent_single_edges_in, one_edge_extensions_in, StoredPattern,
+};
 use spidermine_mining::pattern_index::PatternIndex;
-use spidermine_mining::support::{greedy_disjoint_support, SupportMeasure};
+use spidermine_mining::support::SupportMeasure;
 use std::time::{Duration, Instant};
 
 /// Configuration of the SUBDUE baseline.
@@ -127,23 +129,28 @@ pub fn run_with(host: &LabeledGraph, config: &SubdueConfig, ctx: &mut MineContex
     let mut result = SubdueResult::default();
     let mut best: Vec<SubduePattern> = Vec::new();
     let mut seen = PatternIndex::new();
+    // Candidate embeddings live in one flat arena; the beam carries
+    // `EmbeddingSetId` handles and children are produced by the incremental
+    // extension engine instead of per-child embedding clones.
+    let mut store = EmbeddingStore::new();
 
-    let evaluate = |ep: &EmbeddedPattern| -> SubduePattern {
-        let instances = greedy_disjoint_support(&ep.embeddings);
+    let evaluate = |sp: &StoredPattern, store: &EmbeddingStore| -> SubduePattern {
+        let instances = store.view(sp.set).support(SupportMeasure::GreedyDisjoint);
         SubduePattern {
-            pattern: ep.pattern.clone(),
+            pattern: sp.pattern.clone(),
             instances,
             compression: compression_value(
                 host.vertex_count(),
                 host.edge_count(),
                 label_count,
-                &ep.pattern,
+                &sp.pattern,
                 instances,
             ),
         }
     };
 
-    let mut beam: Vec<EmbeddedPattern> = frequent_single_edges(
+    let mut beam: Vec<StoredPattern> = frequent_single_edges_in(
+        &mut store,
         host,
         config.min_instances,
         SupportMeasure::EmbeddingCount,
@@ -158,34 +165,36 @@ pub fn run_with(host: &LabeledGraph, config: &SubdueConfig, ctx: &mut MineContex
             break;
         }
         // Evaluate and record the current beam.
-        let mut scored: Vec<(f64, EmbeddedPattern)> = Vec::new();
-        for ep in beam.drain(..) {
-            let evaluated = evaluate(&ep);
+        let mut scored: Vec<(f64, StoredPattern)> = Vec::new();
+        for sp in beam.drain(..) {
+            let evaluated = evaluate(&sp, &store);
             if evaluated.instances < config.min_instances {
                 continue;
             }
-            let (_, fresh) = seen.insert(ep.pattern.clone());
+            let (_, fresh) = seen.insert(sp.pattern.clone());
             if fresh {
                 best.push(evaluated.clone());
             }
-            scored.push((evaluated.compression, ep));
+            scored.push((evaluated.compression, sp));
         }
         scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
         scored.truncate(config.beam_width);
 
         // Extend the surviving beam members by one edge.
-        let mut next: Vec<EmbeddedPattern> = Vec::new();
-        for (_, ep) in &scored {
-            if ep.pattern.edge_count() >= config.max_edges {
+        let mut next: Vec<StoredPattern> = Vec::new();
+        for (_, sp) in &scored {
+            if sp.pattern.edge_count() >= config.max_edges {
                 continue;
             }
             if start.elapsed() > config.time_budget {
                 result.timed_out = true;
                 break;
             }
-            for ext in one_edge_extensions(
+            for ext in one_edge_extensions_in(
+                &mut store,
                 host,
-                ep,
+                &sp.pattern,
+                sp.set,
                 config.min_instances,
                 SupportMeasure::EmbeddingCount,
                 config.max_embeddings,
@@ -194,6 +203,14 @@ pub fn run_with(host: &LabeledGraph, config: &SubdueConfig, ctx: &mut MineContex
             }
         }
         beam = next;
+        // The arena never frees: once the surviving beam owns a minority of
+        // the pool, re-intern just its sets.
+        let live: Vec<EmbeddingSetId> = beam.iter().map(|sp| sp.set).collect();
+        if let Some(remap) = store.maybe_compact(&live, 1 << 18) {
+            for sp in &mut beam {
+                sp.set = remap[&sp.set];
+            }
+        }
     }
 
     best.sort_by(|a, b| {

@@ -1,0 +1,178 @@
+//! Eval-layer benchmarks: the incremental extension engine against the
+//! retained scratch matcher on the growth/support loop (ISSUE 3's headline
+//! number).
+//!
+//! The workload replays what every edge-growth miner does per candidate:
+//! grow a pattern one edge at a time toward the planted 12-vertex pattern of
+//! the BA benchmark graph, and evaluate MNI support at every step. The
+//! **incremental** path maintains the embedding set with
+//! `iso::extend_embeddings` (one pass over the parent's flat rows per step,
+//! support off the flat buffer); the **scratch** path re-runs the indexed
+//! VF2 matcher `iso::find_embeddings` on each child pattern — exactly what
+//! the pre-eval-layer code did at its 36 call sites. Both paths are checked
+//! for set-identical embeddings before timing. Results land in the JSON
+//! summary selected by `$BENCH_JSON` (`BENCH_eval.json` in CI) as
+//! `eval_growth/{incremental,scratch,speedup}/<n>` plus
+//! `eval_growth/speedup/geomean` — the ISSUE-3 acceptance bar is a ≥ 3×
+//! geomean, measured in this one run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spidermine_bench::bench_ba_graph;
+use spidermine_graph::graph::{LabeledGraph, VertexId};
+use spidermine_graph::iso::{self, EdgeExtension};
+use spidermine_mining::support::SupportMeasure;
+
+/// Embedding cap shared by both paths (matches the default mining caps'
+/// order of magnitude while keeping the scratch path's worst steps bounded).
+const CAP: usize = 50_000;
+
+/// Decomposes `pattern` into a growth chain: a start edge plus one
+/// [`EdgeExtension`] per remaining pattern edge, each connected to the part
+/// already grown (forward when it brings a new vertex, closing otherwise).
+fn growth_chain(pattern: &LabeledGraph) -> (LabeledGraph, Vec<EdgeExtension>) {
+    let mut edges: Vec<(VertexId, VertexId)> = pattern.edges().collect();
+    let (u0, v0) = edges.remove(0);
+    let start = LabeledGraph::from_parts(&[pattern.label(u0), pattern.label(v0)], &[(0, 1)]);
+    // Map from the pattern's vertex ids to the chain pattern's dense ids.
+    let mut mapped: Vec<Option<u32>> = vec![None; pattern.vertex_count()];
+    mapped[u0.index()] = Some(0);
+    mapped[v0.index()] = Some(1);
+    let mut next_id = 2u32;
+    let mut chain = Vec::with_capacity(edges.len());
+    while !edges.is_empty() {
+        let pos = edges
+            .iter()
+            .position(|&(u, v)| mapped[u.index()].is_some() || mapped[v.index()].is_some())
+            .expect("pattern is connected");
+        let (u, v) = edges.remove(pos);
+        match (mapped[u.index()], mapped[v.index()]) {
+            (Some(cu), Some(cv)) => chain.push(EdgeExtension::ClosingEdge {
+                u: VertexId(cu),
+                v: VertexId(cv),
+            }),
+            (Some(cu), None) => {
+                chain.push(EdgeExtension::NewVertex {
+                    anchor: VertexId(cu),
+                    label: pattern.label(v),
+                });
+                mapped[v.index()] = Some(next_id);
+                next_id += 1;
+            }
+            (None, Some(cv)) => {
+                chain.push(EdgeExtension::NewVertex {
+                    anchor: VertexId(cv),
+                    label: pattern.label(u),
+                });
+                mapped[u.index()] = Some(next_id);
+                next_id += 1;
+            }
+            (None, None) => unreachable!("position() guarantees a mapped endpoint"),
+        }
+    }
+    (start, chain)
+}
+
+/// The incremental growth/support loop: one `extend_embeddings` pass per
+/// chain step, support off the flat rows. Returns the summed per-step MNI
+/// supports (consumed so nothing is optimized away).
+fn run_incremental(host: &LabeledGraph, start: &LabeledGraph, chain: &[EdgeExtension]) -> usize {
+    let mut arity = start.vertex_count();
+    let mut flat: Vec<VertexId> = iso::find_embeddings(start, host, CAP)
+        .into_iter()
+        .flatten()
+        .collect();
+    let mut total = SupportMeasure::MinimumImage.compute_flat(arity, &flat);
+    for &ext in chain {
+        let mut out = Vec::new();
+        iso::extend_embeddings(host, arity, &flat, ext, CAP, &mut out);
+        if let EdgeExtension::NewVertex { .. } = ext {
+            arity += 1;
+        }
+        flat = out;
+        total += SupportMeasure::MinimumImage.compute_flat(arity, &flat);
+    }
+    total
+}
+
+/// The retained scratch path: re-match every chain child from scratch with
+/// the indexed VF2 matcher, as the pre-eval-layer call sites did.
+fn run_scratch(host: &LabeledGraph, start: &LabeledGraph, chain: &[EdgeExtension]) -> usize {
+    let mut pattern = start.clone();
+    let embeddings = iso::find_embeddings(&pattern, host, CAP);
+    let mut total = SupportMeasure::MinimumImage.compute(pattern.vertex_count(), &embeddings);
+    for &ext in chain {
+        pattern = iso::apply_edge_extension(&pattern, ext);
+        let embeddings = iso::find_embeddings(&pattern, host, CAP);
+        total += SupportMeasure::MinimumImage.compute(pattern.vertex_count(), &embeddings);
+    }
+    total
+}
+
+/// Asserts both paths produce set-identical embeddings at every chain step
+/// (the proptested ISSUE-3 invariant), so the timed comparison is honest.
+fn assert_paths_agree(host: &LabeledGraph, start: &LabeledGraph, chain: &[EdgeExtension]) {
+    let mut arity = start.vertex_count();
+    let mut flat: Vec<VertexId> = iso::find_embeddings(start, host, usize::MAX)
+        .into_iter()
+        .flatten()
+        .collect();
+    let mut pattern = start.clone();
+    for &ext in chain {
+        let mut out = Vec::new();
+        iso::extend_embeddings(host, arity, &flat, ext, usize::MAX, &mut out);
+        if let EdgeExtension::NewVertex { .. } = ext {
+            arity += 1;
+        }
+        flat = out;
+        pattern = iso::apply_edge_extension(&pattern, ext);
+        let mut incremental: Vec<Vec<VertexId>> =
+            flat.chunks_exact(arity).map(<[VertexId]>::to_vec).collect();
+        incremental.sort_unstable();
+        let mut scratch = iso::find_embeddings(&pattern, host, usize::MAX);
+        scratch.sort_unstable();
+        assert_eq!(incremental, scratch, "paths diverge on the growth chain");
+    }
+}
+
+fn eval_growth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eval_growth");
+    group.sample_size(10);
+    let sizes = [500usize, 1000, 2000];
+    for &n in &sizes {
+        let (host, planted) = bench_ba_graph(n);
+        host.csr();
+        let (start, chain) = growth_chain(&planted);
+        assert_paths_agree(&host, &start, &chain);
+        let incremental = run_incremental(&host, &start, &chain);
+        assert_eq!(
+            incremental,
+            run_scratch(&host, &start, &chain),
+            "per-step supports must agree at n = {n}"
+        );
+        group.bench_with_input(BenchmarkId::new("incremental", n), &host, |b, h| {
+            b.iter(|| run_incremental(h, &start, &chain))
+        });
+        group.bench_with_input(BenchmarkId::new("scratch", n), &host, |b, h| {
+            b.iter(|| run_scratch(h, &start, &chain))
+        });
+    }
+    group.finish();
+    let mut ratios: Vec<f64> = Vec::new();
+    for &n in &sizes {
+        let incremental = criterion::measurement(&format!("eval_growth/incremental/{n}"));
+        let scratch = criterion::measurement(&format!("eval_growth/scratch/{n}"));
+        if let (Some(incremental), Some(scratch)) = (incremental, scratch) {
+            criterion::record_metric(&format!("eval_growth/speedup/{n}"), scratch / incremental);
+            ratios.push(scratch / incremental);
+        }
+    }
+    // The headline incremental-vs-scratch number: geometric mean across the
+    // sizes (robust against per-size noise on a shared 1-core runner).
+    if !ratios.is_empty() {
+        let geomean = (ratios.iter().map(|r| r.ln()).sum::<f64>() / ratios.len() as f64).exp();
+        criterion::record_metric("eval_growth/speedup/geomean", geomean);
+    }
+}
+
+criterion_group!(benches, eval_growth);
+criterion_main!(benches);

@@ -64,3 +64,12 @@ pub use stream::{OwnedGraphSource, PatternStream};
 pub use spidermine_mining::context::{
     CancelToken, MineContext, ProgressEvent, StageTiming, StreamedPattern,
 };
+
+// The evaluation layer (embedding arena + support oracle) also lives in
+// `spidermine-mining`; re-exported so engine callers can install a shared
+// oracle via `MineContext::with_support_oracle` or pick a `--support-measure`
+// without depending on the mining crate directly.
+pub use spidermine_mining::eval::{
+    DirectOracle, EmbeddingSetId, EmbeddingStore, MemoOracle, OracleStats, SupportOracle,
+};
+pub use spidermine_mining::support::SupportMeasure;

@@ -58,6 +58,12 @@ pub struct MineOutcome {
     pub stages: Vec<StageTiming>,
     /// Total wall-clock time of the run.
     pub total_time: Duration,
+    /// Merged-group occurrences the run had to drop because a
+    /// confirmed-isomorphic union's embedding could not be re-fetched
+    /// (SpiderMine merge accounting; 0 for the other algorithms, and should
+    /// be 0 for SpiderMine too — a non-zero value flags a matcher/oracle
+    /// disagreement instead of hiding it).
+    pub dropped_embeddings: usize,
 }
 
 impl MineOutcome {
@@ -109,6 +115,7 @@ fn finish_outcome(
         cancelled: ctx.was_cancelled(),
         stages: ctx.take_timings(),
         total_time: start.elapsed(),
+        dropped_embeddings: 0,
     }
 }
 
@@ -150,6 +157,7 @@ impl Miner for SpiderMineEngine {
         let g = host.single(self.algorithm())?;
         let start = Instant::now();
         let result = SpiderMiner::new(self.config.clone()).mine_with(g, ctx);
+        let dropped = result.stats.merge_embeddings_dropped;
         let patterns = result
             .patterns
             .into_iter()
@@ -159,7 +167,9 @@ impl Miner for SpiderMineEngine {
                 embeddings: p.embeddings,
             })
             .collect();
-        Ok(finish_outcome(self.algorithm(), patterns, ctx, start))
+        let mut outcome = finish_outcome(self.algorithm(), patterns, ctx, start);
+        outcome.dropped_embeddings = dropped;
+        Ok(outcome)
     }
 }
 
@@ -195,6 +205,7 @@ impl Miner for TransactionEngine {
         let db = host.transactions(self.algorithm())?;
         let start = Instant::now();
         let result = TransactionMiner::new(self.config.clone()).mine_with(db, ctx);
+        let dropped = result.stats.merge_embeddings_dropped;
         let patterns = result
             .patterns
             .into_iter()
@@ -204,7 +215,9 @@ impl Miner for TransactionEngine {
                 embeddings: Vec::new(),
             })
             .collect();
-        Ok(finish_outcome(self.algorithm(), patterns, ctx, start))
+        let mut outcome = finish_outcome(self.algorithm(), patterns, ctx, start);
+        outcome.dropped_embeddings = dropped;
+        Ok(outcome)
     }
 }
 

@@ -11,6 +11,7 @@
 use crate::error::MineError;
 use spidermine::SpiderMineConfig;
 use spidermine_baselines::{MossConfig, OrigamiConfig, SeusConfig, SubdueConfig};
+use spidermine_mining::support::SupportMeasure;
 use std::fmt;
 use std::str::FromStr;
 use std::time::Duration;
@@ -105,6 +106,7 @@ pub struct MineRequest {
     d_max: u32,
     r: u32,
     seed: u64,
+    support_measure: Option<SupportMeasure>,
     time_budget: Option<Duration>,
     max_pattern_edges: Option<usize>,
     max_embeddings: Option<usize>,
@@ -122,6 +124,7 @@ impl MineRequest {
             d_max: 10,
             r: 1,
             seed: 0x5eed_5eed,
+            support_measure: None,
             time_budget: None,
             max_pattern_edges: None,
             max_embeddings: None,
@@ -163,6 +166,17 @@ impl MineRequest {
     /// ORIGAMI walks). Runs are deterministic in this seed.
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Support measure used for frequency checks, for the single-graph
+    /// algorithms with a pluggable measure (SpiderMine's growth/selection,
+    /// MoSS's overlap-aware counting). Per-algorithm defaults apply when
+    /// unset (MNI for SpiderMine, greedy-disjoint for MoSS); parse CLI
+    /// values via [`SupportMeasure::from_str`] (`embeddings` | `mni` |
+    /// `greedy-disjoint`).
+    pub fn support_measure(mut self, measure: SupportMeasure) -> Self {
+        self.support_measure = Some(measure);
         self
     }
 
@@ -254,6 +268,7 @@ impl MineRequest {
             d_max: self.d_max,
             r: self.r,
             rng_seed: self.seed,
+            support_measure: self.support_measure.unwrap_or(defaults.support_measure),
             max_embeddings: self.max_embeddings.unwrap_or(defaults.max_embeddings),
             ..defaults
         }
@@ -275,10 +290,10 @@ impl MineRequest {
         let defaults = MossConfig::default();
         MossConfig {
             support_threshold: self.support_threshold,
+            support_measure: self.support_measure.unwrap_or(defaults.support_measure),
             max_edges: self.max_pattern_edges.unwrap_or(defaults.max_edges),
             max_embeddings: self.max_embeddings.unwrap_or(defaults.max_embeddings),
             time_budget: self.time_budget.unwrap_or(defaults.time_budget),
-            ..defaults
         }
     }
 
@@ -372,12 +387,36 @@ mod tests {
             .epsilon(0.05)
             .d_max(6)
             .seed(42)
+            .support_measure(SupportMeasure::GreedyDisjoint)
             .spidermine_config();
         assert_eq!(config.support_threshold, 3);
         assert_eq!(config.k, 7);
         assert_eq!(config.epsilon, 0.05);
         assert_eq!(config.d_max, 6);
         assert_eq!(config.rng_seed, 42);
+        assert_eq!(config.support_measure, SupportMeasure::GreedyDisjoint);
         assert!(config.validate().is_ok());
+    }
+
+    #[test]
+    fn support_measure_flows_into_moss_and_defaults_apply() {
+        let request =
+            MineRequest::new(Algorithm::Moss).support_measure(SupportMeasure::MinimumImage);
+        assert_eq!(
+            request.moss_config().support_measure,
+            SupportMeasure::MinimumImage
+        );
+        // Unset: per-algorithm defaults survive.
+        let request = MineRequest::new(Algorithm::Moss);
+        assert_eq!(
+            request.moss_config().support_measure,
+            MossConfig::default().support_measure
+        );
+        assert_eq!(
+            MineRequest::new(Algorithm::SpiderMine)
+                .spidermine_config()
+                .support_measure,
+            SpiderMineConfig::default().support_measure
+        );
     }
 }

@@ -31,6 +31,7 @@
 //! measure speedups against. See `DESIGN.md` § "Matcher search order".
 
 use crate::graph::{LabeledGraph, VertexId};
+use crate::label::Label;
 use crate::signature;
 
 /// Upper bound on embeddings materialized by [`find_embeddings`] by default.
@@ -91,6 +92,134 @@ pub fn count_embeddings_at_least(
 /// Returns `true` if `pattern` occurs at least once in `host`.
 pub fn is_subgraph_of(pattern: &LabeledGraph, host: &LabeledGraph) -> bool {
     count_embeddings_at_least(pattern, host, 1)
+}
+
+/// The one-edge delta between a parent pattern and its child, for the
+/// incremental extension engine ([`extend_embeddings`]).
+///
+/// The two cases mirror the classical rightmost-extension moves of
+/// edge-growth miners: attach a brand-new vertex, or close an edge between
+/// two existing pattern vertices.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum EdgeExtension {
+    /// The child pattern appends one new vertex — its id is the parent's
+    /// vertex count — labeled `label` and attached to the existing pattern
+    /// vertex `anchor`.
+    NewVertex {
+        /// Existing parent vertex the new vertex hangs off.
+        anchor: VertexId,
+        /// Label of the new vertex.
+        label: Label,
+    },
+    /// The child pattern adds the edge `(u, v)` between two existing,
+    /// previously non-adjacent parent vertices.
+    ClosingEdge {
+        /// One endpoint (a parent vertex).
+        u: VertexId,
+        /// The other endpoint (a parent vertex).
+        v: VertexId,
+    },
+}
+
+/// What [`extend_embeddings`] produced.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExtendOutcome {
+    /// Number of child embeddings appended to the output buffer.
+    pub rows: usize,
+    /// True if the `limit` cut enumeration short — the child set is then a
+    /// prefix, not the complete extension of the parent set.
+    pub truncated: bool,
+}
+
+/// Incrementally extends a set of parent embeddings by one pattern edge,
+/// against the host's CSR index, instead of re-running the VF2 scratch
+/// matcher on the child pattern.
+///
+/// `parent_flat` holds the parent embeddings back to back (row-major,
+/// `arity` host vertices per row — the layout of the `EmbeddingStore` arena
+/// in `spidermine-mining`). Child embeddings are appended to `out` in the
+/// same flat layout, `arity + 1` wide for [`EdgeExtension::NewVertex`] and
+/// `arity` wide for [`EdgeExtension::ClosingEdge`].
+///
+/// **Invariant** (proptested in `tests/matcher_equivalence.rs`): when the
+/// parent set is the *complete* embedding set of the parent pattern, the
+/// output is exactly the embedding set of the child pattern that
+/// [`find_embeddings`] discovers from scratch — every child embedding
+/// restricted to the parent's vertices is a parent embedding, and the
+/// restriction is unique, so extending each parent row enumerates each child
+/// embedding exactly once. Only the *order* differs from the scratch
+/// matcher (rows come out in parent order, then ascending host-neighbor
+/// order), which is why the scratch matcher is retained as the equivalence
+/// oracle and as the fallback for truncated parent sets.
+pub fn extend_embeddings(
+    host: &LabeledGraph,
+    arity: usize,
+    parent_flat: &[VertexId],
+    extension: EdgeExtension,
+    limit: usize,
+    out: &mut Vec<VertexId>,
+) -> ExtendOutcome {
+    let mut outcome = ExtendOutcome::default();
+    if arity == 0 {
+        return outcome;
+    }
+    debug_assert_eq!(parent_flat.len() % arity, 0, "ragged parent rows");
+    let csr = host.csr();
+    match extension {
+        EdgeExtension::NewVertex { anchor, label } => {
+            assert!(anchor.index() < arity, "anchor outside the parent pattern");
+            out.reserve(parent_flat.len() + parent_flat.len() / arity);
+            for row in parent_flat.chunks_exact(arity) {
+                let image = row[anchor.index()];
+                for &h in csr.neighbors(image) {
+                    if host.label(h) != label || row.contains(&h) {
+                        continue;
+                    }
+                    if outcome.rows >= limit {
+                        outcome.truncated = true;
+                        return outcome;
+                    }
+                    out.extend_from_slice(row);
+                    out.push(h);
+                    outcome.rows += 1;
+                }
+            }
+        }
+        EdgeExtension::ClosingEdge { u, v } => {
+            assert!(
+                u.index() < arity && v.index() < arity,
+                "closing edge outside the parent pattern"
+            );
+            for row in parent_flat.chunks_exact(arity) {
+                if !csr.has_edge(row[u.index()], row[v.index()]) {
+                    continue;
+                }
+                if outcome.rows >= limit {
+                    outcome.truncated = true;
+                    return outcome;
+                }
+                out.extend_from_slice(row);
+                outcome.rows += 1;
+            }
+        }
+    }
+    outcome
+}
+
+/// Applies an [`EdgeExtension`] to a parent pattern, returning the child
+/// pattern whose embeddings [`extend_embeddings`] maintains.
+pub fn apply_edge_extension(parent: &LabeledGraph, extension: EdgeExtension) -> LabeledGraph {
+    let mut child = parent.clone();
+    match extension {
+        EdgeExtension::NewVertex { anchor, label } => {
+            let new_v = child.add_vertex(label);
+            child.add_edge(anchor, new_v);
+        }
+        EdgeExtension::ClosingEdge { u, v } => {
+            child.add_edge(u, v);
+        }
+    }
+    child
 }
 
 /// Search order: start from the highest-degree pattern vertex, then repeatedly
@@ -598,6 +727,125 @@ mod tests {
     fn empty_pattern_has_no_embeddings() {
         let host = labeled_path(&[1, 2]);
         assert!(find_embeddings(&LabeledGraph::new(), &host, 10).is_empty());
+    }
+
+    /// Sorts a flat row buffer into a canonical list of embeddings for
+    /// set-comparison against the scratch matcher.
+    fn sorted_rows(flat: &[VertexId], arity: usize) -> Vec<Vec<VertexId>> {
+        let mut rows: Vec<Vec<VertexId>> = flat.chunks_exact(arity).map(|r| r.to_vec()).collect();
+        rows.sort_unstable();
+        rows
+    }
+
+    fn flatten(rows: &[Vec<VertexId>]) -> Vec<VertexId> {
+        rows.iter().flat_map(|r| r.iter().copied()).collect()
+    }
+
+    #[test]
+    fn extend_by_new_vertex_matches_scratch() {
+        let host = LabeledGraph::from_parts(
+            &[Label(0), Label(1), Label(1), Label(2), Label(0), Label(1)],
+            &[(0, 1), (0, 2), (1, 3), (4, 5), (5, 3)],
+        );
+        let parent = LabeledGraph::from_parts(&[Label(0), Label(1)], &[(0, 1)]);
+        let parent_rows = find_embeddings(&parent, &host, usize::MAX);
+        let ext = EdgeExtension::NewVertex {
+            anchor: VertexId(1),
+            label: Label(2),
+        };
+        let child = apply_edge_extension(&parent, ext);
+        let mut out = Vec::new();
+        let outcome =
+            extend_embeddings(&host, 2, &flatten(&parent_rows), ext, usize::MAX, &mut out);
+        assert!(!outcome.truncated);
+        let mut scratch = find_embeddings(&child, &host, usize::MAX);
+        scratch.sort_unstable();
+        assert_eq!(sorted_rows(&out, 3), scratch);
+        assert_eq!(outcome.rows * 3, out.len());
+    }
+
+    #[test]
+    fn extend_by_closing_edge_matches_scratch() {
+        // Two triangles and one open path: the closing edge filters the path.
+        let host = LabeledGraph::from_parts(
+            &[
+                Label(0),
+                Label(1),
+                Label(2),
+                Label(0),
+                Label(1),
+                Label(2),
+                Label(0),
+                Label(1),
+                Label(2),
+            ],
+            &[
+                (0, 1),
+                (1, 2),
+                (0, 2),
+                (3, 4),
+                (4, 5),
+                (3, 5),
+                (6, 7),
+                (7, 8),
+            ],
+        );
+        let parent = LabeledGraph::from_parts(&[Label(0), Label(1), Label(2)], &[(0, 1), (1, 2)]);
+        let parent_rows = find_embeddings(&parent, &host, usize::MAX);
+        let ext = EdgeExtension::ClosingEdge {
+            u: VertexId(0),
+            v: VertexId(2),
+        };
+        let child = apply_edge_extension(&parent, ext);
+        let mut out = Vec::new();
+        let outcome =
+            extend_embeddings(&host, 3, &flatten(&parent_rows), ext, usize::MAX, &mut out);
+        assert!(!outcome.truncated);
+        let mut scratch = find_embeddings(&child, &host, usize::MAX);
+        scratch.sort_unstable();
+        assert_eq!(sorted_rows(&out, 3), scratch);
+        assert_eq!(outcome.rows, 2, "only the triangles survive");
+    }
+
+    #[test]
+    fn extend_respects_limit_and_reports_truncation() {
+        let star = LabeledGraph::from_parts(
+            &[Label(0), Label(1), Label(1), Label(1)],
+            &[(0, 1), (0, 2), (0, 3)],
+        );
+        let parent = LabeledGraph::from_parts(&[Label(0)], &[]);
+        let parent_rows = find_embeddings(&parent, &star, usize::MAX);
+        let ext = EdgeExtension::NewVertex {
+            anchor: VertexId(0),
+            label: Label(1),
+        };
+        let mut out = Vec::new();
+        let outcome = extend_embeddings(&star, 1, &flatten(&parent_rows), ext, 2, &mut out);
+        assert_eq!(outcome.rows, 2);
+        assert!(outcome.truncated);
+        let mut out = Vec::new();
+        let outcome = extend_embeddings(&star, 1, &flatten(&parent_rows), ext, 3, &mut out);
+        assert_eq!(outcome.rows, 3);
+        assert!(!outcome.truncated);
+    }
+
+    #[test]
+    fn extend_with_empty_parent_set_is_empty() {
+        let host = labeled_path(&[1, 2]);
+        let mut out = Vec::new();
+        let outcome = extend_embeddings(
+            &host,
+            2,
+            &[],
+            EdgeExtension::ClosingEdge {
+                u: VertexId(0),
+                v: VertexId(1),
+            },
+            usize::MAX,
+            &mut out,
+        );
+        assert_eq!(outcome, ExtendOutcome::default());
+        assert!(out.is_empty());
     }
 
     #[test]

@@ -88,13 +88,24 @@ impl EmbeddedPattern {
     }
 
     /// Deduplicates embeddings that map to the same host-vertex set (two
-    /// automorphic placements cover the same occurrence).
+    /// automorphic placements cover the same occurrence). Shares its dedup
+    /// core with [`support::distinct_embedding_count`](crate::support::distinct_embedding_count).
     pub fn dedup_by_vertex_set(&mut self) {
-        let mut seen: FxHashSet<Vec<VertexId>> = FxHashSet::default();
-        self.embeddings.retain(|e| {
-            let mut key = e.clone();
-            key.sort_unstable();
-            seen.insert(key)
+        let survivors = crate::eval::bitset::distinct_vertex_set_indices(
+            self.embeddings.iter().map(Vec::as_slice),
+        );
+        if survivors.len() == self.embeddings.len() {
+            return;
+        }
+        let mut keep = survivors.into_iter().peekable();
+        let mut i = 0;
+        self.embeddings.retain(|_| {
+            let keep_this = keep.peek() == Some(&i);
+            if keep_this {
+                keep.next();
+            }
+            i += 1;
+            keep_this
         });
     }
 

@@ -1,0 +1,132 @@
+//! A flat bitset over host-vertex ids, shared by every embedding-dedup and
+//! support path in the workspace.
+//!
+//! Before the eval layer, `mining::support` kept a private copy of this
+//! structure while `mining::embedding` deduplicated through hash sets of
+//! sorted keys — two implementations of "have I seen this vertex (set)
+//! before". This module is the single shared helper both build on.
+
+use spidermine_graph::graph::VertexId;
+
+/// A flat bitset over host-vertex ids, reused across positions/embeddings so
+/// set membership checks allocate once instead of building a hash set per
+/// pattern position or per embedding.
+#[derive(Clone, Debug, Default)]
+pub struct VertexBitset {
+    words: Vec<u64>,
+    /// Indices of words that have at least one bit set, for sparse clearing.
+    touched: Vec<u32>,
+}
+
+impl VertexBitset {
+    /// A bitset able to hold ids `0..=max_vertex_id`.
+    pub fn with_capacity(max_vertex_id: u32) -> Self {
+        let words = vec![0u64; (max_vertex_id as usize + 64) / 64];
+        Self {
+            words,
+            touched: Vec::new(),
+        }
+    }
+
+    /// Grows the bitset (zero-filled) so it can hold `v`.
+    pub fn grow_to(&mut self, max_vertex_id: u32) {
+        let needed = (max_vertex_id as usize + 64) / 64;
+        if needed > self.words.len() {
+            self.words.resize(needed, 0);
+        }
+    }
+
+    /// Sets the bit for `v`; returns `true` if it was previously clear.
+    #[inline]
+    pub fn insert(&mut self, v: VertexId) -> bool {
+        let word = (v.0 / 64) as usize;
+        let bit = 1u64 << (v.0 % 64);
+        if self.words[word] & bit != 0 {
+            return false;
+        }
+        if self.words[word] == 0 {
+            self.touched.push(word as u32);
+        }
+        self.words[word] |= bit;
+        true
+    }
+
+    /// True if the bit for `v` is set.
+    #[inline]
+    pub fn contains(&self, v: VertexId) -> bool {
+        self.words[(v.0 / 64) as usize] & (1u64 << (v.0 % 64)) != 0
+    }
+
+    /// Clears only the words that were touched since the last clear.
+    pub fn clear(&mut self) {
+        for &w in &self.touched {
+            self.words[w as usize] = 0;
+        }
+        self.touched.clear();
+    }
+}
+
+/// Deduplicates embedding rows by their host-vertex *set* (two automorphic
+/// placements of a pattern cover the same occurrence): returns, in first-seen
+/// order, the indices of the rows with distinct sorted vertex sets.
+///
+/// This is the one shared implementation behind
+/// [`distinct_embedding_count`](crate::support::distinct_embedding_count) and
+/// [`EmbeddedPattern::dedup_by_vertex_set`](crate::embedding::EmbeddedPattern::dedup_by_vertex_set).
+pub fn distinct_vertex_set_indices<'a, I>(rows: I) -> Vec<usize>
+where
+    I: Iterator<Item = &'a [VertexId]>,
+{
+    // Sort-and-dedup over (sorted key, original index): one allocation per
+    // row key plus one sort, instead of a hash set of vectors.
+    let mut keys: Vec<(Vec<VertexId>, usize)> = rows
+        .enumerate()
+        .map(|(i, row)| {
+            let mut key = row.to_vec();
+            key.sort_unstable();
+            (key, i)
+        })
+        .collect();
+    keys.sort_unstable();
+    keys.dedup_by(|a, b| a.0 == b.0);
+    let mut survivors: Vec<usize> = keys.into_iter().map(|(_, i)| i).collect();
+    survivors.sort_unstable();
+    survivors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_clear() {
+        let mut bits = VertexBitset::with_capacity(200);
+        assert!(bits.insert(VertexId(0)));
+        assert!(bits.insert(VertexId(199)));
+        assert!(!bits.insert(VertexId(0)), "double insert reports seen");
+        assert!(bits.contains(VertexId(0)));
+        assert!(!bits.contains(VertexId(1)));
+        bits.clear();
+        assert!(!bits.contains(VertexId(0)));
+        assert!(bits.insert(VertexId(0)), "clear really clears");
+    }
+
+    #[test]
+    fn grow_to_extends_capacity() {
+        let mut bits = VertexBitset::with_capacity(10);
+        bits.grow_to(500);
+        assert!(bits.insert(VertexId(500)));
+        assert!(bits.contains(VertexId(500)));
+    }
+
+    #[test]
+    fn distinct_indices_keep_first_of_each_set() {
+        let rows: Vec<Vec<VertexId>> = vec![
+            vec![VertexId(0), VertexId(1)],
+            vec![VertexId(1), VertexId(0)], // same set as row 0
+            vec![VertexId(2), VertexId(3)],
+        ];
+        let idx = distinct_vertex_set_indices(rows.iter().map(|r| r.as_slice()));
+        assert_eq!(idx, vec![0, 2]);
+    }
+}

@@ -1,0 +1,287 @@
+//! Memoized support evaluation keyed on canonical pattern identity.
+//!
+//! Miners re-evaluate the same pattern over and over: SpiderMine's Stage II
+//! re-derives the same merged unions every iteration, Stage III re-ranks
+//! exhausted survivors every round, the final selection walks a pool that
+//! grew from the same lineages, and ORIGAMI's random walks keep proposing
+//! children the previous walks already measured. A [`SupportOracle`] wraps a
+//! [`SupportMeasure`] with a memo keyed on canonical pattern identity —
+//! invariant-signature buckets confirmed by VF2, the same discipline as
+//! [`PatternIndex`](crate::pattern_index::PatternIndex) — so each canonical
+//! pattern is evaluated once.
+//!
+//! **Determinism contract**: the memoized value is whatever the *first*
+//! evaluation of a canonical pattern produced. Callers must therefore only
+//! consult the oracle at sequential points, or over collections with no two
+//! isomorphic members (e.g. an isomorphism-deduplicated pool) — otherwise a
+//! parallel race would decide which embedding list seeds the memo and runs
+//! would stop being reproducible. `spidermine`'s inner growth loops keep
+//! computing raw supports for exactly this reason; see `DESIGN.md`
+//! § "Incremental evaluation layer".
+
+use crate::eval::store::EmbeddingSetView;
+use crate::support::SupportMeasure;
+use rustc_hash::FxHashMap;
+use spidermine_graph::graph::LabeledGraph;
+use spidermine_graph::iso;
+use spidermine_graph::signature::{invariant_signature, InvariantSignature};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Hit/miss counters of an oracle (or a [`PatternMemo`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OracleStats {
+    /// Lookups answered from the memo.
+    pub hits: usize,
+    /// Lookups that had to evaluate.
+    pub misses: usize,
+}
+
+/// Pluggable support evaluation: every miner asks the oracle instead of
+/// calling [`SupportMeasure::compute`] directly at its pattern-level decision
+/// points, so memoization (or an alternative support semantics) can be swapped
+/// in through [`MineContext`](crate::context::MineContext).
+pub trait SupportOracle: Send + Sync {
+    /// The measure this oracle evaluates.
+    fn measure(&self) -> SupportMeasure;
+
+    /// Support of `pattern` given its embedding set.
+    fn support(&self, pattern: &LabeledGraph, embeddings: EmbeddingSetView<'_>) -> usize;
+
+    /// Hit/miss counters (all zero for non-memoizing oracles).
+    fn stats(&self) -> OracleStats;
+}
+
+/// A memo from canonical pattern identity to an arbitrary `usize` value.
+///
+/// The generic building block behind [`MemoOracle`]; also used directly where
+/// the memoized quantity is not an embedding-list support (e.g. ORIGAMI's
+/// transaction support, which is a pure function of the isomorphism class).
+#[derive(Default)]
+pub struct PatternMemo {
+    buckets: FxHashMap<InvariantSignature, Vec<(LabeledGraph, usize)>>,
+    hits: usize,
+    misses: usize,
+}
+
+impl PatternMemo {
+    /// An empty memo.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks `pattern` up without inserting.
+    pub fn lookup(&mut self, pattern: &LabeledGraph) -> Option<usize> {
+        let sig = invariant_signature(pattern);
+        if let Some(bucket) = self.buckets.get(&sig) {
+            for (candidate, value) in bucket {
+                if iso::are_isomorphic(candidate, pattern) {
+                    self.hits += 1;
+                    return Some(*value);
+                }
+            }
+        }
+        self.misses += 1;
+        None
+    }
+
+    /// Inserts `value` for `pattern` unless an isomorphic entry already
+    /// exists; returns the canonical (first-inserted) value either way.
+    pub fn insert_if_absent(&mut self, pattern: &LabeledGraph, value: usize) -> usize {
+        let sig = invariant_signature(pattern);
+        let bucket = self.buckets.entry(sig).or_default();
+        for (candidate, existing) in bucket.iter() {
+            if iso::are_isomorphic(candidate, pattern) {
+                return *existing;
+            }
+        }
+        bucket.push((pattern.clone(), value));
+        value
+    }
+
+    /// Memoized evaluation: returns the cached value for `pattern`'s
+    /// isomorphism class, or computes, stores and returns `f()`.
+    pub fn get_or_insert_with(
+        &mut self,
+        pattern: &LabeledGraph,
+        f: impl FnOnce() -> usize,
+    ) -> usize {
+        if let Some(v) = self.lookup(pattern) {
+            return v;
+        }
+        let v = f();
+        self.insert_if_absent(pattern, v)
+    }
+
+    /// Hit/miss counters so far.
+    pub fn stats(&self) -> OracleStats {
+        OracleStats {
+            hits: self.hits,
+            misses: self.misses,
+        }
+    }
+
+    /// Number of distinct canonical patterns stored.
+    pub fn len(&self) -> usize {
+        self.buckets.values().map(Vec::len).sum()
+    }
+
+    /// True if nothing is memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.buckets.is_empty()
+    }
+}
+
+/// The memoizing [`SupportOracle`]: signature-bucketed, VF2-confirmed memo in
+/// front of a [`SupportMeasure`]. Safe to share across threads; on a memo
+/// miss the measure is computed *outside* the lock so concurrent distinct
+/// patterns do not serialize on each other's evaluation.
+pub struct MemoOracle {
+    measure: SupportMeasure,
+    memo: Mutex<PatternMemo>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl MemoOracle {
+    /// A fresh memoizing oracle for `measure`.
+    pub fn new(measure: SupportMeasure) -> Self {
+        Self {
+            measure,
+            memo: Mutex::new(PatternMemo::new()),
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+        }
+    }
+}
+
+impl SupportOracle for MemoOracle {
+    fn measure(&self) -> SupportMeasure {
+        self.measure
+    }
+
+    fn support(&self, pattern: &LabeledGraph, embeddings: EmbeddingSetView<'_>) -> usize {
+        if let Some(v) = self.memo.lock().expect("oracle lock").lookup(pattern) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return v;
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let v = embeddings.support(self.measure);
+        self.memo
+            .lock()
+            .expect("oracle lock")
+            .insert_if_absent(pattern, v)
+    }
+
+    fn stats(&self) -> OracleStats {
+        OracleStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The non-memoizing oracle: every call evaluates the measure. Useful when a
+/// caller needs the support of *this exact embedding list* even for patterns
+/// already seen with a different list.
+pub struct DirectOracle {
+    measure: SupportMeasure,
+}
+
+impl DirectOracle {
+    /// A pass-through oracle for `measure`.
+    pub fn new(measure: SupportMeasure) -> Self {
+        Self { measure }
+    }
+}
+
+impl SupportOracle for DirectOracle {
+    fn measure(&self) -> SupportMeasure {
+        self.measure
+    }
+
+    fn support(&self, _pattern: &LabeledGraph, embeddings: EmbeddingSetView<'_>) -> usize {
+        embeddings.support(self.measure)
+    }
+
+    fn stats(&self) -> OracleStats {
+        OracleStats::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::store::EmbeddingStore;
+    use spidermine_graph::label::Label;
+
+    fn host() -> LabeledGraph {
+        LabeledGraph::from_parts(
+            &[Label(0), Label(1), Label(0), Label(1)],
+            &[(0, 1), (2, 3), (1, 2)],
+        )
+    }
+
+    #[test]
+    fn memo_oracle_hits_on_isomorphic_repeat() {
+        let h = host();
+        let edge = LabeledGraph::from_parts(&[Label(0), Label(1)], &[(0, 1)]);
+        let relabeled = LabeledGraph::from_parts(&[Label(1), Label(0)], &[(0, 1)]);
+        let mut store = EmbeddingStore::new();
+        let full = store.discover(&edge, &h, usize::MAX);
+        let partial = store.discover(&edge, &h, 1);
+        let oracle = MemoOracle::new(SupportMeasure::EmbeddingCount);
+        let first = oracle.support(&edge, store.view(full));
+        assert_eq!(first, 3);
+        // Isomorphic pattern, different (smaller) embedding list: the memo
+        // answers with the first evaluation.
+        let second = oracle.support(&relabeled, store.view(partial));
+        assert_eq!(second, first);
+        let stats = oracle.stats();
+        assert_eq!(stats, OracleStats { hits: 1, misses: 1 });
+    }
+
+    #[test]
+    fn memo_oracle_distinguishes_non_isomorphic_patterns() {
+        let h = host();
+        let edge = LabeledGraph::from_parts(&[Label(0), Label(1)], &[(0, 1)]);
+        let other = LabeledGraph::from_parts(&[Label(1), Label(0), Label(0)], &[(0, 1), (0, 2)]);
+        let mut store = EmbeddingStore::new();
+        let a = store.discover(&edge, &h, usize::MAX);
+        let b = store.discover(&other, &h, usize::MAX);
+        let oracle = MemoOracle::new(SupportMeasure::EmbeddingCount);
+        assert_eq!(oracle.support(&edge, store.view(a)), 3);
+        assert_eq!(oracle.support(&other, store.view(b)), 1);
+        assert_eq!(oracle.stats().misses, 2);
+    }
+
+    #[test]
+    fn direct_oracle_never_memoizes() {
+        let h = host();
+        let edge = LabeledGraph::from_parts(&[Label(0), Label(1)], &[(0, 1)]);
+        let mut store = EmbeddingStore::new();
+        let full = store.discover(&edge, &h, usize::MAX);
+        let partial = store.discover(&edge, &h, 1);
+        let oracle = DirectOracle::new(SupportMeasure::EmbeddingCount);
+        assert_eq!(oracle.support(&edge, store.view(full)), 3);
+        assert_eq!(oracle.support(&edge, store.view(partial)), 1);
+        assert_eq!(oracle.stats(), OracleStats::default());
+    }
+
+    #[test]
+    fn pattern_memo_evaluates_each_class_once() {
+        let mut memo = PatternMemo::new();
+        let a = LabeledGraph::from_parts(&[Label(0), Label(1)], &[(0, 1)]);
+        let b = LabeledGraph::from_parts(&[Label(1), Label(0)], &[(0, 1)]);
+        let mut evaluations = 0;
+        for g in [&a, &b, &a] {
+            memo.get_or_insert_with(g, || {
+                evaluations += 1;
+                42
+            });
+        }
+        assert_eq!(evaluations, 1);
+        assert_eq!(memo.len(), 1);
+        assert_eq!(memo.stats().hits, 2);
+    }
+}

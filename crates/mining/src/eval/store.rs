@@ -1,0 +1,530 @@
+//! The columnar embedding arena: one flat `VertexId` pool, one slice per
+//! pattern.
+//!
+//! Every miner in the workspace carries patterns around together with their
+//! embedding lists. Before the eval layer those lists were `Vec<Embedding>` —
+//! one heap allocation per embedding, cloned wholesale whenever a pattern was
+//! copied into a pool, a beam, or a merge candidate. [`EmbeddingStore`]
+//! replaces the owned lists with handles: embeddings of one pattern live back
+//! to back in a single flat pool (row-major, `arity` host vertices per row),
+//! and a pattern carries an [`EmbeddingSetId`] — copying a pattern copies 4
+//! bytes.
+//!
+//! The store is also where the two embedding *evaluation* strategies meet:
+//!
+//! * [`EmbeddingStore::extend`] — the incremental engine
+//!   ([`iso::extend_embeddings`]): grow a parent set by one pattern edge
+//!   against the CSR index.
+//! * [`EmbeddingStore::discover`] — the retained scratch matcher
+//!   ([`iso::find_embeddings`]), the fallback when no parent set exists or
+//!   the parent set was truncated (an incomplete parent cannot prove its
+//!   children complete).
+//!
+//! Parallel workers build [`FlatEmbeddings`] scratch buffers and the driver
+//! interns them sequentially (or absorbs whole per-task stores via
+//! [`EmbeddingStore::absorb`]), which keeps the arena single-writer and runs
+//! deterministic. See `DESIGN.md` § "Incremental evaluation layer".
+
+use crate::embedding::Embedding;
+use crate::support::SupportMeasure;
+use rustc_hash::FxHashMap;
+use spidermine_graph::graph::{LabeledGraph, VertexId};
+use spidermine_graph::iso::{self, EdgeExtension};
+
+/// Handle to one embedding set inside an [`EmbeddingStore`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EmbeddingSetId(u32);
+
+impl EmbeddingSetId {
+    /// The raw arena index (stable until a compaction).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Span of one embedding set inside the pool.
+#[derive(Clone, Copy, Debug)]
+struct SetMeta {
+    start: u32,
+    rows: u32,
+    arity: u32,
+    /// False when a cap truncated the set: its rows are a valid prefix of the
+    /// full embedding set, but incremental extension from it may miss
+    /// children, so extenders must fall back to the scratch matcher if they
+    /// need completeness.
+    complete: bool,
+}
+
+/// The SoA embedding arena. See the module docs.
+#[derive(Clone, Debug, Default)]
+pub struct EmbeddingStore {
+    pool: Vec<VertexId>,
+    sets: Vec<SetMeta>,
+}
+
+/// A borrowed view of one embedding set: arity plus the flat row slice.
+#[derive(Clone, Copy, Debug)]
+pub struct EmbeddingSetView<'a> {
+    arity: usize,
+    flat: &'a [VertexId],
+    complete: bool,
+}
+
+impl<'a> EmbeddingSetView<'a> {
+    /// Number of embeddings in the set.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.flat.len().checked_div(self.arity).unwrap_or(0)
+    }
+
+    /// True if the set holds no embeddings.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.flat.is_empty()
+    }
+
+    /// Pattern arity: host vertices per row.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// The raw flat row-major storage.
+    #[inline]
+    pub fn flat(&self) -> &'a [VertexId] {
+        self.flat
+    }
+
+    /// True unless a cap truncated the set during discovery/extension.
+    #[inline]
+    pub fn is_complete(&self) -> bool {
+        self.complete
+    }
+
+    /// Row `i` as a host-vertex slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &'a [VertexId] {
+        &self.flat[i * self.arity..(i + 1) * self.arity]
+    }
+
+    /// Iterates the rows in insertion order.
+    pub fn rows(&self) -> impl ExactSizeIterator<Item = &'a [VertexId]> + Clone {
+        let arity = self.arity.max(1);
+        self.flat.chunks_exact(arity)
+    }
+
+    /// Materializes the set back into owned `Vec<Embedding>` form (the legacy
+    /// interface of `MinedPattern` / `StreamedPattern`).
+    pub fn to_embeddings(&self) -> Vec<Embedding> {
+        self.rows().map(|r| r.to_vec()).collect()
+    }
+
+    /// Support of the owning pattern under `measure`, computed straight off
+    /// the flat rows.
+    pub fn support(&self, measure: SupportMeasure) -> usize {
+        measure.compute_rows(self.arity, self.rows(), self.len())
+    }
+}
+
+/// An owned flat embedding buffer, built by parallel workers and interned
+/// into the arena sequentially ([`EmbeddingStore::insert_scratch`]).
+#[derive(Clone, Debug)]
+pub struct FlatEmbeddings {
+    arity: usize,
+    complete: bool,
+    data: Vec<VertexId>,
+}
+
+impl FlatEmbeddings {
+    /// An empty buffer for embeddings of `arity` host vertices each.
+    pub fn new(arity: usize) -> Self {
+        Self {
+            arity,
+            complete: true,
+            data: Vec::new(),
+        }
+    }
+
+    /// Appends one embedding row.
+    ///
+    /// # Panics
+    /// Panics if the row width disagrees with the buffer's arity.
+    pub fn push_row(&mut self, row: &[VertexId]) {
+        assert_eq!(row.len(), self.arity, "row arity mismatch");
+        self.data.extend_from_slice(row);
+    }
+
+    /// Appends a row given as a parent row plus one appended vertex.
+    pub fn push_extended_row(&mut self, parent: &[VertexId], appended: &[VertexId]) {
+        debug_assert_eq!(parent.len() + appended.len(), self.arity);
+        self.data.extend_from_slice(parent);
+        self.data.extend_from_slice(appended);
+    }
+
+    /// Marks the buffer as truncated by a cap.
+    pub fn mark_truncated(&mut self) {
+        self.complete = false;
+    }
+
+    /// Number of rows pushed so far.
+    pub fn len(&self) -> usize {
+        self.data.len().checked_div(self.arity).unwrap_or(0)
+    }
+
+    /// True if no rows were pushed.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Views the buffer like a stored set.
+    pub fn view(&self) -> EmbeddingSetView<'_> {
+        EmbeddingSetView {
+            arity: self.arity,
+            flat: &self.data,
+            complete: self.complete,
+        }
+    }
+}
+
+impl EmbeddingStore {
+    /// An empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of embedding sets stored (dead sets included, until a
+    /// compaction).
+    pub fn set_count(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Total `VertexId`s in the pool (the arena's memory footprint).
+    pub fn pool_len(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// Interns a set given as flat row-major storage.
+    pub fn insert_flat(
+        &mut self,
+        arity: usize,
+        flat: &[VertexId],
+        complete: bool,
+    ) -> EmbeddingSetId {
+        debug_assert!(arity > 0 || flat.is_empty(), "ragged rows");
+        debug_assert!(
+            arity == 0 || flat.len().is_multiple_of(arity),
+            "ragged rows"
+        );
+        let start = self.pool.len() as u32;
+        self.pool.extend_from_slice(flat);
+        let rows = flat.len().checked_div(arity).unwrap_or(0) as u32;
+        let id = EmbeddingSetId(self.sets.len() as u32);
+        self.sets.push(SetMeta {
+            start,
+            rows,
+            arity: arity as u32,
+            complete,
+        });
+        id
+    }
+
+    /// Interns a worker's scratch buffer.
+    pub fn insert_scratch(&mut self, scratch: &FlatEmbeddings) -> EmbeddingSetId {
+        self.insert_flat(scratch.arity, &scratch.data, scratch.complete)
+    }
+
+    /// Interns a legacy `Vec<Embedding>` list (rows must share one arity).
+    pub fn insert_embeddings(
+        &mut self,
+        arity: usize,
+        embeddings: &[Embedding],
+        complete: bool,
+    ) -> EmbeddingSetId {
+        let start = self.pool.len() as u32;
+        for e in embeddings {
+            debug_assert_eq!(e.len(), arity, "row arity mismatch");
+            self.pool.extend_from_slice(e);
+        }
+        let id = EmbeddingSetId(self.sets.len() as u32);
+        self.sets.push(SetMeta {
+            start,
+            rows: embeddings.len() as u32,
+            arity: arity as u32,
+            complete,
+        });
+        id
+    }
+
+    /// Discovers up to `limit` embeddings of `pattern` in `host` with the
+    /// scratch matcher and interns them — the from-scratch entry into the
+    /// arena, and the fallback of the incremental path.
+    pub fn discover(
+        &mut self,
+        pattern: &LabeledGraph,
+        host: &LabeledGraph,
+        limit: usize,
+    ) -> EmbeddingSetId {
+        let rows = iso::find_embeddings(pattern, host, limit);
+        let truncated = rows.len() >= limit;
+        self.insert_embeddings(pattern.vertex_count(), &rows, !truncated)
+    }
+
+    /// Extends `parent` by one pattern edge with the incremental engine
+    /// ([`iso::extend_embeddings`]) and interns the child set.
+    ///
+    /// The child set is marked complete only when the parent was complete and
+    /// no `limit` truncation occurred.
+    pub fn extend(
+        &mut self,
+        host: &LabeledGraph,
+        parent: EmbeddingSetId,
+        extension: EdgeExtension,
+        limit: usize,
+    ) -> EmbeddingSetId {
+        let meta = self.sets[parent.index()];
+        let parent_complete = meta.complete;
+        let arity = meta.arity as usize;
+        let child_arity = match extension {
+            EdgeExtension::NewVertex { .. } => arity + 1,
+            EdgeExtension::ClosingEdge { .. } => arity,
+        };
+        // The pool may reallocate while the child rows are appended, so the
+        // extension writes into a scratch buffer first.
+        let mut out = Vec::new();
+        let parent_flat = self.flat_of(meta);
+        let outcome = iso::extend_embeddings(host, arity, parent_flat, extension, limit, &mut out);
+        self.insert_flat(child_arity, &out, parent_complete && !outcome.truncated)
+    }
+
+    /// The view of a stored set.
+    #[inline]
+    pub fn view(&self, id: EmbeddingSetId) -> EmbeddingSetView<'_> {
+        let meta = self.sets[id.index()];
+        EmbeddingSetView {
+            arity: meta.arity as usize,
+            flat: self.flat_of(meta),
+            complete: meta.complete,
+        }
+    }
+
+    /// Materializes a stored set into the legacy `Vec<Embedding>` form.
+    pub fn to_embeddings(&self, id: EmbeddingSetId) -> Vec<Embedding> {
+        self.view(id).to_embeddings()
+    }
+
+    /// Support of the pattern owning `id`, under `measure`.
+    pub fn support(&self, measure: SupportMeasure, id: EmbeddingSetId) -> usize {
+        self.view(id).support(measure)
+    }
+
+    #[inline]
+    fn flat_of(&self, meta: SetMeta) -> &[VertexId] {
+        let start = meta.start as usize;
+        let len = (meta.rows * meta.arity) as usize;
+        &self.pool[start..start + len]
+    }
+
+    /// Splices another arena onto this one. Every id of `other` stays valid
+    /// after adding the returned base offset (via
+    /// [`EmbeddingStore::rebased`]). This is how parallel workers' per-task
+    /// arenas land in the driver's global arena in deterministic order.
+    pub fn absorb(&mut self, other: EmbeddingStore) -> u32 {
+        let base = self.sets.len() as u32;
+        let pool_base = self.pool.len() as u32;
+        self.pool.extend_from_slice(&other.pool);
+        self.sets.extend(other.sets.iter().map(|m| SetMeta {
+            start: m.start + pool_base,
+            ..*m
+        }));
+        base
+    }
+
+    /// Rebases an id returned from a worker-local arena onto this arena,
+    /// given the base offset [`EmbeddingStore::absorb`] returned.
+    pub fn rebased(id: EmbeddingSetId, base: u32) -> EmbeddingSetId {
+        EmbeddingSetId(id.0 + base)
+    }
+
+    /// Rebuilds the arena keeping only `live` sets, returning the new arena
+    /// and the id remap. Copy-on-grow never reclaims, so long-running miners
+    /// call this at sequential points once dead spans dominate.
+    pub fn compacted(
+        &self,
+        live: &[EmbeddingSetId],
+    ) -> (EmbeddingStore, FxHashMap<EmbeddingSetId, EmbeddingSetId>) {
+        let mut fresh = EmbeddingStore::new();
+        let mut remap = FxHashMap::default();
+        for &id in live {
+            if remap.contains_key(&id) {
+                continue;
+            }
+            let meta = self.sets[id.index()];
+            let new_id = fresh.insert_flat(meta.arity as usize, self.flat_of(meta), meta.complete);
+            remap.insert(id, new_id);
+        }
+        (fresh, remap)
+    }
+
+    /// The one compaction policy every long-lived owner uses: once the pool
+    /// exceeds `min_pool` `VertexId`s and `live` owns less than half of it,
+    /// rebuild in place and return the id remap the caller must apply to its
+    /// handles. `None` means nothing changed. Call only at sequential points.
+    pub fn maybe_compact(
+        &mut self,
+        live: &[EmbeddingSetId],
+        min_pool: usize,
+    ) -> Option<FxHashMap<EmbeddingSetId, EmbeddingSetId>> {
+        if self.pool_len() < min_pool || self.live_fraction(live) >= 0.5 {
+            return None;
+        }
+        let (fresh, remap) = self.compacted(live);
+        *self = fresh;
+        Some(remap)
+    }
+
+    /// Fraction of the pool owned by `live` sets (1.0 for an empty pool).
+    pub fn live_fraction(&self, live: &[EmbeddingSetId]) -> f64 {
+        if self.pool.is_empty() {
+            return 1.0;
+        }
+        let mut seen = vec![false; self.sets.len()];
+        let mut live_len = 0usize;
+        for &id in live {
+            if !std::mem::replace(&mut seen[id.index()], true) {
+                let meta = self.sets[id.index()];
+                live_len += (meta.rows * meta.arity) as usize;
+            }
+        }
+        live_len as f64 / self.pool.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spidermine_graph::label::Label;
+
+    fn host() -> LabeledGraph {
+        LabeledGraph::from_parts(
+            &[Label(0), Label(1), Label(0), Label(1)],
+            &[(0, 1), (2, 3), (1, 2)],
+        )
+    }
+
+    #[test]
+    fn discover_then_view_round_trips() {
+        let h = host();
+        let pattern = LabeledGraph::from_parts(&[Label(0), Label(1)], &[(0, 1)]);
+        let mut store = EmbeddingStore::new();
+        let id = store.discover(&pattern, &h, usize::MAX);
+        let view = store.view(id);
+        assert_eq!(view.len(), 3);
+        assert_eq!(view.arity(), 2);
+        assert!(view.is_complete());
+        assert_eq!(
+            store.to_embeddings(id),
+            iso::find_embeddings(&pattern, &h, usize::MAX)
+        );
+        assert_eq!(view.row(0), &[VertexId(0), VertexId(1)][..]);
+    }
+
+    #[test]
+    fn truncated_discovery_is_marked_incomplete() {
+        let h = host();
+        let pattern = LabeledGraph::from_parts(&[Label(0), Label(1)], &[(0, 1)]);
+        let mut store = EmbeddingStore::new();
+        let id = store.discover(&pattern, &h, 2);
+        assert_eq!(store.view(id).len(), 2);
+        assert!(!store.view(id).is_complete());
+    }
+
+    #[test]
+    fn extend_matches_scratch_discovery_as_sets() {
+        let h = host();
+        let edge = LabeledGraph::from_parts(&[Label(0), Label(1)], &[(0, 1)]);
+        let mut store = EmbeddingStore::new();
+        let parent = store.discover(&edge, &h, usize::MAX);
+        let ext = EdgeExtension::NewVertex {
+            anchor: VertexId(1),
+            label: Label(0),
+        };
+        let child_id = store.extend(&h, parent, ext, usize::MAX);
+        assert!(store.view(child_id).is_complete());
+        let child = iso::apply_edge_extension(&edge, ext);
+        let mut incremental = store.to_embeddings(child_id);
+        incremental.sort_unstable();
+        let mut scratch = iso::find_embeddings(&child, &h, usize::MAX);
+        scratch.sort_unstable();
+        assert_eq!(incremental, scratch);
+    }
+
+    #[test]
+    fn extension_of_incomplete_parent_stays_incomplete() {
+        let h = host();
+        let edge = LabeledGraph::from_parts(&[Label(0), Label(1)], &[(0, 1)]);
+        let mut store = EmbeddingStore::new();
+        let parent = store.discover(&edge, &h, 2);
+        let child = store.extend(
+            &h,
+            parent,
+            EdgeExtension::ClosingEdge {
+                u: VertexId(0),
+                v: VertexId(1),
+            },
+            usize::MAX,
+        );
+        assert!(!store.view(child).is_complete());
+    }
+
+    #[test]
+    fn absorb_rebases_ids() {
+        let h = host();
+        let edge = LabeledGraph::from_parts(&[Label(0), Label(1)], &[(0, 1)]);
+        let mut global = EmbeddingStore::new();
+        let g0 = global.discover(&edge, &h, usize::MAX);
+        let mut local = EmbeddingStore::new();
+        let l0 = local.discover(&edge, &h, 1);
+        let expected = local.to_embeddings(l0);
+        let base = global.absorb(local);
+        let rebased = EmbeddingStore::rebased(l0, base);
+        assert_ne!(rebased, g0);
+        assert_eq!(global.to_embeddings(rebased), expected);
+        assert_eq!(global.view(g0).len(), 3, "existing sets untouched");
+    }
+
+    #[test]
+    fn compaction_drops_dead_sets_and_remaps() {
+        let h = host();
+        let edge = LabeledGraph::from_parts(&[Label(0), Label(1)], &[(0, 1)]);
+        let mut store = EmbeddingStore::new();
+        let dead = store.discover(&edge, &h, usize::MAX);
+        let live = store.discover(&edge, &h, 2);
+        assert!(store.live_fraction(&[live]) < 1.0);
+        let expected = store.to_embeddings(live);
+        let (fresh, remap) = store.compacted(&[live]);
+        assert_eq!(fresh.set_count(), 1);
+        assert!(fresh.pool_len() < store.pool_len());
+        assert_eq!(fresh.to_embeddings(remap[&live]), expected);
+        assert!(!remap.contains_key(&dead));
+    }
+
+    #[test]
+    fn scratch_buffers_intern_verbatim() {
+        let mut scratch = FlatEmbeddings::new(2);
+        scratch.push_row(&[VertexId(4), VertexId(5)]);
+        scratch.push_extended_row(&[VertexId(6)], &[VertexId(7)]);
+        assert_eq!(scratch.len(), 2);
+        scratch.mark_truncated();
+        let mut store = EmbeddingStore::new();
+        let id = store.insert_scratch(&scratch);
+        assert!(!store.view(id).is_complete());
+        assert_eq!(
+            store.to_embeddings(id),
+            vec![
+                vec![VertexId(4), VertexId(5)],
+                vec![VertexId(6), VertexId(7)]
+            ]
+        );
+    }
+}

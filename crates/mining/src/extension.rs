@@ -5,11 +5,25 @@
 //! on, and what the paper's Figure 2 argument contrasts spiders against. The
 //! baselines in `spidermine-baselines` are built on this module; SpiderMine
 //! itself grows by whole spiders instead.
+//!
+//! Since the eval layer landed, the handle-based entry points
+//! ([`frequent_single_edges_in`], [`one_edge_extensions_in`]) are the real
+//! implementation: embeddings live in an [`EmbeddingStore`] arena and
+//! children grow incrementally from the parent rows in one fused pass (the
+//! per-row step of
+//! [`iso::extend_embeddings`](spidermine_graph::iso::extend_embeddings),
+//! batched across every candidate extension) — flat appends into
+//! [`FlatEmbeddings`] buckets instead of one `Vec` clone per child
+//! embedding. The legacy `Vec<Embedding>`-owning entry points remain as thin
+//! materializing wrappers with byte-identical output (same candidate order,
+//! same caps, same sort).
 
-use crate::embedding::{EmbeddedPattern, Embedding};
+use crate::embedding::EmbeddedPattern;
+use crate::eval::{EmbeddingSetId, EmbeddingStore, FlatEmbeddings};
 use crate::support::SupportMeasure;
 use rustc_hash::FxHashMap;
 use spidermine_graph::graph::{LabeledGraph, VertexId};
+use spidermine_graph::iso::EdgeExtension;
 use spidermine_graph::label::Label;
 
 /// Description of a single-edge extension relative to a parent pattern.
@@ -31,6 +45,16 @@ pub enum Extension {
     },
 }
 
+impl Extension {
+    /// The equivalent delta of the incremental engine in `graph::iso`.
+    pub fn as_edge_extension(self) -> EdgeExtension {
+        match self {
+            Extension::Forward { at, label } => EdgeExtension::NewVertex { anchor: at, label },
+            Extension::Backward { from, to } => EdgeExtension::ClosingEdge { u: from, v: to },
+        }
+    }
+}
+
 /// A frequent one-edge extension of a parent pattern.
 #[derive(Clone, Debug)]
 pub struct FrequentExtension {
@@ -42,12 +66,130 @@ pub struct FrequentExtension {
     pub support: usize,
 }
 
+/// A pattern held by handle: the graph plus its embedding set in a shared
+/// [`EmbeddingStore`]. What the store-backed miners (SUBDUE, MoSS) queue and
+/// beam instead of owned [`EmbeddedPattern`]s.
+#[derive(Clone, Debug)]
+pub struct StoredPattern {
+    /// The pattern graph.
+    pub pattern: LabeledGraph,
+    /// Handle to the pattern's embedding set.
+    pub set: EmbeddingSetId,
+    /// Support under the measure used for mining.
+    pub support: usize,
+}
+
+/// A frequent one-edge extension produced into a shared [`EmbeddingStore`].
+#[derive(Clone, Debug)]
+pub struct StoredExtension {
+    /// What was added.
+    pub extension: Extension,
+    /// The child pattern with its embedding-set handle.
+    pub child: StoredPattern,
+}
+
+/// Enumerates all frequent one-edge extensions of `parent` in `host`,
+/// maintaining the child embedding sets incrementally inside `store`.
+///
+/// One **fused pass** over the parent's flat rows grows every candidate
+/// extension simultaneously (each child row is the parent row plus at most
+/// one appended vertex — the same per-row extension step as
+/// [`iso::extend_embeddings`](spidermine_graph::iso::extend_embeddings),
+/// batched across candidates so the rows and the host adjacency are walked
+/// once, not once per candidate). Children accumulate in flat
+/// [`FlatEmbeddings`] buckets — no per-child-embedding allocation, no re-run
+/// of the VF2 scratch matcher. `max_embeddings` caps each child set
+/// (embedding lists can explode on dense graphs; the cap keeps the miner
+/// memory-bounded at the cost of under-counting support for extremely
+/// frequent patterns, which are never the interesting large ones).
+pub fn one_edge_extensions_in(
+    store: &mut EmbeddingStore,
+    host: &LabeledGraph,
+    parent: &LabeledGraph,
+    parent_set: EmbeddingSetId,
+    support_threshold: usize,
+    measure: SupportMeasure,
+    max_embeddings: usize,
+) -> Vec<StoredExtension> {
+    let mut grouped: FxHashMap<Extension, FlatEmbeddings> = FxHashMap::default();
+    {
+        let view = store.view(parent_set);
+        let arity = view.arity();
+        for row in view.rows() {
+            // Forward extensions: a host neighbor of a mapped vertex, outside
+            // the embedding.
+            for p in parent.vertices() {
+                let hp = row[p.index()];
+                for &hu in host.neighbors(hp) {
+                    if row.contains(&hu) {
+                        continue;
+                    }
+                    let ext = Extension::Forward {
+                        at: p,
+                        label: host.label(hu),
+                    };
+                    let bucket = grouped
+                        .entry(ext)
+                        .or_insert_with(|| FlatEmbeddings::new(arity + 1));
+                    if bucket.len() < max_embeddings {
+                        bucket.push_extended_row(row, &[hu]);
+                    } else {
+                        bucket.mark_truncated();
+                    }
+                }
+            }
+            // Backward extensions: a host edge between two mapped,
+            // pattern-non-adjacent vertices.
+            for p in parent.vertices() {
+                for q in parent.vertices() {
+                    if p >= q || parent.has_edge(p, q) {
+                        continue;
+                    }
+                    if host.has_edge(row[p.index()], row[q.index()]) {
+                        let ext = Extension::Backward { from: p, to: q };
+                        let bucket = grouped
+                            .entry(ext)
+                            .or_insert_with(|| FlatEmbeddings::new(arity));
+                        if bucket.len() < max_embeddings {
+                            bucket.push_row(row);
+                        } else {
+                            bucket.mark_truncated();
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // Deterministic order for reproducibility of the miners built on top
+    // (same key as the pre-arena implementation sorted its output by).
+    let mut candidates: Vec<Extension> = grouped.keys().copied().collect();
+    candidates.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+
+    let mut out: Vec<StoredExtension> = Vec::new();
+    for extension in candidates {
+        let bucket = &grouped[&extension];
+        let support = bucket.view().support(measure);
+        if support < support_threshold {
+            continue;
+        }
+        let child_pattern = apply_extension(parent, extension);
+        out.push(StoredExtension {
+            extension,
+            child: StoredPattern {
+                pattern: child_pattern,
+                set: store.insert_scratch(bucket),
+                support,
+            },
+        });
+    }
+    out
+}
+
 /// Enumerates all frequent one-edge extensions of `parent` in `host`.
 ///
-/// `max_embeddings` caps the number of embeddings retained per child pattern
-/// (embedding lists can explode on dense graphs; the cap keeps the miner
-/// memory-bounded at the cost of under-counting support for extremely frequent
-/// patterns, which are never the interesting large ones).
+/// Thin materializing wrapper over [`one_edge_extensions_in`] for callers
+/// that own their embedding lists; byte-identical output to the pre-arena
+/// implementation.
 pub fn one_edge_extensions(
     host: &LabeledGraph,
     parent: &EmbeddedPattern,
@@ -55,60 +197,25 @@ pub fn one_edge_extensions(
     measure: SupportMeasure,
     max_embeddings: usize,
 ) -> Vec<FrequentExtension> {
-    let mut grouped: FxHashMap<Extension, Vec<Embedding>> = FxHashMap::default();
-    let pattern = &parent.pattern;
-    for embedding in &parent.embeddings {
-        // Forward extensions: a host neighbor of a mapped vertex, outside the embedding.
-        for p in pattern.vertices() {
-            let hp = embedding[p.index()];
-            for &hu in host.neighbors(hp) {
-                if embedding.contains(&hu) {
-                    continue;
-                }
-                let ext = Extension::Forward {
-                    at: p,
-                    label: host.label(hu),
-                };
-                let bucket = grouped.entry(ext).or_default();
-                if bucket.len() < max_embeddings {
-                    let mut child_embedding = embedding.clone();
-                    child_embedding.push(hu);
-                    bucket.push(child_embedding);
-                }
-            }
-        }
-        // Backward extensions: host edge between two mapped, pattern-non-adjacent vertices.
-        for p in pattern.vertices() {
-            for q in pattern.vertices() {
-                if p >= q || pattern.has_edge(p, q) {
-                    continue;
-                }
-                if host.has_edge(embedding[p.index()], embedding[q.index()]) {
-                    let ext = Extension::Backward { from: p, to: q };
-                    let bucket = grouped.entry(ext).or_default();
-                    if bucket.len() < max_embeddings {
-                        bucket.push(embedding.clone());
-                    }
-                }
-            }
-        }
-    }
-
-    let mut out: Vec<FrequentExtension> = Vec::new();
-    for (extension, embeddings) in grouped {
-        let child_pattern = apply_extension(pattern, extension);
-        let support = measure.compute(child_pattern.vertex_count(), &embeddings);
-        if support >= support_threshold {
-            out.push(FrequentExtension {
-                extension,
-                child: EmbeddedPattern::new(child_pattern, embeddings),
-                support,
-            });
-        }
-    }
-    // Deterministic order for reproducibility of the miners built on top.
-    out.sort_by(|a, b| format!("{:?}", a.extension).cmp(&format!("{:?}", b.extension)));
-    out
+    let mut store = EmbeddingStore::new();
+    let parent_set =
+        store.insert_embeddings(parent.pattern.vertex_count(), &parent.embeddings, true);
+    one_edge_extensions_in(
+        &mut store,
+        host,
+        &parent.pattern,
+        parent_set,
+        support_threshold,
+        measure,
+        max_embeddings,
+    )
+    .into_iter()
+    .map(|s| FrequentExtension {
+        extension: s.extension,
+        child: EmbeddedPattern::new(s.child.pattern, store.to_embeddings(s.child.set)),
+        support: s.child.support,
+    })
+    .collect()
 }
 
 /// Applies an extension to a pattern graph, returning the child pattern.
@@ -126,44 +233,67 @@ pub fn apply_extension(pattern: &LabeledGraph, extension: Extension) -> LabeledG
     child
 }
 
-/// Seeds edge-by-edge mining: all frequent single-edge patterns of `host`,
-/// grouped by (label, label) unordered pair.
+/// Seeds edge-by-edge mining into a shared store: all frequent single-edge
+/// patterns of `host`, grouped by (label, label) unordered pair, sorted by
+/// that pair.
+pub fn frequent_single_edges_in(
+    store: &mut EmbeddingStore,
+    host: &LabeledGraph,
+    support_threshold: usize,
+    measure: SupportMeasure,
+    max_embeddings: usize,
+) -> Vec<StoredPattern> {
+    let mut grouped: FxHashMap<(Label, Label), FlatEmbeddings> = FxHashMap::default();
+    for (u, v) in host.edges() {
+        let (lu, lv) = (host.label(u), host.label(v));
+        let key = if lu <= lv { (lu, lv) } else { (lv, lu) };
+        let bucket = grouped.entry(key).or_insert_with(|| FlatEmbeddings::new(2));
+        if bucket.len() < max_embeddings {
+            // Store the embedding with the smaller label first to match the
+            // canonical pattern orientation below.
+            if lu <= lv {
+                bucket.push_row(&[u, v]);
+            } else {
+                bucket.push_row(&[v, u]);
+            }
+        } else {
+            bucket.mark_truncated();
+        }
+    }
+    let mut keys: Vec<(Label, Label)> = grouped.keys().copied().collect();
+    keys.sort_unstable();
+    let mut out = Vec::new();
+    for (la, lb) in keys {
+        let bucket = &grouped[&(la, lb)];
+        let support = bucket.view().support(measure);
+        if support < support_threshold {
+            continue;
+        }
+        let pattern = LabeledGraph::from_parts(&[la, lb], &[(0, 1)]);
+        let set = store.insert_scratch(bucket);
+        out.push(StoredPattern {
+            pattern,
+            set,
+            support,
+        });
+    }
+    out
+}
+
+/// Seeds edge-by-edge mining: all frequent single-edge patterns of `host`.
+///
+/// Thin materializing wrapper over [`frequent_single_edges_in`].
 pub fn frequent_single_edges(
     host: &LabeledGraph,
     support_threshold: usize,
     measure: SupportMeasure,
     max_embeddings: usize,
 ) -> Vec<EmbeddedPattern> {
-    let mut grouped: FxHashMap<(Label, Label), Vec<Embedding>> = FxHashMap::default();
-    for (u, v) in host.edges() {
-        let (lu, lv) = (host.label(u), host.label(v));
-        let key = if lu <= lv { (lu, lv) } else { (lv, lu) };
-        let bucket = grouped.entry(key).or_default();
-        if bucket.len() < max_embeddings {
-            // Store the embedding with the smaller label first to match the
-            // canonical pattern orientation below.
-            if lu <= lv {
-                bucket.push(vec![u, v]);
-            } else {
-                bucket.push(vec![v, u]);
-            }
-        }
-    }
-    let mut out = Vec::new();
-    for ((la, lb), embeddings) in grouped {
-        let pattern = LabeledGraph::from_parts(&[la, lb], &[(0, 1)]);
-        let support = measure.compute(2, &embeddings);
-        if support >= support_threshold {
-            out.push(EmbeddedPattern::new(pattern, embeddings));
-        }
-    }
-    out.sort_by_key(|ep| {
-        (
-            ep.pattern.label(VertexId(0)).0,
-            ep.pattern.label(VertexId(1)).0,
-        )
-    });
-    out
+    let mut store = EmbeddingStore::new();
+    frequent_single_edges_in(&mut store, host, support_threshold, measure, max_embeddings)
+        .into_iter()
+        .map(|s| EmbeddedPattern::new(s.pattern, store.to_embeddings(s.set)))
+        .collect()
 }
 
 #[cfg(test)]
@@ -252,6 +382,31 @@ mod tests {
         let parent = EmbeddedPattern::discover(path, &host, 100);
         let exts = one_edge_extensions(&host, &parent, 1, SupportMeasure::EmbeddingCount, 1);
         assert!(exts.iter().all(|e| e.child.embeddings.len() <= 1));
+    }
+
+    #[test]
+    fn handle_based_extensions_match_the_owned_wrapper() {
+        let host = two_triangles();
+        let path = LabeledGraph::from_parts(&[Label(0), Label(1), Label(2)], &[(0, 1), (1, 2)]);
+        let parent = EmbeddedPattern::discover(path.clone(), &host, 100);
+        let owned = one_edge_extensions(&host, &parent, 1, SupportMeasure::EmbeddingCount, 100);
+        let mut store = EmbeddingStore::new();
+        let parent_set = store.insert_embeddings(3, &parent.embeddings, true);
+        let stored = one_edge_extensions_in(
+            &mut store,
+            &host,
+            &path,
+            parent_set,
+            1,
+            SupportMeasure::EmbeddingCount,
+            100,
+        );
+        assert_eq!(owned.len(), stored.len());
+        for (a, b) in owned.iter().zip(&stored) {
+            assert_eq!(a.extension, b.extension);
+            assert_eq!(a.support, b.child.support);
+            assert_eq!(a.child.embeddings, store.to_embeddings(b.child.set));
+        }
     }
 
     #[test]

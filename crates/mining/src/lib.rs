@@ -18,9 +18,14 @@
 //!   cooperative cancellation, progress callbacks, streaming pattern delivery
 //!   and per-stage timings, threaded through every miner's `*_with` entry
 //!   point.
+//! * [`eval`] — the incremental embedding-evaluation layer: the columnar
+//!   [`eval::EmbeddingStore`] arena (flat `VertexId` pool,
+//!   [`eval::EmbeddingSetId`] handles), the memoizing
+//!   [`eval::SupportOracle`], and the shared [`eval::VertexBitset`].
 
 pub mod context;
 pub mod embedding;
+pub mod eval;
 pub mod extension;
 pub mod pattern_index;
 pub mod rspider;
@@ -29,6 +34,10 @@ pub mod support;
 
 pub use context::{CancelToken, MineContext, ProgressEvent, StageTiming, StreamedPattern};
 pub use embedding::{EmbeddedPattern, Embedding};
+pub use eval::{
+    DirectOracle, EmbeddingSetId, EmbeddingSetView, EmbeddingStore, FlatEmbeddings, MemoOracle,
+    OracleStats, PatternMemo, SupportOracle, VertexBitset,
+};
 pub use pattern_index::PatternIndex;
 pub use spider::{Spider, SpiderCatalog, SpiderId, SpiderMiningConfig};
 pub use support::SupportMeasure;

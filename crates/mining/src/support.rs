@@ -17,9 +17,18 @@
 //!   the embedding-overlap graph (two embeddings conflict when they share a
 //!   host vertex); a conservative overlap-aware count in the spirit of
 //!   harmful-overlap / edge-disjoint support.
+//!
+//! Each measure has one row-iterator core that both storage layouts reach:
+//! the legacy `&[Embedding]` entry points and the flat row-major slices of
+//! the [`EmbeddingStore`](crate::eval::EmbeddingStore) arena
+//! ([`SupportMeasure::compute_flat`]). Distinct-vertex counting goes through
+//! the shared [`VertexBitset`].
 
 use crate::embedding::Embedding;
+use crate::eval::bitset::{distinct_vertex_set_indices, VertexBitset};
 use spidermine_graph::graph::VertexId;
+use std::fmt;
+use std::str::FromStr;
 
 /// Which support definition to use when counting pattern frequency.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
@@ -34,111 +43,131 @@ pub enum SupportMeasure {
 }
 
 impl SupportMeasure {
+    /// Stable lower-case name (also accepted by [`SupportMeasure::from_str`]).
+    pub fn name(&self) -> &'static str {
+        match self {
+            SupportMeasure::EmbeddingCount => "embeddings",
+            SupportMeasure::MinimumImage => "mni",
+            SupportMeasure::GreedyDisjoint => "greedy-disjoint",
+        }
+    }
+
+    /// All measures, in a stable order.
+    pub fn all() -> [SupportMeasure; 3] {
+        [
+            SupportMeasure::EmbeddingCount,
+            SupportMeasure::MinimumImage,
+            SupportMeasure::GreedyDisjoint,
+        ]
+    }
+
     /// Computes the support of a pattern with `pattern_vertices` vertices from
     /// its embedding list.
     pub fn compute(self, pattern_vertices: usize, embeddings: &[Embedding]) -> usize {
+        self.compute_rows(
+            pattern_vertices,
+            embeddings.iter().map(Vec::as_slice),
+            embeddings.len(),
+        )
+    }
+
+    /// [`SupportMeasure::compute`] over the flat row-major storage of the
+    /// embedding arena (`arity` host vertices per row).
+    pub fn compute_flat(self, arity: usize, flat: &[VertexId]) -> usize {
+        if arity == 0 {
+            return 0;
+        }
+        self.compute_rows(arity, flat.chunks_exact(arity), flat.len() / arity)
+    }
+
+    /// The row-iterator core every storage layout reaches. `rows` must yield
+    /// `row_count` slices of length `arity` (re-iterated once per pattern
+    /// position for MNI, hence `Clone`).
+    pub fn compute_rows<'a, I>(self, arity: usize, rows: I, row_count: usize) -> usize
+    where
+        I: Iterator<Item = &'a [VertexId]> + Clone,
+    {
         match self {
-            SupportMeasure::EmbeddingCount => distinct_embedding_count(embeddings),
-            SupportMeasure::MinimumImage => minimum_image_support(pattern_vertices, embeddings),
-            SupportMeasure::GreedyDisjoint => greedy_disjoint_support(embeddings),
+            SupportMeasure::EmbeddingCount => distinct_embedding_count_rows(rows),
+            SupportMeasure::MinimumImage => minimum_image_support_rows(arity, rows, row_count),
+            SupportMeasure::GreedyDisjoint => greedy_disjoint_support_rows(rows),
         }
     }
 }
 
-/// A flat bitset over host-vertex ids, reused across positions/embeddings so
-/// the support computations allocate once instead of building a hash set per
-/// pattern position (the dominant cost of the previous implementation).
-struct VertexBitset {
-    words: Vec<u64>,
-    /// Indices of words that have at least one bit set, for sparse clearing.
-    touched: Vec<u32>,
-}
-
-impl VertexBitset {
-    fn with_capacity(max_vertex_id: u32) -> Self {
-        let words = vec![0u64; (max_vertex_id as usize + 64) / 64];
-        Self {
-            words,
-            touched: Vec::new(),
-        }
-    }
-
-    /// Sets the bit for `v`; returns `true` if it was previously clear.
-    #[inline]
-    fn insert(&mut self, v: VertexId) -> bool {
-        let word = (v.0 / 64) as usize;
-        let bit = 1u64 << (v.0 % 64);
-        if self.words[word] & bit != 0 {
-            return false;
-        }
-        if self.words[word] == 0 {
-            self.touched.push(word as u32);
-        }
-        self.words[word] |= bit;
-        true
-    }
-
-    /// True if the bit for `v` is set.
-    #[inline]
-    fn contains(&self, v: VertexId) -> bool {
-        self.words[(v.0 / 64) as usize] & (1u64 << (v.0 % 64)) != 0
-    }
-
-    /// Clears only the words that were touched since the last clear.
-    fn clear(&mut self) {
-        for &w in &self.touched {
-            self.words[w as usize] = 0;
-        }
-        self.touched.clear();
+impl fmt::Display for SupportMeasure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
     }
 }
 
-/// Largest host-vertex id referenced by any embedding (0 when empty).
-fn max_vertex_id(embeddings: &[Embedding]) -> u32 {
-    embeddings
-        .iter()
-        .flat_map(|e| e.iter())
-        .map(|v| v.0)
-        .max()
-        .unwrap_or(0)
+impl FromStr for SupportMeasure {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "embeddings" | "embedding-count" | "count" => Ok(SupportMeasure::EmbeddingCount),
+            "mni" | "minimum-image" => Ok(SupportMeasure::MinimumImage),
+            "greedy-disjoint" | "disjoint" => Ok(SupportMeasure::GreedyDisjoint),
+            other => Err(format!(
+                "unknown support measure `{other}` (expected one of {})",
+                SupportMeasure::all().map(|m| m.name()).join(", ")
+            )),
+        }
+    }
+}
+
+/// Largest host-vertex id referenced by any row (0 when empty).
+fn max_vertex_id<'a>(rows: impl Iterator<Item = &'a [VertexId]>) -> u32 {
+    rows.flat_map(|r| r.iter()).map(|v| v.0).max().unwrap_or(0)
 }
 
 /// Number of embeddings with distinct host-vertex sets (automorphic
 /// re-mappings of the same occurrence count once).
 pub fn distinct_embedding_count(embeddings: &[Embedding]) -> usize {
-    if embeddings.is_empty() {
-        return 0;
-    }
-    // Sort-and-dedup over the sorted vertex sets: one allocation per
-    // embedding key plus one sort, instead of a hash set of vectors.
-    let mut keys: Vec<Vec<VertexId>> = embeddings
-        .iter()
-        .map(|e| {
-            let mut key = e.clone();
-            key.sort_unstable();
-            key
-        })
-        .collect();
-    keys.sort_unstable();
-    keys.dedup();
-    keys.len()
+    distinct_embedding_count_rows(embeddings.iter().map(Vec::as_slice))
+}
+
+/// Row-iterator core of [`distinct_embedding_count`].
+pub fn distinct_embedding_count_rows<'a, I>(rows: I) -> usize
+where
+    I: Iterator<Item = &'a [VertexId]>,
+{
+    distinct_vertex_set_indices(rows).len()
 }
 
 /// Minimum node image support: `min_p |{ e[p] : e ∈ embeddings }|`.
 ///
 /// Counts distinct images per pattern position through a single reused
-/// `VertexBitset` — no per-position hash set.
+/// [`VertexBitset`] — no per-position hash set.
 pub fn minimum_image_support(pattern_vertices: usize, embeddings: &[Embedding]) -> usize {
-    if pattern_vertices == 0 || embeddings.is_empty() {
+    minimum_image_support_rows(
+        pattern_vertices,
+        embeddings.iter().map(Vec::as_slice),
+        embeddings.len(),
+    )
+}
+
+/// Row-iterator core of [`minimum_image_support`]; re-iterates `rows` once per
+/// pattern position.
+pub fn minimum_image_support_rows<'a, I>(
+    pattern_vertices: usize,
+    rows: I,
+    row_count: usize,
+) -> usize
+where
+    I: Iterator<Item = &'a [VertexId]> + Clone,
+{
+    if pattern_vertices == 0 || row_count == 0 {
         return 0;
     }
-    let mut bits = VertexBitset::with_capacity(max_vertex_id(embeddings));
+    let mut bits = VertexBitset::with_capacity(max_vertex_id(rows.clone()));
     let mut min = usize::MAX;
     for p in 0..pattern_vertices {
         bits.clear();
         let mut distinct = 0;
-        for e in embeddings {
-            if bits.insert(e[p]) {
+        for row in rows.clone() {
+            if bits.insert(row[p]) {
                 distinct += 1;
             }
         }
@@ -154,16 +183,25 @@ pub fn minimum_image_support(pattern_vertices: usize, embeddings: &[Embedding]) 
 /// Greedily selects pairwise vertex-disjoint embeddings and returns how many
 /// were selected. This lower-bounds the maximum independent set.
 pub fn greedy_disjoint_support(embeddings: &[Embedding]) -> usize {
-    if embeddings.is_empty() {
+    greedy_disjoint_support_rows(embeddings.iter().map(Vec::as_slice))
+}
+
+/// Row-iterator core of [`greedy_disjoint_support`].
+pub fn greedy_disjoint_support_rows<'a, I>(rows: I) -> usize
+where
+    I: Iterator<Item = &'a [VertexId]> + Clone,
+{
+    let mut peek = rows.clone();
+    if peek.next().is_none() {
         return 0;
     }
-    let mut used = VertexBitset::with_capacity(max_vertex_id(embeddings));
+    let mut used = VertexBitset::with_capacity(max_vertex_id(rows.clone()));
     let mut count = 0;
-    for e in embeddings {
-        if e.iter().any(|&v| used.contains(v)) {
+    for row in rows {
+        if row.iter().any(|&v| used.contains(v)) {
             continue;
         }
-        for &v in e {
+        for &v in row {
             used.insert(v);
         }
         count += 1;
@@ -209,14 +247,21 @@ mod tests {
 
     #[test]
     fn empty_inputs_have_zero_support() {
-        for m in [
-            SupportMeasure::EmbeddingCount,
-            SupportMeasure::MinimumImage,
-            SupportMeasure::GreedyDisjoint,
-        ] {
+        for m in SupportMeasure::all() {
             assert_eq!(m.compute(2, &[]), 0);
+            assert_eq!(m.compute_flat(2, &[]), 0);
+            assert_eq!(m.compute_flat(0, &[]), 0);
         }
         assert_eq!(minimum_image_support(0, &[v(&[])]), 0);
+    }
+
+    #[test]
+    fn flat_layout_agrees_with_owned_rows() {
+        let embs = vec![v(&[0, 1]), v(&[1, 2]), v(&[2, 3]), v(&[5, 6]), v(&[6, 5])];
+        let flat: Vec<VertexId> = embs.iter().flat_map(|e| e.iter().copied()).collect();
+        for m in SupportMeasure::all() {
+            assert_eq!(m.compute(2, &embs), m.compute_flat(2, &flat), "{m}");
+        }
     }
 
     #[test]
@@ -227,5 +272,18 @@ mod tests {
         let m = minimum_image_support(2, &embs);
         let c = distinct_embedding_count(&embs);
         assert!(d <= m && m <= c, "{d} <= {m} <= {c}");
+    }
+
+    #[test]
+    fn names_round_trip_and_reject_unknown() {
+        for m in SupportMeasure::all() {
+            assert_eq!(m.name().parse::<SupportMeasure>().unwrap(), m);
+            assert_eq!(format!("{m}"), m.name());
+        }
+        assert_eq!(
+            "minimum-image".parse::<SupportMeasure>().unwrap(),
+            SupportMeasure::MinimumImage
+        );
+        assert!("frobnicate".parse::<SupportMeasure>().is_err());
     }
 }

@@ -22,21 +22,42 @@ pub fn close_pattern(
     embeddings: &[Embedding],
     support_threshold: usize,
 ) -> (LabeledGraph, usize) {
+    close_pattern_rows(
+        host,
+        pattern,
+        embeddings.iter().map(Vec::as_slice),
+        support_threshold,
+    )
+}
+
+/// [`close_pattern`] over borrowed embedding rows — the row-iterator core the
+/// miner drives straight off the
+/// [`EmbeddingStore`](spidermine_mining::eval::EmbeddingStore) arena, without
+/// materializing `Vec<Embedding>` lists first.
+pub fn close_pattern_rows<'a, I>(
+    host: &LabeledGraph,
+    pattern: &LabeledGraph,
+    rows: I,
+    support_threshold: usize,
+) -> (LabeledGraph, usize)
+where
+    I: Iterator<Item = &'a [VertexId]> + ExactSizeIterator + Clone,
+{
     let mut refined = pattern.clone();
     let mut added = 0;
     let n = pattern.vertex_count() as u32;
+    let total = rows.len();
     for u in 0..n {
         for v in (u + 1)..n {
             let (pu, pv) = (VertexId(u), VertexId(v));
             if refined.has_edge(pu, pv) {
                 continue;
             }
-            let witness = embeddings
-                .iter()
+            let witness = rows
+                .clone()
                 .filter(|e| host.has_edge(e[pu.index()], e[pv.index()]))
                 .count();
-            if witness >= support_threshold && witness == embeddings.len() && !embeddings.is_empty()
-            {
+            if witness >= support_threshold && witness == total && total > 0 {
                 refined.add_edge(pu, pv);
                 added += 1;
             }

@@ -9,13 +9,15 @@
 //! edges is the paper's central efficiency claim: each step jumps several
 //! edges at once.
 //!
-//! Within one layer, candidate patterns live in a [`PatternStore`] arena
-//! rather than as owned [`LabeledGraph`] clones: each candidate extension is a copy-on-grow
-//! append of its parent's flat spans ([`PatternStore::grow_star`]), beam
-//! pruning sorts by span metadata alone, and only the variants that survive
-//! the whole layer are materialized back into `LabeledGraph`s. This removes
-//! the per-candidate clone (three `Vec` allocations plus an adjacency
-//! rebuild) that used to dominate growth.
+//! Within one layer, candidate patterns live in a [`PatternStore`] arena and
+//! candidate *embeddings* live in a layer-local [`EmbeddingStore`] arena:
+//! every extension appends flat rows instead of cloning a `Vec<Embedding>`,
+//! beam pruning sorts by handles, and only the variants that survive the
+//! whole layer are re-interned into the layer's compact output arena
+//! ([`LayerGrowth`]), which the driver splices onto its global store
+//! ([`EmbeddingStore::absorb`]) in deterministic pattern order. This removes
+//! both per-candidate clone storms (the pattern graph *and* its embedding
+//! list) that used to dominate growth.
 
 use crate::config::SpiderMineConfig;
 use rayon::prelude::*;
@@ -24,16 +26,22 @@ use spidermine_graph::graph::{LabeledGraph, VertexId};
 use spidermine_graph::label::Label;
 use spidermine_graph::pattern_store::{PatternId, PatternStore};
 use spidermine_mining::embedding::Embedding;
+use spidermine_mining::eval::{EmbeddingSetId, EmbeddingSetView, EmbeddingStore, FlatEmbeddings};
 use spidermine_mining::spider::{SpiderCatalog, SpiderId, SpiderRef};
 
-/// A pattern being grown by SpiderMine, together with its embeddings and
-/// growth bookkeeping.
+/// Mid-layer arena compaction trigger: pool size (in `VertexId`s) above which
+/// dead candidate sets are worth reclaiming.
+const ARENA_COMPACT_MIN: usize = 1 << 16;
+
+/// A pattern being grown by SpiderMine, together with a handle to its
+/// embedding set (in the run's [`EmbeddingStore`]) and growth bookkeeping.
 #[derive(Clone, Debug)]
 pub struct GrownPattern {
     /// The pattern graph (vertices `0..k`).
     pub pattern: LabeledGraph,
-    /// Embeddings of the pattern in the data graph.
-    pub embeddings: Vec<Embedding>,
+    /// Handle to the pattern's embeddings in the data graph. Copying a
+    /// grown pattern copies this 4-byte handle, not the embedding list.
+    pub embeddings: EmbeddingSetId,
     /// Pattern vertices added by the most recent growth layer — the boundary
     /// `B[P]` that the next SpiderGrow call will try to extend.
     pub boundary: Vec<VertexId>,
@@ -46,11 +54,15 @@ pub struct GrownPattern {
 }
 
 impl GrownPattern {
-    /// Support of the pattern under the configured measure.
-    pub fn support(&self, config: &SpiderMineConfig) -> usize {
-        config
-            .support_measure
-            .compute(self.pattern.vertex_count(), &self.embeddings)
+    /// Support of the pattern under the configured measure, computed from its
+    /// embedding set in `store`.
+    pub fn support(&self, config: &SpiderMineConfig, store: &EmbeddingStore) -> usize {
+        store.view(self.embeddings).support(config.support_measure)
+    }
+
+    /// Number of embeddings retained for the pattern.
+    pub fn embedding_count(&self, store: &EmbeddingStore) -> usize {
+        store.view(self.embeddings).len()
     }
 
     /// Pattern size in edges (the paper's size definition).
@@ -59,28 +71,44 @@ impl GrownPattern {
     }
 }
 
+/// The parallel-friendly half of seeding: the seed pattern plus its greedy
+/// witness embeddings as an owned scratch buffer, ready to be interned by the
+/// (sequential) caller.
+pub fn seed_rows(
+    host: &LabeledGraph,
+    spider: SpiderRef<'_>,
+    config: &SpiderMineConfig,
+) -> (LabeledGraph, FlatEmbeddings) {
+    let pattern = spider.to_pattern();
+    let mut rows = FlatEmbeddings::new(pattern.vertex_count());
+    for &head in spider.heads {
+        if rows.len() >= config.max_embeddings {
+            break;
+        }
+        if let Some(e) = assign_star(host, head, spider.leaf_labels, &[]) {
+            rows.push_row(&e);
+        }
+    }
+    // Greedy star assignment keeps one witness per head, not the complete
+    // embedding set — never treat it as extension-complete.
+    rows.mark_truncated();
+    (pattern, rows)
+}
+
 /// Builds the initial [`GrownPattern`] for a seed spider: one embedding per
 /// head occurrence, with leaves assigned greedily to the lowest-id free
-/// neighbors of each label.
+/// neighbors of each label, interned into `store`.
 pub fn seed_pattern(
     host: &LabeledGraph,
     spider: SpiderRef<'_>,
     config: &SpiderMineConfig,
+    store: &mut EmbeddingStore,
 ) -> GrownPattern {
-    let pattern = spider.to_pattern();
-    let mut embeddings = Vec::new();
-    for &head in spider.heads {
-        if embeddings.len() >= config.max_embeddings {
-            break;
-        }
-        if let Some(e) = assign_star(host, head, spider.leaf_labels, &[]) {
-            embeddings.push(e);
-        }
-    }
+    let (pattern, rows) = seed_rows(host, spider, config);
     let boundary = pattern.vertices().collect();
     GrownPattern {
+        embeddings: store.insert_scratch(&rows),
         pattern,
-        embeddings,
         boundary,
         merged: false,
         seed_ids: vec![spider.id],
@@ -121,69 +149,86 @@ fn assign_star(
 }
 
 /// Internal working state while a layer is being grown: a handle into the
-/// layer's pattern arena plus the embedding list. Patterns are only
-/// materialized for the variants that survive the layer.
+/// layer's pattern arena plus a handle into the layer's embedding arena.
+/// Nothing is materialized until the layer ends.
 struct Working {
     id: PatternId,
-    embeddings: Vec<Embedding>,
+    set: EmbeddingSetId,
     new_vertices: Vec<VertexId>,
 }
 
 /// One frequent extension candidate produced by [`extensions_at`]: the labels
 /// of the leaves to append at the boundary vertex, with the surviving
-/// embeddings.
+/// embeddings as an owned scratch buffer.
 struct CandidateExt {
     new_leaves: Vec<Label>,
-    embeddings: Vec<Embedding>,
+    rows: FlatEmbeddings,
 }
 
-/// Grows `input` by one layer (radius + r): every boundary vertex is offered
-/// matching spiders, and the best few frequent variants are kept.
-///
-/// Returns one or more grown variants; if nothing could be extended the single
-/// returned variant is the input pattern with `exhausted = true`.
-pub fn grow_one_layer(
+/// One grown layer, before the driver splices it onto the global store: the
+/// surviving variants with embedding handles into the layer's own compact
+/// [`arena`](LayerGrowth::arena).
+pub struct LayerGrowth {
+    /// Arena holding exactly the surviving variants' embedding sets.
+    pub arena: EmbeddingStore,
+    /// The grown variants; their [`GrownPattern::embeddings`] handles index
+    /// [`LayerGrowth::arena`] until rebased through
+    /// [`EmbeddingStore::absorb`].
+    pub variants: Vec<GrownPattern>,
+}
+
+/// Grows `input` by one layer (radius + r) against a read-only view of its
+/// embeddings, producing a self-contained [`LayerGrowth`]. This is the
+/// parallel-friendly entry point: the driver fans `grow_layer` out across
+/// patterns (each call owns its scratch arenas) and absorbs the results
+/// sequentially in pattern order — the same deterministic output as a fully
+/// sequential run.
+pub fn grow_layer(
     host: &LabeledGraph,
     catalog: &SpiderCatalog,
     input: &GrownPattern,
+    parent: EmbeddingSetView<'_>,
     config: &SpiderMineConfig,
-) -> Vec<GrownPattern> {
+) -> LayerGrowth {
     let sigma = config.support_threshold;
-    let mut store = PatternStore::new();
-    let base = store.insert_graph(&input.pattern);
+    let measure = config.support_measure;
+    let mut patterns = PatternStore::new();
+    let mut arena = EmbeddingStore::new();
+    let base = patterns.insert_graph(&input.pattern);
+    let base_set = arena.insert_flat(parent.arity(), parent.flat(), parent.is_complete());
     let mut working = vec![Working {
         id: base,
-        embeddings: input.embeddings.clone(),
+        set: base_set,
         new_vertices: Vec::new(),
     }];
     for &v in &input.boundary {
         // Beam variants are independent: compute their candidate extensions
-        // in parallel (extensions only *read* the layer arena), then splice
+        // in parallel (extensions only *read* the layer arenas), then splice
         // the copy-on-grow appends back sequentially in variant order — the
         // same deterministic order as a fully sequential run.
         let candidates_per_variant: Vec<Vec<CandidateExt>> = working
             .par_iter()
-            .map(|w| extensions_at(host, catalog, &store, w, v, config))
+            .map(|w| extensions_at(host, catalog, &patterns, &arena, w, v, config))
             .collect();
         let mut next: Vec<Working> = Vec::new();
         for (w, candidates) in working.iter().zip(candidates_per_variant) {
             if candidates.is_empty() {
                 next.push(Working {
                     id: w.id,
-                    embeddings: w.embeddings.clone(),
+                    set: w.set,
                     new_vertices: w.new_vertices.clone(),
                 });
                 continue;
             }
             for c in candidates {
                 // Copy-on-grow: append one vertex per new leaf, attached to v.
-                let first_new = store.vertex_count(w.id) as u32;
-                let id = store.grow_star(w.id, v, &c.new_leaves);
+                let first_new = patterns.vertex_count(w.id) as u32;
+                let id = patterns.grow_star(w.id, v, &c.new_leaves);
                 let mut added = w.new_vertices.clone();
                 added.extend((0..c.new_leaves.len() as u32).map(|i| VertexId(first_new + i)));
                 next.push(Working {
                     id,
-                    embeddings: c.embeddings,
+                    set: arena.insert_scratch(&c.rows),
                     new_vertices: added,
                 });
             }
@@ -192,34 +237,42 @@ pub fn grow_one_layer(
         // The support measure is the expensive half of the key, so it is
         // computed once per variant (cached), not once per comparison.
         next.sort_by_cached_key(|w| {
-            let support = config
-                .support_measure
-                .compute(store.vertex_count(w.id), &w.embeddings);
-            std::cmp::Reverse((store.edge_count(w.id), support))
+            let support = arena.view(w.set).support(measure);
+            std::cmp::Reverse((patterns.edge_count(w.id), support))
         });
         next.truncate(config.beam_width.max(1));
         working = next;
         // Copy-on-grow never reclaims: beam-pruned candidates stay in the
         // pools until the layer ends. Once the dead spans dominate (large
         // boundaries growing large patterns), re-intern just the surviving
-        // beam into a fresh arena so peak memory stays proportional to it.
-        let (label_pool_len, _) = store.pool_sizes();
-        if store.len() > 4 * working.len().max(1) && label_pool_len > (1 << 14) {
+        // beam into fresh arenas so peak memory stays proportional to it.
+        let (label_pool_len, _) = patterns.pool_sizes();
+        if patterns.len() > 4 * working.len().max(1) && label_pool_len > (1 << 14) {
             let mut compact = PatternStore::new();
             for w in &mut working {
-                let view = store.view(w.id);
+                let view = patterns.view(w.id);
                 w.id = compact.insert_parts(view.labels, view.edges);
             }
-            store = compact;
+            patterns = compact;
+        }
+        let live: Vec<EmbeddingSetId> = working.iter().map(|w| w.set).collect();
+        if let Some(remap) = arena.maybe_compact(&live, ARENA_COMPACT_MIN) {
+            for w in &mut working {
+                w.set = remap[&w.set];
+            }
         }
     }
-    working
+    // Materialize the survivors; re-intern their sets into a compact output
+    // arena so the driver absorbs only live rows.
+    let mut out = EmbeddingStore::new();
+    let mut variants: Vec<GrownPattern> = working
         .into_iter()
         .map(|w| {
             let exhausted = w.new_vertices.is_empty();
+            let view = arena.view(w.set);
             GrownPattern {
-                pattern: store.materialize(w.id),
-                embeddings: w.embeddings,
+                pattern: patterns.materialize(w.id),
+                embeddings: out.insert_flat(view.arity(), view.flat(), view.is_complete()),
                 boundary: if exhausted {
                     input.boundary.clone()
                 } else {
@@ -230,24 +283,58 @@ pub fn grow_one_layer(
                 exhausted,
             }
         })
-        .filter(|g| g.support(config) >= sigma || g.exhausted)
+        .collect();
+    variants.retain(|g| out.view(g.embeddings).support(measure) >= sigma || g.exhausted);
+    LayerGrowth {
+        arena: out,
+        variants,
+    }
+}
+
+/// Grows `input` by one layer inside a shared store: reads the input's set
+/// from `store`, grows, and splices the surviving variants back. Sequential
+/// convenience over [`grow_layer`] (the driver's parallel loops absorb layer
+/// growths themselves).
+///
+/// Returns one or more grown variants; if nothing could be extended the single
+/// returned variant is the input pattern with `exhausted = true`.
+pub fn grow_one_layer(
+    host: &LabeledGraph,
+    catalog: &SpiderCatalog,
+    input: &GrownPattern,
+    config: &SpiderMineConfig,
+    store: &mut EmbeddingStore,
+) -> Vec<GrownPattern> {
+    let growth = grow_layer(host, catalog, input, store.view(input.embeddings), config);
+    let base = store.absorb(growth.arena);
+    growth
+        .variants
+        .into_iter()
+        .map(|mut g| {
+            g.embeddings = EmbeddingStore::rebased(g.embeddings, base);
+            g
+        })
         .collect()
 }
 
 /// SpiderExtend at a single boundary vertex: all frequent ways of planting a
 /// spider with its head at `v`, ranked by how much they add, truncated to the
-/// branch factor. Candidates are returned as leaf-label deltas (plus their
-/// embeddings); the caller appends the survivors to the layer arena.
+/// branch factor. Candidates are returned as leaf-label deltas plus their
+/// surviving embeddings (flat scratch rows); the caller appends the survivors
+/// to the layer arenas.
 fn extensions_at(
     host: &LabeledGraph,
     catalog: &SpiderCatalog,
-    store: &PatternStore,
+    patterns: &PatternStore,
+    arena: &EmbeddingStore,
     w: &Working,
     v: VertexId,
     config: &SpiderMineConfig,
 ) -> Vec<CandidateExt> {
     let sigma = config.support_threshold;
-    let view = store.view(w.id);
+    let view = patterns.view(w.id);
+    let rows = arena.view(w.set);
+    let arity = rows.arity();
     let head_label = view.label(v);
     // Labels already adjacent to v inside the pattern: the spider only adds
     // leaves beyond these (the paper's Maximal Overlap condition ensures the
@@ -274,40 +361,43 @@ fn extensions_at(
         if view.vertex_count() + new_leaves.len() > config.max_pattern_vertices {
             continue;
         }
-        // Embeddings extend independently; evaluate them in parallel and keep
-        // the first `max_embeddings` successes in input order — identical to
-        // the sequential scan.
-        let extended: Vec<Option<Embedding>> = w
-            .embeddings
-            .par_iter()
-            .map(|e| {
-                let dv = e[v.index()];
-                assign_star(host, dv, &new_leaves, e).map(|star| {
-                    // star = [dv, leaf_1, ...]; append the leaves.
-                    let mut extended = e.clone();
-                    extended.extend_from_slice(&star[1..]);
-                    extended
+        // Embeddings extend independently; evaluate them in parallel (over
+        // the flat row slice) and keep the first `max_embeddings` successes
+        // in row order — identical to the sequential scan.
+        let extended: Vec<Option<Embedding>> = rows
+            .flat()
+            .par_chunks(arity.max(1))
+            .map(|row| {
+                let dv = row[v.index()];
+                assign_star(host, dv, &new_leaves, row).map(|star| {
+                    // star = [dv, leaf_1, ...]; the caller appends the leaves.
+                    star[1..].to_vec()
                 })
             })
             .collect();
-        let new_embeddings: Vec<Embedding> = extended
-            .into_iter()
-            .flatten()
-            .take(config.max_embeddings)
-            .collect();
-        let new_vertex_count = view.vertex_count() + new_leaves.len();
-        let support = config
-            .support_measure
-            .compute(new_vertex_count, &new_embeddings);
+        let new_arity = arity + new_leaves.len();
+        let mut new_rows = FlatEmbeddings::new(new_arity);
+        // Spider growth keeps one greedy witness per parent row — never a
+        // complete embedding set.
+        new_rows.mark_truncated();
+        for (i, leaves) in extended.into_iter().enumerate() {
+            if new_rows.len() >= config.max_embeddings {
+                break;
+            }
+            if let Some(leaves) = leaves {
+                new_rows.push_extended_row(rows.row(i), &leaves);
+            }
+        }
+        let support = new_rows.view().support(config.support_measure);
         if support < sigma {
             continue;
         }
         candidates.push(CandidateExt {
             new_leaves,
-            embeddings: new_embeddings,
+            rows: new_rows,
         });
     }
-    candidates.sort_by_key(|c| std::cmp::Reverse((c.new_leaves.len(), c.embeddings.len())));
+    candidates.sort_by_key(|c| std::cmp::Reverse((c.new_leaves.len(), c.rows.len())));
     candidates.truncate(config.branch_factor.max(1));
     candidates
 }
@@ -367,27 +457,32 @@ mod tests {
         }
     }
 
+    fn validate(host: &LabeledGraph, store: &EmbeddingStore, g: &GrownPattern) -> bool {
+        spidermine_mining::embedding::EmbeddedPattern::new(
+            g.pattern.clone(),
+            store.to_embeddings(g.embeddings),
+        )
+        .validate_against(host)
+    }
+
     #[test]
     fn seed_pattern_has_one_embedding_per_head() {
         let host = two_paths_host();
         let catalog = catalog_for(&host);
         let config = test_config();
+        let mut store = EmbeddingStore::new();
         // Spider with head label 1 and a leaf multiset {0, 2} exists with heads v1, v5.
         let spider = catalog
             .spiders()
             .find(|s| s.head_label == Label(1) && s.leaf_labels == [Label(0), Label(2)])
             .expect("B-head spider");
-        let seeded = seed_pattern(&host, spider, &config);
-        assert_eq!(seeded.embeddings.len(), 2);
+        let seeded = seed_pattern(&host, spider, &config, &mut store);
+        assert_eq!(seeded.embedding_count(&store), 2);
         assert_eq!(seeded.pattern.vertex_count(), 3);
         assert!(!seeded.merged);
         assert!(!seeded.exhausted);
         // Every embedding is valid in the host.
-        let ep = spidermine_mining::embedding::EmbeddedPattern::new(
-            seeded.pattern.clone(),
-            seeded.embeddings.clone(),
-        );
-        assert!(ep.validate_against(&host));
+        assert!(validate(&host, &store, &seeded));
     }
 
     #[test]
@@ -395,22 +490,19 @@ mod tests {
         let host = two_paths_host();
         let catalog = catalog_for(&host);
         let config = test_config();
+        let mut store = EmbeddingStore::new();
         let spider = catalog
             .spiders()
             .find(|s| s.head_label == Label(1) && s.leaf_labels == [Label(0), Label(2)])
             .expect("B-head spider");
-        let seeded = seed_pattern(&host, spider, &config);
-        let grown = grow_one_layer(&host, &catalog, &seeded, &config);
+        let seeded = seed_pattern(&host, spider, &config, &mut store);
+        let grown = grow_one_layer(&host, &catalog, &seeded, &config, &mut store);
         assert!(!grown.is_empty());
         // The best variant should have reached the D vertex (label 3): 4 vertices.
         let best = grown.iter().max_by_key(|g| g.size()).expect("non-empty");
         assert!(best.pattern.vertex_count() >= 4, "got {:?}", best.pattern);
-        assert!(best.support(&config) >= 2);
-        let ep = spidermine_mining::embedding::EmbeddedPattern::new(
-            best.pattern.clone(),
-            best.embeddings.clone(),
-        );
-        assert!(ep.validate_against(&host));
+        assert!(best.support(&config, &store) >= 2);
+        assert!(validate(&host, &store, best));
     }
 
     #[test]
@@ -418,15 +510,16 @@ mod tests {
         let host = two_paths_host();
         let catalog = catalog_for(&host);
         let config = test_config();
+        let mut store = EmbeddingStore::new();
         // Seed from the decoy edge's spider: label 9 with one label-9 leaf.
         let spider = catalog
             .spiders()
             .find(|s| s.head_label == Label(9))
             .expect("decoy spider");
-        let seeded = seed_pattern(&host, spider, &config);
+        let seeded = seed_pattern(&host, spider, &config, &mut store);
         // First layer: boundary = both vertices; nothing new can be added
         // (each label-9 vertex has only one neighbor, already used).
-        let grown = grow_one_layer(&host, &catalog, &seeded, &config);
+        let grown = grow_one_layer(&host, &catalog, &seeded, &config, &mut store);
         assert!(grown.iter().all(|g| g.exhausted));
         assert!(grown.iter().all(|g| g.size() == seeded.size()));
     }
@@ -441,13 +534,14 @@ mod tests {
         );
         let catalog = catalog_for(&host);
         let config = test_config();
+        let mut store = EmbeddingStore::new();
         // The 1-headed spider {0} occurs twice (v1, v4); the {0,2} spider only once.
         let spider = catalog
             .spiders()
             .find(|s| s.head_label == Label(1) && s.leaf_labels == [Label(0)])
             .expect("small spider");
-        let seeded = seed_pattern(&host, spider, &config);
-        let grown = grow_one_layer(&host, &catalog, &seeded, &config);
+        let seeded = seed_pattern(&host, spider, &config, &mut store);
+        let grown = grow_one_layer(&host, &catalog, &seeded, &config, &mut store);
         // No frequent growth is possible: extending toward label 2 drops support to 1.
         assert!(grown.iter().all(|g| g.pattern.vertex_count() == 2));
     }
@@ -478,33 +572,69 @@ mod tests {
         assert!(assign_star(&host, VertexId(0), &[Label(7)], &[]).is_none());
     }
 
-    /// The layer arena must reproduce exactly what clone-and-mutate growth
-    /// produced: same labels, same edge set, same boundary ids.
+    /// The layer arenas must reproduce exactly what clone-and-mutate growth
+    /// produced: same labels, same edge set, same boundary ids, valid
+    /// embeddings of matching arity.
     #[test]
     fn arena_growth_is_equivalent_to_clone_growth() {
         let host = two_paths_host();
         let catalog = catalog_for(&host);
         let config = test_config();
+        let mut store = EmbeddingStore::new();
         let spider = catalog
             .spiders()
             .find(|s| s.head_label == Label(1) && s.leaf_labels == [Label(0), Label(2)])
             .expect("B-head spider");
-        let seeded = seed_pattern(&host, spider, &config);
-        let grown = grow_one_layer(&host, &catalog, &seeded, &config);
+        let seeded = seed_pattern(&host, spider, &config, &mut store);
+        let grown = grow_one_layer(&host, &catalog, &seeded, &config, &mut store);
         for g in &grown {
             // Pattern vertices 0..n with boundary ids inside range.
             for &b in &g.boundary {
                 assert!(b.index() < g.pattern.vertex_count());
             }
             // Embedding arity matches the pattern.
-            for e in &g.embeddings {
-                assert_eq!(e.len(), g.pattern.vertex_count());
-            }
-            let ep = spidermine_mining::embedding::EmbeddedPattern::new(
-                g.pattern.clone(),
-                g.embeddings.clone(),
+            assert_eq!(
+                store.view(g.embeddings).arity(),
+                g.pattern.vertex_count(),
+                "arity mismatch"
             );
-            assert!(ep.validate_against(&host));
+            assert!(validate(&host, &store, g));
+        }
+    }
+
+    /// `grow_layer` + `absorb` (what the parallel driver does) must equal the
+    /// sequential `grow_one_layer` convenience.
+    #[test]
+    fn layer_growth_absorbs_like_the_sequential_path() {
+        let host = two_paths_host();
+        let catalog = catalog_for(&host);
+        let config = test_config();
+        let mut store_a = EmbeddingStore::new();
+        let mut store_b = EmbeddingStore::new();
+        let spider = catalog
+            .spiders()
+            .find(|s| s.head_label == Label(1) && s.leaf_labels == [Label(0), Label(2)])
+            .expect("B-head spider");
+        let seeded_a = seed_pattern(&host, spider, &config, &mut store_a);
+        let seeded_b = seed_pattern(&host, spider, &config, &mut store_b);
+        let sequential = grow_one_layer(&host, &catalog, &seeded_a, &config, &mut store_a);
+        let growth = grow_layer(
+            &host,
+            &catalog,
+            &seeded_b,
+            store_b.view(seeded_b.embeddings),
+            &config,
+        );
+        let base = store_b.absorb(growth.arena);
+        assert_eq!(sequential.len(), growth.variants.len());
+        for (a, b) in sequential.iter().zip(&growth.variants) {
+            let b_set = EmbeddingStore::rebased(b.embeddings, base);
+            assert_eq!(a.pattern.labels(), b.pattern.labels());
+            assert_eq!(a.boundary, b.boundary);
+            assert_eq!(
+                store_a.to_embeddings(a.embeddings),
+                store_b.to_embeddings(b_set)
+            );
         }
     }
 }

@@ -8,10 +8,16 @@
 //! pruning.
 //!
 //! This implementation detects overlap through the host vertices covered by
-//! each pattern's embeddings, merges every overlapping embedding pair into the
+//! each pattern's embeddings (read straight off the flat rows of the shared
+//! [`EmbeddingStore`]), merges every overlapping embedding pair into the
 //! induced union subgraph, groups the unions by isomorphism (using the
-//! spider-set representation to prune isomorphism tests), and keeps each group
-//! that is frequent.
+//! spider-set representation to prune isomorphism tests), and keeps each
+//! group that is frequent. Group support is deliberately computed **raw**
+//! from the round's witness rows, not through the memoizing support oracle:
+//! it is a per-round quantity (the same union class legitimately collects
+//! more witnesses in later Stage II rounds as patterns grow toward each
+//! other), so a memo keyed on the pattern class would freeze the first
+//! round's count and could reject every later merge of that class.
 
 use crate::config::SpiderMineConfig;
 use crate::grow::GrownPattern;
@@ -21,6 +27,7 @@ use spidermine_graph::graph::{LabeledGraph, VertexId};
 use spidermine_graph::iso;
 use spidermine_graph::subgraph;
 use spidermine_mining::embedding::Embedding;
+use spidermine_mining::eval::{EmbeddingStore, FlatEmbeddings};
 
 /// Upper bound on overlapping embedding pairs examined per pattern pair.
 const MAX_PAIRS_PER_PATTERN_PAIR: usize = 32;
@@ -41,9 +48,17 @@ pub struct MergeStats {
     pub iso_tests_pruned: usize,
     /// Full VF2 isomorphism tests run.
     pub iso_tests_run: usize,
+    /// Union occurrences confirmed isomorphic to an existing group whose
+    /// representative embedding could not be re-fetched, and which were
+    /// therefore dropped from the group's support set. Structurally this
+    /// should be impossible (an isomorphic pattern always embeds into the
+    /// union); a non-zero count flags a matcher/oracle disagreement instead
+    /// of hiding it.
+    pub dropped_embeddings: usize,
 }
 
-/// Detects and performs merges among `patterns`.
+/// Detects and performs merges among `patterns`, whose embedding sets live in
+/// `store`; merged groups are interned into `store` too.
 ///
 /// Returns the merged patterns (marked `merged = true`) plus statistics. The
 /// indices of source patterns that participated in at least one successful
@@ -52,6 +67,7 @@ pub fn check_merges(
     host: &LabeledGraph,
     patterns: &[GrownPattern],
     config: &SpiderMineConfig,
+    store: &mut EmbeddingStore,
 ) -> (Vec<GrownPattern>, Vec<usize>, MergeStats) {
     let mut stats = MergeStats::default();
     let sigma = config.support_threshold;
@@ -59,11 +75,12 @@ pub fn check_merges(
     let covered: Vec<FxHashSet<VertexId>> = patterns
         .iter()
         .map(|p| {
-            let mut s = FxHashSet::default();
-            for e in &p.embeddings {
-                s.extend(e.iter().copied());
-            }
-            s
+            store
+                .view(p.embeddings)
+                .flat()
+                .iter()
+                .copied()
+                .collect::<FxHashSet<VertexId>>()
         })
         .collect();
     let mut candidate_pairs: FxHashSet<(usize, usize)> = FxHashSet::default();
@@ -87,15 +104,17 @@ pub fn check_merges(
     }
     stats.candidate_pairs = candidate_pairs.len();
 
-    // Group merged union graphs by isomorphism class.
+    // Group merged union graphs by isomorphism class. Group embeddings
+    // accumulate in owned flat buffers and are interned at the end, once the
+    // store's views are no longer being read.
     struct MergedGroup {
         pattern: LabeledGraph,
         spider_set: SpiderSet,
-        embeddings: Vec<Embedding>,
+        rows: FlatEmbeddings,
         sources: FxHashSet<usize>,
     }
     let mut groups: Vec<MergedGroup> = Vec::new();
-    let mut oracle = PrunedIsoOracle::new();
+    let mut iso_oracle = PrunedIsoOracle::new();
 
     let mut ordered_pairs: Vec<(usize, usize)> = candidate_pairs.into_iter().collect();
     ordered_pairs.sort_unstable();
@@ -103,13 +122,15 @@ pub fn check_merges(
         if stats.embedding_pairs >= MAX_PAIRS_PER_ROUND {
             break;
         }
+        let rows_i = store.view(patterns[i].embeddings);
+        let rows_j = store.view(patterns[j].embeddings);
         let mut pairs_examined = 0;
-        for e1 in &patterns[i].embeddings {
+        for e1 in rows_i.rows() {
             if pairs_examined >= MAX_PAIRS_PER_PATTERN_PAIR {
                 break;
             }
             let set1: FxHashSet<VertexId> = e1.iter().copied().collect();
-            for e2 in &patterns[j].embeddings {
+            for e2 in rows_j.rows() {
                 if pairs_examined >= MAX_PAIRS_PER_PATTERN_PAIR {
                     break;
                 }
@@ -131,7 +152,8 @@ pub fn check_merges(
                 // Find (or create) the isomorphism group.
                 let mut placed = false;
                 for group in groups.iter_mut() {
-                    match oracle.check(&group.pattern, &group.spider_set, &merged.graph, &sset) {
+                    match iso_oracle.check(&group.pattern, &group.spider_set, &merged.graph, &sset)
+                    {
                         IsoCheck::ConfirmedIsomorphic => {
                             // Map the representative onto this union occurrence.
                             if let Some(m) =
@@ -139,7 +161,14 @@ pub fn check_merges(
                             {
                                 let embedding: Embedding =
                                     m.iter().map(|&x| merged.origin[x.index()]).collect();
-                                group.embeddings.push(embedding);
+                                group.rows.push_row(&embedding);
+                            } else {
+                                // The confirmed-isomorphic representative must
+                                // embed; if the matcher disagrees, count the
+                                // dropped occurrence instead of losing it
+                                // silently (surfaced in `MiningStats` and
+                                // `MineOutcome`).
+                                stats.dropped_embeddings += 1;
                             }
                             group.sources.insert(i);
                             group.sources.insert(j);
@@ -150,29 +179,31 @@ pub fn check_merges(
                     }
                 }
                 if !placed {
-                    let embedding: Embedding = merged.origin.clone();
+                    let mut rows = FlatEmbeddings::new(merged.graph.vertex_count());
+                    rows.push_row(&merged.origin);
+                    // Union occurrences are witnesses, not the pattern's
+                    // complete embedding set.
+                    rows.mark_truncated();
                     let mut sources = FxHashSet::default();
                     sources.insert(i);
                     sources.insert(j);
                     groups.push(MergedGroup {
                         pattern: merged.graph,
                         spider_set: sset,
-                        embeddings: vec![embedding],
+                        rows,
                         sources,
                     });
                 }
             }
         }
     }
-    stats.iso_tests_pruned = oracle.pruned;
-    stats.iso_tests_run = oracle.full_tests;
+    stats.iso_tests_pruned = iso_oracle.pruned;
+    stats.iso_tests_run = iso_oracle.full_tests;
 
     let mut merged_out = Vec::new();
     let mut participating: FxHashSet<usize> = FxHashSet::default();
     for group in groups {
-        let support = config
-            .support_measure
-            .compute(group.pattern.vertex_count(), &group.embeddings);
+        let support = group.rows.view().support(config.support_measure);
         if support < sigma {
             continue;
         }
@@ -187,8 +218,8 @@ pub fn check_merges(
         seed_ids.dedup();
         let boundary: Vec<VertexId> = group.pattern.vertices().collect();
         merged_out.push(GrownPattern {
+            embeddings: store.insert_scratch(&group.rows),
             pattern: group.pattern,
-            embeddings: group.embeddings,
             boundary,
             merged: true,
             seed_ids,
@@ -241,7 +272,19 @@ mod tests {
         }
     }
 
-    fn grown_from_spider(host: &LabeledGraph, head: Label) -> GrownPattern {
+    fn run_merges(
+        host: &LabeledGraph,
+        patterns: &[GrownPattern],
+        store: &mut EmbeddingStore,
+    ) -> (Vec<GrownPattern>, Vec<usize>, MergeStats) {
+        check_merges(host, patterns, &config(), store)
+    }
+
+    fn grown_from_spider(
+        host: &LabeledGraph,
+        head: Label,
+        store: &mut EmbeddingStore,
+    ) -> GrownPattern {
         let catalog = SpiderCatalog::mine(
             host,
             &SpiderMiningConfig {
@@ -254,29 +297,31 @@ mod tests {
             .filter(|s| s.head_label == head)
             .max_by_key(|s| s.size())
             .expect("spider with requested head");
-        crate::grow::seed_pattern(host, spider, &config())
+        crate::grow::seed_pattern(host, spider, &config(), store)
     }
 
     #[test]
     fn overlapping_patterns_merge_into_a_larger_one() {
         let host = host();
+        let mut store = EmbeddingStore::new();
         // Spider at label 1 covers {0,1,2}; spider at label 2 covers {1,2,3}:
         // they overlap, and their union is the 4-path 0-1-2-3 in both copies.
-        let p1 = grown_from_spider(&host, Label(1));
-        let p2 = grown_from_spider(&host, Label(2));
-        let (merged, participating, stats) = check_merges(&host, &[p1, p2], &config());
+        let p1 = grown_from_spider(&host, Label(1), &mut store);
+        let p2 = grown_from_spider(&host, Label(2), &mut store);
+        let (merged, participating, stats) = run_merges(&host, &[p1, p2], &mut store);
         assert_eq!(stats.candidate_pairs, 1);
         assert!(stats.embedding_pairs >= 2);
+        assert_eq!(stats.dropped_embeddings, 0);
         assert_eq!(merged.len(), 1, "one isomorphism class of unions");
         let m = &merged[0];
         assert!(m.merged);
         assert_eq!(m.pattern.vertex_count(), 4);
-        assert!(m.support(&config()) >= 2);
+        assert!(m.support(&config(), &store) >= 2);
         assert_eq!(participating, vec![0, 1]);
         // Merged embeddings are valid.
         let ep = spidermine_mining::embedding::EmbeddedPattern::new(
             m.pattern.clone(),
-            m.embeddings.clone(),
+            store.to_embeddings(m.embeddings),
         );
         assert!(ep.validate_against(&host));
     }
@@ -284,12 +329,13 @@ mod tests {
     #[test]
     fn disjoint_patterns_do_not_merge() {
         let host = host();
-        let p1 = grown_from_spider(&host, Label(1));
-        let p2 = grown_from_spider(&host, Label(4));
+        let mut store = EmbeddingStore::new();
+        let p1 = grown_from_spider(&host, Label(1), &mut store);
+        let p2 = grown_from_spider(&host, Label(4), &mut store);
         // Label-1 spider covers {0,1,2}; label-4 spider covers {3,4}: they
         // share vertex 3? No: label-4 head has a single label-3 leaf, so it
         // covers {3,4}; label-1 spider covers {0,1,2} — disjoint.
-        let (merged, participating, stats) = check_merges(&host, &[p1, p2], &config());
+        let (merged, participating, stats) = run_merges(&host, &[p1, p2], &mut store);
         assert!(merged.is_empty());
         assert!(participating.is_empty());
         assert_eq!(stats.merged_patterns, 0);
@@ -303,28 +349,33 @@ mod tests {
             &[Label(0), Label(1), Label(2), Label(0), Label(1)],
             &[(0, 1), (1, 2), (3, 4)],
         );
+        let mut store = EmbeddingStore::new();
         let edge01 = LabeledGraph::from_parts(&[Label(0), Label(1)], &[(0, 1)]);
         let edge12 = LabeledGraph::from_parts(&[Label(1), Label(2)], &[(0, 1)]);
         let p1 = GrownPattern {
-            pattern: edge01.clone(),
-            embeddings: vec![
-                vec![VertexId(0), VertexId(1)],
-                vec![VertexId(3), VertexId(4)],
-            ],
+            embeddings: store.insert_embeddings(
+                2,
+                &[
+                    vec![VertexId(0), VertexId(1)],
+                    vec![VertexId(3), VertexId(4)],
+                ],
+                true,
+            ),
             boundary: edge01.vertices().collect(),
+            pattern: edge01,
             merged: false,
             seed_ids: vec![0],
             exhausted: false,
         };
         let p2 = GrownPattern {
-            pattern: edge12.clone(),
-            embeddings: vec![vec![VertexId(1), VertexId(2)]],
+            embeddings: store.insert_embeddings(2, &[vec![VertexId(1), VertexId(2)]], true),
             boundary: edge12.vertices().collect(),
+            pattern: edge12,
             merged: false,
             seed_ids: vec![1],
             exhausted: false,
         };
-        let (merged, _, stats) = check_merges(&single, &[p1, p2], &config());
+        let (merged, _, stats) = run_merges(&single, &[p1, p2], &mut store);
         assert!(merged.is_empty());
         assert!(stats.embedding_pairs >= 1, "the overlap was examined");
     }
@@ -332,8 +383,9 @@ mod tests {
     #[test]
     fn merge_of_identical_patterns_is_not_produced_from_self() {
         let host = host();
-        let p1 = grown_from_spider(&host, Label(1));
-        let (merged, _, stats) = check_merges(&host, &[p1], &config());
+        let mut store = EmbeddingStore::new();
+        let p1 = grown_from_spider(&host, Label(1), &mut store);
+        let (merged, _, stats) = run_merges(&host, &[p1], &mut store);
         assert!(
             merged.is_empty(),
             "a single pattern has no one to merge with"

@@ -11,12 +11,34 @@ use rustc_hash::FxHashSet;
 use spidermine_graph::graph::LabeledGraph;
 use spidermine_graph::traversal;
 use spidermine_mining::context::{MineContext, ProgressEvent, StreamedPattern};
+use spidermine_mining::eval::{EmbeddingSetId, EmbeddingStore};
 use spidermine_mining::pattern_index::PatternIndex;
 use spidermine_mining::spider::{SpiderCatalog, SpiderMiningConfig};
 use std::time::Instant;
 
 /// Safety cap on Stage III growth rounds.
 const MAX_STAGE_THREE_ROUNDS: usize = 64;
+
+/// Embedding-arena compaction trigger: pool size (in `VertexId`s) above which
+/// dead sets are worth reclaiming at an iteration boundary.
+const STORE_COMPACT_MIN: usize = 1 << 18;
+
+/// Compacts the run's embedding arena once dead sets dominate, remapping the
+/// handles of every live pattern group in place. Called only at sequential
+/// iteration boundaries.
+fn maybe_compact_store(store: &mut EmbeddingStore, groups: &mut [&mut Vec<GrownPattern>]) {
+    let live: Vec<EmbeddingSetId> = groups
+        .iter()
+        .flat_map(|g| g.iter().map(|p| p.embeddings))
+        .collect();
+    if let Some(remap) = store.maybe_compact(&live, STORE_COMPACT_MIN) {
+        for g in groups.iter_mut() {
+            for p in g.iter_mut() {
+                p.embeddings = remap[&p.embeddings];
+            }
+        }
+    }
+}
 
 /// The SpiderMine miner. Create it with a [`SpiderMineConfig`] and call
 /// [`SpiderMiner::mine`].
@@ -66,6 +88,13 @@ impl SpiderMiner {
         let config = &self.config;
         let total_start = Instant::now();
         let mut stats = MiningStats::default();
+        // The run's embedding arena: every grown/merged/pooled pattern holds
+        // an `EmbeddingSetId` into this store instead of an owned
+        // `Vec<Embedding>`. The support oracle comes from the context, so a
+        // caller can share one memo across runs (default: a fresh memoizing
+        // oracle for this config's measure).
+        let mut store = EmbeddingStore::new();
+        let oracle = ctx.support_oracle(config.support_measure);
 
         // ---------------------------------------------------------------
         // Stage I: mine all r-spiders.
@@ -108,17 +137,28 @@ impl SpiderMiner {
         stats.seed_count = seed_ids.len();
 
         // Seed-pattern embedding discovery is independent per seed spider:
-        // fan it out, keeping seed order (deterministic).
+        // fan it out (each worker fills an owned flat scratch buffer),
+        // keeping seed order, then intern the frequent survivors into the
+        // arena sequentially — deterministic.
         let mut patterns: Vec<GrownPattern> = seed_ids
             .par_iter()
             .map(|&id| {
-                let p = grow::seed_pattern(host, catalog.get(id), config);
-                let frequent = p.support(config) >= config.support_threshold;
-                frequent.then_some(p)
+                let (pattern, rows) = grow::seed_rows(host, catalog.get(id), config);
+                let frequent =
+                    rows.view().support(config.support_measure) >= config.support_threshold;
+                frequent.then_some((id, pattern, rows))
             })
             .collect::<Vec<_>>()
             .into_iter()
             .flatten()
+            .map(|(id, pattern, rows)| GrownPattern {
+                embeddings: store.insert_scratch(&rows),
+                boundary: pattern.vertices().collect(),
+                pattern,
+                merged: false,
+                seed_ids: vec![id],
+                exhausted: false,
+            })
             .collect();
 
         // A pool of everything ever discovered ("all the patterns discovered
@@ -142,23 +182,37 @@ impl SpiderMiner {
             if ctx.is_cancelled() {
                 break;
             }
-            // Each working pattern grows independently; splice the per-pattern
-            // results back in pattern order so the iteration is deterministic.
-            let grown_per_pattern: Vec<Vec<GrownPattern>> = patterns
+            // Each working pattern grows independently against a read-only
+            // view of the arena (each `grow_layer` call owns its scratch
+            // arenas); the growths are absorbed back in pattern order so the
+            // iteration is deterministic.
+            let growths: Vec<Option<grow::LayerGrowth>> = patterns
                 .par_iter()
                 .map(|p| {
-                    if p.exhausted {
-                        vec![p.clone()]
-                    } else {
-                        grow::grow_one_layer(host, &catalog, p, config)
-                    }
+                    (!p.exhausted).then(|| {
+                        grow::grow_layer(host, &catalog, p, store.view(p.embeddings), config)
+                    })
                 })
                 .collect();
-            let mut grown: Vec<GrownPattern> = grown_per_pattern.into_iter().flatten().collect();
-            let (merged, participating, merge_stats) = merge::check_merges(host, &grown, config);
+            let mut grown: Vec<GrownPattern> = Vec::new();
+            for (p, growth) in patterns.iter().zip(growths) {
+                match growth {
+                    None => grown.push(p.clone()),
+                    Some(g) => {
+                        let base = store.absorb(g.arena);
+                        grown.extend(g.variants.into_iter().map(|mut v| {
+                            v.embeddings = EmbeddingStore::rebased(v.embeddings, base);
+                            v
+                        }));
+                    }
+                }
+            }
+            let (merged, participating, merge_stats) =
+                merge::check_merges(host, &grown, config, &mut store);
             stats.merges += merge_stats.merged_patterns;
             stats.iso_tests_pruned += merge_stats.iso_tests_pruned;
             stats.iso_tests_run += merge_stats.iso_tests_run;
+            stats.merge_embeddings_dropped += merge_stats.dropped_embeddings;
             // Mark growth branches that took part in a merge so the Stage II
             // pruning keeps their lineage.
             let participating: FxHashSet<usize> = participating.into_iter().collect();
@@ -177,10 +231,11 @@ impl SpiderMiner {
             patterns.extend(merged);
             // Keep the working set bounded: prefer merged, then larger patterns.
             patterns.sort_by_key(|p| {
-                std::cmp::Reverse((p.merged as usize, p.size(), p.embeddings.len()))
+                std::cmp::Reverse((p.merged as usize, p.size(), p.embedding_count(&store)))
             });
             let cap = (2 * stats.seed_count).max(4 * config.k).max(16);
             patterns.truncate(cap);
+            maybe_compact_store(&mut store, &mut [&mut patterns, &mut pool]);
             ctx.progress(ProgressEvent::Iteration {
                 stage: "identify",
                 iteration: iteration as usize,
@@ -218,33 +273,42 @@ impl SpiderMiner {
             let mut next: Vec<GrownPattern> = Vec::new();
             // Diameter checks and growth are independent per survivor; the
             // pool bookkeeping below stays sequential, in survivor order.
-            let grown_per_survivor: Vec<Option<Vec<GrownPattern>>> = survivors
+            let grown_per_survivor: Vec<Option<grow::LayerGrowth>> = survivors
                 .par_iter()
                 .map(|p| {
                     let stop_for_diameter = traversal::diameter(&p.pattern) >= config.d_max;
                     if p.exhausted || stop_for_diameter {
                         None
                     } else {
-                        Some(grow::grow_one_layer(host, &catalog, p, config))
+                        Some(grow::grow_layer(
+                            host,
+                            &catalog,
+                            p,
+                            store.view(p.embeddings),
+                            config,
+                        ))
                     }
                 })
                 .collect();
-            for (p, grown) in survivors.iter().zip(grown_per_survivor) {
-                let Some(grown) = grown else {
+            for (p, growth) in survivors.iter().zip(grown_per_survivor) {
+                let Some(growth) = growth else {
                     next.push(p.clone());
                     continue;
                 };
-                for g in &grown {
+                let base = store.absorb(growth.arena);
+                for mut g in growth.variants {
+                    g.embeddings = EmbeddingStore::rebased(g.embeddings, base);
                     if g.size() > p.size() {
                         changed = true;
                     }
-                    remember(g, &mut pool, &mut pool_index);
+                    remember(&g, &mut pool, &mut pool_index);
+                    next.push(g);
                 }
-                next.extend(grown);
             }
-            next.sort_by_key(|p| std::cmp::Reverse((p.size(), p.embeddings.len())));
+            next.sort_by_key(|p| std::cmp::Reverse((p.size(), p.embedding_count(&store))));
             next.truncate((4 * config.k).max(16));
             survivors = next;
+            maybe_compact_store(&mut store, &mut [&mut survivors, &mut pool]);
             ctx.progress(ProgressEvent::Iteration {
                 stage: "recover",
                 iteration: rounds - 1,
@@ -268,14 +332,20 @@ impl SpiderMiner {
             patterns: Vec::new(),
             stats,
         };
-        pool.sort_by_key(|p| std::cmp::Reverse((p.size(), p.embeddings.len())));
+        pool.sort_by_key(|p| std::cmp::Reverse((p.size(), p.embedding_count(&store))));
         // Per-pattern support evaluation is independent, so each block of the
         // pool is evaluated in parallel — but block by block, so the scan
         // stays lazy: once K patterns are accepted the remaining (often much
-        // larger) tail of the pool is never evaluated.
+        // larger) tail of the pool is never evaluated. The pool is
+        // isomorphism-deduplicated, so consulting the memoizing oracle from
+        // the parallel map stays deterministic (no two entries share a memo
+        // key).
         let block_size = (4 * config.k).max(16);
         'select: for block in pool.chunks(block_size) {
-            let supports: Vec<usize> = block.par_iter().map(|p| p.support(config)).collect();
+            let supports: Vec<usize> = block
+                .par_iter()
+                .map(|p| oracle.support(&p.pattern, store.view(p.embeddings)))
+                .collect();
             for (p, support) in block.iter().zip(supports) {
                 if result.patterns.len() >= config.k || ctx.is_cancelled() {
                     break 'select;
@@ -284,16 +354,23 @@ impl SpiderMiner {
                     continue;
                 }
                 let (pattern, _) = if config.closure_refinement {
-                    closure::close_pattern(
+                    closure::close_pattern_rows(
                         host,
                         &p.pattern,
-                        &p.embeddings,
+                        store.view(p.embeddings).rows(),
                         config.support_threshold,
                     )
                 } else {
                     (p.pattern.clone(), 0)
                 };
-                let accepted = mined_pattern(pattern, support, p.embeddings.clone(), p.merged);
+                // Embeddings materialize out of the arena only here, once per
+                // *accepted* pattern — the pool never owns embedding lists.
+                let accepted = mined_pattern(
+                    pattern,
+                    support,
+                    store.to_embeddings(p.embeddings),
+                    p.merged,
+                );
                 // Stream the accepted pattern before final ranking: consumers
                 // see patterns in acceptance (pool) order, as they are found.
                 // (The clones happen only when a sink is installed.)
@@ -308,6 +385,10 @@ impl SpiderMiner {
         result.sort_patterns();
         ctx.record_stage("select", select_start.elapsed());
         ctx.progress(ProgressEvent::StageFinished { stage: "select" });
+        if let Some(oracle_stats) = ctx.oracle_stats() {
+            result.stats.oracle_hits = oracle_stats.hits;
+            result.stats.oracle_misses = oracle_stats.misses;
+        }
         result.stats.cancelled = ctx.was_cancelled();
         result.stats.total_time = total_start.elapsed();
         result

@@ -12,6 +12,7 @@ use crate::result::{MinedPattern, MiningStats};
 use spidermine_graph::graph::LabeledGraph;
 use spidermine_graph::transaction::GraphDatabase;
 use spidermine_mining::context::{MineContext, StreamedPattern};
+use spidermine_mining::eval::PatternMemo;
 
 /// One pattern mined from a transaction database.
 #[derive(Clone, Debug)]
@@ -97,12 +98,16 @@ impl TransactionMiner {
             ctx.record_stage(t.stage, t.elapsed);
         }
         let rerank_start = std::time::Instant::now();
+        // Transaction support is a pure function of the isomorphism class, so
+        // memoizing it per canonical pattern is exact: isomorphic candidates
+        // cost one subgraph-isomorphism sweep over the database, not one each.
+        let mut memo = PatternMemo::new();
         let mut patterns: Vec<TransactionPattern> = inner
             .patterns
             .iter()
             .map(|p: &MinedPattern| TransactionPattern {
                 pattern: p.pattern.clone(),
-                transaction_support: db.support(&p.pattern),
+                transaction_support: memo.get_or_insert_with(&p.pattern, || db.support(&p.pattern)),
             })
             .filter(|p| p.transaction_support >= self.config.support_threshold)
             .collect();

@@ -13,6 +13,9 @@
 //! * `--k N`         — number of patterns to report (default 5)
 //! * `--dmax N`      — diameter bound `Dmax` (default 8)
 //! * `--seed N`      — RNG seed (default 7)
+//! * `--support-measure M` — support definition for the measures-pluggable
+//!   algorithms: embeddings | mni | greedy-disjoint (per-algorithm default
+//!   when omitted: MNI for SpiderMine, greedy-disjoint for MoSS)
 //! * `--edges FILE`  — mine a graph in the gSpan-style `v`/`e` text format
 //!   (`t` records make it a transaction database) instead of the synthetic
 //!   default
@@ -25,6 +28,7 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use spidermine_engine::{
     Algorithm, GraphSource, MineContext, MineError, MineRequest, Miner, ProgressEvent,
+    SupportMeasure,
 };
 use spidermine_graph::{generate, io, GraphDatabase, LabeledGraph};
 use std::process::ExitCode;
@@ -35,13 +39,15 @@ struct Cli {
     k: usize,
     d_max: u32,
     seed: u64,
+    support_measure: Option<SupportMeasure>,
     edges: Option<String>,
 }
 
 fn usage() -> String {
     format!(
-        "usage: mine [--algo {}] [--sigma N] [--k N] [--dmax N] [--seed N] [--edges FILE]",
-        Algorithm::all().map(|a| a.name()).join("|")
+        "usage: mine [--algo {}] [--sigma N] [--k N] [--dmax N] [--seed N] [--support-measure {}] [--edges FILE]",
+        Algorithm::all().map(|a| a.name()).join("|"),
+        SupportMeasure::all().map(|m| m.name()).join("|")
     )
 }
 
@@ -54,6 +60,7 @@ fn parse_cli() -> Result<Option<Cli>, String> {
         k: 5,
         d_max: 8,
         seed: 7,
+        support_measure: None,
         edges: None,
     };
     let mut args = std::env::args().skip(1);
@@ -83,6 +90,13 @@ fn parse_cli() -> Result<Option<Cli>, String> {
                 cli.seed = value("--seed")?
                     .parse()
                     .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--support-measure" => {
+                cli.support_measure = Some(
+                    value("--support-measure")?
+                        .parse::<SupportMeasure>()
+                        .map_err(|e| format!("--support-measure: {e}"))?,
+                );
             }
             "--edges" => cli.edges = Some(value("--edges")?),
             "--help" | "-h" => {
@@ -123,13 +137,15 @@ fn run() -> Result<(), String> {
     let Some(cli) = parse_cli()? else {
         return Ok(()); // --help
     };
-    let miner = MineRequest::new(cli.algo)
+    let mut request = MineRequest::new(cli.algo)
         .support_threshold(cli.sigma)
         .k(cli.k)
         .d_max(cli.d_max)
-        .seed(cli.seed)
-        .build()
-        .map_err(|e: MineError| e.to_string())?;
+        .seed(cli.seed);
+    if let Some(measure) = cli.support_measure {
+        request = request.support_measure(measure);
+    }
+    let miner = request.build().map_err(|e: MineError| e.to_string())?;
 
     // Assemble the source: a file in the gSpan text format, or synthetic data
     // matching what the algorithm mines.

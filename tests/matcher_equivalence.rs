@@ -12,10 +12,12 @@ use proptest::prelude::*;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use spidermine_graph::graph::{LabeledGraph, VertexId};
+use spidermine_graph::iso::EdgeExtension;
+use spidermine_graph::label::Label;
 use spidermine_graph::{generate, iso};
 use spidermine_mining::spider::{reference as spider_reference, SpiderCatalog, SpiderMiningConfig};
 use spidermine_mining::support;
-use std::collections::HashSet;
+use std::collections::{BTreeSet, HashSet};
 
 /// Strategy: a random ER or BA host graph plus a small pattern drawn from the
 /// same label space (so embeddings actually exist reasonably often).
@@ -76,8 +78,113 @@ fn naive_distinct_count(embeddings: &[Vec<VertexId>]) -> usize {
     seen.len()
 }
 
+/// All one-edge extensions of `pattern` that at least one of `rows` can
+/// realize in `host`, enumerated deterministically (forward by (vertex,
+/// label), then closing edges by (u, v)).
+fn candidate_extensions(
+    host: &LabeledGraph,
+    pattern: &LabeledGraph,
+    rows: &[Vec<VertexId>],
+) -> Vec<EdgeExtension> {
+    let mut cands: Vec<EdgeExtension> = Vec::new();
+    for p in pattern.vertices() {
+        let mut labels: BTreeSet<u32> = BTreeSet::new();
+        for row in rows {
+            for &h in host.neighbors(row[p.index()]) {
+                if !row.contains(&h) {
+                    labels.insert(host.label(h).0);
+                }
+            }
+        }
+        cands.extend(labels.into_iter().map(|l| EdgeExtension::NewVertex {
+            anchor: p,
+            label: Label(l),
+        }));
+    }
+    for u in pattern.vertices() {
+        for v in pattern.vertices() {
+            if u >= v || pattern.has_edge(u, v) {
+                continue;
+            }
+            if rows
+                .iter()
+                .any(|row| host.has_edge(row[u.index()], row[v.index()]))
+            {
+                cands.push(EdgeExtension::ClosingEdge { u, v });
+            }
+        }
+    }
+    cands
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// ISSUE-3 equivalence property: growing a pattern edge by edge while
+    /// maintaining its embeddings with `iso::extend_embeddings` yields, at
+    /// every step of a random growth chain, exactly the embedding set the
+    /// retained scratch matcher finds for the child pattern — the two paths
+    /// are byte-identical once both are brought to the canonical sorted
+    /// order (the incremental engine enumerates in parent order, the scratch
+    /// matcher in its own search order).
+    #[test]
+    fn incremental_extension_equals_scratch_along_growth_chains(
+        seed in 0u64..1_000,
+        n in 10usize..45,
+        labels in 2u32..7,
+        family in 0u32..2,
+        steps in 1usize..5,
+        choice in 0usize..1_000,
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let host = if family == 0 {
+            generate::erdos_renyi_average_degree(&mut rng, n, 3.0, labels)
+        } else {
+            generate::barabasi_albert(&mut rng, n, 2, labels)
+        };
+        let Some((u, v)) = host.edges().next() else {
+            return Ok(());
+        };
+        // Chain start: the single-edge pattern of the host's first edge, with
+        // its complete (uncapped) embedding set from the scratch matcher.
+        let mut pattern =
+            LabeledGraph::from_parts(&[host.label(u), host.label(v)], &[(0, 1)]);
+        let mut rows = iso::find_embeddings(&pattern, &host, usize::MAX);
+        for step in 0..steps {
+            // Keep the chain tractable on dense same-label neighborhoods.
+            if rows.is_empty() || rows.len() > 20_000 {
+                break;
+            }
+            let cands = candidate_extensions(&host, &pattern, &rows);
+            if cands.is_empty() {
+                break;
+            }
+            let ext = cands[(choice + step * 7) % cands.len()];
+            let child = iso::apply_edge_extension(&pattern, ext);
+            let flat: Vec<VertexId> = rows.iter().flatten().copied().collect();
+            let mut out = Vec::new();
+            let outcome = iso::extend_embeddings(
+                &host,
+                pattern.vertex_count(),
+                &flat,
+                ext,
+                usize::MAX,
+                &mut out,
+            );
+            prop_assert!(!outcome.truncated, "unlimited extension never truncates");
+            let child_arity = child.vertex_count();
+            let mut incremental: Vec<Vec<VertexId>> = out
+                .chunks_exact(child_arity)
+                .map(<[VertexId]>::to_vec)
+                .collect();
+            incremental.sort_unstable();
+            let mut scratch = iso::find_embeddings(&child, &host, usize::MAX);
+            scratch.sort_unstable();
+            prop_assert_eq!(&incremental, &scratch, "chain step {} diverged", step);
+            pattern = child;
+            rows = scratch;
+        }
+    }
 
     /// The indexed matcher returns exactly the reference's embedding sequence,
     /// induced and non-induced, with and without a limit.

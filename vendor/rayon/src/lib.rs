@@ -169,6 +169,46 @@ impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
     }
 }
 
+/// Parallel iterator over non-overlapping subslices of `chunk_size` elements
+/// (`par_chunks`); the last chunk may be shorter, as with `slice::chunks`.
+pub struct ParChunks<'a, T: Sync> {
+    slice: &'a [T],
+    chunk_size: usize,
+}
+
+impl<'a, T: Sync> ParallelIterator for ParChunks<'a, T> {
+    type Item = &'a [T];
+
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.chunk_size)
+    }
+
+    fn get(&self, index: usize) -> &'a [T] {
+        let lo = index * self.chunk_size;
+        let hi = (lo + self.chunk_size).min(self.slice.len());
+        &self.slice[lo..hi]
+    }
+}
+
+/// `par_chunks` on slices (mirrors `rayon`'s `ParallelSlice::par_chunks`).
+pub trait ParallelSlice<T: Sync> {
+    /// Returns a parallel iterator over `chunk_size`-element subslices.
+    ///
+    /// # Panics
+    /// Panics if `chunk_size` is zero.
+    fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T> {
+        assert!(chunk_size != 0, "chunk_size must be non-zero");
+        ParChunks {
+            slice: self,
+            chunk_size,
+        }
+    }
+}
+
 /// Parallel iterator over a `usize` range.
 pub struct ParRange {
     start: usize,
@@ -223,7 +263,9 @@ where
 
 pub mod prelude {
     //! Convenience re-exports mirroring `rayon::prelude`.
-    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, ParallelIterator, ParallelSlice,
+    };
 }
 
 #[cfg(test)]
@@ -244,6 +286,19 @@ mod tests {
         assert_eq!(out.len(), 4995);
         assert_eq!(out[0], 6);
         assert_eq!(out[4994], 5000);
+    }
+
+    #[test]
+    fn par_chunks_matches_sequential_chunks() {
+        let input: Vec<u32> = (0..10_001).collect();
+        let out: Vec<u32> = input.par_chunks(7).map(|c| c.iter().sum::<u32>()).collect();
+        let expected: Vec<u32> = input.chunks(7).map(|c| c.iter().sum::<u32>()).collect();
+        assert_eq!(out, expected);
+        let empty: Vec<u32> = Vec::new();
+        assert_eq!(
+            empty.par_chunks(4).map(<[u32]>::len).collect::<Vec<_>>(),
+            Vec::<usize>::new()
+        );
     }
 
     #[test]
