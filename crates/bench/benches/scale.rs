@@ -1,0 +1,225 @@
+//! Thread-scaling benchmarks (ISSUE 4): wall-clock of the SpiderMine hot
+//! stages — grow, merge, support counting — and the end-to-end mine, each
+//! measured at 1/2/4/8 worker threads through the work-stealing pool's
+//! width cap (`rayon::with_width` / `MineRequest::threads`).
+//!
+//! Honesty notes. The same fixture is mined at every width and the results
+//! are asserted identical before anything is timed (the runtime's
+//! reductions are order-preserving, so width changes wall-clock only). The
+//! measured core count of the runner is recorded alongside the timings
+//! (`scale/cores`): on a 1-core box the >1-thread rows oversubscribe one
+//! CPU and the speedups hover around 1× — read them together with the core
+//! count. Results land in the JSON summary selected by `$BENCH_JSON`
+//! (`BENCH_scale.json` in CI) as `scale/<stage>/<threads>` plus derived
+//! `scale/<stage>/speedup_<w>x` ratios against the 1-thread row.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spidermine::config::SpiderMineConfig;
+use spidermine::grow::{self, GrownPattern};
+use spidermine::merge;
+use spidermine_bench::bench_ba_graph;
+use spidermine_engine::{Algorithm, GraphSource, MineContext, MineRequest, Miner};
+use spidermine_graph::graph::LabeledGraph;
+use spidermine_mining::eval::EmbeddingStore;
+use spidermine_mining::spider::{SpiderCatalog, SpiderMiningConfig};
+use spidermine_mining::support::SupportMeasure;
+
+/// Widths every stage is measured at.
+const WIDTHS: [usize; 4] = [1, 2, 4, 8];
+
+/// Host size: the `engine_mine/spidermine/500` end-to-end target.
+const HOST_VERTICES: usize = 500;
+
+/// Seed patterns grown/merged per measured round.
+const SEED_PATTERNS: usize = 48;
+
+fn mine_config() -> SpiderMineConfig {
+    SpiderMineConfig {
+        support_threshold: 2,
+        k: 5,
+        d_max: 6,
+        rng_seed: 17,
+        ..SpiderMineConfig::default()
+    }
+}
+
+/// The shared fixture: host graph, spider catalog, a deterministic set of
+/// seeded patterns (largest spiders first, what the grow stage fans out
+/// over), and the one-layer-grown variants (what merge rounds and the
+/// selection-stage support loop actually see mid-run) — all inside one
+/// arena.
+struct Fixture {
+    host: LabeledGraph,
+    catalog: SpiderCatalog,
+    config: SpiderMineConfig,
+    store: EmbeddingStore,
+    patterns: Vec<GrownPattern>,
+    grown: Vec<GrownPattern>,
+}
+
+fn fixture() -> Fixture {
+    let (host, _) = bench_ba_graph(HOST_VERTICES);
+    host.csr();
+    let config = mine_config();
+    let catalog = SpiderCatalog::mine(
+        &host,
+        &SpiderMiningConfig {
+            support_threshold: config.support_threshold,
+            max_leaves: config.max_spider_leaves,
+            include_single_vertex: false,
+            max_spiders: usize::MAX,
+        },
+    );
+    let mut ids: Vec<usize> = (0..catalog.len()).collect();
+    ids.sort_by_key(|&id| std::cmp::Reverse((catalog.get(id).size(), usize::MAX - id)));
+    ids.truncate(SEED_PATTERNS);
+    let mut store = EmbeddingStore::new();
+    let patterns: Vec<GrownPattern> = ids
+        .into_iter()
+        .map(|id| grow::seed_pattern(&host, catalog.get(id), &config, &mut store))
+        .collect();
+    let grown: Vec<GrownPattern> = rayon::with_width(1, || {
+        patterns
+            .iter()
+            .flat_map(|p| grow::grow_one_layer(&host, &catalog, p, &config, &mut store))
+            .collect()
+    });
+    Fixture {
+        host,
+        catalog,
+        config,
+        store,
+        patterns,
+        grown,
+    }
+}
+
+/// One parallel growth round over the fixture's patterns (what a Stage II
+/// iteration fans out), returning a shape fingerprint for the determinism
+/// check.
+fn grow_round(fx: &Fixture) -> Vec<(usize, usize)> {
+    use rayon::prelude::*;
+    let growths: Vec<grow::LayerGrowth> = fx
+        .patterns
+        .par_iter()
+        .map(|p| {
+            grow::grow_layer(
+                &fx.host,
+                &fx.catalog,
+                p,
+                fx.store.view(p.embeddings),
+                &fx.config,
+            )
+        })
+        .collect();
+    growths
+        .iter()
+        .flat_map(|g| {
+            g.variants
+                .iter()
+                .map(|v| (v.pattern.edge_count(), g.arena.view(v.embeddings).len()))
+        })
+        .collect()
+}
+
+/// One merge round over the fixture's grown patterns (fresh arena clone per
+/// call, identical across widths).
+fn merge_round(fx: &Fixture) -> (usize, usize) {
+    let mut store = fx.store.clone();
+    let (merged, _, stats) = merge::check_merges(&fx.host, &fx.grown, &fx.config, &mut store);
+    (merged.len(), stats.embedding_pairs)
+}
+
+/// Parallel support counting over the fixture's grown patterns (the
+/// selection stage's evaluation loop): all three measures per pattern, off
+/// the flat rows.
+fn support_round(fx: &Fixture) -> Vec<usize> {
+    use rayon::prelude::*;
+    fx.grown
+        .par_iter()
+        .map(|p| {
+            let view = fx.store.view(p.embeddings);
+            view.support(SupportMeasure::EmbeddingCount)
+                + view.support(SupportMeasure::MinimumImage)
+                + view.support(SupportMeasure::GreedyDisjoint)
+        })
+        .collect()
+}
+
+fn end_to_end(host: &LabeledGraph, threads: usize) -> usize {
+    let miner = MineRequest::new(Algorithm::SpiderMine)
+        .support_threshold(2)
+        .k(5)
+        .d_max(6)
+        .seed(17)
+        .threads(threads)
+        .build()
+        .expect("valid request");
+    miner
+        .mine(&GraphSource::Single(host), &mut MineContext::new())
+        .expect("single graph accepted")
+        .patterns
+        .len()
+}
+
+fn scale(c: &mut Criterion) {
+    rayon::ensure_pool_size(*WIDTHS.iter().max().expect("non-empty"));
+    let fx = fixture();
+
+    // Byte-identical across widths before anything is timed.
+    let grow_ref = rayon::with_width(1, || grow_round(&fx));
+    let merge_ref = rayon::with_width(1, || merge_round(&fx));
+    let support_ref = rayon::with_width(1, || support_round(&fx));
+    let e2e_ref = rayon::with_width(1, || end_to_end(&fx.host, 1));
+    for &w in &WIDTHS[1..] {
+        assert_eq!(grow_ref, rayon::with_width(w, || grow_round(&fx)));
+        assert_eq!(merge_ref, rayon::with_width(w, || merge_round(&fx)));
+        assert_eq!(support_ref, rayon::with_width(w, || support_round(&fx)));
+        assert_eq!(e2e_ref, end_to_end(&fx.host, w));
+    }
+
+    let mut group = c.benchmark_group("scale");
+    group.sample_size(10);
+    for &w in &WIDTHS {
+        group.bench_with_input(BenchmarkId::new("grow", w), &w, |b, &w| {
+            b.iter(|| rayon::with_width(w, || grow_round(&fx).len()))
+        });
+        group.bench_with_input(BenchmarkId::new("merge", w), &w, |b, &w| {
+            b.iter(|| rayon::with_width(w, || merge_round(&fx)))
+        });
+        group.bench_with_input(BenchmarkId::new("support", w), &w, |b, &w| {
+            b.iter(|| rayon::with_width(w, || support_round(&fx).len()))
+        });
+    }
+    group.sample_size(5);
+    for &w in &WIDTHS {
+        group.bench_with_input(BenchmarkId::new("end_to_end", w), &w, |b, &w| {
+            b.iter(|| end_to_end(&fx.host, w))
+        });
+    }
+    group.finish();
+
+    // Derived speedups against the 1-thread row, plus the runner's shape so
+    // the ratios can be judged (4 threads on 1 core cannot speed anything
+    // up; the ≥2.5× end-to-end target applies to multi-core runners).
+    for stage in ["grow", "merge", "support", "end_to_end"] {
+        let base = criterion::measurement(&format!("scale/{stage}/1"));
+        for &w in &WIDTHS[1..] {
+            let at = criterion::measurement(&format!("scale/{stage}/{w}"));
+            if let (Some(base), Some(at)) = (base, at) {
+                criterion::record_metric(&format!("scale/{stage}/speedup_{w}x"), base / at);
+            }
+        }
+    }
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    criterion::record_metric("scale/cores", cores as f64);
+    criterion::record_metric(
+        "scale/max_width",
+        *WIDTHS.iter().max().expect("non-empty") as f64,
+    );
+}
+
+criterion_group!(benches, scale);
+criterion_main!(benches);

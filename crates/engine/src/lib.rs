@@ -52,7 +52,7 @@ pub mod stream;
 
 pub use error::MineError;
 pub use miner::{
-    Engine, GraphSource, MineOutcome, Miner, MossEngine, OrigamiEngine, SeusEngine,
+    Engine, EngineKind, GraphSource, MineOutcome, Miner, MossEngine, OrigamiEngine, SeusEngine,
     SpiderMineEngine, SubdueEngine, TransactionEngine,
 };
 pub use request::{Algorithm, MineRequest};

@@ -58,6 +58,11 @@ pub struct MineOutcome {
     pub stages: Vec<StageTiming>,
     /// Total wall-clock time of the run.
     pub total_time: Duration,
+    /// Effective thread count of the run: the width the per-stage timings
+    /// were measured at ([`MineRequest::threads`](crate::MineRequest::threads)
+    /// if set, else the pool default). Results never depend on it — the
+    /// runtime's reductions are order-preserving.
+    pub threads: usize,
     /// Merged-group occurrences the run had to drop because a
     /// confirmed-isomorphic union's embedding could not be re-fetched
     /// (SpiderMine merge accounting; 0 for the other algorithms, and should
@@ -115,6 +120,9 @@ fn finish_outcome(
         cancelled: ctx.was_cancelled(),
         stages: ctx.take_timings(),
         total_time: start.elapsed(),
+        // Inside an `Engine` run this reflects the request's `threads` knob
+        // (the engine wraps the run in the matching width scope).
+        threads: rayon::current_num_threads(),
         dropped_embeddings: 0,
     }
 }
@@ -451,10 +459,9 @@ impl Miner for SeusEngine {
     }
 }
 
-/// A ready-to-run miner built from a validated [`MineRequest`]: the concrete
-/// algorithm engines behind one dispatching type.
+/// The concrete per-algorithm engines behind one dispatching type.
 #[derive(Clone, Debug)]
-pub enum Engine {
+pub enum EngineKind {
     /// SpiderMine on a single graph.
     SpiderMine(SpiderMineEngine),
     /// SpiderMine on a transaction database.
@@ -469,51 +476,69 @@ pub enum Engine {
     Seus(SeusEngine),
 }
 
+/// A ready-to-run miner built from a validated [`MineRequest`]: the
+/// algorithm engine plus the request's execution knobs (currently the
+/// thread-count cap, applied as a width scope around every run).
+#[derive(Clone, Debug)]
+pub struct Engine {
+    kind: EngineKind,
+    threads: Option<usize>,
+}
+
 impl Engine {
     /// Builds the engine for an already-validated request.
     /// ([`MineRequest::build`] is the public path; it validates first.)
     pub(crate) fn from_validated_request(request: &MineRequest) -> Self {
-        match request.algorithm() {
-            Algorithm::SpiderMine => Engine::SpiderMine(SpiderMineEngine {
+        let kind = match request.algorithm() {
+            Algorithm::SpiderMine => EngineKind::SpiderMine(SpiderMineEngine {
                 config: request.spidermine_config(),
             }),
             Algorithm::SpiderMineTransactions => {
-                Engine::SpiderMineTransactions(TransactionEngine {
+                EngineKind::SpiderMineTransactions(TransactionEngine {
                     config: request.spidermine_config(),
                 })
             }
             // A validated request maps onto valid per-algorithm configs (the
             // per-field checks below are a subset of `MineRequest::validate`
             // plus always-valid defaults), so these cannot fail.
-            Algorithm::Subdue => Engine::Subdue(
+            Algorithm::Subdue => EngineKind::Subdue(
                 SubdueEngine::new(request.subdue_config())
                     .expect("validated request maps to a valid SUBDUE config"),
             ),
-            Algorithm::Moss => Engine::Moss(
+            Algorithm::Moss => EngineKind::Moss(
                 MossEngine::new(request.moss_config())
                     .expect("validated request maps to a valid MoSS config"),
             ),
-            Algorithm::Origami => Engine::Origami(
+            Algorithm::Origami => EngineKind::Origami(
                 OrigamiEngine::new(request.origami_config())
                     .expect("validated request maps to a valid ORIGAMI config"),
             ),
-            Algorithm::Seus => Engine::Seus(
+            Algorithm::Seus => EngineKind::Seus(
                 SeusEngine::new(request.seus_config())
                     .expect("validated request maps to a valid SEuS config"),
             ),
+        };
+        Self {
+            kind,
+            threads: request.requested_threads(),
         }
+    }
+
+    /// The per-algorithm engine this run dispatches to.
+    pub fn kind(&self) -> &EngineKind {
+        &self.kind
     }
 }
 
-impl Miner for Engine {
+impl Miner for EngineKind {
     fn algorithm(&self) -> Algorithm {
         match self {
-            Engine::SpiderMine(m) => m.algorithm(),
-            Engine::SpiderMineTransactions(m) => m.algorithm(),
-            Engine::Subdue(m) => m.algorithm(),
-            Engine::Moss(m) => m.algorithm(),
-            Engine::Origami(m) => m.algorithm(),
-            Engine::Seus(m) => m.algorithm(),
+            EngineKind::SpiderMine(m) => m.algorithm(),
+            EngineKind::SpiderMineTransactions(m) => m.algorithm(),
+            EngineKind::Subdue(m) => m.algorithm(),
+            EngineKind::Moss(m) => m.algorithm(),
+            EngineKind::Origami(m) => m.algorithm(),
+            EngineKind::Seus(m) => m.algorithm(),
         }
     }
 
@@ -523,12 +548,32 @@ impl Miner for Engine {
         ctx: &mut MineContext,
     ) -> Result<MineOutcome, MineError> {
         match self {
-            Engine::SpiderMine(m) => m.mine(host, ctx),
-            Engine::SpiderMineTransactions(m) => m.mine(host, ctx),
-            Engine::Subdue(m) => m.mine(host, ctx),
-            Engine::Moss(m) => m.mine(host, ctx),
-            Engine::Origami(m) => m.mine(host, ctx),
-            Engine::Seus(m) => m.mine(host, ctx),
+            EngineKind::SpiderMine(m) => m.mine(host, ctx),
+            EngineKind::SpiderMineTransactions(m) => m.mine(host, ctx),
+            EngineKind::Subdue(m) => m.mine(host, ctx),
+            EngineKind::Moss(m) => m.mine(host, ctx),
+            EngineKind::Origami(m) => m.mine(host, ctx),
+            EngineKind::Seus(m) => m.mine(host, ctx),
+        }
+    }
+}
+
+impl Miner for Engine {
+    fn algorithm(&self) -> Algorithm {
+        self.kind.algorithm()
+    }
+
+    fn mine(
+        &self,
+        host: &GraphSource<'_>,
+        ctx: &mut MineContext,
+    ) -> Result<MineOutcome, MineError> {
+        match self.threads {
+            // Pin every parallel region of the run to the requested width
+            // (the pool grows on demand if the width exceeds it). The
+            // outcome's `threads` field reports this effective count.
+            Some(threads) => rayon::with_width(threads, || self.kind.mine(host, ctx)),
+            None => self.kind.mine(host, ctx),
         }
     }
 }

@@ -110,6 +110,7 @@ pub struct MineRequest {
     time_budget: Option<Duration>,
     max_pattern_edges: Option<usize>,
     max_embeddings: Option<usize>,
+    threads: Option<usize>,
 }
 
 impl MineRequest {
@@ -128,6 +129,7 @@ impl MineRequest {
             time_budget: None,
             max_pattern_edges: None,
             max_embeddings: None,
+            threads: None,
         }
     }
 
@@ -200,6 +202,20 @@ impl MineRequest {
         self
     }
 
+    /// Number of worker threads the run may use. The run's parallel regions
+    /// are capped (or raised — the pool grows on demand) to exactly this
+    /// width; `1` pins the run to the calling thread, and values above the
+    /// pool's worker cap ([`rayon::MAX_WORKERS`]) are rejected at
+    /// validation. Unset: the pool default (`RAYON_NUM_THREADS`, else the
+    /// machine's parallelism).
+    /// Results are identical at every thread count — the runtime's
+    /// reductions are order-preserving — so this knob trades wall-clock
+    /// against CPU, never output.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
     /// The requested algorithm.
     pub fn algorithm(&self) -> Algorithm {
         self.algorithm
@@ -249,7 +265,31 @@ impl MineRequest {
                 "must be at least 1 when set",
             ));
         }
+        if self.threads == Some(0) {
+            return Err(MineError::invalid(
+                "threads",
+                "must be at least 1 when set (use 1 to pin the run to the calling thread)",
+            ));
+        }
+        if let Some(threads) = self.threads {
+            // Reject instead of silently clamping: the contract is that the
+            // run executes at *exactly* the requested width.
+            if threads > rayon::MAX_WORKERS {
+                return Err(MineError::invalid(
+                    "threads",
+                    format!(
+                        "must be at most {} (the pool's worker cap)",
+                        rayon::MAX_WORKERS
+                    ),
+                ));
+            }
+        }
         Ok(())
+    }
+
+    /// The requested thread count, if any.
+    pub(crate) fn requested_threads(&self) -> Option<usize> {
+        self.threads
     }
 
     /// Validates the request and constructs the ready-to-run
@@ -359,6 +399,14 @@ mod tests {
             (
                 "max_embeddings",
                 MineRequest::new(Algorithm::Moss).max_embeddings(0),
+            ),
+            (
+                "threads",
+                MineRequest::new(Algorithm::SpiderMine).threads(0),
+            ),
+            (
+                "threads",
+                MineRequest::new(Algorithm::SpiderMine).threads(rayon::MAX_WORKERS + 1),
             ),
         ];
         for (field, request) in cases {

@@ -20,10 +20,16 @@
 //!   the parent set was truncated (an incomplete parent cannot prove its
 //!   children complete).
 //!
-//! Parallel workers build [`FlatEmbeddings`] scratch buffers and the driver
-//! interns them sequentially (or absorbs whole per-task stores via
-//! [`EmbeddingStore::absorb`]), which keeps the arena single-writer and runs
-//! deterministic. See `DESIGN.md` § "Incremental evaluation layer".
+//! Parallel workers build [`FlatEmbeddings`] scratch buffers — or whole
+//! per-task arenas (*shards*) — and the driver interns them sequentially,
+//! which keeps each arena single-writer and runs deterministic. The store is
+//! internally **segmented** so absorbing a shard is span stitching, not a
+//! copy: [`EmbeddingStore::absorb`] / [`EmbeddingStore::absorb_shards`] take
+//! ownership of the shard's pool segments and only rebase the set metadata —
+//! the driver-side cost of merging a parallel round's arenas is O(sets), not
+//! O(vertices). With one writer and no absorbed shards the store degenerates
+//! to the original single-pool, single-writer arena. See `DESIGN.md`
+//! § "Incremental evaluation layer".
 
 use crate::embedding::Embedding;
 use crate::support::SupportMeasure;
@@ -43,9 +49,12 @@ impl EmbeddingSetId {
     }
 }
 
-/// Span of one embedding set inside the pool.
+/// Span of one embedding set inside one pool segment.
 #[derive(Clone, Copy, Debug)]
 struct SetMeta {
+    /// Pool segment the rows live in (absorbed shards keep their own
+    /// segment; a set never spans two).
+    segment: u32,
     start: u32,
     rows: u32,
     arity: u32,
@@ -57,10 +66,27 @@ struct SetMeta {
 }
 
 /// The SoA embedding arena. See the module docs.
-#[derive(Clone, Debug, Default)]
+///
+/// The vertex pool is a list of segments: new rows append to the last
+/// segment, and absorbing a shard moves the shard's segments in wholesale
+/// (span stitching — no row is copied). Compaction
+/// ([`EmbeddingStore::compacted`]) rebuilds into a single segment.
+#[derive(Clone, Debug)]
 pub struct EmbeddingStore {
-    pool: Vec<VertexId>,
+    segments: Vec<Vec<VertexId>>,
+    /// Total pool length across segments (kept so `pool_len` is O(1)).
+    total_len: usize,
     sets: Vec<SetMeta>,
+}
+
+impl Default for EmbeddingStore {
+    fn default() -> Self {
+        Self {
+            segments: vec![Vec::new()],
+            total_len: 0,
+            sets: Vec::new(),
+        }
+    }
 }
 
 /// A borrowed view of one embedding set: arity plus the flat row slice.
@@ -167,6 +193,17 @@ impl FlatEmbeddings {
         self.complete = false;
     }
 
+    /// Appends rows of `other` (same arity) until this buffer holds `cap`
+    /// rows. The order-preserving reduce step of parallel row-building
+    /// folds: concatenating per-range buffers left-to-right under a cap
+    /// yields exactly the first `cap` rows a sequential scan would keep.
+    pub fn append_capped(&mut self, other: &FlatEmbeddings, cap: usize) {
+        debug_assert_eq!(self.arity, other.arity, "arity mismatch");
+        let take = other.len().min(cap.saturating_sub(self.len()));
+        self.data
+            .extend_from_slice(&other.data[..take * self.arity]);
+    }
+
     /// Number of rows pushed so far.
     pub fn len(&self) -> usize {
         self.data.len().checked_div(self.arity).unwrap_or(0)
@@ -201,7 +238,13 @@ impl EmbeddingStore {
 
     /// Total `VertexId`s in the pool (the arena's memory footprint).
     pub fn pool_len(&self) -> usize {
-        self.pool.len()
+        self.total_len
+    }
+
+    /// Number of pool segments (1 until a shard is absorbed; compaction
+    /// returns to 1).
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
     }
 
     /// Interns a set given as flat row-major storage.
@@ -216,11 +259,15 @@ impl EmbeddingStore {
             arity == 0 || flat.len().is_multiple_of(arity),
             "ragged rows"
         );
-        let start = self.pool.len() as u32;
-        self.pool.extend_from_slice(flat);
+        let segment = self.segments.len() as u32 - 1;
+        let writer = self.segments.last_mut().expect("a writer segment");
+        let start = writer.len() as u32;
+        writer.extend_from_slice(flat);
+        self.total_len += flat.len();
         let rows = flat.len().checked_div(arity).unwrap_or(0) as u32;
         let id = EmbeddingSetId(self.sets.len() as u32);
         self.sets.push(SetMeta {
+            segment,
             start,
             rows,
             arity: arity as u32,
@@ -241,13 +288,17 @@ impl EmbeddingStore {
         embeddings: &[Embedding],
         complete: bool,
     ) -> EmbeddingSetId {
-        let start = self.pool.len() as u32;
+        let segment = self.segments.len() as u32 - 1;
+        let writer = self.segments.last_mut().expect("a writer segment");
+        let start = writer.len() as u32;
         for e in embeddings {
             debug_assert_eq!(e.len(), arity, "row arity mismatch");
-            self.pool.extend_from_slice(e);
+            writer.extend_from_slice(e);
         }
+        self.total_len += arity * embeddings.len();
         let id = EmbeddingSetId(self.sets.len() as u32);
         self.sets.push(SetMeta {
+            segment,
             start,
             rows: embeddings.len() as u32,
             arity: arity as u32,
@@ -322,22 +373,53 @@ impl EmbeddingStore {
     fn flat_of(&self, meta: SetMeta) -> &[VertexId] {
         let start = meta.start as usize;
         let len = (meta.rows * meta.arity) as usize;
-        &self.pool[start..start + len]
+        &self.segments[meta.segment as usize][start..start + len]
     }
 
-    /// Splices another arena onto this one. Every id of `other` stays valid
+    /// Splices another arena onto this one **without copying the vertex
+    /// pool**: the shard's segments are moved in wholesale and only the set
+    /// metadata is rebased (span stitching). Every id of `other` stays valid
     /// after adding the returned base offset (via
     /// [`EmbeddingStore::rebased`]). This is how parallel workers' per-task
     /// arenas land in the driver's global arena in deterministic order.
     pub fn absorb(&mut self, other: EmbeddingStore) -> u32 {
         let base = self.sets.len() as u32;
-        let pool_base = self.pool.len() as u32;
-        self.pool.extend_from_slice(&other.pool);
-        self.sets.extend(other.sets.iter().map(|m| SetMeta {
-            start: m.start + pool_base,
-            ..*m
+        // Map the shard's segment indices onto this store's, dropping empty
+        // segments (their only possible sets are empty, which any segment can
+        // host at offset 0).
+        let mut segment_map = vec![0u32; other.segments.len()];
+        for (i, segment) in other.segments.into_iter().enumerate() {
+            if segment.is_empty() {
+                segment_map[i] = 0;
+            } else {
+                segment_map[i] = self.segments.len() as u32;
+                self.total_len += segment.len();
+                self.segments.push(segment);
+            }
+        }
+        self.sets.extend(other.sets.iter().map(|m| {
+            if m.rows == 0 || m.arity == 0 {
+                // Empty set: host it at the front of segment 0.
+                SetMeta {
+                    segment: 0,
+                    start: 0,
+                    ..*m
+                }
+            } else {
+                SetMeta {
+                    segment: segment_map[m.segment as usize],
+                    ..*m
+                }
+            }
         }));
         base
+    }
+
+    /// Absorbs a parallel round's worker shards in driver order, returning
+    /// one rebase offset per shard (for [`EmbeddingStore::rebased`]). Pure
+    /// span stitching — no shard's vertex pool is copied.
+    pub fn absorb_shards(&mut self, shards: impl IntoIterator<Item = EmbeddingStore>) -> Vec<u32> {
+        shards.into_iter().map(|shard| self.absorb(shard)).collect()
     }
 
     /// Rebases an id returned from a worker-local arena onto this arena,
@@ -366,16 +448,24 @@ impl EmbeddingStore {
         (fresh, remap)
     }
 
+    /// Segment count above which span stitching has fragmented the pool
+    /// enough that [`EmbeddingStore::maybe_compact`] rebuilds regardless of
+    /// the live fraction.
+    const MAX_SEGMENTS: usize = 1024;
+
     /// The one compaction policy every long-lived owner uses: once the pool
-    /// exceeds `min_pool` `VertexId`s and `live` owns less than half of it,
-    /// rebuild in place and return the id remap the caller must apply to its
+    /// exceeds `min_pool` `VertexId`s and `live` owns less than half of it —
+    /// or span stitching has fragmented the pool past
+    /// `MAX_SEGMENTS` (1024) — rebuild in place (into a single
+    /// segment) and return the id remap the caller must apply to its
     /// handles. `None` means nothing changed. Call only at sequential points.
     pub fn maybe_compact(
         &mut self,
         live: &[EmbeddingSetId],
         min_pool: usize,
     ) -> Option<FxHashMap<EmbeddingSetId, EmbeddingSetId>> {
-        if self.pool_len() < min_pool || self.live_fraction(live) >= 0.5 {
+        let fragmented = self.segments.len() > Self::MAX_SEGMENTS;
+        if !fragmented && (self.pool_len() < min_pool || self.live_fraction(live) >= 0.5) {
             return None;
         }
         let (fresh, remap) = self.compacted(live);
@@ -385,7 +475,7 @@ impl EmbeddingStore {
 
     /// Fraction of the pool owned by `live` sets (1.0 for an empty pool).
     pub fn live_fraction(&self, live: &[EmbeddingSetId]) -> f64 {
-        if self.pool.is_empty() {
+        if self.total_len == 0 {
             return 1.0;
         }
         let mut seen = vec![false; self.sets.len()];
@@ -396,7 +486,7 @@ impl EmbeddingStore {
                 live_len += (meta.rows * meta.arity) as usize;
             }
         }
-        live_len as f64 / self.pool.len() as f64
+        live_len as f64 / self.total_len as f64
     }
 }
 
@@ -491,6 +581,62 @@ mod tests {
         assert_ne!(rebased, g0);
         assert_eq!(global.to_embeddings(rebased), expected);
         assert_eq!(global.view(g0).len(), 3, "existing sets untouched");
+    }
+
+    /// `absorb` must be span stitching, not a copy: the shard's rows stay at
+    /// the same heap address after landing in the global store.
+    #[test]
+    fn absorb_stitches_without_copying() {
+        let h = host();
+        let edge = LabeledGraph::from_parts(&[Label(0), Label(1)], &[(0, 1)]);
+        let mut global = EmbeddingStore::new();
+        global.discover(&edge, &h, usize::MAX);
+        let mut shard = EmbeddingStore::new();
+        let local = shard.discover(&edge, &h, usize::MAX);
+        let expected = shard.to_embeddings(local);
+        let shard_ptr = shard.view(local).flat().as_ptr();
+        let before_segments = global.segment_count();
+        let base = global.absorb(shard);
+        let rebased = EmbeddingStore::rebased(local, base);
+        assert_eq!(global.to_embeddings(rebased), expected);
+        assert!(
+            std::ptr::eq(global.view(rebased).flat().as_ptr(), shard_ptr),
+            "absorb copied the shard's pool instead of stitching it"
+        );
+        assert_eq!(global.segment_count(), before_segments + 1);
+    }
+
+    #[test]
+    fn absorb_shards_rebases_each_shard_in_order() {
+        let h = host();
+        let edge = LabeledGraph::from_parts(&[Label(0), Label(1)], &[(0, 1)]);
+        let mut global = EmbeddingStore::new();
+        let mut shards = Vec::new();
+        let mut locals: Vec<Option<EmbeddingSetId>> = Vec::new();
+        for limit in [1usize, 2, 3] {
+            let mut shard = EmbeddingStore::new();
+            locals.push(Some(shard.discover(&edge, &h, limit)));
+            shards.push(shard);
+        }
+        // An empty shard in the middle must not break the stitching.
+        shards.insert(1, EmbeddingStore::new());
+        locals.insert(1, None);
+        let expected = [1usize, 0, 2, 3];
+        let bases = global.absorb_shards(shards);
+        assert_eq!(bases.len(), 4);
+        for (slot, (&base, local)) in bases.iter().zip(&locals).enumerate() {
+            if let Some(id) = *local {
+                let rebased = EmbeddingStore::rebased(id, base);
+                assert_eq!(
+                    global.view(rebased).len(),
+                    expected[slot],
+                    "shard {slot} landed wrong"
+                );
+            }
+        }
+        // Writes after stitching still work (the writer is the last segment).
+        let fresh = global.discover(&edge, &h, usize::MAX);
+        assert_eq!(global.view(fresh).len(), 3);
     }
 
     #[test]

@@ -282,11 +282,17 @@ impl SpiderCatalog {
 
         // Parallel fan-out width per splice. Blocks (rather than whole levels)
         // bound peak memory: levels grow into the millions on scale-free
-        // graphs. Within a block, each parallel task expands CHUNK entries
-        // with one reused scratch and one flat output buffer, so per-entry
-        // allocation amortizes away.
+        // graphs. Within a block, the entries fold in parallel under the
+        // pool's adaptive splitting — each task expands a contiguous run of
+        // entries with one reused scratch and one flat output buffer (so
+        // per-entry allocation amortizes away), and runs stuck behind an
+        // expensive entry are stolen instead of straggling as they did with
+        // fixed-size chunks.
         const PAR_BLOCK: usize = 1024;
-        const CHUNK: usize = 64;
+        // Minimum frontier entries per fold leaf: each leaf allocates one
+        // universe-sized ExpandScratch, so stealing must not split below the
+        // run length that amortizes it.
+        const SCRATCH_MIN_LEAF: usize = 16;
 
         if config.max_leaves == 0 || graph.vertex_count() == 0 {
             if config.include_single_vertex {
@@ -317,32 +323,35 @@ impl SpiderCatalog {
         }
 
         'seed: for block in classes.chunks(PAR_BLOCK) {
-            let subchunks: Vec<&[(Label, &[VertexId])]> = block.chunks(CHUNK).collect();
-            let expanded: Vec<ChunkExpansion> = subchunks
-                .par_iter()
-                .map(|sub| {
-                    let mut scratch = ExpandScratch::with_universe(universe);
-                    let mut out = ChunkExpansion::default();
-                    for &(_, heads) in *sub {
-                        expand_entry(csr, &[], heads, sigma, &mut scratch, &mut out);
+            let (expanded, _) = block.par_iter().fold_reduce_min(
+                SCRATCH_MIN_LEAF,
+                || {
+                    (
+                        ChunkExpansion::default(),
+                        ExpandScratch::with_universe(universe),
+                    )
+                },
+                |(mut out, mut scratch), &(_, heads)| {
+                    expand_entry(csr, &[], heads, sigma, &mut scratch, &mut out);
+                    (out, scratch)
+                },
+                |(mut left, scratch), (right, _)| {
+                    left.merge(right);
+                    (left, scratch)
+                },
+            );
+            let (mut cand_at, mut head_at) = (0usize, 0usize);
+            for (entry, &(label, _)) in block.iter().enumerate() {
+                for _ in 0..expanded.entry_child_counts[entry] {
+                    if catalog.len() >= config.max_spiders {
+                        break 'seed;
                     }
-                    out
-                })
-                .collect();
-            for (sub, chunk) in subchunks.iter().zip(&expanded) {
-                let (mut cand_at, mut head_at) = (0usize, 0usize);
-                for (entry, &(label, _)) in sub.iter().enumerate() {
-                    for _ in 0..chunk.entry_child_counts[entry] {
-                        if catalog.len() >= config.max_spiders {
-                            break 'seed;
-                        }
-                        let cand = chunk.candidates[cand_at];
-                        let hlen = chunk.head_counts[cand_at] as usize;
-                        let heads = &chunk.heads[head_at..head_at + hlen];
-                        cand_at += 1;
-                        head_at += hlen;
-                        frontier.push(catalog.push_child(label, None, cand, heads));
-                    }
+                    let cand = expanded.candidates[cand_at];
+                    let hlen = expanded.head_counts[cand_at] as usize;
+                    let heads = &expanded.heads[head_at..head_at + hlen];
+                    cand_at += 1;
+                    head_at += hlen;
+                    frontier.push(catalog.push_child(label, None, cand, heads));
                 }
             }
         }
@@ -356,41 +365,44 @@ impl SpiderCatalog {
             }
             let mut next: Vec<SpiderId> = Vec::new();
             'level: for block in frontier.chunks(PAR_BLOCK) {
-                let subchunks: Vec<&[SpiderId]> = block.chunks(CHUNK).collect();
-                let expanded: Vec<ChunkExpansion> = subchunks
-                    .par_iter()
-                    .map(|sub| {
-                        let mut scratch = ExpandScratch::with_universe(universe);
-                        let mut out = ChunkExpansion::default();
-                        for &id in *sub {
-                            let spider = catalog.get(id);
-                            expand_entry(
-                                csr,
-                                spider.leaf_labels,
-                                spider.heads,
-                                sigma,
-                                &mut scratch,
-                                &mut out,
-                            );
+                let (expanded, _) = block.par_iter().fold_reduce_min(
+                    SCRATCH_MIN_LEAF,
+                    || {
+                        (
+                            ChunkExpansion::default(),
+                            ExpandScratch::with_universe(universe),
+                        )
+                    },
+                    |(mut out, mut scratch), &id| {
+                        let spider = catalog.get(id);
+                        expand_entry(
+                            csr,
+                            spider.leaf_labels,
+                            spider.heads,
+                            sigma,
+                            &mut scratch,
+                            &mut out,
+                        );
+                        (out, scratch)
+                    },
+                    |(mut left, scratch), (right, _)| {
+                        left.merge(right);
+                        (left, scratch)
+                    },
+                );
+                let (mut cand_at, mut head_at) = (0usize, 0usize);
+                for (entry, &parent) in block.iter().enumerate() {
+                    let head_label = catalog.spans[parent].head_label;
+                    for _ in 0..expanded.entry_child_counts[entry] {
+                        if catalog.len() >= config.max_spiders {
+                            break 'level;
                         }
-                        out
-                    })
-                    .collect();
-                for (sub, chunk) in subchunks.iter().zip(&expanded) {
-                    let (mut cand_at, mut head_at) = (0usize, 0usize);
-                    for (entry, &parent) in sub.iter().enumerate() {
-                        let head_label = catalog.spans[parent].head_label;
-                        for _ in 0..chunk.entry_child_counts[entry] {
-                            if catalog.len() >= config.max_spiders {
-                                break 'level;
-                            }
-                            let cand = chunk.candidates[cand_at];
-                            let hlen = chunk.head_counts[cand_at] as usize;
-                            let heads = &chunk.heads[head_at..head_at + hlen];
-                            cand_at += 1;
-                            head_at += hlen;
-                            next.push(catalog.push_child(head_label, Some(parent), cand, heads));
-                        }
+                        let cand = expanded.candidates[cand_at];
+                        let hlen = expanded.head_counts[cand_at] as usize;
+                        let heads = &expanded.heads[head_at..head_at + hlen];
+                        cand_at += 1;
+                        head_at += hlen;
+                        next.push(catalog.push_child(head_label, Some(parent), cand, heads));
                     }
                 }
             }
@@ -756,8 +768,9 @@ impl SpiderCatalog {
 
 /// Reusable scratch of one expansion task: qualifying `(label, head)` pairs
 /// of the current entry, plus counting-sort arrays sized by the dense label
-/// universe. One scratch serves a whole chunk of frontier entries, so the
-/// steady state of catalog construction allocates nothing per entry.
+/// universe. One scratch serves a fold task's whole run of frontier entries
+/// (at least `SCRATCH_MIN_LEAF` of them, enforced by `fold_reduce_min`), so
+/// the steady state of catalog construction allocates nothing per entry.
 struct ExpandScratch {
     /// Qualifying labels of the current entry, head-major.
     pair_labels: Vec<u32>,
@@ -796,9 +809,9 @@ impl ExpandScratch {
     }
 }
 
-/// Flattened children of one chunk of expanded frontier entries. The splice
-/// loop in [`SpiderCatalog::mine`] walks `entry_child_counts` with running
-/// cursors into `candidates`/`head_counts`/`heads`.
+/// Flattened children of a contiguous run of expanded frontier entries. The
+/// splice loop in [`SpiderCatalog::mine`] walks `entry_child_counts` with
+/// running cursors into `candidates`/`head_counts`/`heads`.
 #[derive(Default)]
 struct ChunkExpansion {
     /// Children per entry, in entry order.
@@ -809,6 +822,19 @@ struct ChunkExpansion {
     head_counts: Vec<u32>,
     /// Surviving heads, flat, grouped per candidate (ascending per group).
     heads: Vec<VertexId>,
+}
+
+impl ChunkExpansion {
+    /// Appends `right` after this run's entries — the order-preserving
+    /// reduce step of the parallel fold over a frontier block (left range
+    /// precedes right, so the merged run reads exactly like a sequential
+    /// expansion of the whole block).
+    fn merge(&mut self, right: ChunkExpansion) {
+        self.entry_child_counts.extend(right.entry_child_counts);
+        self.candidates.extend(right.candidates);
+        self.head_counts.extend(right.head_counts);
+        self.heads.extend(right.heads);
+    }
 }
 
 /// Expands one frontier entry into `out`: every frequent one-leaf extension

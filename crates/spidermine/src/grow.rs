@@ -361,33 +361,35 @@ fn extensions_at(
         if view.vertex_count() + new_leaves.len() > config.max_pattern_vertices {
             continue;
         }
-        // Embeddings extend independently; evaluate them in parallel (over
-        // the flat row slice) and keep the first `max_embeddings` successes
-        // in row order — identical to the sequential scan.
-        let extended: Vec<Option<Embedding>> = rows
-            .flat()
-            .par_chunks(arity.max(1))
-            .map(|row| {
-                let dv = row[v.index()];
-                assign_star(host, dv, &new_leaves, row).map(|star| {
-                    // star = [dv, leaf_1, ...]; the caller appends the leaves.
-                    star[1..].to_vec()
-                })
-            })
-            .collect();
+        // Embeddings extend independently; fold them in parallel over the
+        // flat row slice, each task accumulating surviving rows into its own
+        // capped buffer, and concatenate the buffers left-to-right — exactly
+        // the first `max_embeddings` successes in row order, identical to
+        // the sequential scan, but skewed rows steal instead of straggling.
+        // This region nests inside the driver's per-pattern parallel round
+        // and composes through the pool's deques.
         let new_arity = arity + new_leaves.len();
-        let mut new_rows = FlatEmbeddings::new(new_arity);
+        let cap = config.max_embeddings;
+        let mut new_rows = rows.flat().par_chunks(arity.max(1)).fold_reduce(
+            || FlatEmbeddings::new(new_arity),
+            |mut acc, row| {
+                if acc.len() < cap {
+                    let dv = row[v.index()];
+                    if let Some(star) = assign_star(host, dv, &new_leaves, row) {
+                        // star = [dv, leaf_1, ...]; append only the leaves.
+                        acc.push_extended_row(row, &star[1..]);
+                    }
+                }
+                acc
+            },
+            |mut left, right| {
+                left.append_capped(&right, cap);
+                left
+            },
+        );
         // Spider growth keeps one greedy witness per parent row — never a
         // complete embedding set.
         new_rows.mark_truncated();
-        for (i, leaves) in extended.into_iter().enumerate() {
-            if new_rows.len() >= config.max_embeddings {
-                break;
-            }
-            if let Some(leaves) = leaves {
-                new_rows.push_extended_row(rows.row(i), &leaves);
-            }
-        }
         let support = new_rows.view().support(config.support_measure);
         if support < sigma {
             continue;

@@ -12,7 +12,11 @@
 //! [`EmbeddingStore`]), merges every overlapping embedding pair into the
 //! induced union subgraph, groups the unions by isomorphism (using the
 //! spider-set representation to prune isomorphism tests), and keeps each
-//! group that is frequent. Group support is deliberately computed **raw**
+//! group that is frequent. The expensive per-pair work (coverage sets,
+//! overlap detection, union construction, spider-set hashing) runs in
+//! parallel over blocks of candidate pairs; only the order-sensitive
+//! grouping walk stays on the driver, consuming the scans in pair order so
+//! the round is byte-identical to a sequential one. Group support is deliberately computed **raw**
 //! from the round's witness rows, not through the memoizing support oracle:
 //! it is a per-round quantity (the same union class legitimately collects
 //! more witnesses in later Stage II rounds as patterns grow toward each
@@ -22,6 +26,7 @@
 use crate::config::SpiderMineConfig;
 use crate::grow::GrownPattern;
 use crate::spider_set::{IsoCheck, PrunedIsoOracle, SpiderSet};
+use rayon::prelude::*;
 use rustc_hash::{FxHashMap, FxHashSet};
 use spidermine_graph::graph::{LabeledGraph, VertexId};
 use spidermine_graph::iso;
@@ -34,6 +39,11 @@ const MAX_PAIRS_PER_PATTERN_PAIR: usize = 32;
 
 /// Upper bound on overlapping embedding pairs examined per merge round.
 const MAX_PAIRS_PER_ROUND: usize = 4096;
+
+/// Candidate-pair batch scanned in parallel before the sequential grouping
+/// walk consumes it (bounds wasted union construction past the round cap to
+/// one batch).
+const PAIR_SCAN_BLOCK: usize = 64;
 
 /// Statistics from one merge round.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -72,10 +82,13 @@ pub fn check_merges(
     let mut stats = MergeStats::default();
     let sigma = config.support_threshold;
     // Host vertex -> patterns covering it, to find candidate pairs cheaply.
+    // Coverage sets are independent per pattern: build them in parallel over
+    // a read-only view of the store.
+    let store_ref: &EmbeddingStore = store;
     let covered: Vec<FxHashSet<VertexId>> = patterns
-        .iter()
+        .par_iter()
         .map(|p| {
-            store
+            store_ref
                 .view(p.embeddings)
                 .flat()
                 .iter()
@@ -113,54 +126,90 @@ pub fn check_merges(
         rows: FlatEmbeddings,
         sources: FxHashSet<usize>,
     }
+    /// One union occurrence produced by the parallel pair scan: the induced
+    /// union subgraph, its host origin row, and its spider set (the cheap
+    /// isomorphism-pruning signature, computed off the driver thread).
+    struct UnionOcc {
+        graph: LabeledGraph,
+        origin: Embedding,
+        spider_set: SpiderSet,
+    }
     let mut groups: Vec<MergedGroup> = Vec::new();
     let mut iso_oracle = PrunedIsoOracle::new();
 
     let mut ordered_pairs: Vec<(usize, usize)> = candidate_pairs.into_iter().collect();
     ordered_pairs.sort_unstable();
-    for (i, j) in ordered_pairs {
+    // The expensive half of a merge round — overlap detection, union-subgraph
+    // construction, spider-set hashing — is independent per candidate pair
+    // (each pair examines a deterministic set of up to
+    // `MAX_PAIRS_PER_PATTERN_PAIR` embedding pairs, regardless of global
+    // state). Scan blocks of pairs in parallel, then walk the scans in pair
+    // order on the driver: the grouping, the round cap, and all statistics
+    // behave exactly as in the sequential loop.
+    'pairs: for block in ordered_pairs.chunks(PAIR_SCAN_BLOCK) {
         if stats.embedding_pairs >= MAX_PAIRS_PER_ROUND {
             break;
         }
-        let rows_i = store.view(patterns[i].embeddings);
-        let rows_j = store.view(patterns[j].embeddings);
-        let mut pairs_examined = 0;
-        for e1 in rows_i.rows() {
-            if pairs_examined >= MAX_PAIRS_PER_PATTERN_PAIR {
-                break;
+        let scans: Vec<Vec<UnionOcc>> = block
+            .par_iter()
+            .map(|&(i, j)| {
+                let rows_i = store_ref.view(patterns[i].embeddings);
+                let rows_j = store_ref.view(patterns[j].embeddings);
+                let mut unions: Vec<UnionOcc> = Vec::new();
+                for e1 in rows_i.rows() {
+                    if unions.len() >= MAX_PAIRS_PER_PATTERN_PAIR {
+                        break;
+                    }
+                    let set1: FxHashSet<VertexId> = e1.iter().copied().collect();
+                    for e2 in rows_j.rows() {
+                        if unions.len() >= MAX_PAIRS_PER_PATTERN_PAIR {
+                            break;
+                        }
+                        if !e2.iter().any(|v| set1.contains(v)) {
+                            continue;
+                        }
+                        // Union of the two embeddings' host edges.
+                        let mut host_edges: Vec<(VertexId, VertexId)> = Vec::new();
+                        for (u, v) in patterns[i].pattern.edges() {
+                            host_edges.push((e1[u.index()], e1[v.index()]));
+                        }
+                        for (u, v) in patterns[j].pattern.edges() {
+                            host_edges.push((e2[u.index()], e2[v.index()]));
+                        }
+                        let merged = subgraph::edge_subgraph(host, &host_edges);
+                        let spider_set = SpiderSet::of(&merged.graph, config.r.max(1));
+                        unions.push(UnionOcc {
+                            graph: merged.graph,
+                            origin: merged.origin,
+                            spider_set,
+                        });
+                    }
+                }
+                unions
+            })
+            .collect();
+        for (&(i, j), unions) in block.iter().zip(scans) {
+            if stats.embedding_pairs >= MAX_PAIRS_PER_ROUND {
+                break 'pairs;
             }
-            let set1: FxHashSet<VertexId> = e1.iter().copied().collect();
-            for e2 in rows_j.rows() {
-                if pairs_examined >= MAX_PAIRS_PER_PATTERN_PAIR {
-                    break;
-                }
-                if !e2.iter().any(|v| set1.contains(v)) {
-                    continue;
-                }
-                pairs_examined += 1;
-                stats.embedding_pairs += 1;
-                // Union of the two embeddings' host edges.
-                let mut host_edges: Vec<(VertexId, VertexId)> = Vec::new();
-                for (u, v) in patterns[i].pattern.edges() {
-                    host_edges.push((e1[u.index()], e1[v.index()]));
-                }
-                for (u, v) in patterns[j].pattern.edges() {
-                    host_edges.push((e2[u.index()], e2[v.index()]));
-                }
-                let merged = subgraph::edge_subgraph(host, &host_edges);
-                let sset = SpiderSet::of(&merged.graph, config.r.max(1));
+            stats.embedding_pairs += unions.len();
+            for occ in unions {
                 // Find (or create) the isomorphism group.
                 let mut placed = false;
                 for group in groups.iter_mut() {
-                    match iso_oracle.check(&group.pattern, &group.spider_set, &merged.graph, &sset)
-                    {
+                    match iso_oracle.check(
+                        &group.pattern,
+                        &group.spider_set,
+                        &occ.graph,
+                        &occ.spider_set,
+                    ) {
                         IsoCheck::ConfirmedIsomorphic => {
                             // Map the representative onto this union occurrence.
                             if let Some(m) =
-                                iso::find_embeddings(&group.pattern, &merged.graph, 1).pop()
+                                iso::find_embeddings(&group.pattern, &occ.graph, 1).pop()
                             {
                                 let embedding: Embedding =
-                                    m.iter().map(|&x| merged.origin[x.index()]).collect();
+                                    m.iter().map(|&x| occ.origin[x.index()]).collect();
                                 group.rows.push_row(&embedding);
                             } else {
                                 // The confirmed-isomorphic representative must
@@ -179,8 +228,8 @@ pub fn check_merges(
                     }
                 }
                 if !placed {
-                    let mut rows = FlatEmbeddings::new(merged.graph.vertex_count());
-                    rows.push_row(&merged.origin);
+                    let mut rows = FlatEmbeddings::new(occ.graph.vertex_count());
+                    rows.push_row(&occ.origin);
                     // Union occurrences are witnesses, not the pattern's
                     // complete embedding set.
                     rows.mark_truncated();
@@ -188,8 +237,8 @@ pub fn check_merges(
                     sources.insert(i);
                     sources.insert(j);
                     groups.push(MergedGroup {
-                        pattern: merged.graph,
-                        spider_set: sset,
+                        pattern: occ.graph,
+                        spider_set: occ.spider_set,
                         rows,
                         sources,
                     });

@@ -184,8 +184,11 @@ impl SpiderMiner {
             }
             // Each working pattern grows independently against a read-only
             // view of the arena (each `grow_layer` call owns its scratch
-            // arenas); the growths are absorbed back in pattern order so the
-            // iteration is deterministic.
+            // arenas, and its inner extension loops nest through the pool);
+            // the per-worker output arenas are then span-stitched onto the
+            // run's store in pattern order — `absorb_shards` moves the
+            // shards' pool segments without copying a row, so the driver-side
+            // merge is no longer the round's serial bottleneck.
             let growths: Vec<Option<grow::LayerGrowth>> = patterns
                 .par_iter()
                 .map(|p| {
@@ -194,13 +197,28 @@ impl SpiderMiner {
                     })
                 })
                 .collect();
-            let mut grown: Vec<GrownPattern> = Vec::new();
-            for (p, growth) in patterns.iter().zip(growths) {
+            let mut shards: Vec<EmbeddingStore> = Vec::new();
+            let mut variant_lists: Vec<Option<Vec<GrownPattern>>> =
+                Vec::with_capacity(growths.len());
+            for growth in growths {
                 match growth {
-                    None => grown.push(p.clone()),
+                    None => variant_lists.push(None),
                     Some(g) => {
-                        let base = store.absorb(g.arena);
-                        grown.extend(g.variants.into_iter().map(|mut v| {
+                        shards.push(g.arena);
+                        variant_lists.push(Some(g.variants));
+                    }
+                }
+            }
+            let bases = store.absorb_shards(shards);
+            let mut grown: Vec<GrownPattern> = Vec::new();
+            let mut shard_at = 0usize;
+            for (p, variants) in patterns.iter().zip(variant_lists) {
+                match variants {
+                    None => grown.push(p.clone()),
+                    Some(variants) => {
+                        let base = bases[shard_at];
+                        shard_at += 1;
+                        grown.extend(variants.into_iter().map(|mut v| {
                             v.embeddings = EmbeddingStore::rebased(v.embeddings, base);
                             v
                         }));
@@ -290,13 +308,30 @@ impl SpiderMiner {
                     }
                 })
                 .collect();
-            for (p, growth) in survivors.iter().zip(grown_per_survivor) {
-                let Some(growth) = growth else {
+            // Span-stitch the survivors' output arenas in survivor order
+            // (same zero-copy absorb as Stage II).
+            let mut shards: Vec<EmbeddingStore> = Vec::new();
+            let mut variant_lists: Vec<Option<Vec<GrownPattern>>> =
+                Vec::with_capacity(grown_per_survivor.len());
+            for growth in grown_per_survivor {
+                match growth {
+                    None => variant_lists.push(None),
+                    Some(g) => {
+                        shards.push(g.arena);
+                        variant_lists.push(Some(g.variants));
+                    }
+                }
+            }
+            let bases = store.absorb_shards(shards);
+            let mut shard_at = 0usize;
+            for (p, variants) in survivors.iter().zip(variant_lists) {
+                let Some(variants) = variants else {
                     next.push(p.clone());
                     continue;
                 };
-                let base = store.absorb(growth.arena);
-                for mut g in growth.variants {
+                let base = bases[shard_at];
+                shard_at += 1;
+                for mut g in variants {
                     g.embeddings = EmbeddingStore::rebased(g.embeddings, base);
                     if g.size() > p.size() {
                         changed = true;

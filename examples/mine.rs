@@ -13,6 +13,9 @@
 //! * `--k N`         — number of patterns to report (default 5)
 //! * `--dmax N`      — diameter bound `Dmax` (default 8)
 //! * `--seed N`      — RNG seed (default 7)
+//! * `--threads N`   — worker threads for the run (default: the pool's
+//!   `RAYON_NUM_THREADS` / machine parallelism; results are identical at
+//!   every thread count)
 //! * `--support-measure M` — support definition for the measures-pluggable
 //!   algorithms: embeddings | mni | greedy-disjoint (per-algorithm default
 //!   when omitted: MNI for SpiderMine, greedy-disjoint for MoSS)
@@ -39,13 +42,14 @@ struct Cli {
     k: usize,
     d_max: u32,
     seed: u64,
+    threads: Option<usize>,
     support_measure: Option<SupportMeasure>,
     edges: Option<String>,
 }
 
 fn usage() -> String {
     format!(
-        "usage: mine [--algo {}] [--sigma N] [--k N] [--dmax N] [--seed N] [--support-measure {}] [--edges FILE]",
+        "usage: mine [--algo {}] [--sigma N] [--k N] [--dmax N] [--seed N] [--threads N] [--support-measure {}] [--edges FILE]",
         Algorithm::all().map(|a| a.name()).join("|"),
         SupportMeasure::all().map(|m| m.name()).join("|")
     )
@@ -60,6 +64,7 @@ fn parse_cli() -> Result<Option<Cli>, String> {
         k: 5,
         d_max: 8,
         seed: 7,
+        threads: None,
         support_measure: None,
         edges: None,
     };
@@ -90,6 +95,13 @@ fn parse_cli() -> Result<Option<Cli>, String> {
                 cli.seed = value("--seed")?
                     .parse()
                     .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--threads" => {
+                cli.threads = Some(
+                    value("--threads")?
+                        .parse()
+                        .map_err(|e| format!("--threads: {e}"))?,
+                );
             }
             "--support-measure" => {
                 cli.support_measure = Some(
@@ -144,6 +156,9 @@ fn run() -> Result<(), String> {
         .seed(cli.seed);
     if let Some(measure) = cli.support_measure {
         request = request.support_measure(measure);
+    }
+    if let Some(threads) = cli.threads {
+        request = request.threads(threads);
     }
     let miner = request.build().map_err(|e: MineError| e.to_string())?;
 
@@ -211,7 +226,7 @@ fn run() -> Result<(), String> {
             ""
         }
     );
-    println!("per-stage timings:");
+    println!("per-stage timings ({} worker threads):", outcome.threads);
     for t in &outcome.stages {
         println!("  {:<18} {:>10.3?}", t.stage, t.elapsed);
     }

@@ -205,10 +205,73 @@ fn invalid_requests_name_the_offending_field() {
             MineRequest::new(Algorithm::SpiderMine).epsilon(1.5),
         ),
         ("radius", MineRequest::new(Algorithm::SpiderMine).radius(0)),
+        (
+            "threads",
+            MineRequest::new(Algorithm::SpiderMine).threads(0),
+        ),
     ] {
         match request.build() {
             Err(MineError::InvalidConfig { field: named, .. }) => assert_eq!(named, field),
             other => panic!("expected InvalidConfig({field}), got {other:?}"),
+        }
+    }
+}
+
+/// ISSUE-4: the work-stealing runtime's reductions are order-preserving, so
+/// mining is **byte-identical at every thread count** — pattern structures,
+/// supports, retained embeddings, and the merge accounting all match across
+/// widths for all six algorithms. Width 8 oversubscribes small CI runners on
+/// purpose: preemption-heavy schedules are where nondeterminism would show.
+#[test]
+fn outcomes_are_byte_identical_across_thread_counts() {
+    let host = planted_graph(83);
+    let db = planted_db(83);
+    type OutcomeKey = (
+        Vec<((Vec<u32>, Vec<(u32, u32)>), usize, Vec<Vec<u32>>)>,
+        usize,
+    );
+    for algo in Algorithm::all() {
+        let outcome_at = |threads: usize| -> OutcomeKey {
+            let engine = MineRequest::new(algo)
+                .support_threshold(2)
+                .k(4)
+                .d_max(6)
+                .seed(19)
+                .threads(threads)
+                .build()
+                .expect("valid request");
+            let source = if algo.wants_transactions() {
+                GraphSource::Transactions(&db)
+            } else {
+                GraphSource::Single(&host)
+            };
+            let outcome = engine
+                .mine(&source, &mut MineContext::new())
+                .unwrap_or_else(|e| panic!("{algo} failed: {e}"));
+            assert_eq!(outcome.threads, threads, "{algo} ran at the wrong width");
+            (
+                outcome
+                    .patterns
+                    .iter()
+                    .map(|p| {
+                        let rows: Vec<Vec<u32>> = p
+                            .embeddings
+                            .iter()
+                            .map(|e| e.iter().map(|v| v.0).collect())
+                            .collect();
+                        (graph_key(&p.pattern), p.support, rows)
+                    })
+                    .collect(),
+                outcome.dropped_embeddings,
+            )
+        };
+        let sequential = outcome_at(1);
+        for threads in [2usize, 8] {
+            assert_eq!(
+                sequential,
+                outcome_at(threads),
+                "{algo} diverged at {threads} threads"
+            );
         }
     }
 }

@@ -1,0 +1,394 @@
+//! Parallel iterators expressed as adaptive recursive splitting over
+//! [`join`](crate::join).
+//!
+//! A driven iterator is split in half recursively until either the adaptive
+//! budget runs out or the piece is a single item; each split is one
+//! [`join_context`] call, so unclaimed halves sit on the local deque where
+//! idle workers steal them. The split budget starts at twice the region
+//! width and halves at every split — so an un-contended region produces only
+//! a few times more leaves than workers — but a *stolen* half resets its
+//! budget (a steal proves idle demand), letting load-imbalanced inputs split
+//! all the way down to single items where the work actually is. This
+//! replaces the fixed `len / threads` chunking of the old shim, which
+//! stranded whole chunks behind one expensive item.
+//!
+//! Every combinator reduces in **input order** (`collect` writes each index
+//! into its slot; `fold_reduce` combines left-then-right), so results are
+//! byte-identical to sequential execution at every thread count. When the
+//! effective width is 1 the drivers run inline on the calling thread with no
+//! pool traffic and no scratch allocation.
+
+use crate::pool::{self, join_context, FnContext};
+
+/// Inline cutoff: inputs at most this long run sequentially even in a
+/// parallel region (a deque round-trip costs more than a handful of items).
+const SEQUENTIAL_FLOOR: usize = 2;
+
+/// Adaptive split budget (mirrors rayon's `Splitter`): halves per split,
+/// resets when a piece is stolen, and never splits below `min_len` items
+/// per piece (so folds with a costly per-task identity — e.g. a
+/// universe-sized scratch — keep their amortization even under heavy
+/// stealing).
+#[derive(Clone, Copy)]
+struct Splitter {
+    splits: usize,
+    min_len: usize,
+}
+
+impl Splitter {
+    fn new(min_len: usize) -> Self {
+        Self {
+            splits: pool::current_num_threads().saturating_mul(2),
+            min_len: min_len.max(1),
+        }
+    }
+
+    fn should_split(&mut self, len: usize, migrated: bool) -> bool {
+        if len < SEQUENTIAL_FLOOR || len < 2 * self.min_len {
+            return false;
+        }
+        if migrated {
+            self.splits = pool::current_num_threads().saturating_mul(2);
+            return true;
+        }
+        if self.splits > 0 {
+            self.splits /= 2;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// A raw pointer that may cross threads (each task writes a disjoint index
+/// range of the buffer it points into).
+struct SendPtr<T>(*mut T);
+
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+// SAFETY: tasks write disjoint ranges and the owning Vec outlives the region
+// (the driver blocks until every task completes).
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+/// An index-addressable parallel producer. `get` must be pure per index —
+/// each index is requested exactly once.
+pub trait ParallelIterator: Sized + Sync {
+    /// Item produced per index.
+    type Item: Send;
+
+    /// Number of items.
+    fn len(&self) -> usize;
+
+    /// True if there are no items.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Produces the item at `index`.
+    fn get(&self, index: usize) -> Self::Item;
+
+    /// Lazily maps each item through `f` (applied on the worker thread).
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync,
+    {
+        Map { base: self, f }
+    }
+
+    /// Executes the pipeline and collects results in input order.
+    fn collect<C: FromIterator<Self::Item>>(self) -> C {
+        drive(&self).into_iter().collect()
+    }
+
+    /// Folds the items into per-task accumulators (seeded by `identity`,
+    /// advanced by `fold` in index order) and combines the accumulators with
+    /// `reduce`, always left-before-right — so the result is identical to a
+    /// sequential fold whenever `reduce(a, b)` is the "concatenation" of the
+    /// two accumulators. This is the order-preserving building block the
+    /// mining hot loops use to let skewed items steal instead of straggling
+    /// behind fixed chunks.
+    fn fold_reduce<T, ID, F, R>(self, identity: ID, fold: F, reduce: R) -> T
+    where
+        T: Send,
+        ID: Fn() -> T + Sync,
+        F: Fn(T, Self::Item) -> T + Sync,
+        R: Fn(T, T) -> T + Sync,
+    {
+        self.fold_reduce_min(1, identity, fold, reduce)
+    }
+
+    /// [`fold_reduce`](ParallelIterator::fold_reduce) with a minimum leaf
+    /// length: no task folds fewer than `min_len` items, even under heavy
+    /// stealing. Use when `identity()` is expensive (a scratch buffer, a
+    /// sized table) and must stay amortized over a run of items.
+    fn fold_reduce_min<T, ID, F, R>(self, min_len: usize, identity: ID, fold: F, reduce: R) -> T
+    where
+        T: Send,
+        ID: Fn() -> T + Sync,
+        F: Fn(T, Self::Item) -> T + Sync,
+        R: Fn(T, T) -> T + Sync,
+    {
+        let n = self.len();
+        if pool::current_num_threads() <= 1 || n <= SEQUENTIAL_FLOOR || n < 2 * min_len.max(1) {
+            return (0..n).fold(identity(), |acc, i| fold(acc, self.get(i)));
+        }
+        pool::in_region(|ctx| {
+            fold_range(
+                &self,
+                0,
+                n,
+                &identity,
+                &fold,
+                &reduce,
+                Splitter::new(min_len),
+                ctx.migrated(),
+            )
+        })
+    }
+}
+
+/// Splits `0..len` adaptively, writing each item into its slot of an
+/// order-preserving output buffer.
+fn drive<P: ParallelIterator>(producer: &P) -> Vec<P::Item> {
+    let n = producer.len();
+    if pool::current_num_threads() <= 1 || n <= SEQUENTIAL_FLOOR {
+        // The one-thread fast path: no pool, no splitting, no scratch — just
+        // the sequential loop into the (exactly sized) output.
+        return (0..n).map(|i| producer.get(i)).collect();
+    }
+    let mut out: Vec<P::Item> = Vec::with_capacity(n);
+    let base = SendPtr(out.as_mut_ptr());
+    pool::in_region(|ctx| write_range(producer, 0, n, base, Splitter::new(1), ctx.migrated()));
+    // SAFETY: every index in 0..n was written exactly once (the recursion
+    // partitions the range) and in_region blocks until all tasks finished.
+    // Known tradeoff: if a producer panics, the unwind leaves `out` at len 0
+    // and already-written items LEAK (never dropped) — safe but lossy; the
+    // workspace treats a panic inside a parallel region as fatal to the run.
+    unsafe { out.set_len(n) };
+    out
+}
+
+fn write_range<P: ParallelIterator>(
+    producer: &P,
+    lo: usize,
+    hi: usize,
+    base: SendPtr<P::Item>,
+    mut splitter: Splitter,
+    migrated: bool,
+) {
+    let len = hi - lo;
+    if splitter.should_split(len, migrated) {
+        let mid = lo + len / 2;
+        join_context(
+            |ctx: FnContext| write_range(producer, lo, mid, base, splitter, ctx.migrated()),
+            |ctx: FnContext| write_range(producer, mid, hi, base, splitter, ctx.migrated()),
+        );
+    } else {
+        for i in lo..hi {
+            // SAFETY: disjoint ranges; the buffer has capacity for 0..n.
+            unsafe { base.0.add(i).write(producer.get(i)) };
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn fold_range<P, T, ID, F, R>(
+    producer: &P,
+    lo: usize,
+    hi: usize,
+    identity: &ID,
+    fold: &F,
+    reduce: &R,
+    mut splitter: Splitter,
+    migrated: bool,
+) -> T
+where
+    P: ParallelIterator,
+    T: Send,
+    ID: Fn() -> T + Sync,
+    F: Fn(T, P::Item) -> T + Sync,
+    R: Fn(T, T) -> T + Sync,
+{
+    let len = hi - lo;
+    if splitter.should_split(len, migrated) {
+        let mid = lo + len / 2;
+        let (left, right) = join_context(
+            |ctx: FnContext| {
+                fold_range(
+                    producer,
+                    lo,
+                    mid,
+                    identity,
+                    fold,
+                    reduce,
+                    splitter,
+                    ctx.migrated(),
+                )
+            },
+            |ctx: FnContext| {
+                fold_range(
+                    producer,
+                    mid,
+                    hi,
+                    identity,
+                    fold,
+                    reduce,
+                    splitter,
+                    ctx.migrated(),
+                )
+            },
+        );
+        reduce(left, right)
+    } else {
+        (lo..hi).fold(identity(), |acc, i| fold(acc, producer.get(i)))
+    }
+}
+
+/// Borrowing conversion into a parallel iterator (`par_iter`).
+pub trait IntoParallelRefIterator<'a> {
+    /// The borrowing parallel iterator type.
+    type Iter: ParallelIterator;
+
+    /// Returns a parallel iterator over references.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+/// Consuming conversion into a parallel iterator (`into_par_iter`).
+pub trait IntoParallelIterator {
+    /// The produced iterator type.
+    type Iter: ParallelIterator;
+
+    /// Converts into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// Parallel iterator over `&[T]`.
+pub struct ParSlice<'a, T: Sync> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for ParSlice<'a, T> {
+    type Item = &'a T;
+
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn get(&self, index: usize) -> &'a T {
+        &self.slice[index]
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Iter = ParSlice<'a, T>;
+
+    fn par_iter(&'a self) -> ParSlice<'a, T> {
+        ParSlice { slice: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Iter = ParSlice<'a, T>;
+
+    fn par_iter(&'a self) -> ParSlice<'a, T> {
+        ParSlice { slice: self }
+    }
+}
+
+/// Parallel iterator over non-overlapping subslices of `chunk_size` elements
+/// (`par_chunks`); the last chunk may be shorter, as with `slice::chunks`.
+pub struct ParChunks<'a, T: Sync> {
+    slice: &'a [T],
+    chunk_size: usize,
+}
+
+impl<'a, T: Sync> ParallelIterator for ParChunks<'a, T> {
+    type Item = &'a [T];
+
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.chunk_size)
+    }
+
+    fn get(&self, index: usize) -> &'a [T] {
+        let lo = index * self.chunk_size;
+        let hi = (lo + self.chunk_size).min(self.slice.len());
+        &self.slice[lo..hi]
+    }
+}
+
+/// `par_chunks` on slices (mirrors `rayon`'s `ParallelSlice::par_chunks`).
+pub trait ParallelSlice<T: Sync> {
+    /// Returns a parallel iterator over `chunk_size`-element subslices.
+    ///
+    /// # Panics
+    /// Panics if `chunk_size` is zero.
+    fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T> {
+        assert!(chunk_size != 0, "chunk_size must be non-zero");
+        ParChunks {
+            slice: self,
+            chunk_size,
+        }
+    }
+}
+
+/// Parallel iterator over a `usize` range.
+pub struct ParRange {
+    start: usize,
+    end: usize,
+}
+
+impl ParallelIterator for ParRange {
+    type Item = usize;
+
+    fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    fn get(&self, index: usize) -> usize {
+        self.start + index
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Iter = ParRange;
+
+    fn into_par_iter(self) -> ParRange {
+        ParRange {
+            start: self.start,
+            end: self.end,
+        }
+    }
+}
+
+/// Lazy `map` adapter.
+pub struct Map<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P, R, F> ParallelIterator for Map<P, F>
+where
+    P: ParallelIterator,
+    R: Send,
+    F: Fn(P::Item) -> R + Sync,
+{
+    type Item = R;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn get(&self, index: usize) -> R {
+        (self.f)(self.base.get(index))
+    }
+}

@@ -1,265 +1,33 @@
-//! Vendored stand-in for `rayon`, implementing the small slice of the
-//! parallel-iterator API the workspace's mining hot paths use:
+//! Vendored stand-in for `rayon`: a real work-stealing runtime under the
+//! slice of the parallel-iterator API the workspace's mining hot paths use.
 //!
-//! * `slice.par_iter().map(f).collect::<Vec<_>>()`
-//! * `(0..n).into_par_iter().map(f).collect::<Vec<_>>()`
+//! * `pool` — the persistent worker pool: lazily spawned workers (honoring
+//!   `RAYON_NUM_THREADS`), per-worker LIFO deques with randomized stealing,
+//!   the [`join`]/[`join_context`] fork-join primitive, and region-width
+//!   capping ([`with_width`]) so callers can pin a run to an exact thread
+//!   count.
+//! * `iter` — `par_iter` / `into_par_iter` / `par_chunks` with `map`,
+//!   order-preserving `collect`, and the order-preserving `fold_reduce`
+//!   combinator, all expressed as adaptive recursive splitting over `join`
+//!   (split until stealable, not into fixed chunks).
 //!
-//! Execution model: the driven iterator is split into contiguous index chunks,
-//! one per worker thread (`std::thread::scope`), and the per-chunk results are
-//! reassembled **in input order**, so results are deterministic and identical
-//! to sequential execution. With a single available core (or tiny inputs) the
-//! whole pipeline runs inline with zero thread overhead.
+//! Nested parallel regions compose through the deques: an inner `par_iter`
+//! on a worker pushes jobs its siblings steal, instead of being forced
+//! sequential by a suppression flag. Results are byte-identical to
+//! sequential execution at every thread count, because every combinator
+//! reduces in input order. With an effective width of 1 every driver runs
+//! inline on the calling thread — no pool, no scaffolding allocations.
 
-use std::num::NonZeroUsize;
-use std::thread;
+mod iter;
+mod pool;
 
-/// Number of worker threads the pool would use (mirrors
-/// `rayon::current_num_threads`). Honors `RAYON_NUM_THREADS`.
-///
-/// Resolved once and cached: `available_parallelism` costs a syscall (and
-/// possibly cgroup file reads) per call, and the driver consults this on
-/// every parallel iterator — uncached, the lookups dominate fine-grained
-/// workloads.
-pub fn current_num_threads() -> usize {
-    static THREADS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
-    *THREADS.get_or_init(|| {
-        if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
-            if let Ok(n) = v.parse::<usize>() {
-                if n >= 1 {
-                    return n;
-                }
-            }
-        }
-        thread::available_parallelism()
-            .map(NonZeroUsize::get)
-            .unwrap_or(1)
-    })
-}
-
-/// Minimum items per thread before parallelism is worth the spawn cost.
-const MIN_CHUNK: usize = 64;
-
-/// An index-addressable parallel producer. `get` must be pure per index —
-/// each index is requested exactly once.
-pub trait ParallelIterator: Sized + Sync {
-    /// Item produced per index.
-    type Item: Send;
-
-    /// Number of items.
-    fn len(&self) -> usize;
-
-    /// True if there are no items.
-    fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-
-    /// Produces the item at `index`.
-    fn get(&self, index: usize) -> Self::Item;
-
-    /// Lazily maps each item through `f` (applied on the worker thread).
-    fn map<R, F>(self, f: F) -> Map<Self, F>
-    where
-        R: Send,
-        F: Fn(Self::Item) -> R + Sync,
-    {
-        Map { base: self, f }
-    }
-
-    /// Executes the pipeline and collects results in input order.
-    fn collect<C: FromIterator<Self::Item>>(self) -> C {
-        drive(&self).into_iter().collect()
-    }
-}
-
-thread_local! {
-    /// True while this thread is a worker inside a parallel region. Nested
-    /// `par_iter`s then run inline — mirroring real rayon, where a nested
-    /// parallel iterator executes on the already-busy pool instead of
-    /// spawning more threads. Without this, nesting (e.g. per-pattern growth
-    /// containing per-embedding extension) spawns threads at every level and
-    /// the churn costs far more than the parallelism buys.
-    static IN_PARALLEL_REGION: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
-}
-
-/// Splits `0..len` into per-thread chunks, evaluates them concurrently, and
-/// returns the items in input order.
-fn drive<P: ParallelIterator>(producer: &P) -> Vec<P::Item> {
-    let n = producer.len();
-    let nested = IN_PARALLEL_REGION.with(std::cell::Cell::get);
-    let threads = if nested {
-        1
-    } else {
-        current_num_threads().min(n / MIN_CHUNK.max(1)).max(1)
-    };
-    if threads <= 1 {
-        return (0..n).map(|i| producer.get(i)).collect();
-    }
-    let chunk = n.div_ceil(threads);
-    let mut parts: Vec<Vec<P::Item>> = Vec::with_capacity(threads);
-    thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|t| {
-                let lo = t * chunk;
-                let hi = ((t + 1) * chunk).min(n);
-                scope.spawn(move || {
-                    IN_PARALLEL_REGION.with(|flag| flag.set(true));
-                    (lo..hi).map(|i| producer.get(i)).collect::<Vec<_>>()
-                })
-            })
-            .collect();
-        for h in handles {
-            parts.push(h.join().expect("worker thread panicked"));
-        }
-    });
-    let mut out = Vec::with_capacity(n);
-    for part in parts {
-        out.extend(part);
-    }
-    out
-}
-
-/// Borrowing conversion into a parallel iterator (`par_iter`).
-pub trait IntoParallelRefIterator<'a> {
-    /// The borrowing parallel iterator type.
-    type Iter: ParallelIterator;
-
-    /// Returns a parallel iterator over references.
-    fn par_iter(&'a self) -> Self::Iter;
-}
-
-/// Consuming conversion into a parallel iterator (`into_par_iter`).
-pub trait IntoParallelIterator {
-    /// The produced iterator type.
-    type Iter: ParallelIterator;
-
-    /// Converts into a parallel iterator.
-    fn into_par_iter(self) -> Self::Iter;
-}
-
-/// Parallel iterator over `&[T]`.
-pub struct ParSlice<'a, T: Sync> {
-    slice: &'a [T],
-}
-
-impl<'a, T: Sync> ParallelIterator for ParSlice<'a, T> {
-    type Item = &'a T;
-
-    fn len(&self) -> usize {
-        self.slice.len()
-    }
-
-    fn get(&self, index: usize) -> &'a T {
-        &self.slice[index]
-    }
-}
-
-impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
-    type Iter = ParSlice<'a, T>;
-
-    fn par_iter(&'a self) -> ParSlice<'a, T> {
-        ParSlice { slice: self }
-    }
-}
-
-impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
-    type Iter = ParSlice<'a, T>;
-
-    fn par_iter(&'a self) -> ParSlice<'a, T> {
-        ParSlice { slice: self }
-    }
-}
-
-/// Parallel iterator over non-overlapping subslices of `chunk_size` elements
-/// (`par_chunks`); the last chunk may be shorter, as with `slice::chunks`.
-pub struct ParChunks<'a, T: Sync> {
-    slice: &'a [T],
-    chunk_size: usize,
-}
-
-impl<'a, T: Sync> ParallelIterator for ParChunks<'a, T> {
-    type Item = &'a [T];
-
-    fn len(&self) -> usize {
-        self.slice.len().div_ceil(self.chunk_size)
-    }
-
-    fn get(&self, index: usize) -> &'a [T] {
-        let lo = index * self.chunk_size;
-        let hi = (lo + self.chunk_size).min(self.slice.len());
-        &self.slice[lo..hi]
-    }
-}
-
-/// `par_chunks` on slices (mirrors `rayon`'s `ParallelSlice::par_chunks`).
-pub trait ParallelSlice<T: Sync> {
-    /// Returns a parallel iterator over `chunk_size`-element subslices.
-    ///
-    /// # Panics
-    /// Panics if `chunk_size` is zero.
-    fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T>;
-}
-
-impl<T: Sync> ParallelSlice<T> for [T] {
-    fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T> {
-        assert!(chunk_size != 0, "chunk_size must be non-zero");
-        ParChunks {
-            slice: self,
-            chunk_size,
-        }
-    }
-}
-
-/// Parallel iterator over a `usize` range.
-pub struct ParRange {
-    start: usize,
-    end: usize,
-}
-
-impl ParallelIterator for ParRange {
-    type Item = usize;
-
-    fn len(&self) -> usize {
-        self.end - self.start
-    }
-
-    fn get(&self, index: usize) -> usize {
-        self.start + index
-    }
-}
-
-impl IntoParallelIterator for std::ops::Range<usize> {
-    type Iter = ParRange;
-
-    fn into_par_iter(self) -> ParRange {
-        ParRange {
-            start: self.start,
-            end: self.end,
-        }
-    }
-}
-
-/// Lazy `map` adapter.
-pub struct Map<P, F> {
-    base: P,
-    f: F,
-}
-
-impl<P, R, F> ParallelIterator for Map<P, F>
-where
-    P: ParallelIterator,
-    R: Send,
-    F: Fn(P::Item) -> R + Sync,
-{
-    type Item = R;
-
-    fn len(&self) -> usize {
-        self.base.len()
-    }
-
-    fn get(&self, index: usize) -> R {
-        (self.f)(self.base.get(index))
-    }
-}
+pub use iter::{
+    IntoParallelIterator, IntoParallelRefIterator, Map, ParChunks, ParRange, ParSlice,
+    ParallelIterator, ParallelSlice,
+};
+pub use pool::{
+    current_num_threads, ensure_pool_size, join, join_context, with_width, FnContext, MAX_WORKERS,
+};
 
 pub mod prelude {
     //! Convenience re-exports mirroring `rayon::prelude`.
@@ -271,6 +39,7 @@ pub mod prelude {
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn map_collect_preserves_order() {
@@ -309,5 +78,157 @@ mod tests {
         let one = [7u32];
         let out: Vec<u32> = one.par_iter().map(|&x| x + 1).collect();
         assert_eq!(out, vec![8]);
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = crate::join(|| 1 + 1, || "two");
+        assert_eq!(a, 2);
+        assert_eq!(b, "two");
+    }
+
+    #[test]
+    fn join_composes_recursively() {
+        fn sum(lo: u64, hi: u64) -> u64 {
+            if hi - lo <= 64 {
+                (lo..hi).sum()
+            } else {
+                let mid = lo + (hi - lo) / 2;
+                let (a, b) = crate::join(|| sum(lo, mid), || sum(mid, hi));
+                a + b
+            }
+        }
+        assert_eq!(sum(0, 100_000), (0..100_000u64).sum::<u64>());
+    }
+
+    #[test]
+    fn fold_reduce_preserves_order() {
+        let input: Vec<u32> = (0..5_000).collect();
+        let folded: Vec<u32> = input.par_iter().fold_reduce(
+            Vec::new,
+            |mut acc, &x| {
+                acc.push(x * 3);
+                acc
+            },
+            |mut l, r| {
+                l.extend(r);
+                l
+            },
+        );
+        let expected: Vec<u32> = input.iter().map(|&x| x * 3).collect();
+        assert_eq!(folded, expected);
+    }
+
+    #[test]
+    fn nested_parallel_regions_compose() {
+        // An outer par_iter whose body runs an inner par_iter: with the old
+        // shim the inner loops were forced sequential; the pool executes both
+        // levels through the same deques. The result must still be exactly
+        // the sequential answer.
+        let out: Vec<u64> = (0..64usize)
+            .into_par_iter()
+            .map(|i| {
+                (0..256usize)
+                    .into_par_iter()
+                    .map(|j| (i * j) as u64)
+                    .collect::<Vec<u64>>()
+                    .into_iter()
+                    .sum::<u64>()
+            })
+            .collect();
+        let expected: Vec<u64> = (0..64usize)
+            .map(|i| (0..256usize).map(|j| (i * j) as u64).sum::<u64>())
+            .collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn with_width_caps_and_results_are_identical() {
+        let input: Vec<u64> = (0..20_000).collect();
+        let expected: Vec<u64> = input.iter().map(|&x| x.wrapping_mul(31) ^ 7).collect();
+        for width in [1usize, 2, 4, 8] {
+            let out: Vec<u64> = crate::with_width(width, || {
+                assert_eq!(crate::current_num_threads(), width);
+                input.par_iter().map(|&x| x.wrapping_mul(31) ^ 7).collect()
+            });
+            assert_eq!(out, expected, "width {width} diverged");
+        }
+    }
+
+    #[test]
+    fn with_width_restores_previous_width() {
+        let outer = crate::current_num_threads();
+        crate::with_width(3, || {
+            assert_eq!(crate::current_num_threads(), 3);
+            crate::with_width(1, || assert_eq!(crate::current_num_threads(), 1));
+            assert_eq!(crate::current_num_threads(), 3);
+        });
+        assert_eq!(crate::current_num_threads(), outer);
+    }
+
+    #[test]
+    fn skewed_work_still_produces_ordered_output() {
+        // One pathologically expensive item at the front: fixed chunking
+        // strands everything behind it; adaptive splitting must still return
+        // the exact sequential output.
+        let out: Vec<u64> = crate::with_width(4, || {
+            (0..512usize)
+                .into_par_iter()
+                .map(|i| {
+                    let rounds = if i == 0 { 200_000 } else { 10 };
+                    let mut acc = i as u64;
+                    for _ in 0..rounds {
+                        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    }
+                    acc ^ i as u64
+                })
+                .collect()
+        });
+        let expected: Vec<u64> = (0..512usize)
+            .map(|i| {
+                let rounds = if i == 0 { 200_000 } else { 10 };
+                let mut acc = i as u64;
+                for _ in 0..rounds {
+                    acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+                }
+                acc ^ i as u64
+            })
+            .collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn panics_propagate_to_the_caller() {
+        let result = std::panic::catch_unwind(|| {
+            crate::with_width(4, || {
+                let _: Vec<u32> = (0..1024usize)
+                    .into_par_iter()
+                    .map(|i| {
+                        if i == 700 {
+                            panic!("boom at {i}");
+                        }
+                        i as u32
+                    })
+                    .collect();
+            })
+        });
+        assert!(result.is_err(), "the worker panic must reach the caller");
+    }
+
+    #[test]
+    fn side_effects_run_exactly_once_per_index() {
+        static HITS: AtomicUsize = AtomicUsize::new(0);
+        let n = 10_000usize;
+        let out: Vec<usize> = crate::with_width(4, || {
+            (0..n)
+                .into_par_iter()
+                .map(|i| {
+                    HITS.fetch_add(1, Ordering::Relaxed);
+                    i
+                })
+                .collect()
+        });
+        assert_eq!(out.len(), n);
+        assert_eq!(HITS.load(Ordering::Relaxed), n);
     }
 }

@@ -1,0 +1,608 @@
+//! The work-stealing runtime: a lazily-initialized persistent worker pool,
+//! per-worker LIFO deques with randomized stealing, and the [`join`]
+//! primitive every parallel iterator is built on.
+//!
+//! ## Execution model
+//!
+//! Workers are OS threads spawned **once** (on first parallel use) and kept
+//! for the life of the process, parking when idle. Each worker owns a deque:
+//! it pushes and pops work at the back (LIFO — the hot, cache-warm end) while
+//! idle workers steal from the front (FIFO — the largest, oldest subtrees).
+//! Victim order is randomized per steal attempt so contention spreads instead
+//! of convoying on worker 0.
+//!
+//! [`join(a, b)`](join) is the only scheduling primitive: it publishes `b` on
+//! the local deque, runs `a` inline, then either pops `b` back (nobody wanted
+//! it — run inline, zero inter-thread traffic) or, if `b` was stolen, keeps
+//! executing *other* stolen work until the thief finishes. Nested parallel
+//! regions therefore compose: an inner `par_iter` executed on a worker just
+//! pushes more jobs onto the same deque, where siblings can steal them — no
+//! "already parallel, run sequentially" suppression flag.
+//!
+//! ## Region width
+//!
+//! A parallel region runs at a *width*: the maximum number of workers that
+//! may participate. The default width is `RAYON_NUM_THREADS` (or the
+//! machine's available parallelism); [`with_width`] caps or raises it for a
+//! scope, and the cap is inherited by every job the region spawns (only
+//! workers with `index < width` may steal a region's jobs). Width 1 never
+//! touches the pool at all — callers check [`current_num_threads`] and run
+//! inline. Results never depend on the width: every combinator in this crate
+//! reduces in input order.
+
+use std::any::Any;
+use std::cell::{Cell, UnsafeCell};
+use std::collections::VecDeque;
+use std::num::NonZeroUsize;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
+use std::time::Duration;
+
+/// Hard cap on pool size: a safety valve against absurd width requests (the
+/// per-request `threads` knob upstream is user input).
+pub const MAX_WORKERS: usize = 128;
+
+/// Spin-yield rounds before an idle worker parks on the condvar. Short:
+/// parked workers must cost nothing, so sequential phases on the calling
+/// thread (and other processes on small boxes) are not taxed by the pool.
+const IDLE_SPINS: u32 = 8;
+
+/// Default number of worker threads: `RAYON_NUM_THREADS` if set (and ≥ 1),
+/// else the machine's available parallelism. Resolved once and cached.
+fn default_threads() -> usize {
+    static THREADS: OnceLock<usize> = OnceLock::new();
+    *THREADS.get_or_init(|| {
+        if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+            if let Ok(n) = v.parse::<usize>() {
+                if n >= 1 {
+                    return n.min(MAX_WORKERS);
+                }
+            }
+        }
+        std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+            .min(MAX_WORKERS)
+    })
+}
+
+/// Widths requested before the pool existed (grown into on creation).
+static REQUESTED: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Index of this thread inside the pool, `usize::MAX` for non-workers.
+    static WORKER_INDEX: Cell<usize> = const { Cell::new(usize::MAX) };
+    /// Width of the region this thread is currently executing; 0 = unset
+    /// (fall back to the default width).
+    static REGION_WIDTH: Cell<usize> = const { Cell::new(0) };
+    /// Per-thread xorshift state for randomized victim selection.
+    static STEAL_RNG: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Width of the current region (the default width outside any region).
+fn current_width() -> usize {
+    let w = REGION_WIDTH.with(Cell::get);
+    if w == 0 {
+        default_threads()
+    } else {
+        w
+    }
+}
+
+/// Number of threads the current parallel region may use (mirrors
+/// `rayon::current_num_threads`): the region's width cap, or the default
+/// width (`RAYON_NUM_THREADS` / available parallelism) outside any
+/// [`with_width`] scope. A return value of 1 means parallel regions run
+/// inline on the calling thread.
+pub fn current_num_threads() -> usize {
+    current_width().clamp(1, MAX_WORKERS)
+}
+
+/// Asks the pool to grow to at least `threads` workers (clamped to
+/// [`MAX_WORKERS`]). Spawns the missing workers immediately if the pool
+/// exists, or records the request for its creation. Never shrinks: widths
+/// above the default only take effect through [`with_width`].
+pub fn ensure_pool_size(threads: usize) {
+    let threads = threads.clamp(1, MAX_WORKERS);
+    REQUESTED.fetch_max(threads, Ordering::Relaxed);
+    if threads > 1 {
+        registry().ensure_workers(threads);
+    }
+}
+
+/// Runs `f` with the parallel width capped (or raised) to `width`: every
+/// parallel region entered inside `f` on this thread uses at most `width`
+/// workers. `width == 1` makes all of them run inline with zero pool
+/// traffic; widths above the default spawn the extra workers on demand.
+/// Results are identical at every width — only the wall-clock changes.
+pub fn with_width<R>(width: usize, f: impl FnOnce() -> R) -> R {
+    let width = width.clamp(1, MAX_WORKERS);
+    if width > 1 {
+        ensure_pool_size(width);
+    }
+    struct Reset(usize);
+    impl Drop for Reset {
+        fn drop(&mut self) {
+            REGION_WIDTH.with(|w| w.set(self.0));
+        }
+    }
+    let prev = REGION_WIDTH.with(|w| {
+        let prev = w.get();
+        w.set(width);
+        prev
+    });
+    let _reset = Reset(prev);
+    f()
+}
+
+/// Context passed to [`join_context`] closures: whether the closure was
+/// *migrated* (executed by a thief rather than the thread that forked it).
+/// Adaptive splitters use this as the demand signal — a steal means idle
+/// workers exist, so split finer.
+#[derive(Clone, Copy, Debug)]
+pub struct FnContext {
+    migrated: bool,
+}
+
+impl FnContext {
+    /// True when the closure ran on a different worker than the one that
+    /// forked it.
+    pub fn migrated(&self) -> bool {
+        self.migrated
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Jobs and latches
+// ---------------------------------------------------------------------------
+
+/// Type-erased pointer to a job waiting in a deque. The pointee is a
+/// [`StackJob`] on the stack of the thread that forked it, which blocks until
+/// the job completes — so the pointer never dangles.
+#[derive(Clone, Copy)]
+struct JobRef {
+    data: *const (),
+    execute_fn: unsafe fn(*const ()),
+    /// Width of the forking region: only workers with `index < width` may
+    /// execute this job.
+    width: usize,
+}
+
+// SAFETY: a JobRef is only created from a StackJob whose owner blocks until
+// the latch is set, and the execute path is the unique consumer of the
+// closure (guarded by `Option::take`).
+unsafe impl Send for JobRef {}
+
+impl JobRef {
+    unsafe fn execute(self) {
+        (self.execute_fn)(self.data)
+    }
+}
+
+/// Completion flag with both spin-probe and blocking-wait interfaces.
+struct Latch {
+    set: AtomicBool,
+    lock: Mutex<()>,
+    cond: Condvar,
+}
+
+impl Latch {
+    fn new() -> Self {
+        Self {
+            set: AtomicBool::new(false),
+            lock: Mutex::new(()),
+            cond: Condvar::new(),
+        }
+    }
+
+    #[inline]
+    fn probe(&self) -> bool {
+        self.set.load(Ordering::Acquire)
+    }
+
+    fn set(&self) {
+        self.set.store(true, Ordering::Release);
+        // Lock-then-notify so a waiter that checked `probe` under the lock
+        // cannot miss the wakeup.
+        let _guard = self.lock.lock().unwrap();
+        self.cond.notify_all();
+    }
+
+    /// Blocks until the latch is set (for non-worker threads, which have no
+    /// deque to drain while they wait).
+    fn wait_blocking(&self) {
+        let mut guard = self.lock.lock().unwrap();
+        while !self.probe() {
+            guard = self.cond.wait(guard).unwrap();
+        }
+    }
+
+    /// Parks for at most `dur` or until the latch is set.
+    fn wait_timeout(&self, dur: Duration) {
+        let guard = self.lock.lock().unwrap();
+        if !self.probe() {
+            let _ = self.cond.wait_timeout(guard, dur).unwrap();
+        }
+    }
+}
+
+enum JobResult<R> {
+    Incomplete,
+    Ok(R),
+    Panic(Box<dyn Any + Send + 'static>),
+}
+
+/// A forked closure living on its owner's stack, shared with a potential
+/// thief through a [`JobRef`].
+struct StackJob<F, R> {
+    f: UnsafeCell<Option<F>>,
+    result: UnsafeCell<JobResult<R>>,
+    latch: Latch,
+    width: usize,
+}
+
+impl<F, R> StackJob<F, R>
+where
+    F: FnOnce(FnContext) -> R + Send,
+    R: Send,
+{
+    fn new(f: F, width: usize) -> Self {
+        Self {
+            f: UnsafeCell::new(Some(f)),
+            result: UnsafeCell::new(JobResult::Incomplete),
+            latch: Latch::new(),
+            width,
+        }
+    }
+
+    /// # Safety
+    /// The caller must keep `self` alive (and on this stack frame) until the
+    /// latch is set or the ref is popped back un-executed.
+    unsafe fn as_job_ref(&self) -> JobRef {
+        JobRef {
+            data: self as *const Self as *const (),
+            execute_fn: Self::execute_stolen,
+            width: self.width,
+        }
+    }
+
+    /// Entry point when a thief (or the same worker draining its own deque
+    /// while waiting on an unrelated latch) executes the job.
+    unsafe fn execute_stolen(data: *const ()) {
+        let job = &*(data as *const Self);
+        let f = (*job.f.get()).take().expect("job executed twice");
+        let result = panic::catch_unwind(AssertUnwindSafe(|| f(FnContext { migrated: true })));
+        *job.result.get() = match result {
+            Ok(r) => JobResult::Ok(r),
+            Err(payload) => JobResult::Panic(payload),
+        };
+        job.latch.set();
+    }
+
+    /// Takes the closure back (the owner popped the job before any thief ran
+    /// it).
+    fn take_f(&self) -> F {
+        unsafe { (*self.f.get()).take().expect("job executed twice") }
+    }
+
+    /// Takes the result once the latch is set.
+    fn take_result(&self) -> JobResult<R> {
+        unsafe { std::mem::replace(&mut *self.result.get(), JobResult::Incomplete) }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The registry
+// ---------------------------------------------------------------------------
+
+struct WorkerHandle {
+    deque: Mutex<VecDeque<JobRef>>,
+}
+
+struct Registry {
+    /// All worker slots, preallocated to [`MAX_WORKERS`]; only the first
+    /// `live` are backed by threads.
+    workers: Vec<WorkerHandle>,
+    /// Number of spawned workers.
+    live: AtomicUsize,
+    /// Overflow queue for jobs submitted from outside the pool.
+    injector: Mutex<VecDeque<JobRef>>,
+    /// Idle-worker parking lot.
+    idle_lock: Mutex<()>,
+    idle_cond: Condvar,
+    sleepers: AtomicUsize,
+    /// Serializes pool growth; holds the spawned-so-far count.
+    grow_lock: Mutex<usize>,
+}
+
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    let reg = REGISTRY.get_or_init(|| Registry {
+        workers: (0..MAX_WORKERS)
+            .map(|_| WorkerHandle {
+                deque: Mutex::new(VecDeque::new()),
+            })
+            .collect(),
+        live: AtomicUsize::new(0),
+        injector: Mutex::new(VecDeque::new()),
+        idle_lock: Mutex::new(()),
+        idle_cond: Condvar::new(),
+        sleepers: AtomicUsize::new(0),
+        grow_lock: Mutex::new(0),
+    });
+    reg.ensure_workers(default_threads().max(REQUESTED.load(Ordering::Relaxed)));
+    reg
+}
+
+impl Registry {
+    /// Spawns workers until at least `target` are live. Idempotent.
+    fn ensure_workers(&'static self, target: usize) {
+        let target = target.min(MAX_WORKERS);
+        if self.live.load(Ordering::Acquire) >= target {
+            return;
+        }
+        let mut spawned = self.grow_lock.lock().unwrap();
+        while *spawned < target {
+            let index = *spawned;
+            std::thread::Builder::new()
+                .name(format!("rayon-worker-{index}"))
+                .spawn(move || worker_main(self, index))
+                .expect("failed to spawn pool worker");
+            *spawned += 1;
+            self.live.store(*spawned, Ordering::Release);
+        }
+    }
+
+    /// Wakes parked workers after new work was published.
+    fn notify(&self) {
+        if self.sleepers.load(Ordering::SeqCst) > 0 {
+            let _guard = self.idle_lock.lock().unwrap();
+            self.idle_cond.notify_all();
+        }
+    }
+
+    fn push_local(&self, index: usize, job: JobRef) {
+        self.workers[index].deque.lock().unwrap().push_back(job);
+        self.notify();
+    }
+
+    /// Pops the back of `index`'s deque if it is exactly `data` (the job this
+    /// frame pushed and nobody stole).
+    fn pop_local_if(&self, index: usize, data: *const ()) -> bool {
+        let mut deque = self.workers[index].deque.lock().unwrap();
+        if deque.back().is_some_and(|j| std::ptr::eq(j.data, data)) {
+            deque.pop_back();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn inject(&self, job: JobRef) {
+        self.injector.lock().unwrap().push_back(job);
+        self.notify();
+    }
+
+    /// Finds the next job for worker `index`: own deque back (LIFO), then the
+    /// injector, then a randomized sweep of the other workers' deque fronts.
+    /// Width caps are honored everywhere except the own deque, whose jobs
+    /// were pushed by regions this worker already participates in.
+    fn find_work(&self, index: usize) -> Option<JobRef> {
+        if let Some(job) = self.workers[index].deque.lock().unwrap().pop_back() {
+            return Some(job);
+        }
+        if let Some(job) = take_eligible(&mut self.injector.lock().unwrap(), index) {
+            return Some(job);
+        }
+        let live = self.live.load(Ordering::Acquire);
+        if live <= 1 {
+            return None;
+        }
+        let start = (steal_rng_next() as usize) % live;
+        for k in 0..live {
+            let victim = (start + k) % live;
+            if victim == index {
+                continue;
+            }
+            if let Some(job) = take_eligible(&mut self.workers[victim].deque.lock().unwrap(), index)
+            {
+                return Some(job);
+            }
+        }
+        None
+    }
+}
+
+/// Removes the oldest job in `deque` that worker `index` may execute
+/// (steals are FIFO: the front holds the largest unsplit subtrees).
+fn take_eligible(deque: &mut VecDeque<JobRef>, index: usize) -> Option<JobRef> {
+    let pos = deque.iter().position(|j| index < j.width)?;
+    deque.remove(pos)
+}
+
+fn steal_rng_next() -> u64 {
+    STEAL_RNG.with(|rng| {
+        let mut x = rng.get();
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        rng.set(x);
+        x
+    })
+}
+
+/// Executes a job with the region width it was forked under.
+unsafe fn execute_job(job: JobRef) {
+    struct Reset(usize);
+    impl Drop for Reset {
+        fn drop(&mut self) {
+            REGION_WIDTH.with(|w| w.set(self.0));
+        }
+    }
+    let prev = REGION_WIDTH.with(|w| {
+        let prev = w.get();
+        w.set(job.width);
+        prev
+    });
+    let _reset = Reset(prev);
+    job.execute();
+}
+
+fn worker_main(reg: &'static Registry, index: usize) {
+    WORKER_INDEX.with(|w| w.set(index));
+    STEAL_RNG.with(|rng| rng.set(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(index as u64 + 1) | 1));
+    let mut idle = 0u32;
+    loop {
+        if let Some(job) = reg.find_work(index) {
+            idle = 0;
+            unsafe { execute_job(job) };
+            continue;
+        }
+        idle += 1;
+        if idle < IDLE_SPINS {
+            std::thread::yield_now();
+            continue;
+        }
+        // Park until new work is published. Register as a sleeper, then
+        // re-check for work while *holding* the idle lock: a publisher pushes
+        // first and only then takes the idle lock to notify (never holding a
+        // deque lock across it), so either this re-check sees the job or the
+        // publisher's notify happens after the wait begins — a wakeup cannot
+        // be lost. The long timeout is a belt-and-braces fallback, not a
+        // poll: parked workers must not burn CPU the sequential phases need.
+        reg.sleepers.fetch_add(1, Ordering::SeqCst);
+        let guard = reg.idle_lock.lock().unwrap();
+        if let Some(job) = reg.find_work(index) {
+            drop(guard);
+            reg.sleepers.fetch_sub(1, Ordering::SeqCst);
+            idle = 0;
+            unsafe { execute_job(job) };
+            continue;
+        }
+        let _ = reg
+            .idle_cond
+            .wait_timeout(guard, Duration::from_millis(50))
+            .unwrap();
+        reg.sleepers.fetch_sub(1, Ordering::SeqCst);
+        // Woken (or timed out): try one sweep, and if it fails go straight
+        // back to parking instead of a fresh yield storm.
+        idle = IDLE_SPINS;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// join
+// ---------------------------------------------------------------------------
+
+/// Runs `a` and `b`, potentially in parallel, returning both results. The
+/// fundamental fork-join primitive: `b` is made available for stealing while
+/// the calling thread runs `a`; if nobody stole it, `b` runs inline with no
+/// synchronization beyond two deque operations.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    join_context(|_| a(), |_| b())
+}
+
+/// [`join`] with an [`FnContext`] telling each closure whether it migrated to
+/// another worker — the demand signal adaptive splitters key off.
+pub fn join_context<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce(FnContext) -> RA + Send,
+    B: FnOnce(FnContext) -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        let ra = a(FnContext { migrated: false });
+        let rb = b(FnContext { migrated: false });
+        return (ra, rb);
+    }
+    let index = WORKER_INDEX.with(Cell::get);
+    if index == usize::MAX {
+        // Not on a pool thread: move the whole join into the pool and block.
+        return run_in_pool(move |_| join_context(a, b));
+    }
+    join_on_worker(registry(), index, a, b)
+}
+
+fn join_on_worker<A, B, RA, RB>(reg: &'static Registry, index: usize, a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce(FnContext) -> RA + Send,
+    B: FnOnce(FnContext) -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let job_b = StackJob::new(b, current_width());
+    let b_ref = unsafe { job_b.as_job_ref() };
+    let b_data = b_ref.data;
+    reg.push_local(index, b_ref);
+    let result_a = panic::catch_unwind(AssertUnwindSafe(|| a(FnContext { migrated: false })));
+    if reg.pop_local_if(index, b_data) {
+        // `b` never left this worker: run it inline (or drop it if `a`
+        // panicked — it is no longer shared, so unwinding is safe).
+        match result_a {
+            Ok(ra) => {
+                let f = job_b.take_f();
+                let rb = f(FnContext { migrated: false });
+                (ra, rb)
+            }
+            Err(payload) => panic::resume_unwind(payload),
+        }
+    } else {
+        // Stolen: execute other work until the thief finishes. `job_b` lives
+        // on this stack, so we must not unwind past it before the latch sets.
+        while !job_b.latch.probe() {
+            if let Some(job) = reg.find_work(index) {
+                unsafe { execute_job(job) };
+            } else {
+                job_b.latch.wait_timeout(Duration::from_micros(200));
+            }
+        }
+        let rb = job_b.take_result();
+        match (result_a, rb) {
+            (Ok(ra), JobResult::Ok(rb)) => (ra, rb),
+            (Err(payload), _) => panic::resume_unwind(payload),
+            (Ok(_), JobResult::Panic(payload)) => panic::resume_unwind(payload),
+            (Ok(_), JobResult::Incomplete) => unreachable!("latch set without a result"),
+        }
+    }
+}
+
+/// Runs `f` inside the pool if the calling thread is not already a worker
+/// (otherwise calls it directly). This is how a top-level parallel region
+/// enters the deques: one injected job, one blocking latch wait.
+pub(crate) fn in_region<R, F>(f: F) -> R
+where
+    F: FnOnce(FnContext) -> R + Send,
+    R: Send,
+{
+    if WORKER_INDEX.with(Cell::get) != usize::MAX {
+        return f(FnContext { migrated: false });
+    }
+    run_in_pool(f)
+}
+
+fn run_in_pool<R, F>(f: F) -> R
+where
+    F: FnOnce(FnContext) -> R + Send,
+    R: Send,
+{
+    let width = current_width().clamp(1, MAX_WORKERS);
+    let reg = registry();
+    reg.ensure_workers(width);
+    let job = StackJob::new(f, width);
+    let job_ref = unsafe { job.as_job_ref() };
+    reg.inject(job_ref);
+    job.latch.wait_blocking();
+    match job.take_result() {
+        JobResult::Ok(r) => r,
+        JobResult::Panic(payload) => panic::resume_unwind(payload),
+        JobResult::Incomplete => unreachable!("latch set without a result"),
+    }
+}

@@ -1,0 +1,66 @@
+//! The 1-thread contract: a parallel region at effective width 1 must hit
+//! the inline path — no pool traffic and **zero scaffolding allocations**
+//! beyond the result buffer itself. Guarded with a counting allocator so the
+//! old shim's `parts`/handle round-trip cannot sneak back in.
+
+use rayon::prelude::*;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+#[test]
+fn width_one_region_allocates_only_the_result() {
+    rayon::with_width(1, || {
+        let input: Vec<u64> = (0..50_000).collect();
+        // Warm up once so any lazily-initialized statics are out of the way.
+        let warmup: Vec<u64> = input.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(warmup.len(), input.len());
+
+        let before = ALLOCATIONS.load(Ordering::SeqCst);
+        let out: Vec<u64> = input.par_iter().map(|&x| x * 2).collect();
+        let allocated = ALLOCATIONS.load(Ordering::SeqCst) - before;
+        assert_eq!(out.len(), input.len());
+        assert_eq!(out[123], 246);
+        // Exactly the result Vec (one sized allocation; `collect` may move it
+        // once more) — no chunk buffers, no thread handles, no job boxes.
+        assert!(
+            allocated <= 2,
+            "width-1 par_iter made {allocated} allocations (expected the result only)"
+        );
+
+        let before = ALLOCATIONS.load(Ordering::SeqCst);
+        let sum: u64 = input.par_chunks(64).fold_reduce(
+            || 0u64,
+            |acc, c| acc + c.iter().sum::<u64>(),
+            |a, b| a + b,
+        );
+        let allocated = ALLOCATIONS.load(Ordering::SeqCst) - before;
+        assert_eq!(sum, input.iter().sum::<u64>());
+        assert_eq!(
+            allocated, 0,
+            "width-1 fold_reduce must not allocate at all, made {allocated}"
+        );
+    });
+}
