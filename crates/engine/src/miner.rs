@@ -54,6 +54,12 @@ pub struct MineOutcome {
     /// True if a fired [`CancelToken`](crate::CancelToken) wound the run down
     /// early; `patterns` is then a valid partial result.
     pub cancelled: bool,
+    /// True if the run's armed deadline
+    /// ([`MineRequest::deadline_ms`](crate::MineRequest::deadline_ms), or a
+    /// caller-armed [`MineContext`] deadline) expired and fired the token.
+    /// Implies `cancelled`; like any cancellation, a timeout yields partial
+    /// results, never an error.
+    pub timed_out: bool,
     /// Per-stage wall-clock timings recorded during the run.
     pub stages: Vec<StageTiming>,
     /// Total wall-clock time of the run.
@@ -118,6 +124,7 @@ fn finish_outcome(
         algorithm,
         patterns,
         cancelled: ctx.was_cancelled(),
+        timed_out: ctx.timed_out(),
         stages: ctx.take_timings(),
         total_time: start.elapsed(),
         // Inside an `Engine` run this reflects the request's `threads` knob
@@ -483,6 +490,7 @@ pub enum EngineKind {
 pub struct Engine {
     kind: EngineKind,
     threads: Option<usize>,
+    deadline: Option<Duration>,
 }
 
 impl Engine {
@@ -521,6 +529,7 @@ impl Engine {
         Self {
             kind,
             threads: request.requested_threads(),
+            deadline: request.requested_deadline(),
         }
     }
 
@@ -568,6 +577,13 @@ impl Miner for Engine {
         host: &GraphSource<'_>,
         ctx: &mut MineContext,
     ) -> Result<MineOutcome, MineError> {
+        // Arm the request's deadline on the context; the miners' cancel polls
+        // turn its expiry into a cooperative wind-down (partial results, the
+        // outcome's `timed_out` flag set). A caller-armed context deadline is
+        // left alone when the request has none.
+        if let Some(deadline) = self.deadline {
+            ctx.set_deadline_in(deadline);
+        }
         match self.threads {
             // Pin every parallel region of the run to the requested width
             // (the pool grows on demand if the width exceeds it). The

@@ -111,6 +111,7 @@ pub struct MineRequest {
     max_pattern_edges: Option<usize>,
     max_embeddings: Option<usize>,
     threads: Option<usize>,
+    deadline_ms: Option<u64>,
 }
 
 impl MineRequest {
@@ -130,6 +131,7 @@ impl MineRequest {
             max_pattern_edges: None,
             max_embeddings: None,
             threads: None,
+            deadline_ms: None,
         }
     }
 
@@ -216,9 +218,65 @@ impl MineRequest {
         self
     }
 
+    /// Wall-clock deadline for the whole run, in milliseconds. Works for
+    /// *every* algorithm (unlike [`MineRequest::time_budget`], which maps to
+    /// the budgeted baselines' own knobs): the engine arms the
+    /// [`MineContext`](crate::MineContext) deadline, which fires the cancel
+    /// token once expired, so the run winds down cooperatively and returns
+    /// its partial results with
+    /// [`MineOutcome::timed_out`](crate::MineOutcome::timed_out) set —
+    /// a timeout is never an error.
+    pub fn deadline_ms(mut self, ms: u64) -> Self {
+        self.deadline_ms = Some(ms);
+        self
+    }
+
     /// The requested algorithm.
     pub fn algorithm(&self) -> Algorithm {
         self.algorithm
+    }
+
+    /// The requested thread width, if any.
+    pub fn requested_threads(&self) -> Option<usize> {
+        self.threads
+    }
+
+    /// The requested wall-clock deadline, if any.
+    pub fn requested_deadline(&self) -> Option<Duration> {
+        self.deadline_ms.map(Duration::from_millis)
+    }
+
+    /// A canonical serialized key identifying everything about this request
+    /// that can influence a [`MineOutcome`](crate::MineOutcome)'s mined
+    /// patterns: algorithm, all thresholds and budgets, the seed and the
+    /// support measure, each rendered in a stable normal form (ε as its exact
+    /// IEEE-754 bit pattern, unset optionals as `-`).
+    ///
+    /// Two requests with equal keys produce identical patterns on the same
+    /// graph, which is what lets the service layer's result cache use
+    /// `(graph fingerprint, canonical key)` as its lookup key. The `threads`
+    /// knob is deliberately **excluded**: the runtime's reductions are
+    /// order-preserving, so results are byte-identical at every width and
+    /// runs differing only in width must share a cache entry.
+    pub fn canonical_key(&self) -> String {
+        fn opt<T: fmt::Display>(v: Option<T>) -> String {
+            v.map_or_else(|| "-".to_owned(), |v| v.to_string())
+        }
+        format!(
+            "v1;algo={};sigma={};k={};eps={:016x};dmax={};r={};seed={:016x};measure={};budget_ns={};max_edges={};max_emb={};deadline_ms={}",
+            self.algorithm.name(),
+            self.support_threshold,
+            self.k,
+            self.epsilon.to_bits(),
+            self.d_max,
+            self.r,
+            self.seed,
+            self.support_measure.map_or("-", |m| m.name()),
+            opt(self.time_budget.map(|b| b.as_nanos())),
+            opt(self.max_pattern_edges),
+            opt(self.max_embeddings),
+            opt(self.deadline_ms),
+        )
     }
 
     /// Validates every field, naming the offending one on failure.
@@ -284,12 +342,13 @@ impl MineRequest {
                 ));
             }
         }
+        if self.deadline_ms == Some(0) {
+            return Err(MineError::invalid(
+                "deadline_ms",
+                "must be at least 1 millisecond when set (a zero deadline would cancel the run before it starts)",
+            ));
+        }
         Ok(())
-    }
-
-    /// The requested thread count, if any.
-    pub(crate) fn requested_threads(&self) -> Option<usize> {
-        self.threads
     }
 
     /// Validates the request and constructs the ready-to-run
@@ -408,6 +467,10 @@ mod tests {
                 "threads",
                 MineRequest::new(Algorithm::SpiderMine).threads(rayon::MAX_WORKERS + 1),
             ),
+            (
+                "deadline_ms",
+                MineRequest::new(Algorithm::SpiderMine).deadline_ms(0),
+            ),
         ];
         for (field, request) in cases {
             match request.validate() {
@@ -417,6 +480,36 @@ mod tests {
                 other => panic!("expected InvalidConfig for {field}, got {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn canonical_key_covers_every_result_affecting_field() {
+        let base = || MineRequest::new(Algorithm::SpiderMine);
+        let key = base().canonical_key();
+        // Each result-affecting knob moves the key.
+        let variants = [
+            base().support_threshold(3).canonical_key(),
+            base().k(4).canonical_key(),
+            base().epsilon(0.2).canonical_key(),
+            base().d_max(5).canonical_key(),
+            base().radius(2).canonical_key(),
+            base().seed(1).canonical_key(),
+            base()
+                .support_measure(SupportMeasure::GreedyDisjoint)
+                .canonical_key(),
+            base().time_budget(Duration::from_secs(1)).canonical_key(),
+            base().max_pattern_edges(9).canonical_key(),
+            base().max_embeddings(9).canonical_key(),
+            base().deadline_ms(100).canonical_key(),
+            MineRequest::new(Algorithm::Moss).canonical_key(),
+        ];
+        for (i, v) in variants.iter().enumerate() {
+            assert_ne!(&key, v, "variant {i} did not move the key");
+        }
+        // Equal requests agree; `threads` is excluded by design (results are
+        // width-independent, so runs at different widths share a cache slot).
+        assert_eq!(key, base().canonical_key());
+        assert_eq!(key, base().threads(4).canonical_key());
     }
 
     #[test]

@@ -236,6 +236,38 @@ impl LabeledGraph {
         labels.len()
     }
 
+    /// Builds a graph directly from flat CSR arrays: per-vertex labels, row
+    /// offsets (length `labels.len() + 1`), and concatenated sorted neighbor
+    /// rows.
+    ///
+    /// This is the fast path behind snapshot loading (`io::load_snapshot`):
+    /// it slices each adjacency row straight out of `neighbors` instead of
+    /// inserting edges one by one. The caller must pass well-formed data —
+    /// monotone offsets, each row strictly ascending with no self-loops, and
+    /// symmetric adjacency (`v ∈ row(u) ⇔ u ∈ row(v)`); `io` validates all of
+    /// that before calling here. Violations are caught by `debug_assert` only.
+    pub fn from_csr_parts(labels: Vec<Label>, offsets: &[u32], neighbors: &[VertexId]) -> Self {
+        debug_assert_eq!(offsets.len(), labels.len() + 1);
+        debug_assert_eq!(offsets.first().copied().unwrap_or(0), 0);
+        debug_assert_eq!(
+            offsets.last().copied().unwrap_or(0) as usize,
+            neighbors.len()
+        );
+        debug_assert_eq!(neighbors.len() % 2, 0);
+        let adjacency: Vec<Vec<VertexId>> = (0..labels.len())
+            .map(|i| neighbors[offsets[i] as usize..offsets[i + 1] as usize].to_vec())
+            .collect();
+        debug_assert!(adjacency
+            .iter()
+            .all(|row| row.windows(2).all(|w| w[0] < w[1])));
+        Self {
+            labels,
+            edge_count: neighbors.len() / 2,
+            adjacency,
+            csr: OnceLock::new(),
+        }
+    }
+
     /// Builds a graph directly from a label slice and an edge list.
     ///
     /// Convenience constructor used pervasively in tests and generators.

@@ -11,6 +11,93 @@ use crate::graph::{LabeledGraph, VertexId};
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 
+/// A stable 64-bit FNV-1a hasher.
+///
+/// Unlike [`DefaultHasher`] (whose output is only guaranteed stable within
+/// one process), FNV-1a over a fixed byte encoding produces the same value
+/// across processes, platforms and compiler versions. That stability is what
+/// lets [`graph_fingerprint`] values be persisted inside snapshot files and
+/// used as cache keys that survive a service restart.
+#[derive(Clone, Debug)]
+pub struct StableHasher {
+    state: u64,
+}
+
+impl StableHasher {
+    const OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Self {
+            state: Self::OFFSET_BASIS,
+        }
+    }
+
+    /// Feeds raw bytes.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= b as u64;
+            self.state = self.state.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    /// Feeds one `u32` in little-endian byte order.
+    #[inline]
+    pub fn write_u32(&mut self, v: u32) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Feeds one `u64` in little-endian byte order.
+    #[inline]
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// The accumulated hash value.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+impl Default for StableHasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Content fingerprint of a graph: a [`StableHasher`] digest over the vertex
+/// labels and the frozen CSR adjacency (per-vertex sorted neighbor rows).
+///
+/// Two graphs have equal fingerprints exactly when they are identical as
+/// *labeled vertex-id-ordered* structures (up to hash collisions) — this is a
+/// content hash, **not** an isomorphism invariant: renumbering vertices
+/// changes the fingerprint. The value is stable across processes and is
+/// persisted in the snapshot header (`io::save_snapshot`), which is what lets
+/// the service layer key its result cache by `(fingerprint, request)` and
+/// trust the key across restarts.
+pub fn graph_fingerprint(graph: &LabeledGraph) -> u64 {
+    let csr = graph.csr();
+    let mut h = StableHasher::new();
+    h.write_bytes(b"spidermine-graph-fingerprint-v1");
+    h.write_u32(graph.vertex_count() as u32);
+    h.write_u32(graph.edge_count() as u32);
+    for l in graph.labels() {
+        h.write_u32(l.0);
+    }
+    // The CSR arrays, row by row: degree then sorted neighbor ids — exactly
+    // the information content of the offsets + neighbors sections of the
+    // snapshot format.
+    for v in graph.vertices() {
+        let row = csr.neighbors(v);
+        h.write_u32(row.len() as u32);
+        for &u in row {
+            h.write_u32(u.0);
+        }
+    }
+    h.finish()
+}
+
 /// A per-vertex signature describing the vertex's label together with the
 /// sorted multiset of its neighbors' labels — exactly the information content
 /// of a radius-1 star spider rooted at the vertex.
@@ -88,6 +175,29 @@ pub fn invariant_signature(graph: &LabeledGraph) -> InvariantSignature {
 mod tests {
     use super::*;
     use crate::label::Label;
+
+    #[test]
+    fn stable_hasher_matches_known_fnv_vectors() {
+        // FNV-1a 64 test vectors: "" and "a".
+        assert_eq!(StableHasher::new().finish(), 0xcbf2_9ce4_8422_2325);
+        let mut h = StableHasher::new();
+        h.write_bytes(b"a");
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn fingerprint_is_content_sensitive() {
+        let a = LabeledGraph::from_parts(&[Label(1), Label(2), Label(3)], &[(0, 1), (1, 2)]);
+        let same = LabeledGraph::from_parts(&[Label(1), Label(2), Label(3)], &[(0, 1), (1, 2)]);
+        assert_eq!(graph_fingerprint(&a), graph_fingerprint(&same));
+        // A label change, an edge change, and a vertex renumbering all move it.
+        let relabel = LabeledGraph::from_parts(&[Label(9), Label(2), Label(3)], &[(0, 1), (1, 2)]);
+        assert_ne!(graph_fingerprint(&a), graph_fingerprint(&relabel));
+        let rewire = LabeledGraph::from_parts(&[Label(1), Label(2), Label(3)], &[(0, 1), (0, 2)]);
+        assert_ne!(graph_fingerprint(&a), graph_fingerprint(&rewire));
+        let renumber = LabeledGraph::from_parts(&[Label(3), Label(2), Label(1)], &[(2, 1), (1, 0)]);
+        assert_ne!(graph_fingerprint(&a), graph_fingerprint(&renumber));
+    }
 
     #[test]
     fn isomorphic_graphs_share_signature() {

@@ -15,7 +15,7 @@ use crate::support::SupportMeasure;
 use spidermine_graph::graph::LabeledGraph;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Cooperative cancellation flag, cheap to clone and safe to fire from any
 /// thread (or from inside a progress callback).
@@ -98,6 +98,14 @@ pub struct MineContext {
     sink: Option<SinkFn>,
     timings: Vec<StageTiming>,
     cancelled_observed: bool,
+    /// Wall-clock deadline armed by [`MineContext::set_deadline_in`]. Checked
+    /// by every [`MineContext::is_cancelled`] poll, so an expired deadline
+    /// fires the cancel token cooperatively — the run winds down with partial
+    /// results exactly like an explicit cancellation, no timer thread needed.
+    deadline: Option<Instant>,
+    /// True once a poll observed the deadline expired (distinguishes a
+    /// timeout from a caller-fired cancellation).
+    deadline_hit: bool,
     /// The support oracle miners consult at their pattern-level decision
     /// points. Installed explicitly via [`MineContext::with_support_oracle`],
     /// or created on first use (a [`MemoOracle`] for the miner's configured
@@ -117,6 +125,8 @@ impl std::fmt::Debug for MineContext {
             .field("has_progress", &self.progress.is_some())
             .field("has_sink", &self.sink.is_some())
             .field("has_oracle", &self.oracle.is_some())
+            .field("has_deadline", &self.deadline.is_some())
+            .field("timed_out", &self.deadline_hit)
             .field("timings", &self.timings)
             .finish()
     }
@@ -188,9 +198,49 @@ impl MineContext {
         self.cancel.clone()
     }
 
-    /// Polls the cancel token; remembers a positive answer so
-    /// [`MineContext::was_cancelled`] reports it after the run.
+    /// Arms (or re-arms) a wall-clock deadline `budget` from now (builder
+    /// style). See [`MineContext::set_deadline_in`].
+    pub fn with_deadline_in(mut self, budget: Duration) -> Self {
+        self.set_deadline_in(budget);
+        self
+    }
+
+    /// Arms (or re-arms) a wall-clock deadline `budget` from now. Once the
+    /// deadline passes, the next [`MineContext::is_cancelled`] poll fires the
+    /// cancel token, so the run winds down cooperatively with partial
+    /// results — a timeout is not an error. Re-arming resets the
+    /// [`MineContext::timed_out`] flag, so a reused context reports each
+    /// run's own timeout.
+    pub fn set_deadline_in(&mut self, budget: Duration) {
+        // A budget too large to represent as an Instant can never fire;
+        // treat it as "no deadline" instead of overflowing.
+        self.deadline = Instant::now().checked_add(budget);
+        self.deadline_hit = false;
+    }
+
+    /// The armed deadline instant, if any.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// True if some poll during the run observed the armed deadline expired
+    /// (and therefore fired the cancel token).
+    pub fn timed_out(&self) -> bool {
+        self.deadline_hit
+    }
+
+    /// Polls the cancel token (and the armed deadline, if any); remembers a
+    /// positive answer so [`MineContext::was_cancelled`] reports it after the
+    /// run.
     pub fn is_cancelled(&mut self) -> bool {
+        if !self.deadline_hit {
+            if let Some(deadline) = self.deadline {
+                if Instant::now() >= deadline {
+                    self.deadline_hit = true;
+                    self.cancel.fire();
+                }
+            }
+        }
         if self.cancel.is_cancelled() {
             self.cancelled_observed = true;
         }
@@ -341,6 +391,50 @@ mod tests {
         let got = ctx.support_oracle(SupportMeasure::MinimumImage);
         assert!(Arc::ptr_eq(&explicit, &got));
         assert_eq!(got.measure(), SupportMeasure::EmbeddingCount);
+    }
+
+    #[test]
+    fn expired_deadline_fires_the_token_and_reports_timeout() {
+        let mut ctx = MineContext::new().with_deadline_in(Duration::ZERO);
+        assert!(!ctx.timed_out(), "deadline only observed at a poll");
+        assert!(ctx.is_cancelled());
+        assert!(ctx.timed_out());
+        assert!(ctx.was_cancelled());
+        assert!(ctx.cancel_token().is_cancelled(), "timeout fires the token");
+    }
+
+    #[test]
+    fn unexpired_deadline_does_not_cancel() {
+        let mut ctx = MineContext::new().with_deadline_in(Duration::from_secs(3600));
+        assert!(!ctx.is_cancelled());
+        assert!(!ctx.timed_out());
+    }
+
+    #[test]
+    fn rearming_a_deadline_resets_the_timeout_flag() {
+        let mut ctx = MineContext::new().with_deadline_in(Duration::ZERO);
+        assert!(ctx.is_cancelled());
+        assert!(ctx.timed_out());
+        ctx.set_deadline_in(Duration::from_secs(3600));
+        assert!(!ctx.timed_out());
+        // The token stays fired (cancellation is sticky), but the new
+        // deadline itself has not expired.
+        assert!(ctx.is_cancelled());
+    }
+
+    #[test]
+    fn unrepresentably_large_deadline_never_fires_or_panics() {
+        let mut ctx = MineContext::new().with_deadline_in(Duration::MAX);
+        assert!(!ctx.is_cancelled());
+        assert!(!ctx.timed_out());
+    }
+
+    #[test]
+    fn explicit_cancellation_is_not_a_timeout() {
+        let mut ctx = MineContext::new().with_deadline_in(Duration::from_secs(3600));
+        ctx.cancel_token().fire();
+        assert!(ctx.is_cancelled());
+        assert!(!ctx.timed_out());
     }
 
     #[test]

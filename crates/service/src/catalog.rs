@@ -1,0 +1,213 @@
+//! The graph catalog: named, immutable, shareable graph snapshots.
+//!
+//! The expensive inputs of a mining request — the graph and its frozen CSR
+//! index — are loaded **once** per graph and handed to every job as a cheap
+//! [`Arc<GraphSnapshot>`] handle. A snapshot is immutable by construction
+//! (the catalog takes ownership and nothing mutates the graph afterwards),
+//! so its lazily built CSR index is shared safely across concurrent jobs;
+//! [`GraphCatalog::register`] builds it eagerly so the first job does not pay
+//! the freeze.
+//!
+//! Snapshots persist to the versioned binary format of
+//! [`spidermine_graph::io`] ([`GraphCatalog::save`] / [`GraphCatalog::load`]),
+//! so a service restart reloads flat CSR arrays instead of rebuilding
+//! datasets. Each snapshot carries the content fingerprint of its graph
+//! ([`graph_fingerprint`]): the stable identity the result cache keys on.
+
+use crate::error::ServiceError;
+use spidermine_graph::io;
+use spidermine_graph::signature::graph_fingerprint;
+use spidermine_graph::LabeledGraph;
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+/// An immutable, named graph with its frozen CSR index and content
+/// fingerprint. Handed out as `Arc<GraphSnapshot>`; cloning the handle is
+/// O(1) and every concurrent job reads the same index.
+#[derive(Debug)]
+pub struct GraphSnapshot {
+    name: String,
+    graph: LabeledGraph,
+    fingerprint: u64,
+}
+
+impl GraphSnapshot {
+    fn new(name: String, graph: LabeledGraph) -> Self {
+        // Freeze the CSR view now, on the registering thread, so concurrent
+        // jobs never race to build it (OnceLock would make that safe but
+        // wasteful) and the first job is not slower than the rest.
+        graph.csr();
+        let fingerprint = graph_fingerprint(&graph);
+        Self {
+            name,
+            graph,
+            fingerprint,
+        }
+    }
+
+    /// The catalog name this snapshot was registered under.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The graph itself (CSR index already built).
+    pub fn graph(&self) -> &LabeledGraph {
+        &self.graph
+    }
+
+    /// Stable content fingerprint of the graph
+    /// ([`graph_fingerprint`]): equal across processes and across
+    /// save/load round-trips, which is what makes it a valid persistent
+    /// cache-key component.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+}
+
+/// A registry of named [`GraphSnapshot`]s.
+///
+/// Thread-safe: `register`/`get` take an internal lock only for the map
+/// operation; the snapshots themselves are lock-free to read.
+#[derive(Debug, Default)]
+pub struct GraphCatalog {
+    graphs: Mutex<HashMap<String, Arc<GraphSnapshot>>>,
+}
+
+impl GraphCatalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `graph` under `name`, freezing its CSR index and computing
+    /// its fingerprint. Replaces (and returns the handle of) any snapshot
+    /// previously registered under the same name — existing jobs holding the
+    /// old handle keep mining the old snapshot; new submissions see the new
+    /// one.
+    pub fn register(&self, name: impl Into<String>, graph: LabeledGraph) -> Arc<GraphSnapshot> {
+        let name = name.into();
+        let snapshot = Arc::new(GraphSnapshot::new(name.clone(), graph));
+        self.graphs
+            .lock()
+            .expect("catalog lock")
+            .insert(name, snapshot.clone());
+        snapshot
+    }
+
+    /// The snapshot registered under `name`, if any.
+    pub fn get(&self, name: &str) -> Option<Arc<GraphSnapshot>> {
+        self.graphs.lock().expect("catalog lock").get(name).cloned()
+    }
+
+    /// Removes the snapshot registered under `name`, returning its handle.
+    pub fn remove(&self, name: &str) -> Option<Arc<GraphSnapshot>> {
+        self.graphs.lock().expect("catalog lock").remove(name)
+    }
+
+    /// All registered names, ascending.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .graphs
+            .lock()
+            .expect("catalog lock")
+            .keys()
+            .cloned()
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// Number of registered graphs.
+    pub fn len(&self) -> usize {
+        self.graphs.lock().expect("catalog lock").len()
+    }
+
+    /// True if nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Persists the named snapshot to `path` in the binary snapshot format.
+    pub fn save(&self, name: &str, path: impl AsRef<Path>) -> Result<(), ServiceError> {
+        let snapshot = self
+            .get(name)
+            .ok_or_else(|| ServiceError::UnknownGraph(name.to_owned()))?;
+        io::save_snapshot(path, snapshot.graph())?;
+        Ok(())
+    }
+
+    /// Loads a binary snapshot file and registers it under `name`. The
+    /// decoded graph's fingerprint necessarily equals the one stored in the
+    /// file (the loader verifies it), so a reloaded graph hits the same
+    /// cache entries as the original.
+    pub fn load(
+        &self,
+        name: impl Into<String>,
+        path: impl AsRef<Path>,
+    ) -> Result<Arc<GraphSnapshot>, ServiceError> {
+        let graph = io::load_snapshot(path)?;
+        Ok(self.register(name, graph))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spidermine_graph::Label;
+
+    fn toy() -> LabeledGraph {
+        LabeledGraph::from_parts(&[Label(0), Label(1), Label(0)], &[(0, 1), (1, 2)])
+    }
+
+    #[test]
+    fn register_get_names_remove() {
+        let catalog = GraphCatalog::new();
+        assert!(catalog.is_empty());
+        let snap = catalog.register("toy", toy());
+        assert_eq!(snap.name(), "toy");
+        assert_eq!(snap.graph().vertex_count(), 3);
+        assert_eq!(catalog.names(), vec!["toy".to_owned()]);
+        let again = catalog.get("toy").expect("registered");
+        assert!(Arc::ptr_eq(&snap, &again), "get hands out the same handle");
+        assert!(catalog.get("other").is_none());
+        assert!(catalog.remove("toy").is_some());
+        assert!(catalog.is_empty());
+    }
+
+    #[test]
+    fn reregistering_replaces_but_old_handles_survive() {
+        let catalog = GraphCatalog::new();
+        let old = catalog.register("g", toy());
+        let bigger = LabeledGraph::from_parts(&[Label(0); 5], &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let new = catalog.register("g", bigger);
+        assert_eq!(catalog.len(), 1);
+        assert!(!Arc::ptr_eq(&old, &new));
+        assert_eq!(old.graph().vertex_count(), 3, "old handle still valid");
+        assert_eq!(catalog.get("g").expect("g").graph().vertex_count(), 5);
+    }
+
+    #[test]
+    fn save_load_roundtrip_preserves_fingerprint() {
+        let catalog = GraphCatalog::new();
+        let original = catalog.register("toy", toy());
+        let dir = std::env::temp_dir().join(format!("spidermine-catalog-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("toy.snap");
+        catalog.save("toy", &path).expect("save");
+        let restored = GraphCatalog::new();
+        let loaded = restored.load("toy", &path).expect("load");
+        assert_eq!(loaded.fingerprint(), original.fingerprint());
+        assert_eq!(loaded.graph().edge_count(), original.graph().edge_count());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn save_unknown_graph_is_typed() {
+        let catalog = GraphCatalog::new();
+        assert!(matches!(
+            catalog.save("ghost", "/tmp/never-written.snap"),
+            Err(ServiceError::UnknownGraph(_))
+        ));
+    }
+}

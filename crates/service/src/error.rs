@@ -1,0 +1,88 @@
+//! Errors of the service layer.
+
+use spidermine_engine::MineError;
+use spidermine_graph::io::SnapshotError;
+use std::fmt;
+
+/// Everything that can go wrong submitting to or operating the service.
+///
+/// The scheduler's cancellation contract mirrors the engine's: a cancelled or
+/// timed-out *run* is not an error — it finishes with a partial
+/// [`MineOutcome`](spidermine_engine::MineOutcome). Errors are reserved for
+/// admission failures (unknown graph, full queue, invalid request), job
+/// execution failures, and snapshot persistence problems.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The named graph is not registered in the catalog.
+    UnknownGraph(String),
+    /// Admission control rejected the job: the queue is at its depth limit.
+    QueueFull {
+        /// Jobs currently queued.
+        depth: usize,
+        /// The configured limit.
+        limit: usize,
+    },
+    /// The request failed validation (or asked for something the service
+    /// cannot serve, e.g. a transaction-database algorithm against the
+    /// single-graph catalog, or a thread width above the service cap).
+    InvalidRequest(MineError),
+    /// The job ran and the engine returned an error.
+    JobFailed(MineError),
+    /// The job's engine run panicked. The dispatcher catches the unwind, so
+    /// one poisoned run never kills the pool or strands waiters; the payload
+    /// message is preserved here.
+    JobPanicked(String),
+    /// The scheduler is shutting down and accepts no new jobs.
+    ShuttingDown,
+    /// Persisting or loading a catalog snapshot failed.
+    Snapshot(SnapshotError),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::UnknownGraph(name) => {
+                write!(f, "no graph named `{name}` in the catalog")
+            }
+            ServiceError::QueueFull { depth, limit } => {
+                write!(f, "job queue full ({depth} of {limit} slots used)")
+            }
+            ServiceError::InvalidRequest(e) => write!(f, "request rejected: {e}"),
+            ServiceError::JobFailed(e) => write!(f, "job failed: {e}"),
+            ServiceError::JobPanicked(message) => {
+                write!(f, "job panicked while mining: {message}")
+            }
+            ServiceError::ShuttingDown => write!(f, "scheduler is shutting down"),
+            ServiceError::Snapshot(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<SnapshotError> for ServiceError {
+    fn from(e: SnapshotError) -> Self {
+        ServiceError::Snapshot(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(ServiceError::UnknownGraph("web".into())
+            .to_string()
+            .contains("web"));
+        let full = ServiceError::QueueFull {
+            depth: 16,
+            limit: 16,
+        };
+        assert!(full.to_string().contains("16"));
+        let invalid = ServiceError::InvalidRequest(MineError::invalid("k", "must be at least 1"));
+        assert!(invalid.to_string().contains('k'));
+        let snap: ServiceError = SnapshotError::BadMagic.into();
+        assert!(snap.to_string().contains("magic"));
+    }
+}

@@ -19,9 +19,21 @@
 //! * `--support-measure M` — support definition for the measures-pluggable
 //!   algorithms: embeddings | mni | greedy-disjoint (per-algorithm default
 //!   when omitted: MNI for SpiderMine, greedy-disjoint for MoSS)
+//! * `--deadline-ms N` — wall-clock deadline for the run; an expired
+//!   deadline winds the run down cooperatively and reports the partial
+//!   result with a `timed out` marker (never an error)
 //! * `--edges FILE`  — mine a graph in the gSpan-style `v`/`e` text format
 //!   (`t` records make it a transaction database) instead of the synthetic
 //!   default
+//! * `--load-graph FILE` — mine a binary CSR snapshot (`io::save_snapshot`
+//!   format) instead of the synthetic default; mutually exclusive with
+//!   `--edges`, single-graph algorithms only
+//! * `--save-graph FILE` — persist the mined host graph as a binary CSR
+//!   snapshot before mining (works with `--edges` and the synthetic default)
+//! * `--serve-demo`  — run the service-layer batch driver instead of one
+//!   mine: registers two graphs in a catalog, submits concurrent jobs
+//!   (several of them identical), and prints per-job statuses plus the
+//!   scheduler/cache metrics
 //!
 //! Patterns stream to stdout as the miner accepts them, followed by the
 //! per-stage wall-clock timings of the run — both through the one
@@ -34,6 +46,7 @@ use spidermine_engine::{
     SupportMeasure,
 };
 use spidermine_graph::{generate, io, GraphDatabase, LabeledGraph};
+use spidermine_service::{MiningService, ServiceConfig};
 use std::process::ExitCode;
 
 struct Cli {
@@ -44,12 +57,16 @@ struct Cli {
     seed: u64,
     threads: Option<usize>,
     support_measure: Option<SupportMeasure>,
+    deadline_ms: Option<u64>,
     edges: Option<String>,
+    load_graph: Option<String>,
+    save_graph: Option<String>,
+    serve_demo: bool,
 }
 
 fn usage() -> String {
     format!(
-        "usage: mine [--algo {}] [--sigma N] [--k N] [--dmax N] [--seed N] [--threads N] [--support-measure {}] [--edges FILE]",
+        "usage: mine [--algo {}] [--sigma N] [--k N] [--dmax N] [--seed N] [--threads N] [--support-measure {}] [--deadline-ms N] [--edges FILE] [--load-graph FILE] [--save-graph FILE] [--serve-demo]",
         Algorithm::all().map(|a| a.name()).join("|"),
         SupportMeasure::all().map(|m| m.name()).join("|")
     )
@@ -66,7 +83,11 @@ fn parse_cli() -> Result<Option<Cli>, String> {
         seed: 7,
         threads: None,
         support_measure: None,
+        deadline_ms: None,
         edges: None,
+        load_graph: None,
+        save_graph: None,
+        serve_demo: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -110,7 +131,17 @@ fn parse_cli() -> Result<Option<Cli>, String> {
                         .map_err(|e| format!("--support-measure: {e}"))?,
                 );
             }
+            "--deadline-ms" => {
+                cli.deadline_ms = Some(
+                    value("--deadline-ms")?
+                        .parse()
+                        .map_err(|e| format!("--deadline-ms: {e}"))?,
+                );
+            }
             "--edges" => cli.edges = Some(value("--edges")?),
+            "--load-graph" => cli.load_graph = Some(value("--load-graph")?),
+            "--save-graph" => cli.save_graph = Some(value("--save-graph")?),
+            "--serve-demo" => cli.serve_demo = true,
             "--help" | "-h" => {
                 println!("{}", usage());
                 return Ok(None);
@@ -145,10 +176,7 @@ fn synthetic_database(seed: u64) -> GraphDatabase {
     db
 }
 
-fn run() -> Result<(), String> {
-    let Some(cli) = parse_cli()? else {
-        return Ok(()); // --help
-    };
+fn build_request(cli: &Cli) -> MineRequest {
     let mut request = MineRequest::new(cli.algo)
         .support_threshold(cli.sigma)
         .k(cli.k)
@@ -160,24 +188,145 @@ fn run() -> Result<(), String> {
     if let Some(threads) = cli.threads {
         request = request.threads(threads);
     }
-    let miner = request.build().map_err(|e: MineError| e.to_string())?;
+    if let Some(ms) = cli.deadline_ms {
+        request = request.deadline_ms(ms);
+    }
+    request
+}
 
-    // Assemble the source: a file in the gSpan text format, or synthetic data
-    // matching what the algorithm mines.
+/// The `--serve-demo` batch driver: a catalog with two registered graphs, a
+/// burst of concurrent jobs (several identical, so the cache and the
+/// single-flight gate do real work), then the metrics.
+fn serve_demo(cli: &Cli) -> Result<(), String> {
+    if cli.algo.wants_transactions() {
+        return Err(format!(
+            "--serve-demo serves single-graph snapshots; `{}` mines a transaction database",
+            cli.algo
+        ));
+    }
+    let service = MiningService::new(ServiceConfig {
+        dispatchers: 4,
+        ..ServiceConfig::default()
+    });
+    for (name, seed) in [("gid-a", cli.seed), ("gid-b", cli.seed + 1)] {
+        let snapshot = service.catalog().register(name, synthetic_graph(seed));
+        println!(
+            "registered `{name}`: |V|={} |E|={} fingerprint={:#018x}",
+            snapshot.graph().vertex_count(),
+            snapshot.graph().edge_count(),
+            snapshot.fingerprint()
+        );
+    }
+
+    // Submit everything up front: per graph, three identical jobs (one mines,
+    // two are deduplicated/cache-served) plus one distinct request.
+    let mut handles = Vec::new();
+    for name in ["gid-a", "gid-b"] {
+        for _ in 0..3 {
+            handles.push(
+                service
+                    .submit(name, build_request(cli))
+                    .map_err(|e| e.to_string())?,
+            );
+        }
+        handles.push(
+            service
+                .submit(name, build_request(cli).seed(cli.seed + 100))
+                .map_err(|e| e.to_string())?,
+        );
+    }
+    println!("submitted {} concurrent jobs", handles.len());
+    for handle in &handles {
+        let outcome = handle.wait().map_err(|e| e.to_string())?;
+        let metrics = handle.metrics().expect("terminal job");
+        let work = if metrics.from_cache {
+            format!("cache-served in {:.1?}", metrics.cache_wait)
+        } else {
+            format!("mined in {:.1?}", metrics.run_time)
+        };
+        println!(
+            "  job #{} on {}: {:?}, {} patterns, queued {:.1?}, {work}",
+            handle.id(),
+            handle.graph_name(),
+            handle.status(),
+            outcome.patterns.len(),
+            metrics.queue_wait,
+        );
+    }
+
+    let m = service.metrics();
+    println!(
+        "\nservice: {} completed / {} cancelled / {} failed; queue wait total {:.1?}, run total {:.1?}",
+        m.completed, m.cancelled, m.failed, m.queue_wait_total, m.run_time_total
+    );
+    println!(
+        "cache: {} hits / {} misses / {} evictions ({} resident)",
+        m.cache.hits, m.cache.misses, m.cache.evictions, m.cache.entries
+    );
+    Ok(())
+}
+
+fn run() -> Result<(), String> {
+    let Some(cli) = parse_cli()? else {
+        return Ok(()); // --help
+    };
+    if cli.serve_demo {
+        return serve_demo(&cli);
+    }
+    let miner = build_request(&cli)
+        .build()
+        .map_err(|e: MineError| e.to_string())?;
+
+    // Assemble the source: a gSpan-format text file, a binary CSR snapshot,
+    // or synthetic data matching what the algorithm mines.
+    if cli.edges.is_some() && cli.load_graph.is_some() {
+        return Err("--edges and --load-graph are mutually exclusive: pick one input".into());
+    }
+    let wants_db = cli.algo.wants_transactions();
+    if cli.load_graph.is_some() && wants_db {
+        return Err(format!(
+            "--load-graph provides a single-graph snapshot; `{}` mines a transaction database",
+            cli.algo
+        ));
+    }
     let loaded: Option<String> = match &cli.edges {
         Some(path) => Some(std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?),
         None => None,
     };
-    let wants_db = cli.algo.wants_transactions();
     let (single, db): (Option<LabeledGraph>, Option<GraphDatabase>) = match (&loaded, wants_db) {
         (Some(text), false) => (Some(io::read_graph(text).map_err(|e| e.to_string())?), None),
         (Some(text), true) => (
             None,
             Some(io::read_database(text).map_err(|e| e.to_string())?),
         ),
-        (None, false) => (Some(synthetic_graph(cli.seed)), None),
+        (None, false) => match &cli.load_graph {
+            Some(path) => (
+                Some(io::load_snapshot(path).map_err(|e| e.to_string())?),
+                None,
+            ),
+            None => (Some(synthetic_graph(cli.seed)), None),
+        },
         (None, true) => (None, Some(synthetic_database(cli.seed))),
     };
+
+    if let Some(path) = &cli.save_graph {
+        match &single {
+            Some(g) => {
+                io::save_snapshot(path, g).map_err(|e| e.to_string())?;
+                let bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+                println!(
+                    "saved snapshot {path} ({bytes} bytes, fingerprint {:#018x})",
+                    spidermine_graph::signature::graph_fingerprint(g)
+                );
+            }
+            None => {
+                return Err(format!(
+                    "--save-graph persists a single-graph snapshot; `{}` mines a transaction database",
+                    cli.algo
+                ));
+            }
+        }
+    }
     let source = match (&single, &db) {
         (Some(g), _) => {
             println!(
@@ -220,7 +369,9 @@ fn run() -> Result<(), String> {
         outcome.patterns.len(),
         outcome.largest_edges(),
         outcome.largest_vertices(),
-        if outcome.cancelled {
+        if outcome.timed_out {
+            " (timed out, partial)"
+        } else if outcome.cancelled {
             " (cancelled, partial)"
         } else {
             ""
