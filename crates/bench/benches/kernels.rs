@@ -1,0 +1,209 @@
+//! Raw-speed kernels (ISSUE 6): word-parallel support kernels vs their
+//! retained scalar references, and Chase–Lev vs mutex-deque scheduling cost.
+//!
+//! Two families, one JSON artifact (`BENCH_kernels.json` in CI):
+//!
+//! * **Support kernels** — MNI and greedy-disjoint over a large embedding
+//!   set of a frequent path pattern on a big host, kernel vs the
+//!   `*_reference` scalar implementations, on both storage layouts the
+//!   support entry points serve (legacy per-row `Vec`s and the flat arena;
+//!   the `_flat` metrics are the arena). Plus the popcount sweep the MNI
+//!   column counts reduce through. Equality of results is asserted before
+//!   anything is timed; `kernels/<name>/speedup` records reference-time /
+//!   kernel-time (>1 means the kernel is faster).
+//! * **Scheduling substrate** — per-op cost of push-then-steal cycles on the
+//!   lock-free Chase–Lev deque vs the PR-4 design it replaced (a
+//!   `Mutex<VecDeque>`), measured single-threaded: on a 1-core bench box a
+//!   contended multi-thread throughput number would be scheduler noise, so
+//!   this records the uncontended per-op cost floor (the mutex baseline
+//!   pays its lock/unlock even uncontended; the Chase–Lev owner path is two
+//!   plain atomic accesses).
+//!
+//! `kernels/avx2` records whether the dispatched popcount ran its AVX2 path
+//! (1) or the scalar fallback (0) on this runner.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rayon::deque::{deque, Steal};
+use spidermine_graph::graph::VertexId;
+use spidermine_graph::label::Label;
+use spidermine_graph::{generate, iso, LabeledGraph};
+use spidermine_mining::eval::{popcount_words, popcount_words_scalar};
+use spidermine_mining::support;
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Embedding rows of a frequent 6-path on a large host: big enough that the
+/// support sweep is memory-bound (the regime the miners hit on the paper's
+/// synthetic graphs — embedding lists of hundreds of thousands of rows),
+/// arity high enough that the single-pass kernel's read-once advantage over
+/// the per-position reference passes is visible.
+fn embedding_fixture() -> (usize, Vec<Vec<VertexId>>) {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xbe_5eed);
+    let host = generate::erdos_renyi_average_degree(&mut rng, 20_000, 6.0, 2);
+    let arity = 6usize;
+    let labels: Vec<Label> = (0..arity).map(|i| Label((i % 2) as u32)).collect();
+    let edges: Vec<(u32, u32)> = (0..arity as u32 - 1).map(|i| (i, i + 1)).collect();
+    let pattern = LabeledGraph::from_parts(&labels, &edges);
+    let embeddings = iso::find_embeddings(&pattern, &host, 2_000_000);
+    assert!(
+        embeddings.len() >= 500_000,
+        "kernel bench needs a memory-bound embedding set, got {} rows",
+        embeddings.len()
+    );
+    (arity, embeddings)
+}
+
+fn support_kernels(c: &mut Criterion) {
+    let (arity, embeddings) = embedding_fixture();
+    let row_count = embeddings.len();
+    // Both storage layouts the support entry points serve: the legacy
+    // `&[Embedding]` list (one heap row per embedding — what the miners'
+    // growth loops and the baselines pass) and the flat row-major arena of
+    // the eval layer. The reference pays the per-row pointer chase once per
+    // pattern position; the kernel pays it once, so the legacy layout is
+    // where the single-pass design matters most.
+    let rows = || embeddings.iter().map(Vec::as_slice);
+    let flat: Vec<VertexId> = embeddings.iter().flatten().copied().collect();
+    let rows_flat = || flat.chunks_exact(arity);
+
+    // The kernels must be drop-in: equality before speed.
+    let mni_ref = support::minimum_image_support_rows_reference(arity, rows(), row_count);
+    assert_eq!(
+        support::minimum_image_support_rows(arity, rows(), row_count),
+        mni_ref,
+        "MNI kernel must agree with the scalar reference"
+    );
+    assert!(
+        mni_ref > 1,
+        "fixture must not trip the MNI early-exit floor"
+    );
+    assert_eq!(
+        support::greedy_disjoint_support_rows(rows()),
+        support::greedy_disjoint_support_rows_reference(rows()),
+        "greedy kernel must agree with the scalar reference"
+    );
+
+    let mut group = c.benchmark_group("kernels");
+    group.sample_size(10);
+    group.bench_function("mni_word_parallel", |b| {
+        b.iter(|| support::minimum_image_support_rows(arity, rows(), row_count))
+    });
+    group.bench_function("mni_scalar_reference", |b| {
+        b.iter(|| support::minimum_image_support_rows_reference(arity, rows(), row_count))
+    });
+    group.bench_function("mni_word_parallel_flat", |b| {
+        b.iter(|| support::minimum_image_support_rows(arity, rows_flat(), row_count))
+    });
+    group.bench_function("mni_scalar_reference_flat", |b| {
+        b.iter(|| support::minimum_image_support_rows_reference(arity, rows_flat(), row_count))
+    });
+    group.bench_function("greedy_word_parallel", |b| {
+        b.iter(|| support::greedy_disjoint_support_rows(rows()))
+    });
+    group.bench_function("greedy_scalar_reference", |b| {
+        b.iter(|| support::greedy_disjoint_support_rows_reference(rows()))
+    });
+
+    // Popcount sweep over a long word slice (several MNI columns' worth).
+    let words: Vec<u64> = (0..4096u64)
+        .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (i << 21))
+        .collect();
+    assert_eq!(popcount_words(&words), popcount_words_scalar(&words));
+    group.bench_function("popcount_dispatched", |b| {
+        b.iter(|| popcount_words(black_box(&words)))
+    });
+    group.bench_function("popcount_scalar", |b| {
+        b.iter(|| popcount_words_scalar(black_box(&words)))
+    });
+    group.finish();
+
+    for (name, fast, slow) in [
+        ("mni", "mni_word_parallel", "mni_scalar_reference"),
+        (
+            "mni_flat",
+            "mni_word_parallel_flat",
+            "mni_scalar_reference_flat",
+        ),
+        ("greedy", "greedy_word_parallel", "greedy_scalar_reference"),
+        ("popcount", "popcount_dispatched", "popcount_scalar"),
+    ] {
+        if let (Some(fast), Some(slow)) = (
+            criterion::measurement(&format!("kernels/{fast}")),
+            criterion::measurement(&format!("kernels/{slow}")),
+        ) {
+            criterion::record_metric(&format!("kernels/{name}/speedup"), slow / fast);
+        }
+    }
+    let avx2 = cfg!(target_arch = "x86_64") && std::arch::is_x86_feature_detected!("avx2");
+    criterion::record_metric("kernels/avx2", if avx2 { 1.0 } else { 0.0 });
+}
+
+/// The scheduling-substrate design the Chase–Lev deque replaced: every
+/// operation takes the lock, owner ops at the back, steals at the front.
+struct MutexDeque {
+    inner: Mutex<VecDeque<usize>>,
+}
+
+impl MutexDeque {
+    fn new() -> Self {
+        Self {
+            inner: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    fn push(&self, v: usize) {
+        self.inner.lock().unwrap().push_back(v);
+    }
+
+    fn steal(&self) -> Option<usize> {
+        self.inner.lock().unwrap().pop_front()
+    }
+}
+
+fn steal_throughput(c: &mut Criterion) {
+    const OPS: usize = 4096;
+    let mut group = c.benchmark_group("kernels");
+    let (worker, stealer) = deque::<usize>();
+    group.bench_function("steal_chase_lev", |b| {
+        b.iter(|| {
+            for i in 0..OPS {
+                worker.push(i);
+            }
+            let mut sum = 0usize;
+            for _ in 0..OPS {
+                if let Steal::Success(v) = stealer.steal() {
+                    sum += v;
+                }
+            }
+            black_box(sum)
+        })
+    });
+    let mutexed = MutexDeque::new();
+    group.bench_function("steal_mutex_deque", |b| {
+        b.iter(|| {
+            for i in 0..OPS {
+                mutexed.push(i);
+            }
+            let mut sum = 0usize;
+            for _ in 0..OPS {
+                if let Some(v) = mutexed.steal() {
+                    sum += v;
+                }
+            }
+            black_box(sum)
+        })
+    });
+    group.finish();
+    if let (Some(cl), Some(mx)) = (
+        criterion::measurement("kernels/steal_chase_lev"),
+        criterion::measurement("kernels/steal_mutex_deque"),
+    ) {
+        criterion::record_metric("kernels/steal/speedup", mx / cl);
+    }
+}
+
+criterion_group!(benches, support_kernels, steal_throughput);
+criterion_main!(benches);

@@ -7,11 +7,14 @@
 //! are asserted identical before anything is timed (the runtime's
 //! reductions are order-preserving, so width changes wall-clock only). The
 //! measured core count of the runner is recorded alongside the timings
-//! (`scale/cores`): on a 1-core box the >1-thread rows oversubscribe one
-//! CPU and the speedups hover around 1× — read them together with the core
-//! count. Results land in the JSON summary selected by `$BENCH_JSON`
-//! (`BENCH_scale.json` in CI) as `scale/<stage>/<threads>` plus derived
-//! `scale/<stage>/speedup_<w>x` ratios against the 1-thread row.
+//! (`scale/cores`), and a derived speedup for a width larger than that core
+//! count is stored under `scale/<stage>/speedup_<w>x_oversubscribed` — on a
+//! 1-core box every >1-thread row oversubscribes one CPU and hovers around
+//! 1×, which is a fact about the runner, not the runtime. Results land in
+//! the JSON summary selected by `$BENCH_JSON` (`BENCH_scale.json` in CI) as
+//! `scale/<stage>/<threads>` plus the derived `scale/<stage>/speedup_<w>x`
+//! ratios (unsuffixed only when the runner really has `w` cores) against
+//! the 1-thread row.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use spidermine::config::SpiderMineConfig;
@@ -200,20 +203,24 @@ fn scale(c: &mut Criterion) {
     group.finish();
 
     // Derived speedups against the 1-thread row, plus the runner's shape so
-    // the ratios can be judged (4 threads on 1 core cannot speed anything
-    // up; the ≥2.5× end-to-end target applies to multi-core runners).
+    // the ratios can be judged. A width that exceeds the runner's core count
+    // oversubscribes the CPU and cannot show a real speedup — those rows are
+    // recorded under a `…_oversubscribed` key so nothing downstream mistakes
+    // them for scaling evidence (the ≥2.5× end-to-end gate reads only the
+    // unsuffixed keys, on multi-core runners).
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
     for stage in ["grow", "merge", "support", "end_to_end"] {
         let base = criterion::measurement(&format!("scale/{stage}/1"));
         for &w in &WIDTHS[1..] {
             let at = criterion::measurement(&format!("scale/{stage}/{w}"));
             if let (Some(base), Some(at)) = (base, at) {
-                criterion::record_metric(&format!("scale/{stage}/speedup_{w}x"), base / at);
+                let suffix = if cores < w { "_oversubscribed" } else { "" };
+                criterion::record_metric(&format!("scale/{stage}/speedup_{w}x{suffix}"), base / at);
             }
         }
     }
-    let cores = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1);
     criterion::record_metric("scale/cores", cores as f64);
     criterion::record_metric(
         "scale/max_width",

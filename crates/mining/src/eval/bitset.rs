@@ -64,6 +64,123 @@ impl VertexBitset {
         }
         self.touched.clear();
     }
+
+    /// Sets the bits for a whole row of vertices: one OR per vertex, no
+    /// membership branch (use [`VertexBitset::insert`] when the caller needs
+    /// the was-it-new answer), growing to fit ids past the current capacity.
+    /// The word-parallel support kernels use this for their branchless
+    /// marking passes without a pre-scan for the maximum id.
+    #[inline]
+    pub fn insert_all(&mut self, vs: &[VertexId]) {
+        for &v in vs {
+            let word = (v.0 / 64) as usize;
+            if word >= self.words.len() {
+                // Doubling growth so a rising id sequence stays amortized O(n).
+                let target = (word + 1).max(self.words.len() * 2);
+                self.words.resize(target, 0);
+            }
+            let prev = self.words[word];
+            if prev == 0 {
+                self.touched.push(word as u32);
+            }
+            self.words[word] = prev | 1u64 << (v.0 % 64);
+        }
+    }
+
+    /// True if *any* vertex of the row is already marked. Ids past the
+    /// current capacity are simply not marked. Early-exits on the first hit;
+    /// the common miss path is a tight load/test loop with no per-element
+    /// call overhead.
+    #[inline]
+    pub fn contains_any(&self, vs: &[VertexId]) -> bool {
+        vs.iter().any(|&v| {
+            self.words
+                .get((v.0 / 64) as usize)
+                .is_some_and(|w| w & (1u64 << (v.0 % 64)) != 0)
+        })
+    }
+
+    /// Number of set bits (popcount sweep over the backing words, through the
+    /// dispatched [`popcount_words`] kernel).
+    pub fn count_ones(&self) -> usize {
+        popcount_words(&self.words)
+    }
+
+    /// The backing words (for word-at-a-time callers like the support
+    /// kernels' column sweeps).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+}
+
+/// Portable popcount sweep: one `count_ones` per word. Always compiled and
+/// tested — this is the reference the SIMD path must agree with, and the
+/// fallback on hardware without AVX2.
+pub fn popcount_words_scalar(words: &[u64]) -> usize {
+    words.iter().map(|w| w.count_ones() as usize).sum()
+}
+
+/// Popcount of a word slice, dispatched at runtime: the AVX2 nibble-LUT
+/// kernel on x86-64 parts that have it (detected once, cached by
+/// `is_x86_feature_detected!`), the scalar sweep everywhere else. Both paths
+/// compute the identical sum — the dispatch is a pure speed choice.
+pub fn popcount_words(words: &[u64]) -> usize {
+    #[cfg(target_arch = "x86_64")]
+    {
+        // The LUT kernel wins on long sweeps; short slices aren't worth the
+        // vector setup.
+        if words.len() >= 8 && std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: AVX2 presence was just verified at runtime.
+            return unsafe { avx2::popcount_words_avx2(words) };
+        }
+    }
+    popcount_words_scalar(words)
+}
+
+/// AVX2 positional-popcount kernel (Mula's nibble-LUT `pshufb` method): each
+/// 256-bit lane splits its bytes into low/high nibbles, looks both up in a
+/// 16-entry bit-count table, and accumulates with `sad` against zero. Only
+/// compiled on x86-64; only *executed* behind the runtime feature check in
+/// [`popcount_words`].
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use std::arch::x86_64::{
+        __m256i, _mm256_add_epi64, _mm256_add_epi8, _mm256_and_si256, _mm256_extract_epi64,
+        _mm256_loadu_si256, _mm256_sad_epu8, _mm256_set1_epi8, _mm256_setr_epi8,
+        _mm256_setzero_si256, _mm256_shuffle_epi8, _mm256_srli_epi16,
+    };
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn popcount_words_avx2(words: &[u64]) -> usize {
+        // Bit counts of the nibble values 0..=15, replicated per 128-bit lane
+        // (the `pshufb` table layout).
+        let lut = _mm256_setr_epi8(
+            0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4, 0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2,
+            3, 3, 4,
+        );
+        let low_mask = _mm256_set1_epi8(0x0f);
+        let mut acc: __m256i = _mm256_setzero_si256();
+        let chunks = words.chunks_exact(4);
+        let tail = chunks.remainder();
+        for chunk in chunks {
+            let v = _mm256_loadu_si256(chunk.as_ptr().cast::<__m256i>());
+            let lo = _mm256_and_si256(v, low_mask);
+            let hi = _mm256_and_si256(_mm256_srli_epi16(v, 4), low_mask);
+            let counts =
+                _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo), _mm256_shuffle_epi8(lut, hi));
+            // Horizontal byte sum per 64-bit lane; per-byte counts are <= 8,
+            // so no i8 overflow before the widening `sad`.
+            acc = _mm256_add_epi64(acc, _mm256_sad_epu8(counts, _mm256_setzero_si256()));
+        }
+        let mut total = (_mm256_extract_epi64(acc, 0)
+            + _mm256_extract_epi64(acc, 1)
+            + _mm256_extract_epi64(acc, 2)
+            + _mm256_extract_epi64(acc, 3)) as usize;
+        for w in tail {
+            total += w.count_ones() as usize;
+        }
+        total
+    }
 }
 
 /// Deduplicates embedding rows by their host-vertex *set* (two automorphic
@@ -117,6 +234,39 @@ mod tests {
         bits.grow_to(500);
         assert!(bits.insert(VertexId(500)));
         assert!(bits.contains(VertexId(500)));
+    }
+
+    #[test]
+    fn bulk_ops_match_scalar_ops() {
+        let row: Vec<VertexId> = [3u32, 64, 65, 127, 128, 3].map(VertexId).to_vec();
+        let mut bulk = VertexBitset::with_capacity(200);
+        bulk.insert_all(&row);
+        let mut scalar = VertexBitset::with_capacity(200);
+        for &v in &row {
+            scalar.insert(v);
+        }
+        assert_eq!(bulk.words(), scalar.words());
+        assert_eq!(bulk.count_ones(), 5);
+        assert!(bulk.contains_any(&[VertexId(10), VertexId(64)]));
+        assert!(!bulk.contains_any(&[VertexId(10), VertexId(11)]));
+        assert!(!bulk.contains_any(&[]));
+        bulk.clear();
+        assert_eq!(bulk.count_ones(), 0, "touched tracking covers bulk inserts");
+    }
+
+    #[test]
+    fn popcount_dispatch_agrees_with_scalar() {
+        // Long enough to exercise the vector body and the tail remainder.
+        let words: Vec<u64> = (0..67u64)
+            .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (i << 13))
+            .collect();
+        for len in [0, 1, 3, 8, 31, 64, 67] {
+            assert_eq!(
+                popcount_words(&words[..len]),
+                popcount_words_scalar(&words[..len]),
+                "len {len}"
+            );
+        }
     }
 
     #[test]

@@ -26,6 +26,6 @@ pub mod bitset;
 pub mod oracle;
 pub mod store;
 
-pub use bitset::VertexBitset;
+pub use bitset::{popcount_words, popcount_words_scalar, VertexBitset};
 pub use oracle::{DirectOracle, MemoOracle, OracleStats, PatternMemo, SupportOracle};
 pub use store::{EmbeddingSetId, EmbeddingSetView, EmbeddingStore, FlatEmbeddings};

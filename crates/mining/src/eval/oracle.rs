@@ -139,8 +139,10 @@ impl PatternMemo {
 pub struct MemoOracle {
     measure: SupportMeasure,
     memo: Mutex<PatternMemo>,
-    hits: AtomicUsize,
-    misses: AtomicUsize,
+    // One cache line apiece: workers racing through the memo bump these on
+    // every probe, and sharing a line would ping-pong it between cores.
+    hits: rayon::CachePadded<AtomicUsize>,
+    misses: rayon::CachePadded<AtomicUsize>,
 }
 
 impl MemoOracle {
@@ -149,8 +151,8 @@ impl MemoOracle {
         Self {
             measure,
             memo: Mutex::new(PatternMemo::new()),
-            hits: AtomicUsize::new(0),
-            misses: AtomicUsize::new(0),
+            hits: rayon::CachePadded::new(AtomicUsize::new(0)),
+            misses: rayon::CachePadded::new(AtomicUsize::new(0)),
         }
     }
 }

@@ -136,10 +136,19 @@ where
     distinct_vertex_set_indices(rows).len()
 }
 
+/// Column-matrix size cap for the word-parallel MNI kernel, in `u64` words
+/// (32 MiB). Patterns × host ranges past this fall back to the one-column
+/// reference, whose scratch peaks at a single column.
+const MNI_COLUMN_WORDS_CAP: usize = (32 << 20) / 8;
+
 /// Minimum node image support: `min_p |{ e[p] : e ∈ embeddings }|`.
 ///
-/// Counts distinct images per pattern position through a single reused
-/// [`VertexBitset`] — no per-position hash set.
+/// Word-parallel: one streaming pass over the rows ORs every position's
+/// image into its own bit column (`arity × words` matrix), then a popcount
+/// sweep per column takes the minimum. Compared to the retained
+/// [reference](minimum_image_support_rows_reference), this reads each row's
+/// cache lines once instead of `arity` times and replaces the per-vertex
+/// seen-before branch with an unconditional OR.
 pub fn minimum_image_support(pattern_vertices: usize, embeddings: &[Embedding]) -> usize {
     minimum_image_support_rows(
         pattern_vertices,
@@ -148,9 +157,69 @@ pub fn minimum_image_support(pattern_vertices: usize, embeddings: &[Embedding]) 
     )
 }
 
-/// Row-iterator core of [`minimum_image_support`]; re-iterates `rows` once per
-/// pattern position.
+/// Row-iterator core of [`minimum_image_support`] (single pass over `rows`).
 pub fn minimum_image_support_rows<'a, I>(
+    pattern_vertices: usize,
+    rows: I,
+    row_count: usize,
+) -> usize
+where
+    I: Iterator<Item = &'a [VertexId]> + Clone,
+{
+    if pattern_vertices == 0 || row_count == 0 {
+        return 0;
+    }
+    // The column matrix grows on demand (amortized doubling, re-striding the
+    // columns already filled) instead of pre-scanning the rows for the
+    // maximum id — on memory-bound row sets that scan would cost a full
+    // extra streaming pass, a sixth of the reference's whole runtime.
+    let mut words_per = 64usize;
+    let mut cols = vec![0u64; pattern_vertices * words_per];
+    for row in rows.clone() {
+        let mut base = 0usize;
+        for (p, &v) in row[..pattern_vertices].iter().enumerate() {
+            let v = v.0 as usize;
+            let w = v >> 6;
+            if w >= words_per {
+                let new_words_per = (w + 1).next_power_of_two();
+                if pattern_vertices.saturating_mul(new_words_per) > MNI_COLUMN_WORDS_CAP {
+                    return minimum_image_support_rows_reference(pattern_vertices, rows, row_count);
+                }
+                let mut grown = vec![0u64; pattern_vertices * new_words_per];
+                for (old, new) in cols
+                    .chunks_exact(words_per)
+                    .zip(grown.chunks_exact_mut(new_words_per))
+                {
+                    new[..words_per].copy_from_slice(old);
+                }
+                cols = grown;
+                words_per = new_words_per;
+                base = p * words_per;
+            }
+            // SAFETY: `base` is `p * words_per` for `p < pattern_vertices`
+            // (the slice above caps the inner loop) and the branch above
+            // guarantees `w < words_per`, so the sum is `< cols.len()`.
+            unsafe { *cols.get_unchecked_mut(base + w) |= 1u64 << (v & 63) };
+            base += words_per;
+        }
+    }
+    let mut min = usize::MAX;
+    for col in cols.chunks_exact(words_per) {
+        min = min.min(crate::eval::bitset::popcount_words(col));
+        if min <= 1 {
+            // 1 is the floor for a non-empty embedding list; stop early.
+            break;
+        }
+    }
+    min
+}
+
+/// The pre-kernel MNI implementation: one reused [`VertexBitset`], one pass
+/// over the rows *per pattern position*, a seen-before branch per vertex.
+/// Retained as the equivalence oracle for the word-parallel kernel (property
+/// tests) and as the scalar baseline the kernel bench measures against; also
+/// the fallback when the column matrix would exceed the memory cap.
+pub fn minimum_image_support_rows_reference<'a, I>(
     pattern_vertices: usize,
     rows: I,
     row_count: usize,
@@ -173,7 +242,6 @@ where
         }
         min = min.min(distinct);
         if min <= 1 {
-            // 1 is the floor for a non-empty embedding list; stop early.
             break;
         }
     }
@@ -186,8 +254,31 @@ pub fn greedy_disjoint_support(embeddings: &[Embedding]) -> usize {
     greedy_disjoint_support_rows(embeddings.iter().map(Vec::as_slice))
 }
 
-/// Row-iterator core of [`greedy_disjoint_support`].
+/// Row-iterator core of [`greedy_disjoint_support`]: whole-row
+/// [`contains_any`](VertexBitset::contains_any) probe, whole-row
+/// [`insert_all`](VertexBitset::insert_all) mark — no per-vertex was-it-new
+/// branch, and no pre-scan for the maximum id (the bitset grows on the
+/// marking path; unmarked out-of-range probes answer `false` for free).
 pub fn greedy_disjoint_support_rows<'a, I>(rows: I) -> usize
+where
+    I: Iterator<Item = &'a [VertexId]>,
+{
+    let mut used = VertexBitset::default();
+    let mut count = 0;
+    for row in rows {
+        if used.contains_any(row) {
+            continue;
+        }
+        used.insert_all(row);
+        count += 1;
+    }
+    count
+}
+
+/// The pre-kernel greedy-disjoint implementation (per-vertex `contains` and
+/// `insert` loops). Retained as the property-test oracle and bench baseline
+/// for [`greedy_disjoint_support_rows`].
+pub fn greedy_disjoint_support_rows_reference<'a, I>(rows: I) -> usize
 where
     I: Iterator<Item = &'a [VertexId]> + Clone,
 {
@@ -272,6 +363,35 @@ mod tests {
         let m = minimum_image_support(2, &embs);
         let c = distinct_embedding_count(&embs);
         assert!(d <= m && m <= c, "{d} <= {m} <= {c}");
+    }
+
+    #[test]
+    fn kernels_agree_with_reference_implementations() {
+        // Pseudo-random embedding set with heavy image overlap: exercises
+        // multi-word columns, duplicate vertices, and the greedy skip path.
+        let arity = 4usize;
+        let mut x = 0x2545_F491_4F6C_DD1Du64;
+        let embs: Vec<Embedding> = (0..300)
+            .map(|_| {
+                (0..arity)
+                    .map(|_| {
+                        x ^= x << 13;
+                        x ^= x >> 7;
+                        x ^= x << 17;
+                        VertexId((x % 700) as u32)
+                    })
+                    .collect()
+            })
+            .collect();
+        let rows = || embs.iter().map(Vec::as_slice);
+        assert_eq!(
+            minimum_image_support_rows(arity, rows(), embs.len()),
+            minimum_image_support_rows_reference(arity, rows(), embs.len()),
+        );
+        assert_eq!(
+            greedy_disjoint_support_rows(rows()),
+            greedy_disjoint_support_rows_reference(rows()),
+        );
     }
 
     #[test]

@@ -95,9 +95,12 @@ pub enum CacheLookup {
 pub struct ResultCache {
     state: Mutex<CacheState>,
     capacity: usize,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    evictions: AtomicU64,
+    // Padded to a cache line apiece: hits and misses are bumped from
+    // different dispatcher threads on every lookup and would otherwise
+    // false-share.
+    hits: rayon::CachePadded<AtomicU64>,
+    misses: rayon::CachePadded<AtomicU64>,
+    evictions: rayon::CachePadded<AtomicU64>,
 }
 
 impl std::fmt::Debug for ResultCache {
@@ -121,9 +124,9 @@ impl ResultCache {
                 clock: 0,
             }),
             capacity,
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
+            hits: rayon::CachePadded::new(AtomicU64::new(0)),
+            misses: rayon::CachePadded::new(AtomicU64::new(0)),
+            evictions: rayon::CachePadded::new(AtomicU64::new(0)),
         }
     }
 

@@ -19,6 +19,7 @@
 use crate::cache::{CacheKey, CacheLookup, CacheStats, PendingGuard, ResultCache};
 use crate::catalog::{GraphCatalog, GraphSnapshot};
 use crate::error::ServiceError;
+use rayon::CachePadded;
 use spidermine_engine::{Engine, GraphSource, MineError, MineOutcome, MineRequest, Miner};
 use spidermine_mining::context::{CancelToken, MineContext};
 use std::collections::{HashMap, VecDeque};
@@ -276,17 +277,21 @@ impl JobQueues {
     }
 }
 
+/// Service-level metrics, one counter per cache line: dispatcher threads bump
+/// disjoint counters concurrently (submission bumps `submitted` while
+/// completions bump `completed`/`run_time_us`), and unpadded neighbors would
+/// false-share a line and serialize on cache-coherence traffic.
 #[derive(Default)]
 struct Counters {
-    submitted: AtomicU64,
-    rejected: AtomicU64,
-    completed: AtomicU64,
-    cancelled: AtomicU64,
-    failed: AtomicU64,
-    queue_wait_us: AtomicU64,
-    run_time_us: AtomicU64,
-    patterns: AtomicU64,
-    dropped: AtomicU64,
+    submitted: CachePadded<AtomicU64>,
+    rejected: CachePadded<AtomicU64>,
+    completed: CachePadded<AtomicU64>,
+    cancelled: CachePadded<AtomicU64>,
+    failed: CachePadded<AtomicU64>,
+    queue_wait_us: CachePadded<AtomicU64>,
+    run_time_us: CachePadded<AtomicU64>,
+    patterns: CachePadded<AtomicU64>,
+    dropped: CachePadded<AtomicU64>,
 }
 
 struct SchedulerCore {

@@ -1,0 +1,658 @@
+//! Lock-free scheduling primitives: the Chase–Lev work-stealing deque and a
+//! lock-free injector bag, plus the [`CachePadded`] alignment wrapper the
+//! pool's hot counters use.
+//!
+//! ## The Chase–Lev deque
+//!
+//! One owner thread pushes and pops at the *bottom* of a growable ring
+//! buffer; any number of stealer threads take from the *top*. The owner's
+//! fast path is two plain atomic accesses (no CAS, no lock); stealers
+//! serialize among themselves and against the "last element" race with a
+//! single CAS on `top`. The algorithm and memory orderings follow Chase &
+//! Lev (SPAA '05) as formalized for C11 by Lê, Pop, Cohen & Zappa Nardelli
+//! ("Correct and Efficient Work-Stealing for Weak Memory Models", PPoPP
+//! '13); the ordering argument is spelled out on each method.
+//!
+//! Buffer growth is owner-only: the owner copies the live window into a
+//! buffer of twice the capacity, publishes it with a `Release` store, and
+//! *retires* the old buffer instead of freeing it — an in-flight stealer may
+//! still read a slot of the old buffer after the swap, so old buffers stay
+//! allocated until the deque itself is dropped. Capacities double
+//! geometrically, so the retired chain totals less than one final buffer.
+//!
+//! ## Safety of the racy slot read
+//!
+//! A stealer reads slot `top` *before* validating its claim with the CAS, so
+//! the read can race with an owner push into the same physical slot after a
+//! wraparound, or see a stale window after a growth. The read is therefore
+//! performed as `MaybeUninit` bytes and only `assume_init`-ed **after** the
+//! CAS succeeds: a successful CAS on `top == t` proves `t` was still the
+//! live top at the CAS, and the owner never overwrites the physical slot of
+//! a live `t` (a push at `b` requires `b - t < capacity`, and post-growth
+//! writes go to the new buffer), so the bytes read were the fully
+//! initialized value for logical index `t`. On CAS failure the bytes are
+//! discarded without being interpreted. This mirrors `crossbeam-deque`.
+//!
+//! The element type is bounded `T: Copy` so discarded reads need no drop
+//! glue and buffer reclamation never runs destructors.
+
+use std::cell::UnsafeCell;
+use std::marker::PhantomData;
+use std::mem::MaybeUninit;
+use std::ops::{Deref, DerefMut};
+use std::ptr;
+use std::sync::atomic::{fence, AtomicIsize, AtomicPtr, Ordering};
+use std::sync::Arc;
+
+/// Pads and aligns a value to 64 bytes (one cache line on x86-64 and most
+/// aarch64 parts), so two hot atomics updated by different cores never share
+/// a line and ping-pong it between caches (false sharing).
+#[derive(Debug, Default)]
+#[repr(align(64))]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    /// Wraps `value` in its own cache line.
+    pub const fn new(value: T) -> Self {
+        Self { value }
+    }
+}
+
+impl<T> Deref for CachePadded<T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+/// Initial ring capacity (slots). Must be a power of two.
+const MIN_BUFFER_CAP: usize = 64;
+
+/// A fixed-capacity ring of `MaybeUninit<T>` slots. Slots are plain (not
+/// atomic) cells; every cross-thread read is validated by the `top` CAS as
+/// described in the module docs.
+struct Buffer<T> {
+    /// Power-of-two slot count.
+    cap: usize,
+    /// Owned slot array (`Box<[UnsafeCell<MaybeUninit<T>>]>` turned raw so
+    /// the buffer itself can live behind an `AtomicPtr`).
+    slots: *mut UnsafeCell<MaybeUninit<T>>,
+}
+
+impl<T> Buffer<T> {
+    /// Heap-allocates a buffer of `cap` uninitialized slots.
+    fn alloc(cap: usize) -> *mut Buffer<T> {
+        debug_assert!(cap.is_power_of_two());
+        let slots: Box<[UnsafeCell<MaybeUninit<T>>]> = (0..cap)
+            .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+            .collect();
+        Box::into_raw(Box::new(Buffer {
+            cap,
+            slots: Box::into_raw(slots).cast::<UnsafeCell<MaybeUninit<T>>>(),
+        }))
+    }
+
+    /// Frees a buffer previously returned by [`Buffer::alloc`].
+    ///
+    /// # Safety
+    /// `buf` must be uniquely owned (no concurrent readers) and not used
+    /// again. Slot contents are dropped as raw bytes (`T: Copy` upstream).
+    unsafe fn dealloc(buf: *mut Buffer<T>) {
+        let boxed = Box::from_raw(buf);
+        let slice = ptr::slice_from_raw_parts_mut(boxed.slots, boxed.cap);
+        drop(Box::from_raw(slice));
+    }
+
+    /// Slot pointer for logical index `index` (wrapping into the ring).
+    ///
+    /// # Safety
+    /// `self` must be a live buffer.
+    #[inline]
+    unsafe fn slot(&self, index: isize) -> *mut MaybeUninit<T> {
+        // Two's-complement wrap of isize -> usize keeps `& (cap - 1)`
+        // correct for negative logical indices too.
+        (*self.slots.add((index as usize) & (self.cap - 1))).get()
+    }
+
+    /// Writes `value` into the slot for logical index `index`.
+    ///
+    /// # Safety
+    /// Owner-only, and the slot must not hold a live element another thread
+    /// may still claim (guaranteed by `b - t < cap`).
+    #[inline]
+    unsafe fn write(&self, index: isize, value: T) {
+        ptr::write(self.slot(index), MaybeUninit::new(value));
+    }
+
+    /// Reads the slot for logical index `index` as maybe-uninitialized
+    /// bytes. The caller decides — via the `top` CAS — whether the bytes are
+    /// a valid `T`.
+    ///
+    /// # Safety
+    /// `self` must be a live buffer.
+    #[inline]
+    unsafe fn read(&self, index: isize) -> MaybeUninit<T> {
+        ptr::read(self.slot(index))
+    }
+}
+
+/// Result of a steal attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// The deque was observed empty.
+    Empty,
+    /// Lost a race with the owner or another stealer; retrying may succeed.
+    Retry,
+    /// Stole the oldest element.
+    Success(T),
+}
+
+impl<T> Steal<T> {
+    /// Converts to `Option`, mapping both `Empty` and `Retry` to `None`.
+    pub fn success(self) -> Option<T> {
+        match self {
+            Steal::Success(v) => Some(v),
+            Steal::Empty | Steal::Retry => None,
+        }
+    }
+}
+
+/// The shared state of one Chase–Lev deque. Owner operations (`push`,
+/// `pop`) are `unsafe fn`s — the caller must guarantee a single owner
+/// thread — while [`ChaseLev::steal`] is safe from any thread. The
+/// [`deque()`] constructor wraps this in the safe [`Worker`]/[`Stealer`]
+/// pair; the pool calls the raw API under its worker-index discipline.
+pub struct ChaseLev<T> {
+    /// Owner end: incremented by push, decremented by pop. On its own cache
+    /// line — the owner hammers it while stealers hammer `top`.
+    bottom: CachePadded<AtomicIsize>,
+    /// Steal end: advanced by successful steals (and the owner's
+    /// last-element CAS).
+    top: CachePadded<AtomicIsize>,
+    /// Current ring buffer; swapped (owner-only) on growth.
+    buffer: AtomicPtr<Buffer<T>>,
+    /// Buffers replaced by growth, kept alive for straggling stealers.
+    /// Owner-only access.
+    retired: UnsafeCell<Vec<*mut Buffer<T>>>,
+}
+
+// SAFETY: all cross-thread access is through atomics plus the CAS-validated
+// slot reads described in the module docs; `T: Send` moves between threads.
+unsafe impl<T: Copy + Send> Send for ChaseLev<T> {}
+unsafe impl<T: Copy + Send> Sync for ChaseLev<T> {}
+
+impl<T: Copy + Send> Default for ChaseLev<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Copy + Send> ChaseLev<T> {
+    /// An empty deque with the minimum capacity.
+    pub fn new() -> Self {
+        Self {
+            bottom: CachePadded::new(AtomicIsize::new(0)),
+            top: CachePadded::new(AtomicIsize::new(0)),
+            buffer: AtomicPtr::new(Buffer::alloc(MIN_BUFFER_CAP)),
+            retired: UnsafeCell::new(Vec::new()),
+        }
+    }
+
+    /// Number of elements currently visible (racy; exact only when quiescent
+    /// or called by the owner).
+    pub fn len(&self) -> usize {
+        let b = self.bottom.load(Ordering::Relaxed);
+        let t = self.top.load(Ordering::Relaxed);
+        b.saturating_sub(t).max(0) as usize
+    }
+
+    /// True when [`ChaseLev::len`] observes zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Pushes `value` at the bottom (owner end), growing the ring if full.
+    ///
+    /// Ordering: the `Acquire` load of `top` synchronizes with stealers'
+    /// `top` CAS releases, so the fullness check never under-counts free
+    /// slots; the `Release` store of `bottom` publishes the slot write to
+    /// any stealer whose `Acquire` load of `bottom` observes it.
+    ///
+    /// # Safety
+    /// Must only be called from the deque's single owner thread.
+    pub unsafe fn push(&self, value: T) {
+        let b = self.bottom.load(Ordering::Relaxed);
+        let t = self.top.load(Ordering::Acquire);
+        let mut buf = self.buffer.load(Ordering::Relaxed);
+        if b - t >= (*buf).cap as isize {
+            buf = self.grow(t, b, buf);
+        }
+        (*buf).write(b, value);
+        self.bottom.store(b + 1, Ordering::Release);
+    }
+
+    /// Pops from the bottom (owner end, LIFO). Returns `None` when empty or
+    /// when a stealer won the race for the last element.
+    ///
+    /// Ordering: the owner first *reserves* the bottom slot by storing
+    /// `b - 1`, then a `SeqCst` fence orders that store before the load of
+    /// `top`. A stealer symmetrically loads `top`, fences, then loads
+    /// `bottom`. In the SeqCst fence order one of the two fences is first:
+    /// either the stealer sees the reserved (decremented) `bottom` and backs
+    /// off the contested element, or the owner sees the advanced `top` and
+    /// detects the conflict, falling back to the last-element CAS. Both
+    /// claiming the same element would require each fence to precede the
+    /// other — impossible — so every element is handed out exactly once.
+    ///
+    /// # Safety
+    /// Must only be called from the deque's single owner thread.
+    pub unsafe fn pop(&self) -> Option<T> {
+        let b = self.bottom.load(Ordering::Relaxed) - 1;
+        let buf = self.buffer.load(Ordering::Relaxed);
+        self.bottom.store(b, Ordering::Relaxed);
+        fence(Ordering::SeqCst);
+        let t = self.top.load(Ordering::Relaxed);
+        if t <= b {
+            if t == b {
+                // Exactly one element left: race any stealer for it with a
+                // CAS on `top`; win or lose, restore `bottom` to the now
+                // canonical empty position `b + 1 == t + 1`.
+                let won = self
+                    .top
+                    .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                    .is_ok();
+                self.bottom.store(b + 1, Ordering::Relaxed);
+                if !won {
+                    return None;
+                }
+            }
+            // The element at `b` is exclusively ours: any stealer is bounded
+            // by `top <= b` (strictly below, or beaten by the CAS above).
+            Some((*buf).read(b).assume_init())
+        } else {
+            // Empty: undo the reservation.
+            self.bottom.store(b + 1, Ordering::Relaxed);
+            None
+        }
+    }
+
+    /// Attempts to steal the oldest element (the top). Safe from any thread.
+    ///
+    /// Ordering: `Acquire` on `top` then a `SeqCst` fence then `Acquire` on
+    /// `bottom` — the fence pairs with the owner's pop fence as described on
+    /// [`ChaseLev::pop`]; the `Acquire` on `bottom` pairs with the push's
+    /// `Release` so the slot write is visible before the element is claimed.
+    /// The `SeqCst` success ordering on the CAS keeps steals totally ordered
+    /// among themselves.
+    pub fn steal(&self) -> Steal<T> {
+        let t = self.top.load(Ordering::Acquire);
+        fence(Ordering::SeqCst);
+        let b = self.bottom.load(Ordering::Acquire);
+        if t >= b {
+            return Steal::Empty;
+        }
+        // Load the buffer *after* the bounds were established; a concurrent
+        // growth may still swap it, which the CAS below detects (growth
+        // never moves `top`, and a push after growth cannot reuse physical
+        // slot `t` while `t` is live).
+        let buf = self.buffer.load(Ordering::Acquire);
+        // SAFETY: racy read, interpreted only if the CAS proves `t` was
+        // still live (see module docs).
+        let value = unsafe { (*buf).read(t) };
+        if self
+            .top
+            .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+            .is_ok()
+        {
+            // SAFETY: CAS success validates the bytes (module docs).
+            Steal::Success(unsafe { value.assume_init() })
+        } else {
+            Steal::Retry
+        }
+    }
+
+    /// Doubles the ring, copying the live window `t..b`, and publishes the
+    /// new buffer. The old buffer is retired, not freed: a stealer that
+    /// loaded the old pointer may still read (and CAS-validate) its slots.
+    ///
+    /// # Safety
+    /// Owner-only (called from `push`).
+    unsafe fn grow(&self, t: isize, b: isize, old: *mut Buffer<T>) -> *mut Buffer<T> {
+        let new = Buffer::alloc(((*old).cap * 2).max(MIN_BUFFER_CAP));
+        let mut i = t;
+        while i < b {
+            ptr::copy_nonoverlapping((*old).slot(i), (*new).slot(i), 1);
+            i += 1;
+        }
+        (*self.retired.get()).push(old);
+        // Release: the copied slots must be visible before any stealer can
+        // observe the new buffer pointer.
+        self.buffer.store(new, Ordering::Release);
+        new
+    }
+}
+
+impl<T> Drop for ChaseLev<T> {
+    fn drop(&mut self) {
+        // Exclusive access (`&mut self`): no stealers remain. `T: Copy` in
+        // every constructor, so leftover elements need no drop glue.
+        unsafe {
+            Buffer::dealloc(*self.buffer.get_mut());
+            for buf in self.retired.get_mut().drain(..) {
+                Buffer::dealloc(buf);
+            }
+        }
+    }
+}
+
+/// Creates a deque as a safe ([`Worker`], [`Stealer`]) pair: the `Worker` is
+/// the unique owner end (`Send`, not `Clone`), the `Stealer` is freely
+/// cloneable and shareable.
+pub fn deque<T: Copy + Send>() -> (Worker<T>, Stealer<T>) {
+    let inner = Arc::new(ChaseLev::new());
+    (
+        Worker {
+            inner: Arc::clone(&inner),
+            _not_sync: PhantomData,
+        },
+        Stealer { inner },
+    )
+}
+
+/// Owner end of a [`deque()`]: push and pop at the bottom. Moving the
+/// `Worker` to another thread is fine; sharing it is not (`!Sync`, and it
+/// does not clone), which is exactly the single-owner requirement of the
+/// unsafe [`ChaseLev`] API.
+pub struct Worker<T: Copy + Send> {
+    inner: Arc<ChaseLev<T>>,
+    /// Strips `Sync` so `&Worker` cannot cross threads.
+    _not_sync: PhantomData<core::cell::Cell<()>>,
+}
+
+impl<T: Copy + Send> Worker<T> {
+    /// Pushes at the owner end.
+    pub fn push(&self, value: T) {
+        // SAFETY: `Worker` is `!Sync` and not `Clone`, so all calls happen
+        // on the thread currently holding it.
+        unsafe { self.inner.push(value) }
+    }
+
+    /// Pops from the owner end (LIFO).
+    pub fn pop(&self) -> Option<T> {
+        // SAFETY: as in `push`.
+        unsafe { self.inner.pop() }
+    }
+
+    /// A new stealer handle for this deque.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Racy element count (exact from the owner thread).
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// True when no elements are visible.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+}
+
+/// Stealing end of a [`deque()`]: take the oldest element from any thread.
+pub struct Stealer<T: Copy + Send> {
+    inner: Arc<ChaseLev<T>>,
+}
+
+impl<T: Copy + Send> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T: Copy + Send> Stealer<T> {
+    /// Attempts to steal the oldest element.
+    pub fn steal(&self) -> Steal<T> {
+        self.inner.steal()
+    }
+
+    /// Racy element count.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// True when no elements are visible.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Injector
+// ---------------------------------------------------------------------------
+
+/// One heap node of the injector bag.
+struct Node<T> {
+    value: T,
+    next: *mut Node<T>,
+}
+
+/// A lock-free MPMC bag for jobs submitted from outside the pool: a Treiber
+/// stack with **take-all** consumption. Producers push with one CAS;
+/// a consumer detaches the entire chain with one `swap`, scans it with
+/// exclusive ownership (no hazard of concurrent frees — the classic Treiber
+/// pop UAF cannot occur because nobody pops single nodes), takes the element
+/// it wants, and splices the remainder back with a CAS loop.
+///
+/// The scan-with-ownership shape is what lets consumers *filter*: the pool
+/// takes the oldest job its worker index is eligible for and returns the
+/// rest, something a slot-at-a-time lock-free queue cannot express safely
+/// without hazard pointers. Injector traffic is one push per top-level
+/// parallel region, so the per-node allocation is cold-path noise.
+pub struct Injector<T> {
+    head: CachePadded<AtomicPtr<Node<T>>>,
+}
+
+// SAFETY: `head` is the only shared state and every node handoff is through
+// CAS/swap on it; values are `Send`.
+unsafe impl<T: Send> Send for Injector<T> {}
+unsafe impl<T: Send> Sync for Injector<T> {}
+
+impl<T: Send> Default for Injector<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Send> Injector<T> {
+    /// An empty bag.
+    pub fn new() -> Self {
+        Self {
+            head: CachePadded::new(AtomicPtr::new(ptr::null_mut())),
+        }
+    }
+
+    /// True when no chain is attached (racy).
+    pub fn is_empty(&self) -> bool {
+        self.head.load(Ordering::Acquire).is_null()
+    }
+
+    /// Pushes `value` (newest-first chain; consumers scan to the oldest).
+    pub fn push(&self, value: T) {
+        let node = Box::into_raw(Box::new(Node {
+            value,
+            next: ptr::null_mut(),
+        }));
+        let mut head = self.head.load(Ordering::Relaxed);
+        loop {
+            // SAFETY: `node` is exclusively ours until the CAS publishes it.
+            unsafe { (*node).next = head };
+            match self
+                .head
+                .compare_exchange_weak(head, node, Ordering::Release, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(current) => head = current,
+            }
+        }
+    }
+
+    /// Detaches the whole bag, removes the **oldest** element satisfying
+    /// `eligible`, and splices the remainder back in its original order.
+    /// Returns the element (if any) and whether other elements were put
+    /// back — callers that gate wakeups on queue emptiness should re-notify
+    /// when the flag is set, because the bag was transiently empty during
+    /// the scan.
+    pub fn take_where(&self, eligible: impl Fn(&T) -> bool) -> (Option<T>, bool) {
+        let chain = self.head.swap(ptr::null_mut(), Ordering::Acquire);
+        if chain.is_null() {
+            return (None, false);
+        }
+        // Exclusive ownership of the chain: walk newest→oldest recording
+        // the *last* (oldest) eligible node.
+        let mut taken: *mut Node<T> = ptr::null_mut();
+        let mut cursor = chain;
+        while !cursor.is_null() {
+            // SAFETY: chain nodes are exclusively owned after the swap.
+            unsafe {
+                if eligible(&(*cursor).value) {
+                    taken = cursor;
+                }
+                cursor = (*cursor).next;
+            }
+        }
+        let value = if taken.is_null() {
+            None
+        } else {
+            // Unlink `taken` from the (singly-linked, exclusively owned)
+            // chain, then free its node.
+            unsafe {
+                let mut head = chain;
+                if head == taken {
+                    head = (*taken).next;
+                } else {
+                    let mut prev = chain;
+                    while (*prev).next != taken {
+                        prev = (*prev).next;
+                    }
+                    (*prev).next = (*taken).next;
+                }
+                let boxed = Box::from_raw(taken);
+                let repushed = self.splice(head);
+                return (Some(boxed.value), repushed);
+            }
+        };
+        let repushed = self.splice(chain);
+        (value, repushed)
+    }
+
+    /// CAS-splices an owned chain back under whatever was pushed meanwhile.
+    /// Returns true if the chain was non-empty.
+    fn splice(&self, chain: *mut Node<T>) -> bool {
+        if chain.is_null() {
+            return false;
+        }
+        // Find the chain's tail (owned, so a plain walk).
+        let mut tail = chain;
+        // SAFETY: exclusively owned until the CAS publishes it.
+        unsafe {
+            while !(*tail).next.is_null() {
+                tail = (*tail).next;
+            }
+            let mut head = self.head.load(Ordering::Relaxed);
+            loop {
+                (*tail).next = head;
+                match self.head.compare_exchange_weak(
+                    head,
+                    chain,
+                    Ordering::Release,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => return true,
+                    Err(current) => head = current,
+                }
+            }
+        }
+    }
+}
+
+impl<T> Drop for Injector<T> {
+    fn drop(&mut self) {
+        let mut cursor = *self.head.get_mut();
+        while !cursor.is_null() {
+            // SAFETY: exclusive access in Drop; nodes were Box-allocated.
+            unsafe {
+                let boxed = Box::from_raw(cursor);
+                cursor = boxed.next;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifo_pop_fifo_steal() {
+        let (w, s) = deque::<u32>();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(s.steal(), Steal::Success(1), "steals take the oldest");
+        assert_eq!(w.pop(), Some(3), "pops take the newest");
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), None);
+        assert_eq!(s.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn growth_preserves_contents() {
+        let (w, s) = deque::<usize>();
+        for i in 0..10 * MIN_BUFFER_CAP {
+            w.push(i);
+        }
+        assert_eq!(s.steal(), Steal::Success(0));
+        let mut popped = Vec::new();
+        while let Some(v) = w.pop() {
+            popped.push(v);
+        }
+        popped.reverse();
+        let expected: Vec<usize> = (1..10 * MIN_BUFFER_CAP).collect();
+        assert_eq!(popped, expected);
+    }
+
+    #[test]
+    fn injector_takes_oldest_eligible_and_keeps_the_rest() {
+        let inj = Injector::new();
+        inj.push(10u32);
+        inj.push(3);
+        inj.push(20);
+        // Oldest eligible under `>= 10` is 10 (pushed first).
+        let (got, repushed) = inj.take_where(|&v| v >= 10);
+        assert_eq!(got, Some(10));
+        assert!(repushed, "3 and 20 went back");
+        let (got, _) = inj.take_where(|&v| v >= 10);
+        assert_eq!(got, Some(20));
+        let (got, repushed) = inj.take_where(|&v| v >= 10);
+        assert_eq!(got, None);
+        assert!(repushed, "3 remains parked");
+        let (got, repushed) = inj.take_where(|_| true);
+        assert_eq!(got, Some(3));
+        assert!(!repushed);
+        assert!(inj.is_empty());
+    }
+}

@@ -1,11 +1,16 @@
 //! Vendored stand-in for `rayon`: a real work-stealing runtime under the
 //! slice of the parallel-iterator API the workspace's mining hot paths use.
 //!
+//! * `deque` — the lock-free scheduling substrate: a growable Chase–Lev
+//!   work-stealing deque (owner pushes/pops `bottom` with no CAS; stealers
+//!   CAS `top`), a lock-free take-all injector bag, and the [`CachePadded`]
+//!   false-sharing guard. Public because the stress tests and benches drive
+//!   it directly.
 //! * `pool` — the persistent worker pool: lazily spawned workers (honoring
-//!   `RAYON_NUM_THREADS`), per-worker LIFO deques with randomized stealing,
-//!   the [`join`]/[`join_context`] fork-join primitive, and region-width
-//!   capping ([`with_width`]) so callers can pin a run to an exact thread
-//!   count.
+//!   `RAYON_NUM_THREADS`), per-worker Chase–Lev deques with randomized
+//!   stealing, the [`join`]/[`join_context`] fork-join primitive, and
+//!   region-width capping ([`with_width`]) so callers can pin a run to an
+//!   exact thread count.
 //! * `iter` — `par_iter` / `into_par_iter` / `par_chunks` with `map`,
 //!   order-preserving `collect`, and the order-preserving `fold_reduce`
 //!   combinator, all expressed as adaptive recursive splitting over `join`
@@ -18,9 +23,11 @@
 //! reduces in input order. With an effective width of 1 every driver runs
 //! inline on the calling thread — no pool, no scaffolding allocations.
 
+pub mod deque;
 mod iter;
 mod pool;
 
+pub use deque::CachePadded;
 pub use iter::{
     IntoParallelIterator, IntoParallelRefIterator, Map, ParChunks, ParRange, ParSlice,
     ParallelIterator, ParallelSlice,

@@ -30,12 +30,12 @@
 //! inline. Results never depend on the width: every combinator in this crate
 //! reduces in input order.
 
+use crate::deque::{CachePadded, ChaseLev, Injector, Steal};
 use std::any::Any;
 use std::cell::{Cell, UnsafeCell};
-use std::collections::VecDeque;
 use std::num::NonZeroUsize;
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{fence, AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex, OnceLock};
 use std::time::Duration;
 
@@ -180,19 +180,26 @@ impl JobRef {
     }
 }
 
+/// Global rendezvous for latch waits. A latch lives inside a [`StackJob`] on
+/// its owner's stack, and the owner is free to observe the flag (a spin
+/// probe, no lock) and pop that stack frame the instant the setter's store
+/// lands — so the setter must never touch latch memory *after* publishing
+/// the flag. Blocking waits and the post-set notification therefore go
+/// through these process-wide statics, which outlive every job. Waits on a
+/// latch are rare (a stolen `join` branch with no other work to drain, or an
+/// external submitter), so sharing one rendezvous is not a contention point.
+static LATCH_LOCK: Mutex<()> = Mutex::new(());
+static LATCH_COND: Condvar = Condvar::new();
+
 /// Completion flag with both spin-probe and blocking-wait interfaces.
 struct Latch {
     set: AtomicBool,
-    lock: Mutex<()>,
-    cond: Condvar,
 }
 
 impl Latch {
     fn new() -> Self {
         Self {
             set: AtomicBool::new(false),
-            lock: Mutex::new(()),
-            cond: Condvar::new(),
         }
     }
 
@@ -203,26 +210,28 @@ impl Latch {
 
     fn set(&self) {
         self.set.store(true, Ordering::Release);
-        // Lock-then-notify so a waiter that checked `probe` under the lock
-        // cannot miss the wakeup.
-        let _guard = self.lock.lock().unwrap();
-        self.cond.notify_all();
+        // `self` may already be deallocated: the store above releases the
+        // owner to take the result and unwind the job's frame. Only the
+        // global rendezvous may be touched from here on. Lock-then-notify so
+        // a waiter that checked `probe` under the lock cannot miss a wakeup.
+        let _guard = LATCH_LOCK.lock().unwrap();
+        LATCH_COND.notify_all();
     }
 
     /// Blocks until the latch is set (for non-worker threads, which have no
     /// deque to drain while they wait).
     fn wait_blocking(&self) {
-        let mut guard = self.lock.lock().unwrap();
+        let mut guard = LATCH_LOCK.lock().unwrap();
         while !self.probe() {
-            guard = self.cond.wait(guard).unwrap();
+            guard = LATCH_COND.wait(guard).unwrap();
         }
     }
 
     /// Parks for at most `dur` or until the latch is set.
     fn wait_timeout(&self, dur: Duration) {
-        let guard = self.lock.lock().unwrap();
+        let guard = LATCH_LOCK.lock().unwrap();
         if !self.probe() {
-            let _ = self.cond.wait_timeout(guard, dur).unwrap();
+            let _ = LATCH_COND.wait_timeout(guard, dur).unwrap();
         }
     }
 }
@@ -297,22 +306,33 @@ where
 // ---------------------------------------------------------------------------
 
 struct WorkerHandle {
-    deque: Mutex<VecDeque<JobRef>>,
+    /// This worker's Chase–Lev deque: the owner pushes/pops the bottom with
+    /// no CAS; other workers steal the top. Only the owning worker thread
+    /// calls the unsafe owner half (`push_local`/`pop_local` enforce the
+    /// index discipline).
+    deque: ChaseLev<JobRef>,
 }
 
 struct Registry {
-    /// All worker slots, preallocated to [`MAX_WORKERS`]; only the first
+    /// All worker slots, preallocated to [`MAX_WORKERS`] so growth never
+    /// moves a deque out from under an in-flight steal; only the first
     /// `live` are backed by threads.
     workers: Vec<WorkerHandle>,
-    /// Number of spawned workers.
-    live: AtomicUsize,
-    /// Overflow queue for jobs submitted from outside the pool.
-    injector: Mutex<VecDeque<JobRef>>,
-    /// Idle-worker parking lot.
+    /// Number of spawned workers. Padded: it is read in every steal sweep
+    /// while `sleepers` churns on park/unpark — sharing a line would drag
+    /// the sweep through the parking traffic.
+    live: CachePadded<AtomicUsize>,
+    /// Lock-free bag for jobs submitted from outside the pool (and for
+    /// stolen jobs a width-capped worker was not eligible to run).
+    injector: Injector<JobRef>,
+    /// Idle-worker parking lot. Only the *blocking* edge is a lock: all work
+    /// publication and discovery is lock-free, the condvar exists so parked
+    /// workers cost nothing.
     idle_lock: Mutex<()>,
     idle_cond: Condvar,
-    sleepers: AtomicUsize,
-    /// Serializes pool growth; holds the spawned-so-far count.
+    sleepers: CachePadded<AtomicUsize>,
+    /// Serializes pool growth (cold path: a few times per process); holds
+    /// the spawned-so-far count.
     grow_lock: Mutex<usize>,
 }
 
@@ -321,14 +341,14 @@ fn registry() -> &'static Registry {
     let reg = REGISTRY.get_or_init(|| Registry {
         workers: (0..MAX_WORKERS)
             .map(|_| WorkerHandle {
-                deque: Mutex::new(VecDeque::new()),
+                deque: ChaseLev::new(),
             })
             .collect(),
-        live: AtomicUsize::new(0),
-        injector: Mutex::new(VecDeque::new()),
+        live: CachePadded::new(AtomicUsize::new(0)),
+        injector: Injector::new(),
         idle_lock: Mutex::new(()),
         idle_cond: Condvar::new(),
-        sleepers: AtomicUsize::new(0),
+        sleepers: CachePadded::new(AtomicUsize::new(0)),
         grow_lock: Mutex::new(0),
     });
     reg.ensure_workers(default_threads().max(REQUESTED.load(Ordering::Relaxed)));
@@ -354,45 +374,79 @@ impl Registry {
         }
     }
 
-    /// Wakes parked workers after new work was published.
+    /// Wakes parked workers after new work was published. The `SeqCst`
+    /// fence pairs with the parker's fence (see `worker_main`): either this
+    /// load observes the parker's `sleepers` increment (→ we take the idle
+    /// lock and notify), or the fence order puts the parker's re-check after
+    /// our publication (→ the re-check finds the job). A wakeup cannot be
+    /// lost either way.
     fn notify(&self) {
+        fence(Ordering::SeqCst);
         if self.sleepers.load(Ordering::SeqCst) > 0 {
             let _guard = self.idle_lock.lock().unwrap();
             self.idle_cond.notify_all();
         }
     }
 
+    /// Pushes onto worker `index`'s own deque. Lock-free: one slot write and
+    /// one `Release` store of `bottom`.
+    ///
+    /// Must only be called by the thread that *is* worker `index` — the
+    /// single-owner requirement of [`ChaseLev::push`]; `join_on_worker` and
+    /// the worker loop uphold it by construction.
     fn push_local(&self, index: usize, job: JobRef) {
-        self.workers[index].deque.lock().unwrap().push_back(job);
+        // SAFETY: caller is worker `index` (see above).
+        unsafe { self.workers[index].deque.push(job) };
         self.notify();
     }
 
-    /// Pops the back of `index`'s deque if it is exactly `data` (the job this
-    /// frame pushed and nobody stole).
-    fn pop_local_if(&self, index: usize, data: *const ()) -> bool {
-        let mut deque = self.workers[index].deque.lock().unwrap();
-        if deque.back().is_some_and(|j| std::ptr::eq(j.data, data)) {
-            deque.pop_back();
-            true
-        } else {
-            false
-        }
+    /// Pops the bottom (most recent) job of worker `index`'s own deque.
+    /// Same owner-only contract as [`Registry::push_local`].
+    fn pop_local(&self, index: usize) -> Option<JobRef> {
+        // SAFETY: caller is worker `index`.
+        unsafe { self.workers[index].deque.pop() }
     }
 
     fn inject(&self, job: JobRef) {
-        self.injector.lock().unwrap().push_back(job);
+        self.injector.push(job);
         self.notify();
     }
 
-    /// Finds the next job for worker `index`: own deque back (LIFO), then the
-    /// injector, then a randomized sweep of the other workers' deque fronts.
-    /// Width caps are honored everywhere except the own deque, whose jobs
-    /// were pushed by regions this worker already participates in.
+    /// Read-only probe: is there *any* visible work this worker might get?
+    /// Used for the parked re-check while holding the idle lock, where the
+    /// mutating [`Registry::find_work`] must not run — its re-injection
+    /// paths call [`Registry::notify`], which takes the idle lock and would
+    /// self-deadlock. Conservative over-approximation is fine (a spurious
+    /// wakeup just re-parks); missing published work is not, and cannot
+    /// happen: the caller's SeqCst fence pairs with the publisher's fence in
+    /// `notify`, so every push that missed the `sleepers` increment is
+    /// visible to these loads.
+    fn has_work(&self, index: usize) -> bool {
+        if !self.workers[index].deque.is_empty() || !self.injector.is_empty() {
+            return true;
+        }
+        let live = self.live.load(Ordering::Acquire);
+        (0..live).any(|v| v != index && !self.workers[v].deque.is_empty())
+    }
+
+    /// Finds the next job for worker `index`: own deque bottom (LIFO), then
+    /// the injector, then a randomized sweep stealing the other workers'
+    /// deque tops. Width caps are honored everywhere except the own deque,
+    /// whose jobs were pushed by regions this worker already participates
+    /// in; a stolen job this worker is *not* eligible for is handed to the
+    /// injector (where `take_where` filters by eligibility) instead of being
+    /// lost or run out of width.
     fn find_work(&self, index: usize) -> Option<JobRef> {
-        if let Some(job) = self.workers[index].deque.lock().unwrap().pop_back() {
+        if let Some(job) = self.pop_local(index) {
             return Some(job);
         }
-        if let Some(job) = take_eligible(&mut self.injector.lock().unwrap(), index) {
+        let (job, repushed) = self.injector.take_where(|j| index < j.width);
+        if repushed {
+            // The bag was transiently empty mid-scan; re-notify so a worker
+            // that observed the gap and parked is woken for the leftovers.
+            self.notify();
+        }
+        if let Some(job) = job {
             return Some(job);
         }
         let live = self.live.load(Ordering::Acquire);
@@ -405,20 +459,32 @@ impl Registry {
             if victim == index {
                 continue;
             }
-            if let Some(job) = take_eligible(&mut self.workers[victim].deque.lock().unwrap(), index)
-            {
-                return Some(job);
+            // Bounded retries: `Retry` means another thread moved `top`
+            // under us — someone is making progress; after a couple of
+            // attempts move to the next victim rather than convoying here.
+            let mut retries = 0u32;
+            loop {
+                match self.workers[victim].deque.steal() {
+                    Steal::Success(job) => {
+                        if index < job.width {
+                            return Some(job);
+                        }
+                        // Stolen but not ours to run (width cap): park it in
+                        // the injector for an eligible worker.
+                        self.injector.push(job);
+                        self.notify();
+                        break;
+                    }
+                    Steal::Retry if retries < 2 => {
+                        retries += 1;
+                        std::hint::spin_loop();
+                    }
+                    Steal::Retry | Steal::Empty => break,
+                }
             }
         }
         None
     }
-}
-
-/// Removes the oldest job in `deque` that worker `index` may execute
-/// (steals are FIFO: the front holds the largest unsplit subtrees).
-fn take_eligible(deque: &mut VecDeque<JobRef>, index: usize) -> Option<JobRef> {
-    let pos = deque.iter().position(|j| index < j.width)?;
-    deque.remove(pos)
 }
 
 fn steal_rng_next() -> u64 {
@@ -464,20 +530,26 @@ fn worker_main(reg: &'static Registry, index: usize) {
             std::thread::yield_now();
             continue;
         }
-        // Park until new work is published. Register as a sleeper, then
-        // re-check for work while *holding* the idle lock: a publisher pushes
-        // first and only then takes the idle lock to notify (never holding a
-        // deque lock across it), so either this re-check sees the job or the
-        // publisher's notify happens after the wait begins — a wakeup cannot
-        // be lost. The long timeout is a belt-and-braces fallback, not a
-        // poll: parked workers must not burn CPU the sequential phases need.
+        // Park until new work is published. Register as a sleeper, fence,
+        // then re-check for work while *holding* the idle lock. The fence
+        // pairs with the publisher's fence in `notify` (push → fence → read
+        // `sleepers` vs. increment `sleepers` → fence → re-check): in the
+        // total fence order one side is first, so either the publisher sees
+        // the sleeper (and notifies under the idle lock, which this thread
+        // holds until its wait begins — condvar semantics deliver it) or the
+        // re-check sees the published job. A wakeup cannot be lost. The
+        // timeout is a belt-and-braces fallback, not a poll: parked workers
+        // must not burn CPU the sequential phases need.
         reg.sleepers.fetch_add(1, Ordering::SeqCst);
+        fence(Ordering::SeqCst);
         let guard = reg.idle_lock.lock().unwrap();
-        if let Some(job) = reg.find_work(index) {
+        // Read-only probe only: `find_work` may notify (re-injection paths),
+        // and notify takes the idle lock — calling it here would deadlock on
+        // the guard this thread already holds.
+        if reg.has_work(index) {
             drop(guard);
             reg.sleepers.fetch_sub(1, Ordering::SeqCst);
             idle = 0;
-            unsafe { execute_job(job) };
             continue;
         }
         let _ = reg
@@ -543,33 +615,49 @@ where
     let b_data = b_ref.data;
     reg.push_local(index, b_ref);
     let result_a = panic::catch_unwind(AssertUnwindSafe(|| a(FnContext { migrated: false })));
-    if reg.pop_local_if(index, b_data) {
-        // `b` never left this worker: run it inline (or drop it if `a`
-        // panicked — it is no longer shared, so unwinding is safe).
-        match result_a {
-            Ok(ra) => {
-                let f = job_b.take_f();
-                let rb = f(FnContext { migrated: false });
-                (ra, rb)
+    // Take `b` back if nobody wanted it. Nested joins inside `a` leave the
+    // deque balanced at this frame's depth, so the bottom is `b` exactly
+    // when it was not stolen; popping anything *else* (a job pushed by an
+    // enclosing frame on this worker) proves `b` left, and the popped job is
+    // executed here as a self-steal — the same thing the wait loop's
+    // `find_work` would have done with it.
+    match reg.pop_local(index) {
+        Some(job) if std::ptr::eq(job.data, b_data) => {
+            // `b` never left this worker: run it inline (or drop it if `a`
+            // panicked — it is no longer shared, so unwinding is safe).
+            match result_a {
+                Ok(ra) => {
+                    let f = job_b.take_f();
+                    let rb = f(FnContext { migrated: false });
+                    (ra, rb)
+                }
+                Err(payload) => panic::resume_unwind(payload),
             }
-            Err(payload) => panic::resume_unwind(payload),
         }
-    } else {
-        // Stolen: execute other work until the thief finishes. `job_b` lives
-        // on this stack, so we must not unwind past it before the latch sets.
-        while !job_b.latch.probe() {
-            if let Some(job) = reg.find_work(index) {
+        other => {
+            if let Some(job) = other {
+                // A deeper frame's job: execute it before waiting (panics
+                // inside it are captured by its own StackJob, never unwound
+                // here — `job_b` on this stack must stay alive).
                 unsafe { execute_job(job) };
-            } else {
-                job_b.latch.wait_timeout(Duration::from_micros(200));
             }
-        }
-        let rb = job_b.take_result();
-        match (result_a, rb) {
-            (Ok(ra), JobResult::Ok(rb)) => (ra, rb),
-            (Err(payload), _) => panic::resume_unwind(payload),
-            (Ok(_), JobResult::Panic(payload)) => panic::resume_unwind(payload),
-            (Ok(_), JobResult::Incomplete) => unreachable!("latch set without a result"),
+            // Stolen: execute other work until the thief finishes. `job_b`
+            // lives on this stack, so we must not unwind past it before the
+            // latch sets.
+            while !job_b.latch.probe() {
+                if let Some(job) = reg.find_work(index) {
+                    unsafe { execute_job(job) };
+                } else {
+                    job_b.latch.wait_timeout(Duration::from_micros(200));
+                }
+            }
+            let rb = job_b.take_result();
+            match (result_a, rb) {
+                (Ok(ra), JobResult::Ok(rb)) => (ra, rb),
+                (Err(payload), _) => panic::resume_unwind(payload),
+                (Ok(_), JobResult::Panic(payload)) => panic::resume_unwind(payload),
+                (Ok(_), JobResult::Incomplete) => unreachable!("latch set without a result"),
+            }
         }
     }
 }

@@ -38,29 +38,41 @@ fn width_one_region_allocates_only_the_result() {
         let warmup: Vec<u64> = input.par_iter().map(|&x| x + 1).collect();
         assert_eq!(warmup.len(), input.len());
 
-        let before = ALLOCATIONS.load(Ordering::SeqCst);
-        let out: Vec<u64> = input.par_iter().map(|&x| x * 2).collect();
-        let allocated = ALLOCATIONS.load(Ordering::SeqCst) - before;
-        assert_eq!(out.len(), input.len());
-        assert_eq!(out[123], 246);
+        // The counter is process-global, so a harness thread can leak an
+        // unrelated allocation into the measured window. Noise is strictly
+        // additive: take the minimum over a few attempts — if any attempt
+        // stays at the floor, the inline path itself did.
+        let mut fewest = usize::MAX;
+        for _ in 0..5 {
+            let before = ALLOCATIONS.load(Ordering::SeqCst);
+            let out: Vec<u64> = input.par_iter().map(|&x| x * 2).collect();
+            let allocated = ALLOCATIONS.load(Ordering::SeqCst) - before;
+            assert_eq!(out.len(), input.len());
+            assert_eq!(out[123], 246);
+            fewest = fewest.min(allocated);
+        }
         // Exactly the result Vec (one sized allocation; `collect` may move it
         // once more) — no chunk buffers, no thread handles, no job boxes.
         assert!(
-            allocated <= 2,
-            "width-1 par_iter made {allocated} allocations (expected the result only)"
+            fewest <= 2,
+            "width-1 par_iter made {fewest} allocations (expected the result only)"
         );
 
-        let before = ALLOCATIONS.load(Ordering::SeqCst);
-        let sum: u64 = input.par_chunks(64).fold_reduce(
-            || 0u64,
-            |acc, c| acc + c.iter().sum::<u64>(),
-            |a, b| a + b,
-        );
-        let allocated = ALLOCATIONS.load(Ordering::SeqCst) - before;
-        assert_eq!(sum, input.iter().sum::<u64>());
+        let mut fewest = usize::MAX;
+        for _ in 0..5 {
+            let before = ALLOCATIONS.load(Ordering::SeqCst);
+            let sum: u64 = input.par_chunks(64).fold_reduce(
+                || 0u64,
+                |acc, c| acc + c.iter().sum::<u64>(),
+                |a, b| a + b,
+            );
+            let allocated = ALLOCATIONS.load(Ordering::SeqCst) - before;
+            assert_eq!(sum, input.iter().sum::<u64>());
+            fewest = fewest.min(allocated);
+        }
         assert_eq!(
-            allocated, 0,
-            "width-1 fold_reduce must not allocate at all, made {allocated}"
+            fewest, 0,
+            "width-1 fold_reduce must not allocate at all, made {fewest}"
         );
     });
 }
