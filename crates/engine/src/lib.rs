@@ -49,6 +49,7 @@ pub mod error;
 pub mod miner;
 pub mod request;
 pub mod stream;
+pub mod wire;
 
 pub use error::MineError;
 pub use miner::{
@@ -57,6 +58,7 @@ pub use miner::{
 };
 pub use request::{Algorithm, MineRequest};
 pub use stream::{OwnedGraphSource, PatternStream};
+pub use wire::WireError;
 
 // The execution-context types live in `spidermine-mining` (they are threaded
 // through the algorithm crates) and are re-exported here as part of the

@@ -99,19 +99,21 @@ impl FromStr for Algorithm {
 /// [`MineRequest::new`], chain setters, finish with [`MineRequest::build`].
 #[derive(Clone, Debug)]
 pub struct MineRequest {
-    algorithm: Algorithm,
-    support_threshold: usize,
-    k: usize,
-    epsilon: f64,
-    d_max: u32,
-    r: u32,
-    seed: u64,
-    support_measure: Option<SupportMeasure>,
-    time_budget: Option<Duration>,
-    max_pattern_edges: Option<usize>,
-    max_embeddings: Option<usize>,
-    threads: Option<usize>,
-    deadline_ms: Option<u64>,
+    // Crate-visible so the wire module (`crate::wire`) can encode and
+    // reconstruct requests without widening the public builder surface.
+    pub(crate) algorithm: Algorithm,
+    pub(crate) support_threshold: usize,
+    pub(crate) k: usize,
+    pub(crate) epsilon: f64,
+    pub(crate) d_max: u32,
+    pub(crate) r: u32,
+    pub(crate) seed: u64,
+    pub(crate) support_measure: Option<SupportMeasure>,
+    pub(crate) time_budget: Option<Duration>,
+    pub(crate) max_pattern_edges: Option<usize>,
+    pub(crate) max_embeddings: Option<usize>,
+    pub(crate) threads: Option<usize>,
+    pub(crate) deadline_ms: Option<u64>,
 }
 
 impl MineRequest {

@@ -1,0 +1,114 @@
+//! Per-client accounting for the service's network edge.
+//!
+//! The remote transport identifies every connection by a client-supplied
+//! name; admission decisions and streamed traffic are attributed to that
+//! name here so [`ServiceMetrics`](crate::ServiceMetrics) can answer "who is
+//! hitting this service, and with what" — the per-tenant visibility any
+//! quota or billing story needs. In-process submissions may attribute
+//! themselves too by submitting with
+//! [`SubmitOptions::client`](crate::scheduler::SubmitOptions); unattributed
+//! work simply never touches the registry.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Counters for one named client.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ClientStats {
+    /// Submissions admitted into the scheduler.
+    pub accepted: u64,
+    /// Submissions rejected at admission — the scheduler's typed rejections
+    /// plus transport-edge rejections (per-client quota, connection caps).
+    pub rejected: u64,
+    /// Patterns streamed to this client over the wire.
+    pub patterns_streamed: u64,
+    /// Encoded pattern payload bytes streamed to this client.
+    pub bytes_streamed: u64,
+}
+
+/// Thread-safe name → [`ClientStats`] map. All methods take `&self`; the
+/// registry lives inside the scheduler and is shared with the transport.
+#[derive(Debug, Default)]
+pub struct ClientRegistry {
+    stats: Mutex<HashMap<String, ClientStats>>,
+}
+
+impl ClientRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn update(&self, client: &str, apply: impl FnOnce(&mut ClientStats)) {
+        let mut stats = self.stats.lock().expect("client stats lock");
+        apply(stats.entry(client.to_owned()).or_default());
+    }
+
+    /// Records one admitted submission.
+    pub fn record_accepted(&self, client: &str) {
+        self.update(client, |s| s.accepted += 1);
+    }
+
+    /// Records one rejected submission (scheduler- or transport-edge).
+    pub fn record_rejected(&self, client: &str) {
+        self.update(client, |s| s.rejected += 1);
+    }
+
+    /// Records `patterns` streamed patterns totalling `bytes` encoded bytes.
+    pub fn record_streamed(&self, client: &str, patterns: u64, bytes: u64) {
+        self.update(client, |s| {
+            s.patterns_streamed += patterns;
+            s.bytes_streamed += bytes;
+        });
+    }
+
+    /// Counters for one client, if it has ever been recorded.
+    pub fn get(&self, client: &str) -> Option<ClientStats> {
+        self.stats
+            .lock()
+            .expect("client stats lock")
+            .get(client)
+            .copied()
+    }
+
+    /// Every client's counters, sorted by name for stable output.
+    pub fn snapshot(&self) -> Vec<(String, ClientStats)> {
+        let stats = self.stats.lock().expect("client stats lock");
+        let mut rows: Vec<_> = stats.iter().map(|(k, v)| (k.clone(), *v)).collect();
+        drop(stats);
+        rows.sort_by(|a, b| a.0.cmp(&b.0));
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_per_client_and_snapshot_sorts() {
+        let registry = ClientRegistry::new();
+        registry.record_accepted("bob");
+        registry.record_accepted("alice");
+        registry.record_accepted("alice");
+        registry.record_rejected("alice");
+        registry.record_streamed("bob", 3, 1200);
+        registry.record_streamed("bob", 1, 400);
+        assert_eq!(
+            registry.get("alice"),
+            Some(ClientStats {
+                accepted: 2,
+                rejected: 1,
+                ..ClientStats::default()
+            })
+        );
+        assert_eq!(registry.get("ghost"), None);
+        let snapshot = registry.snapshot();
+        assert_eq!(
+            snapshot.iter().map(|(n, _)| n.as_str()).collect::<Vec<_>>(),
+            ["alice", "bob"]
+        );
+        assert_eq!(snapshot[1].1.patterns_streamed, 4);
+        assert_eq!(snapshot[1].1.bytes_streamed, 1600);
+    }
+}

@@ -52,14 +52,17 @@
 
 pub mod cache;
 pub mod catalog;
+pub mod clients;
 pub mod error;
 pub mod scheduler;
 
 pub use cache::{CacheKey, CacheLookup, CacheStats, ResultCache};
 pub use catalog::{GraphCatalog, GraphSnapshot};
+pub use clients::{ClientRegistry, ClientStats};
 pub use error::ServiceError;
 pub use scheduler::{
-    JobHandle, JobMetrics, JobScheduler, JobStatus, Priority, ServiceConfig, ServiceMetrics,
+    JobHandle, JobMetrics, JobScheduler, JobStatus, PatternObserver, Priority, ServiceConfig,
+    ServiceMetrics, SubmitOptions,
 };
 
 use spidermine_engine::MineRequest;
@@ -101,6 +104,22 @@ impl MiningService {
     ) -> Result<JobHandle, ServiceError> {
         self.scheduler
             .submit_with_priority(graph, request, priority)
+    }
+
+    /// Submits with full [`SubmitOptions`] (priority, streaming observer,
+    /// per-client attribution). See [`JobScheduler::submit_with_options`].
+    pub fn submit_with_options(
+        &self,
+        graph: &str,
+        request: MineRequest,
+        options: SubmitOptions,
+    ) -> Result<JobHandle, ServiceError> {
+        self.scheduler.submit_with_options(graph, request, options)
+    }
+
+    /// Per-client counters; see [`JobScheduler::clients`].
+    pub fn clients(&self) -> &ClientRegistry {
+        self.scheduler.clients()
     }
 
     /// Service-wide counters (jobs, queue wait, run time, cache hit/miss).

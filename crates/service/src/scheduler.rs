@@ -18,10 +18,11 @@
 
 use crate::cache::{CacheKey, CacheLookup, CacheStats, PendingGuard, ResultCache};
 use crate::catalog::{GraphCatalog, GraphSnapshot};
+use crate::clients::{ClientRegistry, ClientStats};
 use crate::error::ServiceError;
 use rayon::CachePadded;
 use spidermine_engine::{Engine, GraphSource, MineError, MineOutcome, MineRequest, Miner};
-use spidermine_mining::context::{CancelToken, MineContext};
+use spidermine_mining::context::{CancelToken, MineContext, StreamedPattern};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -75,6 +76,41 @@ pub enum Priority {
     Low,
 }
 
+/// Callback invoked for every accepted pattern a job delivers, installed via
+/// [`SubmitOptions::observer`]. For a freshly mined job it fires from the
+/// dispatcher thread as the engine accepts each pattern (the same push
+/// stream [`MineContext::on_pattern`] carries in-process); for a
+/// cache-served job the scheduler *replays* the cached outcome's patterns
+/// through it, in outcome order, before the handle turns terminal. Either
+/// way the contract is: the observer sees every pattern of the job's final
+/// outcome exactly once, all before [`JobHandle::wait`] returns. This is
+/// what lets the remote transport stream patterns incrementally over the
+/// wire without buffering the run.
+pub type PatternObserver = Arc<dyn Fn(&StreamedPattern) + Send + Sync>;
+
+/// Per-submission options beyond the graph name and request.
+#[derive(Default)]
+pub struct SubmitOptions {
+    /// Scheduling priority (lane). Defaults to [`Priority::Normal`].
+    pub priority: Priority,
+    /// Streaming observer; see [`PatternObserver`].
+    pub observer: Option<PatternObserver>,
+    /// Client name this submission is attributed to in the per-client
+    /// counters ([`JobScheduler::clients`]). `None` leaves the registry
+    /// untouched.
+    pub client: Option<String>,
+}
+
+impl std::fmt::Debug for SubmitOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SubmitOptions")
+            .field("priority", &self.priority)
+            .field("observer", &self.observer.as_ref().map(|_| "Fn"))
+            .field("client", &self.client)
+            .finish()
+    }
+}
+
 /// Lifecycle of a job.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum JobStatus {
@@ -125,7 +161,7 @@ pub struct JobMetrics {
 }
 
 /// Service-wide counter snapshot, from [`JobScheduler::metrics`].
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct ServiceMetrics {
     /// Jobs accepted into the queue.
     pub submitted: u64,
@@ -151,6 +187,10 @@ pub struct ServiceMetrics {
     pub cache: CacheStats,
     /// Jobs currently waiting to execute (queued + parked).
     pub queue_depth: usize,
+    /// Per-client counters, sorted by client name. Populated only for
+    /// submissions attributed via [`SubmitOptions::client`] (every remote
+    /// transport submission is).
+    pub clients: Vec<(String, ClientStats)>,
 }
 
 struct JobState {
@@ -259,6 +299,7 @@ struct QueuedJob {
     engine: Engine,
     key: CacheKey,
     submitted: Instant,
+    observer: Option<PatternObserver>,
 }
 
 #[derive(Default)]
@@ -308,6 +349,7 @@ struct SchedulerCore {
     config: ServiceConfig,
     next_id: AtomicU64,
     counters: Counters,
+    clients: ClientRegistry,
 }
 
 /// The scheduler: bounded admission, priority dispatch, cache-aware
@@ -341,6 +383,7 @@ impl JobScheduler {
             config,
             next_id: AtomicU64::new(0),
             counters: Counters::default(),
+            clients: ClientRegistry::new(),
         });
         let workers = (0..dispatchers)
             .map(|i| {
@@ -380,18 +423,53 @@ impl JobScheduler {
         request: MineRequest,
         priority: Priority,
     ) -> Result<JobHandle, ServiceError> {
-        let admitted = self.admit(graph, request, priority);
-        if admitted.is_err() {
-            self.core.counters.rejected.fetch_add(1, Ordering::Relaxed);
+        self.submit_with_options(
+            graph,
+            request,
+            SubmitOptions {
+                priority,
+                ..SubmitOptions::default()
+            },
+        )
+    }
+
+    /// Submits with full [`SubmitOptions`]: priority, a streaming
+    /// [`PatternObserver`], and per-client attribution. This is the entry
+    /// point the remote transport uses.
+    pub fn submit_with_options(
+        &self,
+        graph: &str,
+        request: MineRequest,
+        options: SubmitOptions,
+    ) -> Result<JobHandle, ServiceError> {
+        let client = options.client.clone();
+        let admitted = self.admit(graph, request, options);
+        match (&admitted, client.as_deref()) {
+            (Err(_), Some(client)) => {
+                self.core.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                self.core.clients.record_rejected(client);
+            }
+            (Err(_), None) => {
+                self.core.counters.rejected.fetch_add(1, Ordering::Relaxed);
+            }
+            (Ok(_), Some(client)) => self.core.clients.record_accepted(client),
+            (Ok(_), None) => {}
         }
         admitted
+    }
+
+    /// Per-client counters (accepted/rejected/streamed). The transport
+    /// records its edge-level rejections (quota, connection caps) here too,
+    /// so one registry tells the whole per-tenant story.
+    pub fn clients(&self) -> &ClientRegistry {
+        &self.core.clients
     }
 
     fn admit(
         &self,
         graph: &str,
         request: MineRequest,
-        priority: Priority,
+        options: SubmitOptions,
     ) -> Result<JobHandle, ServiceError> {
         if self.core.shutdown.load(Ordering::Acquire) {
             return Err(ServiceError::ShuttingDown);
@@ -442,6 +520,7 @@ impl JobScheduler {
             engine,
             key,
             submitted: Instant::now(),
+            observer: options.observer,
         };
 
         {
@@ -457,7 +536,7 @@ impl JobScheduler {
                     limit: self.core.config.queue_depth,
                 });
             }
-            queues.lanes[priority as usize].push_back(job);
+            queues.lanes[options.priority as usize].push_back(job);
         }
         self.core.counters.submitted.fetch_add(1, Ordering::Relaxed);
         self.core.available.notify_one();
@@ -479,6 +558,7 @@ impl JobScheduler {
             embeddings_dropped: c.dropped.load(Ordering::Relaxed),
             cache: self.core.cache.stats(),
             queue_depth: self.queue_depth(),
+            clients: self.core.clients.snapshot(),
         }
     }
 
@@ -565,6 +645,15 @@ fn run_job(core: &SchedulerCore, job: QueuedJob) {
     loop {
         match core.cache.begin(&job.key) {
             CacheLookup::Hit(outcome) => {
+                // A cache-served job never ran, so its observer saw nothing:
+                // replay the cached outcome's patterns through it (in outcome
+                // order) before the handle turns terminal, upholding the
+                // observer contract a freshly mined job satisfies live.
+                if let Some(observer) = &job.observer {
+                    for pattern in &outcome.patterns {
+                        observer(pattern);
+                    }
+                }
                 // `cache_wait`, not `run_time`: the mining wall-clock belongs
                 // to the leader that produced the entry, so summing per-job
                 // run_time never double-counts it.
@@ -611,6 +700,9 @@ fn lead_job(core: &SchedulerCore, job: &QueuedJob, started: Instant) {
     let guard = PendingGuard::new(&core.cache, &job.key);
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         let mut ctx = MineContext::with_cancel(job.shared.cancel.clone());
+        if let Some(observer) = job.observer.clone() {
+            ctx = ctx.on_pattern(move |pattern| observer(&pattern));
+        }
         job.engine
             .mine(&GraphSource::Single(job.snapshot.graph()), &mut ctx)
     }));
@@ -644,18 +736,49 @@ fn lead_job(core: &SchedulerCore, job: &QueuedJob, started: Instant) {
         }
         Ok(Err(error)) => {
             guard.abort();
-            let error = ServiceError::JobFailed(error);
-            finish(core, job, JobStatus::Failed, None, Some(error), metrics);
+            if job.shared.cancel.is_cancelled() {
+                // The token fired while the run was winding down (a client
+                // disconnect, an expired deadline): the error is a casualty
+                // of the cancellation, not a failure of the job. Attribute
+                // it as cancelled so disconnect storms don't read as a
+                // failing service — waiters get an empty partial outcome.
+                let outcome = Arc::new(empty_cancelled_outcome(job));
+                finish(
+                    core,
+                    job,
+                    JobStatus::Cancelled,
+                    Some(outcome),
+                    None,
+                    metrics,
+                );
+            } else {
+                let error = ServiceError::JobFailed(error);
+                finish(core, job, JobStatus::Failed, None, Some(error), metrics);
+            }
         }
         Err(panic) => {
             guard.abort();
-            let message = panic
-                .downcast_ref::<&str>()
-                .map(|s| (*s).to_owned())
-                .or_else(|| panic.downcast_ref::<String>().cloned())
-                .unwrap_or_else(|| "non-string panic payload".to_owned());
-            let error = ServiceError::JobPanicked(message);
-            finish(core, job, JobStatus::Failed, None, Some(error), metrics);
+            if job.shared.cancel.is_cancelled() {
+                // Same attribution rule as the error arm: a panic during a
+                // cancelled wind-down records as cancelled, not failed.
+                let outcome = Arc::new(empty_cancelled_outcome(job));
+                finish(
+                    core,
+                    job,
+                    JobStatus::Cancelled,
+                    Some(outcome),
+                    None,
+                    metrics,
+                );
+            } else {
+                let message = panic
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_owned())
+                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_owned());
+                let error = ServiceError::JobPanicked(message);
+                finish(core, job, JobStatus::Failed, None, Some(error), metrics);
+            }
         }
     }
 }
@@ -991,6 +1114,7 @@ mod tests {
             config: ServiceConfig::default(),
             next_id: AtomicU64::new(0),
             counters: Counters::default(),
+            clients: ClientRegistry::new(),
         };
         for error in [
             ServiceError::JobFailed(MineError::invalid("k", "must be at least 1")),
@@ -1018,6 +1142,7 @@ mod tests {
                     request: "k".into(),
                 },
                 submitted: Instant::now(),
+                observer: None,
             };
             finish(
                 &core,
@@ -1069,10 +1194,152 @@ mod tests {
                     request: format!("{i}"),
                 },
                 submitted: Instant::now(),
+                observer: None,
             });
         }
         assert_eq!(queues.pop().expect("high").shared.id, 2);
         assert_eq!(queues.pop().expect("normal").shared.id, 1);
         assert_eq!(queues.pop().expect("low").shared.id, 0);
+    }
+
+    /// A leader whose engine *errors* while its cancel token is fired (the
+    /// disconnect-then-error race) must record `Cancelled`, not `Failed`:
+    /// the error is a casualty of the cancellation. Without the fired token
+    /// the same error records `Failed` as before.
+    #[test]
+    fn cancelled_run_that_errors_records_cancelled_not_failed() {
+        let catalog = GraphCatalog::new();
+        let snap = catalog.register("g", toy_graph());
+        let core = SchedulerCore {
+            queues: Mutex::new(JobQueues::default()),
+            available: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            cache: ResultCache::new(4),
+            parked: Mutex::new(HashMap::new()),
+            config: ServiceConfig::default(),
+            next_id: AtomicU64::new(0),
+            counters: Counters::default(),
+            clients: ClientRegistry::new(),
+        };
+        // ORIGAMI demands a transaction database, so mining the catalog's
+        // single-graph snapshot errors deterministically mid-run.
+        let erroring_job = |key: &str| {
+            let shared = Arc::new(JobShared {
+                id: 0,
+                graph: "g".into(),
+                state: Mutex::new(JobState {
+                    status: JobStatus::Running,
+                    outcome: None,
+                    error: None,
+                    metrics: None,
+                }),
+                finished: Condvar::new(),
+                cancel: CancelToken::new(),
+            });
+            QueuedJob {
+                shared,
+                snapshot: snap.clone(),
+                engine: MineRequest::new(Algorithm::Origami).build().expect("valid"),
+                key: CacheKey {
+                    graph: "g".into(),
+                    fingerprint: snap.fingerprint(),
+                    request: key.into(),
+                },
+                submitted: Instant::now(),
+                observer: None,
+            }
+        };
+
+        let cancelled = erroring_job("cancelled");
+        cancelled.shared.cancel.fire();
+        lead_job(&core, &cancelled, Instant::now());
+        let handle = JobHandle {
+            shared: cancelled.shared.clone(),
+        };
+        assert_eq!(handle.status(), JobStatus::Cancelled);
+        let outcome = handle.wait().expect("cancellation is never an error");
+        assert!(outcome.cancelled && outcome.patterns.is_empty());
+
+        let failed = erroring_job("failed");
+        lead_job(&core, &failed, Instant::now());
+        let handle = JobHandle {
+            shared: failed.shared.clone(),
+        };
+        assert_eq!(handle.status(), JobStatus::Failed);
+        assert!(matches!(
+            handle.wait(),
+            Err(ServiceError::JobFailed(MineError::UnsupportedSource { .. }))
+        ));
+
+        assert_eq!(core.counters.cancelled.load(Ordering::Relaxed), 1);
+        assert_eq!(core.counters.failed.load(Ordering::Relaxed), 1);
+    }
+
+    /// The observer sees every pattern of the final outcome exactly once —
+    /// streamed live by the mining leader, and *replayed* in outcome order
+    /// for a cache-served duplicate.
+    #[test]
+    fn observer_streams_live_and_replays_on_cache_hits() {
+        let s = scheduler(ServiceConfig::default());
+        let observe = || {
+            let seen: Arc<Mutex<Vec<usize>>> = Arc::new(Mutex::new(Vec::new()));
+            let sink = seen.clone();
+            let observer: PatternObserver = Arc::new(move |p: &StreamedPattern| {
+                sink.lock().unwrap().push(p.support);
+            });
+            (seen, observer)
+        };
+
+        let (live, observer) = observe();
+        let options = SubmitOptions {
+            observer: Some(observer),
+            client: Some("tester".into()),
+            ..SubmitOptions::default()
+        };
+        let first = s.submit_with_options("toy", request(), options).unwrap();
+        let outcome = first.wait().expect("mine");
+        let mut live_supports = live.lock().unwrap().clone();
+        live_supports.sort_unstable();
+        let mut outcome_supports: Vec<_> = outcome.patterns.iter().map(|p| p.support).collect();
+        outcome_supports.sort_unstable();
+        assert_eq!(live_supports, outcome_supports);
+        assert!(!outcome.patterns.is_empty());
+
+        let (replayed, observer) = observe();
+        let options = SubmitOptions {
+            observer: Some(observer),
+            client: Some("tester".into()),
+            ..SubmitOptions::default()
+        };
+        let second = s.submit_with_options("toy", request(), options).unwrap();
+        second.wait().expect("cache hit");
+        assert!(second.metrics().expect("terminal").from_cache);
+        // A replay delivers exactly the outcome's patterns, in outcome order.
+        let replayed_supports = replayed.lock().unwrap().clone();
+        assert_eq!(
+            replayed_supports,
+            outcome
+                .patterns
+                .iter()
+                .map(|p| p.support)
+                .collect::<Vec<_>>()
+        );
+
+        // Both submissions were attributed to the client.
+        let stats = s.clients().get("tester").expect("attributed");
+        assert_eq!(stats.accepted, 2);
+        assert_eq!(stats.rejected, 0);
+        let metrics = s.metrics();
+        assert_eq!(metrics.clients.len(), 1);
+        assert_eq!(metrics.clients[0].0, "tester");
+
+        // Rejections are attributed too.
+        let options = SubmitOptions {
+            client: Some("tester".into()),
+            ..SubmitOptions::default()
+        };
+        let err = s.submit_with_options("ghost", request(), options);
+        assert!(matches!(err, Err(ServiceError::UnknownGraph(_))));
+        assert_eq!(s.clients().get("tester").expect("attributed").rejected, 1);
     }
 }

@@ -1,0 +1,175 @@
+//! Typed errors of the wire protocol.
+//!
+//! The transport's failure story mirrors the `SPDRSNAP` snapshot format's: a
+//! hostile, truncated, or bit-flipped byte stream yields a typed
+//! [`TransportError`] — never a panic, never a silent misread. Admission
+//! decisions travel as data, not as connection state: a rejected request is
+//! answered with a [`WireRejection`] frame on a socket that stays open, so a
+//! client over quota can keep using its other in-flight streams.
+
+use spidermine_engine::wire::WireError;
+use std::fmt;
+use std::io;
+
+/// Why the server refused a request (or, for
+/// [`WireRejection::TooManyConnections`], a whole connection). Carried in a
+/// `Rejected` frame; the socket stays usable afterwards except for the
+/// connection-cap case.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireRejection {
+    /// The scheduler's admission queue is at its depth limit.
+    QueueFull {
+        /// Jobs currently waiting (queued + parked).
+        depth: u64,
+        /// The configured limit.
+        limit: u64,
+    },
+    /// This client already has its quota of in-flight requests.
+    QuotaExceeded {
+        /// The client's current in-flight count.
+        in_flight: u64,
+        /// The configured per-client limit.
+        limit: u64,
+    },
+    /// The named graph is not in the server's catalog.
+    UnknownGraph(String),
+    /// The request failed decoding or validation; the message names the
+    /// problem (for validation failures, the offending field).
+    InvalidRequest(String),
+    /// The server is shutting down and accepts no new work.
+    ShuttingDown,
+    /// The server is at its global connection cap. Sent in the `Goodbye`
+    /// that closes the excess connection.
+    TooManyConnections {
+        /// The configured cap.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for WireRejection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireRejection::QueueFull { depth, limit } => {
+                write!(f, "queue full ({depth} of {limit} slots used)")
+            }
+            WireRejection::QuotaExceeded { in_flight, limit } => {
+                write!(
+                    f,
+                    "per-client quota exceeded ({in_flight} of {limit} in flight)"
+                )
+            }
+            WireRejection::UnknownGraph(name) => {
+                write!(f, "no graph named `{name}` in the catalog")
+            }
+            WireRejection::InvalidRequest(message) => write!(f, "invalid request: {message}"),
+            WireRejection::ShuttingDown => write!(f, "server is shutting down"),
+            WireRejection::TooManyConnections { limit } => {
+                write!(f, "server is at its connection cap of {limit}")
+            }
+        }
+    }
+}
+
+/// Everything that can go wrong on the wire. Frame-level corruption
+/// (`BadMagic` … `ChecksumMismatch`) is distinguished from payload-level
+/// corruption (`Corrupt`), request rejection (`Rejected`), and remote job
+/// failure (`Job`), because callers react differently: a corrupt *frame*
+/// poisons the connection, a rejected *request* does not.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TransportError {
+    /// An OS-level socket error (connect refused, reset, …).
+    Io(String),
+    /// The peer closed the connection at a frame boundary.
+    Closed,
+    /// A frame header's magic was not `SPWF`.
+    BadMagic([u8; 4]),
+    /// A frame header declared a protocol version this build cannot speak.
+    UnsupportedVersion(u16),
+    /// A frame header declared an unknown frame type.
+    UnknownFrameType(u16),
+    /// A frame header declared a payload beyond the size cap — rejected
+    /// before allocating.
+    Oversized {
+        /// Bytes the header declared.
+        declared: usize,
+        /// The cap.
+        limit: usize,
+    },
+    /// The payload did not hash to the header's checksum.
+    ChecksumMismatch {
+        /// Checksum stored in the header.
+        stored: u64,
+        /// Checksum computed over the received payload.
+        computed: u64,
+    },
+    /// The stream ended mid-frame (mid-header or mid-payload).
+    Truncated {
+        /// Bytes still owed.
+        expected: usize,
+        /// Bytes received.
+        actual: usize,
+    },
+    /// A structurally valid frame carried an undecodable payload.
+    Corrupt(String),
+    /// The server refused the request (admission control).
+    Rejected(WireRejection),
+    /// The remote job ran and failed (engine error or panic, server-side).
+    Job(String),
+    /// The peer violated the frame sequence (e.g. a response for an unknown
+    /// request id, or a data frame before the handshake).
+    Protocol(String),
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportError::Io(message) => write!(f, "socket error: {message}"),
+            TransportError::Closed => write!(f, "connection closed by peer"),
+            TransportError::BadMagic(bytes) => {
+                write!(f, "bad frame magic {bytes:02x?} (expected `SPWF`)")
+            }
+            TransportError::UnsupportedVersion(v) => {
+                write!(f, "unsupported protocol version {v}")
+            }
+            TransportError::UnknownFrameType(t) => write!(f, "unknown frame type {t}"),
+            TransportError::Oversized { declared, limit } => {
+                write!(f, "declared payload of {declared} bytes exceeds the {limit}-byte cap")
+            }
+            TransportError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "payload checksum mismatch: header says {stored:#018x}, payload hashes to {computed:#018x}"
+            ),
+            TransportError::Truncated { expected, actual } => {
+                write!(f, "stream truncated mid-frame: needed {expected} bytes, got {actual}")
+            }
+            TransportError::Corrupt(message) => write!(f, "corrupt payload: {message}"),
+            TransportError::Rejected(rejection) => write!(f, "request rejected: {rejection}"),
+            TransportError::Job(message) => write!(f, "remote job failed: {message}"),
+            TransportError::Protocol(message) => write!(f, "protocol violation: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+impl From<io::Error> for TransportError {
+    fn from(e: io::Error) -> Self {
+        TransportError::Io(e.to_string())
+    }
+}
+
+impl From<WireError> for TransportError {
+    fn from(e: WireError) -> Self {
+        match e {
+            WireError::Truncated { expected, actual } => {
+                // Payload truncation inside a complete frame is corruption:
+                // the frame arrived whole but its contents lie.
+                TransportError::Corrupt(format!(
+                    "payload truncated: needed {expected} bytes, {actual} remain"
+                ))
+            }
+            WireError::Corrupt(message) => TransportError::Corrupt(message),
+            WireError::UnsupportedVersion(v) => TransportError::UnsupportedVersion(v),
+        }
+    }
+}

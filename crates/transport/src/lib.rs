@@ -1,0 +1,56 @@
+//! Remote streaming transport for the mining service.
+//!
+//! This crate puts the in-process `MiningService` (graph catalog, job
+//! scheduler, result cache) on a socket, using nothing beyond the standard
+//! library: a length-prefixed, checksummed binary frame protocol over TCP
+//! ([`frame`]), a threaded server with admission control at the network
+//! edge ([`server`]), and a blocking client whose [`RemoteJob`] mirrors the
+//! in-process `JobHandle` ([`client`]).
+//!
+//! Design pillars, in the same spirit as the `SPDRSNAP` snapshot format:
+//!
+//! - **Hostile input yields typed errors, never panics.** Every header
+//!   field is validated before it is trusted (magic, version, frame type,
+//!   length cap *before* allocation, checksum over header fields and
+//!   payload), and every payload decodes through bounds-checked cursors.
+//!   See [`TransportError`].
+//! - **Streaming, not buffering.** Accepted patterns cross the wire the
+//!   moment the engine emits them; a client can process early patterns of a
+//!   long run, or cancel after seeing enough.
+//! - **Admission at the edge.** Connection caps, per-client in-flight
+//!   quotas, and the scheduler's own queue-depth and catalog checks all
+//!   answer with typed [`WireRejection`]s instead of dropped sockets.
+//! - **Disconnect is cancellation.** A client that goes away (cleanly or
+//!   mid-frame) fires the cancel token of its in-flight jobs; the runs wind
+//!   down cooperatively and are recorded as cancelled, not failed.
+//!
+//! ```no_run
+//! use spidermine_service::{MiningService, ServiceConfig};
+//! use spidermine_transport::{MiningClient, MiningServer, TransportConfig};
+//! use std::sync::Arc;
+//!
+//! let service = Arc::new(MiningService::new(ServiceConfig::default()));
+//! // ... register graphs in service.catalog() ...
+//! let server = MiningServer::bind("127.0.0.1:0", service, TransportConfig::default())?;
+//!
+//! let client = MiningClient::connect(server.local_addr(), "example")?;
+//! let request = spidermine_engine::MineRequest::new(spidermine_engine::Algorithm::SpiderMine)
+//!     .support_threshold(2);
+//! let mut job = client.submit("my-graph", &request)?;
+//! for pattern in job.by_ref() {
+//!     println!("pattern with support {}", pattern.support);
+//! }
+//! let result = job.outcome()?;
+//! println!("{} patterns, cached: {}", result.outcome.patterns.len(), result.from_cache);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod client;
+pub mod error;
+pub mod frame;
+pub mod server;
+
+pub use client::{MiningClient, RemoteJob, RemoteOutcome};
+pub use error::{TransportError, WireRejection};
+pub use frame::{Frame, PatternRef, MAX_PAYLOAD, PROTOCOL_VERSION};
+pub use server::{MiningServer, TransportConfig};

@@ -1,0 +1,565 @@
+//! The TCP server: accept loop, per-connection reader/writer threads, edge
+//! admission, and incremental pattern streaming.
+//!
+//! Admission happens in layers, each with a typed answer, so overload sheds
+//! work at the cheapest possible point:
+//!
+//! 1. **Connection cap** — an accept beyond
+//!    [`TransportConfig::max_connections`] is answered with a `Goodbye`
+//!    carrying [`WireRejection::TooManyConnections`] and closed.
+//! 2. **Per-client quota** — a `Request` from a client already at
+//!    [`TransportConfig::max_inflight_per_client`] in-flight jobs is
+//!    answered with a `Rejected` frame ([`WireRejection::QuotaExceeded`]);
+//!    the connection stays open. Quotas are keyed by the client *name* from
+//!    the handshake, so a tenant opening many sockets shares one budget.
+//! 3. **Scheduler admission** — everything the in-process scheduler rejects
+//!    (unknown graph, full queue, invalid request, shutdown) maps onto the
+//!    equivalent [`WireRejection`].
+//!
+//! Admitted jobs stream: a [`PatternObserver`](spidermine_service::PatternObserver)
+//! installed at submission
+//! encodes each accepted pattern and queues a `Pattern` frame the moment the
+//! engine emits it — a client starts consuming results while the run is
+//! still mining, and duplicate requests served by the single-flight cache
+//! replay the cached patterns through the same path. A client disconnect
+//! (clean or mid-frame) fires the cancel token of every job the connection
+//! still has in flight, so abandoned work stops burning dispatcher time.
+
+use crate::error::{TransportError, WireRejection};
+use crate::frame::{encode_frame, read_frame, Frame, PatternRef};
+use spidermine_engine::wire::{encode_outcome_meta, encode_pattern};
+use spidermine_engine::MineRequest;
+use spidermine_graph::signature::StableHasher;
+use spidermine_service::{JobHandle, MiningService, ServiceError, SubmitOptions};
+use std::collections::HashMap;
+use std::io::Write;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Maximum accepted length of the client name in a `Hello`.
+const MAX_CLIENT_NAME: usize = 256;
+
+/// Tunables of the network edge.
+#[derive(Clone, Debug)]
+pub struct TransportConfig {
+    /// Concurrent connections accepted; excess connections get a `Goodbye`
+    /// with [`WireRejection::TooManyConnections`].
+    pub max_connections: usize,
+    /// In-flight requests one client name may hold across all its
+    /// connections; excess requests get [`WireRejection::QuotaExceeded`].
+    pub max_inflight_per_client: usize,
+}
+
+impl Default for TransportConfig {
+    fn default() -> Self {
+        Self {
+            max_connections: 256,
+            max_inflight_per_client: 8,
+        }
+    }
+}
+
+struct ServerShared {
+    service: Arc<MiningService>,
+    config: TransportConfig,
+    shutdown: AtomicBool,
+    /// Live connections, by id — stream clones kept so `shutdown` can
+    /// unblock every reader.
+    connections: Mutex<HashMap<u64, TcpStream>>,
+    next_conn_id: AtomicU64,
+    /// In-flight request count per client name (across connections).
+    inflight: Mutex<HashMap<String, usize>>,
+    /// Joinable per-connection threads. Entries accumulate until shutdown;
+    /// at this server's scale (hundreds of connections) that is cheap, and
+    /// joining them makes shutdown deterministic.
+    threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// Holds one slot of a client's in-flight quota; released on drop (after
+/// the job settles, or immediately if submission is rejected).
+struct QuotaSlot {
+    shared: Arc<ServerShared>,
+    client: String,
+}
+
+impl Drop for QuotaSlot {
+    fn drop(&mut self) {
+        let mut inflight = self.shared.inflight.lock().expect("inflight lock");
+        if let Some(count) = inflight.get_mut(&self.client) {
+            *count = count.saturating_sub(1);
+            if *count == 0 {
+                inflight.remove(&self.client);
+            }
+        }
+    }
+}
+
+/// The listening server. Binding starts the accept loop;
+/// [`shutdown`](MiningServer::shutdown) — or drop — closes every connection and joins
+/// every thread. The [`MiningService`] is shared, not owned: the caller can
+/// keep submitting in-process work beside the network edge.
+pub struct MiningServer {
+    local_addr: SocketAddr,
+    shared: Arc<ServerShared>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl MiningServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and starts
+    /// accepting connections against `service`.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        service: Arc<MiningService>,
+        config: TransportConfig,
+    ) -> Result<Self, TransportError> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(ServerShared {
+            service,
+            config,
+            shutdown: AtomicBool::new(false),
+            connections: Mutex::new(HashMap::new()),
+            next_conn_id: AtomicU64::new(0),
+            inflight: Mutex::new(HashMap::new()),
+            threads: Mutex::new(Vec::new()),
+        });
+        let accept_shared = shared.clone();
+        let accept = std::thread::Builder::new()
+            .name("mine-accept".into())
+            .spawn(move || accept_loop(&listener, &accept_shared))
+            .expect("spawn accept thread");
+        Ok(Self {
+            local_addr,
+            shared,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (useful after binding port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Live connection count.
+    pub fn connection_count(&self) -> usize {
+        self.shared
+            .connections
+            .lock()
+            .expect("connections lock")
+            .len()
+    }
+
+    /// Stops accepting, closes every live connection (firing the cancel
+    /// token of each connection's in-flight jobs), and joins every thread.
+    /// Idempotent; also runs on drop.
+    pub fn shutdown(&mut self) {
+        if self.shared.shutdown.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        // Wake the blocking accept with a throwaway connection; it checks
+        // the flag after every accept.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        let streams: Vec<TcpStream> = {
+            let connections = self.shared.connections.lock().expect("connections lock");
+            connections
+                .values()
+                .filter_map(|s| s.try_clone().ok())
+                .collect()
+        };
+        for stream in streams {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        let threads: Vec<JoinHandle<()>> =
+            std::mem::take(&mut *self.shared.threads.lock().expect("threads lock"));
+        for thread in threads {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for MiningServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<ServerShared>) {
+    loop {
+        let Ok((stream, _)) = listener.accept() else {
+            if shared.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            continue;
+        };
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let at_cap = {
+            let connections = shared.connections.lock().expect("connections lock");
+            connections.len() >= shared.config.max_connections
+        };
+        if at_cap {
+            // Refuse with a typed Goodbye instead of a silent close.
+            let goodbye = encode_frame(&Frame::Goodbye {
+                rejection: Some(WireRejection::TooManyConnections {
+                    limit: shared.config.max_connections as u64,
+                }),
+                message: "connection cap reached".into(),
+            });
+            let mut stream = stream;
+            let _ = stream.write_all(&goodbye);
+            let _ = stream.shutdown(Shutdown::Both);
+            continue;
+        }
+        // Frames are small and latency-sensitive (an Accepted immediately
+        // followed by streamed patterns); Nagle + delayed ACK would add
+        // ~40ms stalls between them.
+        let _ = stream.set_nodelay(true);
+        let conn_id = shared.next_conn_id.fetch_add(1, Ordering::Relaxed);
+        if let Ok(clone) = stream.try_clone() {
+            shared
+                .connections
+                .lock()
+                .expect("connections lock")
+                .insert(conn_id, clone);
+        }
+        let conn_shared = shared.clone();
+        let thread = std::thread::Builder::new()
+            .name(format!("mine-conn-{conn_id}"))
+            .spawn(move || {
+                serve_connection(&conn_shared, stream, conn_id);
+                conn_shared
+                    .connections
+                    .lock()
+                    .expect("connections lock")
+                    .remove(&conn_id);
+            })
+            .expect("spawn connection thread");
+        shared.threads.lock().expect("threads lock").push(thread);
+    }
+}
+
+/// Sends encoded frames from a channel to the socket, serializing all
+/// producers (reader thread, dispatcher observers, waiter threads) onto one
+/// write stream. A write failure shuts the socket down so the reader
+/// unblocks and tears the connection down.
+fn writer_loop(mut stream: TcpStream, frames: &mpsc::Receiver<Vec<u8>>) {
+    while let Ok(bytes) = frames.recv() {
+        if stream
+            .write_all(&bytes)
+            .and_then(|()| stream.flush())
+            .is_err()
+        {
+            let _ = stream.shutdown(Shutdown::Both);
+            // Keep draining so queued senders' messages are dropped cheaply
+            // until the channel closes with the connection.
+            while frames.recv().is_ok() {}
+            return;
+        }
+    }
+}
+
+/// State of one admitted request: the job handle, kept so `Cancel` frames
+/// and disconnect→cancel can fire its token.
+struct LiveRequest {
+    handle: JobHandle,
+}
+
+fn fnv_of(bytes: &[u8]) -> u64 {
+    let mut hasher = StableHasher::new();
+    hasher.write_bytes(bytes);
+    hasher.finish()
+}
+
+fn map_service_error(error: &ServiceError) -> WireRejection {
+    match error {
+        ServiceError::UnknownGraph(name) => WireRejection::UnknownGraph(name.clone()),
+        ServiceError::QueueFull { depth, limit } => WireRejection::QueueFull {
+            depth: *depth as u64,
+            limit: *limit as u64,
+        },
+        ServiceError::ShuttingDown => WireRejection::ShuttingDown,
+        // InvalidRequest, and the submission-impossible job/snapshot errors.
+        other => WireRejection::InvalidRequest(other.to_string()),
+    }
+}
+
+fn serve_connection(shared: &Arc<ServerShared>, stream: TcpStream, conn_id: u64) {
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let (frames_tx, frames_rx) = mpsc::channel::<Vec<u8>>();
+    let writer = std::thread::Builder::new()
+        .name(format!("mine-conn-{conn_id}-writer"))
+        .spawn(move || writer_loop(write_half, &frames_rx))
+        .expect("spawn writer thread");
+
+    let mut reader = stream;
+    let live: Arc<Mutex<HashMap<u64, LiveRequest>>> = Arc::new(Mutex::new(HashMap::new()));
+    let mut waiters: Vec<JoinHandle<()>> = Vec::new();
+    let mut client: Option<String> = None;
+
+    let send = |frame: &Frame| {
+        let _ = frames_tx.send(encode_frame(frame));
+    };
+
+    loop {
+        let frame = match read_frame(&mut reader) {
+            Ok(frame) => frame,
+            Err(TransportError::Closed) => break,
+            Err(TransportError::Io(_)) => break,
+            Err(error) => {
+                // A malformed frame poisons only this connection: name the
+                // problem, close, and keep serving everyone else.
+                send(&Frame::Goodbye {
+                    rejection: None,
+                    message: format!("protocol error: {error}"),
+                });
+                break;
+            }
+        };
+        match frame {
+            Frame::Hello { client: name } if client.is_none() => {
+                if name.is_empty() || name.len() > MAX_CLIENT_NAME {
+                    send(&Frame::Goodbye {
+                        rejection: None,
+                        message: format!("client name must be 1..={MAX_CLIENT_NAME} bytes"),
+                    });
+                    break;
+                }
+                client = Some(name);
+                send(&Frame::HelloAck {
+                    max_inflight: shared.config.max_inflight_per_client as u64,
+                });
+            }
+            Frame::Hello { .. } => {
+                send(&Frame::Goodbye {
+                    rejection: None,
+                    message: "duplicate Hello".into(),
+                });
+                break;
+            }
+            _ if client.is_none() => {
+                send(&Frame::Goodbye {
+                    rejection: None,
+                    message: "first frame must be Hello".into(),
+                });
+                break;
+            }
+            Frame::Request { id, graph, request } => {
+                let client = client.clone().expect("handshake done");
+                if let Some(waiter) =
+                    handle_request(shared, &frames_tx, &live, &client, id, &graph, &request)
+                {
+                    waiters.push(waiter);
+                }
+            }
+            Frame::Cancel { id } => {
+                // Unknown ids are ignored: cancelling a request that just
+                // settled is a benign race, not a protocol violation.
+                if let Some(request) = live.lock().expect("live lock").get(&id) {
+                    request.handle.cancel();
+                }
+            }
+            Frame::StatsRequest { id } => {
+                send(&Frame::Stats {
+                    id,
+                    metrics: shared.service.metrics(),
+                });
+            }
+            // Server-to-client frames arriving at the server are a protocol
+            // violation.
+            Frame::HelloAck { .. }
+            | Frame::Accepted { .. }
+            | Frame::Rejected { .. }
+            | Frame::Pattern { .. }
+            | Frame::Done { .. }
+            | Frame::Failed { .. }
+            | Frame::Stats { .. } => {
+                send(&Frame::Goodbye {
+                    rejection: None,
+                    message: "received a server-side frame".into(),
+                });
+                break;
+            }
+            Frame::Goodbye { .. } => break,
+        }
+    }
+
+    // Disconnect → cancel: fire the token of every job this connection
+    // still has in flight. The jobs wind down cooperatively and record
+    // `cancelled` (not `failed`); their waiter threads then settle.
+    for request in live.lock().expect("live lock").values() {
+        request.handle.cancel();
+    }
+    for waiter in waiters {
+        let _ = waiter.join();
+    }
+    drop(frames_tx);
+    let _ = writer.join();
+    let _ = reader.shutdown(Shutdown::Both);
+}
+
+/// Admits one `Request` frame: decode, quota, scheduler submission, and —
+/// if accepted — the streaming observer and completion waiter. Returns the
+/// waiter thread handle on acceptance.
+#[allow(clippy::too_many_arguments)]
+fn handle_request(
+    shared: &Arc<ServerShared>,
+    frames_tx: &mpsc::Sender<Vec<u8>>,
+    live: &Arc<Mutex<HashMap<u64, LiveRequest>>>,
+    client: &str,
+    id: u64,
+    graph: &str,
+    request_bytes: &[u8],
+) -> Option<JoinHandle<()>> {
+    let send = |frame: &Frame| {
+        let _ = frames_tx.send(encode_frame(frame));
+    };
+    let reject = |rejection: WireRejection| {
+        send(&Frame::Rejected { id, rejection });
+    };
+
+    let request: MineRequest = match spidermine_engine::wire::decode_request(request_bytes) {
+        Ok(request) => request,
+        Err(error) => {
+            // The frame itself was intact (checksum passed); the embedded
+            // request bytes were not. That's a per-request rejection, not a
+            // connection error.
+            shared.service.clients().record_rejected(client);
+            reject(WireRejection::InvalidRequest(error.to_string()));
+            return None;
+        }
+    };
+
+    // Per-client quota, checked-and-claimed atomically.
+    let quota = {
+        let mut inflight = shared.inflight.lock().expect("inflight lock");
+        let count = inflight.entry(client.to_owned()).or_insert(0);
+        if *count >= shared.config.max_inflight_per_client {
+            let rejection = WireRejection::QuotaExceeded {
+                in_flight: *count as u64,
+                limit: shared.config.max_inflight_per_client as u64,
+            };
+            drop(inflight);
+            shared.service.clients().record_rejected(client);
+            reject(rejection);
+            return None;
+        }
+        *count += 1;
+        QuotaSlot {
+            shared: shared.clone(),
+            client: client.to_owned(),
+        }
+    };
+
+    // The streaming observer: encode and enqueue each accepted pattern the
+    // moment the engine (or a cache replay) delivers it, and log its
+    // fingerprint so the Done frame can map outcome order onto the stream.
+    let stream_log: Arc<Mutex<Vec<(u64, usize)>>> = Arc::new(Mutex::new(Vec::new()));
+    let observer = {
+        let frames_tx = frames_tx.clone();
+        let stream_log = stream_log.clone();
+        let service = shared.service.clone();
+        let client = client.to_owned();
+        move |pattern: &spidermine_engine::StreamedPattern| {
+            let bytes = encode_pattern(pattern);
+            let seq = {
+                let mut log = stream_log.lock().expect("stream log lock");
+                log.push((fnv_of(&bytes), bytes.len()));
+                (log.len() - 1) as u64
+            };
+            service
+                .clients()
+                .record_streamed(&client, 1, bytes.len() as u64);
+            let _ = frames_tx.send(encode_frame(&Frame::Pattern {
+                id,
+                seq,
+                pattern: bytes,
+            }));
+        }
+    };
+
+    let options = SubmitOptions {
+        observer: Some(Arc::new(observer)),
+        client: Some(client.to_owned()),
+        ..SubmitOptions::default()
+    };
+    let handle = match shared.service.submit_with_options(graph, request, options) {
+        Ok(handle) => handle,
+        Err(error) => {
+            // The scheduler already recorded the per-client rejection.
+            reject(map_service_error(&error));
+            drop(quota);
+            return None;
+        }
+    };
+
+    live.lock().expect("live lock").insert(
+        id,
+        LiveRequest {
+            handle: handle.clone(),
+        },
+    );
+    send(&Frame::Accepted {
+        id,
+        job: handle.id(),
+    });
+
+    // Completion waiter: one small blocking thread per in-flight request
+    // (bounded by the quota), so the reader thread never blocks on a job.
+    let waiter_tx = frames_tx.clone();
+    let waiter_live = live.clone();
+    let waiter = std::thread::Builder::new()
+        .name(format!("mine-wait-{id}"))
+        .spawn(move || {
+            let _quota = quota;
+            let result = handle.wait();
+            let frame = match result {
+                Ok(outcome) => {
+                    let log = stream_log.lock().expect("stream log lock");
+                    let mut used = vec![false; log.len()];
+                    let order = outcome
+                        .patterns
+                        .iter()
+                        .map(|pattern| {
+                            let bytes = encode_pattern(pattern);
+                            let key = (fnv_of(&bytes), bytes.len());
+                            // First-unused matching keeps duplicate patterns
+                            // (same bytes streamed twice) unambiguous.
+                            match log
+                                .iter()
+                                .enumerate()
+                                .find(|(i, entry)| !used[*i] && **entry == key)
+                            {
+                                Some((i, _)) => {
+                                    used[i] = true;
+                                    PatternRef::Streamed(i as u64)
+                                }
+                                None => PatternRef::Inline(bytes),
+                            }
+                        })
+                        .collect();
+                    Frame::Done {
+                        id,
+                        from_cache: handle.metrics().is_some_and(|m| m.from_cache),
+                        meta: encode_outcome_meta(&outcome),
+                        order,
+                    }
+                }
+                Err(error) => Frame::Failed {
+                    id,
+                    message: error.to_string(),
+                },
+            };
+            let _ = waiter_tx.send(encode_frame(&frame));
+            waiter_live.lock().expect("live lock").remove(&id);
+        })
+        .expect("spawn waiter thread");
+    Some(waiter)
+}

@@ -34,6 +34,16 @@
 //!   mine: registers two graphs in a catalog, submits concurrent jobs
 //!   (several of them identical), and prints per-job statuses plus the
 //!   scheduler/cache metrics
+//! * `--serve ADDR`  — expose the mining service over TCP: registers the
+//!   synthetic graphs `gid-a` and `gid-b` in a catalog, binds the streaming
+//!   wire protocol on `ADDR` (e.g. `127.0.0.1:7733`, port 0 for ephemeral),
+//!   and serves until killed
+//! * `--connect ADDR` — submit this invocation's request to a remote
+//!   `--serve` instance instead of mining in-process: patterns stream back
+//!   over the wire as the server accepts them, and the summary reports
+//!   whether the server answered from its result cache
+//! * `--graph NAME`  — catalog name to mine in `--connect` mode
+//!   (default `gid-a`)
 //!
 //! Patterns stream to stdout as the miner accepts them, followed by the
 //! per-stage wall-clock timings of the run — both through the one
@@ -47,7 +57,10 @@ use spidermine_engine::{
 };
 use spidermine_graph::{generate, io, GraphDatabase, LabeledGraph};
 use spidermine_service::{MiningService, ServiceConfig};
+use spidermine_transport::{MiningClient, MiningServer, TransportConfig};
 use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
 
 struct Cli {
     algo: Algorithm,
@@ -62,11 +75,14 @@ struct Cli {
     load_graph: Option<String>,
     save_graph: Option<String>,
     serve_demo: bool,
+    serve: Option<String>,
+    connect: Option<String>,
+    graph: String,
 }
 
 fn usage() -> String {
     format!(
-        "usage: mine [--algo {}] [--sigma N] [--k N] [--dmax N] [--seed N] [--threads N] [--support-measure {}] [--deadline-ms N] [--edges FILE] [--load-graph FILE] [--save-graph FILE] [--serve-demo]",
+        "usage: mine [--algo {}] [--sigma N] [--k N] [--dmax N] [--seed N] [--threads N] [--support-measure {}] [--deadline-ms N] [--edges FILE] [--load-graph FILE] [--save-graph FILE] [--serve-demo] [--serve ADDR] [--connect ADDR] [--graph NAME]",
         Algorithm::all().map(|a| a.name()).join("|"),
         SupportMeasure::all().map(|m| m.name()).join("|")
     )
@@ -88,6 +104,9 @@ fn parse_cli() -> Result<Option<Cli>, String> {
         load_graph: None,
         save_graph: None,
         serve_demo: false,
+        serve: None,
+        connect: None,
+        graph: "gid-a".into(),
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -142,6 +161,9 @@ fn parse_cli() -> Result<Option<Cli>, String> {
             "--load-graph" => cli.load_graph = Some(value("--load-graph")?),
             "--save-graph" => cli.save_graph = Some(value("--save-graph")?),
             "--serve-demo" => cli.serve_demo = true,
+            "--serve" => cli.serve = Some(value("--serve")?),
+            "--connect" => cli.connect = Some(value("--connect")?),
+            "--graph" => cli.graph = value("--graph")?,
             "--help" | "-h" => {
                 println!("{}", usage());
                 return Ok(None);
@@ -266,12 +288,100 @@ fn serve_demo(cli: &Cli) -> Result<(), String> {
     Ok(())
 }
 
+/// The `--serve ADDR` mode: the service catalog (same synthetic graphs as
+/// `--serve-demo`) behind the TCP wire protocol, running until killed.
+fn serve(cli: &Cli, addr: &str) -> Result<(), String> {
+    let service = Arc::new(MiningService::new(ServiceConfig {
+        dispatchers: 2,
+        ..ServiceConfig::default()
+    }));
+    for (name, seed) in [("gid-a", cli.seed), ("gid-b", cli.seed + 1)] {
+        let snapshot = service.catalog().register(name, synthetic_graph(seed));
+        println!(
+            "registered `{name}`: |V|={} |E|={} fingerprint={:#018x}",
+            snapshot.graph().vertex_count(),
+            snapshot.graph().edge_count(),
+            snapshot.fingerprint()
+        );
+    }
+    let server = MiningServer::bind(addr, service, TransportConfig::default())
+        .map_err(|e| format!("--serve {addr}: {e}"))?;
+    println!("serving on {}", server.local_addr());
+    loop {
+        std::thread::park();
+    }
+}
+
+/// The `--connect ADDR` mode: this invocation's request, mined remotely.
+fn connect(cli: &Cli, addr: &str) -> Result<(), String> {
+    if cli.algo.wants_transactions() {
+        return Err(format!(
+            "--connect serves single-graph snapshots; `{}` mines a transaction database",
+            cli.algo
+        ));
+    }
+    let client =
+        MiningClient::connect_with_backoff(addr, "mine-cli", 40, Duration::from_millis(250))
+            .map_err(|e| format!("--connect {addr}: {e}"))?;
+    println!(
+        "connected to {addr} (per-client quota: {} in flight)",
+        client.max_inflight()
+    );
+    let mut job = client
+        .submit(&cli.graph, &build_request(cli))
+        .map_err(|e| e.to_string())?;
+    println!("job #{} accepted on `{}`", job.job_id(), cli.graph);
+    let mut streamed = 0usize;
+    for p in job.by_ref() {
+        streamed += 1;
+        println!(
+            "  pattern #{streamed}: |V|={} |E|={} support={}",
+            p.pattern.vertex_count(),
+            p.pattern.edge_count(),
+            p.support
+        );
+    }
+    let result = job.outcome().map_err(|e| e.to_string())?;
+    println!(
+        "\n{}: {} patterns ({} streamed mid-run){}",
+        result.outcome.algorithm,
+        result.outcome.patterns.len(),
+        streamed,
+        if result.outcome.timed_out {
+            " (timed out, partial)"
+        } else if result.outcome.cancelled {
+            " (cancelled, partial)"
+        } else {
+            ""
+        }
+    );
+    println!("cache-served: {}", result.from_cache);
+    let stats = client.stats().map_err(|e| e.to_string())?;
+    println!(
+        "server totals: {} completed, cache {} hits / {} misses",
+        stats.completed, stats.cache.hits, stats.cache.misses
+    );
+    if let Some((_, s)) = stats.clients.iter().find(|(n, _)| n == "mine-cli") {
+        println!(
+            "this client: {} accepted / {} rejected, {} patterns ({} bytes) streamed",
+            s.accepted, s.rejected, s.patterns_streamed, s.bytes_streamed
+        );
+    }
+    Ok(())
+}
+
 fn run() -> Result<(), String> {
     let Some(cli) = parse_cli()? else {
         return Ok(()); // --help
     };
     if cli.serve_demo {
         return serve_demo(&cli);
+    }
+    if let Some(addr) = &cli.serve {
+        return serve(&cli, addr);
+    }
+    if let Some(addr) = &cli.connect {
+        return connect(&cli, addr);
     }
     let miner = build_request(&cli)
         .build()
