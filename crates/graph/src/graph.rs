@@ -1,7 +1,8 @@
 //! The core undirected, simple, vertex-labeled graph.
 
-use crate::csr::CsrIndex;
+use crate::csr::{CsrIndex, PackedLabelIndex};
 use crate::label::Label;
+use crate::shared::ArcSlice;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::sync::OnceLock;
@@ -9,8 +10,20 @@ use std::sync::OnceLock;
 /// Index of a vertex inside a [`LabeledGraph`].
 ///
 /// Vertex ids are dense: a graph with `n` vertices uses ids `0..n`.
+/// `#[repr(transparent)]` over `u32` lets the snapshot reader reinterpret
+/// on-disk neighbor sections as `&[VertexId]` in place (see
+/// [`crate::shared::Word`]).
+#[repr(transparent)]
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct VertexId(pub u32);
+
+// SAFETY: repr(transparent) over u32 — size 4, align 4, all bit patterns valid.
+unsafe impl crate::shared::Word for VertexId {
+    #[inline]
+    fn from_u32(raw: u32) -> Self {
+        VertexId(raw)
+    }
+}
 
 impl VertexId {
     /// Returns the id as a `usize` index.
@@ -50,24 +63,79 @@ impl From<u32> for VertexId {
 /// VF2 matcher, spider mining) go through the frozen [`CsrIndex`] returned by
 /// [`LabeledGraph::csr`], which is built lazily on first use and invalidated
 /// by any mutation.
-#[derive(Default, Serialize, Deserialize)]
+///
+/// # Storage modes
+///
+/// A graph is backed by one of two storages:
+///
+/// * **Lists** — one sorted `Vec<VertexId>` per vertex, the mutable builder
+///   every generator and pattern-growth path uses.
+/// * **Frozen** — flat CSR arrays (`offsets` + `neighbors`) held as
+///   reference-counted [`ArcSlice`]s. This is what snapshot loading produces:
+///   the slices can point straight into a memory-mapped snapshot file
+///   (zero-copy) or into buffers decoded from one. A frozen graph always
+///   carries a pre-seeded [`CsrIndex`] sharing the same slices, so
+///   registration never re-freezes what the snapshot already froze.
+///
+/// Mutating a frozen graph (`add_vertex` / `add_edge`) transparently *thaws*
+/// it back into list form first — a one-time O(|V| + |E|) copy — so the
+/// mutable API keeps working on loaded graphs.
+#[derive(Serialize, Deserialize)]
 pub struct LabeledGraph {
-    labels: Vec<Label>,
-    adjacency: Vec<Vec<VertexId>>,
+    labels: Labels,
+    adjacency: Adjacency,
     edge_count: usize,
     /// Lazily built frozen view; never serialized, reset on mutation.
     #[serde(skip)]
     csr: OnceLock<CsrIndex>,
 }
 
+/// Vertex labels: owned (builder) or shared (snapshot-backed).
+enum Labels {
+    Owned(Vec<Label>),
+    Shared(ArcSlice<Label>),
+}
+
+/// Adjacency storage: per-vertex lists (builder) or flat CSR slices (frozen).
+enum Adjacency {
+    Lists(Vec<Vec<VertexId>>),
+    Frozen {
+        /// Row offsets into `neighbors`; length `|V| + 1`.
+        offsets: ArcSlice<u32>,
+        /// Concatenated sorted adjacency rows.
+        neighbors: ArcSlice<VertexId>,
+    },
+}
+
+impl Default for LabeledGraph {
+    fn default() -> Self {
+        Self {
+            labels: Labels::Owned(Vec::new()),
+            adjacency: Adjacency::Lists(Vec::new()),
+            edge_count: 0,
+            csr: OnceLock::new(),
+        }
+    }
+}
+
 impl Clone for LabeledGraph {
     fn clone(&self) -> Self {
         Self {
-            labels: self.labels.clone(),
-            adjacency: self.adjacency.clone(),
+            labels: match &self.labels {
+                Labels::Owned(v) => Labels::Owned(v.clone()),
+                Labels::Shared(s) => Labels::Shared(s.clone()),
+            },
+            adjacency: match &self.adjacency {
+                Adjacency::Lists(rows) => Adjacency::Lists(rows.clone()),
+                Adjacency::Frozen { offsets, neighbors } => Adjacency::Frozen {
+                    offsets: offsets.clone(),
+                    neighbors: neighbors.clone(),
+                },
+            },
             edge_count: self.edge_count,
             // The clone is usually cloned *to be mutated* (pattern growth), so
-            // dropping the cached index is the right default.
+            // dropping the cached index is the right default; a frozen clone
+            // rebuilds its index from the shared slices without copying them.
             csr: OnceLock::new(),
         }
     }
@@ -82,18 +150,51 @@ impl LabeledGraph {
     /// Creates an empty graph with room for `n` vertices.
     pub fn with_capacity(n: usize) -> Self {
         Self {
-            labels: Vec::with_capacity(n),
-            adjacency: Vec::with_capacity(n),
+            labels: Labels::Owned(Vec::with_capacity(n)),
+            adjacency: Adjacency::Lists(Vec::with_capacity(n)),
             edge_count: 0,
             csr: OnceLock::new(),
         }
     }
 
+    /// Converts frozen (snapshot-backed) storage back into mutable adjacency
+    /// lists so the builder API keeps working on loaded graphs. A no-op for
+    /// graphs already in list form.
+    fn thaw(&mut self) {
+        if let Adjacency::Frozen { offsets, neighbors } = &self.adjacency {
+            let rows: Vec<Vec<VertexId>> = (0..offsets.len().saturating_sub(1))
+                .map(|i| neighbors[offsets[i] as usize..offsets[i + 1] as usize].to_vec())
+                .collect();
+            self.adjacency = Adjacency::Lists(rows);
+        }
+        if let Labels::Shared(shared) = &self.labels {
+            self.labels = Labels::Owned(shared.to_vec());
+        }
+    }
+
+    /// The owned label vector; thaws shared storage first.
+    fn labels_mut(&mut self) -> &mut Vec<Label> {
+        self.thaw();
+        match &mut self.labels {
+            Labels::Owned(v) => v,
+            Labels::Shared(_) => unreachable!("thaw() leaves labels owned"),
+        }
+    }
+
+    /// The mutable adjacency lists; thaws frozen storage first.
+    fn lists_mut(&mut self) -> &mut Vec<Vec<VertexId>> {
+        self.thaw();
+        match &mut self.adjacency {
+            Adjacency::Lists(rows) => rows,
+            Adjacency::Frozen { .. } => unreachable!("thaw() leaves adjacency in list form"),
+        }
+    }
+
     /// Adds a vertex with the given label and returns its id.
     pub fn add_vertex(&mut self, label: Label) -> VertexId {
-        let id = VertexId(self.labels.len() as u32);
-        self.labels.push(label);
-        self.adjacency.push(Vec::new());
+        let id = VertexId(self.vertex_count() as u32);
+        self.labels_mut().push(label);
+        self.lists_mut().push(Vec::new());
         self.csr.take();
         id
     }
@@ -106,20 +207,22 @@ impl LabeledGraph {
     /// # Panics
     /// Panics if either endpoint is not a vertex of the graph.
     pub fn add_edge(&mut self, u: VertexId, v: VertexId) -> bool {
-        assert!(u.index() < self.labels.len(), "vertex {u:?} out of bounds");
-        assert!(v.index() < self.labels.len(), "vertex {v:?} out of bounds");
+        let n = self.vertex_count();
+        assert!(u.index() < n, "vertex {u:?} out of bounds");
+        assert!(v.index() < n, "vertex {v:?} out of bounds");
         if u == v {
             return false;
         }
-        let pos = match self.adjacency[u.index()].binary_search(&v) {
+        let rows = self.lists_mut();
+        let pos = match rows[u.index()].binary_search(&v) {
             Ok(_) => return false,
             Err(pos) => pos,
         };
-        self.adjacency[u.index()].insert(pos, v);
-        let pos = self.adjacency[v.index()]
+        rows[u.index()].insert(pos, v);
+        let pos = rows[v.index()]
             .binary_search(&u)
             .expect_err("adjacency lists out of sync");
-        self.adjacency[v.index()].insert(pos, u);
+        rows[v.index()].insert(pos, u);
         self.edge_count += 1;
         self.csr.take();
         true
@@ -149,7 +252,10 @@ impl LabeledGraph {
     /// Number of vertices.
     #[inline]
     pub fn vertex_count(&self) -> usize {
-        self.labels.len()
+        match &self.labels {
+            Labels::Owned(v) => v.len(),
+            Labels::Shared(s) => s.len(),
+        }
     }
 
     /// Number of undirected edges.
@@ -167,30 +273,40 @@ impl LabeledGraph {
     /// Label of vertex `v`.
     #[inline]
     pub fn label(&self, v: VertexId) -> Label {
-        self.labels[v.index()]
+        self.labels()[v.index()]
     }
 
     /// Sorted neighbors of `v`.
     #[inline]
     pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
-        &self.adjacency[v.index()]
+        match &self.adjacency {
+            Adjacency::Lists(rows) => &rows[v.index()],
+            Adjacency::Frozen { offsets, neighbors } => {
+                &neighbors[offsets[v.index()] as usize..offsets[v.index() + 1] as usize]
+            }
+        }
     }
 
     /// Degree of `v`.
     #[inline]
     pub fn degree(&self, v: VertexId) -> usize {
-        self.adjacency[v.index()].len()
+        match &self.adjacency {
+            Adjacency::Lists(rows) => rows[v.index()].len(),
+            Adjacency::Frozen { offsets, .. } => {
+                (offsets[v.index() + 1] - offsets[v.index()]) as usize
+            }
+        }
     }
 
     /// Whether the undirected edge `(u, v)` exists.
     #[inline]
     pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
-        self.adjacency[u.index()].binary_search(&v).is_ok()
+        self.neighbors(u).binary_search(&v).is_ok()
     }
 
     /// Iterates over all vertex ids.
     pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
-        (0..self.labels.len() as u32).map(VertexId)
+        (0..self.vertex_count() as u32).map(VertexId)
     }
 
     /// Iterates over all undirected edges as `(u, v)` with `u < v`.
@@ -206,34 +322,62 @@ impl LabeledGraph {
 
     /// All vertex labels, indexed by vertex id.
     pub fn labels(&self) -> &[Label] {
-        &self.labels
+        match &self.labels {
+            Labels::Owned(v) => v,
+            Labels::Shared(s) => s,
+        }
     }
 
     /// True if the graph has no vertices.
     pub fn is_empty(&self) -> bool {
-        self.labels.is_empty()
+        self.vertex_count() == 0
     }
 
     /// Average degree `2|E| / |V|` (0.0 for the empty graph).
     pub fn average_degree(&self) -> f64 {
-        if self.labels.is_empty() {
+        if self.is_empty() {
             0.0
         } else {
-            2.0 * self.edge_count as f64 / self.labels.len() as f64
+            2.0 * self.edge_count as f64 / self.vertex_count() as f64
         }
     }
 
     /// Maximum degree over all vertices (0 for the empty graph).
     pub fn max_degree(&self) -> usize {
-        self.adjacency.iter().map(Vec::len).max().unwrap_or(0)
+        match &self.adjacency {
+            Adjacency::Lists(rows) => rows.iter().map(Vec::len).max().unwrap_or(0),
+            Adjacency::Frozen { offsets, .. } => offsets
+                .windows(2)
+                .map(|w| (w[1] - w[0]) as usize)
+                .max()
+                .unwrap_or(0),
+        }
     }
 
     /// Number of distinct labels used in the graph.
     pub fn distinct_label_count(&self) -> usize {
-        let mut labels: Vec<u32> = self.labels.iter().map(|l| l.0).collect();
+        let mut labels: Vec<u32> = self.labels().iter().map(|l| l.0).collect();
         labels.sort_unstable();
         labels.dedup();
         labels.len()
+    }
+
+    /// The vertex labels as a cheaply clonable shared slice (for the CSR
+    /// index, which must outlive borrows of the graph's internals).
+    pub(crate) fn shared_labels(&self) -> ArcSlice<Label> {
+        match &self.labels {
+            Labels::Owned(v) => ArcSlice::from_vec(v.clone()),
+            Labels::Shared(s) => s.clone(),
+        }
+    }
+
+    /// The frozen CSR arrays, if this graph is snapshot-backed. `None` for
+    /// graphs in mutable list form.
+    pub(crate) fn frozen_parts(&self) -> Option<(ArcSlice<u32>, ArcSlice<VertexId>)> {
+        match &self.adjacency {
+            Adjacency::Frozen { offsets, neighbors } => Some((offsets.clone(), neighbors.clone())),
+            Adjacency::Lists(_) => None,
+        }
     }
 
     /// Builds a graph directly from flat CSR arrays: per-vertex labels, row
@@ -247,6 +391,31 @@ impl LabeledGraph {
     /// symmetric adjacency (`v ∈ row(u) ⇔ u ∈ row(v)`); `io` validates all of
     /// that before calling here. Violations are caught by `debug_assert` only.
     pub fn from_csr_parts(labels: Vec<Label>, offsets: &[u32], neighbors: &[VertexId]) -> Self {
+        Self::from_shared_parts(
+            ArcSlice::from_vec(labels),
+            ArcSlice::from_vec(offsets.to_vec()),
+            ArcSlice::from_vec(neighbors.to_vec()),
+            None,
+        )
+    }
+
+    /// Builds a frozen graph over shared flat CSR arrays without copying them.
+    ///
+    /// This is the zero-copy endpoint of snapshot loading: the slices can
+    /// point straight into a memory mapping, and the graph's [`CsrIndex`] is
+    /// pre-seeded over the *same* slices, so a later [`LabeledGraph::csr`]
+    /// call returns it without building (or allocating) anything. `packed`
+    /// optionally carries a v2 snapshot's undecoded label-index section for
+    /// lazy decoding.
+    ///
+    /// The same well-formedness contract as [`LabeledGraph::from_csr_parts`]
+    /// applies; `io` validates before calling here.
+    pub fn from_shared_parts(
+        labels: ArcSlice<Label>,
+        offsets: ArcSlice<u32>,
+        neighbors: ArcSlice<VertexId>,
+        packed: Option<PackedLabelIndex>,
+    ) -> Self {
         debug_assert_eq!(offsets.len(), labels.len() + 1);
         debug_assert_eq!(offsets.first().copied().unwrap_or(0), 0);
         debug_assert_eq!(
@@ -254,17 +423,24 @@ impl LabeledGraph {
             neighbors.len()
         );
         debug_assert_eq!(neighbors.len() % 2, 0);
-        let adjacency: Vec<Vec<VertexId>> = (0..labels.len())
-            .map(|i| neighbors[offsets[i] as usize..offsets[i + 1] as usize].to_vec())
-            .collect();
-        debug_assert!(adjacency
-            .iter()
-            .all(|row| row.windows(2).all(|w| w[0] < w[1])));
+        debug_assert!((0..labels.len()).all(|i| {
+            neighbors[offsets[i] as usize..offsets[i + 1] as usize]
+                .windows(2)
+                .all(|w| w[0] < w[1])
+        }));
+        let csr = OnceLock::new();
+        csr.set(CsrIndex::from_arrays(
+            labels.clone(),
+            offsets.clone(),
+            neighbors.clone(),
+            packed,
+        ))
+        .unwrap_or_else(|_| unreachable!("freshly created OnceLock"));
         Self {
-            labels,
             edge_count: neighbors.len() / 2,
-            adjacency,
-            csr: OnceLock::new(),
+            labels: Labels::Shared(labels),
+            adjacency: Adjacency::Frozen { offsets, neighbors },
+            csr,
         }
     }
 

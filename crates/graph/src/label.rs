@@ -10,8 +10,21 @@ use std::fmt;
 
 /// A vertex label. Labels are dense small integers; equality of labels is the
 /// only thing pattern matching ever looks at.
+///
+/// `#[repr(transparent)]` over `u32` is a load-bearing guarantee: the binary
+/// snapshot format stores label sections as little-endian `u32` arrays and
+/// reinterprets them in place (zero-copy) through [`crate::shared::Word`].
+#[repr(transparent)]
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Label(pub u32);
+
+// SAFETY: repr(transparent) over u32 — size 4, align 4, all bit patterns valid.
+unsafe impl crate::shared::Word for Label {
+    #[inline]
+    fn from_u32(raw: u32) -> Self {
+        Label(raw)
+    }
+}
 
 impl Label {
     /// Returns the raw label id.

@@ -21,7 +21,11 @@
 //!   injection, reproducing the synthetic data of the paper's evaluation.
 //! * [`transaction`] — a graph-transaction database for the Figures 14–15
 //!   comparison against ORIGAMI.
-//! * [`io`] — a small text format for persisting graphs and patterns.
+//! * [`io`] — a small text format for persisting graphs and patterns, plus
+//!   the binary snapshot formats (v1 eager, v2 mmap-backed zero-copy).
+//! * [`shared`] — reference-counted byte regions and typed slices
+//!   ([`SharedBytes`], [`ArcSlice`]) that let frozen graphs borrow snapshot
+//!   storage (a memory mapping or a read buffer) without copying.
 
 pub mod csr;
 pub mod generate;
@@ -30,6 +34,7 @@ pub mod io;
 pub mod iso;
 pub mod label;
 pub mod pattern_store;
+pub mod shared;
 pub mod signature;
 pub mod stats;
 pub mod subgraph;
@@ -40,5 +45,6 @@ pub use csr::CsrIndex;
 pub use graph::{LabeledGraph, VertexId};
 pub use label::{Label, LabelInterner};
 pub use pattern_store::{PatternId, PatternStore, PatternView};
+pub use shared::{ArcSlice, SharedBytes};
 pub use stats::GraphStats;
 pub use transaction::GraphDatabase;

@@ -57,7 +57,7 @@ pub mod error;
 pub mod scheduler;
 
 pub use cache::{CacheKey, CacheLookup, CacheStats, ResultCache};
-pub use catalog::{GraphCatalog, GraphSnapshot};
+pub use catalog::{GraphCatalog, GraphSnapshot, MANIFEST_FILE};
 pub use clients::{ClientRegistry, ClientStats};
 pub use error::ServiceError;
 pub use scheduler::{

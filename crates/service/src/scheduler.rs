@@ -495,6 +495,11 @@ impl JobScheduler {
                 )));
             }
         }
+        // Materialize file-backed snapshots here, so a corrupt or vanished
+        // snapshot file surfaces as a typed admission error instead of a
+        // dispatcher-side panic. For already-loaded graphs this is a single
+        // atomic load.
+        snapshot.ensure_loaded()?;
         let key = CacheKey {
             graph: graph.to_owned(),
             fingerprint: snapshot.fingerprint(),

@@ -44,6 +44,9 @@
 //!   whether the server answered from its result cache
 //! * `--graph NAME`  — catalog name to mine in `--connect` mode
 //!   (default `gid-a`)
+//! * `--catalog-dir DIR` — with `--serve`: restore the catalog from DIR's
+//!   manifest when one exists (warm restart, header-only registration), or
+//!   persist the freshly registered catalog to DIR for the next restart
 //!
 //! Patterns stream to stdout as the miner accepts them, followed by the
 //! per-stage wall-clock timings of the run — both through the one
@@ -78,11 +81,12 @@ struct Cli {
     serve: Option<String>,
     connect: Option<String>,
     graph: String,
+    catalog_dir: Option<String>,
 }
 
 fn usage() -> String {
     format!(
-        "usage: mine [--algo {}] [--sigma N] [--k N] [--dmax N] [--seed N] [--threads N] [--support-measure {}] [--deadline-ms N] [--edges FILE] [--load-graph FILE] [--save-graph FILE] [--serve-demo] [--serve ADDR] [--connect ADDR] [--graph NAME]",
+        "usage: mine [--algo {}] [--sigma N] [--k N] [--dmax N] [--seed N] [--threads N] [--support-measure {}] [--deadline-ms N] [--edges FILE] [--load-graph FILE] [--save-graph FILE] [--serve-demo] [--serve ADDR] [--connect ADDR] [--graph NAME] [--catalog-dir DIR]",
         Algorithm::all().map(|a| a.name()).join("|"),
         SupportMeasure::all().map(|m| m.name()).join("|")
     )
@@ -107,6 +111,7 @@ fn parse_cli() -> Result<Option<Cli>, String> {
         serve: None,
         connect: None,
         graph: "gid-a".into(),
+        catalog_dir: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -164,6 +169,7 @@ fn parse_cli() -> Result<Option<Cli>, String> {
             "--serve" => cli.serve = Some(value("--serve")?),
             "--connect" => cli.connect = Some(value("--connect")?),
             "--graph" => cli.graph = value("--graph")?,
+            "--catalog-dir" => cli.catalog_dir = Some(value("--catalog-dir")?),
             "--help" | "-h" => {
                 println!("{}", usage());
                 return Ok(None);
@@ -288,21 +294,51 @@ fn serve_demo(cli: &Cli) -> Result<(), String> {
     Ok(())
 }
 
-/// The `--serve ADDR` mode: the service catalog (same synthetic graphs as
-/// `--serve-demo`) behind the TCP wire protocol, running until killed.
+/// The `--serve ADDR` mode: the service catalog behind the TCP wire
+/// protocol, running until killed. With `--catalog-dir DIR`, the catalog is
+/// restored from DIR's manifest when one exists (a warm restart: every graph
+/// registers header-only and materializes on first use) and persisted to DIR
+/// otherwise; without the flag, the synthetic `gid-a`/`gid-b` graphs of
+/// `--serve-demo` are registered.
 fn serve(cli: &Cli, addr: &str) -> Result<(), String> {
     let service = Arc::new(MiningService::new(ServiceConfig {
         dispatchers: 2,
         ..ServiceConfig::default()
     }));
-    for (name, seed) in [("gid-a", cli.seed), ("gid-b", cli.seed + 1)] {
-        let snapshot = service.catalog().register(name, synthetic_graph(seed));
-        println!(
-            "registered `{name}`: |V|={} |E|={} fingerprint={:#018x}",
-            snapshot.graph().vertex_count(),
-            snapshot.graph().edge_count(),
-            snapshot.fingerprint()
-        );
+    let manifest = cli
+        .catalog_dir
+        .as_ref()
+        .map(|dir| std::path::Path::new(dir).join(spidermine_service::MANIFEST_FILE))
+        .filter(|m| m.exists());
+    if let (Some(dir), Some(_)) = (&cli.catalog_dir, &manifest) {
+        let restored = service
+            .catalog()
+            .restore(dir)
+            .map_err(|e| format!("--catalog-dir {dir}: {e}"))?;
+        for name in &restored {
+            let snapshot = service.catalog().get(name).expect("just restored");
+            println!(
+                "restored `{name}`: fingerprint={:#018x} (header-only, loads on first use)",
+                snapshot.fingerprint()
+            );
+        }
+    } else {
+        for (name, seed) in [("gid-a", cli.seed), ("gid-b", cli.seed + 1)] {
+            let snapshot = service.catalog().register(name, synthetic_graph(seed));
+            println!(
+                "registered `{name}`: |V|={} |E|={} fingerprint={:#018x}",
+                snapshot.graph().vertex_count(),
+                snapshot.graph().edge_count(),
+                snapshot.fingerprint()
+            );
+        }
+        if let Some(dir) = &cli.catalog_dir {
+            service
+                .catalog()
+                .persist(dir)
+                .map_err(|e| format!("--catalog-dir {dir}: {e}"))?;
+            println!("persisted catalog to {dir} (next --serve restarts warm)");
+        }
     }
     let server = MiningServer::bind(addr, service, TransportConfig::default())
         .map_err(|e| format!("--serve {addr}: {e}"))?;

@@ -246,3 +246,72 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    // Each case runs six miners over four load paths; keep the case count
+    // modest so the suite stays fast.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Loading a graph through any snapshot path — v1 eager, v2 eager from
+    /// bytes, v2 buffered-read, v2 memory-mapped — yields byte-identical
+    /// mining outcomes for all six algorithms. This is the contract that
+    /// makes the mmap-backed zero-copy path a pure optimisation.
+    #[test]
+    fn snapshot_load_paths_are_mining_equivalent(g in arbitrary_graph(14, 4)) {
+        use spidermine_engine::wire::encode_outcome_semantic;
+        use spidermine_engine::{Algorithm, GraphSource, MineContext, MineRequest, Miner as _};
+        use spidermine_graph::GraphDatabase;
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        static CASE: AtomicUsize = AtomicUsize::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "spidermine-prop-snap-{}-{}",
+            std::process::id(),
+            CASE.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let v1 = dir.join("g.snap1");
+        let v2 = dir.join("g.snap2");
+        io::save_snapshot(&v1, &g).expect("save v1");
+        io::save_snapshot_v2(&v2, &g).expect("save v2");
+
+        let loads: Vec<(&str, LabeledGraph)> = vec![
+            ("v1-eager", io::load_snapshot(&v1).expect("v1 load")),
+            ("v2-eager", io::load_snapshot_v2(&v2, io::LoadMode::Eager).expect("v2 eager")),
+            ("v2-buffered", io::load_snapshot_v2(&v2, io::LoadMode::Buffered).expect("v2 buffered")),
+            ("v2-mapped", io::load_snapshot_v2(&v2, io::LoadMode::Mapped).expect("v2 mapped")),
+        ];
+        for algo in Algorithm::all() {
+            let mut reference: Option<Vec<u8>> = None;
+            for (path_name, loaded) in &loads {
+                // A fresh engine per run: no state can leak between paths.
+                let engine = MineRequest::new(algo)
+                    .support_threshold(2)
+                    .k(2)
+                    .d_max(4)
+                    .seed(7)
+                    .build()
+                    .expect("valid request");
+                let db;
+                let source = if algo.wants_transactions() {
+                    db = GraphDatabase::new(vec![loaded.clone(), loaded.clone()]);
+                    GraphSource::Transactions(&db)
+                } else {
+                    GraphSource::Single(loaded)
+                };
+                let outcome = engine
+                    .mine(&source, &mut MineContext::new())
+                    .unwrap_or_else(|e| panic!("{algo} on {path_name}: {e}"));
+                let bytes = encode_outcome_semantic(&outcome);
+                match &reference {
+                    None => reference = Some(bytes),
+                    Some(expected) => prop_assert_eq!(
+                        &bytes, expected,
+                        "{} outcome differs between load paths at {}", algo, path_name
+                    ),
+                }
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

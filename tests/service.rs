@@ -248,3 +248,96 @@ fn catalog_snapshots_share_one_csr_across_handles() {
         spidermine_graph::signature::graph_fingerprint(fetched.graph())
     );
 }
+
+#[test]
+fn catalog_restore_roundtrip_mines_identically_and_serves_cache() {
+    let dir = std::env::temp_dir().join(format!("spidermine-svc-restore-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+
+    // First life of the service: register three graphs, persist, record
+    // fresh ground-truth outcomes, then drop everything.
+    let fresh: Vec<(String, Vec<u8>)> = {
+        let service = MiningService::new(ServiceConfig::default());
+        for (name, seed) in [("alpha", 1), ("beta", 2), ("gamma", 3)] {
+            service.catalog().register(name, small_graph(seed));
+        }
+        service.catalog().persist(&dir).expect("persist");
+        service
+            .catalog()
+            .names()
+            .into_iter()
+            .map(|name| {
+                let outcome = service
+                    .submit(&name, request())
+                    .expect("submit")
+                    .wait()
+                    .expect("mine");
+                (name, outcome_bytes(&outcome))
+            })
+            .collect()
+    };
+
+    // Second life: a brand-new service restores the whole catalog in one
+    // call, header-only (nothing loaded until a job arrives).
+    let service = MiningService::new(ServiceConfig::default());
+    let restored = service.catalog().restore(&dir).expect("restore");
+    assert_eq!(restored.len(), 3);
+    for name in &restored {
+        assert!(
+            !service.catalog().get(name).expect("restored").is_loaded(),
+            "{name} was materialized during restore"
+        );
+    }
+
+    for (name, expected) in &fresh {
+        let first = service
+            .submit(name, request())
+            .expect("submit")
+            .wait()
+            .expect("mine restored graph");
+        assert_eq!(
+            &outcome_bytes(&first),
+            expected,
+            "{name}: restored outcome differs from the pre-restart run"
+        );
+        // The same request again must be served from the result cache — the
+        // fingerprint survived the persist/restore round-trip.
+        let again = service.submit(name, request()).expect("resubmit");
+        let second = again.wait().expect("cached mine");
+        assert_eq!(&outcome_bytes(&second), expected);
+        assert!(
+            again.metrics().expect("terminal").from_cache,
+            "{name}: second identical run missed the cache"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn jobs_against_a_corrupt_restored_snapshot_are_rejected_at_submit() {
+    let dir = std::env::temp_dir().join(format!("spidermine-svc-corrupt-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    {
+        let service = MiningService::new(ServiceConfig::default());
+        service.catalog().register("g", small_graph(5));
+        service.catalog().persist(&dir).expect("persist");
+    }
+    let service = MiningService::new(ServiceConfig::default());
+    service.catalog().restore(&dir).expect("restore");
+    // Corrupt a core section of the (sole) snapshot file after restore but
+    // before first use: admission must fail typed, not panic a dispatcher.
+    let snap_file = std::fs::read_dir(&dir)
+        .expect("dir")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .find(|p| p.extension().is_some_and(|x| x == "snap"))
+        .expect("snapshot file");
+    let mut bytes = std::fs::read(&snap_file).expect("read");
+    bytes[io::SNAPSHOT_PAGE] ^= 0xff;
+    std::fs::write(&snap_file, &bytes).expect("write");
+    assert!(matches!(
+        service.submit("g", request()),
+        Err(ServiceError::Snapshot(_))
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+}

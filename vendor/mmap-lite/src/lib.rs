@@ -1,0 +1,312 @@
+//! Vendored stand-in for a memory-mapping crate (`memmap2` and friends).
+//!
+//! The snapshot loader in `spidermine_graph::io` wants two byte sources with
+//! one shape:
+//!
+//! * [`Mmap`] — a read-only, private (`MAP_PRIVATE`) mapping of a file, so a
+//!   multi-gigabyte CSR snapshot costs address space, not resident memory:
+//!   pages fault in on first touch and are shared with every other process
+//!   mapping the same file through the page cache. Available on Linux, where
+//!   `mmap(2)`/`munmap(2)` are reached through the C library that `std`
+//!   already links — no `libc` crate needed.
+//! * [`AlignedBuf`] — the portable fallback: the whole file read into an
+//!   8-byte-aligned heap buffer. Compiled and tested everywhere (including
+//!   Linux, where the snapshot test-suite exercises it explicitly), and the
+//!   path taken when [`Mmap::supported`] is false or a mapping fails.
+//!
+//! Both deref to `&[u8]`; both guarantee at least 8-byte base alignment, which
+//! is what lets the snapshot reader reinterpret page-aligned `u32` sections
+//! in place. Mappings are read-only — there is deliberately no `MAP_SHARED`,
+//! no write support, and no `mprotect`: the snapshot format is immutable by
+//! contract and the narrow surface keeps the `unsafe` auditable.
+
+use std::fs::File;
+use std::io::{self, Read, Seek, SeekFrom};
+use std::ops::Deref;
+
+#[cfg(target_os = "linux")]
+mod sys {
+    //! Raw `mmap(2)` bindings. `std` on Linux already links the C library,
+    //! so declaring the two symbols is enough — no external crate.
+    use std::ffi::c_void;
+
+    pub const PROT_READ: i32 = 0x1;
+    pub const MAP_PRIVATE: i32 = 0x2;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            length: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, length: usize) -> i32;
+    }
+}
+
+/// A read-only, private memory mapping of an entire file.
+///
+/// On non-Linux targets [`Mmap::map`] always returns
+/// [`io::ErrorKind::Unsupported`]; callers fall back to [`AlignedBuf`].
+#[derive(Debug)]
+pub struct Mmap {
+    /// Base address; null for the empty mapping (`mmap` rejects length 0).
+    ptr: *const u8,
+    len: usize,
+}
+
+// SAFETY: the mapping is immutable (PROT_READ, MAP_PRIVATE) for its whole
+// lifetime; sharing &[u8] views across threads is no different from sharing a
+// frozen Vec<u8>.
+unsafe impl Send for Mmap {}
+unsafe impl Sync for Mmap {}
+
+impl Mmap {
+    /// Whether this target can map files at all.
+    pub const fn supported() -> bool {
+        cfg!(target_os = "linux")
+    }
+
+    /// Maps `file` read-only in its entirety.
+    ///
+    /// The mapping length is the file length at call time; an empty file maps
+    /// to an empty slice without touching `mmap` (the syscall rejects
+    /// zero-length mappings).
+    #[cfg(target_os = "linux")]
+    pub fn map(file: &File) -> io::Result<Self> {
+        use std::os::unix::io::AsRawFd;
+
+        let len = file.metadata()?.len();
+        let len = usize::try_from(len)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "file too large to map"))?;
+        if len == 0 {
+            return Ok(Self {
+                ptr: std::ptr::null(),
+                len: 0,
+            });
+        }
+        // SAFETY: length is non-zero and the fd is valid for the duration of
+        // the call; we hand the kernel a null hint and let it pick the
+        // (page-aligned) address. The result is checked against MAP_FAILED.
+        let ptr = unsafe {
+            sys::mmap(
+                std::ptr::null_mut(),
+                len,
+                sys::PROT_READ,
+                sys::MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr as isize == -1 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Self {
+            ptr: ptr as *const u8,
+            len,
+        })
+    }
+
+    /// Maps `file` read-only in its entirety (unsupported on this target).
+    #[cfg(not(target_os = "linux"))]
+    pub fn map(_file: &File) -> io::Result<Self> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "mmap is only wired up on Linux; use AlignedBuf::read",
+        ))
+    }
+
+    /// The mapped bytes.
+    #[inline]
+    pub fn as_slice(&self) -> &[u8] {
+        if self.ptr.is_null() {
+            &[]
+        } else {
+            // SAFETY: ptr/len describe a live PROT_READ mapping owned by self.
+            unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+        }
+    }
+
+    /// Length of the mapping in bytes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the mapping is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl Deref for Mmap {
+    type Target = [u8];
+
+    #[inline]
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl Drop for Mmap {
+    fn drop(&mut self) {
+        #[cfg(target_os = "linux")]
+        if !self.ptr.is_null() {
+            // SAFETY: ptr/len came from a successful mmap owned exclusively
+            // by self; unmapping exactly once on drop.
+            unsafe {
+                sys::munmap(self.ptr as *mut std::ffi::c_void, self.len);
+            }
+        }
+    }
+}
+
+/// A whole file read into an 8-byte-aligned owned buffer.
+///
+/// `Vec<u8>` only guarantees byte alignment, which would make reinterpreting
+/// a `u32` section undefined behavior on the read-into-memory path; backing
+/// the bytes with a `Vec<u64>` gives the same alignment guarantee a mapping
+/// has (pages are 4096-aligned, this is 8-aligned — both satisfy every
+/// fixed-width section type the snapshot format uses).
+#[derive(Debug)]
+pub struct AlignedBuf {
+    storage: Vec<u64>,
+    len: usize,
+}
+
+impl AlignedBuf {
+    /// Reads `file` from the start to EOF into a fresh aligned buffer.
+    pub fn read(file: &mut File) -> io::Result<Self> {
+        file.seek(SeekFrom::Start(0))?;
+        let expected = file.metadata()?.len() as usize;
+        let mut storage = vec![0u64; expected.div_ceil(8)];
+        // SAFETY: u64s are plain bytes; the slice covers exactly the
+        // allocated storage and is fully initialized (zeroed above).
+        let bytes = unsafe {
+            std::slice::from_raw_parts_mut(storage.as_mut_ptr() as *mut u8, storage.len() * 8)
+        };
+        let mut filled = 0;
+        while filled < expected {
+            match file.read(&mut bytes[filled..expected])? {
+                0 => break,
+                n => filled += n,
+            }
+        }
+        // The file may have been truncated between metadata and read; trust
+        // what was actually read.
+        Ok(Self {
+            storage,
+            len: filled,
+        })
+    }
+
+    /// Wraps an in-memory copy (tests, byte-level tooling).
+    pub fn from_bytes(bytes: &[u8]) -> Self {
+        let mut storage = vec![0u64; bytes.len().div_ceil(8)];
+        // SAFETY: as in `read` — the u64 storage viewed as initialized bytes.
+        let dst = unsafe {
+            std::slice::from_raw_parts_mut(storage.as_mut_ptr() as *mut u8, storage.len() * 8)
+        };
+        dst[..bytes.len()].copy_from_slice(bytes);
+        Self {
+            storage,
+            len: bytes.len(),
+        }
+    }
+
+    /// The buffered bytes.
+    #[inline]
+    pub fn as_slice(&self) -> &[u8] {
+        // SAFETY: storage holds at least `len` initialized bytes.
+        unsafe { std::slice::from_raw_parts(self.storage.as_ptr() as *const u8, self.len) }
+    }
+
+    /// Length in bytes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the buffer is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl Deref for AlignedBuf {
+    type Target = [u8];
+
+    #[inline]
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn temp_file(name: &str, contents: &[u8]) -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(format!("mmap-lite-{}-{name}", std::process::id()));
+        let mut f = File::create(&path).expect("create temp file");
+        f.write_all(contents).expect("write");
+        f.sync_all().expect("sync");
+        path
+    }
+
+    #[test]
+    fn aligned_buf_matches_file_and_is_aligned() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(10_001).collect();
+        let path = temp_file("aligned", &data);
+        let mut f = File::open(&path).expect("open");
+        let buf = AlignedBuf::read(&mut f).expect("read");
+        assert_eq!(&*buf, &data[..]);
+        assert_eq!(buf.as_slice().as_ptr() as usize % 8, 0, "8-byte aligned");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn aligned_buf_from_bytes_roundtrips() {
+        for len in [0usize, 1, 7, 8, 9, 4096] {
+            let data: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
+            let buf = AlignedBuf::from_bytes(&data);
+            assert_eq!(&*buf, &data[..]);
+            assert_eq!(buf.len(), len);
+        }
+        assert!(AlignedBuf::from_bytes(&[]).is_empty());
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn mmap_matches_file_and_is_page_aligned() {
+        let data: Vec<u8> = (0..9000usize).map(|i| (i % 253) as u8).collect();
+        let path = temp_file("mapped", &data);
+        let f = File::open(&path).expect("open");
+        let map = Mmap::map(&f).expect("map");
+        assert!(Mmap::supported());
+        assert_eq!(&*map, &data[..]);
+        assert_eq!(map.len(), data.len());
+        assert_eq!(
+            map.as_slice().as_ptr() as usize % 4096,
+            0,
+            "mappings are page aligned"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn mmap_of_empty_file_is_empty() {
+        let path = temp_file("empty", &[]);
+        let f = File::open(&path).expect("open");
+        let map = Mmap::map(&f).expect("map");
+        assert!(map.is_empty());
+        assert_eq!(&*map, &[] as &[u8]);
+        std::fs::remove_file(&path).ok();
+    }
+}
