@@ -51,6 +51,7 @@ fn service_fixture() -> MiningService {
         queue_depth: 64,
         cache_capacity: 256,
         max_threads_per_job: None,
+        ..ServiceConfig::default()
     });
     service
         .catalog()

@@ -51,6 +51,7 @@ fn transport(c: &mut Criterion) {
         queue_depth: 256,
         cache_capacity: 256,
         max_threads_per_job: None,
+        ..ServiceConfig::default()
     }));
     service
         .catalog()
@@ -61,6 +62,7 @@ fn transport(c: &mut Criterion) {
         TransportConfig {
             max_connections: 2 * CLIENTS[2],
             max_inflight_per_client: 8,
+            ..TransportConfig::default()
         },
     )
     .expect("bind server");

@@ -1,0 +1,264 @@
+//! The process-wide injector: arming a [`FaultPlan`] and consulting it.
+//!
+//! Instrumented call sites call [`check`] with their [`FaultSite`]; the
+//! disarmed path is a single relaxed atomic load. When a plan is armed,
+//! each call bumps the site's operation counter and fires the matching
+//! rule (once) if the counter hits a rule's `nth`. Latency kinds
+//! ([`FaultKind::Delay`] / [`FaultKind::Stall`]) sleep *inside* `check`
+//! and return `None`, so call sites only ever interpret the disruptive
+//! kinds they support.
+//!
+//! [`FaultInjector::install`] serializes installers on a process-global
+//! lock: concurrently running `#[test]`s that each install a plan queue
+//! up instead of trampling each other's schedules. Poisoned locks are
+//! recovered (`into_inner`), so one failing fault test cannot wedge the
+//! rest of the binary.
+
+use crate::plan::{FaultKind, FaultPlan, FaultRule, FaultSite};
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Duration;
+
+/// Fast-path flag: `true` iff an injector is currently installed.
+static ARMED: AtomicBool = AtomicBool::new(false);
+
+/// The installed plan's runtime state (`None` when disarmed).
+static STATE: Mutex<Option<Arc<ActiveState>>> = Mutex::new(None);
+
+/// Serializes installers; held (inside the guard) for the injector's lifetime.
+static INSTALL: Mutex<()> = Mutex::new(());
+
+struct ActiveState {
+    rules: Vec<FaultRule>,
+    /// One flag per rule: each rule fires at most once.
+    fired_flags: Vec<AtomicBool>,
+    /// Per-site operation counters, indexed by `FaultSite as usize`.
+    counters: [AtomicU64; FaultSite::ALL.len()],
+    log: Mutex<Vec<FiredFault>>,
+}
+
+/// A fault that actually fired: which rule landed on which operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FiredFault {
+    /// Site the fault fired at.
+    pub site: FaultSite,
+    /// Operation index it landed on.
+    pub nth: u64,
+    /// The injected kind.
+    pub kind: FaultKind,
+}
+
+impl fmt::Display for FiredFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}:{}", self.site, self.nth, self.kind)
+    }
+}
+
+fn lock_recovering<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Guard for an installed plan. Dropping it disarms the injector and
+/// releases the process-global installer lock.
+pub struct FaultInjector {
+    state: Arc<ActiveState>,
+    _exclusive: MutexGuard<'static, ()>,
+}
+
+impl FaultInjector {
+    /// Install `plan` process-wide. Blocks until any previously installed
+    /// injector is dropped; the returned guard keeps the plan armed.
+    pub fn install(plan: &FaultPlan) -> FaultInjector {
+        let exclusive = lock_recovering(&INSTALL);
+        let state = Arc::new(ActiveState {
+            rules: plan.rules.clone(),
+            fired_flags: plan.rules.iter().map(|_| AtomicBool::new(false)).collect(),
+            counters: Default::default(),
+            log: Mutex::new(Vec::new()),
+        });
+        *lock_recovering(&STATE) = Some(state.clone());
+        ARMED.store(true, Ordering::SeqCst);
+        FaultInjector {
+            state,
+            _exclusive: exclusive,
+        }
+    }
+
+    /// Faults that have fired so far under this injector, in firing order.
+    pub fn fired(&self) -> Vec<FiredFault> {
+        lock_recovering(&self.state.log).clone()
+    }
+
+    /// Number of faults that have fired so far under this injector.
+    pub fn fired_count(&self) -> usize {
+        lock_recovering(&self.state.log).len()
+    }
+
+    /// Operations observed so far at `site` (fired or not).
+    pub fn ops_at(&self, site: FaultSite) -> u64 {
+        self.state.counters[site as usize].load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for FaultInjector {
+    fn drop(&mut self) {
+        ARMED.store(false, Ordering::SeqCst);
+        *lock_recovering(&STATE) = None;
+    }
+}
+
+/// Whether an injector is currently installed.
+#[inline]
+pub fn armed() -> bool {
+    ARMED.load(Ordering::Relaxed)
+}
+
+/// Consult the injector at `site`. Returns the fault the call site must
+/// inject, or `None` to proceed normally. Disarmed cost: one relaxed load.
+#[inline]
+pub fn check(site: FaultSite) -> Option<FaultKind> {
+    if !ARMED.load(Ordering::Relaxed) {
+        return None;
+    }
+    check_armed(site)
+}
+
+#[cold]
+fn check_armed(site: FaultSite) -> Option<FaultKind> {
+    let state = lock_recovering(&STATE).clone()?;
+    let n = state.counters[site as usize].fetch_add(1, Ordering::Relaxed);
+    for (i, rule) in state.rules.iter().enumerate() {
+        if rule.site != site || rule.nth != n {
+            continue;
+        }
+        if state.fired_flags[i].swap(true, Ordering::Relaxed) {
+            continue; // already fired (two rules can share a (site, nth))
+        }
+        lock_recovering(&state.log).push(FiredFault {
+            site,
+            nth: n,
+            kind: rule.kind,
+        });
+        return match rule.kind {
+            // Latency faults resolve here: sleep, then let the operation
+            // proceed. Call sites never see them.
+            FaultKind::Delay { ms } | FaultKind::Stall { ms } => {
+                std::thread::sleep(Duration::from_millis(ms as u64));
+                None
+            }
+            kind => Some(kind),
+        };
+    }
+    None
+}
+
+/// All faults fired under the currently installed injector (empty when
+/// disarmed). For end-of-run reporting, e.g. `examples/mine.rs --chaos`.
+pub fn fired() -> Vec<FiredFault> {
+    match lock_recovering(&STATE).as_ref() {
+        Some(state) => lock_recovering(&state.log).clone(),
+        None => Vec::new(),
+    }
+}
+
+/// Apply a buffer-corrupting fault kind to `buf`: [`FaultKind::BitFlip`]
+/// flips `bit % (8 * len)`, [`FaultKind::Truncate`] keeps
+/// `permille`/1000 of the bytes. Returns `true` if the buffer changed;
+/// other kinds (and empty buffers) are left untouched.
+pub fn corrupt_buffer(buf: &mut Vec<u8>, kind: FaultKind) -> bool {
+    match kind {
+        FaultKind::BitFlip { bit } => {
+            if buf.is_empty() {
+                return false;
+            }
+            let bit = bit % (buf.len() as u64 * 8);
+            buf[(bit / 8) as usize] ^= 1 << (bit % 8);
+            true
+        }
+        FaultKind::Truncate { permille } => {
+            let keep = (buf.len() as u64 * permille as u64 / 1000) as usize;
+            if keep >= buf.len() {
+                return false;
+            }
+            buf.truncate(keep);
+            true
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{FaultKind, FaultPlan, FaultRule, FaultSite};
+
+    #[test]
+    fn disarmed_check_is_none_and_cheap() {
+        assert!(!armed());
+        for site in FaultSite::ALL {
+            assert_eq!(check(site), None);
+        }
+    }
+
+    #[test]
+    fn rules_fire_on_the_nth_operation_exactly_once() {
+        let plan = FaultPlan {
+            rules: vec![
+                FaultRule {
+                    site: FaultSite::DiskRead,
+                    nth: 2,
+                    kind: FaultKind::Error,
+                },
+                FaultRule {
+                    site: FaultSite::WireWrite,
+                    nth: 0,
+                    kind: FaultKind::Disconnect,
+                },
+            ],
+        };
+        let injector = FaultInjector::install(&plan);
+        assert!(armed());
+        assert_eq!(check(FaultSite::WireWrite), Some(FaultKind::Disconnect));
+        assert_eq!(check(FaultSite::WireWrite), None);
+        assert_eq!(check(FaultSite::DiskRead), None); // op 0
+        assert_eq!(check(FaultSite::DiskRead), None); // op 1
+        assert_eq!(check(FaultSite::DiskRead), Some(FaultKind::Error)); // op 2
+        assert_eq!(check(FaultSite::DiskRead), None); // op 3
+        assert_eq!(injector.fired_count(), 2);
+        assert_eq!(injector.ops_at(FaultSite::DiskRead), 4);
+        drop(injector);
+        assert!(!armed());
+        assert_eq!(check(FaultSite::DiskRead), None);
+    }
+
+    #[test]
+    fn latency_kinds_resolve_inside_check() {
+        let plan = FaultPlan::parse("exec:0:stall=1, wire-read:0:delay=1").unwrap();
+        let injector = FaultInjector::install(&plan);
+        // Both sleep briefly and report "proceed normally".
+        assert_eq!(check(FaultSite::ExecRun), None);
+        assert_eq!(check(FaultSite::WireRead), None);
+        assert_eq!(injector.fired_count(), 2);
+    }
+
+    #[test]
+    fn corrupt_buffer_flips_and_truncates() {
+        let mut buf = vec![0u8; 8];
+        assert!(corrupt_buffer(&mut buf, FaultKind::BitFlip { bit: 65 }));
+        assert_eq!(buf[0], 2); // bit 65 % 64 == bit 1 of byte 0
+        let mut buf = vec![7u8; 10];
+        assert!(corrupt_buffer(
+            &mut buf,
+            FaultKind::Truncate { permille: 500 }
+        ));
+        assert_eq!(buf.len(), 5);
+        let mut buf = vec![7u8; 10];
+        assert!(!corrupt_buffer(&mut buf, FaultKind::Error));
+        assert_eq!(buf.len(), 10);
+        let mut empty: Vec<u8> = Vec::new();
+        assert!(!corrupt_buffer(&mut empty, FaultKind::BitFlip { bit: 3 }));
+    }
+}

@@ -1,0 +1,40 @@
+//! Deterministic, seed-driven fault injection for the mining service.
+//!
+//! Every robustness claim in this workspace — typed errors instead of
+//! panics, transient failures retried, permanent corruption surfaced —
+//! is only as good as the faults that have actually been thrown at it.
+//! This crate provides the harness: a [`FaultPlan`] is a seeded schedule
+//! of `{site, nth-operation, kind}` rules, installed process-wide with
+//! [`FaultInjector::install`], and consulted by instrumented call sites
+//! in `graph::io` (disk), `transport` (wire) and the service scheduler
+//! (execution) via [`check`].
+//!
+//! Design constraints:
+//!
+//! - **Zero-cost when disarmed.** [`check`] is a single relaxed atomic
+//!   load on the hot path; no plan is consulted, no counter bumped, no
+//!   lock touched unless an injector is installed. Production binaries
+//!   never arm it.
+//! - **Deterministic from `(seed, plan)`.** [`FaultPlan::random`]
+//!   derives the whole schedule from a seed via splitmix64;
+//!   [`FaultPlan::parse`] round-trips the human-readable spec printed by
+//!   `Display`. Which *logical* operation is "nth" at a site is exact
+//!   under single-threaded execution and stable-enough under the small
+//!   thread counts the fault suite runs at; tests therefore assert
+//!   outcome invariants (typed error, successful retry, byte-identical
+//!   recovery), not exact firing interleavings.
+//! - **Dependency-free.** `graph`, `transport` and `service` all sit on
+//!   top of this crate, so it can use nothing but `std`.
+//!
+//! The crate also hosts [`RetryPolicy`] — the one retry/backoff
+//! vocabulary shared by the scheduler (admission + execution retries)
+//! and the transport client (reconnect-with-backoff) — so every layer
+//! jitters and caps delays the same way.
+
+pub mod inject;
+pub mod plan;
+pub mod retry;
+
+pub use inject::{armed, check, corrupt_buffer, fired, FaultInjector, FiredFault};
+pub use plan::{FaultKind, FaultPlan, FaultRule, FaultSite};
+pub use retry::{splitmix64, RetryPolicy};

@@ -1,0 +1,147 @@
+//! The shared retry/backoff vocabulary.
+//!
+//! One [`RetryPolicy`] type serves every layer that retries transient
+//! faults: the scheduler (snapshot-load retries at admission, panic
+//! retries at execution), the transport client (connect-with-backoff),
+//! and the resilient client (reconnect-and-resume). Delays grow
+//! exponentially from `base_delay`, are capped at `max_delay`, and —
+//! unless jitter is disabled — are scattered over `[d/2, d)` with a
+//! deterministic splitmix64 hash of `(seed, attempt)`, so a fleet of
+//! clients restarting against one server does not thunder in lockstep
+//! while tests remain exactly reproducible from their seeds.
+
+use std::time::Duration;
+
+/// SplitMix64: the minimal, dependency-free mixer used everywhere this
+/// crate needs deterministic pseudo-randomness (plan generation, jitter).
+#[inline]
+pub fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// How (and whether) to retry an operation that failed transiently.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (`1` = never retry).
+    pub max_attempts: u32,
+    /// Delay before the first retry; doubles each subsequent retry.
+    pub base_delay: Duration,
+    /// Upper bound on any single delay.
+    pub max_delay: Duration,
+    /// Scatter each delay over `[d/2, d)` deterministically from the
+    /// seed passed to [`RetryPolicy::delay_for`].
+    pub jitter: bool,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 3,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_secs(2),
+            jitter: true,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (single attempt).
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// A fast-retry profile for tests: tight delays, deterministic jitter.
+    pub fn fast(max_attempts: u32) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts,
+            base_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(20),
+            jitter: true,
+        }
+    }
+
+    /// Whether a retry is allowed after `attempt` attempts have failed.
+    pub fn should_retry(&self, attempts_made: u32) -> bool {
+        attempts_made < self.max_attempts
+    }
+
+    /// Delay to sleep before retry number `retry` (1-based: the retry
+    /// after the first failure is `retry == 1`). Exponential in `retry`,
+    /// capped at `max_delay`, jittered deterministically from `seed`.
+    pub fn delay_for(&self, retry: u32, seed: u64) -> Duration {
+        let exp = retry.saturating_sub(1).min(20);
+        let raw = self
+            .base_delay
+            .saturating_mul(1u32 << exp)
+            .min(self.max_delay);
+        if !self.jitter || raw.is_zero() {
+            return raw;
+        }
+        // Full-ish jitter: uniform over [raw/2, raw).
+        let nanos = raw.as_nanos() as u64;
+        let r = splitmix64(seed ^ ((retry as u64) << 32));
+        let jittered = nanos / 2 + r % (nanos / 2).max(1);
+        Duration::from_nanos(jittered)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delays_grow_and_cap() {
+        let policy = RetryPolicy {
+            max_attempts: 10,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(100),
+            jitter: false,
+        };
+        assert_eq!(policy.delay_for(1, 0), Duration::from_millis(10));
+        assert_eq!(policy.delay_for(2, 0), Duration::from_millis(20));
+        assert_eq!(policy.delay_for(3, 0), Duration::from_millis(40));
+        // Capped from here on, and immune to shift overflow at huge counts.
+        assert_eq!(policy.delay_for(5, 0), Duration::from_millis(100));
+        assert_eq!(policy.delay_for(40, 0), Duration::from_millis(100));
+    }
+
+    #[test]
+    fn jitter_is_deterministic_bounded_and_scattered() {
+        let policy = RetryPolicy {
+            jitter: true,
+            base_delay: Duration::from_millis(16),
+            max_delay: Duration::from_secs(1),
+            max_attempts: 5,
+        };
+        let mut distinct = std::collections::HashSet::new();
+        for seed in 0..32 {
+            let d = policy.delay_for(1, seed);
+            assert_eq!(
+                d,
+                policy.delay_for(1, seed),
+                "jitter must be seed-deterministic"
+            );
+            assert!(
+                d >= Duration::from_millis(8) && d < Duration::from_millis(16),
+                "{d:?}"
+            );
+            distinct.insert(d);
+        }
+        assert!(distinct.len() > 16, "jitter should scatter across seeds");
+    }
+
+    #[test]
+    fn should_retry_respects_max_attempts() {
+        let policy = RetryPolicy::fast(3);
+        assert!(policy.should_retry(1));
+        assert!(policy.should_retry(2));
+        assert!(!policy.should_retry(3));
+        assert!(!RetryPolicy::none().should_retry(1));
+    }
+}

@@ -92,6 +92,7 @@ use crate::shared::{ArcSlice, SharedBytes};
 use crate::signature::{graph_fingerprint, StableHasher};
 use crate::transaction::GraphDatabase;
 use mmap_lite::{AlignedBuf, Mmap};
+use spidermine_faultline as faultline;
 use std::fmt::Write as _;
 use std::io::{Read as _, Write as _};
 use std::path::Path;
@@ -347,6 +348,41 @@ impl std::fmt::Display for SnapshotError {
 
 impl std::error::Error for SnapshotError {}
 
+impl SnapshotError {
+    /// Whether the failure is *transient* — worth retrying against the same
+    /// file — as opposed to permanent corruption that will fail identically
+    /// on every read.
+    ///
+    /// Only [`SnapshotError::Io`] qualifies: filesystem errors (EINTR under
+    /// load, NFS hiccups, a file mid-replacement) can heal on the next
+    /// attempt, while bad magic, checksum mismatches and structural
+    /// corruption are properties of the bytes themselves. Retry policies and
+    /// the catalog's materialization cache branch on this: transient errors
+    /// are retried / re-probed, permanent ones are sticky typed errors.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, SnapshotError::Io(_))
+    }
+}
+
+/// Applies an injected read fault to a freshly read snapshot buffer:
+/// `Error` becomes a transient [`SnapshotError::Io`], corruption kinds
+/// damage the buffer in place and let the loader's own validation classify
+/// the result (checksum mismatch, truncation, structural corruption).
+fn apply_injected_read_fault(
+    bytes: &mut Vec<u8>,
+    kind: faultline::FaultKind,
+    path: &Path,
+) -> Result<(), SnapshotError> {
+    if kind == faultline::FaultKind::Error {
+        return Err(SnapshotError::Io(format!(
+            "{}: injected transient read fault",
+            path.display()
+        )));
+    }
+    faultline::corrupt_buffer(bytes, kind);
+    Ok(())
+}
+
 /// Serializes `graph` into the binary snapshot format described in the
 /// module docs. Deterministic: equal graphs produce identical bytes.
 pub fn snapshot_bytes(graph: &LabeledGraph) -> Vec<u8> {
@@ -564,6 +600,14 @@ fn validate_csr_structure(
 /// scans skip it.
 pub fn atomic_write(path: impl AsRef<Path>, bytes: &[u8]) -> std::io::Result<()> {
     let path = path.as_ref();
+    if faultline::check(faultline::FaultSite::DiskWrite).is_some() {
+        // Injected before the temp file exists, so the atomic-write
+        // invariant (old content or new, never partial) holds trivially.
+        return Err(std::io::Error::other(format!(
+            "{}: injected transient write fault",
+            path.display()
+        )));
+    }
     let file_name = path
         .file_name()
         .and_then(|n| n.to_str())
@@ -592,8 +636,11 @@ pub fn save_snapshot(path: impl AsRef<Path>, graph: &LabeledGraph) -> Result<(),
 /// Reads a v1 binary snapshot file back into a [`LabeledGraph`].
 pub fn load_snapshot(path: impl AsRef<Path>) -> Result<LabeledGraph, SnapshotError> {
     let path = path.as_ref();
-    let bytes =
+    let mut bytes =
         std::fs::read(path).map_err(|e| SnapshotError::Io(format!("{}: {e}", path.display())))?;
+    if let Some(kind) = faultline::check(faultline::FaultSite::DiskRead) {
+        apply_injected_read_fault(&mut bytes, kind, path)?;
+    }
     graph_from_snapshot(&bytes)
 }
 
@@ -840,6 +887,12 @@ fn parse_snapshot_header(prefix: &[u8], file_len: u64) -> Result<SnapshotInfo, S
 pub fn probe_snapshot(path: impl AsRef<Path>) -> Result<SnapshotInfo, SnapshotError> {
     let path = path.as_ref();
     let io_err = |e: std::io::Error| SnapshotError::Io(format!("{}: {e}", path.display()));
+    if faultline::check(faultline::FaultSite::DiskProbe).is_some() {
+        return Err(SnapshotError::Io(format!(
+            "{}: injected transient probe fault",
+            path.display()
+        )));
+    }
     let mut file = std::fs::File::open(path).map_err(io_err)?;
     let file_len = file.metadata().map_err(io_err)?.len();
     let mut prefix = [0u8; V2_HEADER_LEN];
@@ -1060,6 +1113,15 @@ pub fn load_snapshot_v2(
 ) -> Result<LabeledGraph, SnapshotError> {
     let path = path.as_ref();
     let io_err = |e: std::io::Error| SnapshotError::Io(format!("{}: {e}", path.display()));
+    if let Some(kind) = faultline::check(faultline::FaultSite::DiskRead) {
+        // A mapped file is read-only, so corruption faults fall back to a
+        // buffered read where the injected damage can actually land; the
+        // normal section-checksum validation then classifies it.
+        let mut bytes = std::fs::read(path).map_err(io_err)?;
+        apply_injected_read_fault(&mut bytes, kind, path)?;
+        let eager = matches!(mode, LoadMode::Eager);
+        return graph_from_shared(SharedBytes::new(AlignedBuf::from_bytes(&bytes)), eager);
+    }
     let mut file = std::fs::File::open(path).map_err(io_err)?;
     match mode {
         LoadMode::Mapped if Mmap::supported() => {

@@ -52,9 +52,14 @@ pub struct GraphSnapshot {
     /// File backing for lazily registered snapshots; `None` for in-memory
     /// registrations (which are seeded at construction).
     source: Option<(PathBuf, LoadMode)>,
-    /// The materialized graph — or the load error, which is sticky: a file
-    /// that failed to load once is not retried behind the caller's back.
-    graph: OnceLock<Result<LabeledGraph, SnapshotError>>,
+    /// The materialized graph, set exactly once on a successful load.
+    graph: OnceLock<LabeledGraph>,
+    /// A *permanent* load failure (corruption, bad fingerprint), which is
+    /// sticky: the bytes themselves are wrong, so every future attempt would
+    /// fail identically. Transient I/O failures are deliberately **not**
+    /// recorded here — the next [`GraphSnapshot::ensure_loaded`] retries the
+    /// file. Doubles as the lock that serializes concurrent first loads.
+    load_failure: Mutex<Option<SnapshotError>>,
 }
 
 impl GraphSnapshot {
@@ -64,13 +69,14 @@ impl GraphSnapshot {
     fn new_loaded(name: String, graph: LabeledGraph) -> Self {
         let fingerprint = graph_fingerprint(&graph);
         let cell = OnceLock::new();
-        cell.set(Ok(graph))
+        cell.set(graph)
             .unwrap_or_else(|_| unreachable!("freshly created OnceLock"));
         Self {
             name,
             fingerprint,
             source: None,
             graph: cell,
+            load_failure: Mutex::new(None),
         }
     }
 
@@ -81,6 +87,7 @@ impl GraphSnapshot {
             fingerprint,
             source: Some((path, mode)),
             graph: OnceLock::new(),
+            load_failure: Mutex::new(None),
         }
     }
 
@@ -101,26 +108,45 @@ impl GraphSnapshot {
     /// True once the graph is materialized in memory (always true for
     /// in-memory registrations).
     pub fn is_loaded(&self) -> bool {
-        self.graph.get().is_some_and(|r| r.is_ok())
+        self.graph.get().is_some()
     }
 
     /// Materializes the graph if this snapshot is file-backed and not yet
     /// loaded, validating the file (section checksums, structure,
-    /// fingerprint) on the way in. Load failures are typed and sticky.
+    /// fingerprint) on the way in.
+    ///
+    /// Failures are typed, and their retry semantics follow
+    /// [`SnapshotError::is_transient`]: a *transient* I/O failure (the file
+    /// briefly unreadable) leaves the snapshot pending, so the next call —
+    /// e.g. the scheduler's admission retry — attempts the load again; a
+    /// *permanent* failure (corruption, fingerprint mismatch) is sticky and
+    /// every future call reports the recorded error without touching the
+    /// file.
     ///
     /// The scheduler calls this at admission, so a job against a corrupt
     /// snapshot is rejected synchronously at submit time rather than failing
     /// in a dispatcher.
     pub fn ensure_loaded(&self) -> Result<&LabeledGraph, ServiceError> {
-        let result = self.graph.get_or_init(|| {
-            let (path, mode) = self
-                .source
-                .as_ref()
-                .expect("unloaded snapshot always has a file source");
-            // The file may have been swapped since registration (atomic
-            // re-persist): re-probe the header so the graph served under
-            // this handle is always the one that was registered.
-            let info = io::probe_snapshot(path)?;
+        if let Some(graph) = self.graph.get() {
+            return Ok(graph);
+        }
+        // The failure slot doubles as the load lock: concurrent first uses
+        // serialize here instead of loading the file N times.
+        let mut failure = self.load_failure.lock().expect("snapshot load lock");
+        if let Some(graph) = self.graph.get() {
+            return Ok(graph); // a concurrent loader won while we waited
+        }
+        if let Some(error) = failure.as_ref() {
+            return Err(ServiceError::Snapshot(error.clone()));
+        }
+        let (path, mode) = self
+            .source
+            .as_ref()
+            .expect("unloaded snapshot always has a file source");
+        // The file may have been swapped since registration (atomic
+        // re-persist): re-probe the header so the graph served under
+        // this handle is always the one that was registered.
+        let result = io::probe_snapshot(path).and_then(|info| {
             if info.fingerprint != self.fingerprint {
                 return Err(SnapshotError::Corrupt(format!(
                     "snapshot {} now has fingerprint {:#018x}, registered as {:#018x}",
@@ -131,9 +157,20 @@ impl GraphSnapshot {
             }
             io::open_snapshot(path, *mode)
         });
-        result
-            .as_ref()
-            .map_err(|e| ServiceError::Snapshot(e.clone()))
+        match result {
+            Ok(graph) => {
+                self.graph
+                    .set(graph)
+                    .unwrap_or_else(|_| unreachable!("loads are serialized by the failure lock"));
+                Ok(self.graph.get().expect("just set"))
+            }
+            Err(error) => {
+                if !error.is_transient() {
+                    *failure = Some(error.clone());
+                }
+                Err(ServiceError::Snapshot(error))
+            }
+        }
     }
 
     /// The graph itself.
@@ -465,8 +502,39 @@ mod tests {
         let err = snap.ensure_loaded().expect_err("must fail");
         assert!(matches!(err, ServiceError::Snapshot(_)), "{err}");
         assert!(!snap.is_loaded());
-        // Sticky: the second call reports the same failure without retrying.
+        // Sticky: corruption is a property of the bytes, so even repairing
+        // the file does not resurrect this handle — the recorded permanent
+        // error is reported without re-reading anything.
+        bytes[io::SNAPSHOT_PAGE] ^= 0xff;
+        std::fs::write(&path, &bytes).expect("repair");
         assert!(snap.ensure_loaded().is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn transient_io_failures_are_retryable_not_sticky() {
+        let g = toy();
+        let dir = temp_dir("transient");
+        let path = dir.join("toy.snap2");
+        io::save_snapshot_v2(&path, &g).expect("save");
+        let catalog = GraphCatalog::new();
+        let snap = catalog
+            .register_snapshot_file("toy", &path, LoadMode::Mapped)
+            .expect("register");
+        // A transient outage: the file is briefly gone (mid-replacement, a
+        // flaky mount), which surfaces as a transient `SnapshotError::Io`.
+        let bytes = std::fs::read(&path).expect("read");
+        std::fs::remove_file(&path).expect("remove");
+        let err = snap.ensure_loaded().expect_err("missing file must surface");
+        match &err {
+            ServiceError::Snapshot(e) => assert!(e.is_transient(), "{e}"),
+            other => panic!("unexpected error: {other}"),
+        }
+        assert!(!snap.is_loaded());
+        std::fs::write(&path, &bytes).expect("restore");
+        // Not sticky: the next attempt reads the (healthy) file and loads.
+        assert_eq!(snap.ensure_loaded().expect("retry").vertex_count(), 3);
+        assert!(snap.is_loaded());
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -58,6 +58,28 @@ impl fmt::Display for ServiceError {
     }
 }
 
+impl ServiceError {
+    /// Whether retrying the same submission can plausibly succeed.
+    ///
+    /// This is the classification the scheduler's
+    /// [`RetryPolicy`](spidermine_faultline::RetryPolicy) consults: transient
+    /// snapshot I/O (see [`SnapshotError::is_transient`]), a momentarily full
+    /// queue, and panicked runs (tail tolerance for one poisoned execution)
+    /// are retryable; validation failures, unknown graphs, engine errors and
+    /// permanent snapshot corruption never are — retrying a request that is
+    /// *wrong* only repeats the rejection.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            ServiceError::Snapshot(e) => e.is_transient(),
+            ServiceError::QueueFull { .. } | ServiceError::JobPanicked(_) => true,
+            ServiceError::UnknownGraph(_)
+            | ServiceError::InvalidRequest(_)
+            | ServiceError::JobFailed(_)
+            | ServiceError::ShuttingDown => false,
+        }
+    }
+}
+
 impl std::error::Error for ServiceError {}
 
 impl From<SnapshotError> for ServiceError {

@@ -64,6 +64,7 @@ pub use scheduler::{
     JobHandle, JobMetrics, JobScheduler, JobStatus, PatternObserver, Priority, ServiceConfig,
     ServiceMetrics, SubmitOptions,
 };
+pub use spidermine_faultline::RetryPolicy;
 
 use spidermine_engine::MineRequest;
 use std::sync::Arc;
@@ -130,6 +131,15 @@ impl MiningService {
     /// The underlying scheduler, for queue inspection or cache clearing.
     pub fn scheduler(&self) -> &JobScheduler {
         &self.scheduler
+    }
+
+    /// Graceful drain: stops accepting jobs, gives in-flight work until
+    /// `deadline` to finish, then cancels the stragglers and waits for them
+    /// to settle. Returns `true` if nothing had to be cancelled. Takes
+    /// `&self`, so a shared service (e.g. behind the transport server) can
+    /// be drained; see [`JobScheduler::drain`].
+    pub fn drain(&self, deadline: std::time::Duration) -> bool {
+        self.scheduler.drain(deadline)
     }
 
     /// Stops accepting jobs, drains the queue, joins the dispatchers.

@@ -22,10 +22,11 @@ use crate::clients::{ClientRegistry, ClientStats};
 use crate::error::ServiceError;
 use rayon::CachePadded;
 use spidermine_engine::{Engine, GraphSource, MineError, MineOutcome, MineRequest, Miner};
+use spidermine_faultline::{self as faultline, RetryPolicy};
 use spidermine_mining::context::{CancelToken, MineContext, StreamedPattern};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, Weak};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -48,6 +49,13 @@ pub struct ServiceConfig {
     /// this are rejected at submission. `None` leaves the engine's own cap
     /// (`rayon::MAX_WORKERS`) as the only limit.
     pub max_threads_per_job: Option<usize>,
+    /// Default retry policy for *transient* failures: snapshot-load I/O
+    /// errors at admission and panicked engine runs at execution. Permanent
+    /// failures (validation, unknown graph, engine errors, corruption) are
+    /// never retried regardless of this policy. Per-job override via
+    /// [`SubmitOptions::retry`]; retry counts land in [`JobMetrics::retries`]
+    /// and [`ServiceMetrics::retries`].
+    pub retry: RetryPolicy,
 }
 
 impl Default for ServiceConfig {
@@ -57,6 +65,7 @@ impl Default for ServiceConfig {
             dispatchers: 2,
             cache_capacity: 128,
             max_threads_per_job: None,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -99,6 +108,9 @@ pub struct SubmitOptions {
     /// counters ([`JobScheduler::clients`]). `None` leaves the registry
     /// untouched.
     pub client: Option<String>,
+    /// Per-job retry policy for transient failures, overriding
+    /// [`ServiceConfig::retry`]. `None` uses the service default.
+    pub retry: Option<RetryPolicy>,
 }
 
 impl std::fmt::Debug for SubmitOptions {
@@ -107,6 +119,7 @@ impl std::fmt::Debug for SubmitOptions {
             .field("priority", &self.priority)
             .field("observer", &self.observer.as_ref().map(|_| "Fn"))
             .field("client", &self.client)
+            .field("retry", &self.retry)
             .finish()
     }
 }
@@ -158,6 +171,11 @@ pub struct JobMetrics {
     /// True if the outcome was served from the result cache (including
     /// being served by a concurrent identical job's single-flight leader).
     pub from_cache: bool,
+    /// Execution retries this job consumed: how many times a transient
+    /// failure (a panicked run) was retried under the job's
+    /// [`RetryPolicy`] before the recorded terminal status. `0` for jobs
+    /// that succeeded (or failed permanently) on the first attempt.
+    pub retries: u32,
 }
 
 /// Service-wide counter snapshot, from [`JobScheduler::metrics`].
@@ -183,6 +201,10 @@ pub struct ServiceMetrics {
     /// Merged-group embedding drops across all outcomes
     /// ([`MineOutcome::dropped_embeddings`]).
     pub embeddings_dropped: u64,
+    /// Transient-failure retries across the service: snapshot-load retries
+    /// at admission plus panicked-run retries at execution. A persistently
+    /// climbing value under steady load means some dependency is flapping.
+    pub retries: u64,
     /// Result-cache counters.
     pub cache: CacheStats,
     /// Jobs currently waiting to execute (queued + parked).
@@ -300,6 +322,7 @@ struct QueuedJob {
     key: CacheKey,
     submitted: Instant,
     observer: Option<PatternObserver>,
+    retry: RetryPolicy,
 }
 
 #[derive(Default)]
@@ -333,6 +356,7 @@ struct Counters {
     run_time_us: CachePadded<AtomicU64>,
     patterns: CachePadded<AtomicU64>,
     dropped: CachePadded<AtomicU64>,
+    retries: CachePadded<AtomicU64>,
 }
 
 struct SchedulerCore {
@@ -350,6 +374,10 @@ struct SchedulerCore {
     next_id: AtomicU64,
     counters: Counters,
     clients: ClientRegistry,
+    /// Every admitted job, weakly: the graceful-drain path walks this to
+    /// find what is still in flight (queued, parked, or running) and to
+    /// fire cancel tokens at the deadline. Pruned opportunistically.
+    live: Mutex<Vec<Weak<JobShared>>>,
 }
 
 /// The scheduler: bounded admission, priority dispatch, cache-aware
@@ -384,6 +412,7 @@ impl JobScheduler {
             next_id: AtomicU64::new(0),
             counters: Counters::default(),
             clients: ClientRegistry::new(),
+            live: Mutex::new(Vec::new()),
         });
         let workers = (0..dispatchers)
             .map(|i| {
@@ -498,8 +527,24 @@ impl JobScheduler {
         // Materialize file-backed snapshots here, so a corrupt or vanished
         // snapshot file surfaces as a typed admission error instead of a
         // dispatcher-side panic. For already-loaded graphs this is a single
-        // atomic load.
-        snapshot.ensure_loaded()?;
+        // atomic load. Transient I/O failures (the catalog leaves those
+        // retryable, unlike permanent corruption) are retried under the
+        // job's policy before the submission is rejected.
+        let retry = options.retry.unwrap_or(self.core.config.retry);
+        let mut load_attempts = 0u32;
+        loop {
+            match snapshot.ensure_loaded() {
+                Ok(_) => break,
+                Err(error) => {
+                    load_attempts += 1;
+                    if !error.is_transient() || !retry.should_retry(load_attempts) {
+                        return Err(error);
+                    }
+                    self.core.counters.retries.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(retry.delay_for(load_attempts, snapshot.fingerprint()));
+                }
+            }
+        }
         let key = CacheKey {
             graph: graph.to_owned(),
             fingerprint: snapshot.fingerprint(),
@@ -526,6 +571,7 @@ impl JobScheduler {
             key,
             submitted: Instant::now(),
             observer: options.observer,
+            retry,
         };
 
         {
@@ -542,6 +588,16 @@ impl JobScheduler {
                 });
             }
             queues.lanes[options.priority as usize].push_back(job);
+        }
+        {
+            let mut live = self.core.live.lock().expect("live lock");
+            if live.len() >= 256 {
+                live.retain(|w| {
+                    w.upgrade()
+                        .is_some_and(|s| !s.state.lock().expect("job lock").status.is_terminal())
+                });
+            }
+            live.push(Arc::downgrade(&shared));
         }
         self.core.counters.submitted.fetch_add(1, Ordering::Relaxed);
         self.core.available.notify_one();
@@ -561,6 +617,7 @@ impl JobScheduler {
             run_time_total: Duration::from_micros(c.run_time_us.load(Ordering::Relaxed)),
             patterns_emitted: c.patterns.load(Ordering::Relaxed),
             embeddings_dropped: c.dropped.load(Ordering::Relaxed),
+            retries: c.retries.load(Ordering::Relaxed),
             cache: self.core.cache.stats(),
             queue_depth: self.queue_depth(),
             clients: self.core.clients.snapshot(),
@@ -578,6 +635,47 @@ impl JobScheduler {
     /// Drops every completed entry from the result cache.
     pub fn clear_cache(&self) {
         self.core.cache.clear();
+    }
+
+    /// Graceful drain: stops accepting submissions, gives in-flight work
+    /// (queued, parked, and running jobs) until `deadline` to finish, then
+    /// fires the cancel token of everything still live and waits for the
+    /// cooperative wind-down to settle. Returns `true` if every job
+    /// finished on its own (no forced cancellation).
+    ///
+    /// Every waiter resolves: running jobs settle `Done`, `Failed`, or —
+    /// after a forced cancel — `Cancelled` with a valid partial outcome;
+    /// queued jobs whose token fired resolve `Cancelled` when a dispatcher
+    /// reaches them; parked duplicates are drained by their leader and,
+    /// with their tokens fired, resolve `Cancelled` instead of re-mining.
+    /// Takes `&self` so a shared scheduler (e.g. behind the transport
+    /// server) can be drained; the dispatcher threads themselves are joined
+    /// later by [`JobScheduler::shutdown`] / drop.
+    pub fn drain(&self, deadline: Duration) -> bool {
+        const POLL: Duration = Duration::from_millis(2);
+        self.core.shutdown.store(true, Ordering::Release);
+        self.core.available.notify_all();
+        let deadline_at = Instant::now() + deadline;
+        loop {
+            if live_jobs(&self.core).is_empty() {
+                return true;
+            }
+            if Instant::now() >= deadline_at {
+                break;
+            }
+            std::thread::sleep(POLL);
+        }
+        let stragglers = live_jobs(&self.core);
+        let clean = stragglers.is_empty();
+        for job in &stragglers {
+            job.cancel.fire();
+        }
+        // Cancellation is cooperative but prompt: queued jobs resolve when a
+        // dispatcher pops them, running jobs at their next cancel poll.
+        while !live_jobs(&self.core).is_empty() {
+            std::thread::sleep(POLL);
+        }
+        clean
     }
 
     /// Stops accepting submissions, lets the dispatchers drain the queue,
@@ -668,6 +766,7 @@ fn run_job(core: &SchedulerCore, job: QueuedJob) {
                     cache_wait: started.elapsed(),
                     patterns: outcome.patterns.len(),
                     from_cache: true,
+                    retries: 0,
                 };
                 finish(core, &job, JobStatus::Done, Some(outcome), None, metrics);
                 return;
@@ -700,17 +799,48 @@ fn run_job(core: &SchedulerCore, job: QueuedJob) {
 /// The leader path: mine under a pending-marker guard, file or withdraw the
 /// cache entry, finish the job. A panicking miner is caught: the guard frees
 /// the key and the job lands Failed instead of stranding `wait()` callers
-/// and killing the dispatcher thread.
+/// and killing the dispatcher thread — and, because a panic is the one
+/// execution failure classified *transient* (a poisoned run, not a wrong
+/// request), it is retried under the job's [`RetryPolicy`] before Failed is
+/// recorded. Engine errors are permanent and never retried.
 fn lead_job(core: &SchedulerCore, job: &QueuedJob, started: Instant) {
     let guard = PendingGuard::new(&core.cache, &job.key);
-    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        let mut ctx = MineContext::with_cancel(job.shared.cancel.clone());
-        if let Some(observer) = job.observer.clone() {
-            ctx = ctx.on_pattern(move |pattern| observer(&pattern));
+    let mut retries = 0u32;
+    let streamed = Arc::new(AtomicU64::new(0));
+    let result = loop {
+        let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            if faultline::check(faultline::FaultSite::ExecRun) == Some(faultline::FaultKind::Panic)
+            {
+                panic!("injected execution fault");
+            }
+            let mut ctx = MineContext::with_cancel(job.shared.cancel.clone());
+            if let Some(observer) = job.observer.clone() {
+                let streamed = streamed.clone();
+                ctx = ctx.on_pattern(move |pattern| {
+                    streamed.fetch_add(1, Ordering::Relaxed);
+                    observer(&pattern);
+                });
+            }
+            job.engine
+                .mine(&GraphSource::Single(job.snapshot.graph()), &mut ctx)
+        }));
+        match attempt {
+            Err(_)
+                if !job.shared.cancel.is_cancelled()
+                    && job.retry.should_retry(retries + 1)
+                    && streamed.load(Ordering::Relaxed) == 0 =>
+            {
+                // Retry only while the observer has seen nothing: a run that
+                // panicked after streaming patterns cannot be restarted
+                // without double-delivering them (the observer contract is
+                // exactly-once), so those land Failed on the first panic.
+                retries += 1;
+                core.counters.retries.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(job.retry.delay_for(retries, job.shared.id));
+            }
+            other => break other,
         }
-        job.engine
-            .mine(&GraphSource::Single(job.snapshot.graph()), &mut ctx)
-    }));
+    };
     let run_time = started.elapsed();
     core.counters
         .run_time_us
@@ -721,6 +851,7 @@ fn lead_job(core: &SchedulerCore, job: &QueuedJob, started: Instant) {
         cache_wait: Duration::ZERO,
         patterns: 0,
         from_cache: false,
+        retries,
     };
     match result {
         Ok(Ok(outcome)) => {
@@ -786,6 +917,17 @@ fn lead_job(core: &SchedulerCore, job: &QueuedJob, started: Instant) {
             }
         }
     }
+}
+
+/// Admitted jobs that have not reached a terminal status, pruning dead and
+/// settled entries from the registry on the way.
+fn live_jobs(core: &SchedulerCore) -> Vec<Arc<JobShared>> {
+    let mut live = core.live.lock().expect("live lock");
+    live.retain(|w| {
+        w.upgrade()
+            .is_some_and(|s| !s.state.lock().expect("job lock").status.is_terminal())
+    });
+    live.iter().filter_map(Weak::upgrade).collect()
 }
 
 /// Jobs currently parked behind in-flight runs.
@@ -1120,6 +1262,7 @@ mod tests {
             next_id: AtomicU64::new(0),
             counters: Counters::default(),
             clients: ClientRegistry::new(),
+            live: Mutex::new(Vec::new()),
         };
         for error in [
             ServiceError::JobFailed(MineError::invalid("k", "must be at least 1")),
@@ -1148,6 +1291,7 @@ mod tests {
                 },
                 submitted: Instant::now(),
                 observer: None,
+                retry: RetryPolicy::none(),
             };
             finish(
                 &core,
@@ -1200,6 +1344,7 @@ mod tests {
                 },
                 submitted: Instant::now(),
                 observer: None,
+                retry: RetryPolicy::none(),
             });
         }
         assert_eq!(queues.pop().expect("high").shared.id, 2);
@@ -1225,6 +1370,7 @@ mod tests {
             next_id: AtomicU64::new(0),
             counters: Counters::default(),
             clients: ClientRegistry::new(),
+            live: Mutex::new(Vec::new()),
         };
         // ORIGAMI demands a transaction database, so mining the catalog's
         // single-graph snapshot errors deterministically mid-run.
@@ -1252,6 +1398,7 @@ mod tests {
                 },
                 submitted: Instant::now(),
                 observer: None,
+                retry: RetryPolicy::none(),
             }
         };
 

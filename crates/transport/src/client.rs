@@ -17,11 +17,13 @@ use crate::error::TransportError;
 use crate::frame::{encode_frame, read_frame, Frame, PatternRef};
 use spidermine_engine::wire::{decode_outcome_meta, decode_pattern};
 use spidermine_engine::{MineOutcome, MineRequest, StreamedPattern};
+use spidermine_faultline::{self as faultline, FaultKind, FaultSite, RetryPolicy};
+use spidermine_graph::signature::StableHasher;
 use spidermine_service::ServiceMetrics;
 use std::collections::{HashMap, VecDeque};
 use std::io::Write;
 use std::net::{Shutdown, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex, Weak};
 use std::time::Duration;
 
@@ -56,13 +58,32 @@ struct ClientInner {
     next_id: AtomicU64,
     /// Set once the connection is lost; later submissions fail fast.
     dead: Mutex<Option<TransportError>>,
+    /// Set when the server announces a graceful drain: in-flight results
+    /// keep streaming, but new submissions will be rejected.
+    draining: AtomicBool,
     max_inflight: u64,
+    /// The server's idle timeout from the handshake (0 = none); the
+    /// heartbeat thread beats at a third of it.
+    idle_timeout_ms: u64,
 }
 
 impl ClientInner {
     fn send_frame(&self, frame: &Frame) -> Result<(), TransportError> {
         if let Some(error) = self.dead.lock().expect("dead lock").clone() {
             return Err(error);
+        }
+        // Deterministic fault injection: an injected disconnect severs the
+        // real socket (so the reader thread observes the loss exactly as it
+        // would a peer reset), an injected error reports a failed write.
+        match faultline::check(FaultSite::WireWrite) {
+            Some(FaultKind::Error) => {
+                return Err(TransportError::Io("injected transient write fault".into()))
+            }
+            Some(FaultKind::Disconnect) => {
+                let _ = self.stream.shutdown(Shutdown::Both);
+                return Err(TransportError::Closed);
+            }
+            _ => {}
         }
         let bytes = encode_frame(frame);
         let mut writer = self.writer.lock().expect("writer lock");
@@ -105,6 +126,17 @@ fn reader_loop(mut stream: TcpStream, inner: &Weak<ClientInner>) {
             Err(error) => break error,
         };
         let (id, event) = match frame {
+            Frame::Heartbeat => continue,
+            Frame::Draining { .. } => {
+                // Not terminal: in-flight results keep streaming until the
+                // server's deadline. Flag it so new submissions can avoid a
+                // doomed round-trip (and resilient callers reconnect).
+                let Some(inner) = inner.upgrade() else {
+                    return;
+                };
+                inner.draining.store(true, Ordering::Release);
+                continue;
+            }
             Frame::Accepted { id, job } => (id, Event::Accepted { job }),
             Frame::Rejected { id, rejection } => {
                 (id, Event::Rejected(TransportError::Rejected(rejection)))
@@ -189,8 +221,11 @@ impl MiningClient {
         handshake.flush()?;
         // Handshake happens synchronously, before the reader thread exists,
         // so a rejection (e.g. connection cap) surfaces from `connect`.
-        let max_inflight = match read_frame(&mut handshake)? {
-            Frame::HelloAck { max_inflight } => max_inflight,
+        let (max_inflight, idle_timeout_ms) = match read_frame(&mut handshake)? {
+            Frame::HelloAck {
+                max_inflight,
+                idle_timeout_ms,
+            } => (max_inflight, idle_timeout_ms),
             Frame::Goodbye {
                 rejection: Some(rejection),
                 ..
@@ -213,43 +248,102 @@ impl MiningClient {
             pending: Mutex::new(HashMap::new()),
             next_id: AtomicU64::new(0),
             dead: Mutex::new(None),
+            draining: AtomicBool::new(false),
             max_inflight,
+            idle_timeout_ms,
         });
         let reader_inner = Arc::downgrade(&inner);
         std::thread::Builder::new()
             .name(format!("mine-client-{client_name}"))
             .spawn(move || reader_loop(read_half, &reader_inner))
             .expect("spawn client reader thread");
+        if idle_timeout_ms > 0 {
+            // Heartbeat at a third of the announced window: one lost beat
+            // still leaves two chances before the server reaps us. The
+            // thread holds only a Weak handle, so it dies with the client.
+            let beat_inner = Arc::downgrade(&inner);
+            let interval = Duration::from_millis((idle_timeout_ms / 3).max(1));
+            std::thread::Builder::new()
+                .name(format!("mine-heartbeat-{client_name}"))
+                .spawn(move || loop {
+                    std::thread::sleep(interval);
+                    let Some(inner) = beat_inner.upgrade() else {
+                        return;
+                    };
+                    if inner.send_frame(&Frame::Heartbeat).is_err() {
+                        return;
+                    }
+                })
+                .expect("spawn heartbeat thread");
+        }
         Ok(Self { inner })
     }
 
-    /// [`connect`](Self::connect) with retries: `attempts` tries, sleeping
-    /// `initial_delay` and doubling after each failure. Returns the last
-    /// error if every attempt fails.
+    /// [`connect`](Self::connect) with retries: `attempts` tries with
+    /// exponential backoff from `initial_delay` (jittered, capped — see
+    /// [`RetryPolicy`]). Returns the last error if every attempt fails, or
+    /// immediately on a non-transient refusal (e.g. the connection cap) —
+    /// retrying an *answer* only repeats it.
     pub fn connect_with_backoff(
         addr: impl ToSocketAddrs + Clone,
         client_name: &str,
         attempts: usize,
         initial_delay: Duration,
     ) -> Result<Self, TransportError> {
-        let mut delay = initial_delay;
-        let mut last = TransportError::Io("no connection attempts made".into());
-        for attempt in 0..attempts.max(1) {
+        let policy = RetryPolicy {
+            max_attempts: u32::try_from(attempts.max(1)).unwrap_or(u32::MAX),
+            base_delay: initial_delay,
+            ..RetryPolicy::default()
+        };
+        Self::connect_with_policy(addr, client_name, &policy).map(|(client, _)| client)
+    }
+
+    /// [`connect`](Self::connect) under an explicit [`RetryPolicy`]. On
+    /// success also returns how many attempts it took (1 = first try), so
+    /// callers can surface flakiness instead of silently absorbing it.
+    /// Backoff delays are jittered (seeded by the client name, so a fleet
+    /// of distinctly-named clients never reconnects in lockstep) and capped
+    /// at the policy's `max_delay`.
+    pub fn connect_with_policy(
+        addr: impl ToSocketAddrs + Clone,
+        client_name: &str,
+        policy: &RetryPolicy,
+    ) -> Result<(Self, u32), TransportError> {
+        let mut hasher = StableHasher::new();
+        hasher.write_bytes(client_name.as_bytes());
+        let seed = hasher.finish();
+        let mut attempts = 0u32;
+        loop {
+            attempts += 1;
             match Self::connect(addr.clone(), client_name) {
-                Ok(client) => return Ok(client),
-                Err(error) => last = error,
+                Ok(client) => return Ok((client, attempts)),
+                Err(error) => {
+                    if !error.is_transient() || !policy.should_retry(attempts) {
+                        return Err(error);
+                    }
+                }
             }
-            if attempt + 1 < attempts {
-                std::thread::sleep(delay);
-                delay = delay.saturating_mul(2);
-            }
+            std::thread::sleep(policy.delay_for(attempts, seed));
         }
-        Err(last)
     }
 
     /// The per-client in-flight quota the server announced at handshake.
     pub fn max_inflight(&self) -> u64 {
         self.inner.max_inflight
+    }
+
+    /// The server's idle timeout from the handshake (`None` = the server
+    /// never reaps idle connections). When set, this client heartbeats
+    /// automatically at a third of the window.
+    pub fn idle_timeout(&self) -> Option<Duration> {
+        (self.inner.idle_timeout_ms > 0).then(|| Duration::from_millis(self.inner.idle_timeout_ms))
+    }
+
+    /// True once the server has announced a graceful drain on this
+    /// connection: in-flight jobs keep streaming to completion, but new
+    /// submissions will be rejected — reconnect elsewhere or bail out.
+    pub fn is_draining(&self) -> bool {
+        self.inner.draining.load(Ordering::Acquire)
     }
 
     /// Submits `request` against the server-side graph named `graph`.

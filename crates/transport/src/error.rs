@@ -81,6 +81,10 @@ pub enum TransportError {
     Io(String),
     /// The peer closed the connection at a frame boundary.
     Closed,
+    /// A read deadline (from `set_read_timeout`) expired with no frame. The
+    /// server's idle reaper uses this to tell "peer half-open" from an
+    /// OS-level socket error.
+    TimedOut,
     /// A frame header's magic was not `SPWF`.
     BadMagic([u8; 4]),
     /// A frame header declared a protocol version this build cannot speak.
@@ -125,6 +129,7 @@ impl fmt::Display for TransportError {
         match self {
             TransportError::Io(message) => write!(f, "socket error: {message}"),
             TransportError::Closed => write!(f, "connection closed by peer"),
+            TransportError::TimedOut => write!(f, "read timed out waiting for a frame"),
             TransportError::BadMagic(bytes) => {
                 write!(f, "bad frame magic {bytes:02x?} (expected `SPWF`)")
             }
@@ -146,6 +151,47 @@ impl fmt::Display for TransportError {
             TransportError::Rejected(rejection) => write!(f, "request rejected: {rejection}"),
             TransportError::Job(message) => write!(f, "remote job failed: {message}"),
             TransportError::Protocol(message) => write!(f, "protocol violation: {message}"),
+        }
+    }
+}
+
+impl TransportError {
+    /// Whether reconnecting and resubmitting the same request can plausibly
+    /// succeed.
+    ///
+    /// This is the classification [`ResilientClient`](crate::ResilientClient)
+    /// consults. Connection-lifetime failures — socket errors, the peer
+    /// vanishing, truncated or corrupted-in-transit frames, timeouts, and a
+    /// momentarily full queue — are transient: a fresh connection gets a
+    /// fresh stream, and the server's result cache makes the resubmission
+    /// cheap. Load-shedding rejections (`QueueFull`, `TooManyConnections`,
+    /// `QuotaExceeded`) are transient too: each clears on its own as jobs
+    /// settle or peers disconnect. Protocol-level failures (bad magic,
+    /// unsupported version, undecodable payloads) mean the peers disagree
+    /// about the protocol itself; the remaining rejections and remote job
+    /// failures are answers, not accidents — retrying only repeats them.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            TransportError::Io(_)
+            | TransportError::Closed
+            | TransportError::TimedOut
+            | TransportError::Truncated { .. }
+            | TransportError::ChecksumMismatch { .. } => true,
+            TransportError::Rejected(rejection) => {
+                matches!(
+                    rejection,
+                    WireRejection::QueueFull { .. }
+                        | WireRejection::TooManyConnections { .. }
+                        | WireRejection::QuotaExceeded { .. }
+                )
+            }
+            TransportError::BadMagic(_)
+            | TransportError::UnsupportedVersion(_)
+            | TransportError::UnknownFrameType(_)
+            | TransportError::Oversized { .. }
+            | TransportError::Corrupt(_)
+            | TransportError::Job(_)
+            | TransportError::Protocol(_) => false,
         }
     }
 }

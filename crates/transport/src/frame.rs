@@ -26,6 +26,7 @@
 
 use crate::error::{TransportError, WireRejection};
 use spidermine_engine::wire::{WireReader, WireWriter};
+use spidermine_faultline::{self as faultline, FaultKind, FaultSite};
 use spidermine_graph::signature::StableHasher;
 use spidermine_service::{CacheStats, ClientStats, ServiceMetrics};
 use std::io::{self, Read};
@@ -47,6 +48,7 @@ mod frame_type {
     pub const REQUEST: u16 = 3;
     pub const CANCEL: u16 = 4;
     pub const STATS_REQUEST: u16 = 5;
+    pub const HEARTBEAT: u16 = 6;
     pub const ACCEPTED: u16 = 16;
     pub const REJECTED: u16 = 17;
     pub const PATTERN: u16 = 18;
@@ -54,6 +56,7 @@ mod frame_type {
     pub const FAILED: u16 = 20;
     pub const STATS: u16 = 21;
     pub const GOODBYE: u16 = 22;
+    pub const DRAINING: u16 = 23;
 }
 
 /// One entry of a `Done` frame's outcome-order table: how to materialize
@@ -87,6 +90,11 @@ pub enum Frame {
     HelloAck {
         /// The server's per-client in-flight quota, so clients can pace.
         max_inflight: u64,
+        /// The server's idle-connection timeout in milliseconds (0 = none).
+        /// A client must send *something* — a [`Frame::Heartbeat`] suffices —
+        /// within each window or the server reaps the connection as
+        /// half-open.
+        idle_timeout_ms: u64,
     },
     /// Submit a mining request against a named catalog graph.
     Request {
@@ -107,6 +115,10 @@ pub enum Frame {
         /// Client-chosen id echoed on the `Stats` answer.
         id: u64,
     },
+    /// Connection keep-alive: no payload, no answer. Sent by idle clients so
+    /// the server's idle-timeout reaper can tell "quiet but alive" from
+    /// "half-open".
+    Heartbeat,
     /// The request was admitted to the scheduler.
     Accepted {
         /// Echo of the request id.
@@ -162,6 +174,14 @@ pub enum Frame {
         /// Human-readable reason.
         message: String,
     },
+    /// The server has begun a graceful drain: new requests will be rejected
+    /// with [`WireRejection::ShuttingDown`], in-flight jobs get until the
+    /// deadline to finish, then the connection closes. Unlike `Goodbye`,
+    /// the connection stays open so in-flight results can still stream.
+    Draining {
+        /// How long in-flight work has to finish, in milliseconds.
+        deadline_ms: u64,
+    },
 }
 
 impl Frame {
@@ -172,6 +192,7 @@ impl Frame {
             Frame::Request { .. } => frame_type::REQUEST,
             Frame::Cancel { .. } => frame_type::CANCEL,
             Frame::StatsRequest { .. } => frame_type::STATS_REQUEST,
+            Frame::Heartbeat => frame_type::HEARTBEAT,
             Frame::Accepted { .. } => frame_type::ACCEPTED,
             Frame::Rejected { .. } => frame_type::REJECTED,
             Frame::Pattern { .. } => frame_type::PATTERN,
@@ -179,6 +200,7 @@ impl Frame {
             Frame::Failed { .. } => frame_type::FAILED,
             Frame::Stats { .. } => frame_type::STATS,
             Frame::Goodbye { .. } => frame_type::GOODBYE,
+            Frame::Draining { .. } => frame_type::DRAINING,
         }
     }
 
@@ -186,7 +208,14 @@ impl Frame {
         let mut w = WireWriter::new();
         match self {
             Frame::Hello { client } => w.put_str(client),
-            Frame::HelloAck { max_inflight } => w.put_u64(*max_inflight),
+            Frame::HelloAck {
+                max_inflight,
+                idle_timeout_ms,
+            } => {
+                w.put_u64(*max_inflight);
+                w.put_u64(*idle_timeout_ms);
+            }
+            Frame::Heartbeat => {}
             Frame::Request { id, graph, request } => {
                 w.put_u64(*id);
                 w.put_str(graph);
@@ -247,6 +276,7 @@ impl Frame {
                 }
                 w.put_str(message);
             }
+            Frame::Draining { deadline_ms } => w.put_u64(*deadline_ms),
         }
         w.into_bytes()
     }
@@ -259,7 +289,9 @@ impl Frame {
             },
             frame_type::HELLO_ACK => Frame::HelloAck {
                 max_inflight: r.get_u64()?,
+                idle_timeout_ms: r.get_u64()?,
             },
+            frame_type::HEARTBEAT => Frame::Heartbeat,
             frame_type::REQUEST => Frame::Request {
                 id: r.get_u64()?,
                 graph: r.get_str()?.to_owned(),
@@ -335,6 +367,9 @@ impl Frame {
                     message: r.get_str()?.to_owned(),
                 }
             }
+            frame_type::DRAINING => Frame::Draining {
+                deadline_ms: r.get_u64()?,
+            },
             other => return Err(TransportError::UnknownFrameType(other)),
         };
         r.finish()?;
@@ -404,6 +439,7 @@ fn put_metrics(w: &mut WireWriter, m: &ServiceMetrics) {
     w.put_u64(m.completed);
     w.put_u64(m.cancelled);
     w.put_u64(m.failed);
+    w.put_u64(m.retries);
     w.put_u64(duration_ns(m.queue_wait_total));
     w.put_u64(duration_ns(m.run_time_total));
     w.put_u64(m.patterns_emitted);
@@ -430,6 +466,7 @@ fn get_metrics(r: &mut WireReader<'_>) -> Result<ServiceMetrics, TransportError>
         completed: r.get_u64()?,
         cancelled: r.get_u64()?,
         failed: r.get_u64()?,
+        retries: r.get_u64()?,
         queue_wait_total: Duration::from_nanos(r.get_u64()?),
         run_time_total: Duration::from_nanos(r.get_u64()?),
         patterns_emitted: r.get_u64()?,
@@ -514,6 +551,17 @@ fn read_exact_or(
             }
             Ok(n) => filled += n,
             Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            // A read timeout (from `set_read_timeout`) gets its own variant:
+            // the server's idle reaper treats it as "peer possibly half-open",
+            // which is a different decision than an OS-level socket error.
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                return Err(TransportError::TimedOut)
+            }
             Err(e) => return Err(e.into()),
         }
     }
@@ -528,6 +576,18 @@ fn read_exact_or(
 /// variant. A clean close at a frame boundary is [`TransportError::Closed`];
 /// an EOF anywhere inside a frame is [`TransportError::Truncated`].
 pub fn read_frame(reader: &mut impl Read) -> Result<Frame, TransportError> {
+    // Deterministic fault injection (no-op single atomic load when
+    // disarmed). Error/Disconnect short-circuit before touching the stream
+    // — both tear the connection down, exactly as the real failures would;
+    // corruption kinds are applied to the payload after it is read, below.
+    let injected = faultline::check(FaultSite::WireRead);
+    match injected {
+        Some(FaultKind::Error) => {
+            return Err(TransportError::Io("injected transient read fault".into()))
+        }
+        Some(FaultKind::Disconnect) => return Err(TransportError::Closed),
+        _ => {}
+    }
     let mut header = [0u8; HEADER_LEN];
     read_exact_or(reader, &mut header, HEADER_LEN, true)?;
     let magic: [u8; 4] = header[0..4].try_into().unwrap();
@@ -539,7 +599,7 @@ pub fn read_frame(reader: &mut impl Read) -> Result<Frame, TransportError> {
         return Err(TransportError::UnsupportedVersion(version));
     }
     let frame_type = u16::from_le_bytes(header[6..8].try_into().unwrap());
-    if !matches!(frame_type, 1..=5 | 16..=22) {
+    if !matches!(frame_type, 1..=6 | 16..=23) {
         return Err(TransportError::UnknownFrameType(frame_type));
     }
     let declared = u32::from_le_bytes(header[8..12].try_into().unwrap()) as usize;
@@ -552,6 +612,17 @@ pub fn read_frame(reader: &mut impl Read) -> Result<Frame, TransportError> {
     let stored = u64::from_le_bytes(header[12..20].try_into().unwrap());
     let mut payload = vec![0u8; declared];
     read_exact_or(reader, &mut payload, HEADER_LEN + declared, false)?;
+    if let Some(kind @ (FaultKind::BitFlip { .. } | FaultKind::Truncate { .. })) = injected {
+        faultline::corrupt_buffer(&mut payload, kind);
+        if matches!(kind, FaultKind::Truncate { .. }) {
+            // A short payload is exactly what mid-frame EOF produces.
+            return Err(TransportError::Truncated {
+                expected: HEADER_LEN + declared,
+                actual: HEADER_LEN + payload.len(),
+            });
+        }
+        // A bit-flip falls through to the checksum, which must catch it.
+    }
     let computed = checksum(version, frame_type, declared as u32, &payload);
     if stored != computed {
         return Err(TransportError::ChecksumMismatch { stored, computed });
@@ -568,7 +639,11 @@ mod tests {
             Frame::Hello {
                 client: "tester".into(),
             },
-            Frame::HelloAck { max_inflight: 8 },
+            Frame::HelloAck {
+                max_inflight: 8,
+                idle_timeout_ms: 30_000,
+            },
+            Frame::Heartbeat,
             Frame::Request {
                 id: 7,
                 graph: "web".into(),
@@ -620,6 +695,7 @@ mod tests {
                 rejection: Some(WireRejection::TooManyConnections { limit: 2 }),
                 message: "at capacity".into(),
             },
+            Frame::Draining { deadline_ms: 1500 },
         ]
     }
 

@@ -23,6 +23,16 @@
 //! - **Disconnect is cancellation.** A client that goes away (cleanly or
 //!   mid-frame) fires the cancel token of its in-flight jobs; the runs wind
 //!   down cooperatively and are recorded as cancelled, not failed.
+//! - **Failure is survivable, and tested under injection.** Transient
+//!   failures are classified ([`TransportError::is_transient`]) and
+//!   [`ResilientClient`] reconnects and resubmits under a jittered
+//!   [`RetryPolicy`] — resubmission is cache-served byte-identical or
+//!   parked on the in-flight original. Servers drain gracefully
+//!   ([`MiningServer::shutdown`] broadcasts a typed `Draining` frame and
+//!   gives in-flight work a deadline), reap idle/half-open connections
+//!   ([`TransportConfig::idle_timeout`], with clients heartbeating
+//!   automatically), and the whole stack holds up under the seeded
+//!   `spidermine-faultline` fault plans swept in `tests/faults.rs`.
 //!
 //! ```no_run
 //! use spidermine_service::{MiningService, ServiceConfig};
@@ -48,9 +58,12 @@
 pub mod client;
 pub mod error;
 pub mod frame;
+pub mod resilient;
 pub mod server;
 
 pub use client::{MiningClient, RemoteJob, RemoteOutcome};
 pub use error::{TransportError, WireRejection};
 pub use frame::{Frame, PatternRef, MAX_PAYLOAD, PROTOCOL_VERSION};
+pub use resilient::ResilientClient;
 pub use server::{MiningServer, TransportConfig};
+pub use spidermine_faultline::RetryPolicy;

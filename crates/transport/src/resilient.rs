@@ -1,0 +1,160 @@
+//! The self-healing client: reconnect-and-resume on transient failures.
+//!
+//! [`ResilientClient`] wraps [`MiningClient`] with the retry loop a caller
+//! would otherwise write by hand: when a submission or its result stream
+//! dies of a *transient* failure ([`TransportError::is_transient`] — the
+//! socket reset, the stream truncated mid-frame, the server drained this
+//! connection), it reconnects under its [`RetryPolicy`] (exponential
+//! backoff, jittered, capped) and resubmits the same request.
+//!
+//! Resubmission is safe — and cheap — because of how the service is built:
+//! requests are keyed by their *canonical* form, so the resubmission maps to
+//! the same result-cache entry the interrupted run was filling. If the first
+//! attempt completed server-side before the stream died, the retry is served
+//! from the cache, byte-identical under the engine's semantic encoding; if it
+//! was still running, single-flight parks the retry on the in-progress run
+//! rather than mining twice. The client never observes a half-resumed
+//! stream: each attempt replays the full pattern sequence from its start.
+//!
+//! Non-transient failures — typed rejections (unknown graph, invalid
+//! request, quota), remote job failures, protocol violations — surface
+//! immediately: they are answers, and retrying an answer only repeats it.
+
+use crate::client::{MiningClient, RemoteOutcome};
+use crate::error::TransportError;
+use spidermine_engine::MineRequest;
+use spidermine_faultline::RetryPolicy;
+use spidermine_graph::signature::StableHasher;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A client that survives connection loss: failures that a fresh connection
+/// can plausibly fix trigger reconnect-and-resubmit under a [`RetryPolicy`];
+/// everything else surfaces unchanged. `&self` throughout, so one instance
+/// can be shared behind an `Arc`.
+pub struct ResilientClient {
+    addr: String,
+    name: String,
+    policy: RetryPolicy,
+    /// The live connection, or `None` after a transient failure dropped it
+    /// (the next call reconnects lazily).
+    inner: Mutex<Option<MiningClient>>,
+    /// Connections re-established after the initial one.
+    reconnects: AtomicU64,
+    /// Submissions retried after a transient failure.
+    retries: AtomicU64,
+}
+
+impl std::fmt::Debug for ResilientClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResilientClient")
+            .field("addr", &self.addr)
+            .field("name", &self.name)
+            .field("policy", &self.policy)
+            .field("reconnects", &self.reconnects)
+            .field("retries", &self.retries)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ResilientClient {
+    /// Connects (itself under `policy` — a server still starting up is a
+    /// transient failure too) and returns the wrapper.
+    pub fn connect(
+        addr: &str,
+        client_name: &str,
+        policy: RetryPolicy,
+    ) -> Result<Self, TransportError> {
+        let (client, _) = MiningClient::connect_with_policy(addr, client_name, &policy)?;
+        Ok(Self {
+            addr: addr.to_owned(),
+            name: client_name.to_owned(),
+            policy,
+            inner: Mutex::new(Some(client)),
+            reconnects: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+        })
+    }
+
+    /// How many times this client has had to re-establish its connection.
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects.load(Ordering::Relaxed)
+    }
+
+    /// How many submissions were retried after a transient failure.
+    pub fn retries(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
+    }
+
+    /// The live connection, reconnecting first if a previous failure
+    /// dropped it. A connection the server is draining counts as dropped:
+    /// it would only answer new work with `ShuttingDown`.
+    fn client(&self) -> Result<MiningClient, TransportError> {
+        let mut guard = self.inner.lock().expect("client lock");
+        if let Some(client) = guard.as_ref() {
+            if !client.is_draining() {
+                return Ok(client.clone());
+            }
+            *guard = None;
+        }
+        let (client, _) = MiningClient::connect_with_policy(&self.addr, &self.name, &self.policy)?;
+        self.reconnects.fetch_add(1, Ordering::Relaxed);
+        *guard = Some(client.clone());
+        Ok(client)
+    }
+
+    /// Submits `request` and blocks to the final outcome, reconnecting and
+    /// resubmitting across transient failures. The returned outcome is
+    /// byte-identical (under the engine's semantic encoding) to an
+    /// uninterrupted run: retries are served from the server's result cache
+    /// or parked on the original in-progress run, never mined divergently.
+    ///
+    /// An *unsolicited* cancellation — a `cancelled` outcome this client
+    /// never asked for, because the server drained or wrote the job off
+    /// with a connection it judged dead — is retried like a transient
+    /// error. Only if the policy exhausts does the partial, cancelled
+    /// outcome surface (`Ok`, with `outcome.cancelled` set).
+    pub fn mine(
+        &self,
+        graph: &str,
+        request: &MineRequest,
+    ) -> Result<RemoteOutcome, TransportError> {
+        let mut hasher = StableHasher::new();
+        hasher.write_bytes(self.name.as_bytes());
+        hasher.write_bytes(graph.as_bytes());
+        let seed = hasher.finish();
+        let mut attempts = 0u32;
+        loop {
+            attempts += 1;
+            let result = self
+                .client()
+                .and_then(|client| client.submit(graph, request))
+                .and_then(|job| job.outcome());
+            match result {
+                // An unsolicited cancellation: this client never cancelled
+                // (it does not even expose the job handle), so the run was
+                // wound down server-side — a drain, or a connection the
+                // server judged dead (its read failed) while the job sat
+                // queued. Both are transient from here: resubmit. Cancelled
+                // outcomes are never cached, so the retry mines fresh or is
+                // served the original complete entry — never the partial.
+                Ok(outcome) if outcome.outcome.cancelled && self.policy.should_retry(attempts) => {
+                    *self.inner.lock().expect("client lock") = None;
+                    self.retries.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(self.policy.delay_for(attempts, seed));
+                }
+                Ok(outcome) => return Ok(outcome),
+                Err(error) if error.is_transient() && self.policy.should_retry(attempts) => {
+                    // Drop the (likely dead) connection; the next iteration
+                    // reconnects. The sleep is the same jittered backoff the
+                    // scheduler uses, so a burst of broken streams does not
+                    // become a thundering reconnect herd.
+                    *self.inner.lock().expect("client lock") = None;
+                    self.retries.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(self.policy.delay_for(attempts, seed));
+                }
+                Err(error) => return Err(error),
+            }
+        }
+    }
+}

@@ -29,6 +29,7 @@ use crate::error::{TransportError, WireRejection};
 use crate::frame::{encode_frame, read_frame, Frame, PatternRef};
 use spidermine_engine::wire::{encode_outcome_meta, encode_pattern};
 use spidermine_engine::MineRequest;
+use spidermine_faultline::{self as faultline, FaultKind, FaultSite};
 use spidermine_graph::signature::StableHasher;
 use spidermine_service::{JobHandle, MiningService, ServiceError, SubmitOptions};
 use std::collections::HashMap;
@@ -37,6 +38,7 @@ use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// Maximum accepted length of the client name in a `Hello`.
 const MAX_CLIENT_NAME: usize = 256;
@@ -50,6 +52,12 @@ pub struct TransportConfig {
     /// In-flight requests one client name may hold across all its
     /// connections; excess requests get [`WireRejection::QuotaExceeded`].
     pub max_inflight_per_client: usize,
+    /// Reap a connection that stays silent this long (`None` = never).
+    /// Announced to clients in the `HelloAck` (as `idle_timeout_ms`) so
+    /// they can heartbeat at a fraction of it; a half-open socket whose
+    /// peer died without a FIN then releases its connection slot instead
+    /// of holding it forever.
+    pub idle_timeout: Option<Duration>,
 }
 
 impl Default for TransportConfig {
@@ -57,17 +65,30 @@ impl Default for TransportConfig {
         Self {
             max_connections: 256,
             max_inflight_per_client: 8,
+            idle_timeout: None,
         }
     }
+}
+
+/// One live connection as the server tracks it: the stream clone (so
+/// `shutdown` can unblock the blocked reader) and the writer-loop channel
+/// (so a drain can inject a `Draining` frame serialized against the
+/// connection's own response traffic).
+struct ConnEntry {
+    stream: TcpStream,
+    frames: mpsc::Sender<Vec<u8>>,
 }
 
 struct ServerShared {
     service: Arc<MiningService>,
     config: TransportConfig,
     shutdown: AtomicBool,
-    /// Live connections, by id — stream clones kept so `shutdown` can
-    /// unblock every reader.
-    connections: Mutex<HashMap<u64, TcpStream>>,
+    /// Set at the start of a graceful drain: connections stay open so
+    /// in-flight results can finish streaming, but new `Request`s are
+    /// answered with [`WireRejection::ShuttingDown`].
+    draining: AtomicBool,
+    /// Live connections, by id.
+    connections: Mutex<HashMap<u64, ConnEntry>>,
     next_conn_id: AtomicU64,
     /// In-flight request count per client name (across connections).
     inflight: Mutex<HashMap<String, usize>>,
@@ -120,6 +141,7 @@ impl MiningServer {
             service,
             config,
             shutdown: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
             connections: Mutex::new(HashMap::new()),
             next_conn_id: AtomicU64::new(0),
             inflight: Mutex::new(HashMap::new()),
@@ -151,40 +173,92 @@ impl MiningServer {
             .len()
     }
 
-    /// Stops accepting, closes every live connection (firing the cancel
-    /// token of each connection's in-flight jobs), and joins every thread.
-    /// Idempotent; also runs on drop.
-    pub fn shutdown(&mut self) {
+    /// Gracefully drains, then shuts down. Idempotent; drop runs it with a
+    /// zero deadline (the old immediate-shutdown behavior).
+    ///
+    /// The drain lifecycle:
+    ///
+    /// 1. Stop accepting new connections, and flag new `Request`s on live
+    ///    connections for rejection with [`WireRejection::ShuttingDown`].
+    /// 2. Broadcast a typed [`Frame::Draining`] (carrying the deadline) on
+    ///    every live connection, serialized with that connection's response
+    ///    stream, so clients learn *before* their next rejection.
+    /// 3. Give in-flight requests until `deadline` to finish streaming.
+    /// 4. Close every socket. Stragglers' readers unblock, and the existing
+    ///    disconnect→cancel path fires their jobs' cancel tokens; the runs
+    ///    wind down cooperatively (recorded cancelled, not failed) and any
+    ///    parked duplicate waiters resolve.
+    /// 5. Join every connection thread.
+    ///
+    /// Returns `true` if every in-flight request finished inside the
+    /// deadline (nothing was cancelled).
+    pub fn shutdown(&mut self, deadline: Duration) -> bool {
         if self.shared.shutdown.swap(true, Ordering::AcqRel) {
-            return;
+            return true;
         }
+        self.shared.draining.store(true, Ordering::Release);
         // Wake the blocking accept with a throwaway connection; it checks
         // the flag after every accept.
         let _ = TcpStream::connect(self.local_addr);
         if let Some(accept) = self.accept.take() {
             let _ = accept.join();
         }
+        // Announce the drain on every live connection's writer channel —
+        // the frame lands between (never inside) response frames.
+        let deadline_ms = u64::try_from(deadline.as_millis()).unwrap_or(u64::MAX);
+        let draining = encode_frame(&Frame::Draining { deadline_ms });
+        {
+            let connections = self.shared.connections.lock().expect("connections lock");
+            for entry in connections.values() {
+                let _ = entry.frames.send(draining.clone());
+            }
+        }
+        // Let in-flight work finish: the quota map empties as waiters settle.
+        const POLL: Duration = Duration::from_millis(2);
+        let start = Instant::now();
+        let mut clean = true;
+        loop {
+            if self
+                .shared
+                .inflight
+                .lock()
+                .expect("inflight lock")
+                .is_empty()
+            {
+                break;
+            }
+            if start.elapsed() >= deadline {
+                clean = false;
+                break;
+            }
+            std::thread::sleep(POLL.min(deadline.saturating_sub(start.elapsed())));
+        }
         let streams: Vec<TcpStream> = {
             let connections = self.shared.connections.lock().expect("connections lock");
             connections
                 .values()
-                .filter_map(|s| s.try_clone().ok())
+                .filter_map(|entry| entry.stream.try_clone().ok())
                 .collect()
         };
         for stream in streams {
-            let _ = stream.shutdown(Shutdown::Both);
+            // Read half only: blocked readers unblock (and the straggler
+            // path fires disconnect→cancel), while each connection's
+            // teardown still drains its writer channel — queued `Done`
+            // frames flush to the client instead of being cut mid-send.
+            let _ = stream.shutdown(Shutdown::Read);
         }
         let threads: Vec<JoinHandle<()>> =
             std::mem::take(&mut *self.shared.threads.lock().expect("threads lock"));
         for thread in threads {
             let _ = thread.join();
         }
+        clean
     }
 }
 
 impl Drop for MiningServer {
     fn drop(&mut self) {
-        self.shutdown();
+        self.shutdown(Duration::ZERO);
     }
 }
 
@@ -220,19 +294,29 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<ServerShared>) {
         // followed by streamed patterns); Nagle + delayed ACK would add
         // ~40ms stalls between them.
         let _ = stream.set_nodelay(true);
+        // The idle reaper: a read that sits this long without a frame (or a
+        // heartbeat) returns `TimedOut`, and the connection — presumed
+        // half-open — is torn down, releasing its slot and quota.
+        let _ = stream.set_read_timeout(shared.config.idle_timeout);
         let conn_id = shared.next_conn_id.fetch_add(1, Ordering::Relaxed);
+        // The writer channel is created here (not in `serve_connection`) so
+        // the registry entry carries the sender: a graceful drain can then
+        // inject its `Draining` frame serialized with response traffic.
+        let (frames_tx, frames_rx) = mpsc::channel::<Vec<u8>>();
         if let Ok(clone) = stream.try_clone() {
-            shared
-                .connections
-                .lock()
-                .expect("connections lock")
-                .insert(conn_id, clone);
+            shared.connections.lock().expect("connections lock").insert(
+                conn_id,
+                ConnEntry {
+                    stream: clone,
+                    frames: frames_tx.clone(),
+                },
+            );
         }
         let conn_shared = shared.clone();
         let thread = std::thread::Builder::new()
             .name(format!("mine-conn-{conn_id}"))
             .spawn(move || {
-                serve_connection(&conn_shared, stream, conn_id);
+                serve_connection(&conn_shared, stream, frames_tx, frames_rx, conn_id);
                 conn_shared
                     .connections
                     .lock()
@@ -250,10 +334,18 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<ServerShared>) {
 /// unblocks and tears the connection down.
 fn writer_loop(mut stream: TcpStream, frames: &mpsc::Receiver<Vec<u8>>) {
     while let Ok(bytes) = frames.recv() {
-        if stream
-            .write_all(&bytes)
-            .and_then(|()| stream.flush())
-            .is_err()
+        // Deterministic fault injection: a disruptive write fault behaves
+        // exactly like the write failing — shut the socket so the reader
+        // tears the connection down (and the client sees a severed stream).
+        let injected = matches!(
+            faultline::check(FaultSite::WireWrite),
+            Some(FaultKind::Error | FaultKind::Disconnect)
+        );
+        if injected
+            || stream
+                .write_all(&bytes)
+                .and_then(|()| stream.flush())
+                .is_err()
         {
             let _ = stream.shutdown(Shutdown::Both);
             // Keep draining so queued senders' messages are dropped cheaply
@@ -289,11 +381,16 @@ fn map_service_error(error: &ServiceError) -> WireRejection {
     }
 }
 
-fn serve_connection(shared: &Arc<ServerShared>, stream: TcpStream, conn_id: u64) {
+fn serve_connection(
+    shared: &Arc<ServerShared>,
+    stream: TcpStream,
+    frames_tx: mpsc::Sender<Vec<u8>>,
+    frames_rx: mpsc::Receiver<Vec<u8>>,
+    conn_id: u64,
+) {
     let Ok(write_half) = stream.try_clone() else {
         return;
     };
-    let (frames_tx, frames_rx) = mpsc::channel::<Vec<u8>>();
     let writer = std::thread::Builder::new()
         .name(format!("mine-conn-{conn_id}-writer"))
         .spawn(move || writer_loop(write_half, &frames_rx))
@@ -313,6 +410,17 @@ fn serve_connection(shared: &Arc<ServerShared>, stream: TcpStream, conn_id: u64)
             Ok(frame) => frame,
             Err(TransportError::Closed) => break,
             Err(TransportError::Io(_)) => break,
+            Err(TransportError::TimedOut) => {
+                // The idle reaper: no frame (not even a heartbeat) inside
+                // the timeout window — presume the peer is half-open and
+                // reclaim the slot. Alive-but-silent peers get a typed
+                // explanation first.
+                send(&Frame::Goodbye {
+                    rejection: None,
+                    message: "idle timeout: no frame within the announced window".into(),
+                });
+                break;
+            }
             Err(error) => {
                 // A malformed frame poisons only this connection: name the
                 // problem, close, and keep serving everyone else.
@@ -335,6 +443,10 @@ fn serve_connection(shared: &Arc<ServerShared>, stream: TcpStream, conn_id: u64)
                 client = Some(name);
                 send(&Frame::HelloAck {
                     max_inflight: shared.config.max_inflight_per_client as u64,
+                    idle_timeout_ms: shared
+                        .config
+                        .idle_timeout
+                        .map_or(0, |t| u64::try_from(t.as_millis()).unwrap_or(u64::MAX)),
                 });
             }
             Frame::Hello { .. } => {
@@ -350,6 +462,19 @@ fn serve_connection(shared: &Arc<ServerShared>, stream: TcpStream, conn_id: u64)
                     message: "first frame must be Hello".into(),
                 });
                 break;
+            }
+            Frame::Heartbeat => {
+                // Keep-alive: the read itself already reset the idle timer;
+                // nothing to answer.
+            }
+            Frame::Request { id, .. } if shared.draining.load(Ordering::Acquire) => {
+                // Mid-drain: in-flight work keeps streaming, new work is
+                // turned away with the same typed rejection the scheduler
+                // would give after shutdown.
+                send(&Frame::Rejected {
+                    id,
+                    rejection: WireRejection::ShuttingDown,
+                });
             }
             Frame::Request { id, graph, request } => {
                 let client = client.clone().expect("handshake done");
@@ -380,7 +505,8 @@ fn serve_connection(shared: &Arc<ServerShared>, stream: TcpStream, conn_id: u64)
             | Frame::Pattern { .. }
             | Frame::Done { .. }
             | Frame::Failed { .. }
-            | Frame::Stats { .. } => {
+            | Frame::Stats { .. }
+            | Frame::Draining { .. } => {
                 send(&Frame::Goodbye {
                     rejection: None,
                     message: "received a server-side frame".into(),
@@ -400,6 +526,14 @@ fn serve_connection(shared: &Arc<ServerShared>, stream: TcpStream, conn_id: u64)
     for waiter in waiters {
         let _ = waiter.join();
     }
+    // Deregister *before* joining the writer: the registry entry holds a
+    // sender clone, and the writer only exits once every sender is gone —
+    // leaving the entry in place until after the join would deadlock.
+    shared
+        .connections
+        .lock()
+        .expect("connections lock")
+        .remove(&conn_id);
     drop(frames_tx);
     let _ = writer.join();
     let _ = reader.shutdown(Shutdown::Both);

@@ -47,6 +47,19 @@
 //! * `--catalog-dir DIR` — with `--serve`: restore the catalog from DIR's
 //!   manifest when one exists (warm restart, header-only registration), or
 //!   persist the freshly registered catalog to DIR for the next restart
+//! * `--fault-plan SPEC` — arm deterministic fault injection for this
+//!   invocation from an explicit plan (`site:nth:kind[=arg]`, comma
+//!   separated — e.g. `wire-write:4:disconnect,disk-read:0:bit-flip=3`);
+//!   the rules that actually fired are reported at exit
+//! * `--chaos SEED`  — arm fault injection from a seeded random plan
+//!   (mutually exclusive with `--fault-plan`); the same seed always
+//!   produces the same plan, so a chaotic run is replayable
+//!
+//! In `--connect` mode with faults armed, the client runs through the
+//! resilient reconnect-and-resume path and prints its retry/reconnect
+//! counters. In `--serve` mode, `SIGTERM`/`SIGINT` triggers a graceful
+//! drain (in-flight jobs get a grace window, clients get a typed
+//! `Draining` notice) instead of an abrupt exit.
 //!
 //! Patterns stream to stdout as the miner accepts them, followed by the
 //! per-stage wall-clock timings of the run — both through the one
@@ -58,12 +71,53 @@ use spidermine_engine::{
     Algorithm, GraphSource, MineContext, MineError, MineRequest, Miner, ProgressEvent,
     SupportMeasure,
 };
+use spidermine_faultline::{FaultInjector, FaultPlan};
 use spidermine_graph::{generate, io, GraphDatabase, LabeledGraph};
 use spidermine_service::{MiningService, ServiceConfig};
-use spidermine_transport::{MiningClient, MiningServer, TransportConfig};
+use spidermine_transport::{
+    MiningClient, MiningServer, ResilientClient, RetryPolicy, TransportConfig,
+};
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
+
+/// How long a SIGTERM-triggered drain lets in-flight jobs finish before
+/// cancelling the stragglers.
+const DRAIN_DEADLINE: Duration = Duration::from_secs(10);
+
+/// SIGTERM/SIGINT → a flag the serve loop polls, so a kill becomes a
+/// graceful drain. Registered through the raw C `signal` entry point (no
+/// external crates; the only thing the handler does is the async-signal-safe
+/// store of one atomic).
+#[cfg(unix)]
+mod sig {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    pub static TERM: AtomicBool = AtomicBool::new(false);
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_term(_signum: i32) {
+        TERM.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        let handler = on_term as extern "C" fn(i32) as usize;
+        unsafe {
+            signal(SIGTERM, handler);
+            signal(SIGINT, handler);
+        }
+    }
+
+    pub fn terminated() -> bool {
+        TERM.load(Ordering::SeqCst)
+    }
+}
 
 struct Cli {
     algo: Algorithm,
@@ -82,11 +136,13 @@ struct Cli {
     connect: Option<String>,
     graph: String,
     catalog_dir: Option<String>,
+    fault_plan: Option<String>,
+    chaos: Option<u64>,
 }
 
 fn usage() -> String {
     format!(
-        "usage: mine [--algo {}] [--sigma N] [--k N] [--dmax N] [--seed N] [--threads N] [--support-measure {}] [--deadline-ms N] [--edges FILE] [--load-graph FILE] [--save-graph FILE] [--serve-demo] [--serve ADDR] [--connect ADDR] [--graph NAME] [--catalog-dir DIR]",
+        "usage: mine [--algo {}] [--sigma N] [--k N] [--dmax N] [--seed N] [--threads N] [--support-measure {}] [--deadline-ms N] [--edges FILE] [--load-graph FILE] [--save-graph FILE] [--serve-demo] [--serve ADDR] [--connect ADDR] [--graph NAME] [--catalog-dir DIR] [--fault-plan SPEC] [--chaos SEED]",
         Algorithm::all().map(|a| a.name()).join("|"),
         SupportMeasure::all().map(|m| m.name()).join("|")
     )
@@ -112,6 +168,8 @@ fn parse_cli() -> Result<Option<Cli>, String> {
         connect: None,
         graph: "gid-a".into(),
         catalog_dir: None,
+        fault_plan: None,
+        chaos: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -170,6 +228,14 @@ fn parse_cli() -> Result<Option<Cli>, String> {
             "--connect" => cli.connect = Some(value("--connect")?),
             "--graph" => cli.graph = value("--graph")?,
             "--catalog-dir" => cli.catalog_dir = Some(value("--catalog-dir")?),
+            "--fault-plan" => cli.fault_plan = Some(value("--fault-plan")?),
+            "--chaos" => {
+                cli.chaos = Some(
+                    value("--chaos")?
+                        .parse()
+                        .map_err(|e| format!("--chaos: {e}"))?,
+                );
+            }
             "--help" | "-h" => {
                 println!("{}", usage());
                 return Ok(None);
@@ -284,8 +350,8 @@ fn serve_demo(cli: &Cli) -> Result<(), String> {
 
     let m = service.metrics();
     println!(
-        "\nservice: {} completed / {} cancelled / {} failed; queue wait total {:.1?}, run total {:.1?}",
-        m.completed, m.cancelled, m.failed, m.queue_wait_total, m.run_time_total
+        "\nservice: {} completed / {} cancelled / {} failed / {} retries; queue wait total {:.1?}, run total {:.1?}",
+        m.completed, m.cancelled, m.failed, m.retries, m.queue_wait_total, m.run_time_total
     );
     println!(
         "cache: {} hits / {} misses / {} evictions ({} resident)",
@@ -340,11 +406,38 @@ fn serve(cli: &Cli, addr: &str) -> Result<(), String> {
             println!("persisted catalog to {dir} (next --serve restarts warm)");
         }
     }
-    let server = MiningServer::bind(addr, service, TransportConfig::default())
+    let mut server = MiningServer::bind(addr, service.clone(), TransportConfig::default())
         .map_err(|e| format!("--serve {addr}: {e}"))?;
-    println!("serving on {}", server.local_addr());
-    loop {
-        std::thread::park();
+    #[cfg(unix)]
+    {
+        sig::install();
+        println!(
+            "serving on {} (SIGTERM/SIGINT drains gracefully, {DRAIN_DEADLINE:?} deadline)",
+            server.local_addr()
+        );
+        while !sig::terminated() {
+            std::thread::sleep(Duration::from_millis(100));
+        }
+        println!("signal received: draining ({DRAIN_DEADLINE:?} deadline) ...");
+        let server_clean = server.shutdown(DRAIN_DEADLINE);
+        let service_clean = service.drain(DRAIN_DEADLINE);
+        let m = service.metrics();
+        println!(
+            "drain complete: clean={} ({} completed, {} cancelled, {} failed, {} retries)",
+            server_clean && service_clean,
+            m.completed,
+            m.cancelled,
+            m.failed,
+            m.retries
+        );
+        Ok(())
+    }
+    #[cfg(not(unix))]
+    {
+        println!("serving on {}", server.local_addr());
+        loop {
+            std::thread::park();
+        }
     }
 }
 
@@ -356,11 +449,46 @@ fn connect(cli: &Cli, addr: &str) -> Result<(), String> {
             cli.algo
         ));
     }
-    let client =
-        MiningClient::connect_with_backoff(addr, "mine-cli", 40, Duration::from_millis(250))
+    let policy = RetryPolicy {
+        max_attempts: 40,
+        base_delay: Duration::from_millis(250),
+        ..RetryPolicy::default()
+    };
+    // With fault injection armed, run through the self-healing client: it
+    // reconnects and resubmits across injected disconnects/corruption, and
+    // its counters show what the chaos actually cost.
+    if spidermine_faultline::armed() {
+        let client = ResilientClient::connect(addr, "mine-cli", policy)
             .map_err(|e| format!("--connect {addr}: {e}"))?;
+        let result = client
+            .mine(&cli.graph, &build_request(cli))
+            .map_err(|e| e.to_string())?;
+        println!(
+            "{}: {} patterns on `{}`{}",
+            result.outcome.algorithm,
+            result.outcome.patterns.len(),
+            cli.graph,
+            if result.outcome.timed_out {
+                " (timed out, partial)"
+            } else if result.outcome.cancelled {
+                " (cancelled, partial)"
+            } else {
+                ""
+            }
+        );
+        println!("cache-served: {}", result.from_cache);
+        println!(
+            "resilience: {} reconnects, {} resubmissions",
+            client.reconnects(),
+            client.retries()
+        );
+        return Ok(());
+    }
+    let (client, attempts) = MiningClient::connect_with_policy(addr, "mine-cli", &policy)
+        .map_err(|e| format!("--connect {addr}: {e}"))?;
     println!(
-        "connected to {addr} (per-client quota: {} in flight)",
+        "connected to {addr} after {attempts} attempt{} (per-client quota: {} in flight)",
+        if attempts == 1 { "" } else { "s" },
         client.max_inflight()
     );
     let mut job = client
@@ -394,8 +522,8 @@ fn connect(cli: &Cli, addr: &str) -> Result<(), String> {
     println!("cache-served: {}", result.from_cache);
     let stats = client.stats().map_err(|e| e.to_string())?;
     println!(
-        "server totals: {} completed, cache {} hits / {} misses",
-        stats.completed, stats.cache.hits, stats.cache.misses
+        "server totals: {} completed ({} retries), cache {} hits / {} misses",
+        stats.completed, stats.retries, stats.cache.hits, stats.cache.misses
     );
     if let Some((_, s)) = stats.clients.iter().find(|(n, _)| n == "mine-cli") {
         println!(
@@ -410,16 +538,47 @@ fn run() -> Result<(), String> {
     let Some(cli) = parse_cli()? else {
         return Ok(()); // --help
     };
+    // Arm deterministic fault injection for the whole invocation. The guard
+    // lives to the end of `run`, and the exit report shows exactly which of
+    // the plan's rules fired — a chaotic run is replayable from its flag.
+    let injector = match (&cli.fault_plan, cli.chaos) {
+        (Some(_), Some(_)) => {
+            return Err("--fault-plan and --chaos are mutually exclusive: pick one".into());
+        }
+        (Some(spec), None) => {
+            let plan = FaultPlan::parse(spec).map_err(|e| format!("--fault-plan: {e}"))?;
+            println!("fault injection armed: {plan}");
+            Some(FaultInjector::install(&plan))
+        }
+        (None, Some(seed)) => {
+            let plan = FaultPlan::random(seed);
+            println!("fault injection armed (chaos seed {seed}): {plan}");
+            Some(FaultInjector::install(&plan))
+        }
+        (None, None) => None,
+    };
+    let result = dispatch(&cli);
+    if let Some(injector) = &injector {
+        let fired = injector.fired();
+        println!("\nfault injection report: {} rule(s) fired", fired.len());
+        for fault in &fired {
+            println!("  {fault}");
+        }
+    }
+    result
+}
+
+fn dispatch(cli: &Cli) -> Result<(), String> {
     if cli.serve_demo {
-        return serve_demo(&cli);
+        return serve_demo(cli);
     }
     if let Some(addr) = &cli.serve {
-        return serve(&cli, addr);
+        return serve(cli, addr);
     }
     if let Some(addr) = &cli.connect {
-        return connect(&cli, addr);
+        return connect(cli, addr);
     }
-    let miner = build_request(&cli)
+    let miner = build_request(cli)
         .build()
         .map_err(|e: MineError| e.to_string())?;
 

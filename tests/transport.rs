@@ -149,7 +149,10 @@ fn malformed_frames_get_typed_goodbyes_and_server_keeps_serving() {
         matches!(poke(addr, &premature), Ok(Frame::Goodbye { .. })),
         "pre-handshake frames must be refused"
     );
-    let server_side = encode_frame(&Frame::HelloAck { max_inflight: 1 });
+    let server_side = encode_frame(&Frame::HelloAck {
+        max_inflight: 1,
+        idle_timeout_ms: 0,
+    });
     let mut handshook = hello.clone();
     handshook.extend_from_slice(&server_side);
     assert!(
@@ -207,6 +210,7 @@ fn admission_rejections_are_typed_not_closed_sockets() {
         TransportConfig {
             max_connections: 2,
             max_inflight_per_client: 2,
+            ..TransportConfig::default()
         },
     );
 
