@@ -584,12 +584,28 @@ impl Miner for Engine {
         if let Some(deadline) = self.deadline {
             ctx.set_deadline_in(deadline);
         }
-        match self.threads {
+        // One `engine_mine` span per run, under the caller's trace identity
+        // (the scheduler's `running` span; (0, 0) for untraced callers), and
+        // one end-to-end latency observation per algorithm in the
+        // process-wide registry. Both happen once per run — the mining hot
+        // path inside stays allocation-free.
+        let (trace, parent) = ctx.trace();
+        let span = spidermine_telemetry::span_start("engine_mine", trace, parent);
+        let started = Instant::now();
+        let result = match self.threads {
             // Pin every parallel region of the run to the requested width
             // (the pool grows on demand if the width exceeds it). The
             // outcome's `threads` field reports this effective count.
             Some(threads) => rayon::with_width(threads, || self.kind.mine(host, ctx)),
             None => self.kind.mine(host, ctx),
-        }
+        };
+        spidermine_telemetry::global()
+            .histogram(&format!(
+                "engine_mine_nanos{{algorithm=\"{}\"}}",
+                self.kind.algorithm().name()
+            ))
+            .observe_duration(started.elapsed());
+        spidermine_telemetry::span_end("engine_mine", trace, span);
+        result
     }
 }

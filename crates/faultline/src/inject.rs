@@ -142,6 +142,10 @@ fn check_armed(site: FaultSite) -> Option<FaultKind> {
             nth: n,
             kind: rule.kind,
         });
+        // Tie the fault log into the telemetry timeline: with the flight
+        // recorder armed, the firing shows up between the spans of whatever
+        // job it hit.
+        spidermine_telemetry::fault_event(site.name(), 0, n);
         return match rule.kind {
             // Latency faults resolve here: sleep, then let the operation
             // proceed. Call sites never see them.

@@ -93,6 +93,7 @@ use crate::signature::{graph_fingerprint, StableHasher};
 use crate::transaction::GraphDatabase;
 use mmap_lite::{AlignedBuf, Mmap};
 use spidermine_faultline as faultline;
+use spidermine_telemetry as telemetry;
 use std::fmt::Write as _;
 use std::io::{Read as _, Write as _};
 use std::path::Path;
@@ -600,6 +601,10 @@ fn validate_csr_structure(
 /// scans skip it.
 pub fn atomic_write(path: impl AsRef<Path>, bytes: &[u8]) -> std::io::Result<()> {
     let path = path.as_ref();
+    let io = io_metrics();
+    io.writes.inc();
+    io.write_bytes.add(bytes.len() as u64);
+    let started = std::time::Instant::now();
     if faultline::check(faultline::FaultSite::DiskWrite).is_some() {
         // Injected before the temp file exists, so the atomic-write
         // invariant (old content or new, never partial) holds trivially.
@@ -622,6 +627,46 @@ pub fn atomic_write(path: impl AsRef<Path>, bytes: &[u8]) -> std::io::Result<()>
     if result.is_err() {
         std::fs::remove_file(&tmp).ok();
     }
+    io.write_nanos.observe_duration(started.elapsed());
+    result
+}
+
+/// Process-global snapshot I/O metrics: registry handles resolved once, so
+/// the I/O paths never take the registry lock.
+struct IoMetrics {
+    writes: telemetry::Counter,
+    write_bytes: telemetry::Counter,
+    write_nanos: telemetry::Histogram,
+    loads: telemetry::Counter,
+    load_errors: telemetry::Counter,
+    load_nanos: telemetry::Histogram,
+}
+
+fn io_metrics() -> &'static IoMetrics {
+    static METRICS: std::sync::OnceLock<IoMetrics> = std::sync::OnceLock::new();
+    METRICS.get_or_init(|| {
+        let reg = telemetry::global();
+        IoMetrics {
+            writes: reg.counter("snapshot_writes_total"),
+            write_bytes: reg.counter("snapshot_write_bytes_total"),
+            write_nanos: reg.histogram("snapshot_write_nanos"),
+            loads: reg.counter("snapshot_loads_total"),
+            load_errors: reg.counter("snapshot_load_errors_total"),
+            load_nanos: reg.histogram("snapshot_load_nanos"),
+        }
+    })
+}
+
+/// Counts and times one snapshot load attempt around `f`.
+fn observe_load<T>(f: impl FnOnce() -> Result<T, SnapshotError>) -> Result<T, SnapshotError> {
+    let io = io_metrics();
+    io.loads.inc();
+    let started = std::time::Instant::now();
+    let result = f();
+    io.load_nanos.observe_duration(started.elapsed());
+    if result.is_err() {
+        io.load_errors.inc();
+    }
     result
 }
 
@@ -636,12 +681,14 @@ pub fn save_snapshot(path: impl AsRef<Path>, graph: &LabeledGraph) -> Result<(),
 /// Reads a v1 binary snapshot file back into a [`LabeledGraph`].
 pub fn load_snapshot(path: impl AsRef<Path>) -> Result<LabeledGraph, SnapshotError> {
     let path = path.as_ref();
-    let mut bytes =
-        std::fs::read(path).map_err(|e| SnapshotError::Io(format!("{}: {e}", path.display())))?;
-    if let Some(kind) = faultline::check(faultline::FaultSite::DiskRead) {
-        apply_injected_read_fault(&mut bytes, kind, path)?;
-    }
-    graph_from_snapshot(&bytes)
+    observe_load(|| {
+        let mut bytes = std::fs::read(path)
+            .map_err(|e| SnapshotError::Io(format!("{}: {e}", path.display())))?;
+        if let Some(kind) = faultline::check(faultline::FaultSite::DiskRead) {
+            apply_injected_read_fault(&mut bytes, kind, path)?;
+        }
+        graph_from_snapshot(&bytes)
+    })
 }
 
 #[inline]
@@ -1112,31 +1159,33 @@ pub fn load_snapshot_v2(
     mode: LoadMode,
 ) -> Result<LabeledGraph, SnapshotError> {
     let path = path.as_ref();
-    let io_err = |e: std::io::Error| SnapshotError::Io(format!("{}: {e}", path.display()));
-    if let Some(kind) = faultline::check(faultline::FaultSite::DiskRead) {
-        // A mapped file is read-only, so corruption faults fall back to a
-        // buffered read where the injected damage can actually land; the
-        // normal section-checksum validation then classifies it.
-        let mut bytes = std::fs::read(path).map_err(io_err)?;
-        apply_injected_read_fault(&mut bytes, kind, path)?;
-        let eager = matches!(mode, LoadMode::Eager);
-        return graph_from_shared(SharedBytes::new(AlignedBuf::from_bytes(&bytes)), eager);
-    }
-    let mut file = std::fs::File::open(path).map_err(io_err)?;
-    match mode {
-        LoadMode::Mapped if Mmap::supported() => {
-            let map = Mmap::map(&file).map_err(io_err)?;
-            graph_from_shared(SharedBytes::new(map), false)
+    observe_load(|| {
+        let io_err = |e: std::io::Error| SnapshotError::Io(format!("{}: {e}", path.display()));
+        if let Some(kind) = faultline::check(faultline::FaultSite::DiskRead) {
+            // A mapped file is read-only, so corruption faults fall back to a
+            // buffered read where the injected damage can actually land; the
+            // normal section-checksum validation then classifies it.
+            let mut bytes = std::fs::read(path).map_err(io_err)?;
+            apply_injected_read_fault(&mut bytes, kind, path)?;
+            let eager = matches!(mode, LoadMode::Eager);
+            return graph_from_shared(SharedBytes::new(AlignedBuf::from_bytes(&bytes)), eager);
         }
-        LoadMode::Mapped | LoadMode::Buffered => {
-            let buf = AlignedBuf::read(&mut file).map_err(io_err)?;
-            graph_from_shared(SharedBytes::new(buf), false)
+        let mut file = std::fs::File::open(path).map_err(io_err)?;
+        match mode {
+            LoadMode::Mapped if Mmap::supported() => {
+                let map = Mmap::map(&file).map_err(io_err)?;
+                graph_from_shared(SharedBytes::new(map), false)
+            }
+            LoadMode::Mapped | LoadMode::Buffered => {
+                let buf = AlignedBuf::read(&mut file).map_err(io_err)?;
+                graph_from_shared(SharedBytes::new(buf), false)
+            }
+            LoadMode::Eager => {
+                let buf = AlignedBuf::read(&mut file).map_err(io_err)?;
+                graph_from_shared(SharedBytes::new(buf), true)
+            }
         }
-        LoadMode::Eager => {
-            let buf = AlignedBuf::read(&mut file).map_err(io_err)?;
-            graph_from_shared(SharedBytes::new(buf), true)
-        }
-    }
+    })
 }
 
 /// Loads a snapshot file of either format: v1 decodes eagerly, v2 is backed

@@ -116,6 +116,11 @@ pub struct MineContext {
     /// which case a run configured with a *different* measure gets a fresh
     /// auto-oracle instead of silently inheriting the old measure's memo.
     oracle_explicit: bool,
+    /// Telemetry identity of this run: the job's trace id and the span the
+    /// run's stage spans parent under (both 0 when untraced). Set by the
+    /// scheduler before dispatch, or adopted from the wire for remote jobs.
+    trace_id: u64,
+    trace_parent: u64,
 }
 
 impl std::fmt::Debug for MineContext {
@@ -198,6 +203,25 @@ impl MineContext {
         self.cancel.clone()
     }
 
+    /// Adopts a telemetry identity: `trace` is the job's trace id and
+    /// `parent` the span id the run's stage spans nest under. With tracing
+    /// disarmed (or ids left at 0) the hooks stay single-load no-ops.
+    pub fn set_trace(&mut self, trace: u64, parent: u64) {
+        self.trace_id = trace;
+        self.trace_parent = parent;
+    }
+
+    /// Builder-style [`MineContext::set_trace`].
+    pub fn with_trace(mut self, trace: u64, parent: u64) -> Self {
+        self.set_trace(trace, parent);
+        self
+    }
+
+    /// The run's `(trace id, parent span id)`, `(0, 0)` when untraced.
+    pub fn trace(&self) -> (u64, u64) {
+        (self.trace_id, self.trace_parent)
+    }
+
     /// Arms (or re-arms) a wall-clock deadline `budget` from now (builder
     /// style). See [`MineContext::set_deadline_in`].
     pub fn with_deadline_in(mut self, budget: Duration) -> Self {
@@ -266,8 +290,11 @@ impl MineContext {
         self.sink.is_some()
     }
 
-    /// Streams one accepted pattern to the sink, if any.
+    /// Streams one accepted pattern to the sink, if any. With tracing armed
+    /// the acceptance is also recorded as an instant event on the run's
+    /// trace (support as the argument).
     pub fn emit(&mut self, pattern: StreamedPattern) {
+        spidermine_telemetry::instant("pattern_accepted", self.trace_id, pattern.support as u64);
         if let Some(f) = self.sink.as_mut() {
             f(pattern);
         }
@@ -275,15 +302,34 @@ impl MineContext {
 
     /// Streams the pattern produced by `build` to the sink — but only calls
     /// `build` when a sink is installed, so sink-less runs (the legacy shims,
-    /// benches, experiments) pay nothing for streaming.
+    /// benches, experiments) pay nothing for streaming. Acceptance is traced
+    /// either way (without a sink the instant's support argument is 0, since
+    /// the pattern is never built).
     pub fn emit_with<F: FnOnce() -> StreamedPattern>(&mut self, build: F) {
-        if let Some(f) = self.sink.as_mut() {
-            f(build());
+        match self.sink.as_mut() {
+            Some(f) => {
+                let pattern = build();
+                spidermine_telemetry::instant(
+                    "pattern_accepted",
+                    self.trace_id,
+                    pattern.support as u64,
+                );
+                f(pattern);
+            }
+            None => spidermine_telemetry::instant("pattern_accepted", self.trace_id, 0),
         }
     }
 
-    /// Records the elapsed time of a named stage.
+    /// Records the elapsed time of a named stage. With tracing armed, also
+    /// records the stage as a completed span (back-dated by `elapsed`)
+    /// under the context's trace identity — the stage loops call this once
+    /// per stage, so the hook is far off the per-candidate hot path.
     pub fn record_stage(&mut self, stage: &'static str, elapsed: Duration) {
+        if spidermine_telemetry::armed() {
+            let start = spidermine_telemetry::now_nanos()
+                .saturating_sub(u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX));
+            spidermine_telemetry::span_complete(stage, self.trace_id, self.trace_parent, start);
+        }
         self.timings.push(StageTiming { stage, elapsed });
     }
 

@@ -25,7 +25,6 @@ use rustc_hash::FxHashMap;
 use spidermine_graph::graph::LabeledGraph;
 use spidermine_graph::iso;
 use spidermine_graph::signature::{invariant_signature, InvariantSignature};
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// Hit/miss counters of an oracle (or a [`PatternMemo`]).
@@ -139,20 +138,29 @@ impl PatternMemo {
 pub struct MemoOracle {
     measure: SupportMeasure,
     memo: Mutex<PatternMemo>,
-    // One cache line apiece: workers racing through the memo bump these on
-    // every probe, and sharing a line would ping-pong it between cores.
-    hits: rayon::CachePadded<AtomicUsize>,
-    misses: rayon::CachePadded<AtomicUsize>,
+    // Telemetry counters are cache-line padded, one apiece: workers racing
+    // through the memo bump these on every probe, and sharing a line would
+    // ping-pong it between cores. `hits`/`misses` are this oracle's own
+    // (what `stats()` reports for the run); `global_*` are the process-wide
+    // aggregates in the telemetry registry, resolved once here so the hot
+    // probe path never takes the registry lock.
+    hits: spidermine_telemetry::Counter,
+    misses: spidermine_telemetry::Counter,
+    global_hits: spidermine_telemetry::Counter,
+    global_misses: spidermine_telemetry::Counter,
 }
 
 impl MemoOracle {
     /// A fresh memoizing oracle for `measure`.
     pub fn new(measure: SupportMeasure) -> Self {
+        let global = spidermine_telemetry::global();
         Self {
             measure,
             memo: Mutex::new(PatternMemo::new()),
-            hits: rayon::CachePadded::new(AtomicUsize::new(0)),
-            misses: rayon::CachePadded::new(AtomicUsize::new(0)),
+            hits: spidermine_telemetry::Counter::default(),
+            misses: spidermine_telemetry::Counter::default(),
+            global_hits: global.counter("oracle_hits_total"),
+            global_misses: global.counter("oracle_misses_total"),
         }
     }
 }
@@ -164,10 +172,12 @@ impl SupportOracle for MemoOracle {
 
     fn support(&self, pattern: &LabeledGraph, embeddings: EmbeddingSetView<'_>) -> usize {
         if let Some(v) = self.memo.lock().expect("oracle lock").lookup(pattern) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.hits.inc();
+            self.global_hits.inc();
             return v;
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.misses.inc();
+        self.global_misses.inc();
         let v = embeddings.support(self.measure);
         self.memo
             .lock()
@@ -177,8 +187,8 @@ impl SupportOracle for MemoOracle {
 
     fn stats(&self) -> OracleStats {
         OracleStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
+            hits: self.hits.get() as usize,
+            misses: self.misses.get() as usize,
         }
     }
 }

@@ -27,8 +27,8 @@
 //! dispatcher thread.
 
 use spidermine_engine::MineOutcome;
+use spidermine_telemetry::{Counter, Registry};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// What a completed mining run is filed under.
@@ -95,12 +95,14 @@ pub enum CacheLookup {
 pub struct ResultCache {
     state: Mutex<CacheState>,
     capacity: usize,
-    // Padded to a cache line apiece: hits and misses are bumped from
-    // different dispatcher threads on every lookup and would otherwise
-    // false-share.
-    hits: rayon::CachePadded<AtomicU64>,
-    misses: rayon::CachePadded<AtomicU64>,
-    evictions: rayon::CachePadded<AtomicU64>,
+    // Telemetry counter cells (cache-line padded apiece: hits and misses are
+    // bumped from different dispatcher threads on every lookup and would
+    // otherwise false-share). Built via `with_registry` these are the *same*
+    // cells the service's telemetry registry exports, so `CacheStats` and
+    // the Prometheus dump can never drift apart.
+    hits: Counter,
+    misses: Counter,
+    evictions: Counter,
 }
 
 impl std::fmt::Debug for ResultCache {
@@ -124,9 +126,22 @@ impl ResultCache {
                 clock: 0,
             }),
             capacity,
-            hits: rayon::CachePadded::new(AtomicU64::new(0)),
-            misses: rayon::CachePadded::new(AtomicU64::new(0)),
-            evictions: rayon::CachePadded::new(AtomicU64::new(0)),
+            hits: Counter::default(),
+            misses: Counter::default(),
+            evictions: Counter::default(),
+        }
+    }
+
+    /// Like [`ResultCache::new`], but with the counters registered in
+    /// `registry` (as `cache_hits_total` / `cache_misses_total` /
+    /// `cache_evictions_total`) so the cache shows up in the service's
+    /// metrics exposition. The scheduler builds its cache this way.
+    pub fn with_registry(capacity: usize, registry: &Registry) -> Self {
+        Self {
+            hits: registry.counter("cache_hits_total"),
+            misses: registry.counter("cache_misses_total"),
+            evictions: registry.counter("cache_evictions_total"),
+            ..Self::new(capacity)
         }
     }
 
@@ -137,7 +152,7 @@ impl ResultCache {
     /// * vacant → insert a pending marker, return [`CacheLookup::Leader`].
     pub fn begin(&self, key: &CacheKey) -> CacheLookup {
         if self.capacity == 0 {
-            self.misses.fetch_add(1, Ordering::Relaxed);
+            self.misses.inc();
             return CacheLookup::Leader;
         }
         let mut state = self.state.lock().expect("cache lock");
@@ -147,13 +162,13 @@ impl ResultCache {
                 s.clock += 1;
                 *last_used = s.clock;
                 let out = outcome.clone();
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.hits.inc();
                 CacheLookup::Hit(out)
             }
             Some(Slot::Pending) => CacheLookup::InFlight,
             None => {
                 s.slots.insert(key.clone(), Slot::Pending);
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.misses.inc();
                 CacheLookup::Leader
             }
         }
@@ -198,7 +213,7 @@ impl ResultCache {
                 .map(|(_, k)| k)
                 .expect("over-capacity cache has a ready entry");
             state.slots.remove(&victim);
-            self.evictions.fetch_add(1, Ordering::Relaxed);
+            self.evictions.inc();
         }
     }
 
@@ -226,9 +241,9 @@ impl ResultCache {
     pub fn stats(&self) -> CacheStats {
         let state = self.state.lock().expect("cache lock");
         CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            evictions: self.evictions.get(),
             entries: self.ready_count(&state),
         }
     }

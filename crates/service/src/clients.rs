@@ -8,9 +8,17 @@
 //! themselves too by submitting with
 //! [`SubmitOptions::client`](crate::scheduler::SubmitOptions); unattributed
 //! work simply never touches the registry.
+//!
+//! The counters themselves are telemetry [`Counter`] cells. A registry built
+//! with [`ClientRegistry::with_registry`] resolves each client's cells as
+//! labeled metrics (`client_accepted_total{client="alice"}`, …) in the
+//! service's telemetry [`Registry`], so the per-client story in the
+//! Prometheus exposition and the [`ClientStats`] snapshots read the *same*
+//! cells — there is no second set of counts to drift.
 
+use spidermine_telemetry::{Counter, Registry};
 use std::collections::HashMap;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// Counters for one named client.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -26,56 +34,126 @@ pub struct ClientStats {
     pub bytes_streamed: u64,
 }
 
+/// One client's live counter cells.
+struct ClientCounters {
+    accepted: Counter,
+    rejected: Counter,
+    patterns_streamed: Counter,
+    bytes_streamed: Counter,
+}
+
+impl ClientCounters {
+    /// Standalone cells (no telemetry registry attached).
+    fn detached() -> Self {
+        Self {
+            accepted: Counter::default(),
+            rejected: Counter::default(),
+            patterns_streamed: Counter::default(),
+            bytes_streamed: Counter::default(),
+        }
+    }
+
+    /// Cells resolved in `registry` as labeled metrics for `client`.
+    fn registered(registry: &Registry, client: &str) -> Self {
+        let named = |metric: &str| registry.counter(&format!("{metric}{{client=\"{client}\"}}"));
+        Self {
+            accepted: named("client_accepted_total"),
+            rejected: named("client_rejected_total"),
+            patterns_streamed: named("client_patterns_streamed_total"),
+            bytes_streamed: named("client_bytes_streamed_total"),
+        }
+    }
+
+    fn stats(&self) -> ClientStats {
+        ClientStats {
+            accepted: self.accepted.get(),
+            rejected: self.rejected.get(),
+            patterns_streamed: self.patterns_streamed.get(),
+            bytes_streamed: self.bytes_streamed.get(),
+        }
+    }
+}
+
 /// Thread-safe name → [`ClientStats`] map. All methods take `&self`; the
 /// registry lives inside the scheduler and is shared with the transport.
-#[derive(Debug, Default)]
+#[derive(Default)]
 pub struct ClientRegistry {
-    stats: Mutex<HashMap<String, ClientStats>>,
+    clients: Mutex<HashMap<String, ClientCounters>>,
+    /// When present, each client's cells are also exported here as labeled
+    /// metrics.
+    telemetry: Option<Arc<Registry>>,
+}
+
+impl std::fmt::Debug for ClientRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClientRegistry")
+            .field("clients", &self.snapshot())
+            .finish()
+    }
 }
 
 impl ClientRegistry {
-    /// An empty registry.
+    /// An empty registry with detached counters (tests, ad-hoc use).
     pub fn new() -> Self {
         Self::default()
     }
 
-    fn update(&self, client: &str, apply: impl FnOnce(&mut ClientStats)) {
-        let mut stats = self.stats.lock().expect("client stats lock");
-        apply(stats.entry(client.to_owned()).or_default());
+    /// An empty registry whose per-client counters are exported through the
+    /// service's telemetry registry. This is what the scheduler builds.
+    pub fn with_registry(telemetry: Arc<Registry>) -> Self {
+        Self {
+            clients: Mutex::new(HashMap::new()),
+            telemetry: Some(telemetry),
+        }
+    }
+
+    fn update(&self, client: &str, apply: impl FnOnce(&ClientCounters)) {
+        let mut clients = self.clients.lock().expect("client stats lock");
+        let counters =
+            clients
+                .entry(client.to_owned())
+                .or_insert_with(|| match self.telemetry.as_deref() {
+                    Some(registry) => ClientCounters::registered(registry, client),
+                    None => ClientCounters::detached(),
+                });
+        apply(counters);
     }
 
     /// Records one admitted submission.
     pub fn record_accepted(&self, client: &str) {
-        self.update(client, |s| s.accepted += 1);
+        self.update(client, |c| c.accepted.inc());
     }
 
     /// Records one rejected submission (scheduler- or transport-edge).
     pub fn record_rejected(&self, client: &str) {
-        self.update(client, |s| s.rejected += 1);
+        self.update(client, |c| c.rejected.inc());
     }
 
     /// Records `patterns` streamed patterns totalling `bytes` encoded bytes.
     pub fn record_streamed(&self, client: &str, patterns: u64, bytes: u64) {
-        self.update(client, |s| {
-            s.patterns_streamed += patterns;
-            s.bytes_streamed += bytes;
+        self.update(client, |c| {
+            c.patterns_streamed.add(patterns);
+            c.bytes_streamed.add(bytes);
         });
     }
 
     /// Counters for one client, if it has ever been recorded.
     pub fn get(&self, client: &str) -> Option<ClientStats> {
-        self.stats
+        self.clients
             .lock()
             .expect("client stats lock")
             .get(client)
-            .copied()
+            .map(ClientCounters::stats)
     }
 
     /// Every client's counters, sorted by name for stable output.
     pub fn snapshot(&self) -> Vec<(String, ClientStats)> {
-        let stats = self.stats.lock().expect("client stats lock");
-        let mut rows: Vec<_> = stats.iter().map(|(k, v)| (k.clone(), *v)).collect();
-        drop(stats);
+        let clients = self.clients.lock().expect("client stats lock");
+        let mut rows: Vec<_> = clients
+            .iter()
+            .map(|(k, v)| (k.clone(), v.stats()))
+            .collect();
+        drop(clients);
         rows.sort_by(|a, b| a.0.cmp(&b.0));
         rows
     }
@@ -110,5 +188,32 @@ mod tests {
         );
         assert_eq!(snapshot[1].1.patterns_streamed, 4);
         assert_eq!(snapshot[1].1.bytes_streamed, 1600);
+    }
+
+    #[test]
+    fn registry_backed_counters_surface_as_labeled_metrics() {
+        let telemetry = Arc::new(Registry::new());
+        let registry = ClientRegistry::with_registry(telemetry.clone());
+        registry.record_accepted("alice");
+        registry.record_rejected("alice");
+        registry.record_streamed("alice", 2, 64);
+        // The ClientStats snapshot and the telemetry exposition read the
+        // same cells.
+        let snap = telemetry.snapshot();
+        assert_eq!(snap.counter("client_accepted_total{client=\"alice\"}"), 1);
+        assert_eq!(snap.counter("client_rejected_total{client=\"alice\"}"), 1);
+        assert_eq!(
+            snap.counter("client_bytes_streamed_total{client=\"alice\"}"),
+            64
+        );
+        assert_eq!(
+            registry.get("alice"),
+            Some(ClientStats {
+                accepted: 1,
+                rejected: 1,
+                patterns_streamed: 2,
+                bytes_streamed: 64,
+            })
+        );
     }
 }

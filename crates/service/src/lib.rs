@@ -128,6 +128,13 @@ impl MiningService {
         self.scheduler.metrics()
     }
 
+    /// The per-service telemetry registry behind [`MiningService::metrics`]:
+    /// the same counter cells plus latency histograms, snapshotable for
+    /// Prometheus-style exposition. See [`JobScheduler::registry`].
+    pub fn registry(&self) -> &Arc<spidermine_telemetry::Registry> {
+        self.scheduler.registry()
+    }
+
     /// The underlying scheduler, for queue inspection or cache clearing.
     pub fn scheduler(&self) -> &JobScheduler {
         &self.scheduler

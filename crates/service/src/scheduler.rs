@@ -20,10 +20,10 @@ use crate::cache::{CacheKey, CacheLookup, CacheStats, PendingGuard, ResultCache}
 use crate::catalog::{GraphCatalog, GraphSnapshot};
 use crate::clients::{ClientRegistry, ClientStats};
 use crate::error::ServiceError;
-use rayon::CachePadded;
 use spidermine_engine::{Engine, GraphSource, MineError, MineOutcome, MineRequest, Miner};
 use spidermine_faultline::{self as faultline, RetryPolicy};
 use spidermine_mining::context::{CancelToken, MineContext, StreamedPattern};
+use spidermine_telemetry::{self as telemetry, Counter, Histogram, Registry};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, Weak};
@@ -111,6 +111,10 @@ pub struct SubmitOptions {
     /// Per-job retry policy for transient failures, overriding
     /// [`ServiceConfig::retry`]. `None` uses the service default.
     pub retry: Option<RetryPolicy>,
+    /// Telemetry trace id this job's spans belong to. `None` mints a fresh
+    /// id at admission; the remote transport passes the id it received over
+    /// the wire so client- and server-side spans land in one trace.
+    pub trace: Option<u64>,
 }
 
 impl std::fmt::Debug for SubmitOptions {
@@ -120,6 +124,7 @@ impl std::fmt::Debug for SubmitOptions {
             .field("observer", &self.observer.as_ref().map(|_| "Fn"))
             .field("client", &self.client)
             .field("retry", &self.retry)
+            .field("trace", &self.trace)
             .finish()
     }
 }
@@ -225,6 +230,8 @@ struct JobState {
 struct JobShared {
     id: u64,
     graph: String,
+    /// Telemetry trace id every span of this job carries (0 = untraced).
+    trace: u64,
     state: Mutex<JobState>,
     finished: Condvar,
     cancel: CancelToken,
@@ -256,6 +263,12 @@ impl JobHandle {
     /// The catalog graph this job mines.
     pub fn graph_name(&self) -> &str {
         &self.shared.graph
+    }
+
+    /// Telemetry trace id this job's spans carry. Stable for the job's
+    /// lifetime; `0` only if the id was explicitly submitted as 0.
+    pub fn trace(&self) -> u64 {
+        self.shared.trace
     }
 
     /// Current lifecycle status.
@@ -323,6 +336,14 @@ struct QueuedJob {
     submitted: Instant,
     observer: Option<PatternObserver>,
     retry: RetryPolicy,
+    /// Root `job` span opened at admission, closed in `finish` (0 when
+    /// tracing was disarmed at admission).
+    root_span: u64,
+    /// The currently open wait span (`queued` at admission, `parked` while
+    /// behind a single-flight leader) and its name; a dispatcher closes it
+    /// when it picks the job up.
+    wait_span: u64,
+    wait_name: &'static str,
 }
 
 #[derive(Default)]
@@ -341,22 +362,42 @@ impl JobQueues {
     }
 }
 
-/// Service-level metrics, one counter per cache line: dispatcher threads bump
-/// disjoint counters concurrently (submission bumps `submitted` while
-/// completions bump `completed`/`run_time_us`), and unpadded neighbors would
-/// false-share a line and serialize on cache-coherence traffic.
-#[derive(Default)]
+/// Service-level metrics: telemetry counter cells, one per cache line
+/// (dispatcher threads bump disjoint counters concurrently — submission
+/// bumps `submitted` while completions bump `completed`/`run_time_us` — and
+/// unpadded neighbors would false-share a line and serialize on
+/// cache-coherence traffic). Resolved once from the per-service telemetry
+/// [`Registry`] at construction, so [`ServiceMetrics`] snapshots and the
+/// registry's Prometheus exposition read the *same* cells — there is no
+/// second set of counts to drift.
 struct Counters {
-    submitted: CachePadded<AtomicU64>,
-    rejected: CachePadded<AtomicU64>,
-    completed: CachePadded<AtomicU64>,
-    cancelled: CachePadded<AtomicU64>,
-    failed: CachePadded<AtomicU64>,
-    queue_wait_us: CachePadded<AtomicU64>,
-    run_time_us: CachePadded<AtomicU64>,
-    patterns: CachePadded<AtomicU64>,
-    dropped: CachePadded<AtomicU64>,
-    retries: CachePadded<AtomicU64>,
+    submitted: Counter,
+    rejected: Counter,
+    completed: Counter,
+    cancelled: Counter,
+    failed: Counter,
+    queue_wait_us: Counter,
+    run_time_us: Counter,
+    patterns: Counter,
+    dropped: Counter,
+    retries: Counter,
+}
+
+impl Counters {
+    fn new(registry: &Registry) -> Self {
+        Self {
+            submitted: registry.counter("jobs_submitted_total"),
+            rejected: registry.counter("jobs_rejected_total"),
+            completed: registry.counter("jobs_completed_total"),
+            cancelled: registry.counter("jobs_cancelled_total"),
+            failed: registry.counter("jobs_failed_total"),
+            queue_wait_us: registry.counter("queue_wait_micros_total"),
+            run_time_us: registry.counter("run_time_micros_total"),
+            patterns: registry.counter("patterns_emitted_total"),
+            dropped: registry.counter("embeddings_dropped_total"),
+            retries: registry.counter("retries_total"),
+        }
+    }
 }
 
 struct SchedulerCore {
@@ -378,6 +419,34 @@ struct SchedulerCore {
     /// find what is still in flight (queued, parked, or running) and to
     /// fire cancel tokens at the deadline. Pruned opportunistically.
     live: Mutex<Vec<Weak<JobShared>>>,
+    /// Per-service telemetry registry: the single source of truth behind
+    /// [`ServiceMetrics`], the cache and per-client counters, and the
+    /// Prometheus exposition the transport serves. Per-service (not
+    /// process-global) so concurrently running services never aggregate
+    /// into each other's snapshots.
+    registry: Arc<Registry>,
+    /// End-to-end job latency (queue wait + run/cache time), nanoseconds.
+    job_total_nanos: Histogram,
+}
+
+impl SchedulerCore {
+    fn new(config: ServiceConfig) -> Self {
+        let registry = Arc::new(Registry::new());
+        Self {
+            queues: Mutex::new(JobQueues::default()),
+            available: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            cache: ResultCache::with_registry(config.cache_capacity, &registry),
+            parked: Mutex::new(HashMap::new()),
+            config,
+            next_id: AtomicU64::new(0),
+            counters: Counters::new(&registry),
+            clients: ClientRegistry::with_registry(registry.clone()),
+            live: Mutex::new(Vec::new()),
+            job_total_nanos: registry.histogram("job_total_nanos"),
+            registry,
+        }
+    }
 }
 
 /// The scheduler: bounded admission, priority dispatch, cache-aware
@@ -402,24 +471,25 @@ impl JobScheduler {
     /// Builds a scheduler over `catalog` and starts its dispatcher threads.
     pub fn new(catalog: Arc<GraphCatalog>, config: ServiceConfig) -> Self {
         let dispatchers = config.dispatchers.max(1);
-        let core = Arc::new(SchedulerCore {
-            queues: Mutex::new(JobQueues::default()),
-            available: Condvar::new(),
-            shutdown: AtomicBool::new(false),
-            cache: ResultCache::new(config.cache_capacity),
-            parked: Mutex::new(HashMap::new()),
-            config,
-            next_id: AtomicU64::new(0),
-            counters: Counters::default(),
-            clients: ClientRegistry::new(),
-            live: Mutex::new(Vec::new()),
-        });
+        let core = Arc::new(SchedulerCore::new(config));
         let workers = (0..dispatchers)
             .map(|i| {
                 let core = core.clone();
                 std::thread::Builder::new()
                     .name(format!("mine-dispatch-{i}"))
-                    .spawn(move || dispatch_loop(&core))
+                    .spawn(move || {
+                        // A dispatcher dying is a service-level bug (miner
+                        // panics are caught in run_job): dump the flight
+                        // recorder's recent events before propagating, so the
+                        // moments leading up to the crash are not lost.
+                        let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            dispatch_loop(&core)
+                        }));
+                        if let Err(panic) = run {
+                            eprintln!("dispatcher panicked;\n{}", telemetry::flight_dump());
+                            std::panic::resume_unwind(panic);
+                        }
+                    })
                     .expect("spawn dispatcher")
             })
             .collect();
@@ -475,16 +545,23 @@ impl JobScheduler {
         let admitted = self.admit(graph, request, options);
         match (&admitted, client.as_deref()) {
             (Err(_), Some(client)) => {
-                self.core.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                self.core.counters.rejected.inc();
                 self.core.clients.record_rejected(client);
             }
             (Err(_), None) => {
-                self.core.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                self.core.counters.rejected.inc();
             }
             (Ok(_), Some(client)) => self.core.clients.record_accepted(client),
             (Ok(_), None) => {}
         }
         admitted
+    }
+
+    /// The per-service telemetry registry behind [`JobScheduler::metrics`]:
+    /// the same counter cells, plus latency histograms, in exposition-ready
+    /// form. The transport serves `Metrics` frames from its snapshot.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.core.registry
     }
 
     /// Per-client counters (accepted/rejected/streamed). The transport
@@ -540,7 +617,8 @@ impl JobScheduler {
                     if !error.is_transient() || !retry.should_retry(load_attempts) {
                         return Err(error);
                     }
-                    self.core.counters.retries.fetch_add(1, Ordering::Relaxed);
+                    self.core.counters.retries.inc();
+                    telemetry::retry_event("snapshot_load_retry", 0, u64::from(load_attempts));
                     std::thread::sleep(retry.delay_for(load_attempts, snapshot.fingerprint()));
                 }
             }
@@ -552,9 +630,18 @@ impl JobScheduler {
         };
         let engine = request.build().map_err(ServiceError::InvalidRequest)?;
 
+        // Mint (or adopt) the job's trace id here, at admission — every span
+        // and instant of this job carries it. The id is minted even with
+        // tracing disarmed (one relaxed fetch_add) so a job admitted before
+        // arming still has a stable identity; the spans themselves are
+        // no-ops until armed (`span_start` returns 0).
+        let trace = options
+            .trace
+            .unwrap_or_else(spidermine_telemetry::next_trace_id);
         let shared = Arc::new(JobShared {
             id: self.core.next_id.fetch_add(1, Ordering::Relaxed),
             graph: graph.to_owned(),
+            trace,
             state: Mutex::new(JobState {
                 status: JobStatus::Queued,
                 outcome: None,
@@ -564,6 +651,8 @@ impl JobScheduler {
             finished: Condvar::new(),
             cancel: CancelToken::new(),
         });
+        let root_span = telemetry::span_start("job", trace, 0);
+        let queued_span = telemetry::span_start("queued", trace, root_span);
         let job = QueuedJob {
             shared: shared.clone(),
             snapshot,
@@ -572,6 +661,9 @@ impl JobScheduler {
             submitted: Instant::now(),
             observer: options.observer,
             retry,
+            root_span,
+            wait_span: queued_span,
+            wait_name: "queued",
         };
 
         {
@@ -582,6 +674,10 @@ impl JobScheduler {
             let mut queues = self.core.queues.lock().expect("queue lock");
             let depth = queues.depth() + parked_depth(&self.core);
             if depth >= self.core.config.queue_depth {
+                // Rejected after the spans opened: close them so the trace
+                // stays balanced (a rejected submission is an empty job).
+                telemetry::span_end("queued", trace, queued_span);
+                telemetry::span_end("job", trace, root_span);
                 return Err(ServiceError::QueueFull {
                     depth,
                     limit: self.core.config.queue_depth,
@@ -589,6 +685,7 @@ impl JobScheduler {
             }
             queues.lanes[options.priority as usize].push_back(job);
         }
+        telemetry::instant("admitted", trace, shared.id);
         {
             let mut live = self.core.live.lock().expect("live lock");
             if live.len() >= 256 {
@@ -599,25 +696,26 @@ impl JobScheduler {
             }
             live.push(Arc::downgrade(&shared));
         }
-        self.core.counters.submitted.fetch_add(1, Ordering::Relaxed);
+        self.core.counters.submitted.inc();
         self.core.available.notify_one();
         Ok(JobHandle { shared })
     }
 
-    /// Service-wide counter snapshot.
+    /// Service-wide counter snapshot, read from the telemetry registry's
+    /// cells (the same cells [`JobScheduler::registry`] exposes).
     pub fn metrics(&self) -> ServiceMetrics {
         let c = &self.core.counters;
         ServiceMetrics {
-            submitted: c.submitted.load(Ordering::Relaxed),
-            rejected: c.rejected.load(Ordering::Relaxed),
-            completed: c.completed.load(Ordering::Relaxed),
-            cancelled: c.cancelled.load(Ordering::Relaxed),
-            failed: c.failed.load(Ordering::Relaxed),
-            queue_wait_total: Duration::from_micros(c.queue_wait_us.load(Ordering::Relaxed)),
-            run_time_total: Duration::from_micros(c.run_time_us.load(Ordering::Relaxed)),
-            patterns_emitted: c.patterns.load(Ordering::Relaxed),
-            embeddings_dropped: c.dropped.load(Ordering::Relaxed),
-            retries: c.retries.load(Ordering::Relaxed),
+            submitted: c.submitted.get(),
+            rejected: c.rejected.get(),
+            completed: c.completed.get(),
+            cancelled: c.cancelled.get(),
+            failed: c.failed.get(),
+            queue_wait_total: Duration::from_micros(c.queue_wait_us.get()),
+            run_time_total: Duration::from_micros(c.run_time_us.get()),
+            patterns_emitted: c.patterns.get(),
+            embeddings_dropped: c.dropped.get(),
+            retries: c.retries.get(),
             cache: self.core.cache.stats(),
             queue_depth: self.queue_depth(),
             clients: self.core.clients.snapshot(),
@@ -667,6 +765,16 @@ impl JobScheduler {
         }
         let stragglers = live_jobs(&self.core);
         let clean = stragglers.is_empty();
+        if !clean && telemetry::armed() {
+            // A missed drain deadline is exactly when "what was the service
+            // doing?" matters: dump the flight recorder before forcing
+            // cancellation destroys the evidence.
+            eprintln!(
+                "drain deadline missed with {} job(s) live;\n{}",
+                stragglers.len(),
+                telemetry::flight_dump()
+            );
+        }
         for job in &stragglers {
             job.cancel.fire();
         }
@@ -719,10 +827,15 @@ fn dispatch_loop(core: &SchedulerCore) {
 /// cache single-flight, engine run, bookkeeping. A job behind an identical
 /// in-flight run is *parked* — the dispatcher moves on instead of blocking —
 /// and re-enters here when the leader drains it.
-fn run_job(core: &SchedulerCore, job: QueuedJob) {
+fn run_job(core: &SchedulerCore, mut job: QueuedJob) {
     // Submission-to-execution wait (for a parked job: including the parked
     // period). Recorded once, in `finish`.
     let queue_wait = job.submitted.elapsed();
+
+    // A dispatcher has the job: close whichever wait span is open (`queued`
+    // from admission, or `parked` from a single-flight park below).
+    telemetry::span_end(job.wait_name, job.shared.trace, job.wait_span);
+    job.wait_span = 0;
 
     // Cancelled while queued/parked: synthesize an empty partial outcome so
     // waiters get `Ok` (cancellation is never an error), skip mining.
@@ -748,6 +861,7 @@ fn run_job(core: &SchedulerCore, job: QueuedJob) {
     loop {
         match core.cache.begin(&job.key) {
             CacheLookup::Hit(outcome) => {
+                telemetry::instant("cache_hit", job.shared.trace, job.shared.id);
                 // A cache-served job never ran, so its observer saw nothing:
                 // replay the cached outcome's patterns through it (in outcome
                 // order) before the handle turns terminal, upholding the
@@ -780,6 +894,9 @@ fn run_job(core: &SchedulerCore, job: QueuedJob) {
                 let mut parked = core.parked.lock().expect("parked lock");
                 if core.cache.is_pending(&job.key) {
                     set_status(&job.shared, JobStatus::Queued);
+                    job.wait_span =
+                        telemetry::span_start("parked", job.shared.trace, job.root_span);
+                    job.wait_name = "parked";
                     parked.entry(job.key.clone()).or_default().push(job);
                     return;
                 }
@@ -808,12 +925,17 @@ fn lead_job(core: &SchedulerCore, job: &QueuedJob, started: Instant) {
     let mut retries = 0u32;
     let streamed = Arc::new(AtomicU64::new(0));
     let result = loop {
+        // One `running` span per attempt, closed *after* catch_unwind so a
+        // panicking run still balances its span tree; the mining stage
+        // spans nest under it via the context's trace identity.
+        let running_span = telemetry::span_start("running", job.shared.trace, job.root_span);
         let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             if faultline::check(faultline::FaultSite::ExecRun) == Some(faultline::FaultKind::Panic)
             {
                 panic!("injected execution fault");
             }
-            let mut ctx = MineContext::with_cancel(job.shared.cancel.clone());
+            let mut ctx = MineContext::with_cancel(job.shared.cancel.clone())
+                .with_trace(job.shared.trace, running_span);
             if let Some(observer) = job.observer.clone() {
                 let streamed = streamed.clone();
                 ctx = ctx.on_pattern(move |pattern| {
@@ -824,6 +946,7 @@ fn lead_job(core: &SchedulerCore, job: &QueuedJob, started: Instant) {
             job.engine
                 .mine(&GraphSource::Single(job.snapshot.graph()), &mut ctx)
         }));
+        telemetry::span_end("running", job.shared.trace, running_span);
         match attempt {
             Err(_)
                 if !job.shared.cancel.is_cancelled()
@@ -835,16 +958,15 @@ fn lead_job(core: &SchedulerCore, job: &QueuedJob, started: Instant) {
                 // without double-delivering them (the observer contract is
                 // exactly-once), so those land Failed on the first panic.
                 retries += 1;
-                core.counters.retries.fetch_add(1, Ordering::Relaxed);
+                core.counters.retries.inc();
+                telemetry::retry_event("exec_panic_retry", job.shared.trace, u64::from(retries));
                 std::thread::sleep(job.retry.delay_for(retries, job.shared.id));
             }
             other => break other,
         }
     };
     let run_time = started.elapsed();
-    core.counters
-        .run_time_us
-        .fetch_add(run_time.as_micros() as u64, Ordering::Relaxed);
+    core.counters.run_time_us.add(run_time.as_micros() as u64);
     let metrics = JobMetrics {
         queue_wait: job.submitted.elapsed() - run_time,
         run_time,
@@ -978,24 +1100,36 @@ fn finish(
     error: Option<ServiceError>,
     metrics: JobMetrics,
 ) {
-    let counter = match status {
-        JobStatus::Done => &core.counters.completed,
-        JobStatus::Cancelled => &core.counters.cancelled,
-        JobStatus::Failed => &core.counters.failed,
+    let (counter, terminal) = match status {
+        JobStatus::Done => (&core.counters.completed, "job_done"),
+        JobStatus::Cancelled => (&core.counters.cancelled, "job_cancelled"),
+        JobStatus::Failed => (&core.counters.failed, "job_failed"),
         JobStatus::Queued | JobStatus::Running => unreachable!("finish takes a terminal status"),
     };
-    counter.fetch_add(1, Ordering::Relaxed);
+    counter.inc();
     core.counters
         .queue_wait_us
-        .fetch_add(metrics.queue_wait.as_micros() as u64, Ordering::Relaxed);
+        .add(metrics.queue_wait.as_micros() as u64);
     if let Some(outcome) = &outcome {
-        core.counters
-            .patterns
-            .fetch_add(outcome.patterns.len() as u64, Ordering::Relaxed);
-        core.counters
-            .dropped
-            .fetch_add(outcome.dropped_embeddings as u64, Ordering::Relaxed);
+        core.counters.patterns.add(outcome.patterns.len() as u64);
+        core.counters.dropped.add(outcome.dropped_embeddings as u64);
+        // Stage timings → per-stage latency histograms, only for the run
+        // that actually mined: cache-served jobs share the leader's outcome,
+        // and replaying its stage timings once per hit would inflate the
+        // distributions. The name lookup allocates, but `finish` runs once
+        // per job, off the mining hot path.
+        if !metrics.from_cache {
+            for stage in &outcome.stages {
+                core.registry
+                    .histogram(&format!("stage_nanos{{stage=\"{}\"}}", stage.stage))
+                    .observe_duration(stage.elapsed);
+            }
+        }
     }
+    core.job_total_nanos
+        .observe_duration(metrics.queue_wait + metrics.run_time + metrics.cache_wait);
+    telemetry::instant(terminal, job.shared.trace, job.shared.id);
+    telemetry::span_end("job", job.shared.trace, job.root_span);
     let mut state = job.shared.state.lock().expect("job lock");
     state.status = status;
     state.outcome = outcome;
@@ -1252,18 +1386,7 @@ mod tests {
         // released with the typed error, never stranded.
         let catalog = GraphCatalog::new();
         let snap = catalog.register("g", toy_graph());
-        let core = SchedulerCore {
-            queues: Mutex::new(JobQueues::default()),
-            available: Condvar::new(),
-            shutdown: AtomicBool::new(false),
-            cache: ResultCache::new(4),
-            parked: Mutex::new(HashMap::new()),
-            config: ServiceConfig::default(),
-            next_id: AtomicU64::new(0),
-            counters: Counters::default(),
-            clients: ClientRegistry::new(),
-            live: Mutex::new(Vec::new()),
-        };
+        let core = SchedulerCore::new(ServiceConfig::default());
         for error in [
             ServiceError::JobFailed(MineError::invalid("k", "must be at least 1")),
             ServiceError::JobPanicked("index out of bounds".into()),
@@ -1271,6 +1394,7 @@ mod tests {
             let shared = Arc::new(JobShared {
                 id: 0,
                 graph: "g".into(),
+                trace: 0,
                 state: Mutex::new(JobState {
                     status: JobStatus::Running,
                     outcome: None,
@@ -1292,6 +1416,9 @@ mod tests {
                 submitted: Instant::now(),
                 observer: None,
                 retry: RetryPolicy::none(),
+                root_span: 0,
+                wait_span: 0,
+                wait_name: "queued",
             };
             finish(
                 &core,
@@ -1305,7 +1432,7 @@ mod tests {
             assert_eq!(handle.status(), JobStatus::Failed);
             assert_eq!(handle.wait().expect_err("failed job errors"), error);
         }
-        assert_eq!(core.counters.failed.load(Ordering::Relaxed), 2);
+        assert_eq!(core.counters.failed.get(), 2);
     }
 
     #[test]
@@ -1326,6 +1453,7 @@ mod tests {
                 shared: Arc::new(JobShared {
                     id: i as u64,
                     graph: "g".into(),
+                    trace: 0,
                     state: Mutex::new(JobState {
                         status: JobStatus::Queued,
                         outcome: None,
@@ -1345,6 +1473,9 @@ mod tests {
                 submitted: Instant::now(),
                 observer: None,
                 retry: RetryPolicy::none(),
+                root_span: 0,
+                wait_span: 0,
+                wait_name: "queued",
             });
         }
         assert_eq!(queues.pop().expect("high").shared.id, 2);
@@ -1360,24 +1491,14 @@ mod tests {
     fn cancelled_run_that_errors_records_cancelled_not_failed() {
         let catalog = GraphCatalog::new();
         let snap = catalog.register("g", toy_graph());
-        let core = SchedulerCore {
-            queues: Mutex::new(JobQueues::default()),
-            available: Condvar::new(),
-            shutdown: AtomicBool::new(false),
-            cache: ResultCache::new(4),
-            parked: Mutex::new(HashMap::new()),
-            config: ServiceConfig::default(),
-            next_id: AtomicU64::new(0),
-            counters: Counters::default(),
-            clients: ClientRegistry::new(),
-            live: Mutex::new(Vec::new()),
-        };
+        let core = SchedulerCore::new(ServiceConfig::default());
         // ORIGAMI demands a transaction database, so mining the catalog's
         // single-graph snapshot errors deterministically mid-run.
         let erroring_job = |key: &str| {
             let shared = Arc::new(JobShared {
                 id: 0,
                 graph: "g".into(),
+                trace: 0,
                 state: Mutex::new(JobState {
                     status: JobStatus::Running,
                     outcome: None,
@@ -1399,6 +1520,9 @@ mod tests {
                 submitted: Instant::now(),
                 observer: None,
                 retry: RetryPolicy::none(),
+                root_span: 0,
+                wait_span: 0,
+                wait_name: "queued",
             }
         };
 
@@ -1423,8 +1547,8 @@ mod tests {
             Err(ServiceError::JobFailed(MineError::UnsupportedSource { .. }))
         ));
 
-        assert_eq!(core.counters.cancelled.load(Ordering::Relaxed), 1);
-        assert_eq!(core.counters.failed.load(Ordering::Relaxed), 1);
+        assert_eq!(core.counters.cancelled.get(), 1);
+        assert_eq!(core.counters.failed.get(), 1);
     }
 
     /// The observer sees every pattern of the final outcome exactly once —

@@ -1,0 +1,217 @@
+//! Exposition formats: Prometheus-style text for registry snapshots and
+//! Chrome trace-event JSON for captured span events.
+//!
+//! Both exporters are pure functions over snapshots — they never touch live
+//! atomics or rings, so they can run while the system keeps mining.
+
+use crate::registry::RegistrySnapshot;
+use crate::trace::{Event, EventKind};
+use std::fmt::Write as _;
+
+/// The base metric name before any `{label="..."}` suffix.
+fn base_name(name: &str) -> &str {
+    name.split('{').next().unwrap_or(name)
+}
+
+/// Renders registry snapshots in the Prometheus text exposition format.
+/// Multiple snapshots (e.g. a service's registry plus the process-global
+/// one) concatenate into one page. Histograms render as summaries:
+/// `name{quantile="0.5"}`, `name_count`, `name_sum`, `name_max`.
+pub fn prometheus_text(snapshots: &[RegistrySnapshot]) -> String {
+    let mut out = String::new();
+    let mut typed: Vec<String> = Vec::new();
+    let mut type_line = |out: &mut String, name: &str, kind: &str| {
+        let base = base_name(name).to_owned();
+        if !typed.contains(&base) {
+            let _ = writeln!(out, "# TYPE {base} {kind}");
+            typed.push(base);
+        }
+    };
+    for snap in snapshots {
+        for (name, value) in &snap.counters {
+            type_line(&mut out, name, "counter");
+            let _ = writeln!(out, "{name} {value}");
+        }
+        for (name, value) in &snap.gauges {
+            type_line(&mut out, name, "gauge");
+            let _ = writeln!(out, "{name} {value}");
+        }
+        for (name, h) in &snap.histograms {
+            type_line(&mut out, name, "summary");
+            // Splice quantile labels into any existing label set.
+            let quantile = |q: &str| -> String {
+                match name.split_once('{') {
+                    Some((base, rest)) => format!("{base}{{quantile=\"{q}\",{rest}"),
+                    None => format!("{name}{{quantile=\"{q}\"}}"),
+                }
+            };
+            let _ = writeln!(out, "{} {}", quantile("0.5"), h.p50);
+            let _ = writeln!(out, "{} {}", quantile("0.95"), h.p95);
+            let _ = writeln!(out, "{} {}", quantile("0.99"), h.p99);
+            let base = base_name(name);
+            let labels = name.strip_prefix(base).unwrap_or("");
+            let _ = writeln!(out, "{base}_count{labels} {}", h.count);
+            let _ = writeln!(out, "{base}_sum{labels} {}", h.sum);
+            let _ = writeln!(out, "{base}_max{labels} {}", h.max);
+        }
+    }
+    out
+}
+
+/// Minimal JSON string escaping (event names are static identifiers, but
+/// thread names and future callers get correctness anyway).
+fn escape_json(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Renders captured events as a Chrome trace-event JSON document, loadable
+/// in `chrome://tracing` or Perfetto.
+///
+/// Spans become **async** begin/end pairs (`ph: "b"` / `ph: "e"`) keyed by
+/// span id within their trace id, because a span's two ends routinely occur
+/// on different threads — async events pair by id, not by thread.
+/// Instant/fault/retry events become global instants (`ph: "i"`). The
+/// parent span rides in `args.parent`, so the span tree is reconstructible
+/// from the file.
+pub fn chrome_trace_json(events: &[Event]) -> String {
+    let pid = std::process::id();
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    for (i, event) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let ts = event.t_nanos as f64 / 1e3;
+        out.push_str("{\"name\":\"");
+        escape_json(event.name, &mut out);
+        let _ = write!(out, "\",\"cat\":\"{}\",", category(event.kind));
+        match event.kind {
+            EventKind::SpanStart => {
+                let _ = write!(
+                    out,
+                    "\"ph\":\"b\",\"id\":{},\"args\":{{\"trace\":{},\"parent\":{}}},",
+                    event.span, event.trace, event.parent
+                );
+            }
+            EventKind::SpanEnd => {
+                let _ = write!(
+                    out,
+                    "\"ph\":\"e\",\"id\":{},\"args\":{{\"trace\":{}}},",
+                    event.span, event.trace
+                );
+            }
+            _ => {
+                let _ = write!(
+                    out,
+                    "\"ph\":\"i\",\"s\":\"g\",\"args\":{{\"trace\":{},\"arg\":{}}},",
+                    event.trace, event.parent
+                );
+            }
+        }
+        let _ = write!(out, "\"ts\":{ts:.3},\"pid\":{pid},\"tid\":0}}");
+    }
+    out.push_str("]}");
+    out
+}
+
+fn category(kind: EventKind) -> &'static str {
+    match kind {
+        EventKind::SpanStart | EventKind::SpanEnd => "span",
+        EventKind::Instant => "instant",
+        EventKind::Fault => "fault",
+        EventKind::Retry => "retry",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    #[test]
+    fn prometheus_text_renders_all_metric_kinds() {
+        let reg = Registry::new();
+        reg.counter("jobs_total").add(3);
+        reg.counter("client_accepted_total{client=\"a\"}").inc();
+        reg.gauge("queue_depth").set(2);
+        reg.histogram("latency_nanos").observe(1000);
+        let text = prometheus_text(&[reg.snapshot()]);
+        assert!(text.contains("# TYPE jobs_total counter"));
+        assert!(text.contains("jobs_total 3"));
+        assert!(text.contains("# TYPE client_accepted_total counter"));
+        assert!(text.contains("client_accepted_total{client=\"a\"} 1"));
+        assert!(text.contains("# TYPE queue_depth gauge"));
+        assert!(text.contains("queue_depth 2"));
+        assert!(text.contains("# TYPE latency_nanos summary"));
+        assert!(text.contains("latency_nanos{quantile=\"0.5\"}"));
+        assert!(text.contains("latency_nanos_count 1"));
+        assert!(text.contains("latency_nanos_sum 1000"));
+        assert!(text.contains("latency_nanos_max 1000"));
+    }
+
+    #[test]
+    fn labeled_histograms_splice_quantiles() {
+        let reg = Registry::new();
+        reg.histogram("stage_nanos{stage=\"spiders\"}").observe(5);
+        let text = prometheus_text(&[reg.snapshot()]);
+        assert!(
+            text.contains("stage_nanos{quantile=\"0.5\",stage=\"spiders\"}"),
+            "{text}"
+        );
+        assert!(text.contains("stage_nanos_count{stage=\"spiders\"} 1"));
+    }
+
+    #[test]
+    fn chrome_trace_pairs_async_events() {
+        let events = [
+            Event {
+                kind: EventKind::SpanStart,
+                name: "job",
+                trace: 7,
+                span: 1,
+                parent: 0,
+                t_nanos: 1_000,
+            },
+            Event {
+                kind: EventKind::Instant,
+                name: "admitted",
+                trace: 7,
+                span: 0,
+                parent: 42,
+                t_nanos: 1_500,
+            },
+            Event {
+                kind: EventKind::SpanEnd,
+                name: "job",
+                trace: 7,
+                span: 1,
+                parent: 0,
+                t_nanos: 2_000,
+            },
+        ];
+        let json = chrome_trace_json(&events);
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"traceEvents\":["));
+        assert!(json.contains("\"ph\":\"b\",\"id\":1"));
+        assert!(json.contains("\"ph\":\"e\",\"id\":1"));
+        assert!(json.contains("\"ph\":\"i\",\"s\":\"g\""));
+        assert!(json.contains("\"ts\":1.000"));
+        // Every event carries the trace id.
+        assert_eq!(json.matches("\"trace\":7").count(), 3);
+    }
+
+    #[test]
+    fn json_escaping_is_applied() {
+        let mut s = String::new();
+        escape_json("a\"b\\c\nd", &mut s);
+        assert_eq!(s, "a\\\"b\\\\c\\u000ad");
+    }
+}

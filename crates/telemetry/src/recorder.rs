@@ -1,0 +1,295 @@
+//! The flight recorder: per-thread lock-free ring buffers of recent
+//! telemetry events, dumped as a readable report after the fact.
+//!
+//! Every armed event lands in the recording thread's own ring — a
+//! fixed-size array of atomic words with a single writer (the owning
+//! thread), so a push is five relaxed stores plus one release store of the
+//! head, no locks, no allocation. Rings are registered in a global list the
+//! first time a thread records; a dump walks that list and decodes the most
+//! recent events from each ring.
+//!
+//! Dumps are **best-effort by design**: a reader races the owning thread,
+//! so the oldest slot may be mid-overwrite when read. Event names are
+//! stored as indices into an append-only intern table (never as raw
+//! pointers in the ring), so a torn slot decodes to a wrong-but-safe event
+//! rather than anything dangerous. That is the right trade for a crash
+//! recorder — it runs when a dispatcher just panicked or a drain hung, and
+//! must never deadlock or allocate its way into a second failure.
+
+use crate::trace::{Event, EventKind};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Events retained per thread. At ~10 events per job this holds the last
+/// ~800 jobs a thread touched.
+const RING_CAP: usize = 8192;
+
+/// Words per ring slot: meta (kind + name index), trace, span, parent,
+/// timestamp.
+const WORDS: usize = 5;
+
+/// Distinct static names the intern table holds. Slot 0 is reserved for
+/// "unknown" so a torn meta word can never index out of range meaningfully.
+const NAME_CAP: usize = 512;
+
+static NAME_PTRS: [AtomicUsize; NAME_CAP] = [const { AtomicUsize::new(0) }; NAME_CAP];
+static NAME_LENS: [AtomicUsize; NAME_CAP] = [const { AtomicUsize::new(0) }; NAME_CAP];
+
+/// Serializes intern *insertions* only; lookups are lock-free loads.
+static NAME_INSERT: Mutex<()> = Mutex::new(());
+
+/// Maps a static name to its table index, inserting on first sight.
+/// Lookup is a lock-free scan of published entries (pointer + length
+/// equality — two distinct `&'static str`s with equal text may get two
+/// slots, which is harmless). The table full case degrades to index 0.
+fn intern(name: &'static str) -> u64 {
+    let ptr = name.as_ptr() as usize;
+    let scan = |upto: usize| {
+        (1..upto).find(|&i| {
+            NAME_PTRS[i].load(Ordering::Acquire) == ptr
+                && NAME_LENS[i].load(Ordering::Acquire) == name.len()
+        })
+    };
+    if let Some(i) = scan(NAME_CAP) {
+        return i as u64;
+    }
+    let guard = NAME_INSERT.lock().unwrap_or_else(|e| e.into_inner());
+    // Re-scan under the lock: another thread may have inserted it.
+    if let Some(i) = scan(NAME_CAP) {
+        return i as u64;
+    }
+    for i in 1..NAME_CAP {
+        if NAME_PTRS[i].load(Ordering::Relaxed) == 0 {
+            // Length first, pointer last with Release: a reader that sees
+            // the pointer is guaranteed the matching length.
+            NAME_LENS[i].store(name.len(), Ordering::Release);
+            NAME_PTRS[i].store(ptr, Ordering::Release);
+            drop(guard);
+            return i as u64;
+        }
+    }
+    0
+}
+
+/// The name behind a table index; "?" for the reserved/out-of-range case.
+fn name_for(idx: u64) -> &'static str {
+    let idx = idx as usize;
+    if idx == 0 || idx >= NAME_CAP {
+        return "?";
+    }
+    let ptr = NAME_PTRS[idx].load(Ordering::Acquire);
+    if ptr == 0 {
+        return "?";
+    }
+    let len = NAME_LENS[idx].load(Ordering::Acquire);
+    // Safety: every nonzero entry was published from a `&'static str`
+    // (pointer and length written together under the insert lock, pointer
+    // last with Release), so the slice is valid UTF-8 for 'static.
+    unsafe { std::str::from_utf8_unchecked(std::slice::from_raw_parts(ptr as *const u8, len)) }
+}
+
+struct Ring {
+    thread: String,
+    head: AtomicU64,
+    slots: Box<[AtomicU64]>,
+}
+
+impl Ring {
+    fn new(thread: String) -> Self {
+        Self {
+            thread,
+            head: AtomicU64::new(0),
+            slots: (0..RING_CAP * WORDS).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Single-writer push: only the owning thread calls this.
+    fn push(&self, event: Event) {
+        let h = self.head.load(Ordering::Relaxed);
+        let base = (h as usize % RING_CAP) * WORDS;
+        let meta = event.kind.code() | (intern(event.name) << 8);
+        self.slots[base].store(meta, Ordering::Relaxed);
+        self.slots[base + 1].store(event.trace, Ordering::Relaxed);
+        self.slots[base + 2].store(event.span, Ordering::Relaxed);
+        self.slots[base + 3].store(event.parent, Ordering::Relaxed);
+        self.slots[base + 4].store(event.t_nanos, Ordering::Relaxed);
+        self.head.store(h + 1, Ordering::Release);
+    }
+
+    /// Best-effort copy of the most recent events, oldest first.
+    fn recent(&self) -> (u64, Vec<Event>) {
+        let h = self.head.load(Ordering::Acquire);
+        let kept = h.min(RING_CAP as u64);
+        let mut events = Vec::with_capacity(kept as usize);
+        for i in (h - kept)..h {
+            let base = (i as usize % RING_CAP) * WORDS;
+            let meta = self.slots[base].load(Ordering::Relaxed);
+            events.push(Event {
+                kind: EventKind::from_code(meta & 0xff),
+                name: name_for(meta >> 8),
+                trace: self.slots[base + 1].load(Ordering::Relaxed),
+                span: self.slots[base + 2].load(Ordering::Relaxed),
+                parent: self.slots[base + 3].load(Ordering::Relaxed),
+                t_nanos: self.slots[base + 4].load(Ordering::Relaxed),
+            });
+        }
+        (h, events)
+    }
+}
+
+fn rings() -> &'static Mutex<Vec<Arc<Ring>>> {
+    static RINGS: OnceLock<Mutex<Vec<Arc<Ring>>>> = OnceLock::new();
+    RINGS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+thread_local! {
+    static LOCAL: std::cell::OnceCell<Arc<Ring>> = const { std::cell::OnceCell::new() };
+}
+
+/// Appends an event to the calling thread's ring, registering the ring on
+/// first use (the only allocation this module ever performs per thread).
+pub(crate) fn push(event: Event) {
+    LOCAL.with(|cell| {
+        let ring = cell.get_or_init(|| {
+            let name = std::thread::current()
+                .name()
+                .unwrap_or("unnamed")
+                .to_owned();
+            let ring = Arc::new(Ring::new(name));
+            rings()
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push(ring.clone());
+            ring
+        });
+        ring.push(event);
+    });
+}
+
+/// Records a fault-injection firing (faultline calls this when a rule
+/// fires, tying the fault log into the same timeline as the spans).
+#[inline]
+pub fn fault_event(name: &'static str, trace: u64, arg: u64) {
+    if !crate::armed() {
+        return;
+    }
+    crate::trace::record_at(EventKind::Fault, name, trace, 0, arg, crate::now_nanos());
+}
+
+/// Records a retry decision (job re-run after a panic, reconnect,
+/// resubmission).
+#[inline]
+pub fn retry_event(name: &'static str, trace: u64, arg: u64) {
+    if !crate::armed() {
+        return;
+    }
+    crate::trace::record_at(EventKind::Retry, name, trace, 0, arg, crate::now_nanos());
+}
+
+/// A best-effort copy of every thread's recent events:
+/// `(thread name, total events ever recorded, retained events oldest-first)`.
+pub fn recent_events() -> Vec<(String, u64, Vec<Event>)> {
+    let rings = rings().lock().unwrap_or_else(|e| e.into_inner());
+    rings
+        .iter()
+        .map(|ring| {
+            let (total, events) = ring.recent();
+            (ring.thread.clone(), total, events)
+        })
+        .collect()
+}
+
+/// How many trailing events per thread a dump prints.
+const DUMP_TAIL: usize = 64;
+
+/// Formats the flight recorder as a readable report: per thread, the most
+/// recent events with relative timestamps. This is what gets printed on a
+/// dispatcher panic, a drain timeout, or alongside a fired fault plan.
+pub fn flight_dump() -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "=== telemetry flight recorder ===");
+    let threads = recent_events();
+    if threads.is_empty() {
+        let _ = writeln!(out, "(no events recorded — was telemetry armed?)");
+        return out;
+    }
+    for (thread, total, events) in threads {
+        let shown = events.len().min(DUMP_TAIL);
+        let _ = writeln!(
+            out,
+            "thread {thread:?}: {total} events recorded, showing last {shown}"
+        );
+        for event in &events[events.len() - shown..] {
+            let secs = event.t_nanos as f64 / 1e9;
+            let _ = write!(
+                out,
+                "  [{secs:>12.6}s] {:<10} {:<24} trace={:#x}",
+                event.kind.label(),
+                event.name,
+                event.trace
+            );
+            let _ = match event.kind {
+                EventKind::SpanStart => {
+                    writeln!(out, " span={} parent={}", event.span, event.parent)
+                }
+                EventKind::SpanEnd => writeln!(out, " span={}", event.span),
+                _ => writeln!(out, " arg={}", event.parent),
+            };
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_wraps_and_keeps_the_tail() {
+        let ring = Ring::new("t".into());
+        for i in 0..(RING_CAP as u64 + 10) {
+            ring.push(Event {
+                kind: EventKind::Instant,
+                name: "tick",
+                trace: 1,
+                span: 0,
+                parent: i,
+                t_nanos: i,
+            });
+        }
+        let (total, events) = ring.recent();
+        assert_eq!(total, RING_CAP as u64 + 10);
+        assert_eq!(events.len(), RING_CAP);
+        assert_eq!(events.first().unwrap().parent, 10);
+        assert_eq!(events.last().unwrap().parent, RING_CAP as u64 + 9);
+        assert_eq!(events.last().unwrap().name, "tick");
+    }
+
+    #[test]
+    fn interning_is_stable_across_threads() {
+        // One shared static: interning is by pointer identity, and distinct
+        // literals with equal text are allowed to land in distinct slots.
+        static NAME: &str = "stable-name";
+        let a = intern(NAME);
+        let handles: Vec<_> = (0..4)
+            .map(|_| std::thread::spawn(|| intern(NAME)))
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), a);
+        }
+        assert_eq!(name_for(a), "stable-name");
+        assert_eq!(name_for(0), "?");
+        assert_eq!(name_for(NAME_CAP as u64 + 7), "?");
+    }
+
+    #[test]
+    fn dump_mentions_armed_threads() {
+        crate::arm();
+        crate::recorder::fault_event("test-fault", 0x42, 7);
+        crate::disarm();
+        let dump = flight_dump();
+        assert!(dump.contains("telemetry flight recorder"));
+        assert!(dump.contains("test-fault"), "{dump}");
+    }
+}

@@ -1,0 +1,453 @@
+//! The metrics registry: named counters, gauges, and log-bucketed latency
+//! histograms, snapshotable without stopping writers.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are cheap `Arc` clones of
+//! cache-line-padded atomic cells. The intended discipline is *resolve once,
+//! update forever*: looking a metric up by name takes the registry lock, so
+//! hot paths resolve their handles at construction time and then touch only
+//! the atomics. Two lookups of the same name return handles onto the same
+//! cell, which is what makes the registry the single source of truth — the
+//! scheduler's retry counter and the wire layer's retry stat can be the
+//! *same* counter instead of two drifting copies.
+//!
+//! Naming conventions (also documented in DESIGN.md § Observability):
+//! `snake_case`, unit-suffixed (`_total` for counters, `_nanos` for duration
+//! histograms), with Prometheus-style labels inline in the name string
+//! (`client_accepted_total{client="alice"}`). Snapshots iterate names in
+//! sorted order, so text dumps are deterministic.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Pads an atomic out to its own cache line so unrelated hot counters never
+/// false-share (same idea as the vendored rayon's `CachePadded`, re-stated
+/// here because telemetry depends on nothing).
+#[repr(align(64))]
+#[derive(Default)]
+struct Padded(AtomicU64);
+
+/// A monotonically increasing counter. Clone freely; all clones share the
+/// same cell.
+#[derive(Clone, Default)]
+pub struct Counter {
+    cell: Arc<Padded>,
+}
+
+impl Counter {
+    /// Adds `n`. One relaxed `fetch_add`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.cell.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// The current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.cell.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A value that can move both ways (queue depths, in-flight jobs). Stored as
+/// a `u64` that saturates at zero on decrement, because every gauge in this
+/// workspace is a occupancy count.
+#[derive(Clone, Default)]
+pub struct Gauge {
+    cell: Arc<Padded>,
+}
+
+impl Gauge {
+    /// Increments the gauge.
+    #[inline]
+    pub fn inc(&self) {
+        self.cell.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Decrements the gauge, saturating at zero (a decrement racing a
+    /// snapshot must never wrap to 2^64).
+    #[inline]
+    pub fn dec(&self) {
+        let _ = self
+            .cell
+            .0
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(1))
+            });
+    }
+
+    /// Sets the gauge to an absolute value.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.cell.0.store(v, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.cell.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of logarithmic buckets: bucket `b` counts observations with
+/// `floor(log2(v)) == b - 1`, i.e. values in `[2^(b-1), 2^b)`; bucket 0
+/// counts zeros. 64 buckets cover the entire `u64` range.
+const BUCKETS: usize = 65;
+
+struct HistogramCore {
+    /// Per-bucket observation counts. Not padded: a histogram's buckets are
+    /// written together from the same observation, so padding each would
+    /// cost 4 KiB per histogram for no sharing win.
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for HistogramCore {
+    fn default() -> Self {
+        Self {
+            buckets: [(); BUCKETS].map(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A log-bucketed histogram of `u64` observations (by convention,
+/// nanoseconds). Recording is four relaxed atomic operations; quantiles are
+/// resolved from the bucket counts at snapshot time, so writers are never
+/// stopped or serialized.
+#[derive(Clone, Default)]
+pub struct Histogram {
+    core: Arc<HistogramCore>,
+}
+
+/// The bucket a value lands in: 0 for zero, else `floor(log2(v)) + 1`.
+#[inline]
+fn bucket_of(v: u64) -> usize {
+    (64 - v.leading_zeros()) as usize
+}
+
+/// The representative value reported for a bucket: the geometric middle of
+/// its `[2^(b-1), 2^b)` range, which bounds quantile error to ~sqrt(2)x.
+fn bucket_mid(b: usize) -> u64 {
+    if b == 0 {
+        return 0;
+    }
+    let lo = 1u64 << (b - 1);
+    lo + lo / 2
+}
+
+impl Histogram {
+    /// Records one observation.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        let core = &self.core;
+        core.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        core.count.fetch_add(1, Ordering::Relaxed);
+        core.sum.fetch_add(v, Ordering::Relaxed);
+        core.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Records a [`std::time::Duration`] in nanoseconds.
+    #[inline]
+    pub fn observe_duration(&self, d: std::time::Duration) {
+        self.observe(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// A point-in-time view. Buckets are read with relaxed loads while
+    /// writers keep writing, so the snapshot is approximate under
+    /// concurrency — consistent enough for percentiles, never torn per
+    /// field.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let core = &self.core;
+        let buckets: Vec<u64> = core
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        // Quantiles over what the buckets actually hold: the shared `count`
+        // can momentarily run ahead of the bucket increments.
+        let total: u64 = buckets.iter().sum();
+        let quantile = |q: f64| -> u64 {
+            if total == 0 {
+                return 0;
+            }
+            let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+            let mut seen = 0u64;
+            for (b, &n) in buckets.iter().enumerate() {
+                seen += n;
+                if seen >= rank {
+                    return bucket_mid(b);
+                }
+            }
+            bucket_mid(BUCKETS - 1)
+        };
+        HistogramSnapshot {
+            count: core.count.load(Ordering::Relaxed),
+            sum: core.sum.load(Ordering::Relaxed),
+            max: core.max.load(Ordering::Relaxed),
+            p50: quantile(0.50),
+            p95: quantile(0.95),
+            p99: quantile(0.99),
+        }
+    }
+}
+
+/// A resolved view of one histogram: exact count/sum/max, bucket-resolution
+/// (~sqrt(2)x) p50/p95/p99.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Largest observed value (exact).
+    pub max: u64,
+    /// Median, to bucket resolution.
+    pub p50: u64,
+    /// 95th percentile, to bucket resolution.
+    pub p95: u64,
+    /// 99th percentile, to bucket resolution.
+    pub p99: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean observed value, zero when empty.
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+/// A named collection of metrics. The workspace uses two kinds of registry:
+/// the process-wide [`crate::global`] one for cross-cutting subsystems, and
+/// per-service instances so concurrent services (common in tests) keep
+/// independent numbers.
+#[derive(Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Counter>>,
+    gauges: Mutex<BTreeMap<String, Gauge>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter named `name`, created on first lookup. Takes the
+    /// registry lock — resolve once, cache the handle.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut map = self.counters.lock().expect("counter map lock");
+        match map.get(name) {
+            Some(c) => c.clone(),
+            None => {
+                let c = Counter::default();
+                map.insert(name.to_owned(), c.clone());
+                c
+            }
+        }
+    }
+
+    /// The gauge named `name`, created on first lookup.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut map = self.gauges.lock().expect("gauge map lock");
+        match map.get(name) {
+            Some(g) => g.clone(),
+            None => {
+                let g = Gauge::default();
+                map.insert(name.to_owned(), g.clone());
+                g
+            }
+        }
+    }
+
+    /// The histogram named `name`, created on first lookup.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut map = self.histograms.lock().expect("histogram map lock");
+        match map.get(name) {
+            Some(h) => h.clone(),
+            None => {
+                let h = Histogram::default();
+                map.insert(name.to_owned(), h.clone());
+                h
+            }
+        }
+    }
+
+    /// A point-in-time view of every registered metric, names sorted. The
+    /// registry lock is held only to walk the name maps; the cells
+    /// themselves are read with relaxed loads while writers keep writing.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let counters = self
+            .counters
+            .lock()
+            .expect("counter map lock")
+            .iter()
+            .map(|(name, c)| (name.clone(), c.get()))
+            .collect();
+        let gauges = self
+            .gauges
+            .lock()
+            .expect("gauge map lock")
+            .iter()
+            .map(|(name, g)| (name.clone(), g.get()))
+            .collect();
+        let histograms = self
+            .histograms
+            .lock()
+            .expect("histogram map lock")
+            .iter()
+            .map(|(name, h)| (name.clone(), h.snapshot()))
+            .collect();
+        RegistrySnapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+/// Everything a [`Registry`] held at one instant, in sorted name order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RegistrySnapshot {
+    /// `(name, value)` for every counter.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` for every gauge.
+    pub gauges: Vec<(String, u64)>,
+    /// `(name, snapshot)` for every histogram.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl RegistrySnapshot {
+    /// The value of counter `name`, zero if absent — convenient for tests
+    /// and for rebuilding typed snapshot structs from a registry.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    /// The value of gauge `name`, zero if absent.
+    pub fn gauge(&self, name: &str) -> u64 {
+        self.gauges
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    /// The snapshot of histogram `name`, empty if absent.
+    pub fn histogram(&self, name: &str) -> HistogramSnapshot {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or_else(HistogramSnapshot::default, |(_, h)| *h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_handles_share_one_cell() {
+        let reg = Registry::new();
+        let a = reg.counter("x_total");
+        let b = reg.counter("x_total");
+        a.add(2);
+        b.inc();
+        assert_eq!(a.get(), 3);
+        assert_eq!(reg.snapshot().counter("x_total"), 3);
+    }
+
+    #[test]
+    fn gauge_saturates_at_zero() {
+        let g = Registry::new().gauge("depth");
+        g.dec();
+        assert_eq!(g.get(), 0);
+        g.inc();
+        g.inc();
+        g.dec();
+        assert_eq!(g.get(), 1);
+        g.set(9);
+        assert_eq!(g.get(), 9);
+    }
+
+    #[test]
+    fn histogram_quantiles_land_in_the_right_buckets() {
+        let h = Registry::new().histogram("lat_nanos");
+        // 90 fast observations around 1µs, 10 slow around 1ms.
+        for _ in 0..90 {
+            h.observe(1_000);
+        }
+        for _ in 0..10 {
+            h.observe(1_000_000);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.max, 1_000_000);
+        // p50 in the 1µs bucket (within sqrt(2)x), p99 in the 1ms bucket.
+        assert!(s.p50 >= 512 && s.p50 < 2_048, "p50={}", s.p50);
+        assert!(s.p99 >= 524_288 && s.p99 < 2_097_152, "p99={}", s.p99);
+        assert!(s.p95 >= s.p50 && s.p99 >= s.p95);
+        assert_eq!(s.mean(), (90 * 1_000 + 10 * 1_000_000) / 100);
+    }
+
+    #[test]
+    fn zero_observations_and_zero_values_are_sane() {
+        let h = Histogram::default();
+        assert_eq!(h.snapshot(), HistogramSnapshot::default());
+        h.observe(0);
+        let s = h.snapshot();
+        assert_eq!((s.count, s.p50, s.max), (1, 0, 0));
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_selective() {
+        let reg = Registry::new();
+        reg.counter("b_total").inc();
+        reg.counter("a_total").add(5);
+        reg.gauge("g").set(2);
+        let snap = reg.snapshot();
+        let names: Vec<&str> = snap.counters.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["a_total", "b_total"]);
+        assert_eq!(snap.counter("missing"), 0);
+        assert_eq!(snap.gauge("g"), 2);
+    }
+
+    #[test]
+    fn concurrent_observation_never_tears() {
+        let h = Histogram::default();
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let writers: Vec<_> = (0..4)
+            .map(|t| {
+                let h = h.clone();
+                let stop = stop.clone();
+                std::thread::spawn(move || {
+                    let mut n = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        h.observe((t + 1) * 1000 + n % 7);
+                        n += 1;
+                    }
+                    n
+                })
+            })
+            .collect();
+        for _ in 0..100 {
+            let s = h.snapshot();
+            assert!(s.p50 <= s.max.max(1) * 2);
+        }
+        stop.store(true, Ordering::Relaxed);
+        let written: u64 = writers.into_iter().map(|w| w.join().unwrap()).sum();
+        assert_eq!(h.snapshot().count, written);
+    }
+}

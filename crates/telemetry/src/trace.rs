@@ -1,0 +1,337 @@
+//! Structured span tracing: per-job trace ids, span start/end/parent
+//! events, and an optional bounded capture buffer for exporters.
+//!
+//! A **trace** is one job's journey through the system, identified by a
+//! trace id minted at admission (or adopted from the wire, so a remote
+//! client and the server share one trace). A **span** is a named interval
+//! within a trace (`queued`, `running`, `stage:spiders`, …) with an id and a
+//! parent span id, recorded as two events — [`EventKind::SpanStart`] and
+//! [`EventKind::SpanEnd`] — because the two ends of a span routinely happen
+//! on different threads (a job is admitted on the caller's thread and
+//! dispatched on a worker's).
+//!
+//! Every recording function is gated on [`crate::armed`]: disarmed, each is
+//! exactly one relaxed atomic load and allocates nothing (armed recording
+//! into the flight-recorder rings allocates nothing either, beyond each
+//! thread's one-time ring registration). Armed events always land in the
+//! per-thread rings ([`crate::recorder`]); when a capture is active they are
+//! additionally appended to a bounded global buffer that keeps the most
+//! recent `CAPTURE_CAP` (65 536) events — that buffer is what the Chrome
+//! trace-event exporter and the span-completeness tests read.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// What one recorded event describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A span opened; `parent` carries the enclosing span id (0 = root).
+    SpanStart,
+    /// A span closed; matched to its start by `span` id.
+    SpanEnd,
+    /// A point event within a trace; `parent` carries a free `u64` argument.
+    Instant,
+    /// A fault-injection rule fired (recorded by faultline integration).
+    Fault,
+    /// A retry was scheduled (job re-run, reconnect, resubmission).
+    Retry,
+}
+
+impl EventKind {
+    pub(crate) fn code(self) -> u64 {
+        match self {
+            EventKind::SpanStart => 0,
+            EventKind::SpanEnd => 1,
+            EventKind::Instant => 2,
+            EventKind::Fault => 3,
+            EventKind::Retry => 4,
+        }
+    }
+
+    pub(crate) fn from_code(code: u64) -> Self {
+        match code {
+            0 => EventKind::SpanStart,
+            1 => EventKind::SpanEnd,
+            2 => EventKind::Instant,
+            3 => EventKind::Fault,
+            _ => EventKind::Retry,
+        }
+    }
+
+    /// Short label used by the flight-recorder dump.
+    pub fn label(self) -> &'static str {
+        match self {
+            EventKind::SpanStart => "span-start",
+            EventKind::SpanEnd => "span-end",
+            EventKind::Instant => "instant",
+            EventKind::Fault => "fault",
+            EventKind::Retry => "retry",
+        }
+    }
+}
+
+/// One telemetry event. `Copy`, fits in five words plus the interned name —
+/// cheap enough to push into a ring on every span edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// What happened.
+    pub kind: EventKind,
+    /// Static event/span name (`queued`, `stage:spiders`, …).
+    pub name: &'static str,
+    /// The trace (job) this event belongs to; 0 = no trace (process-level
+    /// fault/retry events).
+    pub trace: u64,
+    /// Span id for start/end events; 0 for instants.
+    pub span: u64,
+    /// Parent span id for starts; free argument for other kinds.
+    pub parent: u64,
+    /// Nanoseconds since the telemetry epoch.
+    pub t_nanos: u64,
+}
+
+/// Mints a process-unique trace id. The top bits carry the process id so
+/// ids minted on a client and on a server (both sides mint when no id
+/// arrives over the wire) are distinguishable in a merged trace.
+pub fn next_trace_id() -> u64 {
+    static NEXT: OnceLock<AtomicU64> = OnceLock::new();
+    let next = NEXT.get_or_init(|| AtomicU64::new((u64::from(std::process::id()) << 32) | 1));
+    next.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Mints a span id (unique within the process; 0 is reserved for "no
+/// span").
+pub fn next_span_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Records a fully-specified event at an explicit timestamp. All the typed
+/// helpers below funnel through here; callers have already passed the armed
+/// gate.
+pub(crate) fn record_at(
+    kind: EventKind,
+    name: &'static str,
+    trace: u64,
+    span: u64,
+    parent: u64,
+    t_nanos: u64,
+) {
+    let event = Event {
+        kind,
+        name,
+        trace,
+        span,
+        parent,
+        t_nanos,
+    };
+    crate::recorder::push(event);
+    if CAPTURE_ON.load(Ordering::Relaxed) {
+        let mut buf = capture().lock().expect("capture lock");
+        if buf.len() == CAPTURE_CAP {
+            buf.pop_front();
+        }
+        buf.push_back(event);
+    }
+}
+
+#[inline]
+fn record(kind: EventKind, name: &'static str, trace: u64, span: u64, parent: u64) {
+    record_at(kind, name, trace, span, parent, crate::now_nanos());
+}
+
+/// Opens a span and returns its id — or 0 when disarmed, which the matching
+/// [`span_end`] treats as "record nothing". One relaxed load when disarmed.
+#[inline]
+pub fn span_start(name: &'static str, trace: u64, parent: u64) -> u64 {
+    if !crate::armed() {
+        return 0;
+    }
+    let id = next_span_id();
+    record(EventKind::SpanStart, name, trace, id, parent);
+    id
+}
+
+/// Closes the span opened by [`span_start`]. Accepts `span == 0` (the
+/// disarmed sentinel) silently, so callers never need their own guard.
+#[inline]
+pub fn span_end(name: &'static str, trace: u64, span: u64) {
+    if span == 0 || !crate::armed() {
+        return;
+    }
+    record(EventKind::SpanEnd, name, trace, span, 0);
+}
+
+/// Records a closed interval in one call: a start back-dated to
+/// `start_nanos` and an end at now, parented under `parent`. This is how
+/// per-stage timings become spans — the mining loop measures a stage with a
+/// plain `Instant` and reports it once at stage end.
+#[inline]
+pub fn span_complete(name: &'static str, trace: u64, parent: u64, start_nanos: u64) {
+    if !crate::armed() {
+        return;
+    }
+    let id = next_span_id();
+    let end = crate::now_nanos();
+    record_at(
+        EventKind::SpanStart,
+        name,
+        trace,
+        id,
+        parent,
+        start_nanos.min(end),
+    );
+    record_at(EventKind::SpanEnd, name, trace, id, 0, end);
+}
+
+/// Records a point event with a free `u64` argument.
+#[inline]
+pub fn instant(name: &'static str, trace: u64, arg: u64) {
+    if !crate::armed() {
+        return;
+    }
+    record(EventKind::Instant, name, trace, 0, arg);
+}
+
+/// An RAII span for intervals that begin and end on one thread. For spans
+/// whose ends live on different threads (queued → dispatched), use
+/// [`span_start`]/[`span_end`] with the id stored in the shared state.
+#[must_use = "the span ends when the guard drops"]
+pub struct SpanGuard {
+    name: &'static str,
+    trace: u64,
+    id: u64,
+}
+
+/// Opens an RAII span; it ends when the returned guard drops.
+#[inline]
+pub fn span(name: &'static str, trace: u64, parent: u64) -> SpanGuard {
+    SpanGuard {
+        name,
+        trace,
+        id: span_start(name, trace, parent),
+    }
+}
+
+impl SpanGuard {
+    /// The span's id, for parenting children under it (0 when disarmed).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        span_end(self.name, self.trace, self.id);
+    }
+}
+
+/// Capture keeps the most recent this-many events.
+const CAPTURE_CAP: usize = 1 << 16;
+
+static CAPTURE_ON: AtomicBool = AtomicBool::new(false);
+
+fn capture() -> &'static Mutex<VecDeque<Event>> {
+    static CAPTURE: OnceLock<Mutex<VecDeque<Event>>> = OnceLock::new();
+    CAPTURE.get_or_init(|| Mutex::new(VecDeque::new()))
+}
+
+/// Clears the capture buffer and starts appending armed events to it (in
+/// addition to the always-on flight-recorder rings). Bounded: only the most
+/// recent 65 536 events are kept.
+pub fn start_capture() {
+    capture().lock().expect("capture lock").clear();
+    CAPTURE_ON.store(true, Ordering::SeqCst);
+}
+
+/// Stops appending to the capture buffer (its contents stay readable).
+pub fn stop_capture() {
+    CAPTURE_ON.store(false, Ordering::SeqCst);
+}
+
+/// Drains and returns the captured events in recording order.
+pub fn take_capture() -> Vec<Event> {
+    capture().lock().expect("capture lock").drain(..).collect()
+}
+
+/// A copy of the captured events without draining them — what a serving
+/// process exports on a `Trace` wire request while capture stays live.
+pub fn capture_snapshot() -> Vec<Event> {
+    capture()
+        .lock()
+        .expect("capture lock")
+        .iter()
+        .copied()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_unique_and_nonzero() {
+        let a = next_trace_id();
+        let b = next_trace_id();
+        assert_ne!(a, b);
+        assert_ne!(next_span_id(), 0);
+        assert_ne!(next_span_id(), next_span_id());
+    }
+
+    #[test]
+    fn disarmed_spans_record_nothing() {
+        crate::disarm();
+        start_capture();
+        let s = span_start("quiet", 1, 0);
+        assert_eq!(s, 0);
+        span_end("quiet", 1, s);
+        instant("quiet", 1, 7);
+        span_complete("quiet", 1, 0, 0);
+        drop(span("quiet", 1, 0));
+        stop_capture();
+        assert!(take_capture().is_empty());
+    }
+
+    #[test]
+    fn armed_spans_balance_and_parent() {
+        crate::arm();
+        start_capture();
+        let trace = next_trace_id();
+        let root = span_start("job", trace, 0);
+        let child = span("running", trace, root);
+        let child_id = child.id();
+        assert_ne!(child_id, 0);
+        span_complete("stage:x", trace, child_id, crate::now_nanos());
+        drop(child);
+        span_end("job", trace, root);
+        stop_capture();
+        crate::disarm();
+        let events: Vec<Event> = take_capture()
+            .into_iter()
+            .filter(|e| e.trace == trace)
+            .collect();
+        let starts: Vec<&Event> = events
+            .iter()
+            .filter(|e| e.kind == EventKind::SpanStart)
+            .collect();
+        let ends: Vec<&Event> = events
+            .iter()
+            .filter(|e| e.kind == EventKind::SpanEnd)
+            .collect();
+        assert_eq!(starts.len(), 3);
+        assert_eq!(ends.len(), 3);
+        for start in &starts {
+            assert!(
+                ends.iter().any(|e| e.span == start.span),
+                "unbalanced span {}",
+                start.name
+            );
+        }
+        let stage = starts.iter().find(|e| e.name == "stage:x").unwrap();
+        assert_eq!(stage.parent, child_id);
+        // Timestamps are monotone within the capture.
+        for pair in events.windows(2) {
+            assert!(pair[0].t_nanos <= pair[1].t_nanos);
+        }
+    }
+}

@@ -20,6 +20,7 @@ use spidermine_engine::{MineOutcome, MineRequest, StreamedPattern};
 use spidermine_faultline::{self as faultline, FaultKind, FaultSite, RetryPolicy};
 use spidermine_graph::signature::StableHasher;
 use spidermine_service::ServiceMetrics;
+use spidermine_telemetry as telemetry;
 use std::collections::{HashMap, VecDeque};
 use std::io::Write;
 use std::net::{Shutdown, TcpStream, ToSocketAddrs};
@@ -41,9 +42,14 @@ enum Event {
         from_cache: bool,
         meta: Vec<u8>,
         order: Vec<PatternRef>,
+        trace: u64,
     },
     Failed(String),
     Stats(Box<ServiceMetrics>),
+    /// Prometheus text answer to a `MetricsRequest`.
+    Metrics(String),
+    /// Chrome trace-event JSON answer to a `TraceRequest`.
+    Trace(String),
     /// The connection died; carries the reason. Broadcast to all pending.
     Lost(TransportError),
 }
@@ -153,16 +159,20 @@ fn reader_loop(mut stream: TcpStream, inner: &Weak<ClientInner>) {
                 from_cache,
                 meta,
                 order,
+                trace,
             } => (
                 id,
                 Event::Done {
                     from_cache,
                     meta,
                     order,
+                    trace,
                 },
             ),
             Frame::Failed { id, message } => (id, Event::Failed(message)),
             Frame::Stats { id, metrics } => (id, Event::Stats(Box::new(metrics))),
+            Frame::Metrics { id, text } => (id, Event::Metrics(text)),
+            Frame::Trace { id, json } => (id, Event::Trace(json)),
             Frame::Goodbye { rejection, message } => {
                 break match rejection {
                     Some(rejection) => TransportError::Rejected(rejection),
@@ -175,7 +185,9 @@ fn reader_loop(mut stream: TcpStream, inner: &Weak<ClientInner>) {
             | Frame::HelloAck { .. }
             | Frame::Request { .. }
             | Frame::Cancel { .. }
-            | Frame::StatsRequest { .. } => {
+            | Frame::StatsRequest { .. }
+            | Frame::MetricsRequest { .. }
+            | Frame::TraceRequest { .. } => {
                 break TransportError::Protocol("received a client-side frame".into());
             }
         };
@@ -352,12 +364,20 @@ impl MiningClient {
     /// [`TransportError::Rejected`] with the typed reason).
     pub fn submit(&self, graph: &str, request: &MineRequest) -> Result<RemoteJob, TransportError> {
         let (id, events) = self.inner.register();
+        // Mint the telemetry trace id on the client and carry it in the
+        // Request frame: the server adopts it for the job's spans, so both
+        // ends of the wire log under one trace. The client-side `remote_job`
+        // span brackets submit → settle.
+        let trace = telemetry::next_trace_id();
+        let span = telemetry::span_start("remote_job", trace, 0);
         let frame = Frame::Request {
             id,
             graph: graph.to_owned(),
             request: spidermine_engine::wire::encode_request(request),
+            trace,
         };
         if let Err(error) = self.inner.send_frame(&frame) {
+            telemetry::span_end("remote_job", trace, span);
             self.inner.unregister(id);
             return Err(error);
         }
@@ -369,32 +389,38 @@ impl MiningClient {
         loop {
             match events.recv() {
                 Ok(Event::Accepted { job }) => {
+                    telemetry::instant("remote_accepted", trace, job);
                     return Ok(RemoteJob {
                         client: self.inner.clone(),
                         id,
                         job,
+                        trace,
+                        span,
                         events,
                         stash,
                         streamed: Vec::new(),
                         delivered: 0,
                         done: None,
                         failed: None,
-                    })
+                    });
                 }
                 Ok(Event::Rejected(error)) | Ok(Event::Lost(error)) => {
+                    telemetry::span_end("remote_job", trace, span);
                     self.inner.unregister(id);
                     return Err(error);
                 }
                 Ok(event @ (Event::Pattern { .. } | Event::Done { .. } | Event::Failed(_))) => {
                     stash.push_back(event);
                 }
-                Ok(Event::Stats(_)) => {
+                Ok(Event::Stats(_) | Event::Metrics(_) | Event::Trace(_)) => {
+                    telemetry::span_end("remote_job", trace, span);
                     self.inner.unregister(id);
                     return Err(TransportError::Protocol(
-                        "expected Accepted or Rejected, got Stats".into(),
+                        "expected Accepted or Rejected, got an answer frame".into(),
                     ));
                 }
                 Err(_) => {
+                    telemetry::span_end("remote_job", trace, span);
                     self.inner.unregister(id);
                     return Err(TransportError::Closed);
                 }
@@ -418,6 +444,45 @@ impl MiningClient {
         self.inner.unregister(id);
         result
     }
+
+    /// Fetches the server's telemetry registries as Prometheus text
+    /// exposition: jobs, cache, per-client, latency histograms with
+    /// p50/p95/p99 quantiles, graph I/O and oracle aggregates.
+    pub fn metrics_text(&self) -> Result<String, TransportError> {
+        let (id, events) = self.inner.register();
+        let result = (|| {
+            self.inner.send_frame(&Frame::MetricsRequest { id })?;
+            match events.recv() {
+                Ok(Event::Metrics(text)) => Ok(text),
+                Ok(Event::Lost(error)) => Err(error),
+                Ok(_) => Err(TransportError::Protocol(
+                    "expected a Metrics response".into(),
+                )),
+                Err(_) => Err(TransportError::Closed),
+            }
+        })();
+        self.inner.unregister(id);
+        result
+    }
+
+    /// Fetches the server's captured span/instant events as Chrome
+    /// trace-event JSON (load in `chrome://tracing` or Perfetto). Empty
+    /// `{"traceEvents":[]}` unless the server runs with tracing armed
+    /// (`--trace-out` / `spidermine_telemetry::arm`).
+    pub fn trace_json(&self) -> Result<String, TransportError> {
+        let (id, events) = self.inner.register();
+        let result = (|| {
+            self.inner.send_frame(&Frame::TraceRequest { id })?;
+            match events.recv() {
+                Ok(Event::Trace(json)) => Ok(json),
+                Ok(Event::Lost(error)) => Err(error),
+                Ok(_) => Err(TransportError::Protocol("expected a Trace response".into())),
+                Err(_) => Err(TransportError::Closed),
+            }
+        })();
+        self.inner.unregister(id);
+        result
+    }
 }
 
 /// The reconstructed result of a remote run: the outcome (byte-identical to
@@ -433,6 +498,9 @@ pub struct RemoteOutcome {
     pub from_cache: bool,
     /// The server-side job id.
     pub job: u64,
+    /// The telemetry trace id the job ran under on both ends of the wire
+    /// (client-minted, server-adopted, echoed on the `Done` frame).
+    pub trace: u64,
 }
 
 /// An accepted remote request. Iterate it to receive accepted patterns as
@@ -444,6 +512,10 @@ pub struct RemoteJob {
     client: Arc<ClientInner>,
     id: u64,
     job: u64,
+    /// Client-minted telemetry trace id carried on the Request frame.
+    trace: u64,
+    /// The open `remote_job` span; 0 once closed (at settle or drop).
+    span: u64,
     events: mpsc::Receiver<Event>,
     /// Data events that arrived before the Accepted frame (possible on
     /// cache hits, whose replay races the acceptance); drained first.
@@ -454,7 +526,7 @@ pub struct RemoteJob {
     streamed: Vec<Vec<u8>>,
     /// How many of `streamed` the iterator has handed out.
     delivered: usize,
-    done: Option<(bool, Vec<u8>, Vec<PatternRef>)>,
+    done: Option<(bool, Vec<u8>, Vec<PatternRef>, u64)>,
     failed: Option<TransportError>,
 }
 
@@ -476,6 +548,20 @@ impl RemoteJob {
     /// visible via [`RemoteOutcome::from_cache`] instead).
     pub fn job_id(&self) -> u64 {
         self.job
+    }
+
+    /// The telemetry trace id this job runs under (client-minted, carried
+    /// on the Request frame, adopted by the server's scheduler).
+    pub fn trace(&self) -> u64 {
+        self.trace
+    }
+
+    /// Closes the client-side `remote_job` span exactly once.
+    fn close_span(&mut self) {
+        if self.span != 0 {
+            telemetry::span_end("remote_job", self.trace, self.span);
+            self.span = 0;
+        }
     }
 
     /// Asks the server to fire the job's cancel token. The job still
@@ -508,15 +594,35 @@ impl RemoteJob {
                     from_cache,
                     meta,
                     order,
-                }) => self.done = Some((from_cache, meta, order)),
-                Ok(Event::Failed(message)) => self.failed = Some(TransportError::Job(message)),
-                Ok(Event::Lost(error)) => self.failed = Some(error),
-                Ok(Event::Accepted { .. } | Event::Rejected(_) | Event::Stats(_)) => {
+                    trace,
+                }) => {
+                    self.done = Some((from_cache, meta, order, trace));
+                    self.close_span();
+                }
+                Ok(Event::Failed(message)) => {
+                    self.failed = Some(TransportError::Job(message));
+                    self.close_span();
+                }
+                Ok(Event::Lost(error)) => {
+                    self.failed = Some(error);
+                    self.close_span();
+                }
+                Ok(
+                    Event::Accepted { .. }
+                    | Event::Rejected(_)
+                    | Event::Stats(_)
+                    | Event::Metrics(_)
+                    | Event::Trace(_),
+                ) => {
                     self.failed = Some(TransportError::Protocol(
                         "unexpected frame mid-stream".into(),
                     ));
+                    self.close_span();
                 }
-                Err(_) => self.failed = Some(TransportError::Closed),
+                Err(_) => {
+                    self.failed = Some(TransportError::Closed);
+                    self.close_span();
+                }
             }
         }
     }
@@ -538,7 +644,7 @@ impl RemoteJob {
         if let Some(error) = self.failed.take() {
             return Err(error);
         }
-        let (from_cache, meta, order) = self.done.take().expect("loop exits settled");
+        let (from_cache, meta, order, trace) = self.done.take().expect("loop exits settled");
         let mut outcome = decode_outcome_meta(&meta)?;
         let mut patterns = Vec::with_capacity(order.len());
         for reference in &order {
@@ -553,10 +659,14 @@ impl RemoteJob {
             patterns.push(decode_pattern(bytes)?);
         }
         outcome.patterns = patterns;
+        // Prefer the server's echoed trace id; it equals ours unless the
+        // server overrode a zero (never minted here) or predates the field.
+        let trace = if trace != 0 { trace } else { self.trace };
         Ok(RemoteOutcome {
             outcome,
             from_cache,
             job: self.job,
+            trace,
         })
     }
 }
@@ -585,6 +695,8 @@ impl Iterator for RemoteJob {
 
 impl Drop for RemoteJob {
     fn drop(&mut self) {
+        // An abandoned (never settled) job still balances its span.
+        self.close_span();
         self.client.unregister(self.id);
     }
 }

@@ -49,6 +49,8 @@ mod frame_type {
     pub const CANCEL: u16 = 4;
     pub const STATS_REQUEST: u16 = 5;
     pub const HEARTBEAT: u16 = 6;
+    pub const METRICS_REQUEST: u16 = 7;
+    pub const TRACE_REQUEST: u16 = 8;
     pub const ACCEPTED: u16 = 16;
     pub const REJECTED: u16 = 17;
     pub const PATTERN: u16 = 18;
@@ -57,6 +59,8 @@ mod frame_type {
     pub const STATS: u16 = 21;
     pub const GOODBYE: u16 = 22;
     pub const DRAINING: u16 = 23;
+    pub const METRICS: u16 = 24;
+    pub const TRACE: u16 = 25;
 }
 
 /// One entry of a `Done` frame's outcome-order table: how to materialize
@@ -104,6 +108,10 @@ pub enum Frame {
         graph: String,
         /// [`spidermine_engine::wire::encode_request`] bytes.
         request: Vec<u8>,
+        /// Telemetry trace id minted by the client (0 = untraced). The
+        /// server adopts it for the job's spans, so client- and server-side
+        /// events of one job line up under one trace.
+        trace: u64,
     },
     /// Fire the cancel token of an in-flight request.
     Cancel {
@@ -113,6 +121,17 @@ pub enum Frame {
     /// Ask for service metrics (including per-client counters).
     StatsRequest {
         /// Client-chosen id echoed on the `Stats` answer.
+        id: u64,
+    },
+    /// Ask for the server's telemetry registry in Prometheus text format.
+    MetricsRequest {
+        /// Client-chosen id echoed on the `Metrics` answer.
+        id: u64,
+    },
+    /// Ask for the server's captured trace events as Chrome trace-event
+    /// JSON (empty unless the server runs with tracing armed).
+    TraceRequest {
+        /// Client-chosen id echoed on the `Trace` answer.
         id: u64,
     },
     /// Connection keep-alive: no payload, no answer. Sent by idle clients so
@@ -152,6 +171,9 @@ pub enum Frame {
         meta: Vec<u8>,
         /// Outcome-order table; see [`PatternRef`].
         order: Vec<PatternRef>,
+        /// Telemetry trace id the server ran the job under (echo of the
+        /// request's `trace`, or a server-minted id when that was 0).
+        trace: u64,
     },
     /// The job ran and failed (engine error or caught panic).
     Failed {
@@ -166,6 +188,22 @@ pub enum Frame {
         id: u64,
         /// Service-wide counters at answer time.
         metrics: ServiceMetrics,
+    },
+    /// Answer to `MetricsRequest`.
+    Metrics {
+        /// Echo of the request id.
+        id: u64,
+        /// Prometheus text exposition of the server's telemetry registries
+        /// (per-service + process-global).
+        text: String,
+    },
+    /// Answer to `TraceRequest`.
+    Trace {
+        /// Echo of the request id.
+        id: u64,
+        /// Chrome trace-event JSON of the server's captured span/instant
+        /// events (load in `chrome://tracing` or Perfetto).
+        json: String,
     },
     /// The peer is closing this connection deliberately.
     Goodbye {
@@ -192,6 +230,8 @@ impl Frame {
             Frame::Request { .. } => frame_type::REQUEST,
             Frame::Cancel { .. } => frame_type::CANCEL,
             Frame::StatsRequest { .. } => frame_type::STATS_REQUEST,
+            Frame::MetricsRequest { .. } => frame_type::METRICS_REQUEST,
+            Frame::TraceRequest { .. } => frame_type::TRACE_REQUEST,
             Frame::Heartbeat => frame_type::HEARTBEAT,
             Frame::Accepted { .. } => frame_type::ACCEPTED,
             Frame::Rejected { .. } => frame_type::REJECTED,
@@ -199,6 +239,8 @@ impl Frame {
             Frame::Done { .. } => frame_type::DONE,
             Frame::Failed { .. } => frame_type::FAILED,
             Frame::Stats { .. } => frame_type::STATS,
+            Frame::Metrics { .. } => frame_type::METRICS,
+            Frame::Trace { .. } => frame_type::TRACE,
             Frame::Goodbye { .. } => frame_type::GOODBYE,
             Frame::Draining { .. } => frame_type::DRAINING,
         }
@@ -216,12 +258,21 @@ impl Frame {
                 w.put_u64(*idle_timeout_ms);
             }
             Frame::Heartbeat => {}
-            Frame::Request { id, graph, request } => {
+            Frame::Request {
+                id,
+                graph,
+                request,
+                trace,
+            } => {
                 w.put_u64(*id);
                 w.put_str(graph);
                 w.put_bytes(request);
+                w.put_u64(*trace);
             }
-            Frame::Cancel { id } | Frame::StatsRequest { id } => w.put_u64(*id),
+            Frame::Cancel { id }
+            | Frame::StatsRequest { id }
+            | Frame::MetricsRequest { id }
+            | Frame::TraceRequest { id } => w.put_u64(*id),
             Frame::Accepted { id, job } => {
                 w.put_u64(*id);
                 w.put_u64(*job);
@@ -240,8 +291,10 @@ impl Frame {
                 from_cache,
                 meta,
                 order,
+                trace,
             } => {
                 w.put_u64(*id);
+                w.put_u64(*trace);
                 w.put_u8(*from_cache as u8);
                 w.put_bytes(meta);
                 w.put_u32(order.len() as u32);
@@ -265,6 +318,14 @@ impl Frame {
             Frame::Stats { id, metrics } => {
                 w.put_u64(*id);
                 put_metrics(&mut w, metrics);
+            }
+            Frame::Metrics { id, text } => {
+                w.put_u64(*id);
+                w.put_str(text);
+            }
+            Frame::Trace { id, json } => {
+                w.put_u64(*id);
+                w.put_str(json);
             }
             Frame::Goodbye { rejection, message } => {
                 match rejection {
@@ -296,9 +357,12 @@ impl Frame {
                 id: r.get_u64()?,
                 graph: r.get_str()?.to_owned(),
                 request: r.get_bytes()?.to_vec(),
+                trace: r.get_u64()?,
             },
             frame_type::CANCEL => Frame::Cancel { id: r.get_u64()? },
             frame_type::STATS_REQUEST => Frame::StatsRequest { id: r.get_u64()? },
+            frame_type::METRICS_REQUEST => Frame::MetricsRequest { id: r.get_u64()? },
+            frame_type::TRACE_REQUEST => Frame::TraceRequest { id: r.get_u64()? },
             frame_type::ACCEPTED => Frame::Accepted {
                 id: r.get_u64()?,
                 job: r.get_u64()?,
@@ -314,6 +378,7 @@ impl Frame {
             },
             frame_type::DONE => {
                 let id = r.get_u64()?;
+                let trace = r.get_u64()?;
                 let from_cache = match r.get_u8()? {
                     0 => false,
                     1 => true,
@@ -342,6 +407,7 @@ impl Frame {
                     from_cache,
                     meta,
                     order,
+                    trace,
                 }
             }
             frame_type::FAILED => Frame::Failed {
@@ -351,6 +417,14 @@ impl Frame {
             frame_type::STATS => Frame::Stats {
                 id: r.get_u64()?,
                 metrics: get_metrics(&mut r)?,
+            },
+            frame_type::METRICS => Frame::Metrics {
+                id: r.get_u64()?,
+                text: r.get_str()?.to_owned(),
+            },
+            frame_type::TRACE => Frame::Trace {
+                id: r.get_u64()?,
+                json: r.get_str()?.to_owned(),
             },
             frame_type::GOODBYE => {
                 let rejection = match r.get_u8()? {
@@ -599,7 +673,7 @@ pub fn read_frame(reader: &mut impl Read) -> Result<Frame, TransportError> {
         return Err(TransportError::UnsupportedVersion(version));
     }
     let frame_type = u16::from_le_bytes(header[6..8].try_into().unwrap());
-    if !matches!(frame_type, 1..=6 | 16..=23) {
+    if !matches!(frame_type, 1..=8 | 16..=25) {
         return Err(TransportError::UnknownFrameType(frame_type));
     }
     let declared = u32::from_le_bytes(header[8..12].try_into().unwrap()) as usize;
@@ -648,9 +722,12 @@ mod tests {
                 id: 7,
                 graph: "web".into(),
                 request: vec![1, 2, 3],
+                trace: 0xABCD,
             },
             Frame::Cancel { id: 7 },
             Frame::StatsRequest { id: 9 },
+            Frame::MetricsRequest { id: 10 },
+            Frame::TraceRequest { id: 11 },
             Frame::Accepted { id: 7, job: 41 },
             Frame::Rejected {
                 id: 7,
@@ -669,6 +746,7 @@ mod tests {
                 from_cache: true,
                 meta: vec![5, 5],
                 order: vec![PatternRef::Streamed(1), PatternRef::Inline(vec![3])],
+                trace: 0xABCD,
             },
             Frame::Failed {
                 id: 7,
@@ -696,6 +774,14 @@ mod tests {
                 message: "at capacity".into(),
             },
             Frame::Draining { deadline_ms: 1500 },
+            Frame::Metrics {
+                id: 10,
+                text: "jobs_completed_total 9\n".into(),
+            },
+            Frame::Trace {
+                id: 11,
+                json: "{\"traceEvents\":[]}".into(),
+            },
         ]
     }
 
@@ -785,6 +871,7 @@ mod tests {
             id: 1,
             graph: "g".into(),
             request: vec![7; 32],
+            trace: 3,
         });
         for bit in 0..bytes.len() * 8 {
             let mut flipped = bytes.clone();

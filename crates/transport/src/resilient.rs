@@ -103,6 +103,42 @@ impl ResilientClient {
         Ok(client)
     }
 
+    /// Fetches the server's telemetry registries as Prometheus text,
+    /// reconnecting across transient failures like [`Self::mine`].
+    pub fn metrics_text(&self) -> Result<String, TransportError> {
+        self.with_retry(|client| client.metrics_text())
+    }
+
+    /// Fetches the server's captured span events as Chrome trace-event
+    /// JSON, reconnecting across transient failures like [`Self::mine`].
+    pub fn trace_json(&self) -> Result<String, TransportError> {
+        self.with_retry(|client| client.trace_json())
+    }
+
+    /// Runs one round-trip `op` against the live connection, reconnecting
+    /// and retrying under the policy when it fails transiently.
+    fn with_retry<T>(
+        &self,
+        op: impl Fn(&MiningClient) -> Result<T, TransportError>,
+    ) -> Result<T, TransportError> {
+        let mut hasher = StableHasher::new();
+        hasher.write_bytes(self.name.as_bytes());
+        let seed = hasher.finish();
+        let mut attempts = 0u32;
+        loop {
+            attempts += 1;
+            match self.client().and_then(|client| op(&client)) {
+                Ok(value) => return Ok(value),
+                Err(error) if error.is_transient() && self.policy.should_retry(attempts) => {
+                    *self.inner.lock().expect("client lock") = None;
+                    self.retries.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(self.policy.delay_for(attempts, seed));
+                }
+                Err(error) => return Err(error),
+            }
+        }
+    }
+
     /// Submits `request` and blocks to the final outcome, reconnecting and
     /// resubmitting across transient failures. The returned outcome is
     /// byte-identical (under the engine's semantic encoding) to an

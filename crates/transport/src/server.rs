@@ -32,6 +32,7 @@ use spidermine_engine::MineRequest;
 use spidermine_faultline::{self as faultline, FaultKind, FaultSite};
 use spidermine_graph::signature::StableHasher;
 use spidermine_service::{JobHandle, MiningService, ServiceError, SubmitOptions};
+use spidermine_telemetry as telemetry;
 use std::collections::HashMap;
 use std::io::Write;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -476,11 +477,16 @@ fn serve_connection(
                     rejection: WireRejection::ShuttingDown,
                 });
             }
-            Frame::Request { id, graph, request } => {
+            Frame::Request {
+                id,
+                graph,
+                request,
+                trace,
+            } => {
                 let client = client.clone().expect("handshake done");
-                if let Some(waiter) =
-                    handle_request(shared, &frames_tx, &live, &client, id, &graph, &request)
-                {
+                if let Some(waiter) = handle_request(
+                    shared, &frames_tx, &live, &client, id, &graph, &request, trace,
+                ) {
                     waiters.push(waiter);
                 }
             }
@@ -497,6 +503,21 @@ fn serve_connection(
                     metrics: shared.service.metrics(),
                 });
             }
+            Frame::MetricsRequest { id } => {
+                // Both registries: the service's own cells (jobs, cache,
+                // per-client) and the process-global ones (graph I/O, oracle).
+                let text = telemetry::prometheus_text(&[
+                    shared.service.registry().snapshot(),
+                    telemetry::global().snapshot(),
+                ]);
+                send(&Frame::Metrics { id, text });
+            }
+            Frame::TraceRequest { id } => {
+                // Empty `[]` trace when the server runs disarmed — still
+                // valid trace-event JSON, so clients need no special case.
+                let json = telemetry::chrome_trace_json(&telemetry::capture_snapshot());
+                send(&Frame::Trace { id, json });
+            }
             // Server-to-client frames arriving at the server are a protocol
             // violation.
             Frame::HelloAck { .. }
@@ -506,6 +527,8 @@ fn serve_connection(
             | Frame::Done { .. }
             | Frame::Failed { .. }
             | Frame::Stats { .. }
+            | Frame::Metrics { .. }
+            | Frame::Trace { .. }
             | Frame::Draining { .. } => {
                 send(&Frame::Goodbye {
                     rejection: None,
@@ -551,6 +574,7 @@ fn handle_request(
     id: u64,
     graph: &str,
     request_bytes: &[u8],
+    trace: u64,
 ) -> Option<JoinHandle<()>> {
     let send = |frame: &Frame| {
         let _ = frames_tx.send(encode_frame(frame));
@@ -622,6 +646,10 @@ fn handle_request(
     let options = SubmitOptions {
         observer: Some(Arc::new(observer)),
         client: Some(client.to_owned()),
+        // Adopt the client-minted trace id so the server-side span tree of
+        // this job lines up with the client's events; 0 means "untraced
+        // client", and the scheduler mints its own id.
+        trace: (trace != 0).then_some(trace),
         ..SubmitOptions::default()
     };
     let handle = match shared.service.submit_with_options(graph, request, options) {
@@ -684,6 +712,7 @@ fn handle_request(
                         from_cache: handle.metrics().is_some_and(|m| m.from_cache),
                         meta: encode_outcome_meta(&outcome),
                         order,
+                        trace: handle.trace(),
                     }
                 }
                 Err(error) => Frame::Failed {

@@ -50,10 +50,23 @@
 //! * `--fault-plan SPEC` — arm deterministic fault injection for this
 //!   invocation from an explicit plan (`site:nth:kind[=arg]`, comma
 //!   separated — e.g. `wire-write:4:disconnect,disk-read:0:bit-flip=3`);
-//!   the rules that actually fired are reported at exit
+//!   the rules that actually fired are reported at exit, and the telemetry
+//!   flight recorder is armed automatically — its dump (recent spans,
+//!   faults and retries per thread) prints alongside the fired-rule report
 //! * `--chaos SEED`  — arm fault injection from a seeded random plan
 //!   (mutually exclusive with `--fault-plan`); the same seed always
-//!   produces the same plan, so a chaotic run is replayable
+//!   produces the same plan, so a chaotic run is replayable. Arms the
+//!   flight recorder like `--fault-plan`
+//! * `--metrics`     — print the telemetry registries in Prometheus text
+//!   format at exit (counters, gauges, latency histograms with
+//!   p50/p95/p99). In `--connect` mode the *server's* registries are
+//!   fetched over the wire; in `--serve` mode they print at drain
+//! * `--trace-out FILE` — arm structured span tracing and write the
+//!   captured events to FILE as Chrome trace-event JSON (open in
+//!   `chrome://tracing` or Perfetto). In `--connect` mode the server's
+//!   captured trace is fetched over the wire (the server must also run
+//!   with `--trace-out` or armed telemetry); in `--serve` mode the
+//!   capture is written at drain
 //!
 //! In `--connect` mode with faults armed, the client runs through the
 //! resilient reconnect-and-resume path and prints its retry/reconnect
@@ -74,6 +87,7 @@ use spidermine_engine::{
 use spidermine_faultline::{FaultInjector, FaultPlan};
 use spidermine_graph::{generate, io, GraphDatabase, LabeledGraph};
 use spidermine_service::{MiningService, ServiceConfig};
+use spidermine_telemetry as telemetry;
 use spidermine_transport::{
     MiningClient, MiningServer, ResilientClient, RetryPolicy, TransportConfig,
 };
@@ -138,11 +152,13 @@ struct Cli {
     catalog_dir: Option<String>,
     fault_plan: Option<String>,
     chaos: Option<u64>,
+    metrics: bool,
+    trace_out: Option<String>,
 }
 
 fn usage() -> String {
     format!(
-        "usage: mine [--algo {}] [--sigma N] [--k N] [--dmax N] [--seed N] [--threads N] [--support-measure {}] [--deadline-ms N] [--edges FILE] [--load-graph FILE] [--save-graph FILE] [--serve-demo] [--serve ADDR] [--connect ADDR] [--graph NAME] [--catalog-dir DIR] [--fault-plan SPEC] [--chaos SEED]",
+        "usage: mine [--algo {}] [--sigma N] [--k N] [--dmax N] [--seed N] [--threads N] [--support-measure {}] [--deadline-ms N] [--edges FILE] [--load-graph FILE] [--save-graph FILE] [--serve-demo] [--serve ADDR] [--connect ADDR] [--graph NAME] [--catalog-dir DIR] [--fault-plan SPEC] [--chaos SEED] [--metrics] [--trace-out FILE]",
         Algorithm::all().map(|a| a.name()).join("|"),
         SupportMeasure::all().map(|m| m.name()).join("|")
     )
@@ -170,6 +186,8 @@ fn parse_cli() -> Result<Option<Cli>, String> {
         catalog_dir: None,
         fault_plan: None,
         chaos: None,
+        metrics: false,
+        trace_out: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -229,6 +247,8 @@ fn parse_cli() -> Result<Option<Cli>, String> {
             "--graph" => cli.graph = value("--graph")?,
             "--catalog-dir" => cli.catalog_dir = Some(value("--catalog-dir")?),
             "--fault-plan" => cli.fault_plan = Some(value("--fault-plan")?),
+            "--metrics" => cli.metrics = true,
+            "--trace-out" => cli.trace_out = Some(value("--trace-out")?),
             "--chaos" => {
                 cli.chaos = Some(
                     value("--chaos")?
@@ -357,6 +377,16 @@ fn serve_demo(cli: &Cli) -> Result<(), String> {
         "cache: {} hits / {} misses / {} evictions ({} resident)",
         m.cache.hits, m.cache.misses, m.cache.evictions, m.cache.entries
     );
+    if cli.metrics {
+        println!("\n# --metrics: telemetry registries (Prometheus text)");
+        print!(
+            "{}",
+            telemetry::prometheus_text(&[
+                service.registry().snapshot(),
+                telemetry::global().snapshot(),
+            ])
+        );
+    }
     Ok(())
 }
 
@@ -430,6 +460,16 @@ fn serve(cli: &Cli, addr: &str) -> Result<(), String> {
             m.failed,
             m.retries
         );
+        if cli.metrics {
+            println!("\n# --metrics: telemetry registries (Prometheus text)");
+            print!(
+                "{}",
+                telemetry::prometheus_text(&[
+                    service.registry().snapshot(),
+                    telemetry::global().snapshot(),
+                ])
+            );
+        }
         Ok(())
     }
     #[cfg(not(unix))]
@@ -482,6 +522,16 @@ fn connect(cli: &Cli, addr: &str) -> Result<(), String> {
             client.reconnects(),
             client.retries()
         );
+        if cli.metrics {
+            let text = client.metrics_text().map_err(|e| e.to_string())?;
+            println!("\n# --metrics: server telemetry registries (Prometheus text)");
+            print!("{text}");
+        }
+        if let Some(path) = &cli.trace_out {
+            let json = client.trace_json().map_err(|e| e.to_string())?;
+            std::fs::write(path, &json).map_err(|e| format!("--trace-out {path}: {e}"))?;
+            println!("wrote server trace ({} bytes) to {path}", json.len());
+        }
         return Ok(());
     }
     let (client, attempts) = MiningClient::connect_with_policy(addr, "mine-cli", &policy)
@@ -531,6 +581,18 @@ fn connect(cli: &Cli, addr: &str) -> Result<(), String> {
             s.accepted, s.rejected, s.patterns_streamed, s.bytes_streamed
         );
     }
+    if cli.metrics {
+        let text = client.metrics_text().map_err(|e| e.to_string())?;
+        println!("\n# --metrics: server telemetry registries (Prometheus text)");
+        print!("{text}");
+    }
+    if let Some(path) = &cli.trace_out {
+        // The server's captured span tree for this (and every recent) job —
+        // empty `[]` if the server runs with tracing disarmed.
+        let json = client.trace_json().map_err(|e| e.to_string())?;
+        std::fs::write(path, &json).map_err(|e| format!("--trace-out {path}: {e}"))?;
+        println!("wrote server trace ({} bytes) to {path}", json.len());
+    }
     Ok(())
 }
 
@@ -557,13 +619,40 @@ fn run() -> Result<(), String> {
         }
         (None, None) => None,
     };
+    // Arm the telemetry hooks when anything wants their events: span
+    // capture for --trace-out, the flight recorder for fault-plan runs.
+    if cli.trace_out.is_some() || injector.is_some() {
+        telemetry::arm();
+    }
+    if cli.trace_out.is_some() {
+        telemetry::start_capture();
+    }
     let result = dispatch(&cli);
+    if cli.metrics && cli.connect.is_none() && cli.serve.is_none() && !cli.serve_demo {
+        // Local mine: only the process-global registry (engine, graph I/O,
+        // oracle) has cells; service modes print their registry themselves.
+        println!("\n# --metrics: telemetry registries (Prometheus text)");
+        print!(
+            "{}",
+            telemetry::prometheus_text(&[telemetry::global().snapshot()])
+        );
+    }
+    if let (Some(path), None) = (&cli.trace_out, &cli.connect) {
+        // Connect mode fetched the server's trace instead.
+        let json = telemetry::chrome_trace_json(&telemetry::take_capture());
+        std::fs::write(path, &json).map_err(|e| format!("--trace-out {path}: {e}"))?;
+        println!("wrote trace ({} bytes) to {path}", json.len());
+    }
     if let Some(injector) = &injector {
         let fired = injector.fired();
         println!("\nfault injection report: {} rule(s) fired", fired.len());
         for fault in &fired {
             println!("  {fault}");
         }
+        // The flight recorder was armed with the plan: its per-thread ring
+        // of recent spans/faults/retries is the "what led up to it" record.
+        println!("\nflight recorder dump:");
+        print!("{}", telemetry::flight_dump());
     }
     result
 }

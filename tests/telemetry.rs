@@ -1,0 +1,282 @@
+//! Span-completeness tests for the telemetry layer (ISSUE 10): every job
+//! the scheduler runs — including the awkward paths (cache hit, cancel,
+//! deadline, panic-retry) — must leave a *balanced* span tree in the
+//! capture buffer: every `SpanStart` matched by exactly one `SpanEnd`, every
+//! parent reference pointing at a span of the same trace, exactly one root
+//! `job` span, and exactly one terminal instant.
+//!
+//! Tracing state (the armed flag and the capture buffer) is process-global,
+//! so every test here serializes on one mutex and filters captured events by
+//! the job's own trace id ([`JobHandle::trace`]).
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use spidermine_engine::{Algorithm, MineRequest};
+use spidermine_faultline::{FaultInjector, FaultPlan, RetryPolicy};
+use spidermine_graph::{generate, LabeledGraph};
+use spidermine_service::{MiningService, ServiceConfig, SubmitOptions};
+use spidermine_telemetry::{self as telemetry, Event, EventKind};
+use std::collections::HashMap;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Serializes the tests in this binary: they share the global armed flag
+/// and capture buffer.
+fn serial() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+fn small_graph(seed: u64) -> LabeledGraph {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut g = generate::erdos_renyi_average_degree(&mut rng, 120, 2.0, 8);
+    let pattern = generate::random_connected_pattern(&mut rng, 6, 8, 2);
+    generate::inject_pattern(&mut rng, &mut g, &pattern, 3, 2);
+    g
+}
+
+/// A host big enough that cancellation and deadlines land mid-run.
+fn host_graph(seed: u64) -> LabeledGraph {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut g = generate::erdos_renyi_average_degree(&mut rng, 400, 2.0, 30);
+    let pattern = generate::random_connected_pattern(&mut rng, 10, 30, 3);
+    generate::inject_pattern(&mut rng, &mut g, &pattern, 3, 2);
+    g
+}
+
+fn request(seed: u64) -> MineRequest {
+    MineRequest::new(Algorithm::SpiderMine)
+        .support_threshold(2)
+        .k(5)
+        .d_max(6)
+        .seed(seed)
+}
+
+const TERMINALS: [&str; 3] = ["job_done", "job_cancelled", "job_failed"];
+
+/// Events of one trace, polled until its root `job` span has closed (the
+/// dispatcher records the tail of the tree just after `wait()` returns).
+fn events_of(trace: u64) -> Vec<Event> {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let events: Vec<Event> = telemetry::capture_snapshot()
+            .into_iter()
+            .filter(|e| e.trace == trace)
+            .collect();
+        let job_closed = events
+            .iter()
+            .any(|e| e.kind == EventKind::SpanEnd && e.name == "job");
+        if job_closed || Instant::now() >= deadline {
+            return events;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+/// The core invariant: a balanced span tree plus exactly one terminal
+/// instant. Returns the terminal's name.
+fn assert_balanced(events: &[Event], trace: u64) -> &'static str {
+    assert!(
+        !events.is_empty(),
+        "no events captured for trace {trace:#x}"
+    );
+    // span id -> (name, parent, closed)
+    let mut spans: HashMap<u64, (&'static str, u64, bool)> = HashMap::new();
+    for e in events {
+        match e.kind {
+            EventKind::SpanStart => {
+                assert_ne!(e.span, 0, "span id 0 on a start: {e:?}");
+                let prior = spans.insert(e.span, (e.name, e.parent, false));
+                assert!(prior.is_none(), "span id {0} opened twice", e.span);
+            }
+            EventKind::SpanEnd => {
+                let entry = spans
+                    .get_mut(&e.span)
+                    .unwrap_or_else(|| panic!("end without start: {e:?}"));
+                assert_eq!(entry.0, e.name, "start/end name mismatch for {e:?}");
+                assert!(!entry.2, "span {0} closed twice", e.span);
+                entry.2 = true;
+            }
+            _ => {}
+        }
+    }
+    for (span, (name, parent, closed)) in &spans {
+        assert!(closed, "span `{name}` ({span}) never closed");
+        if *parent != 0 {
+            assert!(
+                spans.contains_key(parent),
+                "span `{name}` has parent {parent} outside its trace"
+            );
+        }
+    }
+    let roots: Vec<_> = spans
+        .values()
+        .filter(|(name, parent, _)| *parent == 0 && *name == "job")
+        .collect();
+    assert_eq!(roots.len(), 1, "expected exactly one root `job` span");
+    let terminals: Vec<&'static str> = events
+        .iter()
+        .filter(|e| e.kind == EventKind::Instant && TERMINALS.contains(&e.name))
+        .map(|e| e.name)
+        .collect();
+    assert_eq!(
+        terminals.len(),
+        1,
+        "expected one terminal, got {terminals:?}"
+    );
+    terminals[0]
+}
+
+fn span_count(events: &[Event], name: &str) -> usize {
+    events
+        .iter()
+        .filter(|e| e.kind == EventKind::SpanStart && e.name == name)
+        .count()
+}
+
+#[test]
+fn normal_run_produces_balanced_tree_with_engine_span() {
+    let _serial = serial();
+    telemetry::arm();
+    telemetry::start_capture();
+    let service = MiningService::new(ServiceConfig::default());
+    service.catalog().register("net", small_graph(3));
+    let handle = service.submit("net", request(21)).expect("admit");
+    let trace = handle.trace();
+    assert_ne!(trace, 0, "armed jobs always carry a trace id");
+    handle.wait().expect("job runs");
+    let events = events_of(trace);
+    assert_eq!(assert_balanced(&events, trace), "job_done");
+    assert_eq!(span_count(&events, "queued"), 1);
+    assert_eq!(span_count(&events, "running"), 1);
+    assert_eq!(span_count(&events, "engine_mine"), 1);
+    assert!(
+        events
+            .iter()
+            .any(|e| e.kind == EventKind::Instant && e.name == "admitted"),
+        "admission instant missing"
+    );
+    telemetry::stop_capture();
+    telemetry::disarm();
+}
+
+#[test]
+fn cache_hit_tree_balances_without_rerunning_the_engine() {
+    let _serial = serial();
+    telemetry::arm();
+    telemetry::start_capture();
+    let service = MiningService::new(ServiceConfig::default());
+    service.catalog().register("net", small_graph(3));
+    service
+        .submit("net", request(22))
+        .expect("admit")
+        .wait()
+        .expect("leader runs");
+    let hit = service.submit("net", request(22)).expect("admit");
+    let trace = hit.trace();
+    hit.wait().expect("cache hit");
+    let events = events_of(trace);
+    assert_eq!(assert_balanced(&events, trace), "job_done");
+    assert!(
+        events
+            .iter()
+            .any(|e| e.kind == EventKind::Instant && e.name == "cache_hit"),
+        "cache-served job should record a cache_hit instant"
+    );
+    assert_eq!(
+        span_count(&events, "engine_mine"),
+        0,
+        "a cache hit must not re-enter the engine"
+    );
+    telemetry::stop_capture();
+    telemetry::disarm();
+}
+
+#[test]
+fn cancelled_job_still_balances_its_spans() {
+    let _serial = serial();
+    telemetry::arm();
+    telemetry::start_capture();
+    let service = MiningService::new(ServiceConfig::default());
+    service.catalog().register("net", host_graph(5));
+    let handle = service.submit("net", request(23)).expect("admit");
+    let trace = handle.trace();
+    handle.cancel();
+    handle.wait().expect("cancelled jobs settle with partials");
+    let events = events_of(trace);
+    // The cancel races the run: either it landed (job_cancelled) or the job
+    // finished first (job_done). Balance holds either way.
+    let terminal = assert_balanced(&events, trace);
+    assert!(
+        terminal == "job_cancelled" || terminal == "job_done",
+        "unexpected terminal {terminal}"
+    );
+    telemetry::stop_capture();
+    telemetry::disarm();
+}
+
+#[test]
+fn deadline_expiry_balances_and_reports_done() {
+    let _serial = serial();
+    telemetry::arm();
+    telemetry::start_capture();
+    let service = MiningService::new(ServiceConfig::default());
+    service.catalog().register("net", host_graph(5));
+    let handle = service
+        .submit("net", request(24).deadline_ms(1))
+        .expect("admit");
+    let trace = handle.trace();
+    let _outcome = handle
+        .wait()
+        .expect("deadline yields a partial, not an error");
+    let events = events_of(trace);
+    // An expired deadline winds the run down through the cooperative cancel
+    // flag, so the terminal is `job_cancelled` when the deadline landed
+    // mid-run and `job_done` when the run beat it. Balance — the property
+    // under test — must hold either way.
+    let terminal = assert_balanced(&events, trace);
+    assert!(
+        terminal == "job_done" || terminal == "job_cancelled",
+        "unexpected terminal {terminal}"
+    );
+    telemetry::stop_capture();
+    telemetry::disarm();
+}
+
+#[test]
+fn panic_retry_closes_both_running_spans_and_records_the_retry() {
+    let _serial = serial();
+    telemetry::arm();
+    telemetry::start_capture();
+    let service = MiningService::new(ServiceConfig {
+        retry: RetryPolicy::fast(3),
+        ..ServiceConfig::default()
+    });
+    service.catalog().register("net", small_graph(4));
+    let plan = FaultPlan::parse("exec:0:panic").expect("plan parses");
+    let injector = FaultInjector::install(&plan);
+    let handle = service
+        .submit_with_options("net", request(25), SubmitOptions::default())
+        .expect("admit");
+    let trace = handle.trace();
+    let result = handle.wait();
+    drop(injector);
+    result.expect("one injected panic retries to success");
+    let events = events_of(trace);
+    assert_eq!(assert_balanced(&events, trace), "job_done");
+    assert_eq!(
+        span_count(&events, "running"),
+        2,
+        "the panicked attempt and the retry each get a closed `running` span"
+    );
+    assert!(
+        events
+            .iter()
+            .any(|e| e.kind == EventKind::Retry && e.name == "exec_panic_retry"),
+        "retry event missing"
+    );
+    telemetry::stop_capture();
+    telemetry::disarm();
+}

@@ -1,0 +1,97 @@
+//! The disarmed-cost contract of the telemetry layer (ISSUE 10): with
+//! tracing disarmed, every hot-path hook — span open/close, instants, retry
+//! events, counter increments, histogram observations — must allocate
+//! **zero** bytes. Guarded with the same byte-counting global allocator as
+//! `snapshot_alloc.rs`; this file is its own test binary because a
+//! `#[global_allocator]` is per-binary.
+
+use spidermine_telemetry::{self as telemetry, Registry};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+
+struct CountingAllocator;
+
+static BYTES_ALLOCATED: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        BYTES_ALLOCATED.fetch_add(layout.size(), Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        BYTES_ALLOCATED.fetch_add(new_size, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+/// Measures the bytes `f` allocates, taking the minimum over several
+/// attempts: the counter is process-global, so an unrelated harness thread
+/// can leak noise into one window, but noise is strictly additive.
+fn min_bytes_allocated(mut f: impl FnMut()) -> usize {
+    let mut fewest = usize::MAX;
+    for _ in 0..5 {
+        let before = BYTES_ALLOCATED.load(Ordering::SeqCst);
+        f();
+        let after = BYTES_ALLOCATED.load(Ordering::SeqCst);
+        fewest = fewest.min(after - before);
+    }
+    fewest
+}
+
+#[test]
+fn disarmed_hooks_allocate_nothing() {
+    telemetry::disarm();
+    // Handles resolved up front, exactly as the scheduler holds them: the
+    // get-or-create lookup (which does allocate, once) is setup, not the
+    // hot path.
+    let registry = Registry::new();
+    let counter = registry.counter("hot_counter_total");
+    let gauge = registry.gauge("hot_gauge");
+    let histogram = registry.histogram("hot_nanos");
+
+    let bytes = min_bytes_allocated(|| {
+        for i in 0..1000u64 {
+            // The full per-pattern / per-stage hook set of a mining run.
+            counter.inc();
+            counter.add(3);
+            gauge.set(i);
+            histogram.observe(i * 17);
+            histogram.observe_duration(Duration::from_nanos(i));
+            let span = telemetry::span_start("hot_span", i, 0);
+            telemetry::instant("hot_instant", i, span);
+            telemetry::span_end("hot_span", i, span);
+            telemetry::span_complete("hot_span", i, 0, 1);
+            telemetry::retry_event("hot_retry", i, 1);
+            telemetry::fault_event("hot_fault", i, 1);
+        }
+    });
+    assert_eq!(
+        bytes, 0,
+        "disarmed telemetry hooks allocated {bytes} bytes over 1000 iterations"
+    );
+}
+
+#[test]
+fn metric_reads_after_writes_stay_consistent() {
+    // Sanity companion: the cells written above are real (not optimized
+    // away) and snapshot coherently.
+    let registry = Registry::new();
+    let counter = registry.counter("check_total");
+    let histogram = registry.histogram("check_nanos");
+    for i in 0..100 {
+        counter.inc();
+        histogram.observe(i);
+    }
+    let snap = registry.snapshot();
+    assert_eq!(snap.counter("check_total"), 100);
+    assert_eq!(snap.histogram("check_nanos").count, 100);
+}

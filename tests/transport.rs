@@ -167,6 +167,7 @@ fn malformed_frames_get_typed_goodbyes_and_server_keeps_serving() {
         id: 7,
         graph: "net".into(),
         request: vec![0xde, 0xad, 0xbe, 0xef],
+        trace: 0,
     }));
     let mut stream = TcpStream::connect(addr).expect("connect");
     stream
